@@ -1,0 +1,51 @@
+// Ablation: CPU-side buffer count N (the paper fixes N=2; §3.1 notes N is
+// a design-time parameter and N>=2 enables prefetch-ahead). We sweep
+// N in {1,2,4,8} for SpMV and SpMSpV variant-1 at 50% sparsity.
+//
+// Expected: SpMV is CPU-bound (the BE keeps up even with one buffer), so
+// the curve is flat — consistent with the paper's finding that double
+// buffering adds little. Variant-1 is HHT-bound, so extra buffers smooth
+// the pair bursts and help until the merge rate saturates.
+#include <iostream>
+
+#include "bench_util.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workload/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace hht;
+  const benchutil::Options opt = benchutil::parse(argc, argv);
+  const sim::Index n = opt.size ? opt.size : 256;
+
+  harness::printBanner(std::cout, "Ablation",
+                       "CPU-side buffer count N sweep (256x256, 50% sparsity)");
+
+  sim::Rng rng(opt.seed);
+  const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, 0.5);
+  const sparse::DenseVector dv = workload::randomDenseVector(rng, n);
+  const sparse::SparseVector sv = workload::randomSparseVector(rng, n, 0.5);
+
+  const auto spmv_base =
+      harness::runSpmvBaseline(harness::defaultConfig(2), m, dv, true);
+  const auto spmspv_base =
+      harness::runSpmspvBaseline(harness::defaultConfig(2), m, sv);
+
+  harness::Table table({"buffers", "spmv_speedup", "spmv_cpu_wait",
+                        "v1_speedup", "v1_cpu_wait"});
+  for (std::uint32_t nb : {1u, 2u, 4u, 8u}) {
+    const auto spmv = harness::runSpmvHht(harness::defaultConfig(nb), m, dv, true);
+    const auto v1 = harness::runSpmspvHht(harness::defaultConfig(nb), m, sv, 1);
+    table.addRow({std::to_string(nb),
+                  harness::fmt(harness::speedup(spmv_base, spmv)),
+                  harness::pct(spmv.cpuWaitFraction()),
+                  harness::fmt(harness::speedup(spmspv_base, v1)),
+                  harness::pct(v1.cpuWaitFraction())});
+  }
+  if (opt.csv) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

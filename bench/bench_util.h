@@ -1,0 +1,40 @@
+#pragma once
+
+// Shared helpers for the figure/table bench binaries.
+//
+// Every bench accepts:
+//   --csv          emit CSV instead of the aligned table
+//   --size=N       override the matrix dimension (default per figure)
+//   --seed=S       override the workload seed
+// Benches print the paper's expected values next to the measured ones so a
+// reader can check the reproduced *shape* directly from the output.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace hht::benchutil {
+
+struct Options {
+  bool csv = false;
+  std::uint32_t size = 0;     ///< 0 = figure default
+  std::uint64_t seed = 0x5EED'2022;
+};
+
+inline Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--csv") == 0) {
+      opt.csv = true;
+    } else if (std::strncmp(arg, "--size=", 7) == 0) {
+      opt.size = static_cast<std::uint32_t>(std::strtoul(arg + 7, nullptr, 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opt.seed = std::strtoull(arg + 7, nullptr, 10);
+    }
+  }
+  return opt;
+}
+
+}  // namespace hht::benchutil

@@ -1,0 +1,64 @@
+// Figure 5: HHT speedup over the CPU-only baseline for SpMSpV (sparse
+// matrix x sparse vector), 512x512 synthetic matrix, matrix and vector at
+// the same sparsity level, 10%..90%.
+//
+// Four configurations per sparsity, as in the paper:
+//   variant-1 (aligned pairs)        x {1, 2} buffers — avg 2.47, rising
+//                                      from ~1.48 (10%) to >4.0 (90%)
+//   variant-2 (value-or-zero stream) x {1, 2} buffers — avg 3.05
+//                                      (2.5..3.52), best at low sparsity
+// Crossover: variant-1 overtakes variant-2 above ~80% sparsity.
+#include <iostream>
+
+#include "bench_util.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workload/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace hht;
+  const benchutil::Options opt = benchutil::parse(argc, argv);
+  const sim::Index n = opt.size ? opt.size : 512;
+
+  harness::printBanner(std::cout, "Fig. 5",
+                       "SpMSpV speedup vs sparsity: variant-1/2 x 1/2 buffers");
+
+  harness::Table table({"sparsity", "base_cycles", "v1_1buf", "v1_2buf",
+                        "v2_1buf", "v2_2buf", "v2_2buf_scalar"});
+  double sums[5] = {};
+  int count = 0;
+  for (int s = 10; s <= 90; s += 10) {
+    const double sparsity = s / 100.0;
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s) * 7);
+    const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, sparsity);
+    const sparse::SparseVector v =
+        workload::randomSparseVector(rng, n, sparsity);
+
+    const auto base = harness::runSpmspvBaseline(harness::defaultConfig(2), m, v);
+    const double sp[5] = {
+        harness::speedup(base, harness::runSpmspvHht(harness::defaultConfig(1), m, v, 1)),
+        harness::speedup(base, harness::runSpmspvHht(harness::defaultConfig(2), m, v, 1)),
+        harness::speedup(base, harness::runSpmspvHht(harness::defaultConfig(1), m, v, 2)),
+        harness::speedup(base, harness::runSpmspvHht(harness::defaultConfig(2), m, v, 2)),
+        // v2 with a scalar consumer: how much of v2's win is vectorization.
+        harness::speedup(base,
+                         harness::runSpmspvHht(harness::defaultConfig(2), m, v, 2,
+                                               /*vectorized=*/false)),
+    };
+    for (int i = 0; i < 5; ++i) sums[i] += sp[i];
+    ++count;
+    table.addRow({std::to_string(s) + "%", std::to_string(base.cycles),
+                  harness::fmt(sp[0]), harness::fmt(sp[1]), harness::fmt(sp[2]),
+                  harness::fmt(sp[3]), harness::fmt(sp[4])});
+  }
+
+  if (opt.csv) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "averages: v1_2buf " << harness::fmt(sums[1] / count)
+            << " (paper v1 avg: 2.47), v2_2buf " << harness::fmt(sums[3] / count)
+            << " (paper v2 avg: 3.05)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 9: HHT speedup on the fully-connected (classifier) layers of
+// seven DNNs, SpMV with VL=8, baseline uses vector indexed loads.
+//
+// Paper reference: 1.53x (DenseNet) .. 1.92x (VGG19); results track the
+// synthetic sweeps at the corresponding sparsity/size.
+//
+// Substitution: seeded random weight matrices at each network's classifier
+// shape and sparsity (DESIGN.md #3). Rows are independent in SpMV, so a
+// 128-row slice of each layer preserves the cycle ratio while keeping the
+// bench fast; pass --size=1000 to simulate the full layers.
+#include <iostream>
+
+#include "bench_util.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workload/dnn.h"
+
+int main(int argc, char** argv) {
+  using namespace hht;
+  const benchutil::Options opt = benchutil::parse(argc, argv);
+  const sim::Index row_limit = opt.size ? opt.size : 128;
+
+  harness::printBanner(std::cout, "Fig. 9",
+                       "SpMV speedup on DNN fully-connected layers (VL=8)");
+
+  harness::Table table({"network", "shape", "sparsity", "base_cycles",
+                        "hht_cycles", "speedup", "bar"});
+  for (const workload::DnnFcLayer& layer : workload::dnnFcCatalog()) {
+    const sparse::CsrMatrix m =
+        workload::dnnLayerMatrix(layer, opt.seed, row_limit);
+    sim::Rng rng(opt.seed ^ 0xD99);
+    const sparse::DenseVector v =
+        workload::randomDenseVector(rng, layer.in_features);
+
+    const harness::SystemConfig cfg = harness::defaultConfig(2);
+    const auto base = harness::runSpmvBaseline(cfg, m, v, true);
+    const auto hht = harness::runSpmvHht(cfg, m, v, true);
+    const double sp = harness::speedup(base, hht);
+    table.addRow({layer.network,
+                  std::to_string(m.numRows()) + "x" + std::to_string(m.numCols()),
+                  harness::pct(layer.sparsity, 0), std::to_string(base.cycles),
+                  std::to_string(hht.cycles), harness::fmt(sp),
+                  harness::bar(sp, 2.5)});
+  }
+  if (opt.csv) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "paper: 1.53 (DenseNet) .. 1.92 (VGG19)\n";
+  return 0;
+}

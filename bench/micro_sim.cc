@@ -1,0 +1,71 @@
+// google-benchmark microbenchmarks of the cycle simulator itself:
+// simulated-cycles-per-second for the main kernel families. Useful for
+// estimating bench wall-clock budgets and catching simulator slowdowns.
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace hht;
+
+struct Workload {
+  sparse::CsrMatrix m;
+  sparse::DenseVector dv;
+  sparse::SparseVector sv;
+};
+
+Workload makeWorkload(sim::Index n) {
+  sim::Rng rng(0xAB5 + n);
+  return {workload::randomCsr(rng, n, n, 0.5),
+          workload::randomDenseVector(rng, n),
+          workload::randomSparseVector(rng, n, 0.5)};
+}
+
+void reportRate(benchmark::State& state, std::uint64_t cycles_per_iter) {
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles_per_iter) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SimSpmvBaseline(benchmark::State& state) {
+  const Workload w = makeWorkload(static_cast<sim::Index>(state.range(0)));
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto r = harness::runSpmvBaseline(harness::defaultConfig(2), w.m,
+                                            w.dv, true);
+    cycles = r.cycles;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  reportRate(state, cycles);
+}
+BENCHMARK(BM_SimSpmvBaseline)->Arg(64)->Arg(128);
+
+void BM_SimSpmvHht(benchmark::State& state) {
+  const Workload w = makeWorkload(static_cast<sim::Index>(state.range(0)));
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto r = harness::runSpmvHht(harness::defaultConfig(2), w.m, w.dv, true);
+    cycles = r.cycles;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  reportRate(state, cycles);
+}
+BENCHMARK(BM_SimSpmvHht)->Arg(64)->Arg(128);
+
+void BM_SimSpmspvV1(benchmark::State& state) {
+  const Workload w = makeWorkload(static_cast<sim::Index>(state.range(0)));
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto r = harness::runSpmspvHht(harness::defaultConfig(2), w.m, w.sv, 1);
+    cycles = r.cycles;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  reportRate(state, cycles);
+}
+BENCHMARK(BM_SimSpmspvV1)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// google-benchmark microbenchmarks of the host-side sparse library
+// (format construction, conversion and reference kernels). These measure
+// the *library*, not the simulator — they establish that workload
+// preparation is negligible next to simulation time.
+#include <benchmark/benchmark.h>
+
+#include "sparse/convert.h"
+#include "sparse/reference.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace hht;
+
+sparse::DenseMatrix makeDense(std::int64_t n, double sparsity) {
+  sim::Rng rng(0xBEEF + static_cast<std::uint64_t>(n));
+  return workload::randomDense(rng, static_cast<sim::Index>(n),
+                               static_cast<sim::Index>(n), sparsity);
+}
+
+void BM_CsrFromDense(benchmark::State& state) {
+  const auto dense = makeDense(state.range(0), 0.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::CsrMatrix::fromDense(dense));
+  }
+}
+BENCHMARK(BM_CsrFromDense)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_SpmvReference(benchmark::State& state) {
+  const auto m = sparse::CsrMatrix::fromDense(makeDense(state.range(0), 0.7));
+  sim::Rng rng(7);
+  const auto v = workload::randomDenseVector(rng, m.numCols());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::spmvCsr(m, v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.nnz()));
+}
+BENCHMARK(BM_SpmvReference)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_SpmspvReference(benchmark::State& state) {
+  const auto m = sparse::CsrMatrix::fromDense(makeDense(state.range(0), 0.7));
+  sim::Rng rng(9);
+  const auto v = workload::randomSparseVector(rng, m.numCols(), 0.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::spmspvMerge(m, v));
+  }
+}
+BENCHMARK(BM_SpmspvReference)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_CsrToCsc(benchmark::State& state) {
+  const auto m = sparse::CsrMatrix::fromDense(makeDense(state.range(0), 0.7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::csrToCsc(m));
+  }
+}
+BENCHMARK(BM_CsrToCsc)->Arg(64)->Arg(256);
+
+void BM_HierBitmapEnumerate(benchmark::State& state) {
+  const auto hb = sparse::HierBitmapMatrix::fromDense(makeDense(state.range(0), 0.9));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hb.enumerate());
+  }
+}
+BENCHMARK(BM_HierBitmapEnumerate)->Arg(64)->Arg(256);
+
+void BM_BitVectorRank(benchmark::State& state) {
+  const auto bv = sparse::BitVectorMatrix::fromDense(makeDense(256, 0.8));
+  sim::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bv.rank(static_cast<sim::Index>(rng.nextBelow(256)),
+                static_cast<sim::Index>(rng.nextBelow(256))));
+  }
+}
+BENCHMARK(BM_BitVectorRank);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "core/config.h"
+
+namespace hht::core {
+
+/// One element slot in the CPU-side buffer stream.
+///
+/// A Value slot carries 32 data bits; a RowEnd slot is the variant-1 /
+/// hier-bitmap end-of-row marker the FE turns into a VALID=0 response.
+/// `publish_after` asks the pool to close (publish) the staging buffer
+/// after this slot — the row-aligned fill policy of §3.1 (the FE knows row
+/// extents because M_Rows_Base is programmed).
+struct Slot {
+  std::uint32_t bits = 0;
+  bool is_row_end = false;
+  bool publish_after = false;
+};
+
+/// The N CPU-side buffers of the HHT front-end (Table 1: N=2, 32 B each).
+///
+/// The back-end stages slots into the current *write* buffer; a buffer
+/// becomes visible to the CPU only when published (full, or row boundary).
+/// The CPU drains the oldest published buffer through the FIFO interface;
+/// fully-drained buffers return to the free pool. At most `num_buffers`
+/// buffers exist between staging and published — `freeCapacity()` is the
+/// control unit's BE-throttle signal (§3.1).
+class BufferPool {
+ public:
+  explicit BufferPool(const HhtConfig& config)
+      : num_buffers_(config.num_buffers), buffer_len_(config.buffer_len) {
+    if (num_buffers_ == 0 || buffer_len_ == 0) {
+      throw std::invalid_argument("BufferPool needs >=1 buffer of >=1 slot");
+    }
+  }
+
+  // ---- back-end (write) side ----
+
+  /// Slots the BE may still stage before the pool is saturated.
+  std::uint32_t freeCapacity() const {
+    const bool staging_open = !staging_.empty();
+    const std::uint32_t buffers_free =
+        num_buffers_ - static_cast<std::uint32_t>(published_.size()) -
+        (staging_open ? 1u : 0u);
+    return buffers_free * buffer_len_ +
+           (staging_open ? buffer_len_ - static_cast<std::uint32_t>(staging_.size())
+                         : 0u);
+  }
+
+  bool canPush() const { return freeCapacity() > 0; }
+
+  /// Stage one slot; publishes the staging buffer when it fills or the slot
+  /// requests a row-aligned publish. Precondition: canPush().
+  void push(const Slot& slot) {
+    if (!canPush()) throw std::logic_error("BufferPool::push past capacity");
+    staging_.push_back(slot);
+    if (staging_.size() == buffer_len_ || slot.publish_after) publish();
+  }
+
+  /// Publish a partial staging buffer (stream end).
+  void finish() {
+    if (!staging_.empty()) publish();
+  }
+
+  // ---- front-end (read) side ----
+
+  bool hasFront() const { return !published_.empty(); }
+  const Slot& front() const { return published_.front()[read_pos_]; }
+
+  Slot pop() {
+    const Slot slot = front();
+    if (++read_pos_ == published_.front().size()) {
+      published_.pop_front();
+      read_pos_ = 0;
+    }
+    return slot;
+  }
+
+  /// Unread published slots (diagnostics; STATUS busy bit).
+  std::size_t unread() const {
+    std::size_t n = 0;
+    for (const auto& buf : published_) n += buf.size();
+    return n - read_pos_;
+  }
+  bool hasUnread() const { return !published_.empty(); }
+  std::size_t stagedSlots() const { return staging_.size(); }
+  std::size_t publishedBuffers() const { return published_.size(); }
+
+  void reset() {
+    published_.clear();
+    staging_.clear();
+    read_pos_ = 0;
+  }
+
+ private:
+  void publish() {
+    published_.push_back(std::move(staging_));
+    staging_.clear();
+  }
+
+  std::uint32_t num_buffers_;
+  std::uint32_t buffer_len_;
+  std::deque<std::vector<Slot>> published_;
+  std::vector<Slot> staging_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace hht::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace hht::core {
+
+using sim::Cycle;
+
+/// Operating mode programmed into the MODE register (§3, §5.1, §6).
+enum class Mode : std::uint32_t {
+  SpmvGather = 0,  ///< SpMV: gather V values at the row's column indices
+  SpmspvV1 = 1,    ///< SpMSpV variant-1: emit aligned (m_val, v_val) pairs
+  SpmspvV2 = 2,    ///< SpMSpV variant-2: emit v value or 0 per matrix NZ
+  HierBitmap = 3,  ///< SMASH-style hierarchical-bitmap walk + gather (§6)
+  FlatBitmap = 4,  ///< one-level bit-vector walk (Fig. 1's second format)
+};
+
+/// ASIC HHT design-time parameters.
+///
+/// Table 1 fixes N=2 buffers of 32 B (8 x 32-bit elements, matching the
+/// vector width BLEN). The back-end's single memory port (one request per
+/// cycle) and one-comparison-per-cycle merge unit reflect the "simple
+/// dedicated hardware" sizing of §3; benches sweep these for ablations.
+struct HhtConfig {
+  std::uint32_t num_buffers = 2;        ///< N CPU-side buffers (>=1)
+  std::uint32_t buffer_len = 8;         ///< BLEN, elements per buffer
+  std::uint32_t be_issue_per_cycle = 1; ///< BE memory requests issued/cycle
+  std::uint32_t cmp_per_cycle = 1;      ///< comparisons per merge step (v1/v2)
+  /// Cycles per merge step: the compare-select-advance recurrence of the
+  /// merge unit (head mux, comparator, pointer update) does not close in a
+  /// single cycle in the ASIC, so one comparison completes every
+  /// cmp_recurrence cycles.
+  std::uint32_t cmp_recurrence = 2;
+  std::uint32_t emit_per_cycle = 2;     ///< slots drained to buffers/cycle
+  std::uint32_t prefetch_queue = 8;     ///< per-stream index prefetch depth
+  /// Reorder/emission queue depth. This models the pipeline-stage storage
+  /// between the BE and the CPU-side buffers, so it is kept small — a deep
+  /// queue would act as hidden extra buffering and erase the difference
+  /// between the 1-buffer and 2-buffer configurations of Fig. 4/5.
+  std::uint32_t emission_queue = 2;
+};
+
+}  // namespace hht::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "mem/mmio.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace hht::core {
+
+/// Common interface of the two HHT implementations: the dedicated ASIC
+/// (core::Hht, §3) and the programmable micro-core variant (core::MicroHht,
+/// the §7 design the paper proposes as future work). The harness and the
+/// primary core interact with either through this surface plus the shared
+/// MMIO register map (core/mmr.h).
+class HhtDevice : public mem::MmioDevice {
+ public:
+  /// Advance the accelerator one cycle (called before the primary core).
+  virtual void tick(sim::Cycle now) = 0;
+
+  /// Producing, or holding undelivered data.
+  virtual bool busy() const = 0;
+
+  virtual sim::StatSet& stats() = 0;
+  virtual const sim::StatSet& stats() const = 0;
+
+  /// Cycles the primary CPU stalled on a not-ready FE read (Fig. 6/7).
+  virtual std::uint64_t cpuWaitCycles() const = 0;
+  /// Cycles the accelerator was throttled by buffer availability.
+  virtual std::uint64_t hhtWaitCycles() const = 0;
+};
+
+}  // namespace hht::core

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "core/buffers.h"
+#include "core/config.h"
+#include "core/emission.h"
+#include "core/mmr.h"
+#include "mem/memory_system.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace hht::core {
+
+using sim::Addr;
+using sim::Cycle;
+
+/// Everything a back-end engine needs: configuration, the programmed MMRs,
+/// the shared memory system (BE port), the CPU-side buffers and the
+/// emission queue feeding them, plus the device's stat set.
+struct EngineContext {
+  const HhtConfig& cfg;
+  const MmrFile& mmr;
+  mem::MemorySystem& mem;
+  BufferPool& buffers;
+  EmissionQueue& emit;
+  sim::StatSet& stats;
+};
+
+/// A back-end engine implements one MODE's pipeline (§3.2). The device
+/// ticks it once per cycle; the engine processes memory responses, performs
+/// its comparisons/address generation, and issues at most
+/// cfg.be_issue_per_cycle new memory requests.
+class Engine {
+ public:
+  explicit Engine(const EngineContext& ctx) : ctx_(ctx) {}
+  virtual ~Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  virtual void tick(Cycle now) = 0;
+
+  /// True once every slot of the stream has been handed to the emission
+  /// queue (the queue and buffers may still hold undelivered slots).
+  virtual bool done() const = 0;
+
+  /// Issue one 4-byte BE read. Callers (the engine itself and its walker
+  /// helpers) enforce the per-cycle issue budget.
+  mem::RequestId issueReadFor(Addr addr) {
+    ++ctx_.stats.counter("hht.mem_reads");
+    return ctx_.mem.submit({addr, 4, false, 0, mem::Requester::Hht});
+  }
+
+ protected:
+  EngineContext ctx_;
+};
+
+}  // namespace hht::core

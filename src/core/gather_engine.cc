@@ -1,0 +1,71 @@
+#include "core/gather_engine.h"
+
+namespace hht::core {
+
+GatherEngine::GatherEngine(const EngineContext& ctx)
+    : Engine(ctx),
+      cols_(ctx.cfg.prefetch_queue),
+      vfetch_(ctx.cfg.prefetch_queue) {
+  rows_.configure(ctx.mmr.m_rows_base, ctx.mmr.m_num_rows);
+}
+
+void GatherEngine::configureRowStream() {
+  const std::uint32_t start = rows_.rowStart();
+  const std::uint32_t nnz = rows_.rowEnd() - start;
+  cols_.configure(ctx_.mmr.m_cols_base + start * 4u, nnz, start);
+  row_stream_ready_ = true;
+}
+
+void GatherEngine::tick(Cycle) {
+  // 1. Collect memory responses.
+  rows_.poll(ctx_.mem);
+  cols_.poll(ctx_.mem);
+  vfetch_.poll(ctx_.mem, ctx_.emit);
+
+  // 2. Row bookkeeping: target the column stream at the current row, and
+  //    advance over rows whose indices are fully consumed (including
+  //    empty rows).
+  while (rows_.haveRow()) {
+    if (!row_stream_ready_) configureRowStream();
+    if (cols_.morePending()) break;
+    rows_.advance();
+    row_stream_ready_ = false;
+  }
+
+  // 3. Address generation: convert buffered column indices into V-fetches.
+  //    The emission slot is reserved here so V values reach the CPU buffer
+  //    in index order; the last index of a row tags its slot for a
+  //    row-aligned publish.
+  while (row_stream_ready_ && cols_.headAvailable() && ctx_.emit.canReserve() &&
+         vfetch_.canAccept()) {
+    const Addr v_addr =
+        ctx_.mmr.v_base + cols_.head() * ctx_.mmr.element_size;
+    const bool last_of_row = cols_.headIsLast();
+    vfetch_.enqueue({v_addr, ctx_.emit.reserve(), last_of_row});
+    cols_.pop();
+    ++ctx_.stats.counter("hht.gather.values_requested");
+  }
+
+  // 4. Issue memory requests within the BE budget.
+  //    Priority: row pointers (they unblock everything), then V fetches
+  //    (drain the pipeline), then column prefetches.
+  std::uint32_t budget = ctx_.cfg.be_issue_per_cycle;
+  while (budget > 0) {
+    if (rows_.wantIssue()) {
+      rows_.issue(*this, ctx_.mem);
+    } else if (vfetch_.wantIssue()) {
+      vfetch_.issue(*this, ctx_.mem);
+    } else if (row_stream_ready_ && cols_.wantIssue()) {
+      cols_.issue(*this, ctx_.mem);
+    } else {
+      break;
+    }
+    --budget;
+  }
+}
+
+bool GatherEngine::done() const {
+  return rows_.finished() && vfetch_.drained() && ctx_.emit.empty();
+}
+
+}  // namespace hht::core

@@ -1,0 +1,144 @@
+#include "core/hht.h"
+
+#include <stdexcept>
+
+#include "core/gather_engine.h"
+#include "core/hier_engine.h"
+#include "core/merge_engine.h"
+#include "core/stream_engine.h"
+#include "sim/log.h"
+
+namespace hht::core {
+
+Hht::Hht(const HhtConfig& config, mem::MemorySystem& memory)
+    : cfg_(config), mem_(memory), buffers_(config), emit_(config.emission_queue) {}
+
+void Hht::start() {
+  buffers_.reset();
+  emit_.reset();
+  finished_flush_done_ = false;
+  const EngineContext ctx{cfg_, mmr_, mem_, buffers_, emit_, stats_};
+  switch (mmr_.mode) {
+    case Mode::SpmvGather:
+      engine_ = std::make_unique<GatherEngine>(ctx);
+      break;
+    case Mode::SpmspvV1:
+      engine_ = std::make_unique<MergeEngine>(ctx);
+      break;
+    case Mode::SpmspvV2:
+      engine_ = std::make_unique<StreamEngine>(ctx);
+      break;
+    case Mode::HierBitmap:
+      engine_ = std::make_unique<HierBitmapEngine>(ctx);
+      break;
+    case Mode::FlatBitmap:
+      engine_ = std::make_unique<HierBitmapEngine>(ctx, /*flat=*/true);
+      break;
+    default:
+      throw std::invalid_argument("HHT started with invalid MODE register");
+  }
+  HHT_LOG_AT(Info, "hht", "start mode=%u rows=%u buffers=%u blen=%u",
+             static_cast<unsigned>(mmr_.mode), mmr_.m_num_rows,
+             cfg_.num_buffers, cfg_.buffer_len);
+}
+
+void Hht::tick(sim::Cycle now) {
+  if (!engine_) return;
+  if (!engine_->done()) {
+    ++stats_.counter("hht.active_cycles");
+    // Control-unit throttle accounting: the BE has produced data it cannot
+    // place because every buffer is owned by unconsumed CPU data.
+    if (!emit_.empty() && buffers_.freeCapacity() == 0) {
+      ++stats_.counter("hht.stall_buffers_full");
+    }
+  }
+  // Tick even when done: prefetch streams may still have speculative reads
+  // in flight (e.g. vector indices fetched past the last match) whose
+  // responses must be drained from the memory system.
+  engine_->tick(now);
+  emit_.drainTo(buffers_, cfg_.emit_per_cycle);
+  if (engine_->done() && !finished_flush_done_) {
+    buffers_.finish();  // publish any partial tail buffer
+    finished_flush_done_ = true;
+  }
+}
+
+bool Hht::busy() const {
+  return engine_ && (!engine_->done() || !emit_.empty() || buffers_.hasUnread());
+}
+
+mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
+                                  mem::Requester) {
+  if (size != 4) {
+    throw std::invalid_argument("HHT FE supports 32-bit reads only");
+  }
+  switch (offset) {
+    case mmr::kBufData: {
+      if (!buffers_.hasFront()) {
+        if (engine_ && engine_->done() && !busy()) {
+          throw std::logic_error(
+              "kernel bug: CPU load from HHT BUF_DATA past end of stream");
+        }
+        ++stats_.counter("hht.cpu_wait_cycles");
+        return {false, 0};
+      }
+      if (buffers_.front().is_row_end) {
+        throw std::logic_error(
+            "kernel bug: CPU read BUF_DATA where VALID would return 0");
+      }
+      const Slot slot = buffers_.pop();
+      ++stats_.counter("hht.elements_delivered");
+      return {true, slot.bits};
+    }
+    case mmr::kValid: {
+      if (!buffers_.hasFront()) {
+        if (engine_ && engine_->done() && !busy()) {
+          throw std::logic_error(
+              "kernel bug: CPU read VALID past end of stream");
+        }
+        ++stats_.counter("hht.cpu_wait_cycles");
+        return {false, 0};
+      }
+      if (buffers_.front().is_row_end) {
+        buffers_.pop();
+        return {true, 0};
+      }
+      return {true, 1};
+    }
+    case mmr::kStatus:
+      return {true, busy() ? 1u : 0u};
+    default:
+      throw std::invalid_argument("HHT FE read from unknown MMR offset " +
+                                  std::to_string(offset));
+  }
+}
+
+void Hht::mmioWrite(Addr offset, std::uint32_t size, std::uint32_t value,
+                    mem::Requester) {
+  if (size != 4) {
+    throw std::invalid_argument("HHT FE supports 32-bit writes only");
+  }
+  switch (offset) {
+    case mmr::kMNumRows: mmr_.m_num_rows = value; break;
+    case mmr::kMRowsBase: mmr_.m_rows_base = value; break;
+    case mmr::kMColsBase: mmr_.m_cols_base = value; break;
+    case mmr::kMValsBase: mmr_.m_vals_base = value; break;
+    case mmr::kVBase: mmr_.v_base = value; break;
+    case mmr::kVIdxBase: mmr_.v_idx_base = value; break;
+    case mmr::kVValsBase: mmr_.v_vals_base = value; break;
+    case mmr::kVNnz: mmr_.v_nnz = value; break;
+    case mmr::kElementSize: mmr_.element_size = value; break;
+    case mmr::kMode: mmr_.mode = static_cast<Mode>(value); break;
+    case mmr::kNumCols: mmr_.num_cols = value; break;
+    case mmr::kL1Base: mmr_.l1_base = value; break;
+    case mmr::kLeavesBase: mmr_.leaves_base = value; break;
+    case mmr::kStart:
+      if (value != 0) start();
+      break;
+    default:
+      throw std::invalid_argument("HHT FE write to unknown MMR offset " +
+                                  std::to_string(offset));
+  }
+}
+
+}  // namespace hht::core

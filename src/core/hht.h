@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+
+#include "core/buffers.h"
+#include "core/config.h"
+#include "core/device.h"
+#include "core/emission.h"
+#include "core/engine.h"
+#include "core/mmr.h"
+#include "mem/memory_system.h"
+#include "sim/stats.h"
+
+namespace hht::core {
+
+/// The Hardware Helper Thread device: front-end (MMRs + CPU-side buffers +
+/// streaming FIFO load interface) and back-end (per-mode pipeline engine),
+/// coupled through the control unit's buffer-availability throttling (§3).
+///
+/// Attach to the memory system's MMIO window and tick once per cycle
+/// *before* the CPU (registered interface: data published in cycle t is
+/// loadable at t+1).
+class Hht : public HhtDevice {
+ public:
+  Hht(const HhtConfig& config, mem::MemorySystem& memory);
+
+  /// Advance the back-end one cycle and drain the emission queue into the
+  /// CPU-side buffers.
+  void tick(sim::Cycle now) override;
+
+  // MmioDevice interface (driven by the memory system). The ASIC HHT has
+  // no device-side micro-core, so `who` only guards against misuse.
+  mem::MmioReadResult mmioRead(Addr offset, std::uint32_t size,
+                               mem::Requester who) override;
+  void mmioWrite(Addr offset, std::uint32_t size, std::uint32_t value,
+                 mem::Requester who) override;
+
+  /// True while the BE is producing or the FE holds undelivered data.
+  bool busy() const override;
+
+  const MmrFile& mmrs() const { return mmr_; }
+  const HhtConfig& config() const { return cfg_; }
+  sim::StatSet& stats() override { return stats_; }
+  const sim::StatSet& stats() const override { return stats_; }
+
+  /// Cycles the CPU spent stalled on a not-ready FE read — Fig. 6/7's
+  /// "CPU wait" metric.
+  std::uint64_t cpuWaitCycles() const override {
+    return stats_.value("hht.cpu_wait_cycles");
+  }
+  /// Cycles the BE spent throttled because all buffers were full — the
+  /// control unit's "HHT waiting for CPU" counter (§4).
+  std::uint64_t hhtWaitCycles() const override {
+    return stats_.value("hht.stall_buffers_full");
+  }
+
+ private:
+  void start();
+
+  HhtConfig cfg_;
+  mem::MemorySystem& mem_;
+  MmrFile mmr_;
+  BufferPool buffers_;
+  EmissionQueue emit_;
+  std::unique_ptr<Engine> engine_;
+  bool finished_flush_done_ = false;
+  sim::StatSet stats_;
+};
+
+}  // namespace hht::core

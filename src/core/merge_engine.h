@@ -1,0 +1,40 @@
+#pragma once
+
+#include "core/engine.h"
+#include "core/walkers.h"
+
+namespace hht::core {
+
+/// SpMSpV variant-1 engine: per row, merge-intersect the row's column
+/// indices with the sparse vector's index array and emit the aligned
+/// (matrix value, vector value) pairs, closing each row with a RowEnd
+/// marker (the FE's VALID=0 response).
+///
+/// The HHT does all the index walking here — the paper notes this is the
+/// variant where "HHT is performing more work than the CPU" and the CPU
+/// idles waiting (§5.1, §5.2); the one-comparison-per-cycle merge unit and
+/// the per-row rescan of the vector index array make that cost explicit.
+class MergeEngine : public Engine {
+ public:
+  explicit MergeEngine(const EngineContext& ctx);
+
+  void tick(Cycle now) override;
+  bool done() const override;
+
+ private:
+  void configureRow();
+  /// Try to close the current row (marker + advance). Returns true if
+  /// advanced.
+  bool tryFinishRow();
+
+  RowPtrWalker rows_;
+  IndexStream cols_;    ///< current row's column indices
+  IndexStream vidx_;    ///< sparse vector indices, rescanned per row
+  ValueFetchQueue vfetch_;
+  bool row_ready_ = false;
+  bool row_merge_done_ = false;  ///< matrix side exhausted; marker pending
+  bool prefer_cols_ = true;      ///< round-robin between the index streams
+  std::uint32_t cmp_phase_ = 0;  ///< merge-recurrence phase counter
+};
+
+}  // namespace hht::core

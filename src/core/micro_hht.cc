@@ -1,0 +1,160 @@
+#include "core/micro_hht.h"
+
+#include <stdexcept>
+
+#include "sim/log.h"
+
+namespace hht::core {
+
+MicroHht::MicroHht(const HhtConfig& config, mem::MemorySystem& memory,
+                   const cpu::TimingConfig& micro_timing)
+    : cfg_(config),
+      buffers_(config),
+      micro_core_(std::make_unique<cpu::Core>(micro_timing, memory,
+                                              /*vlmax=*/1,
+                                              mem::Requester::Hht)) {}
+
+void MicroHht::setFirmware(const isa::Program& firmware) {
+  firmware_ = &firmware;
+}
+
+void MicroHht::start() {
+  if (firmware_ == nullptr) {
+    throw std::logic_error("MicroHht started without firmware installed");
+  }
+  buffers_.reset();
+  micro_core_->loadProgram(*firmware_);
+  started_ = true;
+  HHT_LOG_AT(Info, "uhht", "start firmware='%s' buffers=%u blen=%u",
+             firmware_->name().c_str(), cfg_.num_buffers, cfg_.buffer_len);
+}
+
+void MicroHht::tick(sim::Cycle now) {
+  if (!started_) return;
+  if (!micro_core_->halted()) ++stats_.counter("hht.active_cycles");
+  micro_core_->tick(now);
+}
+
+bool MicroHht::busy() const {
+  return started_ && (!micro_core_->halted() || buffers_.hasUnread());
+}
+
+mem::MmioReadResult MicroHht::cpuRead(Addr offset) {
+  switch (offset) {
+    case mmr::kBufData: {
+      if (!buffers_.hasFront()) {
+        if (started_ && micro_core_->halted()) {
+          throw std::logic_error(
+              "kernel bug: CPU load from BUF_DATA past end of firmware stream");
+        }
+        ++stats_.counter("hht.cpu_wait_cycles");
+        return {false, 0};
+      }
+      if (buffers_.front().is_row_end) {
+        throw std::logic_error(
+            "kernel bug: CPU read BUF_DATA where VALID would return 0");
+      }
+      ++stats_.counter("hht.elements_delivered");
+      return {true, buffers_.pop().bits};
+    }
+    case mmr::kValid: {
+      if (!buffers_.hasFront()) {
+        if (started_ && micro_core_->halted()) {
+          throw std::logic_error("kernel bug: CPU read VALID past end of stream");
+        }
+        ++stats_.counter("hht.cpu_wait_cycles");
+        return {false, 0};
+      }
+      if (buffers_.front().is_row_end) {
+        buffers_.pop();
+        return {true, 0};
+      }
+      return {true, 1};
+    }
+    case mmr::kStatus:
+      return {true, busy() ? 1u : 0u};
+    default:
+      throw std::invalid_argument("MicroHht: CPU read from unknown offset " +
+                                  std::to_string(offset));
+  }
+}
+
+mem::MmioReadResult MicroHht::firmwareRead(Addr offset) {
+  if (offset != mmr::kFwSpace) {
+    throw std::invalid_argument("MicroHht: firmware read from non-port offset " +
+                                std::to_string(offset));
+  }
+  const std::uint32_t space = buffers_.freeCapacity();
+  if (space == 0) {
+    // The control unit throttles the firmware exactly as it would the
+    // ASIC back-end: this is the "HHT waiting for CPU" condition.
+    ++stats_.counter("hht.fw_space_wait_cycles");
+    return {false, 0};
+  }
+  return {true, space};
+}
+
+void MicroHht::firmwareWrite(Addr offset, std::uint32_t value) {
+  switch (offset) {
+    case mmr::kFwPushValue:
+      buffers_.push({value, false, false});
+      ++stats_.counter("hht.fw_pushes");
+      break;
+    case mmr::kFwPushValueEor:
+      buffers_.push({value, false, true});
+      ++stats_.counter("hht.fw_pushes");
+      break;
+    case mmr::kFwPushRowEnd:
+      buffers_.push({0, true, true});
+      ++stats_.counter("hht.fw_row_ends");
+      break;
+    default:
+      throw std::invalid_argument("MicroHht: firmware write to non-port offset " +
+                                  std::to_string(offset));
+  }
+}
+
+mem::MmioReadResult MicroHht::mmioRead(Addr offset, std::uint32_t size,
+                                       mem::Requester who) {
+  if (size != 4) {
+    throw std::invalid_argument("MicroHht FE supports 32-bit accesses only");
+  }
+  return who == mem::Requester::Cpu ? cpuRead(offset) : firmwareRead(offset);
+}
+
+void MicroHht::mmioWrite(Addr offset, std::uint32_t size, std::uint32_t value,
+                         mem::Requester who) {
+  if (size != 4) {
+    throw std::invalid_argument("MicroHht FE supports 32-bit accesses only");
+  }
+  if (who == mem::Requester::Hht) {
+    firmwareWrite(offset, value);
+    return;
+  }
+  // CPU side: the same configuration sequence as the ASIC — the consumer
+  // kernels are reused verbatim. Config registers the firmware does not
+  // need are still latched (firmware gets its parameters compiled in).
+  switch (offset) {
+    case mmr::kMNumRows: mmr_.m_num_rows = value; break;
+    case mmr::kMRowsBase: mmr_.m_rows_base = value; break;
+    case mmr::kMColsBase: mmr_.m_cols_base = value; break;
+    case mmr::kMValsBase: mmr_.m_vals_base = value; break;
+    case mmr::kVBase: mmr_.v_base = value; break;
+    case mmr::kVIdxBase: mmr_.v_idx_base = value; break;
+    case mmr::kVValsBase: mmr_.v_vals_base = value; break;
+    case mmr::kVNnz: mmr_.v_nnz = value; break;
+    case mmr::kElementSize: mmr_.element_size = value; break;
+    case mmr::kMode: mmr_.mode = static_cast<Mode>(value); break;
+    case mmr::kNumCols: mmr_.num_cols = value; break;
+    case mmr::kL1Base: mmr_.l1_base = value; break;
+    case mmr::kLeavesBase: mmr_.leaves_base = value; break;
+    case mmr::kStart:
+      if (value != 0) start();
+      break;
+    default:
+      throw std::invalid_argument("MicroHht: CPU write to unknown offset " +
+                                  std::to_string(offset));
+  }
+}
+
+}  // namespace hht::core

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <memory>
+
+#include "core/buffers.h"
+#include "core/config.h"
+#include "core/device.h"
+#include "core/mmr.h"
+#include "cpu/core.h"
+#include "mem/memory_system.h"
+
+namespace hht::core {
+
+/// The *programmable* Hardware Helper Thread proposed in the paper's
+/// conclusions (§7): instead of the fixed-function gather/merge pipelines,
+/// a minimal scalar RISC-V-like micro-core ("very few integer instructions,
+/// very few integer registers, very small caches") runs *firmware* that
+/// performs the metadata walk in software and feeds the same CPU-side
+/// buffers through a push port.
+///
+/// The CPU-facing register map is identical to the ASIC HHT's, so the
+/// primary core runs the same consumer kernels unchanged; only the engine
+/// behind the buffers differs. Firmware talks to the front-end via the
+/// kFw* offsets: a blocking read of kFwSpace (free buffer slots — the
+/// flow-control the ASIC's control unit does in hardware) followed by a
+/// posted write of the element to one of the push offsets.
+///
+/// The flexibility/performance trade-off the paper anticipates shows up
+/// directly: bench/abl_programmable measures the slowdown of firmware
+/// metadata processing versus the ASIC pipelines.
+class MicroHht : public HhtDevice {
+ public:
+  MicroHht(const HhtConfig& config, mem::MemorySystem& memory,
+           const cpu::TimingConfig& micro_timing = cpu::TimingConfig{});
+
+  /// Install the firmware the micro-core will run on the next START pulse.
+  /// The program must end in ECALL (firmware halts when the stream is
+  /// fully pushed).
+  void setFirmware(const isa::Program& firmware);
+
+  void tick(sim::Cycle now) override;
+  bool busy() const override;
+
+  mem::MmioReadResult mmioRead(Addr offset, std::uint32_t size,
+                               mem::Requester who) override;
+  void mmioWrite(Addr offset, std::uint32_t size, std::uint32_t value,
+                 mem::Requester who) override;
+
+  sim::StatSet& stats() override { return stats_; }
+  const sim::StatSet& stats() const override { return stats_; }
+  std::uint64_t cpuWaitCycles() const override {
+    return stats_.value("hht.cpu_wait_cycles");
+  }
+  std::uint64_t hhtWaitCycles() const override {
+    return stats_.value("hht.fw_space_wait_cycles");
+  }
+
+  const MmrFile& mmrs() const { return mmr_; }
+  cpu::Core& microCore() { return *micro_core_; }
+  const cpu::Core& microCore() const { return *micro_core_; }
+
+ private:
+  void start();
+  mem::MmioReadResult cpuRead(Addr offset);
+  mem::MmioReadResult firmwareRead(Addr offset);
+  void firmwareWrite(Addr offset, std::uint32_t value);
+
+  HhtConfig cfg_;
+  MmrFile mmr_;
+  BufferPool buffers_;
+  std::unique_ptr<cpu::Core> micro_core_;
+  const isa::Program* firmware_ = nullptr;
+  bool started_ = false;
+  sim::StatSet stats_;
+};
+
+}  // namespace hht::core

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "sim/types.h"
+
+namespace hht::core {
+
+using sim::Addr;
+
+/// Memory-mapped register offsets within the HHT's MMIO window (§3.1).
+///
+/// Software programs the write-only configuration registers, then sets
+/// START last to trigger operation. The read side is the FE's streaming
+/// FIFO interface: BUF_DATA pops the next buffered element (the "fixed
+/// buffer address" the paper's software loads from); VALID supports the
+/// variant-1 / hier-bitmap protocols where the CPU cannot know element
+/// counts in advance; STATUS is a non-blocking poll.
+namespace mmr {
+// --- configuration (write) ---
+inline constexpr Addr kMNumRows = 0x00;
+inline constexpr Addr kMRowsBase = 0x04;
+inline constexpr Addr kMColsBase = 0x08;
+inline constexpr Addr kMValsBase = 0x0C;   ///< used by variant-1 (HHT fetches m_vals)
+inline constexpr Addr kVBase = 0x10;       ///< dense vector base (SpMV / hier)
+inline constexpr Addr kVIdxBase = 0x14;    ///< sparse vector indices (SpMSpV)
+inline constexpr Addr kVValsBase = 0x18;   ///< sparse vector values (SpMSpV)
+inline constexpr Addr kVNnz = 0x1C;
+inline constexpr Addr kElementSize = 0x20; ///< bytes per element (4 for SEW=32)
+inline constexpr Addr kMode = 0x24;        ///< core::Mode
+inline constexpr Addr kNumCols = 0x28;     ///< matrix columns (hier bitmap walk)
+inline constexpr Addr kL1Base = 0x2C;      ///< hier bitmap level-1 base
+inline constexpr Addr kLeavesBase = 0x30;  ///< hier bitmap leaf words base
+inline constexpr Addr kStart = 0x3C;       ///< write 1 last to trigger (§3.1)
+
+// --- streaming interface (read) ---
+inline constexpr Addr kBufData = 0x40;     ///< blocking pop of next element
+inline constexpr Addr kValid = 0x44;       ///< blocking: 1=element pending, 0=row done
+inline constexpr Addr kStatus = 0x48;      ///< non-blocking: bit0 = busy
+
+// --- firmware-side port of the *programmable* HHT (§7 / core::MicroHht).
+//     Only the device's own micro-core (Requester::Hht) may touch these.
+inline constexpr Addr kFwSpace = 0x80;        ///< blocking read: free slots (>0)
+inline constexpr Addr kFwPushValue = 0x84;    ///< write: append element
+inline constexpr Addr kFwPushValueEor = 0x88; ///< write: append + row-aligned publish
+inline constexpr Addr kFwPushRowEnd = 0x8C;   ///< write: append RowEnd marker
+}  // namespace mmr
+
+/// Default placement of the HHT window in the simulated physical address
+/// space (must match MemorySystemConfig::mmio_base).
+inline constexpr Addr kDefaultMmioBase = 0xF000'0000u;
+
+/// The FE's register file, filled by CPU configuration stores.
+struct MmrFile {
+  std::uint32_t m_num_rows = 0;
+  Addr m_rows_base = 0;
+  Addr m_cols_base = 0;
+  Addr m_vals_base = 0;
+  Addr v_base = 0;
+  Addr v_idx_base = 0;
+  Addr v_vals_base = 0;
+  std::uint32_t v_nnz = 0;
+  std::uint32_t element_size = 4;
+  Mode mode = Mode::SpmvGather;
+  std::uint32_t num_cols = 0;
+  Addr l1_base = 0;
+  Addr leaves_base = 0;
+};
+
+}  // namespace hht::core

@@ -1,0 +1,107 @@
+#include "core/stream_engine.h"
+
+#include <bit>
+
+namespace hht::core {
+
+StreamEngine::StreamEngine(const EngineContext& ctx)
+    : Engine(ctx),
+      cols_(ctx.cfg.prefetch_queue),
+      vidx_(ctx.cfg.prefetch_queue),
+      vfetch_(ctx.cfg.emission_queue) {
+  rows_.configure(ctx.mmr.m_rows_base, ctx.mmr.m_num_rows);
+}
+
+void StreamEngine::configureRow() {
+  const std::uint32_t start = rows_.rowStart();
+  const std::uint32_t nnz = rows_.rowEnd() - start;
+  cols_.configure(ctx_.mmr.m_cols_base + start * 4u, nnz, start);
+  vidx_.configure(ctx_.mmr.v_idx_base, ctx_.mmr.v_nnz, 0);
+  row_ready_ = true;
+}
+
+void StreamEngine::tick(Cycle) {
+  rows_.poll(ctx_.mem);
+  cols_.poll(ctx_.mem);
+  vidx_.poll(ctx_.mem);
+  vfetch_.poll(ctx_.mem, ctx_.emit);
+
+  if (rows_.haveRow() && !row_ready_) configureRow();
+
+  // One emitted element (or vector-pointer advance) per merge step,
+  // completing every cmp_recurrence cycles.
+  const bool cmp_ready = cmp_phase_ == 0;
+  cmp_phase_ = (cmp_phase_ + 1) % ctx_.cfg.cmp_recurrence;
+  std::uint32_t cmps = cmp_ready ? ctx_.cfg.cmp_per_cycle : 0;
+  while (row_ready_ && cmps > 0) {
+    if (!cols_.morePending()) {
+      // Row complete (every matrix NZ produced one stream element).
+      rows_.advance();
+      row_ready_ = false;
+      ++ctx_.stats.counter("hht.stream.rows_done");
+      if (rows_.haveRow()) configureRow();
+      continue;
+    }
+    if (!cols_.headAvailable()) break;
+
+    const std::uint32_t mc = cols_.head();
+    const bool last = cols_.headIsLast();
+    ++ctx_.stats.counter("hht.stream.comparisons");
+    --cmps;
+
+    if (!vidx_.morePending()) {
+      // Vector exhausted: remaining columns all miss — emit zeros.
+      if (!ctx_.emit.canReserve()) break;
+      ctx_.emit.emitNow(Slot{std::bit_cast<std::uint32_t>(0.0f), false, last});
+      cols_.pop();
+      ++ctx_.stats.counter("hht.stream.zeros_emitted");
+      continue;
+    }
+    if (!vidx_.headAvailable()) break;
+
+    const std::uint32_t vc = vidx_.head();
+    if (mc == vc) {
+      if (!ctx_.emit.canReserve() || !vfetch_.canAccept()) {
+        ++ctx_.stats.counter("hht.stream.emit_stall_cycles");
+        break;
+      }
+      const Addr v_addr = ctx_.mmr.v_vals_base + vidx_.headIndex() * 4u;
+      vfetch_.enqueue({v_addr, ctx_.emit.reserve(), last});
+      cols_.pop();
+      vidx_.pop();
+      ++ctx_.stats.counter("hht.stream.matches");
+    } else if (mc < vc) {
+      if (!ctx_.emit.canReserve()) break;
+      ctx_.emit.emitNow(Slot{std::bit_cast<std::uint32_t>(0.0f), false, last});
+      cols_.pop();
+      ++ctx_.stats.counter("hht.stream.zeros_emitted");
+    } else {
+      vidx_.pop();
+    }
+  }
+
+  std::uint32_t budget = ctx_.cfg.be_issue_per_cycle;
+  while (budget > 0) {
+    if (rows_.wantIssue()) {
+      rows_.issue(*this, ctx_.mem);
+    } else if (vfetch_.wantIssue()) {
+      vfetch_.issue(*this, ctx_.mem);
+    } else if (row_ready_ && cols_.wantIssue() &&
+               (!vidx_.wantIssue() || prefer_cols_)) {
+      cols_.issue(*this, ctx_.mem);
+      prefer_cols_ = false;
+    } else if (row_ready_ && vidx_.wantIssue()) {
+      vidx_.issue(*this, ctx_.mem);
+      prefer_cols_ = true;
+    } else {
+      break;
+    }
+    --budget;
+  }
+}
+
+bool StreamEngine::done() const {
+  return rows_.finished() && vfetch_.drained() && ctx_.emit.empty();
+}
+
+}  // namespace hht::core

@@ -1,0 +1,208 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "core/engine.h"
+
+namespace hht::core {
+
+/// Streaming fetcher for the CSR row-pointer array: supplies
+/// [rows[r], rows[r+1]) for consecutive rows. One outstanding read at a
+/// time — the FE programs M_Rows_Base precisely so the BE can walk row
+/// extents itself (§3.1).
+class RowPtrWalker {
+ public:
+  void configure(Addr rows_base, std::uint32_t num_rows) {
+    rows_base_ = rows_base;
+    num_rows_ = num_rows;
+    row_ = 0;
+    row_start_.reset();
+    row_end_.reset();
+    pending_ = mem::kInvalidRequest;
+    fetch_slot_ = 0;
+  }
+
+  bool finished() const { return row_ >= num_rows_; }
+  bool haveRow() const {
+    return !finished() && row_start_.has_value() && row_end_.has_value();
+  }
+  std::uint32_t row() const { return row_; }
+  std::uint32_t rowStart() const { return *row_start_; }
+  std::uint32_t rowEnd() const { return *row_end_; }
+
+  void advance() {
+    ++row_;
+    row_start_ = row_end_;  // rows[r+1] becomes the next row's start
+    row_end_.reset();
+  }
+
+  /// Does the walker need a memory read this cycle?
+  bool wantIssue() const {
+    if (finished() || pending_ != mem::kInvalidRequest) return false;
+    return !row_start_.has_value() || !row_end_.has_value();
+  }
+
+  /// Issue the next row-pointer read (caller checked wantIssue()).
+  void issue(Engine& engine, mem::MemorySystem&) {
+    fetch_slot_ = row_ + (row_start_.has_value() ? 1u : 0u);
+    pending_ = engine.issueReadFor(rows_base_ + fetch_slot_ * 4u);
+  }
+
+  void poll(mem::MemorySystem& mem) {
+    if (pending_ == mem::kInvalidRequest) return;
+    if (auto data = mem.takeCompleted(pending_)) {
+      if (fetch_slot_ == row_) {
+        row_start_ = *data;
+      } else {
+        row_end_ = *data;
+      }
+      pending_ = mem::kInvalidRequest;
+    }
+  }
+
+ private:
+  Addr rows_base_ = 0;
+  std::uint32_t num_rows_ = 0;
+  std::uint32_t row_ = 0;
+  std::optional<std::uint32_t> row_start_;
+  std::optional<std::uint32_t> row_end_;
+  mem::RequestId pending_ = mem::kInvalidRequest;
+  std::uint32_t fetch_slot_ = 0;
+};
+
+/// Prefetching reader of a contiguous 32-bit-element array segment
+/// (CSR cols of one row; the sparse vector's index array). Supports
+/// mid-stream restart (variant-1/2 rescan the vector indices every row);
+/// stale in-flight responses are dropped via an epoch tag.
+class IndexStream {
+ public:
+  explicit IndexStream(std::uint32_t prefetch_depth) : depth_(prefetch_depth) {}
+
+  /// (Re)target the stream at elements [0, count) of the array at `base`,
+  /// with `first_global` the global element index of element 0 (used for
+  /// CSR value addressing). Discards queued and in-flight data.
+  void configure(Addr base, std::uint32_t count, std::uint32_t first_global) {
+    base_ = base;
+    count_ = count;
+    first_global_ = first_global;
+    fetch_i_ = 0;
+    queue_.clear();
+    ++epoch_;
+  }
+
+  bool headAvailable() const { return !queue_.empty(); }
+  std::uint32_t head() const { return queue_.front().value; }
+  /// Stream-local index of the head element.
+  std::uint32_t headIndex() const { return queue_.front().index; }
+  /// Global element index (first_global + headIndex).
+  std::uint32_t headGlobal() const { return first_global_ + queue_.front().index; }
+  bool headIsLast() const { return queue_.front().index + 1 == count_; }
+  void pop() { queue_.pop_front(); }
+
+  std::uint32_t consumedUpTo() const {
+    return queue_.empty() ? fetch_i_ - inflight() : queue_.front().index;
+  }
+  /// All `count` elements popped? (Queue empty and nothing left to fetch.)
+  bool exhausted() const {
+    return queue_.empty() && fetch_i_ >= count_ && inflight() == 0;
+  }
+  /// Nothing queued *yet* but more is coming (distinguishes "wait" from
+  /// "done" for the consumer).
+  bool morePending() const {
+    return fetch_i_ < count_ || inflight() > 0 || !queue_.empty();
+  }
+
+  bool wantIssue() const {
+    return fetch_i_ < count_ && queue_.size() + inflight() < depth_;
+  }
+
+  void issue(Engine& engine, mem::MemorySystem&) {
+    pending_.push_back({engine.issueReadFor(base_ + fetch_i_ * 4u), fetch_i_, epoch_});
+    ++fetch_i_;
+  }
+
+  void poll(mem::MemorySystem& mem) {
+    std::erase_if(pending_, [&](const Pending& p) {
+      if (auto data = mem.takeCompleted(p.id)) {
+        if (p.epoch == epoch_) queue_.push_back({*data, p.index});
+        return true;
+      }
+      return false;
+    });
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t value;
+    std::uint32_t index;
+  };
+  struct Pending {
+    mem::RequestId id;
+    std::uint32_t index;
+    std::uint64_t epoch;
+  };
+
+  std::uint32_t inflight() const {
+    std::uint32_t n = 0;
+    for (const Pending& p : pending_) n += (p.epoch == epoch_);
+    return n;
+  }
+
+  std::uint32_t depth_;
+  Addr base_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint32_t first_global_ = 0;
+  std::uint32_t fetch_i_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::deque<Entry> queue_;
+  std::deque<Pending> pending_;
+};
+
+/// Queue of deferred value fetches whose emission slots are already
+/// reserved (in stream order) in the EmissionQueue.
+class ValueFetchQueue {
+ public:
+  struct Item {
+    Addr addr;
+    EmissionQueue::Ticket ticket;
+    bool publish_after;
+  };
+
+  explicit ValueFetchQueue(std::uint32_t depth) : depth_(depth) {}
+
+  bool canAccept(std::uint32_t n = 1) const { return todo_.size() + n <= depth_; }
+  void enqueue(const Item& item) { todo_.push_back(item); }
+  bool wantIssue() const { return !todo_.empty(); }
+
+  void issue(Engine& engine, mem::MemorySystem&) {
+    const Item item = todo_.front();
+    todo_.pop_front();
+    pending_.push_back({engine.issueReadFor(item.addr), item});
+  }
+
+  void poll(mem::MemorySystem& mem, EmissionQueue& emit) {
+    std::erase_if(pending_, [&](const Pending& p) {
+      if (auto data = mem.takeCompleted(p.id)) {
+        emit.fill(p.item.ticket, Slot{*data, false, p.item.publish_after});
+        return true;
+      }
+      return false;
+    });
+  }
+
+  bool drained() const { return todo_.empty() && pending_.empty(); }
+
+ private:
+  struct Pending {
+    mem::RequestId id;
+    Item item;
+  };
+
+  std::uint32_t depth_;
+  std::deque<Item> todo_;
+  std::deque<Pending> pending_;
+};
+
+}  // namespace hht::core

@@ -1,0 +1,66 @@
+#pragma once
+
+#include "sim/types.h"
+
+namespace hht::cpu {
+
+using sim::Cycle;
+
+/// Per-class instruction latencies for the in-order core, mirroring the
+/// paper's Spike "multi-cycle instruction latency" extension (§4).
+///
+/// The core is a 3-stage in-order pipeline folded into a per-instruction
+/// occupancy model: an instruction holds the pipeline for its latency;
+/// loads additionally hold it until the memory response returns (Table 1:
+/// "loads that do not complete in a single cycle stall the pipeline");
+/// the vector unit is not pipelined.
+///
+/// Defaults reproduce Table 1 (1.1 GHz embedded core, vector arithmetic
+/// latency = 4 cycles) with conventional embedded-core values for the
+/// classes Table 1 does not pin down.
+struct TimingConfig {
+  // Scalar integer.
+  Cycle int_alu = 1;
+  Cycle int_mul = 3;
+  Cycle int_div = 16;
+
+  // Control flow: a taken branch flushes the 2 stages behind fetch.
+  Cycle branch_not_taken = 1;
+  Cycle branch_taken = 2;
+  Cycle jump = 2;
+
+  // Scalar FP (single precision).
+  Cycle fp_alu = 2;
+  Cycle fp_mul = 3;
+  Cycle fp_madd = 4;
+  Cycle fp_div = 12;
+  Cycle fp_move = 1;
+
+  // Memory issue occupancy. Loads additionally wait for the response;
+  // stores are posted (the 1 MB SRAM absorbs them without a stall).
+  Cycle load_issue = 1;
+  Cycle store_issue = 1;
+
+  // Vector unit (Table 1: non-pipelined, arithmetic latency 4).
+  Cycle vec_cfg = 1;
+  Cycle vec_alu = 2;
+  Cycle vec_fp = 4;
+  Cycle vec_red = 4;
+  Cycle vec_move = 1;
+  Cycle vec_mem_issue = 1;        ///< startup cycles before the first beat
+  /// Extra startup for indexed gathers (vluxei32): the non-pipelined vector
+  /// unit must read the index register and set up per-element address
+  /// generation before the first element issues.
+  Cycle gather_startup = 3;
+  std::uint32_t vec_bus_bytes = 8; ///< unit-stride bytes transferred per cycle
+  /// Indexed-gather (vluxei32) element requests issued per cycle. 1 is the
+  /// paper's premise: gathers serialise into element-sized random accesses,
+  /// which is the metadata bottleneck the HHT removes.
+  std::uint32_t gather_issue_per_cycle = 1;
+
+  /// Nominal clock, used only to convert cycles to seconds for the energy
+  /// model and reports (Table 1: 1.1 GHz; §5.5 synthesises at 50 MHz).
+  double clock_hz = 1.1e9;
+};
+
+}  // namespace hht::cpu

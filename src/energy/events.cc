@@ -1,0 +1,35 @@
+#include "energy/events.h"
+
+namespace hht::energy {
+
+namespace {
+constexpr double kPjToUj = 1e-6;
+}
+
+EnergyBreakdown eventEnergy(const sim::StatSet& stats,
+                            const EventEnergyTable& t) {
+  const auto v = [&](const char* name) {
+    return static_cast<double>(stats.value(name));
+  };
+
+  EnergyBreakdown b;
+  b.cpu_clock_uj = v("cpu.cycles") * t.cpu_cycle_base * kPjToUj;
+  b.cpu_instr_uj = v("cpu.retired") * t.instr_dispatch * kPjToUj;
+  b.cpu_sram_uj = (v("mem.cpu.reads") * t.sram_read +
+                   v("mem.cpu.writes") * t.sram_write) *
+                  kPjToUj;
+  b.cpu_mmio_uj = v("mem.cpu.mmio_requests") * t.mmio_access * kPjToUj;
+
+  b.hht_clock_uj = v("hht.active_cycles") * t.hht_active_cycle * kPjToUj;
+  b.hht_sram_uj = v("hht.mem_reads") * t.hht_mem_read * kPjToUj;
+  const double comparisons = v("hht.merge.comparisons") +
+                             v("hht.stream.comparisons") +
+                             v("hht.hier.l1_words_scanned") +
+                             v("hht.hier.slots_found") +
+                             v("hht.hier.values_requested");
+  b.hht_compare_uj = comparisons * t.hht_comparison * kPjToUj;
+  b.hht_buffers_uj = v("hht.elements_delivered") * t.hht_slot_delivered * kPjToUj;
+  return b;
+}
+
+}  // namespace hht::energy

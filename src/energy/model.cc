@@ -1,0 +1,105 @@
+#include "energy/model.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace hht::energy {
+
+const char* featureSizeName(FeatureSize f) {
+  switch (f) {
+    case FeatureSize::Nm28: return "28nm";
+    case FeatureSize::Nm16: return "16nm";
+    case FeatureSize::Nm7: return "7nm";
+  }
+  return "?";
+}
+
+namespace {
+
+// Anchor corner, from the paper: 16 nm, 50 MHz.
+constexpr double kAnchorCoreUw = 223.0;
+constexpr double kAnchorCoreHhtUw = 314.0;
+constexpr double kAnchorClockMhz = 50.0;
+
+// Static (leakage) fraction of the anchor power; the remainder scales
+// linearly with clock. Embedded 16 nm logic at 50 MHz is dynamic-dominated.
+constexpr double kStaticFraction = 0.12;
+
+// Per-node scaling relative to 16 nm: dynamic power capacitance factor and
+// area factor (conventional full-node scaling ratios).
+struct NodeScale {
+  double power;
+  double area;
+  double leakage;
+};
+constexpr NodeScale nodeScale(FeatureSize f) {
+  switch (f) {
+    case FeatureSize::Nm28: return {1.65, 2.1, 0.8};
+    case FeatureSize::Nm16: return {1.0, 1.0, 1.0};
+    case FeatureSize::Nm7: return {0.55, 0.45, 1.6};
+  }
+  return {1.0, 1.0, 1.0};
+}
+
+// Model constant: Ibex-class core area at 16 nm. Chosen so the published
+// ratio (HHT = 38.9 % of Ibex) is met exactly by the component breakdown
+// below.
+constexpr double kIbexArea16nmUm2 = 21000.0;
+
+constexpr std::array<AreaComponent, 7> kBreakdown{{
+    {"control unit logic", 1450.0},
+    {"pipeline stage storage", 980.0},
+    {"memory-side buffers (2 x 8 elems)", 1650.0},
+    {"memory-mapped registers", 850.0},
+    {"internal state registers", 720.0},
+    {"CPU-side buffer", 900.0},
+    {"merge comparator + address generators", 1619.0},
+}};
+// Sum = 8169 um^2 = 0.389 * 21000 um^2.
+
+}  // namespace
+
+std::span<const AreaComponent> hhtAreaBreakdown() { return kBreakdown; }
+
+SynthesisEstimate synthesisEstimate(FeatureSize f, double clock_mhz) {
+  if (clock_mhz <= 0.0) {
+    throw std::invalid_argument("clock must be positive");
+  }
+  const NodeScale scale = nodeScale(f);
+
+  const auto scalePower = [&](double anchor_uw) {
+    const double stat = anchor_uw * kStaticFraction * scale.leakage;
+    const double dyn = anchor_uw * (1.0 - kStaticFraction) * scale.power *
+                       (clock_mhz / kAnchorClockMhz);
+    return stat + dyn;
+  };
+
+  SynthesisEstimate est;
+  est.core_uW = scalePower(kAnchorCoreUw);
+  est.core_hht_uW = scalePower(kAnchorCoreHhtUw);
+  est.ibex_area_um2 = kIbexArea16nmUm2 * scale.area;
+  double hht = 0.0;
+  for (const AreaComponent& c : kBreakdown) hht += c.um2_16nm;
+  est.hht_area_um2 = hht * scale.area;
+  return est;
+}
+
+double energyUj(std::uint64_t cycles, double clock_mhz, double uW) {
+  const double seconds = static_cast<double>(cycles) / (clock_mhz * 1e6);
+  return uW * seconds;  // uW * s = uJ
+}
+
+EnergyComparison compareEnergy(std::uint64_t base_cycles,
+                               std::uint64_t hht_cycles, FeatureSize f,
+                               double clock_mhz) {
+  const SynthesisEstimate est = synthesisEstimate(f, clock_mhz);
+  EnergyComparison cmp;
+  cmp.baseline_uj = energyUj(base_cycles, clock_mhz, est.core_uW);
+  cmp.hht_uj = energyUj(hht_cycles, clock_mhz, est.core_hht_uW);
+  cmp.savings_fraction = cmp.baseline_uj > 0.0
+                             ? 1.0 - cmp.hht_uj / cmp.baseline_uj
+                             : 0.0;
+  return cmp;
+}
+
+}  // namespace hht::energy

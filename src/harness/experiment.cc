@@ -1,0 +1,138 @@
+#include "harness/experiment.h"
+
+#include "kernels/firmware.h"
+
+#include <stdexcept>
+
+namespace hht::harness {
+
+SystemConfig defaultConfig(std::uint32_t num_buffers, int vlmax) {
+  SystemConfig cfg;
+  // Table 1 lists a 1 MB RAM; the 512x512/10%-sparsity workloads of Fig. 4
+  // need ~2 MB of CSR arrays, so the harness sizes the (flat-latency) RAM
+  // to fit — capacity does not affect any timing path.
+  cfg.memory.sram_bytes = 8u << 20;
+  cfg.hht.num_buffers = num_buffers;
+  cfg.vlmax = vlmax;
+  // BLEN tracks the vector width (§3.1 footnote 3): buffers hold one
+  // vector's worth of elements.
+  cfg.hht.buffer_len = static_cast<std::uint32_t>(vlmax);
+  return cfg;
+}
+
+RunResult runSpmvBaseline(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                          const sparse::DenseVector& v, bool vectorized) {
+  System sys(cfg);
+  const kernels::SpmvLayout layout = loadSpmv(sys, m, v);
+  const isa::Program program = vectorized ? kernels::spmvVectorBaseline(layout)
+                                          : kernels::spmvScalarBaseline(layout);
+  return sys.run(program, layout.y, layout.num_rows);
+}
+
+RunResult runSpmvHht(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                     const sparse::DenseVector& v, bool vectorized) {
+  System sys(cfg);
+  const kernels::SpmvLayout layout = loadSpmv(sys, m, v);
+  const Addr mmio = cfg.memory.mmio_base;
+  const isa::Program program = vectorized
+                                   ? kernels::spmvVectorHht(layout, mmio)
+                                   : kernels::spmvScalarHht(layout, mmio);
+  return sys.run(program, layout.y, layout.num_rows);
+}
+
+RunResult runSpmspvBaseline(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                            const sparse::SparseVector& v) {
+  System sys(cfg);
+  const kernels::SpmspvLayout layout = loadSpmspv(sys, m, v);
+  return sys.run(kernels::spmspvScalarBaseline(layout), layout.y,
+                 layout.num_rows);
+}
+
+RunResult runSpmspvHht(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                       const sparse::SparseVector& v, int variant,
+                       bool vectorized) {
+  System sys(cfg);
+  const kernels::SpmspvLayout layout = loadSpmspv(sys, m, v);
+  const Addr mmio = cfg.memory.mmio_base;
+  isa::Program program = [&] {
+    if (variant == 1) return kernels::spmspvHhtV1(layout, mmio);
+    if (variant == 2) {
+      return vectorized ? kernels::spmspvHhtV2(layout, mmio)
+                        : kernels::spmspvHhtV2Scalar(layout, mmio);
+    }
+    throw std::invalid_argument("SpMSpV variant must be 1 or 2");
+  }();
+  return sys.run(program, layout.y, layout.num_rows);
+}
+
+RunResult runSpmmBaseline(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                          const sparse::DenseMatrix& b) {
+  System sys(cfg);
+  const kernels::SpmmLayout layout = loadSpmm(sys, m, b);
+  return sys.run(kernels::spmmVectorBaseline(layout), layout.y,
+                 layout.num_rows * layout.k);
+}
+
+RunResult runSpmmHht(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                     const sparse::DenseMatrix& b) {
+  System sys(cfg);
+  const kernels::SpmmLayout layout = loadSpmm(sys, m, b);
+  return sys.run(kernels::spmmVectorHht(layout, cfg.memory.mmio_base),
+                 layout.y, layout.num_rows * layout.k);
+}
+
+RunResult runFlatHht(const SystemConfig& cfg, const sparse::BitVectorMatrix& m,
+                     const sparse::DenseVector& v) {
+  System sys(cfg);
+  const kernels::HierLayout layout = loadFlatBitmap(sys, m, v);
+  return sys.run(kernels::flatBitmapHht(layout, cfg.memory.mmio_base),
+                 layout.y, layout.num_rows);
+}
+
+RunResult runSpmvProgHht(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                         const sparse::DenseVector& v, bool vectorized) {
+  SystemConfig pcfg = cfg;
+  pcfg.programmable_hht = true;
+  System sys(pcfg);
+  const kernels::SpmvLayout layout = loadSpmv(sys, m, v);
+  const Addr mmio = pcfg.memory.mmio_base;
+  const isa::Program firmware = kernels::firmwareSpmvGather(layout, mmio);
+  sys.microHht()->setFirmware(firmware);
+  const isa::Program program = vectorized
+                                   ? kernels::spmvVectorHht(layout, mmio)
+                                   : kernels::spmvScalarHht(layout, mmio);
+  return sys.run(program, layout.y, layout.num_rows);
+}
+
+RunResult runSpmspvProgHht(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                           const sparse::SparseVector& v, int variant,
+                           bool vectorized) {
+  SystemConfig pcfg = cfg;
+  pcfg.programmable_hht = true;
+  System sys(pcfg);
+  const kernels::SpmspvLayout layout = loadSpmspv(sys, m, v);
+  const Addr mmio = pcfg.memory.mmio_base;
+  const isa::Program firmware = variant == 1
+                                    ? kernels::firmwareSpmspvV1(layout, mmio)
+                                    : kernels::firmwareSpmspvV2(layout, mmio);
+  sys.microHht()->setFirmware(firmware);
+  isa::Program program = [&] {
+    if (variant == 1) return kernels::spmspvHhtV1(layout, mmio);
+    if (variant == 2) {
+      return vectorized ? kernels::spmspvHhtV2(layout, mmio)
+                        : kernels::spmspvHhtV2Scalar(layout, mmio);
+    }
+    throw std::invalid_argument("SpMSpV variant must be 1 or 2");
+  }();
+  return sys.run(program, layout.y, layout.num_rows);
+}
+
+RunResult runHierHht(const SystemConfig& cfg, const sparse::HierBitmapMatrix& m,
+                     const sparse::DenseVector& v) {
+  System sys(cfg);
+  const kernels::HierLayout layout = loadHier(sys, m, v);
+  return sys.run(kernels::hierBitmapHht(layout, cfg.memory.mmio_base),
+                 layout.y, layout.num_rows);
+}
+
+}  // namespace hht::harness

@@ -1,0 +1,65 @@
+#pragma once
+
+#include "harness/system.h"
+
+namespace hht::harness {
+
+/// Baseline Table-1 system configuration (1.1 GHz RV32 with VL=8 vector
+/// unit, 1 MB SRAM, ASIC HHT with N buffers of 8 elements).
+SystemConfig defaultConfig(std::uint32_t num_buffers = 2, int vlmax = 8);
+
+// --- one-shot kernel drivers (fresh System per run; deterministic) ---
+
+/// CPU-only SpMV. `vectorized` selects Algorithm-1 scalar code vs the
+/// vector kernel with indexed loads (the Fig. 4 baseline).
+RunResult runSpmvBaseline(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                          const sparse::DenseVector& v, bool vectorized);
+
+/// HHT-assisted SpMV (gather mode).
+RunResult runSpmvHht(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                     const sparse::DenseVector& v, bool vectorized);
+
+/// CPU-only SpMSpV (scalar two-pointer merge).
+RunResult runSpmspvBaseline(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                            const sparse::SparseVector& v);
+
+/// HHT-assisted SpMSpV. variant: 1 (aligned pairs) or 2 (value-or-zero
+/// stream); variant 2 may use the vectorized consumer.
+RunResult runSpmspvHht(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                       const sparse::SparseVector& v, int variant,
+                       bool vectorized = true);
+
+/// HHT-assisted SpMV over the SMASH-style hierarchical bitmap (§6).
+RunResult runHierHht(const SystemConfig& cfg, const sparse::HierBitmapMatrix& m,
+                     const sparse::DenseVector& v);
+
+/// SpMM Y = M*B (B dense num_cols x k): column-batched SpMV. Returns the
+/// result matrix through RunResult::y, column-major flattened.
+RunResult runSpmmBaseline(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                          const sparse::DenseMatrix& b);
+RunResult runSpmmHht(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                     const sparse::DenseMatrix& b);
+
+/// HHT-assisted SpMV over the flat bit-vector format (Fig. 1).
+RunResult runFlatHht(const SystemConfig& cfg, const sparse::BitVectorMatrix& m,
+                     const sparse::DenseVector& v);
+
+/// SpMV assisted by the *programmable* HHT (§7): same consumer kernel, but
+/// the metadata walk runs as firmware on the device's micro-core.
+RunResult runSpmvProgHht(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                         const sparse::DenseVector& v, bool vectorized);
+
+/// SpMSpV (variant 1 or 2) assisted by the programmable HHT.
+RunResult runSpmspvProgHht(const SystemConfig& cfg, const sparse::CsrMatrix& m,
+                           const sparse::SparseVector& v, int variant,
+                           bool vectorized = true);
+
+/// speedup = baseline cycles / accelerated cycles.
+inline double speedup(const RunResult& baseline, const RunResult& accel) {
+  return accel.cycles == 0
+             ? 0.0
+             : static_cast<double>(baseline.cycles) /
+                   static_cast<double>(accel.cycles);
+}
+
+}  // namespace hht::harness

@@ -1,0 +1,71 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace hht::harness {
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << ' ';
+    }
+    os << "|\n";
+  };
+  line(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) line(row);
+}
+
+void Table::printCsv(std::ostream& os) const {
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  line(headers_);
+  for (const auto& row : rows_) line(row);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+std::string bar(double value, double maximum, int width) {
+  if (maximum <= 0.0) return std::string();
+  int filled = static_cast<int>(value / maximum * width + 0.5);
+  filled = std::clamp(filled, 0, width);
+  return std::string(static_cast<std::size_t>(filled), '#');
+}
+
+void printBanner(std::ostream& os, const std::string& experiment,
+                 const std::string& description) {
+  os << "==============================================================\n";
+  os << experiment << ": " << description << '\n';
+  os << "System: RV32-style in-order core @1.1GHz, VL<=8, SEW=32,\n";
+  os << "        1MB SRAM, ASIC HHT (Table 1 configuration)\n";
+  os << "==============================================================\n";
+}
+
+}  // namespace hht::harness

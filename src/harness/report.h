@@ -1,0 +1,38 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hht::harness {
+
+/// Fixed-width console table used by every bench binary to print its
+/// figure/table rows in a uniform, diff-friendly format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void addRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  void print(std::ostream& os) const;
+
+  /// Also emit comma-separated values (for plotting scripts).
+  void printCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+std::string fmt(double value, int precision = 2);
+/// Format a percentage (value in [0,1]).
+std::string pct(double fraction, int precision = 1);
+/// ASCII bar proportional to value/maximum (for figure-shaped output).
+std::string bar(double value, double maximum, int width = 32);
+
+/// Standard bench banner: experiment id + Table-1 style configuration line.
+void printBanner(std::ostream& os, const std::string& experiment,
+                 const std::string& description);
+
+}  // namespace hht::harness

@@ -1,0 +1,158 @@
+#include "harness/system.h"
+
+#include <stdexcept>
+
+namespace hht::harness {
+
+namespace {
+constexpr Addr kArenaBase = 0x1000;  // keep address 0 unmapped-looking
+}
+
+System::System(const SystemConfig& config)
+    : config_(config),
+      mem_(std::make_unique<mem::MemorySystem>(config.memory)),
+      cpu_(std::make_unique<cpu::Core>(config.timing, *mem_, config.vlmax)),
+      arena_(kArenaBase, config.memory.sram_bytes - kArenaBase) {
+  if (config.programmable_hht) {
+    auto micro = std::make_unique<core::MicroHht>(config.hht, *mem_,
+                                                  config.micro_timing);
+    micro_hht_ = micro.get();
+    hht_ = std::move(micro);
+  } else {
+    hht_ = std::make_unique<core::Hht>(config.hht, *mem_);
+  }
+  mem_->attachMmioDevice(hht_.get());
+}
+
+RunResult System::run(const isa::Program& program, Addr y_addr,
+                      std::uint32_t y_len, Cycle max_cycles) {
+  cpu_->loadProgram(program);
+  Cycle now = 0;
+  for (; now < max_cycles; ++now) {
+    hht_->tick(now);
+    cpu_->tick(now);
+    mem_->tick(now);
+    if (cpu_->halted() && mem_->idle()) break;
+  }
+  if (now >= max_cycles) {
+    throw std::runtime_error("simulation exceeded max_cycles running " +
+                             program.name());
+  }
+
+  RunResult result;
+  result.cycles = cpu_->stats().value("cpu.cycles");
+  result.retired = cpu_->stats().value("cpu.retired");
+  result.cpu_wait_cycles = hht_->cpuWaitCycles();
+  result.hht_wait_cycles = hht_->hhtWaitCycles();
+  result.hht_residual_busy = hht_->busy();
+  result.y = sparse::DenseVector(
+      mem_->sram().peekArray<float>(y_addr, y_len));
+
+  mem_->finalizeStats();
+  result.stats.absorb(cpu_->stats(), "");
+  result.stats.absorb(mem_->stats(), "");
+  result.stats.absorb(hht_->stats(), "");
+  return result;
+}
+
+kernels::SpmvLayout loadSpmv(System& sys, const sparse::CsrMatrix& m,
+                             const sparse::DenseVector& v) {
+  if (v.size() != m.numCols()) {
+    throw std::invalid_argument("loadSpmv: vector length != matrix columns");
+  }
+  mem::Arena& arena = sys.arena();
+  mem::Sram& sram = sys.memory().sram();
+  kernels::SpmvLayout layout;
+  layout.num_rows = m.numRows();
+  layout.rows = arena.place<sim::Index>(sram, m.rowPtr());
+  layout.cols = arena.place<sim::Index>(sram, m.cols());
+  layout.vals = arena.place<float>(sram, m.vals());
+  layout.v = arena.place<float>(sram, v.data());
+  layout.y = arena.allocate(static_cast<std::size_t>(m.numRows()) * 4);
+  return layout;
+}
+
+kernels::SpmspvLayout loadSpmspv(System& sys, const sparse::CsrMatrix& m,
+                                 const sparse::SparseVector& v) {
+  if (v.size() != m.numCols()) {
+    throw std::invalid_argument("loadSpmspv: vector length != matrix columns");
+  }
+  mem::Arena& arena = sys.arena();
+  mem::Sram& sram = sys.memory().sram();
+  kernels::SpmspvLayout layout;
+  layout.num_rows = m.numRows();
+  layout.v_nnz = v.nnz();
+  layout.rows = arena.place<sim::Index>(sram, m.rowPtr());
+  layout.cols = arena.place<sim::Index>(sram, m.cols());
+  layout.vals = arena.place<float>(sram, m.vals());
+  layout.vidx = arena.place<sim::Index>(sram, v.indices());
+  layout.vvals = arena.place<float>(sram, v.vals());
+  layout.y = arena.allocate(static_cast<std::size_t>(m.numRows()) * 4);
+  return layout;
+}
+
+kernels::HierLayout loadHier(System& sys, const sparse::HierBitmapMatrix& m,
+                             const sparse::DenseVector& v) {
+  if (v.size() != m.numCols()) {
+    throw std::invalid_argument("loadHier: vector length != matrix columns");
+  }
+  mem::Arena& arena = sys.arena();
+  mem::Sram& sram = sys.memory().sram();
+  kernels::HierLayout layout;
+  layout.num_rows = m.numRows();
+  layout.num_cols = m.numCols();
+  // uint64 words laid out little-endian: the engine's 32-bit reads see
+  // bits [i*32, i*32+32) at word offset i, as it expects.
+  layout.l1 = arena.place<std::uint64_t>(sram, m.level1(), 8);
+  layout.leaves = arena.place<std::uint64_t>(sram, m.leaves(), 8);
+  layout.packed_vals = arena.place<float>(sram, m.vals());
+  layout.v = arena.place<float>(sram, v.data());
+  layout.y = arena.allocate(static_cast<std::size_t>(m.numRows()) * 4);
+  return layout;
+}
+
+kernels::SpmmLayout loadSpmm(System& sys, const sparse::CsrMatrix& m,
+                             const sparse::DenseMatrix& b) {
+  if (b.numRows() != m.numCols()) {
+    throw std::invalid_argument("loadSpmm: B rows != matrix columns");
+  }
+  mem::Arena& arena = sys.arena();
+  mem::Sram& sram = sys.memory().sram();
+  kernels::SpmmLayout layout;
+  layout.num_rows = m.numRows();
+  layout.num_cols = m.numCols();
+  layout.k = b.numCols();
+  layout.rows = arena.place<sim::Index>(sram, m.rowPtr());
+  layout.cols = arena.place<sim::Index>(sram, m.cols());
+  layout.vals = arena.place<float>(sram, m.vals());
+  // Column-major copy of B.
+  std::vector<float> colmajor(static_cast<std::size_t>(b.numRows()) * b.numCols());
+  for (sim::Index j = 0; j < b.numCols(); ++j) {
+    for (sim::Index i = 0; i < b.numRows(); ++i) {
+      colmajor[static_cast<std::size_t>(j) * b.numRows() + i] = b.at(i, j);
+    }
+  }
+  layout.b = arena.place<float>(sram, colmajor);
+  layout.y = arena.allocate(static_cast<std::size_t>(m.numRows()) * b.numCols() * 4);
+  return layout;
+}
+
+kernels::HierLayout loadFlatBitmap(System& sys, const sparse::BitVectorMatrix& m,
+                                   const sparse::DenseVector& v) {
+  if (v.size() != m.numCols()) {
+    throw std::invalid_argument("loadFlatBitmap: vector length != matrix columns");
+  }
+  mem::Arena& arena = sys.arena();
+  mem::Sram& sram = sys.memory().sram();
+  kernels::HierLayout layout;
+  layout.num_rows = m.numRows();
+  layout.num_cols = m.numCols();
+  layout.l1 = 0;  // unused in flat mode
+  layout.leaves = arena.place<std::uint64_t>(sram, m.words(), 8);
+  layout.packed_vals = arena.place<float>(sram, m.vals());
+  layout.v = arena.place<float>(sram, v.data());
+  layout.y = arena.allocate(static_cast<std::size_t>(m.numRows()) * 4);
+  return layout;
+}
+
+}  // namespace hht::harness

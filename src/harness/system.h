@@ -1,0 +1,103 @@
+#pragma once
+
+#include <memory>
+
+#include "core/device.h"
+#include "core/hht.h"
+#include "core/micro_hht.h"
+#include "cpu/core.h"
+#include "cpu/timing.h"
+#include "kernels/kernels.h"
+#include "mem/layout.h"
+#include "mem/memory_system.h"
+#include "sparse/csr.h"
+#include "sparse/dense.h"
+#include "sparse/bitvector.h"
+#include "sparse/hier_bitmap.h"
+#include "sparse/sparse_vector.h"
+
+namespace hht::harness {
+
+using sim::Addr;
+using sim::Cycle;
+
+/// Full simulated-machine configuration (Table 1 defaults).
+struct SystemConfig {
+  cpu::TimingConfig timing;
+  mem::MemorySystemConfig memory;
+  core::HhtConfig hht;
+  int vlmax = 8;  ///< Table 1: VL = 8 elements (Fig. 8 sweeps 1/4/8)
+  /// Instantiate the §7 programmable HHT (core::MicroHht) instead of the
+  /// ASIC engines. Firmware must then be installed via System::microHht().
+  bool programmable_hht = false;
+  cpu::TimingConfig micro_timing;  ///< the micro-core's own latencies
+};
+
+/// Outcome of simulating one kernel to completion.
+struct RunResult {
+  std::uint64_t cycles = 0;           ///< CPU cycles to ECALL
+  std::uint64_t retired = 0;          ///< dynamic instruction count
+  std::uint64_t cpu_wait_cycles = 0;  ///< CPU stalled on the HHT FE (Fig. 6/7)
+  std::uint64_t hht_wait_cycles = 0;  ///< BE throttled on full buffers
+  bool hht_residual_busy = false;     ///< HHT still busy after ECALL (kernel bug)
+  sparse::DenseVector y;              ///< output vector read back from SRAM
+  sim::StatSet stats;                 ///< merged cpu/mem/hht counters
+
+  double cpuWaitFraction() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(cpu_wait_cycles) /
+                             static_cast<double>(cycles);
+  }
+};
+
+/// One simulated machine instance: memory system + HHT + core, advanced in
+/// lock-step (HHT first so its publications are CPU-visible next cycle,
+/// then CPU, then the memory system which arbitrates both).
+class System {
+ public:
+  explicit System(const SystemConfig& config);
+
+  mem::MemorySystem& memory() { return *mem_; }
+  cpu::Core& cpu() { return *cpu_; }
+  core::HhtDevice& hht() { return *hht_; }
+  /// Non-null when configured with programmable_hht.
+  core::MicroHht* microHht() { return micro_hht_; }
+  mem::Arena& arena() { return arena_; }
+  const SystemConfig& config() const { return config_; }
+
+  /// Run `program` to ECALL (plus memory drain); read back `y_len` floats
+  /// from `y_addr`. Throws if `max_cycles` elapses first (deadlocked
+  /// kernel — always a bug, never a valid result).
+  RunResult run(const isa::Program& program, Addr y_addr, std::uint32_t y_len,
+                Cycle max_cycles = 500'000'000);
+
+ private:
+  SystemConfig config_;
+  std::unique_ptr<mem::MemorySystem> mem_;
+  std::unique_ptr<core::HhtDevice> hht_;
+  core::MicroHht* micro_hht_ = nullptr;  ///< alias into hht_ when programmable
+  std::unique_ptr<cpu::Core> cpu_;
+  mem::Arena arena_;
+};
+
+// --- workload loaders: place operands into simulated SRAM ---
+
+kernels::SpmvLayout loadSpmv(System& sys, const sparse::CsrMatrix& m,
+                             const sparse::DenseVector& v);
+
+kernels::SpmspvLayout loadSpmspv(System& sys, const sparse::CsrMatrix& m,
+                                 const sparse::SparseVector& v);
+
+kernels::HierLayout loadHier(System& sys, const sparse::HierBitmapMatrix& m,
+                             const sparse::DenseVector& v);
+
+/// SpMM operands: B and Y stored column-major in simulated SRAM.
+kernels::SpmmLayout loadSpmm(System& sys, const sparse::CsrMatrix& m,
+                             const sparse::DenseMatrix& b);
+
+/// Flat bit-vector layout (Fig. 1): the occupancy bitmap goes where the
+/// hier layout's leaves live; l1 is unused.
+kernels::HierLayout loadFlatBitmap(System& sys, const sparse::BitVectorMatrix& m,
+                                   const sparse::DenseVector& v);
+
+}  // namespace hht::harness

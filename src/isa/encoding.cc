@@ -1,0 +1,110 @@
+#include "isa/encoding.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace hht::isa {
+
+std::uint64_t encode(const Instr& instr) {
+  return (static_cast<std::uint64_t>(instr.op) << 56) |
+         (static_cast<std::uint64_t>(instr.rd & 0x3F) << 50) |
+         (static_cast<std::uint64_t>(instr.rs1 & 0x3F) << 44) |
+         (static_cast<std::uint64_t>(instr.rs2 & 0x3F) << 38) |
+         (static_cast<std::uint64_t>(instr.rs3 & 0x3F) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(instr.imm));
+}
+
+Instr decode(std::uint64_t word) {
+  const std::uint8_t op = static_cast<std::uint8_t>(word >> 56);
+  if (op >= kNumOpcodes) {
+    throw EncodingError("decode: invalid opcode byte " + std::to_string(op));
+  }
+  Instr instr;
+  instr.op = static_cast<Opcode>(op);
+  instr.rd = static_cast<Reg>((word >> 50) & 0x3F);
+  instr.rs1 = static_cast<Reg>((word >> 44) & 0x3F);
+  instr.rs2 = static_cast<Reg>((word >> 38) & 0x3F);
+  instr.rs3 = static_cast<Reg>((word >> 32) & 0x3F);
+  instr.imm = static_cast<std::int32_t>(static_cast<std::uint32_t>(word));
+  if (instr.rd >= kNumXRegs || instr.rs1 >= kNumXRegs ||
+      instr.rs2 >= kNumXRegs || instr.rs3 >= kNumXRegs) {
+    throw EncodingError("decode: register index out of range");
+  }
+  return instr;
+}
+
+std::vector<std::uint64_t> encodeProgram(const Program& program) {
+  std::vector<std::uint64_t> words;
+  words.reserve(program.size());
+  for (const Instr& instr : program.code()) words.push_back(encode(instr));
+  return words;
+}
+
+Program decodeProgram(std::string name, std::span<const std::uint64_t> words) {
+  std::vector<Instr> code;
+  code.reserve(words.size());
+  for (std::uint64_t w : words) code.push_back(decode(w));
+  return Program(std::move(name), std::move(code));
+}
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'H', 'T', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void writePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T readPod(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw EncodingError("program file truncated");
+  return v;
+}
+
+}  // namespace
+
+void saveProgramFile(const std::string& path, const Program& program) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw EncodingError("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  writePod(out, kVersion);
+  writePod(out, static_cast<std::uint32_t>(program.name().size()));
+  out.write(program.name().data(),
+            static_cast<std::streamsize>(program.name().size()));
+  writePod(out, static_cast<std::uint64_t>(program.size()));
+  for (const Instr& instr : program.code()) writePod(out, encode(instr));
+  if (!out) throw EncodingError("write failed for " + path);
+}
+
+Program loadProgramFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw EncodingError("cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw EncodingError("bad program file magic in " + path);
+  }
+  const auto version = readPod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw EncodingError("unsupported program file version " +
+                        std::to_string(version));
+  }
+  const auto name_len = readPod<std::uint32_t>(in);
+  if (name_len > 4096) throw EncodingError("implausible program name length");
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  if (!in) throw EncodingError("program file truncated");
+  const auto count = readPod<std::uint64_t>(in);
+  std::vector<std::uint64_t> words;
+  words.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    words.push_back(readPod<std::uint64_t>(in));
+  }
+  return decodeProgram(std::move(name), words);
+}
+
+}  // namespace hht::isa

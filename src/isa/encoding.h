@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace hht::isa {
+
+class EncodingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Binary trace-word format for programs.
+///
+/// Each instruction packs into one 64-bit little-endian word:
+///   [63:56] opcode   [55:50] rd   [49:44] rs1   [43:38] rs2   [37:32] rs3
+///   [31:0]  imm (two's complement)
+/// This is the simulator's on-disk/program-memory form (we do not mimic the
+/// RV32 bit layout: the simulated core is RISC-V *flavoured*, and a regular
+/// fixed-field encoding keeps the decoder and its tests honest and total).
+std::uint64_t encode(const Instr& instr);
+Instr decode(std::uint64_t word);  ///< throws EncodingError on bad opcode/regs
+
+std::vector<std::uint64_t> encodeProgram(const Program& program);
+Program decodeProgram(std::string name, std::span<const std::uint64_t> words);
+
+/// Program image file: magic "HHTP", u32 version, u32 name length, name
+/// bytes, u64 word count, trace words. Little-endian throughout. Lets
+/// kernels and firmware be shipped/inspected outside the process.
+void saveProgramFile(const std::string& path, const Program& program);
+Program loadProgramFile(const std::string& path);  ///< throws EncodingError
+
+}  // namespace hht::isa

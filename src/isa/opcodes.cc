@@ -1,0 +1,58 @@
+#include "isa/opcodes.h"
+
+namespace hht::isa {
+
+const char* mnemonic(Opcode op) {
+  switch (op) {
+#define HHT_X(name, mnem, cls) \
+  case Opcode::name:           \
+    return mnem;
+    HHT_OPCODE_LIST(HHT_X)
+#undef HHT_X
+  }
+  return "<bad>";
+}
+
+InstrClass instrClass(Opcode op) {
+  switch (op) {
+#define HHT_X(name, mnem, cls) \
+  case Opcode::name:           \
+    return InstrClass::cls;
+    HHT_OPCODE_LIST(HHT_X)
+#undef HHT_X
+  }
+  return InstrClass::Sys;
+}
+
+bool isMemory(Opcode op) {
+  switch (instrClass(op)) {
+    case InstrClass::Load:
+    case InstrClass::Store:
+    case InstrClass::FpLoad:
+    case InstrClass::FpStore:
+    case InstrClass::VecLoad:
+    case InstrClass::VecStore:
+    case InstrClass::VecGather:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isVector(Opcode op) {
+  switch (instrClass(op)) {
+    case InstrClass::VecCfg:
+    case InstrClass::VecLoad:
+    case InstrClass::VecStore:
+    case InstrClass::VecGather:
+    case InstrClass::VecAlu:
+    case InstrClass::VecFp:
+    case InstrClass::VecRed:
+    case InstrClass::VecMove:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace hht::isa

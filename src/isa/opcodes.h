@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hht::isa {
+
+/// Functional class of an instruction; the CPU timing model assigns
+/// latencies per class (cpu/timing.h), mirroring the paper's "multi-cycle
+/// instruction latency" Spike extension.
+enum class InstrClass : std::uint8_t {
+  IntAlu,    ///< single-cycle integer ALU
+  IntMul,    ///< integer multiply
+  IntDiv,    ///< integer divide/remainder
+  Load,      ///< scalar integer load (goes to the memory system)
+  Store,     ///< scalar integer store
+  Branch,    ///< conditional branch
+  Jump,      ///< jal/jalr
+  FpAlu,     ///< FP add/sub/min/max/compare/sign ops
+  FpMul,     ///< FP multiply
+  FpMulAdd,  ///< fused multiply-add
+  FpDiv,     ///< FP divide
+  FpLoad,    ///< flw
+  FpStore,   ///< fsw
+  FpMove,    ///< int<->fp moves and conversions
+  VecCfg,    ///< vsetvli
+  VecLoad,   ///< unit-stride vector load
+  VecStore,  ///< unit-stride vector store
+  VecGather, ///< indexed vector load (vluxei32) — the metadata access
+  VecAlu,    ///< vector integer ops
+  VecFp,     ///< vector FP arithmetic (Table 1: 4-cycle, non-pipelined)
+  VecRed,    ///< vector reduction
+  VecMove,   ///< vector<->scalar moves / splats
+  Sys,       ///< ecall, nop, csr reads
+};
+
+/// X-macro master table: X(enumerator, mnemonic, class).
+/// Operand roles follow RISC-V conventions for the analogous instruction;
+/// `imm` holds the immediate, or the resolved target instruction index for
+/// branches/jumps.
+#define HHT_OPCODE_LIST(X)                         \
+  /* integer register-register */                  \
+  X(ADD, "add", IntAlu)                            \
+  X(SUB, "sub", IntAlu)                            \
+  X(SLL, "sll", IntAlu)                            \
+  X(SLT, "slt", IntAlu)                            \
+  X(SLTU, "sltu", IntAlu)                          \
+  X(XOR, "xor", IntAlu)                            \
+  X(SRL, "srl", IntAlu)                            \
+  X(SRA, "sra", IntAlu)                            \
+  X(OR, "or", IntAlu)                              \
+  X(AND, "and", IntAlu)                            \
+  X(MUL, "mul", IntMul)                            \
+  X(MULH, "mulh", IntMul)                          \
+  X(MULHU, "mulhu", IntMul)                        \
+  X(DIV, "div", IntDiv)                            \
+  X(DIVU, "divu", IntDiv)                          \
+  X(REM, "rem", IntDiv)                            \
+  X(REMU, "remu", IntDiv)                          \
+  /* integer immediate */                          \
+  X(ADDI, "addi", IntAlu)                          \
+  X(SLTI, "slti", IntAlu)                          \
+  X(SLTIU, "sltiu", IntAlu)                        \
+  X(XORI, "xori", IntAlu)                          \
+  X(ORI, "ori", IntAlu)                            \
+  X(ANDI, "andi", IntAlu)                          \
+  X(SLLI, "slli", IntAlu)                          \
+  X(SRLI, "srli", IntAlu)                          \
+  X(SRAI, "srai", IntAlu)                          \
+  X(LUI, "lui", IntAlu)                            \
+  /* scalar memory */                              \
+  X(LB, "lb", Load)                                \
+  X(LH, "lh", Load)                                \
+  X(LW, "lw", Load)                                \
+  X(LBU, "lbu", Load)                              \
+  X(LHU, "lhu", Load)                              \
+  X(SB, "sb", Store)                               \
+  X(SH, "sh", Store)                               \
+  X(SW, "sw", Store)                               \
+  /* control flow */                               \
+  X(BEQ, "beq", Branch)                            \
+  X(BNE, "bne", Branch)                            \
+  X(BLT, "blt", Branch)                            \
+  X(BGE, "bge", Branch)                            \
+  X(BLTU, "bltu", Branch)                          \
+  X(BGEU, "bgeu", Branch)                          \
+  X(JAL, "jal", Jump)                              \
+  X(JALR, "jalr", Jump)                            \
+  /* single-precision FP */                        \
+  X(FLW, "flw", FpLoad)                            \
+  X(FSW, "fsw", FpStore)                           \
+  X(FADD_S, "fadd.s", FpAlu)                       \
+  X(FSUB_S, "fsub.s", FpAlu)                       \
+  X(FMUL_S, "fmul.s", FpMul)                       \
+  X(FDIV_S, "fdiv.s", FpDiv)                       \
+  X(FMIN_S, "fmin.s", FpAlu)                       \
+  X(FMAX_S, "fmax.s", FpAlu)                       \
+  X(FMADD_S, "fmadd.s", FpMulAdd)                  \
+  X(FMSUB_S, "fmsub.s", FpMulAdd)                  \
+  X(FSGNJ_S, "fsgnj.s", FpAlu)                     \
+  X(FEQ_S, "feq.s", FpAlu)                         \
+  X(FLT_S, "flt.s", FpAlu)                         \
+  X(FLE_S, "fle.s", FpAlu)                         \
+  X(FMV_W_X, "fmv.w.x", FpMove)                    \
+  X(FMV_X_W, "fmv.x.w", FpMove)                    \
+  X(FCVT_S_W, "fcvt.s.w", FpMove)                  \
+  X(FCVT_W_S, "fcvt.w.s", FpMove)                  \
+  /* vector extension (paper: VL up to 8, SEW=32) */ \
+  X(VSETVLI, "vsetvli", VecCfg)                    \
+  X(VLE32, "vle32.v", VecLoad)                     \
+  X(VSE32, "vse32.v", VecStore)                    \
+  X(VLUXEI32, "vluxei32.v", VecGather)             \
+  X(VADD_VV, "vadd.vv", VecAlu)                    \
+  X(VMUL_VV, "vmul.vv", VecAlu)                    \
+  X(VSLL_VI, "vsll.vi", VecAlu)                    \
+  X(VAND_VV, "vand.vv", VecAlu)                    \
+  X(VFADD_VV, "vfadd.vv", VecFp)                   \
+  X(VFSUB_VV, "vfsub.vv", VecFp)                   \
+  X(VFMUL_VV, "vfmul.vv", VecFp)                   \
+  X(VFMACC_VV, "vfmacc.vv", VecFp)                 \
+  X(VFREDOSUM, "vfredosum.vs", VecRed)             \
+  X(VMV_V_I, "vmv.v.i", VecMove)                   \
+  X(VMV_V_X, "vmv.v.x", VecMove)                   \
+  X(VFMV_F_S, "vfmv.f.s", VecMove)                 \
+  X(VFMV_S_F, "vfmv.s.f", VecMove)                 \
+  /* system */                                     \
+  X(NOP, "nop", Sys)                               \
+  X(ECALL, "ecall", Sys)                           \
+  X(CSRR_CYCLE, "csrr.cycle", Sys)
+
+enum class Opcode : std::uint8_t {
+#define HHT_X(name, mnemonic, cls) name,
+  HHT_OPCODE_LIST(HHT_X)
+#undef HHT_X
+};
+
+inline constexpr int kNumOpcodes = []() {
+  int n = 0;
+#define HHT_X(name, mnemonic, cls) ++n;
+  HHT_OPCODE_LIST(HHT_X)
+#undef HHT_X
+  return n;
+}();
+
+const char* mnemonic(Opcode op);
+InstrClass instrClass(Opcode op);
+
+inline bool isBranch(Opcode op) { return instrClass(op) == InstrClass::Branch; }
+inline bool isJump(Opcode op) { return instrClass(op) == InstrClass::Jump; }
+inline bool isControlFlow(Opcode op) { return isBranch(op) || isJump(op); }
+bool isMemory(Opcode op);
+bool isVector(Opcode op);
+
+}  // namespace hht::isa

@@ -1,0 +1,185 @@
+#include "isa/program.h"
+
+#include <sstream>
+
+namespace hht::isa {
+
+std::string Program::listing() const {
+  std::ostringstream out;
+  out << "; program: " << name_ << " (" << code_.size() << " instructions)\n";
+  for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+    out << pc << ":\t" << disassemble(code_[pc]) << '\n';
+  }
+  return out.str();
+}
+
+Label ProgramBuilder::newLabel() {
+  label_pc_.push_back(-1);
+  return Label{static_cast<std::int32_t>(label_pc_.size()) - 1};
+}
+
+void ProgramBuilder::bind(Label label) {
+  if (label.id < 0 || static_cast<std::size_t>(label.id) >= label_pc_.size()) {
+    throw AssemblerError("bind: unknown label");
+  }
+  if (label_pc_[label.id] != -1) {
+    throw AssemblerError("bind: label bound twice");
+  }
+  label_pc_[label.id] = static_cast<std::int32_t>(code_.size());
+}
+
+ProgramBuilder& ProgramBuilder::emit(Instr instr) {
+  if (instr.rd >= kNumXRegs || instr.rs1 >= kNumXRegs ||
+      instr.rs2 >= kNumXRegs || instr.rs3 >= kNumXRegs) {
+    // All three files have 32 names, so one bound covers x/f/v.
+    throw AssemblerError("emit: register index out of range");
+  }
+  code_.push_back(instr);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::br(Opcode op, Reg rs1, Reg rs2, Label target) {
+  if (target.id < 0 || static_cast<std::size_t>(target.id) >= label_pc_.size()) {
+    throw AssemblerError("branch to unknown label");
+  }
+  patches_.emplace_back(code_.size(), target.id);
+  return emit({op, 0, rs1, rs2, 0, 0});
+}
+
+ProgramBuilder& ProgramBuilder::jal(Reg rd, Label target) {
+  if (target.id < 0 || static_cast<std::size_t>(target.id) >= label_pc_.size()) {
+    throw AssemblerError("jump to unknown label");
+  }
+  patches_.emplace_back(code_.size(), target.id);
+  return emit({Opcode::JAL, rd, 0, 0, 0, 0});
+}
+
+ProgramBuilder& ProgramBuilder::li(Reg rd, std::int32_t value) {
+  // Mirror the RV32 lui/addi expansion (addi sign-extends its 12-bit field
+  // on real hardware; our imm holds the value directly, but we keep the
+  // two-instruction cost for values outside the addi range so dynamic
+  // instruction counts stay honest).
+  if (value >= -2048 && value < 2048) {
+    return addi(rd, reg::zero, value);
+  }
+  const std::int32_t low = static_cast<std::int32_t>(value << 20) >> 20;
+  const std::int32_t high = value - low;
+  lui(rd, high);
+  if (low != 0) addi(rd, rd, low);
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  for (std::size_t i = 0; i < label_pc_.size(); ++i) {
+    if (label_pc_[i] == -1) {
+      throw AssemblerError("unbound label #" + std::to_string(i) +
+                           " in program " + name_);
+    }
+  }
+  std::vector<Instr> resolved = code_;
+  for (const auto& [pc, label] : patches_) {
+    resolved[pc].imm = label_pc_[label];
+  }
+  return Program(name_, std::move(resolved));
+}
+
+std::string disassemble(const Instr& instr) {
+  std::ostringstream out;
+  out << mnemonic(instr.op);
+  const auto x = [](Reg r) { return "x" + std::to_string(r); };
+  const auto f = [](Reg r) { return "f" + std::to_string(r); };
+  const auto v = [](Reg r) { return "v" + std::to_string(r); };
+  switch (instrClass(instr.op)) {
+    case InstrClass::IntAlu:
+    case InstrClass::IntMul:
+    case InstrClass::IntDiv:
+      out << ' ' << x(instr.rd) << ", " << x(instr.rs1);
+      if (instr.op == Opcode::LUI) {
+        out << " # imm=" << instr.imm;
+      } else if (instr.rs2 != 0 || instr.imm == 0) {
+        out << ", " << x(instr.rs2);
+        if (instr.imm != 0) out << ", " << instr.imm;
+      } else {
+        out << ", " << instr.imm;
+      }
+      break;
+    case InstrClass::Load:
+      out << ' ' << x(instr.rd) << ", " << instr.imm << '(' << x(instr.rs1) << ')';
+      break;
+    case InstrClass::Store:
+      out << ' ' << x(instr.rs2) << ", " << instr.imm << '(' << x(instr.rs1) << ')';
+      break;
+    case InstrClass::Branch:
+      out << ' ' << x(instr.rs1) << ", " << x(instr.rs2) << ", @" << instr.imm;
+      break;
+    case InstrClass::Jump:
+      if (instr.op == Opcode::JAL) {
+        out << ' ' << x(instr.rd) << ", @" << instr.imm;
+      } else {
+        out << ' ' << x(instr.rd) << ", " << instr.imm << '(' << x(instr.rs1) << ')';
+      }
+      break;
+    case InstrClass::FpLoad:
+      out << ' ' << f(instr.rd) << ", " << instr.imm << '(' << x(instr.rs1) << ')';
+      break;
+    case InstrClass::FpStore:
+      out << ' ' << f(instr.rs2) << ", " << instr.imm << '(' << x(instr.rs1) << ')';
+      break;
+    case InstrClass::FpAlu:
+    case InstrClass::FpMul:
+    case InstrClass::FpDiv:
+      out << ' ' << f(instr.rd) << ", " << f(instr.rs1) << ", " << f(instr.rs2);
+      break;
+    case InstrClass::FpMulAdd:
+      out << ' ' << f(instr.rd) << ", " << f(instr.rs1) << ", " << f(instr.rs2)
+          << ", " << f(instr.rs3);
+      break;
+    case InstrClass::FpMove:
+      out << ' ' << (instr.op == Opcode::FMV_X_W || instr.op == Opcode::FCVT_W_S
+                         ? x(instr.rd)
+                         : f(instr.rd))
+          << ", "
+          << (instr.op == Opcode::FMV_W_X || instr.op == Opcode::FCVT_S_W
+                  ? x(instr.rs1)
+                  : f(instr.rs1));
+      break;
+    case InstrClass::VecCfg:
+      out << ' ' << x(instr.rd) << ", " << x(instr.rs1) << ", e32";
+      break;
+    case InstrClass::VecLoad:
+    case InstrClass::VecGather:
+      out << ' ' << v(instr.rd) << ", (" << x(instr.rs1) << ')';
+      if (instr.op == Opcode::VLUXEI32) out << ", " << v(instr.rs2);
+      break;
+    case InstrClass::VecStore:
+      out << ' ' << v(instr.rs2) << ", (" << x(instr.rs1) << ')';
+      break;
+    case InstrClass::VecAlu:
+    case InstrClass::VecFp:
+      out << ' ' << v(instr.rd) << ", " << v(instr.rs1);
+      if (instr.op == Opcode::VSLL_VI) {
+        out << ", " << instr.imm;
+      } else {
+        out << ", " << v(instr.rs2);
+      }
+      break;
+    case InstrClass::VecRed:
+      out << ' ' << v(instr.rd) << ", " << v(instr.rs1) << ", " << v(instr.rs2);
+      break;
+    case InstrClass::VecMove:
+      switch (instr.op) {
+        case Opcode::VMV_V_I: out << ' ' << v(instr.rd) << ", " << instr.imm; break;
+        case Opcode::VMV_V_X: out << ' ' << v(instr.rd) << ", " << x(instr.rs1); break;
+        case Opcode::VFMV_F_S: out << ' ' << f(instr.rd) << ", " << v(instr.rs1); break;
+        case Opcode::VFMV_S_F: out << ' ' << v(instr.rd) << ", " << f(instr.rs1); break;
+        default: break;
+      }
+      break;
+    case InstrClass::Sys:
+      if (instr.op == Opcode::CSRR_CYCLE) out << ' ' << x(instr.rd);
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace hht::isa

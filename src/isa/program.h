@@ -1,0 +1,193 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace hht::isa {
+
+/// A fully-resolved instruction sequence. PC is an index into code().
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::vector<Instr> code)
+      : name_(std::move(name)), code_(std::move(code)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Instr>& code() const { return code_; }
+  std::size_t size() const { return code_.size(); }
+  const Instr& at(std::size_t pc) const { return code_.at(pc); }
+
+  /// Full listing with addresses, for debugging and documentation.
+  std::string listing() const;
+
+ private:
+  std::string name_;
+  std::vector<Instr> code_;
+};
+
+class AssemblerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Forward-reference-capable label handle issued by ProgramBuilder.
+struct Label {
+  std::int32_t id = -1;
+};
+
+/// Fluent assembler for simulator kernels.
+///
+/// Usage:
+///   ProgramBuilder b("spmv");
+///   Label loop = b.newLabel();
+///   b.bind(loop);
+///   b.lw(t0, a0, 0).addi(a0, a0, 4).bne(t0, zero, loop).ecall();
+///   Program p = b.build();  // resolves labels, validates operands
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) : name_(std::move(name)) {}
+
+  Label newLabel();
+  /// Bind `label` to the *next* emitted instruction.
+  void bind(Label label);
+
+  // --- integer ---
+  ProgramBuilder& add(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::ADD, rd, rs1, rs2); }
+  ProgramBuilder& sub(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::SUB, rd, rs1, rs2); }
+  ProgramBuilder& sll(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::SLL, rd, rs1, rs2); }
+  ProgramBuilder& slt(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::SLT, rd, rs1, rs2); }
+  ProgramBuilder& sltu(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::SLTU, rd, rs1, rs2); }
+  ProgramBuilder& xor_(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::XOR, rd, rs1, rs2); }
+  ProgramBuilder& srl(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::SRL, rd, rs1, rs2); }
+  ProgramBuilder& sra(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::SRA, rd, rs1, rs2); }
+  ProgramBuilder& or_(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::OR, rd, rs1, rs2); }
+  ProgramBuilder& and_(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::AND, rd, rs1, rs2); }
+  ProgramBuilder& mul(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::MUL, rd, rs1, rs2); }
+  ProgramBuilder& mulh(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::MULH, rd, rs1, rs2); }
+  ProgramBuilder& mulhu(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::MULHU, rd, rs1, rs2); }
+  ProgramBuilder& div(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::DIV, rd, rs1, rs2); }
+  ProgramBuilder& divu(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::DIVU, rd, rs1, rs2); }
+  ProgramBuilder& rem(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::REM, rd, rs1, rs2); }
+  ProgramBuilder& remu(Reg rd, Reg rs1, Reg rs2) { return r3(Opcode::REMU, rd, rs1, rs2); }
+
+  ProgramBuilder& addi(Reg rd, Reg rs1, std::int32_t imm) { return ri(Opcode::ADDI, rd, rs1, imm); }
+  ProgramBuilder& slti(Reg rd, Reg rs1, std::int32_t imm) { return ri(Opcode::SLTI, rd, rs1, imm); }
+  ProgramBuilder& sltiu(Reg rd, Reg rs1, std::int32_t imm) { return ri(Opcode::SLTIU, rd, rs1, imm); }
+  ProgramBuilder& xori(Reg rd, Reg rs1, std::int32_t imm) { return ri(Opcode::XORI, rd, rs1, imm); }
+  ProgramBuilder& ori(Reg rd, Reg rs1, std::int32_t imm) { return ri(Opcode::ORI, rd, rs1, imm); }
+  ProgramBuilder& andi(Reg rd, Reg rs1, std::int32_t imm) { return ri(Opcode::ANDI, rd, rs1, imm); }
+  ProgramBuilder& slli(Reg rd, Reg rs1, std::int32_t shamt) { return ri(Opcode::SLLI, rd, rs1, shamt); }
+  ProgramBuilder& srli(Reg rd, Reg rs1, std::int32_t shamt) { return ri(Opcode::SRLI, rd, rs1, shamt); }
+  ProgramBuilder& srai(Reg rd, Reg rs1, std::int32_t shamt) { return ri(Opcode::SRAI, rd, rs1, shamt); }
+  ProgramBuilder& lui(Reg rd, std::int32_t imm20) { return ri(Opcode::LUI, rd, 0, imm20); }
+  ProgramBuilder& mv(Reg rd, Reg rs1) { return addi(rd, rs1, 0); }
+  ProgramBuilder& li(Reg rd, std::int32_t value);  ///< lui+addi expansion
+
+  // --- scalar memory (imm = byte offset from x[rs1]) ---
+  ProgramBuilder& lb(Reg rd, Reg rs1, std::int32_t off) { return ri(Opcode::LB, rd, rs1, off); }
+  ProgramBuilder& lh(Reg rd, Reg rs1, std::int32_t off) { return ri(Opcode::LH, rd, rs1, off); }
+  ProgramBuilder& lw(Reg rd, Reg rs1, std::int32_t off) { return ri(Opcode::LW, rd, rs1, off); }
+  ProgramBuilder& lbu(Reg rd, Reg rs1, std::int32_t off) { return ri(Opcode::LBU, rd, rs1, off); }
+  ProgramBuilder& lhu(Reg rd, Reg rs1, std::int32_t off) { return ri(Opcode::LHU, rd, rs1, off); }
+  ProgramBuilder& sb(Reg rs2, Reg rs1, std::int32_t off) { return st(Opcode::SB, rs2, rs1, off); }
+  ProgramBuilder& sh(Reg rs2, Reg rs1, std::int32_t off) { return st(Opcode::SH, rs2, rs1, off); }
+  ProgramBuilder& sw(Reg rs2, Reg rs1, std::int32_t off) { return st(Opcode::SW, rs2, rs1, off); }
+
+  // --- control flow ---
+  ProgramBuilder& beq(Reg rs1, Reg rs2, Label target) { return br(Opcode::BEQ, rs1, rs2, target); }
+  ProgramBuilder& bne(Reg rs1, Reg rs2, Label target) { return br(Opcode::BNE, rs1, rs2, target); }
+  ProgramBuilder& blt(Reg rs1, Reg rs2, Label target) { return br(Opcode::BLT, rs1, rs2, target); }
+  ProgramBuilder& bge(Reg rs1, Reg rs2, Label target) { return br(Opcode::BGE, rs1, rs2, target); }
+  ProgramBuilder& bltu(Reg rs1, Reg rs2, Label target) { return br(Opcode::BLTU, rs1, rs2, target); }
+  ProgramBuilder& bgeu(Reg rs1, Reg rs2, Label target) { return br(Opcode::BGEU, rs1, rs2, target); }
+  ProgramBuilder& beqz(Reg rs1, Label target) { return beq(rs1, 0, target); }
+  ProgramBuilder& bnez(Reg rs1, Label target) { return bne(rs1, 0, target); }
+  ProgramBuilder& jal(Reg rd, Label target);
+  ProgramBuilder& j(Label target) { return jal(0, target); }
+  ProgramBuilder& jalr(Reg rd, Reg rs1, std::int32_t imm) { return ri(Opcode::JALR, rd, rs1, imm); }
+  ProgramBuilder& ret() { return jalr(0, reg::ra, 0); }
+
+  // --- FP ---
+  ProgramBuilder& flw(Reg fd, Reg rs1, std::int32_t off) { return ri(Opcode::FLW, fd, rs1, off); }
+  ProgramBuilder& fsw(Reg fs2, Reg rs1, std::int32_t off) { return st(Opcode::FSW, fs2, rs1, off); }
+  ProgramBuilder& fadd(Reg fd, Reg fs1, Reg fs2) { return r3(Opcode::FADD_S, fd, fs1, fs2); }
+  ProgramBuilder& fsub(Reg fd, Reg fs1, Reg fs2) { return r3(Opcode::FSUB_S, fd, fs1, fs2); }
+  ProgramBuilder& fmul(Reg fd, Reg fs1, Reg fs2) { return r3(Opcode::FMUL_S, fd, fs1, fs2); }
+  ProgramBuilder& fdiv(Reg fd, Reg fs1, Reg fs2) { return r3(Opcode::FDIV_S, fd, fs1, fs2); }
+  ProgramBuilder& fmin(Reg fd, Reg fs1, Reg fs2) { return r3(Opcode::FMIN_S, fd, fs1, fs2); }
+  ProgramBuilder& fmax(Reg fd, Reg fs1, Reg fs2) { return r3(Opcode::FMAX_S, fd, fs1, fs2); }
+  /// fd = fs1 * fs2 + fs3
+  ProgramBuilder& fmadd(Reg fd, Reg fs1, Reg fs2, Reg fs3) { return r4(Opcode::FMADD_S, fd, fs1, fs2, fs3); }
+  ProgramBuilder& fmsub(Reg fd, Reg fs1, Reg fs2, Reg fs3) { return r4(Opcode::FMSUB_S, fd, fs1, fs2, fs3); }
+  ProgramBuilder& fsgnj(Reg fd, Reg fs1, Reg fs2) { return r3(Opcode::FSGNJ_S, fd, fs1, fs2); }
+  ProgramBuilder& fmv(Reg fd, Reg fs1) { return fsgnj(fd, fs1, fs1); }
+  ProgramBuilder& feq(Reg rd, Reg fs1, Reg fs2) { return r3(Opcode::FEQ_S, rd, fs1, fs2); }
+  ProgramBuilder& flt(Reg rd, Reg fs1, Reg fs2) { return r3(Opcode::FLT_S, rd, fs1, fs2); }
+  ProgramBuilder& fle(Reg rd, Reg fs1, Reg fs2) { return r3(Opcode::FLE_S, rd, fs1, fs2); }
+  ProgramBuilder& fmvWX(Reg fd, Reg rs1) { return r3(Opcode::FMV_W_X, fd, rs1, 0); }
+  ProgramBuilder& fmvXW(Reg rd, Reg fs1) { return r3(Opcode::FMV_X_W, rd, fs1, 0); }
+  ProgramBuilder& fcvtSW(Reg fd, Reg rs1) { return r3(Opcode::FCVT_S_W, fd, rs1, 0); }
+  ProgramBuilder& fcvtWS(Reg rd, Reg fs1) { return r3(Opcode::FCVT_W_S, rd, fs1, 0); }
+
+  // --- vector ---
+  /// x[rd] = vl = min(kMaxVl hardware limit, x[rs1]); also sets active VL.
+  ProgramBuilder& vsetvli(Reg rd, Reg rs1) { return r3(Opcode::VSETVLI, rd, rs1, 0); }
+  ProgramBuilder& vle32(Reg vd, Reg rs1) { return r3(Opcode::VLE32, vd, rs1, 0); }
+  ProgramBuilder& vse32(Reg vs3, Reg rs1) { return st(Opcode::VSE32, vs3, rs1, 0); }
+  /// Gather: vd[i] = mem32[x[rs1] + v[vs2][i]] (byte offsets, like RVV).
+  ProgramBuilder& vluxei32(Reg vd, Reg rs1, Reg vs2) { return r3(Opcode::VLUXEI32, vd, rs1, vs2); }
+  ProgramBuilder& vaddVV(Reg vd, Reg vs1, Reg vs2) { return r3(Opcode::VADD_VV, vd, vs1, vs2); }
+  ProgramBuilder& vmulVV(Reg vd, Reg vs1, Reg vs2) { return r3(Opcode::VMUL_VV, vd, vs1, vs2); }
+  ProgramBuilder& vsllVI(Reg vd, Reg vs1, std::int32_t shamt) { return ri(Opcode::VSLL_VI, vd, vs1, shamt); }
+  ProgramBuilder& vandVV(Reg vd, Reg vs1, Reg vs2) { return r3(Opcode::VAND_VV, vd, vs1, vs2); }
+  ProgramBuilder& vfaddVV(Reg vd, Reg vs1, Reg vs2) { return r3(Opcode::VFADD_VV, vd, vs1, vs2); }
+  ProgramBuilder& vfsubVV(Reg vd, Reg vs1, Reg vs2) { return r3(Opcode::VFSUB_VV, vd, vs1, vs2); }
+  ProgramBuilder& vfmulVV(Reg vd, Reg vs1, Reg vs2) { return r3(Opcode::VFMUL_VV, vd, vs1, vs2); }
+  /// vd[i] += vs1[i] * vs2[i]
+  ProgramBuilder& vfmaccVV(Reg vd, Reg vs1, Reg vs2) { return r3(Opcode::VFMACC_VV, vd, vs1, vs2); }
+  /// vd[0] = vs1[0] + sum(vs2[0..vl))   (ordered sum, like RVV vfredosum)
+  ProgramBuilder& vfredosum(Reg vd, Reg vs2, Reg vs1) { return r3(Opcode::VFREDOSUM, vd, vs2, vs1); }
+  ProgramBuilder& vmvVI(Reg vd, std::int32_t imm) { return ri(Opcode::VMV_V_I, vd, 0, imm); }
+  ProgramBuilder& vmvVX(Reg vd, Reg rs1) { return r3(Opcode::VMV_V_X, vd, rs1, 0); }
+  ProgramBuilder& vfmvFS(Reg fd, Reg vs1) { return r3(Opcode::VFMV_F_S, fd, vs1, 0); }
+  ProgramBuilder& vfmvSF(Reg vd, Reg fs1) { return r3(Opcode::VFMV_S_F, vd, fs1, 0); }
+
+  // --- system ---
+  ProgramBuilder& nop() { return emit({Opcode::NOP, 0, 0, 0, 0, 0}); }
+  ProgramBuilder& ecall() { return emit({Opcode::ECALL, 0, 0, 0, 0, 0}); }
+  ProgramBuilder& csrrCycle(Reg rd) { return r3(Opcode::CSRR_CYCLE, rd, 0, 0); }
+
+  std::size_t nextPc() const { return code_.size(); }
+
+  /// Resolve labels and validate; throws AssemblerError on unbound labels or
+  /// bad register indices.
+  Program build();
+
+ private:
+  ProgramBuilder& emit(Instr instr);
+  ProgramBuilder& r3(Opcode op, Reg rd, Reg rs1, Reg rs2) {
+    return emit({op, rd, rs1, rs2, 0, 0});
+  }
+  ProgramBuilder& r4(Opcode op, Reg rd, Reg rs1, Reg rs2, Reg rs3) {
+    return emit({op, rd, rs1, rs2, rs3, 0});
+  }
+  ProgramBuilder& ri(Opcode op, Reg rd, Reg rs1, std::int32_t imm) {
+    return emit({op, rd, rs1, 0, 0, imm});
+  }
+  /// Store-style: rs2 is the data register, rs1 the base.
+  ProgramBuilder& st(Opcode op, Reg rs2, Reg rs1, std::int32_t imm) {
+    return emit({op, 0, rs1, rs2, 0, imm});
+  }
+  ProgramBuilder& br(Opcode op, Reg rs1, Reg rs2, Label target);
+
+  std::string name_;
+  std::vector<Instr> code_;
+  std::vector<std::int32_t> label_pc_;              ///< -1 while unbound
+  std::vector<std::pair<std::size_t, std::int32_t>> patches_;  ///< (pc, label)
+};
+
+}  // namespace hht::isa

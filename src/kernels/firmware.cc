@@ -1,0 +1,212 @@
+#include "kernels/firmware.h"
+
+namespace hht::kernels {
+
+using namespace isa::reg;
+using isa::Label;
+using isa::Program;
+using isa::ProgramBuilder;
+using core::mmr::kFwPushRowEnd;
+using core::mmr::kFwPushValue;
+using core::mmr::kFwPushValueEor;
+using core::mmr::kFwSpace;
+
+namespace {
+
+std::int32_t bits(sim::Addr a) { return static_cast<std::int32_t>(a); }
+
+/// space-read + push of the value bits in `src` through offset `port`.
+void push(ProgramBuilder& b, isa::Reg src, sim::Addr port) {
+  b.lw(s5, s11, static_cast<std::int32_t>(kFwSpace));  // blocking flow control
+  b.sw(src, s11, static_cast<std::int32_t>(port));
+}
+
+}  // namespace
+
+Program firmwareSpmvGather(const SpmvLayout& m, sim::Addr mmio_base) {
+  ProgramBuilder b("fw_spmv_gather");
+  b.li(a0, bits(m.rows)).li(a1, bits(m.cols)).li(a3, bits(m.v));
+  b.li(a5, static_cast<std::int32_t>(m.num_rows));
+  b.li(s11, bits(mmio_base));
+
+  Label row_loop = b.newLabel(), elem_loop = b.newLabel();
+  Label last = b.newLabel(), row_next = b.newLabel(), done = b.newLabel();
+
+  b.lw(t3, a0, 0);
+  b.addi(t2, a0, 4);
+  b.li(t0, 0);
+
+  b.bind(row_loop);
+  b.bge(t0, a5, done);
+  b.lw(t4, t2, 0);
+  b.sub(t5, t4, t3);
+  b.beqz(t5, row_next);
+
+  b.bind(elem_loop);
+  b.lw(t6, a1, 0);       // col index
+  b.slli(t6, t6, 2);
+  b.add(t6, t6, a3);
+  b.lw(s0, t6, 0);       // v[col] raw bits
+  b.addi(a1, a1, 4);
+  b.addi(t5, t5, -1);
+  b.beqz(t5, last);
+  push(b, s0, kFwPushValue);
+  b.j(elem_loop);
+
+  b.bind(last);
+  push(b, s0, kFwPushValueEor);  // row-aligned publish
+
+  b.bind(row_next);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(t0, t0, 1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+Program firmwareSpmspvV1(const SpmspvLayout& m, sim::Addr mmio_base) {
+  ProgramBuilder b("fw_spmspv_v1");
+  b.li(a0, bits(m.rows)).li(a1, bits(m.cols)).li(a2, bits(m.vals));
+  b.li(a3, bits(m.vidx)).li(a4, bits(m.vvals));
+  b.li(a6, static_cast<std::int32_t>(m.num_rows));
+  b.li(a7, static_cast<std::int32_t>(m.v_nnz));
+  b.li(s11, bits(mmio_base));
+
+  Label row_loop = b.newLabel(), merge_loop = b.newLabel();
+  Label adv_a = b.newLabel(), match = b.newLabel();
+  Label row_done = b.newLabel(), done = b.newLabel();
+
+  b.lw(t3, a0, 0);
+  b.addi(t2, a0, 4);
+  b.li(t0, 0);
+
+  b.bind(row_loop);
+  b.bge(t0, a6, done);
+  b.lw(t4, t2, 0);
+  b.sub(t5, t4, t3);
+  b.slli(s2, t3, 2);
+  b.add(s0, a1, s2);     // cols cursor
+  b.add(s1, a2, s2);     // vals cursor
+  b.mv(s2, a3);          // vidx cursor (rescans per row)
+  b.mv(s3, a4);          // vvals cursor
+  b.mv(s4, a7);          // vector nnz remaining
+
+  b.bind(merge_loop);
+  b.beqz(t5, row_done);
+  b.beqz(s4, row_done);
+  b.lw(t6, s0, 0);
+  b.lw(t1, s2, 0);
+  b.beq(t6, t1, match);
+  b.blt(t6, t1, adv_a);
+  b.addi(s2, s2, 4);
+  b.addi(s3, s3, 4);
+  b.addi(s4, s4, -1);
+  b.j(merge_loop);
+
+  b.bind(adv_a);
+  b.addi(s0, s0, 4);
+  b.addi(s1, s1, 4);
+  b.addi(t5, t5, -1);
+  b.j(merge_loop);
+
+  b.bind(match);
+  b.lw(s6, s1, 0);           // matrix value bits
+  b.lw(s7, s3, 0);           // vector value bits
+  push(b, s6, kFwPushValue);
+  push(b, s7, kFwPushValue);
+  b.addi(s0, s0, 4);
+  b.addi(s1, s1, 4);
+  b.addi(t5, t5, -1);
+  b.addi(s2, s2, 4);
+  b.addi(s3, s3, 4);
+  b.addi(s4, s4, -1);
+  b.j(merge_loop);
+
+  b.bind(row_done);
+  push(b, zero, kFwPushRowEnd);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(t0, t0, 1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+Program firmwareSpmspvV2(const SpmspvLayout& m, sim::Addr mmio_base) {
+  ProgramBuilder b("fw_spmspv_v2");
+  b.li(a0, bits(m.rows)).li(a1, bits(m.cols));
+  b.li(a3, bits(m.vidx)).li(a4, bits(m.vvals));
+  b.li(a6, static_cast<std::int32_t>(m.num_rows));
+  b.li(a7, static_cast<std::int32_t>(m.v_nnz));
+  b.li(s11, bits(mmio_base));
+
+  Label row_loop = b.newLabel(), col_loop = b.newLabel();
+  Label scan_v = b.newLabel(), have_v = b.newLabel(), emit = b.newLabel();
+  Label row_next = b.newLabel(), done = b.newLabel();
+
+  b.lw(t3, a0, 0);
+  b.addi(t2, a0, 4);
+  b.li(t0, 0);
+
+  b.bind(row_loop);
+  b.bge(t0, a6, done);
+  b.lw(t4, t2, 0);
+  b.sub(t5, t4, t3);
+  b.slli(s2, t3, 2);
+  b.add(s0, a1, s2);     // cols cursor
+  b.mv(s2, a3);          // vidx cursor
+  b.mv(s3, a4);          // vvals cursor
+  b.mv(s4, a7);          // vector nnz remaining
+  b.beqz(t5, row_next);
+
+  b.bind(col_loop);
+  b.lw(t6, s0, 0);       // matrix col
+  b.addi(s0, s0, 4);
+  b.li(s6, 0);           // emitted value defaults to 0.0f bits
+
+  b.bind(scan_v);        // advance the vector cursor to >= col
+  b.beqz(s4, emit);
+  b.lw(t1, s2, 0);
+  b.bge(t1, t6, have_v);
+  b.addi(s2, s2, 4);
+  b.addi(s3, s3, 4);
+  b.addi(s4, s4, -1);
+  b.j(scan_v);
+
+  b.bind(have_v);
+  b.bne(t1, t6, emit);   // vidx > col: miss, keep zero
+  b.lw(s6, s3, 0);       // match: vector value bits
+  b.addi(s2, s2, 4);
+  b.addi(s3, s3, 4);
+  b.addi(s4, s4, -1);
+
+  b.bind(emit);
+  b.addi(t5, t5, -1);
+  {
+    Label not_last = b.newLabel(), next = b.newLabel();
+    b.bnez(t5, not_last);
+    push(b, s6, kFwPushValueEor);
+    b.j(next);
+    b.bind(not_last);
+    push(b, s6, kFwPushValue);
+    b.bind(next);
+  }
+  b.bnez(t5, col_loop);
+
+  b.bind(row_next);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(t0, t0, 1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+}  // namespace hht::kernels

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "kernels/kernels.h"
+
+namespace hht::kernels {
+
+/// Firmware programs for the *programmable* HHT (§7, core::MicroHht).
+///
+/// Each builder compiles the operand addresses in (the host configures the
+/// firmware for the kernel it is about to offload, just as it programs the
+/// ASIC's MMRs) and produces the micro-core program that performs the
+/// metadata walk and feeds the CPU-side buffers via the kFw* push port.
+/// Flow control is explicit: every push is preceded by a blocking read of
+/// kFwSpace, the software analogue of the ASIC control unit's throttle.
+///
+/// The CPU-side consumer kernels (kernels.h) are reused unchanged — the
+/// programmable device exposes the identical register map.
+
+/// SpMV gather firmware: stream v[cols[k]] in row order, publishing at row
+/// boundaries (pairs with spmvScalarHht / spmvVectorHht on the CPU).
+isa::Program firmwareSpmvGather(const SpmvLayout& m,
+                                sim::Addr mmio_base = core::kDefaultMmioBase);
+
+/// SpMSpV variant-1 firmware: software merge; push aligned (m_val, v_val)
+/// pairs and a RowEnd marker per row (pairs with spmspvHhtV1).
+isa::Program firmwareSpmspvV1(const SpmspvLayout& m,
+                              sim::Addr mmio_base = core::kDefaultMmioBase);
+
+/// SpMSpV variant-2 firmware: push the vector's value-or-zero for every
+/// matrix non-zero (pairs with spmspvHhtV2 / spmspvHhtV2Scalar).
+isa::Program firmwareSpmspvV2(const SpmspvLayout& m,
+                              sim::Addr mmio_base = core::kDefaultMmioBase);
+
+}  // namespace hht::kernels

@@ -1,0 +1,650 @@
+#include "kernels/kernels.h"
+
+#include "core/config.h"
+
+namespace hht::kernels {
+
+using namespace isa::reg;
+using isa::Label;
+using isa::Program;
+using isa::ProgramBuilder;
+using core::mmr::kBufData;
+using core::mmr::kElementSize;
+using core::mmr::kL1Base;
+using core::mmr::kLeavesBase;
+using core::mmr::kMColsBase;
+using core::mmr::kMNumRows;
+using core::mmr::kMRowsBase;
+using core::mmr::kMValsBase;
+using core::mmr::kMode;
+using core::mmr::kNumCols;
+using core::mmr::kStart;
+using core::mmr::kVBase;
+using core::mmr::kVIdxBase;
+using core::mmr::kVNnz;
+using core::mmr::kVValsBase;
+using core::mmr::kValid;
+
+namespace {
+
+std::int32_t bits(Addr a) { return static_cast<std::int32_t>(a); }
+
+/// Write one configuration MMR: li scratch, value; sw scratch, off(base).
+void writeMmr(ProgramBuilder& b, isa::Reg base, Addr offset, std::uint32_t value) {
+  b.li(t1, static_cast<std::int32_t>(value));
+  b.sw(t1, base, static_cast<std::int32_t>(offset));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpMV
+// ---------------------------------------------------------------------------
+
+Program spmvScalarBaseline(const SpmvLayout& m) {
+  ProgramBuilder b("spmv_scalar_baseline");
+  b.li(a0, bits(m.rows)).li(a1, bits(m.cols)).li(a2, bits(m.vals));
+  b.li(a3, bits(m.v)).li(a4, bits(m.y)).li(a5, static_cast<std::int32_t>(m.num_rows));
+  b.fcvtSW(ft0, zero);  // 0.0f constant
+
+  Label row_loop = b.newLabel(), row_done = b.newLabel();
+  Label elem_loop = b.newLabel(), done = b.newLabel();
+
+  b.lw(t3, a0, 0);      // rows[0]
+  b.addi(t2, a0, 4);    // &rows[i+1]
+  b.li(t0, 0);          // i
+
+  b.bind(row_loop);
+  b.bge(t0, a5, done);
+  b.lw(t4, t2, 0);      // row_end
+  b.sub(t5, t4, t3);    // nnz
+  b.fsgnj(fs0, ft0, ft0);  // s = 0
+  b.beqz(t5, row_done);
+
+  b.bind(elem_loop);
+  b.lw(t6, a1, 0);      // col index — the metadata access
+  b.slli(t6, t6, 2);
+  b.add(t6, t6, a3);
+  b.flw(ft1, t6, 0);    // v[col] — the indirect access
+  b.flw(ft2, a2, 0);    // matrix value
+  b.fmadd(fs0, ft1, ft2, fs0);
+  b.addi(a1, a1, 4);
+  b.addi(a2, a2, 4);
+  b.addi(t5, t5, -1);
+  b.bnez(t5, elem_loop);
+
+  b.bind(row_done);
+  b.fsw(fs0, a4, 0);
+  b.addi(a4, a4, 4);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(t0, t0, 1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+Program spmvVectorBaseline(const SpmvLayout& m) {
+  ProgramBuilder b("spmv_vector_baseline");
+  b.li(a0, bits(m.rows)).li(a1, bits(m.cols)).li(a2, bits(m.vals));
+  b.li(a3, bits(m.v)).li(a4, bits(m.y)).li(a5, static_cast<std::int32_t>(m.num_rows));
+  b.fcvtSW(ft0, zero);
+  b.li(s3, isa::kMaxVl * 8);  // large AVL -> vsetvli yields VLMAX
+
+  Label row_loop = b.newLabel(), chunk_loop = b.newLabel();
+  Label reduce = b.newLabel(), done = b.newLabel();
+
+  b.lw(t3, a0, 0);
+  b.addi(t2, a0, 4);
+  b.li(t0, 0);
+
+  b.bind(row_loop);
+  b.bge(t0, a5, done);
+  b.lw(t4, t2, 0);
+  b.sub(t5, t4, t3);
+  b.vsetvli(s4, s3);   // full width for the accumulator
+  b.vmvVI(v0, 0);      // acc lanes = 0
+  b.beqz(t5, reduce);
+
+  b.bind(chunk_loop);
+  b.vsetvli(t6, t5);
+  b.vle32(v1, a1);        // column indices (metadata)
+  b.vsllVI(v1, v1, 2);    // scale to byte offsets
+  b.vluxei32(v2, a3, v1); // indexed gather of v — cache/prefetch-unfriendly
+  b.vle32(v3, a2);        // matrix values
+  b.vfmaccVV(v0, v2, v3);
+  b.slli(s2, t6, 2);
+  b.add(a1, a1, s2);
+  b.add(a2, a2, s2);
+  b.sub(t5, t5, t6);
+  b.bnez(t5, chunk_loop);
+
+  b.bind(reduce);
+  b.vsetvli(s4, s3);
+  b.vfmvSF(v4, ft0);       // ordered-sum seed = 0.0f
+  b.vfredosum(v5, v0, v4);
+  b.vfmvFS(fs0, v5);
+  b.fsw(fs0, a4, 0);
+  b.addi(a4, a4, 4);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(t0, t0, 1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+namespace {
+
+/// Program the SpMV-gather MMRs and pulse START (§3.1's configuration
+/// sequence; START is written last).
+void configureSpmvHht(ProgramBuilder& b, const SpmvLayout& m, Addr mmio_base) {
+  b.li(s11, bits(mmio_base));
+  writeMmr(b, s11, kMNumRows, m.num_rows);
+  writeMmr(b, s11, kMRowsBase, m.rows);
+  writeMmr(b, s11, kMColsBase, m.cols);
+  writeMmr(b, s11, kVBase, m.v);
+  writeMmr(b, s11, kElementSize, 4);
+  writeMmr(b, s11, kMode, static_cast<std::uint32_t>(core::Mode::SpmvGather));
+  writeMmr(b, s11, kStart, 1);
+}
+
+}  // namespace
+
+Program spmvScalarHht(const SpmvLayout& m, Addr mmio_base) {
+  ProgramBuilder b("spmv_scalar_hht");
+  b.li(a0, bits(m.rows)).li(a2, bits(m.vals));
+  b.li(a4, bits(m.y)).li(a5, static_cast<std::int32_t>(m.num_rows));
+  configureSpmvHht(b, m, mmio_base);
+  b.fcvtSW(ft0, zero);
+
+  Label row_loop = b.newLabel(), row_done = b.newLabel();
+  Label elem_loop = b.newLabel(), done = b.newLabel();
+
+  b.lw(t3, a0, 0);
+  b.addi(t2, a0, 4);
+  b.li(t0, 0);
+
+  b.bind(row_loop);
+  b.bge(t0, a5, done);
+  b.lw(t4, t2, 0);
+  b.sub(t5, t4, t3);
+  b.fsgnj(fs0, ft0, ft0);
+  b.beqz(t5, row_done);
+
+  b.bind(elem_loop);
+  b.flw(ft1, s11, static_cast<std::int32_t>(kBufData));  // gathered v[col]
+  b.flw(ft2, a2, 0);
+  b.fmadd(fs0, ft1, ft2, fs0);
+  b.addi(a2, a2, 4);
+  b.addi(t5, t5, -1);
+  b.bnez(t5, elem_loop);
+
+  b.bind(row_done);
+  b.fsw(fs0, a4, 0);
+  b.addi(a4, a4, 4);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(t0, t0, 1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+Program spmvVectorHht(const SpmvLayout& m, Addr mmio_base) {
+  ProgramBuilder b("spmv_vector_hht");
+  b.li(a0, bits(m.rows)).li(a2, bits(m.vals));
+  b.li(a4, bits(m.y)).li(a5, static_cast<std::int32_t>(m.num_rows));
+  configureSpmvHht(b, m, mmio_base);
+  b.li(s10, bits(mmio_base + kBufData));  // fixed FIFO load address
+  b.fcvtSW(ft0, zero);
+  b.li(s3, isa::kMaxVl * 8);
+
+  Label row_loop = b.newLabel(), chunk_loop = b.newLabel();
+  Label reduce = b.newLabel(), done = b.newLabel();
+
+  b.lw(t3, a0, 0);
+  b.addi(t2, a0, 4);
+  b.li(t0, 0);
+
+  b.bind(row_loop);
+  b.bge(t0, a5, done);
+  b.lw(t4, t2, 0);
+  b.sub(t5, t4, t3);
+  b.vsetvli(s4, s3);
+  b.vmvVI(v0, 0);
+  b.beqz(t5, reduce);
+
+  b.bind(chunk_loop);
+  b.vsetvli(t6, t5);
+  b.vle32(v2, s10);   // HHT buffer: only the *needed* v values arrive
+  b.vle32(v3, a2);    // matrix values (contiguous, prefetch-friendly)
+  b.vfmaccVV(v0, v2, v3);
+  b.slli(s2, t6, 2);
+  b.add(a2, a2, s2);
+  b.sub(t5, t5, t6);
+  b.bnez(t5, chunk_loop);
+
+  b.bind(reduce);
+  b.vsetvli(s4, s3);
+  b.vfmvSF(v4, ft0);
+  b.vfredosum(v5, v0, v4);
+  b.vfmvFS(fs0, v5);
+  b.fsw(fs0, a4, 0);
+  b.addi(a4, a4, 4);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(t0, t0, 1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// SpMM (batched SpMV)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared inner structure of the SpMM kernels: an outer loop over B's
+/// columns around the familiar per-row vector loop. `hht` selects the
+/// BUF_DATA consumer (with a per-column START pulse) vs the gather path.
+Program buildSpmm(const SpmmLayout& m, Addr mmio_base, bool hht) {
+  ProgramBuilder b(hht ? "spmm_vector_hht" : "spmm_vector_baseline");
+  b.li(a0, bits(m.rows)).li(a1, bits(m.cols)).li(a2, bits(m.vals));
+  b.li(a3, bits(m.b)).li(a4, bits(m.y));
+  b.li(a5, static_cast<std::int32_t>(m.num_rows));
+  b.li(a6, static_cast<std::int32_t>(m.k));
+  b.li(s5, static_cast<std::int32_t>(m.num_cols) * 4);  // B column stride
+  b.fcvtSW(ft0, zero);
+  b.li(s3, isa::kMaxVl * 8);
+  if (hht) {
+    b.li(s11, bits(mmio_base));
+    writeMmr(b, s11, kMNumRows, m.num_rows);
+    writeMmr(b, s11, kMRowsBase, m.rows);
+    writeMmr(b, s11, kMColsBase, m.cols);
+    writeMmr(b, s11, kElementSize, 4);
+    writeMmr(b, s11, kMode, static_cast<std::uint32_t>(core::Mode::SpmvGather));
+    b.li(s10, bits(mmio_base + kBufData));
+  }
+
+  Label col_loop = b.newLabel(), row_loop = b.newLabel();
+  Label chunk_loop = b.newLabel(), reduce = b.newLabel();
+  Label col_done = b.newLabel(), done = b.newLabel();
+
+  b.li(s7, 0);       // j
+  b.mv(s1, a3);      // current B column base
+  b.mv(s0, a4);      // current Y column cursor
+
+  b.bind(col_loop);
+  b.bge(s7, a6, done);
+  if (hht) {
+    b.sw(s1, s11, static_cast<std::int32_t>(kVBase));  // retarget the gather
+    b.li(t1, 1);
+    b.sw(t1, s11, static_cast<std::int32_t>(kStart));
+  }
+  b.mv(s8, a1);      // cols cursor (restarts per column)
+  b.mv(s9, a2);      // vals cursor
+  b.lw(t3, a0, 0);
+  b.addi(t2, a0, 4);
+  b.li(t0, 0);
+
+  b.bind(row_loop);
+  b.bge(t0, a5, col_done);
+  b.lw(t4, t2, 0);
+  b.sub(t5, t4, t3);
+  b.vsetvli(s4, s3);
+  b.vmvVI(v0, 0);
+  b.beqz(t5, reduce);
+
+  b.bind(chunk_loop);
+  b.vsetvli(t6, t5);
+  if (hht) {
+    b.vle32(v2, s10);
+  } else {
+    b.vle32(v1, s8);
+    b.vsllVI(v1, v1, 2);
+    b.vluxei32(v2, s1, v1);
+  }
+  b.vle32(v3, s9);
+  b.vfmaccVV(v0, v2, v3);
+  b.slli(s2, t6, 2);
+  if (!hht) b.add(s8, s8, s2);
+  b.add(s9, s9, s2);
+  b.sub(t5, t5, t6);
+  b.bnez(t5, chunk_loop);
+
+  b.bind(reduce);
+  b.vsetvli(s4, s3);
+  b.vfmvSF(v4, ft0);
+  b.vfredosum(v5, v0, v4);
+  b.vfmvFS(fs0, v5);
+  b.fsw(fs0, s0, 0);
+  b.addi(s0, s0, 4);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(t0, t0, 1);
+  b.j(row_loop);
+
+  b.bind(col_done);
+  b.add(s1, s1, s5);
+  b.addi(s7, s7, 1);
+  b.j(col_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+}  // namespace
+
+Program spmmVectorBaseline(const SpmmLayout& m) {
+  return buildSpmm(m, 0, /*hht=*/false);
+}
+
+Program spmmVectorHht(const SpmmLayout& m, Addr mmio_base) {
+  return buildSpmm(m, mmio_base, /*hht=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// SpMSpV
+// ---------------------------------------------------------------------------
+
+Program spmspvScalarBaseline(const SpmspvLayout& m) {
+  ProgramBuilder b("spmspv_scalar_baseline");
+  b.li(a0, bits(m.rows)).li(a1, bits(m.cols)).li(a2, bits(m.vals));
+  b.li(a3, bits(m.vidx)).li(a4, bits(m.vvals)).li(a5, bits(m.y));
+  b.li(a6, static_cast<std::int32_t>(m.num_rows));
+  b.li(a7, static_cast<std::int32_t>(m.v_nnz));
+  b.fcvtSW(ft0, zero);
+
+  Label row_loop = b.newLabel(), merge_loop = b.newLabel();
+  Label adv_a = b.newLabel(), match = b.newLabel();
+  Label row_done = b.newLabel(), done = b.newLabel();
+
+  b.lw(t3, a0, 0);
+  b.addi(t2, a0, 4);
+  b.li(t0, 0);
+
+  b.bind(row_loop);
+  b.bge(t0, a6, done);
+  b.lw(t4, t2, 0);
+  b.sub(t5, t4, t3);     // row nnz remaining
+  b.slli(s2, t3, 2);
+  b.add(s0, a1, s2);     // cols cursor for this row
+  b.add(s1, a2, s2);     // vals cursor
+  b.mv(s2, a3);          // vector index cursor (restarts every row)
+  b.mv(s3, a4);          // vector value cursor
+  b.mv(s4, a7);          // vector nnz remaining
+  b.fsgnj(fs0, ft0, ft0);
+  // Software-pipelined merge: both heads live in registers; only the
+  // advanced side reloads.
+  b.beqz(t5, row_done);
+  b.beqz(s4, row_done);
+  b.lw(t6, s0, 0);       // matrix column index
+  b.lw(s5, s2, 0);       // vector index
+
+  b.bind(merge_loop);
+  b.beq(t6, s5, match);
+  b.blt(t6, s5, adv_a);
+  // advance vector side
+  b.addi(s2, s2, 4);
+  b.addi(s3, s3, 4);
+  b.addi(s4, s4, -1);
+  b.beqz(s4, row_done);
+  b.lw(s5, s2, 0);
+  b.j(merge_loop);
+
+  b.bind(adv_a);
+  b.addi(s0, s0, 4);
+  b.addi(s1, s1, 4);
+  b.addi(t5, t5, -1);
+  b.beqz(t5, row_done);
+  b.lw(t6, s0, 0);
+  b.j(merge_loop);
+
+  b.bind(match);
+  b.flw(ft1, s1, 0);
+  b.flw(ft2, s3, 0);
+  b.fmadd(fs0, ft1, ft2, fs0);
+  b.addi(s0, s0, 4);
+  b.addi(s1, s1, 4);
+  b.addi(t5, t5, -1);
+  b.addi(s2, s2, 4);
+  b.addi(s3, s3, 4);
+  b.addi(s4, s4, -1);
+  b.beqz(t5, row_done);
+  b.beqz(s4, row_done);
+  b.lw(t6, s0, 0);
+  b.lw(s5, s2, 0);
+  b.j(merge_loop);
+
+  b.bind(row_done);
+  b.fsw(fs0, a5, 0);
+  b.addi(a5, a5, 4);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(t0, t0, 1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+namespace {
+
+void configureSpmspvHht(ProgramBuilder& b, const SpmspvLayout& m,
+                        Addr mmio_base, core::Mode mode) {
+  b.li(s11, bits(mmio_base));
+  writeMmr(b, s11, kMNumRows, m.num_rows);
+  writeMmr(b, s11, kMRowsBase, m.rows);
+  writeMmr(b, s11, kMColsBase, m.cols);
+  writeMmr(b, s11, kMValsBase, m.vals);
+  writeMmr(b, s11, kVIdxBase, m.vidx);
+  writeMmr(b, s11, kVValsBase, m.vvals);
+  writeMmr(b, s11, kVNnz, m.v_nnz);
+  writeMmr(b, s11, kElementSize, 4);
+  writeMmr(b, s11, kMode, static_cast<std::uint32_t>(mode));
+  writeMmr(b, s11, kStart, 1);
+}
+
+}  // namespace
+
+Program spmspvHhtV1(const SpmspvLayout& m, Addr mmio_base) {
+  ProgramBuilder b("spmspv_hht_v1");
+  b.li(a5, bits(m.y)).li(a6, static_cast<std::int32_t>(m.num_rows));
+  configureSpmspvHht(b, m, mmio_base, core::Mode::SpmspvV1);
+  b.fcvtSW(ft0, zero);
+
+  Label row_loop = b.newLabel(), pair_loop = b.newLabel();
+  Label row_done = b.newLabel(), done = b.newLabel();
+
+  b.li(t0, 0);
+  b.bind(row_loop);
+  b.bge(t0, a6, done);
+  b.fsgnj(fs0, ft0, ft0);
+
+  b.bind(pair_loop);
+  b.lw(t1, s11, static_cast<std::int32_t>(kValid));
+  b.beqz(t1, row_done);
+  b.flw(ft1, s11, static_cast<std::int32_t>(kBufData));  // matrix value
+  b.flw(ft2, s11, static_cast<std::int32_t>(kBufData));  // vector value
+  b.fmadd(fs0, ft1, ft2, fs0);
+  b.j(pair_loop);
+
+  b.bind(row_done);
+  b.fsw(fs0, a5, 0);
+  b.addi(a5, a5, 4);
+  b.addi(t0, t0, 1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+Program spmspvHhtV2(const SpmspvLayout& m, Addr mmio_base) {
+  ProgramBuilder b("spmspv_hht_v2");
+  b.li(a0, bits(m.rows)).li(a2, bits(m.vals));
+  b.li(a5, bits(m.y)).li(a6, static_cast<std::int32_t>(m.num_rows));
+  configureSpmspvHht(b, m, mmio_base, core::Mode::SpmspvV2);
+  b.li(s10, bits(mmio_base + kBufData));
+  b.fcvtSW(ft0, zero);
+  b.li(s3, isa::kMaxVl * 8);
+
+  Label row_loop = b.newLabel(), chunk_loop = b.newLabel();
+  Label reduce = b.newLabel(), done = b.newLabel();
+
+  b.lw(t3, a0, 0);
+  b.addi(t2, a0, 4);
+  b.li(t0, 0);
+  b.mv(s1, a2);  // matrix values cursor (contiguous across rows)
+
+  b.bind(row_loop);
+  b.bge(t0, a6, done);
+  b.lw(t4, t2, 0);
+  b.sub(t5, t4, t3);
+  b.vsetvli(s4, s3);
+  b.vmvVI(v0, 0);
+  b.beqz(t5, reduce);
+
+  b.bind(chunk_loop);
+  b.vsetvli(t6, t5);
+  b.vle32(v3, s1);    // matrix values
+  b.vle32(v2, s10);   // HHT value-or-zero stream
+  b.vfmaccVV(v0, v2, v3);
+  b.slli(s2, t6, 2);
+  b.add(s1, s1, s2);
+  b.sub(t5, t5, t6);
+  b.bnez(t5, chunk_loop);
+
+  b.bind(reduce);
+  b.vsetvli(s4, s3);
+  b.vfmvSF(v4, ft0);
+  b.vfredosum(v5, v0, v4);
+  b.vfmvFS(fs0, v5);
+  b.fsw(fs0, a5, 0);
+  b.addi(a5, a5, 4);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(t0, t0, 1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+Program spmspvHhtV2Scalar(const SpmspvLayout& m, Addr mmio_base) {
+  ProgramBuilder b("spmspv_hht_v2_scalar");
+  b.li(a0, bits(m.rows)).li(a2, bits(m.vals));
+  b.li(a5, bits(m.y)).li(a6, static_cast<std::int32_t>(m.num_rows));
+  configureSpmspvHht(b, m, mmio_base, core::Mode::SpmspvV2);
+  b.fcvtSW(ft0, zero);
+
+  Label row_loop = b.newLabel(), elem_loop = b.newLabel();
+  Label row_done = b.newLabel(), done = b.newLabel();
+
+  b.lw(t3, a0, 0);
+  b.addi(t2, a0, 4);
+  b.li(t0, 0);
+  b.mv(s1, a2);
+
+  b.bind(row_loop);
+  b.bge(t0, a6, done);
+  b.lw(t4, t2, 0);
+  b.sub(t5, t4, t3);
+  b.fsgnj(fs0, ft0, ft0);
+  b.beqz(t5, row_done);
+
+  b.bind(elem_loop);
+  b.flw(ft1, s11, static_cast<std::int32_t>(kBufData));  // v value or zero
+  b.flw(ft2, s1, 0);
+  b.fmadd(fs0, ft1, ft2, fs0);
+  b.addi(s1, s1, 4);
+  b.addi(t5, t5, -1);
+  b.bnez(t5, elem_loop);
+
+  b.bind(row_done);
+  b.fsw(fs0, a5, 0);
+  b.addi(a5, a5, 4);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(t0, t0, 1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical bitmap (SMASH-style)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Program bitmapConsumer(const char* name, const HierLayout& m, Addr mmio_base,
+                       core::Mode mode) {
+  ProgramBuilder b(name);
+  b.li(a5, bits(m.y)).li(a6, static_cast<std::int32_t>(m.num_rows));
+  b.li(s1, bits(m.packed_vals));
+  b.li(s11, bits(mmio_base));
+  writeMmr(b, s11, kMNumRows, m.num_rows);
+  writeMmr(b, s11, kNumCols, m.num_cols);
+  writeMmr(b, s11, kL1Base, m.l1);
+  writeMmr(b, s11, kLeavesBase, m.leaves);
+  writeMmr(b, s11, kVBase, m.v);
+  writeMmr(b, s11, kElementSize, 4);
+  writeMmr(b, s11, kMode, static_cast<std::uint32_t>(mode));
+  writeMmr(b, s11, kStart, 1);
+  b.fcvtSW(ft0, zero);
+
+  Label row_loop = b.newLabel(), elem_loop = b.newLabel();
+  Label row_done = b.newLabel(), done = b.newLabel();
+
+  b.li(t0, 0);
+  b.bind(row_loop);
+  b.bge(t0, a6, done);
+  b.fsgnj(fs0, ft0, ft0);
+
+  b.bind(elem_loop);
+  b.lw(t1, s11, static_cast<std::int32_t>(kValid));
+  b.beqz(t1, row_done);
+  b.flw(ft1, s11, static_cast<std::int32_t>(kBufData));  // gathered v[col]
+  b.flw(ft2, s1, 0);                                     // packed matrix value
+  b.addi(s1, s1, 4);
+  b.fmadd(fs0, ft1, ft2, fs0);
+  b.j(elem_loop);
+
+  b.bind(row_done);
+  b.fsw(fs0, a5, 0);
+  b.addi(a5, a5, 4);
+  b.addi(t0, t0, 1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+}  // namespace
+
+Program hierBitmapHht(const HierLayout& m, Addr mmio_base) {
+  return bitmapConsumer("hier_bitmap_hht", m, mmio_base, core::Mode::HierBitmap);
+}
+
+Program flatBitmapHht(const HierLayout& m, Addr mmio_base) {
+  return bitmapConsumer("flat_bitmap_hht", m, mmio_base, core::Mode::FlatBitmap);
+}
+
+}  // namespace hht::kernels

@@ -1,0 +1,101 @@
+#include "mem/cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hht::mem {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  if (config_.line_bytes == 0 || !std::has_single_bit(config_.line_bytes)) {
+    throw std::invalid_argument("cache line size must be a power of two");
+  }
+  if (config_.ways == 0) {
+    throw std::invalid_argument("cache must have at least one way");
+  }
+  const std::uint32_t lines_total = config_.size_bytes / config_.line_bytes;
+  if (lines_total == 0 || lines_total % config_.ways != 0) {
+    throw std::invalid_argument("cache size/line/ways combination invalid");
+  }
+  num_sets_ = lines_total / config_.ways;
+  if (!std::has_single_bit(num_sets_)) {
+    throw std::invalid_argument("cache set count must be a power of two");
+  }
+  lines_.assign(static_cast<std::size_t>(num_sets_) * config_.ways, Line{});
+}
+
+Cycle Cache::access(Addr addr, bool is_write) {
+  ++access_counter_;
+  last_missed_ = false;
+  const std::uint64_t block = addr / config_.line_bytes;
+  const std::uint32_t set = static_cast<std::uint32_t>(block) & (num_sets_ - 1);
+  const std::uint64_t tag = block / num_sets_;
+  Line* set_base = lines_.data() + static_cast<std::size_t>(set) * config_.ways;
+
+  // Hit path.
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = set_base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru_stamp = access_counter_;
+      line.dirty |= is_write;
+      ++hits_;
+      return config_.hit_latency;
+    }
+  }
+
+  // Miss: pick the LRU victim (preferring an invalid way).
+  ++misses_;
+  last_missed_ = true;
+  Line* victim = set_base;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = set_base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru_stamp < victim->lru_stamp) victim = &line;
+  }
+
+  Cycle latency = config_.hit_latency + config_.miss_penalty;
+  if (victim->valid && victim->dirty) {
+    latency += config_.writeback_penalty;
+    ++writebacks_;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;  // write-allocate
+  victim->lru_stamp = access_counter_;
+  return latency;
+}
+
+bool Cache::install(Addr addr) {
+  ++access_counter_;
+  const std::uint64_t block = addr / config_.line_bytes;
+  const std::uint32_t set = static_cast<std::uint32_t>(block) & (num_sets_ - 1);
+  const std::uint64_t tag = block / num_sets_;
+  Line* set_base = lines_.data() + static_cast<std::size_t>(set) * config_.ways;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (set_base[w].valid && set_base[w].tag == tag) return false;
+  }
+  Line* victim = set_base;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = set_base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru_stamp < victim->lru_stamp) victim = &line;
+  }
+  if (victim->valid && victim->dirty) ++writebacks_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = false;
+  victim->lru_stamp = access_counter_;
+  ++prefetch_fills_;
+  return true;
+}
+
+void Cache::flush() {
+  for (Line& line : lines_) line = Line{};
+}
+
+}  // namespace hht::mem

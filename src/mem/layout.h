@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <stdexcept>
+
+#include "mem/sram.h"
+#include "sim/types.h"
+
+namespace hht::mem {
+
+/// Bump allocator over the simulated address space.
+///
+/// The experiment harness uses it to place the CSR arrays, the vector, and
+/// the output buffer into simulated SRAM before a kernel run, exactly as a
+/// linker/loader would on the real MCU.
+class Arena {
+ public:
+  Arena(Addr base, std::size_t size) : base_(base), limit_(base + size), cursor_(base) {}
+
+  /// Reserve `bytes`, aligned to `align` (power of two). Throws when the
+  /// arena is exhausted — a mis-sized workload, not a simulation condition.
+  Addr allocate(std::size_t bytes, std::size_t align = 4) {
+    const Addr aligned =
+        static_cast<Addr>((cursor_ + (align - 1)) & ~(static_cast<Addr>(align) - 1));
+    if (aligned + bytes > limit_ || aligned < cursor_) {
+      throw std::runtime_error("simulated memory arena exhausted");
+    }
+    cursor_ = static_cast<Addr>(aligned + bytes);
+    return aligned;
+  }
+
+  /// Reserve and copy a host array into simulated memory; returns its base.
+  template <typename T>
+  Addr place(Sram& sram, std::span<const T> values, std::size_t align = 4) {
+    const Addr addr = allocate(values.size_bytes(), align);
+    sram.pokeArray(addr, values);
+    return addr;
+  }
+
+  Addr cursor() const { return cursor_; }
+  std::size_t remaining() const { return limit_ - cursor_; }
+
+ private:
+  Addr base_;
+  Addr limit_;
+  Addr cursor_;
+};
+
+}  // namespace hht::mem

@@ -1,0 +1,174 @@
+#include "mem/memory_system.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace hht::mem {
+
+MemorySystem::MemorySystem(const MemorySystemConfig& config)
+    : config_(config), sram_(config.sram_bytes) {
+  for (int r = 0; r < 2; ++r) {
+    const std::string who = requesterName(static_cast<Requester>(r));
+    reads_[r] = &stats_.counter("mem." + who + ".reads");
+    writes_[r] = &stats_.counter("mem." + who + ".writes");
+    mmio_requests_[r] = &stats_.counter("mem." + who + ".mmio_requests");
+    conflict_cycles_[r] = &stats_.counter("mem." + who + ".conflict_cycles");
+  }
+  if (config_.cpu_cache_enabled) {
+    cpu_cache_ = std::make_unique<Cache>(config_.cache);
+  }
+  if (config_.hht_cache_enabled) {
+    hht_cache_ = std::make_unique<Cache>(config_.cache);
+  }
+}
+
+RequestId MemorySystem::submit(const MemAccess& access) {
+  const RequestId id = next_id_++;
+  const int who = static_cast<int>(access.requester);
+  if (isMmio(access.addr)) {
+    mmio_queue_.push_back({id, access});
+    ++*mmio_requests_[who];
+  } else {
+    sram_queue_.push_back({id, access});
+    ++*(access.is_write ? writes_[who] : reads_[who]);
+  }
+  return id;
+}
+
+std::optional<std::uint32_t> MemorySystem::takeCompleted(RequestId id) {
+  auto it = completed_.find(id);
+  if (it == completed_.end()) return std::nullopt;
+  const std::uint32_t data = it->second;
+  completed_.erase(it);
+  return data;
+}
+
+void MemorySystem::grant(const Pending& pending, Cycle now) {
+  const MemAccess& a = pending.access;
+  Cycle latency = config_.sram_latency;
+  Cache* cache = a.requester == Requester::Cpu ? cpu_cache_.get()
+                                               : hht_cache_.get();
+  if (cache != nullptr) {
+    latency = cache->access(a.addr, a.is_write);
+    if (config_.prefetch_enabled && cache == cpu_cache_.get() &&
+        cache->lastAccessMissed()) {
+      // Queue the next lines; filled opportunistically from spare slots.
+      const Addr line = a.addr - a.addr % config_.cache.line_bytes;
+      for (std::uint32_t d = 1; d <= config_.prefetch_degree; ++d) {
+        const Addr target = line + d * config_.cache.line_bytes;
+        if (sram_.inBounds(target, config_.cache.line_bytes) &&
+            prefetch_queue_.size() < 16) {
+          prefetch_queue_.push_back(target);
+        }
+      }
+    }
+  }
+  if (latency == 0) latency = 1;
+
+  if (a.is_write) {
+    // Posted write: applied at grant, no completion record — no requester
+    // ever waits on a store (the SRAM absorbs it), so recording one would
+    // leak and keep idle() false forever.
+    sram_.write(a.addr, a.size, a.wdata);
+    return;
+  }
+  const std::uint32_t data = sram_.read(a.addr, a.size);
+  in_flight_.push_back({pending.id, now + latency, data});
+  HHT_LOG_AT(Trace, "mem", "grant id=%llu %s addr=0x%x done@%llu",
+             static_cast<unsigned long long>(pending.id),
+             a.is_write ? "W" : "R", a.addr,
+             static_cast<unsigned long long>(now + latency));
+}
+
+void MemorySystem::tick(Cycle now) {
+  // 1. Retire accesses whose latency has elapsed.
+  std::erase_if(in_flight_, [&](const InFlight& f) {
+    if (f.done_at > now) return false;
+    completed_.emplace(f.id, f.data);
+    return true;
+  });
+
+  // 2. Arbitrate SRAM grant slots.
+  std::uint32_t slots_left = config_.grants_per_cycle;
+  for (std::uint32_t slot = 0; slot < config_.grants_per_cycle; ++slot) {
+    if (sram_queue_.empty()) break;
+    --slots_left;
+
+    Requester preferred = Requester::Cpu;
+    if (config_.policy == ArbiterPolicy::RoundRobin) {
+      preferred = rr_hht_turn_ ? Requester::Hht : Requester::Cpu;
+      rr_hht_turn_ = !rr_hht_turn_;
+    }
+    // Oldest request of the preferred requester, else oldest overall.
+    // Taking the first queue entry with the matching requester preserves
+    // per-requester program order.
+    auto it = std::find_if(sram_queue_.begin(), sram_queue_.end(),
+                           [&](const Pending& p) {
+                             return p.access.requester == preferred;
+                           });
+    if (it == sram_queue_.end()) it = sram_queue_.begin();
+    grant(*it, now);
+    sram_queue_.erase(it);
+  }
+  // Requests left waiting lost arbitration this cycle.
+  for (const Pending& p : sram_queue_) {
+    ++*conflict_cycles_[static_cast<int>(p.access.requester)];
+  }
+
+  // Spare slots feed the stream prefetcher (demand traffic always wins).
+  while (slots_left > 0 && !prefetch_queue_.empty()) {
+    const Addr target = prefetch_queue_.front();
+    prefetch_queue_.pop_front();
+    if (cpu_cache_ && cpu_cache_->install(target)) {
+      ++stats_.counter("mem.cpu.prefetch_fills");
+    }
+    --slots_left;
+  }
+
+  // 3. MMIO window (device-adjacent port; no SRAM bandwidth consumed).
+  //    Per-requester FIFO: a stalled CPU read must not block the
+  //    programmable HHT's firmware-side port and vice versa, but each
+  //    requester's own accesses stay in program order.
+  bool blocked[2] = {false, false};
+  std::erase_if(mmio_queue_, [&](Pending& p) {
+    const int who = static_cast<int>(p.access.requester);
+    if (blocked[who]) return false;
+    if (mmio_device_ == nullptr) {
+      // Unmapped MMIO: reads return 0, writes are dropped.
+      if (!p.access.is_write) completed_.emplace(p.id, 0);
+      return true;
+    }
+    const Addr offset = p.access.addr - config_.mmio_base;
+    if (p.access.is_write) {
+      mmio_device_->mmioWrite(offset, p.access.size, p.access.wdata,
+                              p.access.requester);
+      return true;  // posted, like SRAM stores
+    }
+    const MmioReadResult result =
+        mmio_device_->mmioRead(offset, p.access.size, p.access.requester);
+    if (!result.ready) {
+      blocked[who] = true;  // retry next cycle; requester stays stalled
+      return false;
+    }
+    completed_.emplace(p.id, result.data);
+    return true;
+  });
+}
+
+void MemorySystem::attachMmioDevice(MmioDevice* device) { mmio_device_ = device; }
+
+void MemorySystem::finalizeStats() {
+  if (cpu_cache_) {
+    stats_.counter("mem.cpu.cache_hits") = cpu_cache_->hits();
+    stats_.counter("mem.cpu.cache_misses") = cpu_cache_->misses();
+    stats_.counter("mem.cpu.cache_writebacks") = cpu_cache_->writebacks();
+  }
+  if (hht_cache_) {
+    stats_.counter("mem.hht.cache_hits") = hht_cache_->hits();
+    stats_.counter("mem.hht.cache_misses") = hht_cache_->misses();
+    stats_.counter("mem.hht.cache_writebacks") = hht_cache_->writebacks();
+  }
+}
+
+}  // namespace hht::mem

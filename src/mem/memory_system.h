@@ -1,0 +1,133 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/cache.h"
+#include "mem/mmio.h"
+#include "mem/request.h"
+#include "mem/sram.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace hht::mem {
+
+using sim::Cycle;
+using sim::StatSet;
+
+/// Arbitration policy when CPU and HHT requests compete for the same-cycle
+/// SRAM grant slots.
+enum class ArbiterPolicy : std::uint8_t {
+  CpuPriority,  ///< paper design: never add latency to the primary core
+  RoundRobin,   ///< ablation: fair alternation
+};
+
+struct MemorySystemConfig {
+  std::size_t sram_bytes = 1u << 20;      ///< Table 1: RAM size = 1 MB
+  Cycle sram_latency = 1;                  ///< cycles from grant to data
+  std::uint32_t grants_per_cycle = 2;      ///< SRAM bandwidth (ports/banks)
+  ArbiterPolicy policy = ArbiterPolicy::CpuPriority;
+  bool cpu_cache_enabled = false;          ///< L1D on the CPU path (§3.2 HP integration)
+  bool hht_cache_enabled = false;          ///< let the HHT BE hit the same-level cache
+  CacheConfig cache;
+  /// Next-line stream prefetcher on the CPU's L1D (requires
+  /// cpu_cache_enabled): each demand miss queues the following
+  /// `prefetch_degree` lines, filled using *spare* SRAM grant slots. This
+  /// is the "traditional prefetcher" of §2 — it recovers streaming misses
+  /// (rows/cols/vals) but cannot anticipate the v[cols[k]] indirection.
+  bool prefetch_enabled = false;
+  std::uint32_t prefetch_degree = 2;
+  Addr mmio_base = 0xF000'0000u;
+  Addr mmio_size = 0x1'0000u;
+};
+
+/// The simulated memory system: a 1 MB on-chip SRAM behind a bandwidth-
+/// limited arbiter shared by the CPU and the HHT back-end, plus an MMIO
+/// window routed to a registered device (the HHT front-end).
+///
+/// Usage per cycle (strict order): requesters call submit() during their
+/// tick; MemorySystem::tick() then arbitrates, applies latencies and marks
+/// completions; requesters observe completion the following cycle via
+/// takeCompleted(). MMIO does not consume SRAM grant slots (the FE sits on
+/// the CPU's port, §3.1).
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemorySystemConfig& config);
+
+  /// Queue an access; returns a handle to poll with takeCompleted().
+  RequestId submit(const MemAccess& access);
+
+  /// If request `id` has completed, consume it and return the read data
+  /// (zero for writes). Otherwise std::nullopt.
+  std::optional<std::uint32_t> takeCompleted(RequestId id);
+
+  /// Advance one cycle: arbitrate SRAM grants, retry MMIO reads, retire
+  /// in-flight accesses whose latency elapsed.
+  void tick(Cycle now);
+
+  /// Register the device behind the MMIO window. At most one device.
+  void attachMmioDevice(MmioDevice* device);
+
+  bool isMmio(Addr addr) const {
+    return addr >= config_.mmio_base &&
+           addr - config_.mmio_base < config_.mmio_size;
+  }
+
+  /// True when no request is queued or in flight (used by run loops to
+  /// detect quiescence).
+  bool idle() const {
+    return sram_queue_.empty() && mmio_queue_.empty() && in_flight_.empty() &&
+           completed_.empty();
+  }
+
+  Sram& sram() { return sram_; }
+  const Sram& sram() const { return sram_; }
+  const MemorySystemConfig& config() const { return config_; }
+  StatSet& stats() { return stats_; }
+  const StatSet& stats() const { return stats_; }
+  const Cache* cpuCache() const { return cpu_cache_.get(); }
+  const Cache* hhtCache() const { return hht_cache_.get(); }
+
+  /// Export cache counters into stats() (called by run loops at the end).
+  void finalizeStats();
+
+ private:
+  struct Pending {
+    RequestId id;
+    MemAccess access;
+  };
+  struct InFlight {
+    RequestId id;
+    Cycle done_at;
+    std::uint32_t data;
+  };
+
+  void grant(const Pending& pending, Cycle now);
+
+  MemorySystemConfig config_;
+  Sram sram_;
+  std::unique_ptr<Cache> cpu_cache_;
+  std::unique_ptr<Cache> hht_cache_;
+  MmioDevice* mmio_device_ = nullptr;
+
+  std::deque<Pending> sram_queue_;
+  std::deque<Pending> mmio_queue_;
+  std::deque<Addr> prefetch_queue_;  ///< line addresses awaiting spare slots
+  std::vector<InFlight> in_flight_;
+  std::unordered_map<RequestId, std::uint32_t> completed_;
+
+  RequestId next_id_ = 1;
+  bool rr_hht_turn_ = false;  ///< round-robin: whose turn is next
+  StatSet stats_;
+
+  // Hot-path counters cached once (StatSet references are stable); indexed
+  // by Requester.
+  std::uint64_t* reads_[2];
+  std::uint64_t* writes_[2];
+  std::uint64_t* mmio_requests_[2];
+  std::uint64_t* conflict_cycles_[2];
+};
+
+}  // namespace hht::mem

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mem/request.h"
+#include "sim/types.h"
+
+namespace hht::mem {
+
+using sim::Addr;
+
+/// Result of an MMIO read attempt. A device may refuse to answer this cycle
+/// (`ready == false`), in which case the memory system keeps the load
+/// pending and retries every cycle — this is exactly the HHT front-end's
+/// "stall the CPU load until a buffer is ready" behaviour (§3.1).
+struct MmioReadResult {
+  bool ready = false;
+  std::uint32_t data = 0;
+};
+
+/// A memory-mapped device occupying an address window.
+///
+/// Offsets passed to the hooks are relative to the device's base address.
+/// Writes are posted (always accepted, complete in one cycle) — the MMRs of
+/// §3.1 are plain configuration registers.
+class MmioDevice {
+ public:
+  virtual ~MmioDevice() = default;
+
+  /// Attempt a read of `size` bytes at `offset`. Return ready=false to
+  /// stall the requester; the call is repeated each cycle until ready.
+  /// `who` distinguishes the primary core from a device-side micro-core
+  /// (the programmable HHT's firmware talks to the FE through the same
+  /// window).
+  virtual MmioReadResult mmioRead(Addr offset, std::uint32_t size,
+                                  Requester who) = 0;
+
+  /// Posted write of `size` bytes at `offset`.
+  virtual void mmioWrite(Addr offset, std::uint32_t size, std::uint32_t value,
+                         Requester who) = 0;
+};
+
+}  // namespace hht::mem

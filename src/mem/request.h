@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace hht::mem {
+
+using sim::Addr;
+using sim::Cycle;
+
+/// Who issued a memory request. The arbiter's CPU-priority policy and the
+/// per-requester statistics key off this.
+enum class Requester : std::uint8_t { Cpu = 0, Hht = 1 };
+
+inline const char* requesterName(Requester r) {
+  return r == Requester::Cpu ? "cpu" : "hht";
+}
+
+/// Handle used to poll for request completion.
+using RequestId = std::uint64_t;
+
+inline constexpr RequestId kInvalidRequest = 0;
+
+/// One element-sized access to the simulated memory system.
+///
+/// All simulated traffic is element-granular (1/2/4-byte scalars, or 4-byte
+/// beats of vector transfers) — matching the paper's MCU integration where
+/// the on-chip RAM is word-addressed with no cache lines in the way.
+struct MemAccess {
+  Addr addr = 0;
+  std::uint32_t size = 4;     ///< bytes: 1, 2 or 4
+  bool is_write = false;
+  std::uint32_t wdata = 0;    ///< write payload (low `size` bytes)
+  Requester requester = Requester::Cpu;
+};
+
+}  // namespace hht::mem

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace hht::mem {
+
+using sim::Addr;
+
+/// Functional backing store: a flat byte array modelling the MCU's on-chip
+/// SRAM (Table 1: 1 MB). Timing lives in MemorySystem; this class only
+/// holds state and does bounds-checked byte access.
+class Sram {
+ public:
+  explicit Sram(std::size_t bytes) : bytes_(bytes, 0) {}
+
+  std::size_t size() const { return bytes_.size(); }
+
+  bool inBounds(Addr addr, std::size_t len) const {
+    return static_cast<std::size_t>(addr) + len <= bytes_.size() &&
+           static_cast<std::size_t>(addr) + len >= len;  // overflow guard
+  }
+
+  std::uint32_t read(Addr addr, std::uint32_t size) const {
+    check(addr, size);
+    std::uint32_t v = 0;
+    std::memcpy(&v, bytes_.data() + addr, size);
+    return v;
+  }
+
+  void write(Addr addr, std::uint32_t size, std::uint32_t value) {
+    check(addr, size);
+    std::memcpy(bytes_.data() + addr, &value, size);
+  }
+
+  /// Bulk helpers for loading workloads / reading back results. These are
+  /// host-side conveniences and carry no simulated cost.
+  void pokeBytes(Addr addr, std::span<const std::byte> data) {
+    check(addr, data.size());
+    std::memcpy(bytes_.data() + addr, data.data(), data.size());
+  }
+  void peekBytes(Addr addr, std::span<std::byte> out) const {
+    check(addr, out.size());
+    std::memcpy(out.data(), bytes_.data() + addr, out.size());
+  }
+
+  template <typename T>
+  void pokeValue(Addr addr, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    pokeBytes(addr, std::as_bytes(std::span(&value, 1)));
+  }
+  template <typename T>
+  T peekValue(Addr addr) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out{};
+    peekBytes(addr, std::as_writable_bytes(std::span(&out, 1)));
+    return out;
+  }
+
+  template <typename T>
+  void pokeArray(Addr addr, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    pokeBytes(addr, std::as_bytes(values));
+  }
+  template <typename T>
+  std::vector<T> peekArray(Addr addr, std::size_t count) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> out(count);
+    peekBytes(addr, std::as_writable_bytes(std::span(out)));
+    return out;
+  }
+
+ private:
+  void check(Addr addr, std::size_t len) const {
+    if (!inBounds(addr, len)) {
+      throw std::out_of_range("Sram access out of bounds: addr=" +
+                              std::to_string(addr) + " len=" +
+                              std::to_string(len) + " size=" +
+                              std::to_string(bytes_.size()));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace hht::mem

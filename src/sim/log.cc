@@ -1,0 +1,44 @@
+#include "sim/log.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace hht::sim {
+
+namespace {
+std::atomic<int> g_level{-1};  // -1 = not yet initialised from env
+}
+
+void initLogLevelFromEnv() {
+  int level = 0;
+  if (const char* env = std::getenv("HHT_LOG")) {
+    level = std::atoi(env);
+    if (level < 0) level = 0;
+    if (level > 3) level = 3;
+  }
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel logLevel() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    initLogLevelFromEnv();
+    v = g_level.load(std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void setLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void logLine(LogLevel level, const char* component, const std::string& msg) {
+  static const char* const kNames[] = {"off", "info", "debug", "trace"};
+  std::fprintf(stderr, "[%s] %-6s %s\n", kNames[static_cast<int>(level)],
+               component, msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace hht::sim

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace hht::sim {
+
+/// Trace verbosity for the whole process. Default Off: simulations are run
+/// millions of cycles inside benchmarks and tests, so tracing must cost one
+/// branch when disabled.
+enum class LogLevel : int { Off = 0, Info = 1, Debug = 2, Trace = 3 };
+
+/// Process-wide log level (set from a bench flag or HHT_LOG env var).
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/// Initialise the level from the HHT_LOG environment variable ("0".."3").
+/// Called lazily by logLevel(); exposed for tests.
+void initLogLevelFromEnv();
+
+namespace detail {
+void logLine(LogLevel level, const char* component, const std::string& msg);
+}
+
+/// Cheap leveled logging: HHT_LOG_AT(Debug, "mem", "grant req=%u", id).
+/// The format arguments are not evaluated when the level is disabled.
+#define HHT_LOG_AT(level_, component_, ...)                                  \
+  do {                                                                       \
+    if (::hht::sim::logLevel() >= ::hht::sim::LogLevel::level_) {            \
+      char buf_[512];                                                        \
+      std::snprintf(buf_, sizeof(buf_), __VA_ARGS__);                        \
+      ::hht::sim::detail::logLine(::hht::sim::LogLevel::level_, component_,  \
+                                  buf_);                                     \
+    }                                                                        \
+  } while (false)
+
+}  // namespace hht::sim

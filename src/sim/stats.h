@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace hht::sim {
+
+/// A hierarchical set of named 64-bit counters.
+///
+/// Every simulator component (core, memory system, HHT) owns a StatSet and
+/// bumps counters by name. Names are dotted paths ("cpu.load_stall_cycles")
+/// so a merged dump groups naturally. Lookup cost is irrelevant off the hot
+/// path; components that bump a counter per cycle cache a reference once via
+/// counter().
+class StatSet {
+ public:
+  /// Returns a stable reference to the counter named `name`, creating it at
+  /// zero on first use. References stay valid for the StatSet's lifetime
+  /// (std::map nodes never move).
+  std::uint64_t& counter(std::string_view name) {
+    return counters_[std::string(name)];
+  }
+
+  /// Read-only lookup; returns 0 for a counter never bumped.
+  std::uint64_t value(std::string_view name) const {
+    auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  bool contains(std::string_view name) const {
+    return counters_.contains(std::string(name));
+  }
+
+  void clear() { counters_.clear(); }
+
+  /// Merge another StatSet into this one, prefixing each counter name.
+  void absorb(const StatSet& other, std::string_view prefix) {
+    for (const auto& [name, v] : other.counters_) {
+      counters_[std::string(prefix) + name] += v;
+    }
+  }
+
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+
+  friend std::ostream& operator<<(std::ostream& os, const StatSet& s) {
+    for (const auto& [name, v] : s.counters_) {
+      os << name << " = " << v << '\n';
+    }
+    return os;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace hht::sim

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+/// Fundamental scalar types shared by every simulator module.
+///
+/// The simulated machine is a 32-bit embedded system (RV32-class core,
+/// on-chip SRAM), so simulated addresses are 32-bit; simulation time is
+/// counted in cycles of the single global clock and is 64-bit.
+namespace hht::sim {
+
+/// Simulation time, in cycles of the global clock.
+using Cycle = std::uint64_t;
+
+/// A byte address in the simulated 32-bit physical address space.
+using Addr = std::uint32_t;
+
+/// Element index type used throughout the sparse library (CSR cols, row
+/// pointers, sparse-vector indices). 32-bit to match the simulated machine's
+/// word size and the paper's SEW=32 configuration.
+using Index = std::uint32_t;
+
+/// Matrix/vector element value type. The paper's configuration is 32-bit
+/// floating point (RV32F, SEW=32).
+using Value = float;
+
+/// Sentinel for "no cycle" / "not scheduled".
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+}  // namespace hht::sim

@@ -1,0 +1,102 @@
+#include "sparse/bcsr.h"
+
+namespace hht::sparse {
+
+BcsrMatrix BcsrMatrix::fromDense(const DenseMatrix& dense, Index block_rows,
+                                 Index block_cols) {
+  BcsrMatrix m;
+  m.n_rows_ = dense.numRows();
+  m.n_cols_ = dense.numCols();
+  m.block_rows_ = block_rows;
+  m.block_cols_ = block_cols;
+  const Index brows = (dense.numRows() + block_rows - 1) / block_rows;
+  const Index bcols = (dense.numCols() + block_cols - 1) / block_cols;
+  m.block_row_ptr_.assign(brows + 1, 0);
+
+  for (Index br = 0; br < brows; ++br) {
+    for (Index bc = 0; bc < bcols; ++bc) {
+      bool any = false;
+      for (Index i = 0; i < block_rows && !any; ++i) {
+        for (Index j = 0; j < block_cols && !any; ++j) {
+          const Index r = br * block_rows + i;
+          const Index c = bc * block_cols + j;
+          any = r < m.n_rows_ && c < m.n_cols_ && dense.at(r, c) != 0.0f;
+        }
+      }
+      if (!any) continue;
+      m.block_cols_idx_.push_back(bc);
+      for (Index i = 0; i < block_rows; ++i) {
+        for (Index j = 0; j < block_cols; ++j) {
+          const Index r = br * block_rows + i;
+          const Index c = bc * block_cols + j;
+          m.vals_.push_back((r < m.n_rows_ && c < m.n_cols_) ? dense.at(r, c)
+                                                             : 0.0f);
+        }
+      }
+    }
+    m.block_row_ptr_[br + 1] = static_cast<Index>(m.block_cols_idx_.size());
+  }
+  return m;
+}
+
+std::size_t BcsrMatrix::nnz() const {
+  std::size_t count = 0;
+  for (Value v : vals_) count += (v != 0.0f);
+  return count;
+}
+
+bool BcsrMatrix::validate() const {
+  const Index brows = block_rows_ == 0
+                          ? 0
+                          : (n_rows_ + block_rows_ - 1) / block_rows_;
+  const Index bcols = block_cols_ == 0
+                          ? 0
+                          : (n_cols_ + block_cols_ - 1) / block_cols_;
+  if (block_row_ptr_.size() != static_cast<std::size_t>(brows) + 1) return false;
+  if (block_row_ptr_.front() != 0) return false;
+  if (block_row_ptr_.back() != block_cols_idx_.size()) return false;
+  const std::size_t block_size =
+      static_cast<std::size_t>(block_rows_) * block_cols_;
+  if (vals_.size() != block_cols_idx_.size() * block_size) return false;
+  for (Index br = 0; br < brows; ++br) {
+    if (block_row_ptr_[br] > block_row_ptr_[br + 1]) return false;
+    for (Index k = block_row_ptr_[br]; k < block_row_ptr_[br + 1]; ++k) {
+      if (block_cols_idx_[k] >= bcols) return false;
+      if (k > block_row_ptr_[br] && block_cols_idx_[k - 1] >= block_cols_idx_[k]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+DenseMatrix BcsrMatrix::toDense() const {
+  DenseMatrix dense(n_rows_, n_cols_);
+  const Index brows =
+      block_rows_ == 0 ? 0 : (n_rows_ + block_rows_ - 1) / block_rows_;
+  const std::size_t block_size =
+      static_cast<std::size_t>(block_rows_) * block_cols_;
+  for (Index br = 0; br < brows; ++br) {
+    for (Index k = block_row_ptr_[br]; k < block_row_ptr_[br + 1]; ++k) {
+      const Index bc = block_cols_idx_[k];
+      const Value* block = vals_.data() + static_cast<std::size_t>(k) * block_size;
+      for (Index i = 0; i < block_rows_; ++i) {
+        for (Index j = 0; j < block_cols_; ++j) {
+          const Index r = br * block_rows_ + i;
+          const Index c = bc * block_cols_ + j;
+          if (r < n_rows_ && c < n_cols_) {
+            dense.at(r, c) = block[static_cast<std::size_t>(i) * block_cols_ + j];
+          }
+        }
+      }
+    }
+  }
+  return dense;
+}
+
+double BcsrMatrix::fillWaste() const {
+  if (vals_.empty()) return 0.0;
+  return 1.0 - static_cast<double>(nnz()) / static_cast<double>(vals_.size());
+}
+
+}  // namespace hht::sparse

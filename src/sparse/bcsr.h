@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/dense.h"
+
+namespace hht::sparse {
+
+/// Block Compressed Sparse Row (BCSR [18]): CSR over fixed-size dense
+/// blocks. A block is stored (fully, including its internal zeros) whenever
+/// it contains at least one non-zero; this trades storage for regular,
+/// vectorizable inner loops.
+class BcsrMatrix {
+ public:
+  BcsrMatrix() : block_row_ptr_(1, 0) {}
+
+  /// Builds with the given block shape. Dimensions that are not multiples
+  /// of the block shape are handled by implicit zero padding on the borders.
+  static BcsrMatrix fromDense(const DenseMatrix& dense, Index block_rows,
+                              Index block_cols);
+
+  Index numRows() const { return n_rows_; }
+  Index numCols() const { return n_cols_; }
+  Index blockRows() const { return block_rows_; }
+  Index blockCols() const { return block_cols_; }
+  /// Number of stored blocks.
+  std::size_t numBlocks() const { return block_cols_idx_.size(); }
+  /// Count of non-zero scalars inside stored blocks.
+  std::size_t nnz() const;
+
+  const std::vector<Index>& blockRowPtr() const { return block_row_ptr_; }
+  const std::vector<Index>& blockColIdx() const { return block_cols_idx_; }
+  /// Block values, each block stored row-major, blocks in CSR order.
+  const std::vector<Value>& vals() const { return vals_; }
+
+  bool validate() const;
+  DenseMatrix toDense() const;
+
+  std::size_t storageBytes() const {
+    return block_row_ptr_.size() * sizeof(Index) +
+           block_cols_idx_.size() * sizeof(Index) + vals_.size() * sizeof(Value);
+  }
+
+  /// Fraction of stored scalars that are zero (block fill waste).
+  double fillWaste() const;
+
+  bool operator==(const BcsrMatrix&) const = default;
+
+ private:
+  Index n_rows_ = 0;
+  Index n_cols_ = 0;
+  Index block_rows_ = 1;
+  Index block_cols_ = 1;
+  std::vector<Index> block_row_ptr_;   ///< per block-row
+  std::vector<Index> block_cols_idx_;  ///< block-column index of each block
+  std::vector<Value> vals_;
+};
+
+}  // namespace hht::sparse

@@ -1,0 +1,69 @@
+#include "sparse/bitvector.h"
+
+#include <bit>
+
+namespace hht::sparse {
+
+BitVectorMatrix BitVectorMatrix::fromDense(const DenseMatrix& dense) {
+  BitVectorMatrix m;
+  m.n_rows_ = dense.numRows();
+  m.n_cols_ = dense.numCols();
+  const std::size_t bits =
+      static_cast<std::size_t>(m.n_rows_) * m.n_cols_;
+  m.words_.assign((bits + 63) / 64, 0);
+  for (Index r = 0; r < m.n_rows_; ++r) {
+    for (Index c = 0; c < m.n_cols_; ++c) {
+      if (Value v = dense.at(r, c); v != 0.0f) {
+        const std::size_t pos = static_cast<std::size_t>(r) * m.n_cols_ + c;
+        m.words_[pos >> 6] |= std::uint64_t{1} << (pos & 63);
+        m.vals_.push_back(v);
+      }
+    }
+  }
+  return m;
+}
+
+std::size_t BitVectorMatrix::rank(Index r, Index c) const {
+  const std::size_t pos = static_cast<std::size_t>(r) * n_cols_ + c;
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < pos >> 6; ++w) {
+    count += static_cast<std::size_t>(std::popcount(words_[w]));
+  }
+  if (pos & 63) {
+    const std::uint64_t mask = (std::uint64_t{1} << (pos & 63)) - 1;
+    count += static_cast<std::size_t>(std::popcount(words_[pos >> 6] & mask));
+  }
+  return count;
+}
+
+bool BitVectorMatrix::validate() const {
+  const std::size_t bits = static_cast<std::size_t>(n_rows_) * n_cols_;
+  if (words_.size() != (bits + 63) / 64 && !(bits == 0 && words_.empty())) {
+    return false;
+  }
+  std::size_t set = 0;
+  for (std::uint64_t w : words_) set += static_cast<std::size_t>(std::popcount(w));
+  if (set != vals_.size()) return false;
+  // No spurious bits beyond the last position.
+  if (bits & 63) {
+    const std::uint64_t tail_mask = ~((std::uint64_t{1} << (bits & 63)) - 1);
+    if (!words_.empty() && (words_.back() & tail_mask) != 0) return false;
+  }
+  for (Value v : vals_) {
+    if (v == 0.0f) return false;
+  }
+  return true;
+}
+
+DenseMatrix BitVectorMatrix::toDense() const {
+  DenseMatrix dense(n_rows_, n_cols_);
+  std::size_t next = 0;
+  for (Index r = 0; r < n_rows_; ++r) {
+    for (Index c = 0; c < n_cols_; ++c) {
+      if (bit(r, c)) dense.at(r, c) = vals_[next++];
+    }
+  }
+  return dense;
+}
+
+}  // namespace hht::sparse

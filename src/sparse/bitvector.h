@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/dense.h"
+
+namespace hht::sparse {
+
+/// Bit-vector sparse matrix format (Fig. 1's right-hand representation,
+/// used by SCNN-style accelerators [5]).
+///
+/// One bit per dense position, row-major: bit set => the next value in the
+/// packed `vals` stream belongs to that position. Rank (popcount) over the
+/// bitmap recovers the value index for any coordinate.
+class BitVectorMatrix {
+ public:
+  BitVectorMatrix() = default;
+
+  static BitVectorMatrix fromDense(const DenseMatrix& dense);
+
+  Index numRows() const { return n_rows_; }
+  Index numCols() const { return n_cols_; }
+  std::size_t nnz() const { return vals_.size(); }
+
+  bool bit(Index r, Index c) const {
+    const std::size_t pos = static_cast<std::size_t>(r) * n_cols_ + c;
+    return (words_[pos >> 6] >> (pos & 63)) & 1u;
+  }
+
+  /// Number of set bits strictly before row-major position (r, c) —
+  /// the packed-value index of coordinate (r, c) when its bit is set.
+  std::size_t rank(Index r, Index c) const;
+
+  Value at(Index r, Index c) const {
+    return bit(r, c) ? vals_[rank(r, c)] : 0.0f;
+  }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  const std::vector<Value>& vals() const { return vals_; }
+
+  /// Storage footprint in bytes (bitmap words + packed values); compared
+  /// against CSR in the format-comparison example.
+  std::size_t storageBytes() const {
+    return words_.size() * sizeof(std::uint64_t) + vals_.size() * sizeof(Value);
+  }
+
+  bool validate() const;
+  DenseMatrix toDense() const;
+
+  bool operator==(const BitVectorMatrix&) const = default;
+
+ private:
+  Index n_rows_ = 0;
+  Index n_cols_ = 0;
+  std::vector<std::uint64_t> words_;
+  std::vector<Value> vals_;
+};
+
+}  // namespace hht::sparse

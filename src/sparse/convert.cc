@@ -1,0 +1,70 @@
+#include "sparse/convert.h"
+
+namespace hht::sparse {
+
+CscMatrix csrToCsc(const CsrMatrix& csr) { return CscMatrix::fromCoo(csr.toCoo()); }
+
+CsrMatrix cscToCsr(const CscMatrix& csc) { return CsrMatrix::fromCoo(csc.toCoo()); }
+
+CsrMatrix transpose(const CsrMatrix& csr) {
+  // A CSR matrix reinterpreted with rows<->cols swapped *is* the CSC form of
+  // the transpose; convert through CSC to keep per-row column ordering.
+  const CscMatrix csc = csrToCsc(csr);
+  return CsrMatrix(csr.numCols(), csr.numRows(), csc.colPtr(), csc.rows(),
+                   csc.vals());
+}
+
+BitVectorMatrix csrToBitVector(const CsrMatrix& csr) {
+  return BitVectorMatrix::fromDense(csr.toDense());
+}
+
+CsrMatrix bitVectorToCsr(const BitVectorMatrix& bv) {
+  return CsrMatrix::fromDense(bv.toDense());
+}
+
+RleMatrix csrToRle(const CsrMatrix& csr) {
+  return RleMatrix::fromDense(csr.toDense());
+}
+
+CsrMatrix rleToCsr(const RleMatrix& rle) {
+  return CsrMatrix::fromDense(rle.toDense());
+}
+
+HierBitmapMatrix csrToHierBitmap(const CsrMatrix& csr) {
+  return HierBitmapMatrix::fromDense(csr.toDense());
+}
+
+CsrMatrix hierBitmapToCsr(const HierBitmapMatrix& hb) {
+  return CsrMatrix::fromDense(hb.toDense());
+}
+
+BcsrMatrix csrToBcsr(const CsrMatrix& csr, Index block_rows, Index block_cols) {
+  return BcsrMatrix::fromDense(csr.toDense(), block_rows, block_cols);
+}
+
+CsrMatrix bcsrToCsr(const BcsrMatrix& bcsr) {
+  return CsrMatrix::fromDense(bcsr.toDense());
+}
+
+EllMatrix csrToEll(const CsrMatrix& csr) {
+  return EllMatrix::fromDense(csr.toDense());
+}
+
+CsrMatrix ellToCsr(const EllMatrix& ell) {
+  return CsrMatrix::fromDense(ell.toDense());
+}
+
+DiaMatrix csrToDia(const CsrMatrix& csr) {
+  return DiaMatrix::fromDense(csr.toDense());
+}
+
+CsrMatrix diaToCsr(const DiaMatrix& dia) {
+  return CsrMatrix::fromDense(dia.toDense());
+}
+
+std::size_t csrStorageBytes(const CsrMatrix& csr) {
+  return csr.rowPtr().size() * sizeof(Index) + csr.cols().size() * sizeof(Index) +
+         csr.vals().size() * sizeof(Value);
+}
+
+}  // namespace hht::sparse

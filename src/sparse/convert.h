@@ -1,0 +1,47 @@
+#pragma once
+
+#include "sparse/bcsr.h"
+#include "sparse/bitvector.h"
+#include "sparse/coo.h"
+#include "sparse/csc.h"
+#include "sparse/csr.h"
+#include "sparse/dia.h"
+#include "sparse/ell.h"
+#include "sparse/hier_bitmap.h"
+#include "sparse/rle.h"
+
+namespace hht::sparse {
+
+/// Direct format-to-format conversions. Anything not specialised below goes
+/// through the COO interchange form (or dense, for the position-stream
+/// formats); all paths are exact for float values since no arithmetic is
+/// performed, only re-indexing.
+CscMatrix csrToCsc(const CsrMatrix& csr);
+CsrMatrix cscToCsr(const CscMatrix& csc);
+
+/// CSR transpose (rows become columns), via the CSC dual.
+CsrMatrix transpose(const CsrMatrix& csr);
+
+BitVectorMatrix csrToBitVector(const CsrMatrix& csr);
+CsrMatrix bitVectorToCsr(const BitVectorMatrix& bv);
+
+RleMatrix csrToRle(const CsrMatrix& csr);
+CsrMatrix rleToCsr(const RleMatrix& rle);
+
+HierBitmapMatrix csrToHierBitmap(const CsrMatrix& csr);
+CsrMatrix hierBitmapToCsr(const HierBitmapMatrix& hb);
+
+BcsrMatrix csrToBcsr(const CsrMatrix& csr, Index block_rows, Index block_cols);
+CsrMatrix bcsrToCsr(const BcsrMatrix& bcsr);
+
+EllMatrix csrToEll(const CsrMatrix& csr);
+CsrMatrix ellToCsr(const EllMatrix& ell);
+
+DiaMatrix csrToDia(const CsrMatrix& csr);
+CsrMatrix diaToCsr(const DiaMatrix& dia);
+
+/// Storage footprint of a CSR matrix in bytes (rowPtr + cols + vals),
+/// for the format-comparison reporting.
+std::size_t csrStorageBytes(const CsrMatrix& csr);
+
+}  // namespace hht::sparse

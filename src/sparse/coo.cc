@@ -1,0 +1,59 @@
+#include "sparse/coo.h"
+
+#include <algorithm>
+
+namespace hht::sparse {
+
+CooMatrix CooMatrix::fromDense(const DenseMatrix& dense) {
+  CooMatrix coo(dense.numRows(), dense.numCols());
+  for (Index r = 0; r < dense.numRows(); ++r) {
+    for (Index c = 0; c < dense.numCols(); ++c) {
+      if (Value v = dense.at(r, c); v != 0.0f) coo.add(r, c, v);
+    }
+  }
+  return coo;
+}
+
+void CooMatrix::canonicalize() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::vector<Triplet> merged;
+  merged.reserve(entries_.size());
+  for (const Triplet& t : entries_) {
+    if (!merged.empty() && merged.back().row == t.row &&
+        merged.back().col == t.col) {
+      merged.back().value += t.value;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  std::erase_if(merged, [](const Triplet& t) { return t.value == 0.0f; });
+  entries_ = std::move(merged);
+}
+
+bool CooMatrix::isCanonical() const {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const Triplet& prev = entries_[i - 1];
+    const Triplet& cur = entries_[i];
+    const bool ordered =
+        prev.row < cur.row || (prev.row == cur.row && prev.col < cur.col);
+    if (!ordered) return false;
+  }
+  return true;
+}
+
+bool CooMatrix::validate() const {
+  return std::all_of(entries_.begin(), entries_.end(), [this](const Triplet& t) {
+    return t.row < n_rows_ && t.col < n_cols_;
+  });
+}
+
+DenseMatrix CooMatrix::toDense() const {
+  DenseMatrix dense(n_rows_, n_cols_);
+  for (const Triplet& t : entries_) dense.at(t.row, t.col) += t.value;
+  return dense;
+}
+
+}  // namespace hht::sparse

@@ -1,0 +1,79 @@
+#include "sparse/csc.h"
+
+#include <algorithm>
+
+namespace hht::sparse {
+
+CscMatrix CscMatrix::fromDense(const DenseMatrix& dense) {
+  std::vector<Index> col_ptr(dense.numCols() + 1, 0);
+  std::vector<Index> rows;
+  std::vector<Value> vals;
+  for (Index c = 0; c < dense.numCols(); ++c) {
+    for (Index r = 0; r < dense.numRows(); ++r) {
+      if (Value v = dense.at(r, c); v != 0.0f) {
+        rows.push_back(r);
+        vals.push_back(v);
+      }
+    }
+    col_ptr[c + 1] = static_cast<Index>(rows.size());
+  }
+  return CscMatrix(dense.numRows(), dense.numCols(), std::move(col_ptr),
+                   std::move(rows), std::move(vals));
+}
+
+CscMatrix CscMatrix::fromCoo(CooMatrix coo) {
+  coo.canonicalize();
+  // Column-major counting sort over the canonical (row-major) entries keeps
+  // rows ascending within each column.
+  std::vector<Index> col_ptr(coo.numCols() + 1, 0);
+  for (const Triplet& t : coo.entries()) ++col_ptr[t.col + 1];
+  for (Index c = 0; c < coo.numCols(); ++c) col_ptr[c + 1] += col_ptr[c];
+
+  std::vector<Index> rows(coo.nnz());
+  std::vector<Value> vals(coo.nnz());
+  std::vector<Index> cursor(col_ptr.begin(), col_ptr.end() - 1);
+  for (const Triplet& t : coo.entries()) {
+    const Index slot = cursor[t.col]++;
+    rows[slot] = t.row;
+    vals[slot] = t.value;
+  }
+  return CscMatrix(coo.numRows(), coo.numCols(), std::move(col_ptr),
+                   std::move(rows), std::move(vals));
+}
+
+bool CscMatrix::validate() const {
+  if (col_ptr_.size() != static_cast<std::size_t>(n_cols_) + 1) return false;
+  if (col_ptr_.front() != 0) return false;
+  if (col_ptr_.back() != vals_.size()) return false;
+  if (rows_.size() != vals_.size()) return false;
+  for (Index c = 0; c < n_cols_; ++c) {
+    if (col_ptr_[c] > col_ptr_[c + 1]) return false;
+    for (Index k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      if (rows_[k] >= n_rows_) return false;
+      if (k > col_ptr_[c] && rows_[k - 1] >= rows_[k]) return false;
+    }
+  }
+  return true;
+}
+
+DenseMatrix CscMatrix::toDense() const {
+  DenseMatrix dense(n_rows_, n_cols_);
+  for (Index c = 0; c < n_cols_; ++c) {
+    for (Index k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      dense.at(rows_[k], c) += vals_[k];
+    }
+  }
+  return dense;
+}
+
+CooMatrix CscMatrix::toCoo() const {
+  CooMatrix coo(n_rows_, n_cols_);
+  for (Index c = 0; c < n_cols_; ++c) {
+    for (Index k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      coo.add(rows_[k], c, vals_[k]);
+    }
+  }
+  return coo;
+}
+
+}  // namespace hht::sparse

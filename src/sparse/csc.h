@@ -1,0 +1,57 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/coo.h"
+#include "sparse/dense.h"
+
+namespace hht::sparse {
+
+/// Compressed Sparse Column matrix (CSR's transpose-dual, §1's CSC [19]).
+///
+///   colPtr : n_cols+1; column c's entries live in [colPtr[c], colPtr[c+1])
+///   rows   : row index of each non-zero, ascending within a column
+///   vals   : values parallel to rows
+class CscMatrix {
+ public:
+  CscMatrix() : col_ptr_(1, 0) {}
+  CscMatrix(Index n_rows, Index n_cols, std::vector<Index> col_ptr,
+            std::vector<Index> rows, std::vector<Value> vals)
+      : n_rows_(n_rows), n_cols_(n_cols), col_ptr_(std::move(col_ptr)),
+        rows_(std::move(rows)), vals_(std::move(vals)) {}
+
+  static CscMatrix fromDense(const DenseMatrix& dense);
+  static CscMatrix fromCoo(CooMatrix coo);
+
+  Index numRows() const { return n_rows_; }
+  Index numCols() const { return n_cols_; }
+  std::size_t nnz() const { return vals_.size(); }
+
+  const std::vector<Index>& colPtr() const { return col_ptr_; }
+  const std::vector<Index>& rows() const { return rows_; }
+  const std::vector<Value>& vals() const { return vals_; }
+
+  Index colNnz(Index c) const { return col_ptr_[c + 1] - col_ptr_[c]; }
+  std::span<const Index> colRows(Index c) const {
+    return {rows_.data() + col_ptr_[c], colNnz(c)};
+  }
+  std::span<const Value> colVals(Index c) const {
+    return {vals_.data() + col_ptr_[c], colNnz(c)};
+  }
+
+  bool validate() const;
+  DenseMatrix toDense() const;
+  CooMatrix toCoo() const;
+
+  bool operator==(const CscMatrix&) const = default;
+
+ private:
+  Index n_rows_ = 0;
+  Index n_cols_ = 0;
+  std::vector<Index> col_ptr_;
+  std::vector<Index> rows_;
+  std::vector<Value> vals_;
+};
+
+}  // namespace hht::sparse

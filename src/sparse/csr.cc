@@ -1,0 +1,111 @@
+#include "sparse/csr.h"
+
+#include <algorithm>
+
+namespace hht::sparse {
+
+CsrMatrix CsrMatrix::fromDense(const DenseMatrix& dense) {
+  std::vector<Index> row_ptr(dense.numRows() + 1, 0);
+  std::vector<Index> cols;
+  std::vector<Value> vals;
+  for (Index r = 0; r < dense.numRows(); ++r) {
+    for (Index c = 0; c < dense.numCols(); ++c) {
+      if (Value v = dense.at(r, c); v != 0.0f) {
+        cols.push_back(c);
+        vals.push_back(v);
+      }
+    }
+    row_ptr[r + 1] = static_cast<Index>(cols.size());
+  }
+  return CsrMatrix(dense.numRows(), dense.numCols(), std::move(row_ptr),
+                   std::move(cols), std::move(vals));
+}
+
+CsrMatrix CsrMatrix::fromCoo(CooMatrix coo) {
+  coo.canonicalize();
+  std::vector<Index> row_ptr(coo.numRows() + 1, 0);
+  std::vector<Index> cols;
+  std::vector<Value> vals;
+  cols.reserve(coo.nnz());
+  vals.reserve(coo.nnz());
+  for (const Triplet& t : coo.entries()) {
+    ++row_ptr[t.row + 1];
+    cols.push_back(t.col);
+    vals.push_back(t.value);
+  }
+  for (Index r = 0; r < coo.numRows(); ++r) row_ptr[r + 1] += row_ptr[r];
+  return CsrMatrix(coo.numRows(), coo.numCols(), std::move(row_ptr),
+                   std::move(cols), std::move(vals));
+}
+
+bool CsrMatrix::validate() const {
+  if (row_ptr_.size() != static_cast<std::size_t>(n_rows_) + 1) return false;
+  if (row_ptr_.front() != 0) return false;
+  if (row_ptr_.back() != vals_.size()) return false;
+  if (cols_.size() != vals_.size()) return false;
+  for (Index r = 0; r < n_rows_; ++r) {
+    if (row_ptr_[r] > row_ptr_[r + 1]) return false;
+    for (Index k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (cols_[k] >= n_cols_) return false;
+      if (k > row_ptr_[r] && cols_[k - 1] >= cols_[k]) return false;
+    }
+  }
+  return true;
+}
+
+DenseMatrix CsrMatrix::toDense() const {
+  DenseMatrix dense(n_rows_, n_cols_);
+  for (Index r = 0; r < n_rows_; ++r) {
+    for (Index k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      dense.at(r, cols_[k]) += vals_[k];
+    }
+  }
+  return dense;
+}
+
+CooMatrix CsrMatrix::toCoo() const {
+  CooMatrix coo(n_rows_, n_cols_);
+  for (Index r = 0; r < n_rows_; ++r) {
+    for (Index k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      coo.add(r, cols_[k], vals_[k]);
+    }
+  }
+  return coo;
+}
+
+Index CsrMatrix::maxRowNnz() const {
+  Index best = 0;
+  for (Index r = 0; r < n_rows_; ++r) best = std::max(best, rowNnz(r));
+  return best;
+}
+
+double CsrMatrix::avgRowNnz() const {
+  return n_rows_ == 0 ? 0.0
+                      : static_cast<double>(nnz()) / static_cast<double>(n_rows_);
+}
+
+double CsrMatrix::sparsity() const {
+  const double total = static_cast<double>(n_rows_) * n_cols_;
+  return total == 0.0 ? 0.0 : 1.0 - static_cast<double>(nnz()) / total;
+}
+
+CsrMatrix CsrMatrix::extractTile(Index r0, Index c0, Index h, Index w) const {
+  std::vector<Index> row_ptr(h + 1, 0);
+  std::vector<Index> cols;
+  std::vector<Value> vals;
+  for (Index r = 0; r < h; ++r) {
+    if (r0 + r < n_rows_) {
+      for (Index k = row_ptr_[r0 + r]; k < row_ptr_[r0 + r + 1]; ++k) {
+        const Index c = cols_[k];
+        if (c >= c0 && c < c0 + w) {
+          cols.push_back(c - c0);
+          vals.push_back(vals_[k]);
+        }
+      }
+    }
+    row_ptr[r + 1] = static_cast<Index>(cols.size());
+  }
+  return CsrMatrix(h, w, std::move(row_ptr), std::move(cols), std::move(vals));
+}
+
+}  // namespace hht::sparse

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace hht::sparse {
+
+using sim::Index;
+using sim::Value;
+
+/// Row-major dense matrix of 32-bit floats.
+///
+/// The dense form is the ground truth every compressed format converts to
+/// and from; reference kernels and tests compare against it.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(Index n_rows, Index n_cols, Value fill = 0.0f)
+      : n_rows_(n_rows), n_cols_(n_cols),
+        data_(static_cast<std::size_t>(n_rows) * n_cols, fill) {}
+
+  Index numRows() const { return n_rows_; }
+  Index numCols() const { return n_cols_; }
+
+  Value& at(Index r, Index c) {
+    assert(r < n_rows_ && c < n_cols_);
+    return data_[static_cast<std::size_t>(r) * n_cols_ + c];
+  }
+  Value at(Index r, Index c) const {
+    assert(r < n_rows_ && c < n_cols_);
+    return data_[static_cast<std::size_t>(r) * n_cols_ + c];
+  }
+
+  std::span<const Value> row(Index r) const {
+    assert(r < n_rows_);
+    return {data_.data() + static_cast<std::size_t>(r) * n_cols_, n_cols_};
+  }
+  std::span<Value> row(Index r) {
+    assert(r < n_rows_);
+    return {data_.data() + static_cast<std::size_t>(r) * n_cols_, n_cols_};
+  }
+
+  std::span<const Value> data() const { return data_; }
+  std::span<Value> data() { return data_; }
+
+  /// Number of exactly-zero entries (sparsity accounting is exact-zero
+  /// based throughout, as in the paper's synthetic workloads).
+  std::size_t countZeros() const {
+    std::size_t zeros = 0;
+    for (Value v : data_) zeros += (v == 0.0f);
+    return zeros;
+  }
+  std::size_t countNonZeros() const { return data_.size() - countZeros(); }
+
+  /// Fraction of zero entries in [0,1]; 0 for an empty matrix.
+  double sparsity() const {
+    return data_.empty() ? 0.0
+                         : static_cast<double>(countZeros()) /
+                               static_cast<double>(data_.size());
+  }
+
+  bool operator==(const DenseMatrix&) const = default;
+
+ private:
+  Index n_rows_ = 0;
+  Index n_cols_ = 0;
+  std::vector<Value> data_;
+};
+
+/// Dense vector with the same conventions.
+class DenseVector {
+ public:
+  DenseVector() = default;
+  explicit DenseVector(Index n, Value fill = 0.0f) : data_(n, fill) {}
+  explicit DenseVector(std::vector<Value> values) : data_(std::move(values)) {}
+
+  Index size() const { return static_cast<Index>(data_.size()); }
+  Value& at(Index i) { assert(i < size()); return data_[i]; }
+  Value at(Index i) const { assert(i < size()); return data_[i]; }
+  Value& operator[](Index i) { return at(i); }
+  Value operator[](Index i) const { return at(i); }
+
+  std::span<const Value> data() const { return data_; }
+  std::span<Value> data() { return data_; }
+  std::vector<Value>& values() { return data_; }
+  const std::vector<Value>& values() const { return data_; }
+
+  std::size_t countNonZeros() const {
+    std::size_t nnz = 0;
+    for (Value v : data_) nnz += (v != 0.0f);
+    return nnz;
+  }
+  double sparsity() const {
+    return data_.empty() ? 0.0
+                         : 1.0 - static_cast<double>(countNonZeros()) /
+                                     static_cast<double>(data_.size());
+  }
+
+  bool operator==(const DenseVector&) const = default;
+
+ private:
+  std::vector<Value> data_;
+};
+
+}  // namespace hht::sparse

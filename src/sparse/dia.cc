@@ -1,0 +1,83 @@
+#include "sparse/dia.h"
+
+namespace hht::sparse {
+
+DiaMatrix DiaMatrix::fromDense(const DenseMatrix& dense) {
+  DiaMatrix m;
+  m.n_rows_ = dense.numRows();
+  m.n_cols_ = dense.numCols();
+  // Pass 1: find occupied diagonals (ascending offset order).
+  const std::int64_t lo = -static_cast<std::int64_t>(m.n_rows_) + 1;
+  const std::int64_t hi = static_cast<std::int64_t>(m.n_cols_) - 1;
+  for (std::int64_t off = lo; off <= hi; ++off) {
+    bool any = false;
+    for (Index r = 0; r < m.n_rows_ && !any; ++r) {
+      const std::int64_t c = static_cast<std::int64_t>(r) + off;
+      any = c >= 0 && c < m.n_cols_ &&
+            dense.at(r, static_cast<Index>(c)) != 0.0f;
+    }
+    if (any) m.offsets_.push_back(static_cast<std::int32_t>(off));
+  }
+  // Pass 2: fill diag-major data.
+  m.data_.assign(m.offsets_.size() * m.n_rows_, 0.0f);
+  for (std::size_t d = 0; d < m.offsets_.size(); ++d) {
+    for (Index r = 0; r < m.n_rows_; ++r) {
+      const std::int64_t c = static_cast<std::int64_t>(r) + m.offsets_[d];
+      if (c >= 0 && c < m.n_cols_) {
+        m.data_[d * m.n_rows_ + r] = dense.at(r, static_cast<Index>(c));
+      }
+    }
+  }
+  return m;
+}
+
+std::size_t DiaMatrix::nnz() const {
+  std::size_t count = 0;
+  for (Value v : data_) count += (v != 0.0f);
+  return count;
+}
+
+Value DiaMatrix::at(Index r, Index c) const {
+  const std::int32_t off =
+      static_cast<std::int32_t>(c) - static_cast<std::int32_t>(r);
+  for (std::size_t d = 0; d < offsets_.size(); ++d) {
+    if (offsets_[d] == off) return data_[d * n_rows_ + r];
+  }
+  return 0.0f;
+}
+
+bool DiaMatrix::validate() const {
+  if (data_.size() != offsets_.size() * n_rows_) return false;
+  for (std::size_t d = 0; d < offsets_.size(); ++d) {
+    if (d > 0 && offsets_[d - 1] >= offsets_[d]) return false;
+    if (offsets_[d] <= -static_cast<std::int64_t>(n_rows_) ||
+        offsets_[d] >= static_cast<std::int64_t>(n_cols_)) {
+      return false;
+    }
+    bool any = false;
+    for (Index r = 0; r < n_rows_; ++r) {
+      const std::int64_t c = static_cast<std::int64_t>(r) + offsets_[d];
+      const Value v = data_[d * n_rows_ + r];
+      const bool inside = c >= 0 && c < n_cols_;
+      if (!inside && v != 0.0f) return false;  // out-of-matrix slot non-zero
+      any |= (v != 0.0f);
+    }
+    if (!any) return false;  // stored diagonal must carry something
+  }
+  return true;
+}
+
+DenseMatrix DiaMatrix::toDense() const {
+  DenseMatrix dense(n_rows_, n_cols_);
+  for (std::size_t d = 0; d < offsets_.size(); ++d) {
+    for (Index r = 0; r < n_rows_; ++r) {
+      const std::int64_t c = static_cast<std::int64_t>(r) + offsets_[d];
+      if (c >= 0 && c < n_cols_) {
+        dense.at(r, static_cast<Index>(c)) = data_[d * n_rows_ + r];
+      }
+    }
+  }
+  return dense;
+}
+
+}  // namespace hht::sparse

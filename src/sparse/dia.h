@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/dense.h"
+
+namespace hht::sparse {
+
+/// DIA (diagonal) format: values stored per occupied diagonal. Offsets are
+/// column - row (negative = below the main diagonal). Natural for stencil
+/// matrices from discretised PDEs (§1's ODE/PDE solvers) where only a few
+/// diagonals are occupied.
+///
+/// `data` is diag-major: diagonal d's entry for row r lives at
+/// data[d * n_rows + r]; positions falling outside the matrix hold 0.
+class DiaMatrix {
+ public:
+  DiaMatrix() = default;
+
+  static DiaMatrix fromDense(const DenseMatrix& dense);
+
+  Index numRows() const { return n_rows_; }
+  Index numCols() const { return n_cols_; }
+  std::size_t numDiagonals() const { return offsets_.size(); }
+  std::size_t nnz() const;
+
+  const std::vector<std::int32_t>& offsets() const { return offsets_; }
+  const std::vector<Value>& data() const { return data_; }
+
+  Value at(Index r, Index c) const;
+
+  /// Offsets strictly ascending and in range; out-of-matrix slots zero;
+  /// no entirely-zero stored diagonal.
+  bool validate() const;
+
+  DenseMatrix toDense() const;
+
+  std::size_t storageBytes() const {
+    return offsets_.size() * sizeof(std::int32_t) + data_.size() * sizeof(Value);
+  }
+
+  bool operator==(const DiaMatrix&) const = default;
+
+ private:
+  Index n_rows_ = 0;
+  Index n_cols_ = 0;
+  std::vector<std::int32_t> offsets_;
+  std::vector<Value> data_;
+};
+
+}  // namespace hht::sparse

@@ -1,0 +1,72 @@
+#include "sparse/ell.h"
+
+#include <algorithm>
+
+namespace hht::sparse {
+
+EllMatrix EllMatrix::fromDense(const DenseMatrix& dense) {
+  EllMatrix m;
+  m.n_rows_ = dense.numRows();
+  m.n_cols_ = dense.numCols();
+  Index width = 0;
+  for (Index r = 0; r < m.n_rows_; ++r) {
+    Index row_nnz = 0;
+    for (Index c = 0; c < m.n_cols_; ++c) row_nnz += (dense.at(r, c) != 0.0f);
+    width = std::max(width, row_nnz);
+  }
+  m.width_ = width;
+  m.cols_.assign(static_cast<std::size_t>(m.n_rows_) * width, kPad);
+  m.vals_.assign(static_cast<std::size_t>(m.n_rows_) * width, 0.0f);
+  for (Index r = 0; r < m.n_rows_; ++r) {
+    Index slot = 0;
+    for (Index c = 0; c < m.n_cols_; ++c) {
+      if (Value v = dense.at(r, c); v != 0.0f) {
+        m.cols_[static_cast<std::size_t>(r) * width + slot] = c;
+        m.vals_[static_cast<std::size_t>(r) * width + slot] = v;
+        ++slot;
+      }
+    }
+  }
+  return m;
+}
+
+std::size_t EllMatrix::nnz() const {
+  std::size_t count = 0;
+  for (Index c : cols_) count += (c != kPad);
+  return count;
+}
+
+bool EllMatrix::validate() const {
+  const std::size_t expected = static_cast<std::size_t>(n_rows_) * width_;
+  if (cols_.size() != expected || vals_.size() != expected) return false;
+  for (Index r = 0; r < n_rows_; ++r) {
+    bool in_padding = false;
+    Index prev = 0;
+    for (Index slot = 0; slot < width_; ++slot) {
+      const Index c = colAt(r, slot);
+      if (c == kPad) {
+        if (valAt(r, slot) != 0.0f) return false;
+        in_padding = true;
+        continue;
+      }
+      if (in_padding) return false;  // real entry after padding started
+      if (c >= n_cols_) return false;
+      if (slot > 0 && prev >= c) return false;
+      prev = c;
+    }
+  }
+  return true;
+}
+
+DenseMatrix EllMatrix::toDense() const {
+  DenseMatrix dense(n_rows_, n_cols_);
+  for (Index r = 0; r < n_rows_; ++r) {
+    for (Index slot = 0; slot < width_; ++slot) {
+      const Index c = colAt(r, slot);
+      if (c != kPad) dense.at(r, c) = valAt(r, slot);
+    }
+  }
+  return dense;
+}
+
+}  // namespace hht::sparse

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/dense.h"
+
+namespace hht::sparse {
+
+/// ELLPACK (ELL) format: every row padded to the same width K = max row
+/// nnz. Regular structure suits vector units (no per-row trip counts) at
+/// the cost of padding; classic companion to CSR in SpMV studies.
+///
+/// Storage is row-major: row r's slots are [r*K, (r+1)*K). Unused slots
+/// hold column sentinel kPad and value 0.
+class EllMatrix {
+ public:
+  static constexpr Index kPad = ~Index{0};
+
+  EllMatrix() = default;
+
+  static EllMatrix fromDense(const DenseMatrix& dense);
+
+  Index numRows() const { return n_rows_; }
+  Index numCols() const { return n_cols_; }
+  Index width() const { return width_; }
+  std::size_t nnz() const;
+
+  const std::vector<Index>& cols() const { return cols_; }
+  const std::vector<Value>& vals() const { return vals_; }
+
+  Index colAt(Index r, Index slot) const {
+    return cols_[static_cast<std::size_t>(r) * width_ + slot];
+  }
+  Value valAt(Index r, Index slot) const {
+    return vals_[static_cast<std::size_t>(r) * width_ + slot];
+  }
+
+  /// Real entries packed left, strictly ascending; padding slots carry
+  /// (kPad, 0); indices in range.
+  bool validate() const;
+
+  DenseMatrix toDense() const;
+
+  std::size_t storageBytes() const {
+    return cols_.size() * sizeof(Index) + vals_.size() * sizeof(Value);
+  }
+  /// Fraction of slots that are padding.
+  double paddingWaste() const {
+    return cols_.empty() ? 0.0
+                         : 1.0 - static_cast<double>(nnz()) /
+                                     static_cast<double>(cols_.size());
+  }
+
+  bool operator==(const EllMatrix&) const = default;
+
+ private:
+  Index n_rows_ = 0;
+  Index n_cols_ = 0;
+  Index width_ = 0;
+  std::vector<Index> cols_;
+  std::vector<Value> vals_;
+};
+
+}  // namespace hht::sparse

@@ -1,0 +1,129 @@
+#include "sparse/hier_bitmap.h"
+
+#include <bit>
+
+namespace hht::sparse {
+
+namespace {
+
+std::size_t popcountBefore(const std::vector<std::uint64_t>& words,
+                           std::size_t bit_pos) {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < bit_pos >> 6; ++w) {
+    count += static_cast<std::size_t>(std::popcount(words[w]));
+  }
+  if (bit_pos & 63) {
+    const std::uint64_t mask = (std::uint64_t{1} << (bit_pos & 63)) - 1;
+    count += static_cast<std::size_t>(std::popcount(words[bit_pos >> 6] & mask));
+  }
+  return count;
+}
+
+bool testBit(const std::vector<std::uint64_t>& words, std::size_t bit_pos) {
+  return (words[bit_pos >> 6] >> (bit_pos & 63)) & 1u;
+}
+
+}  // namespace
+
+HierBitmapMatrix HierBitmapMatrix::fromDense(const DenseMatrix& dense) {
+  HierBitmapMatrix m;
+  m.n_rows_ = dense.numRows();
+  m.n_cols_ = dense.numCols();
+  const std::size_t positions =
+      static_cast<std::size_t>(m.n_rows_) * m.n_cols_;
+  const std::size_t slots = (positions + kLeafBits - 1) / kLeafBits;
+  m.level1_.assign((slots + 63) / 64, 0);
+
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    std::uint64_t leaf = 0;
+    for (Index b = 0; b < kLeafBits; ++b) {
+      const std::size_t pos = slot * kLeafBits + b;
+      if (pos >= positions) break;
+      const Value v = dense.at(static_cast<Index>(pos / m.n_cols_),
+                               static_cast<Index>(pos % m.n_cols_));
+      if (v != 0.0f) {
+        leaf |= std::uint64_t{1} << b;
+        m.vals_.push_back(v);
+      }
+    }
+    if (leaf != 0) {
+      m.level1_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+      m.leaves_.push_back(leaf);
+    }
+  }
+  return m;
+}
+
+Value HierBitmapMatrix::at(Index r, Index c) const {
+  const std::size_t pos = static_cast<std::size_t>(r) * n_cols_ + c;
+  const std::size_t slot = pos / kLeafBits;
+  if (!testBit(level1_, slot)) return 0.0f;
+  const std::size_t leaf_index = popcountBefore(level1_, slot);
+  const std::uint64_t leaf = leaves_[leaf_index];
+  const Index bit = static_cast<Index>(pos % kLeafBits);
+  if (!((leaf >> bit) & 1u)) return 0.0f;
+
+  // Values before this one = all values in earlier leaves + earlier bits
+  // in this leaf.
+  std::size_t before = 0;
+  for (std::size_t l = 0; l < leaf_index; ++l) {
+    before += static_cast<std::size_t>(std::popcount(leaves_[l]));
+  }
+  if (bit != 0) {
+    before += static_cast<std::size_t>(
+        std::popcount(leaf & ((std::uint64_t{1} << bit) - 1)));
+  }
+  return vals_[before];
+}
+
+std::vector<std::pair<std::size_t, Value>> HierBitmapMatrix::enumerate() const {
+  std::vector<std::pair<std::size_t, Value>> out;
+  out.reserve(vals_.size());
+  std::size_t leaf_index = 0;
+  std::size_t val_index = 0;
+  const std::size_t slots = numLeafSlots();
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    if (!testBit(level1_, slot)) continue;
+    std::uint64_t leaf = leaves_[leaf_index++];
+    while (leaf != 0) {
+      const int bit = std::countr_zero(leaf);
+      leaf &= leaf - 1;
+      out.emplace_back(slot * kLeafBits + static_cast<std::size_t>(bit),
+                       vals_[val_index++]);
+    }
+  }
+  return out;
+}
+
+bool HierBitmapMatrix::validate() const {
+  const std::size_t slots = numLeafSlots();
+  if (level1_.size() != (slots + 63) / 64 && !(slots == 0 && level1_.empty())) {
+    return false;
+  }
+  std::size_t set_slots = 0;
+  for (std::uint64_t w : level1_) {
+    set_slots += static_cast<std::size_t>(std::popcount(w));
+  }
+  if (set_slots != leaves_.size()) return false;
+  std::size_t total = 0;
+  for (std::uint64_t leaf : leaves_) {
+    if (leaf == 0) return false;  // a recorded leaf must be occupied
+    total += static_cast<std::size_t>(std::popcount(leaf));
+  }
+  if (total != vals_.size()) return false;
+  for (Value v : vals_) {
+    if (v == 0.0f) return false;
+  }
+  return true;
+}
+
+DenseMatrix HierBitmapMatrix::toDense() const {
+  DenseMatrix dense(n_rows_, n_cols_);
+  for (const auto& [pos, v] : enumerate()) {
+    dense.at(static_cast<Index>(pos / n_cols_),
+             static_cast<Index>(pos % n_cols_)) = v;
+  }
+  return dense;
+}
+
+}  // namespace hht::sparse

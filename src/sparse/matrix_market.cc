@@ -1,0 +1,108 @@
+#include "sparse/matrix_market.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hht::sparse {
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+CooMatrix readMatrixMarket(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw MatrixMarketError("empty Matrix Market stream");
+  }
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") {
+    throw MatrixMarketError("missing %%MatrixMarket banner");
+  }
+  object = lower(object);
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (object != "matrix" || format != "coordinate") {
+    throw MatrixMarketError("only 'matrix coordinate' files are supported");
+  }
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer") {
+    throw MatrixMarketError("unsupported field type: " + field);
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general") {
+    throw MatrixMarketError("unsupported symmetry: " + symmetry);
+  }
+
+  // Skip comments, then read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long n_rows = 0, n_cols = 0, n_entries = 0;
+  if (!(size_line >> n_rows >> n_cols >> n_entries) || n_rows < 0 ||
+      n_cols < 0 || n_entries < 0) {
+    throw MatrixMarketError("malformed size line: " + line);
+  }
+
+  CooMatrix coo(static_cast<Index>(n_rows), static_cast<Index>(n_cols));
+  for (long long e = 0; e < n_entries; ++e) {
+    if (!std::getline(in, line)) {
+      throw MatrixMarketError("unexpected end of file in entry list");
+    }
+    if (line.empty() || line[0] == '%') {
+      --e;  // tolerate blank/comment lines between entries
+      continue;
+    }
+    std::istringstream entry(line);
+    long long r = 0, c = 0;
+    double v = 1.0;
+    if (!(entry >> r >> c)) {
+      throw MatrixMarketError("malformed entry: " + line);
+    }
+    if (!pattern && !(entry >> v)) {
+      throw MatrixMarketError("entry missing value: " + line);
+    }
+    if (r < 1 || r > n_rows || c < 1 || c > n_cols) {
+      throw MatrixMarketError("entry out of bounds: " + line);
+    }
+    const Index ri = static_cast<Index>(r - 1);
+    const Index ci = static_cast<Index>(c - 1);
+    coo.add(ri, ci, static_cast<Value>(v));
+    if (symmetric && ri != ci) coo.add(ci, ri, static_cast<Value>(v));
+  }
+  return coo;
+}
+
+CooMatrix readMatrixMarketFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw MatrixMarketError("cannot open " + path);
+  return readMatrixMarket(in);
+}
+
+void writeMatrixMarket(std::ostream& out, const CooMatrix& coo) {
+  CooMatrix canonical = coo;
+  canonical.canonicalize();
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by hht_repro sparse library\n";
+  out << canonical.numRows() << ' ' << canonical.numCols() << ' '
+      << canonical.nnz() << '\n';
+  for (const Triplet& t : canonical.entries()) {
+    out << (t.row + 1) << ' ' << (t.col + 1) << ' ' << t.value << '\n';
+  }
+}
+
+void writeMatrixMarketFile(const std::string& path, const CooMatrix& coo) {
+  std::ofstream out(path);
+  if (!out) throw MatrixMarketError("cannot open " + path + " for writing");
+  writeMatrixMarket(out, coo);
+}
+
+}  // namespace hht::sparse

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "sparse/coo.h"
+
+namespace hht::sparse {
+
+/// Matrix Market (.mtx) coordinate-format I/O.
+///
+/// The paper draws additional workloads from the Texas A&M (SuiteSparse)
+/// collection, which is distributed as Matrix Market files. We implement
+/// the subset the collection uses for real matrices:
+///   %%MatrixMarket matrix coordinate {real|integer|pattern} {general|symmetric}
+/// Pattern entries get value 1.0; symmetric files are expanded to general
+/// on load (mirror entries added, diagonal not duplicated).
+
+class MatrixMarketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse a Matrix Market stream into COO (1-based coordinates converted to
+/// 0-based). Throws MatrixMarketError on malformed input.
+CooMatrix readMatrixMarket(std::istream& in);
+CooMatrix readMatrixMarketFile(const std::string& path);
+
+/// Write COO as "matrix coordinate real general" (canonical order).
+void writeMatrixMarket(std::ostream& out, const CooMatrix& coo);
+void writeMatrixMarketFile(const std::string& path, const CooMatrix& coo);
+
+}  // namespace hht::sparse

@@ -1,0 +1,102 @@
+#include "sparse/reference.h"
+
+#include <stdexcept>
+
+namespace hht::sparse {
+
+DenseVector matVecDense(const DenseMatrix& m, const DenseVector& v) {
+  DenseVector y(m.numRows());
+  for (Index r = 0; r < m.numRows(); ++r) {
+    Value s = 0.0f;
+    for (Index c = 0; c < m.numCols(); ++c) s += m.at(r, c) * v.at(c);
+    y.at(r) = s;
+  }
+  return y;
+}
+
+DenseVector spmvCsr(const CsrMatrix& m, const DenseVector& v) {
+  DenseVector y(m.numRows());
+  for (Index r = 0; r < m.numRows(); ++r) {
+    Value s = 0.0f;
+    const auto cols = m.rowCols(r);
+    const auto vals = m.rowVals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) s += vals[k] * v.at(cols[k]);
+    y.at(r) = s;
+  }
+  return y;
+}
+
+DenseVector spmspvMerge(const CsrMatrix& m, const SparseVector& v) {
+  DenseVector y(m.numRows());
+  for (Index r = 0; r < m.numRows(); ++r) {
+    Value s = 0.0f;
+    for (const AlignedPair& p : intersectRow(m, r, v)) s += p.m_val * p.v_val;
+    y.at(r) = s;
+  }
+  return y;
+}
+
+DenseVector spmspvValueStream(const CsrMatrix& m, const SparseVector& v) {
+  DenseVector y(m.numRows());
+  for (Index r = 0; r < m.numRows(); ++r) {
+    Value s = 0.0f;
+    const auto vals = m.rowVals(r);
+    const std::vector<Value> stream = valueStreamRow(m, r, v);
+    for (std::size_t k = 0; k < vals.size(); ++k) s += vals[k] * stream[k];
+    y.at(r) = s;
+  }
+  return y;
+}
+
+DenseMatrix spmmCsr(const CsrMatrix& m, const DenseMatrix& b) {
+  if (b.numRows() != m.numCols()) {
+    throw std::invalid_argument("spmmCsr: B rows != M cols");
+  }
+  DenseMatrix y(m.numRows(), b.numCols());
+  for (Index j = 0; j < b.numCols(); ++j) {
+    DenseVector column(b.numRows());
+    for (Index i = 0; i < b.numRows(); ++i) column.at(i) = b.at(i, j);
+    const DenseVector yj = spmvCsr(m, column);
+    for (Index i = 0; i < m.numRows(); ++i) y.at(i, j) = yj.at(i);
+  }
+  return y;
+}
+
+std::vector<AlignedPair> intersectRow(const CsrMatrix& m, Index row,
+                                      const SparseVector& v) {
+  std::vector<AlignedPair> pairs;
+  const auto cols = m.rowCols(row);
+  const auto vals = m.rowVals(row);
+  const auto& vidx = v.indices();
+  const auto& vvals = v.vals();
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < cols.size() && b < vidx.size()) {
+    if (cols[a] == vidx[b]) {
+      pairs.push_back({vals[a], vvals[b]});
+      ++a;
+      ++b;
+    } else if (cols[a] < vidx[b]) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return pairs;
+}
+
+std::vector<Value> valueStreamRow(const CsrMatrix& m, Index row,
+                                  const SparseVector& v) {
+  const auto cols = m.rowCols(row);
+  const auto& vidx = v.indices();
+  const auto& vvals = v.vals();
+  std::vector<Value> stream(cols.size(), 0.0f);
+  std::size_t b = 0;
+  for (std::size_t a = 0; a < cols.size(); ++a) {
+    while (b < vidx.size() && vidx[b] < cols[a]) ++b;
+    if (b < vidx.size() && vidx[b] == cols[a]) stream[a] = vvals[b];
+  }
+  return stream;
+}
+
+}  // namespace hht::sparse

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.h"
+#include "sparse/dense.h"
+#include "sparse/sparse_vector.h"
+
+namespace hht::sparse {
+
+/// Software reference kernels.
+///
+/// These are the *functional* ground truth the simulated kernels (baseline
+/// and HHT-assisted, executed instruction-by-instruction on the cycle
+/// simulator) must reproduce bit-for-bit: the simulated code performs the
+/// same multiplies and adds in the same order, so results compare with ==,
+/// no epsilon.
+
+/// Dense mat-vec (used to validate the sparse references themselves).
+DenseVector matVecDense(const DenseMatrix& m, const DenseVector& v);
+
+/// Algorithm 1 of the paper: CSR SpMV, row-major accumulation order.
+DenseVector spmvCsr(const CsrMatrix& m, const DenseVector& v);
+
+/// SpMSpV by per-row two-pointer merge of the row's column indices with the
+/// sparse vector's indices — the ordering the baseline simulated kernel and
+/// the HHT variant-1 engine both follow.
+DenseVector spmspvMerge(const CsrMatrix& m, const SparseVector& v);
+
+/// SpMSpV in variant-2 order: for *every* stored matrix non-zero, multiply
+/// by the (possibly zero) vector value at its column. Same result as
+/// spmspvMerge, but the FLOP order matches the variant-2 kernel.
+DenseVector spmspvValueStream(const CsrMatrix& m, const SparseVector& v);
+
+/// The aligned (matrix value, vector value) pairs the HHT variant-1 engine
+/// must emit for row r — the index intersection.
+struct AlignedPair {
+  Value m_val = 0.0f;
+  Value v_val = 0.0f;
+  friend bool operator==(const AlignedPair&, const AlignedPair&) = default;
+};
+std::vector<AlignedPair> intersectRow(const CsrMatrix& m, Index row,
+                                      const SparseVector& v);
+
+/// The value-or-zero stream the HHT variant-2 engine must emit for row r:
+/// one entry per stored matrix non-zero in the row.
+std::vector<Value> valueStreamRow(const CsrMatrix& m, Index row,
+                                  const SparseVector& v);
+
+/// SpMM: Y = M * B with B dense (num_cols x k). Computed column-by-column
+/// in spmvCsr order, which is exactly how the simulated kernels batch the
+/// HHT (one gather pass per B column).
+DenseMatrix spmmCsr(const CsrMatrix& m, const DenseMatrix& b);
+
+}  // namespace hht::sparse

@@ -1,0 +1,44 @@
+#include "sparse/rle.h"
+
+namespace hht::sparse {
+
+RleMatrix RleMatrix::fromDense(const DenseMatrix& dense) {
+  RleMatrix m;
+  m.n_rows_ = dense.numRows();
+  m.n_cols_ = dense.numCols();
+  Index zeros = 0;
+  for (Index r = 0; r < m.n_rows_; ++r) {
+    for (Index c = 0; c < m.n_cols_; ++c) {
+      if (Value v = dense.at(r, c); v != 0.0f) {
+        m.runs_.push_back({zeros, v});
+        zeros = 0;
+      } else {
+        ++zeros;
+      }
+    }
+  }
+  return m;
+}
+
+bool RleMatrix::validate() const {
+  std::size_t positions = 0;
+  for (const Run& run : runs_) {
+    if (run.value == 0.0f) return false;
+    positions += run.zeros_before + 1;
+  }
+  return positions <= static_cast<std::size_t>(n_rows_) * n_cols_;
+}
+
+DenseMatrix RleMatrix::toDense() const {
+  DenseMatrix dense(n_rows_, n_cols_);
+  std::size_t pos = 0;
+  for (const Run& run : runs_) {
+    pos += run.zeros_before;
+    dense.at(static_cast<Index>(pos / n_cols_),
+             static_cast<Index>(pos % n_cols_)) = run.value;
+    ++pos;
+  }
+  return dense;
+}
+
+}  // namespace hht::sparse

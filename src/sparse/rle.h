@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/dense.h"
+
+namespace hht::sparse {
+
+/// Run-length encoded sparse matrix (§1's RLE variant [5]).
+///
+/// Each non-zero is stored as (zero_run, value): the number of zeros that
+/// precede it in row-major order since the previous non-zero. Trailing
+/// zeros are implied by the dense dimensions. This is the encoding used by
+/// compressed-weight DNN accelerators where runs are short and bounded.
+class RleMatrix {
+ public:
+  struct Run {
+    Index zeros_before = 0;  ///< zeros since the previous stored value
+    Value value = 0.0f;
+
+    friend bool operator==(const Run&, const Run&) = default;
+  };
+
+  RleMatrix() = default;
+
+  static RleMatrix fromDense(const DenseMatrix& dense);
+
+  Index numRows() const { return n_rows_; }
+  Index numCols() const { return n_cols_; }
+  std::size_t nnz() const { return runs_.size(); }
+  const std::vector<Run>& runs() const { return runs_; }
+
+  /// Total implied positions must not exceed the dense size, and stored
+  /// values must be non-zero.
+  bool validate() const;
+
+  DenseMatrix toDense() const;
+
+  std::size_t storageBytes() const {
+    return runs_.size() * (sizeof(Index) + sizeof(Value));
+  }
+
+  bool operator==(const RleMatrix&) const = default;
+
+ private:
+  Index n_rows_ = 0;
+  Index n_cols_ = 0;
+  std::vector<Run> runs_;
+};
+
+}  // namespace hht::sparse

@@ -1,0 +1,43 @@
+#include "sparse/sparse_vector.h"
+
+#include <algorithm>
+
+namespace hht::sparse {
+
+SparseVector SparseVector::fromDense(const DenseVector& dense) {
+  std::vector<Index> indices;
+  std::vector<Value> vals;
+  for (Index i = 0; i < dense.size(); ++i) {
+    if (Value v = dense.at(i); v != 0.0f) {
+      indices.push_back(i);
+      vals.push_back(v);
+    }
+  }
+  return SparseVector(dense.size(), std::move(indices), std::move(vals));
+}
+
+bool SparseVector::validate() const {
+  if (indices_.size() != vals_.size()) return false;
+  for (std::size_t k = 0; k < indices_.size(); ++k) {
+    if (indices_[k] >= size_) return false;
+    if (k > 0 && indices_[k - 1] >= indices_[k]) return false;
+    if (vals_[k] == 0.0f) return false;
+  }
+  return true;
+}
+
+DenseVector SparseVector::toDense() const {
+  DenseVector dense(size_);
+  for (std::size_t k = 0; k < indices_.size(); ++k) {
+    dense.at(indices_[k]) = vals_[k];
+  }
+  return dense;
+}
+
+Value SparseVector::at(Index i) const {
+  auto it = std::lower_bound(indices_.begin(), indices_.end(), i);
+  if (it == indices_.end() || *it != i) return 0.0f;
+  return vals_[static_cast<std::size_t>(it - indices_.begin())];
+}
+
+}  // namespace hht::sparse

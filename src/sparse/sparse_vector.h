@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/dense.h"
+
+namespace hht::sparse {
+
+/// Compressed sparse vector: ascending indices of the non-zeros plus their
+/// values. This is the "sparse Vector" operand of the paper's SpMSpV
+/// kernels; the HHT's merge engine intersects its index array with a CSR
+/// row's column indices.
+class SparseVector {
+ public:
+  SparseVector() = default;
+  SparseVector(Index size, std::vector<Index> indices, std::vector<Value> vals)
+      : size_(size), indices_(std::move(indices)), vals_(std::move(vals)) {}
+
+  static SparseVector fromDense(const DenseVector& dense);
+
+  Index size() const { return size_; }
+  Index nnz() const { return static_cast<Index>(vals_.size()); }
+
+  const std::vector<Index>& indices() const { return indices_; }
+  const std::vector<Value>& vals() const { return vals_; }
+
+  /// Indices strictly ascending, in range, parallel arrays, no stored zeros.
+  bool validate() const;
+
+  DenseVector toDense() const;
+
+  /// Value at position i (zero when i is not a stored index).
+  /// Binary search; used by reference kernels and tests, not by simulation.
+  Value at(Index i) const;
+
+  double sparsity() const {
+    return size_ == 0 ? 0.0
+                      : 1.0 - static_cast<double>(nnz()) /
+                                  static_cast<double>(size_);
+  }
+
+  bool operator==(const SparseVector&) const = default;
+
+ private:
+  Index size_ = 0;
+  std::vector<Index> indices_;
+  std::vector<Value> vals_;
+};
+
+}  // namespace hht::sparse

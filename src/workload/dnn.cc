@@ -1,0 +1,35 @@
+#include "workload/dnn.h"
+
+#include <array>
+
+namespace hht::workload {
+
+namespace {
+
+// Classifier (final FC) shapes of the published architectures; sparsity
+// levels follow the relative ordering Fig. 9's speedups imply.
+constexpr std::array<DnnFcLayer, 7> kCatalog{{
+    {"MobileNet", 1024, 1000, 0.60},
+    {"MobileNetV2", 1280, 1000, 0.65},
+    {"DenseNet", 1024, 1000, 0.50},
+    {"ResNet", 2048, 1000, 0.62},
+    {"ResNetV2", 2048, 1000, 0.64},
+    {"VGG16", 4096, 1000, 0.72},
+    {"VGG19", 4096, 1000, 0.75},
+}};
+
+}  // namespace
+
+std::span<const DnnFcLayer> dnnFcCatalog() { return kCatalog; }
+
+sparse::CsrMatrix dnnLayerMatrix(const DnnFcLayer& layer, std::uint64_t seed,
+                                 sim::Index row_limit) {
+  sim::Rng rng(seed);
+  const sim::Index rows = (row_limit == 0 || row_limit > layer.out_features)
+                              ? layer.out_features
+                              : row_limit;
+  return randomCsr(rng, rows, layer.in_features, layer.sparsity,
+                   ValueDist::kSmallIntegers);
+}
+
+}  // namespace hht::workload

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+
+#include "sim/rng.h"
+#include "sparse/csr.h"
+#include "workload/synthetic.h"
+
+namespace hht::workload {
+
+/// The fully-connected classifier layer of each network evaluated in §5.4
+/// (Fig. 9). Dimensions are the published classifier shapes
+/// (in_features -> 1000 ImageNet classes); the sparsity column is the
+/// weight sparsity after quantization/pruning, in the range the paper's
+/// figure implies (DenseNet lowest speedup => lowest sparsity benefit).
+///
+/// SUBSTITUTION NOTE (DESIGN.md #3): the paper's quantized weight tensors
+/// are not shipped; we generate seeded random weights at each layer's shape
+/// and sparsity, which preserves the statistics SpMV performance depends
+/// on (row length distribution and index randomness).
+struct DnnFcLayer {
+  const char* network;
+  sim::Index in_features;   ///< matrix columns
+  sim::Index out_features;  ///< matrix rows (one per class)
+  double sparsity;          ///< fraction of zero weights
+};
+
+std::span<const DnnFcLayer> dnnFcCatalog();
+
+/// Materialise a layer's weight matrix (CSR). `row_limit` optionally caps
+/// the number of output rows simulated — SpMV rows are independent, so a
+/// row slice preserves per-row cycle ratios while keeping bench runtimes
+/// bounded (the full 1000-row layers change nothing but wall-clock time).
+sparse::CsrMatrix dnnLayerMatrix(const DnnFcLayer& layer, std::uint64_t seed,
+                                 sim::Index row_limit = 0);
+
+}  // namespace hht::workload

@@ -1,0 +1,100 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace hht::workload {
+
+Value drawValue(Rng& rng, ValueDist dist) {
+  switch (dist) {
+    case ValueDist::kSmallIntegers:
+      return static_cast<Value>(1 + rng.nextBelow(15));
+    case ValueDist::kUniformReal:
+      return rng.nextFloat(0.5f, 1.5f);
+  }
+  return 1.0f;
+}
+
+sparse::DenseMatrix randomDense(Rng& rng, Index rows, Index cols,
+                                double sparsity, ValueDist dist) {
+  sparse::DenseMatrix m(rows, cols);
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      if (!rng.nextBool(sparsity)) m.at(r, c) = drawValue(rng, dist);
+    }
+  }
+  return m;
+}
+
+sparse::CsrMatrix randomCsr(Rng& rng, Index rows, Index cols, double sparsity,
+                            ValueDist dist) {
+  return sparse::CsrMatrix::fromDense(randomDense(rng, rows, cols, sparsity, dist));
+}
+
+sparse::DenseVector randomDenseVector(Rng& rng, Index size, ValueDist dist) {
+  sparse::DenseVector v(size);
+  for (Index i = 0; i < size; ++i) v.at(i) = drawValue(rng, dist);
+  return v;
+}
+
+sparse::SparseVector randomSparseVector(Rng& rng, Index size, double sparsity,
+                                        ValueDist dist) {
+  std::vector<Index> indices;
+  std::vector<Value> vals;
+  for (Index i = 0; i < size; ++i) {
+    if (!rng.nextBool(sparsity)) {
+      indices.push_back(i);
+      vals.push_back(drawValue(rng, dist));
+    }
+  }
+  return sparse::SparseVector(size, std::move(indices), std::move(vals));
+}
+
+sparse::CsrMatrix bandedCsr(Rng& rng, Index n, Index half_bandwidth,
+                            double fill, ValueDist dist) {
+  sparse::CooMatrix coo(n, n);
+  for (Index r = 0; r < n; ++r) {
+    const Index lo = r > half_bandwidth ? r - half_bandwidth : 0;
+    const Index hi = std::min<Index>(n - 1, r + half_bandwidth);
+    for (Index c = lo; c <= hi; ++c) {
+      if (rng.nextBool(fill)) coo.add(r, c, drawValue(rng, dist));
+    }
+  }
+  return sparse::CsrMatrix::fromCoo(std::move(coo));
+}
+
+sparse::CsrMatrix powerLawCsr(Rng& rng, Index rows, Index cols,
+                              Index max_degree, double alpha, ValueDist dist) {
+  sparse::CooMatrix coo(rows, cols);
+  for (Index r = 0; r < rows; ++r) {
+    const double raw =
+        static_cast<double>(max_degree) / std::pow(static_cast<double>(r + 1), alpha);
+    const Index degree = std::max<Index>(1, static_cast<Index>(raw));
+    std::set<Index> picked;
+    while (picked.size() < std::min<std::size_t>(degree, cols)) {
+      picked.insert(static_cast<Index>(rng.nextBelow(cols)));
+    }
+    for (Index c : picked) coo.add(r, c, drawValue(rng, dist));
+  }
+  return sparse::CsrMatrix::fromCoo(std::move(coo));
+}
+
+sparse::CsrMatrix blockDiagonalCsr(Rng& rng, Index num_blocks, Index block_size,
+                                   double block_fill, ValueDist dist) {
+  const Index n = num_blocks * block_size;
+  sparse::CooMatrix coo(n, n);
+  for (Index b = 0; b < num_blocks; ++b) {
+    const Index base = b * block_size;
+    for (Index i = 0; i < block_size; ++i) {
+      for (Index j = 0; j < block_size; ++j) {
+        if (rng.nextBool(block_fill)) {
+          coo.add(base + i, base + j, drawValue(rng, dist));
+        }
+      }
+    }
+  }
+  return sparse::CsrMatrix::fromCoo(std::move(coo));
+}
+
+}  // namespace hht::workload

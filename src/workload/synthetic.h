@@ -1,0 +1,66 @@
+#pragma once
+
+#include "sim/rng.h"
+#include "sparse/csr.h"
+#include "sparse/dense.h"
+#include "sparse/sparse_vector.h"
+
+namespace hht::workload {
+
+using sim::Index;
+using sim::Rng;
+using sim::Value;
+
+/// Value distribution for generated non-zeros.
+///
+/// kSmallIntegers draws from {1..15} (as floats): every product is an exact
+/// small integer and sums below 2^24 stay exact, so scalar, vector and
+/// HHT-assisted kernels — which accumulate in different orders — produce
+/// *bit-identical* results and tests can compare with ==. kUniformReal
+/// draws from [0.5, 1.5) for realistic rounding behaviour (compare with a
+/// tolerance).
+enum class ValueDist { kSmallIntegers, kUniformReal };
+
+Value drawValue(Rng& rng, ValueDist dist);
+
+/// Uniform-random dense matrix with the requested fraction of zeros —
+/// the paper's synthetic workload ("randomly generated matrices with
+/// varying degrees of sparsity", §4). Each entry is zero with probability
+/// `sparsity`, independently.
+sparse::DenseMatrix randomDense(Rng& rng, Index rows, Index cols,
+                                double sparsity,
+                                ValueDist dist = ValueDist::kSmallIntegers);
+
+/// Convenience: CSR form of randomDense.
+sparse::CsrMatrix randomCsr(Rng& rng, Index rows, Index cols, double sparsity,
+                            ValueDist dist = ValueDist::kSmallIntegers);
+
+/// Fully dense vector with non-zero entries (SpMV operand).
+sparse::DenseVector randomDenseVector(Rng& rng, Index size,
+                                      ValueDist dist = ValueDist::kSmallIntegers);
+
+/// Sparse vector with the requested sparsity (SpMSpV operand).
+sparse::SparseVector randomSparseVector(Rng& rng, Index size, double sparsity,
+                                        ValueDist dist = ValueDist::kSmallIntegers);
+
+// --- structured generators standing in for the Texas A&M (SuiteSparse)
+//     matrices (§4; see DESIGN.md substitution #4). All produce the >90 %
+//     sparsity regimes the paper notes for that collection. ---
+
+/// Banded matrix: non-zeros only within `half_bandwidth` of the diagonal,
+/// kept with probability `fill` (discretised PDE stencils).
+sparse::CsrMatrix bandedCsr(Rng& rng, Index n, Index half_bandwidth, double fill,
+                            ValueDist dist = ValueDist::kSmallIntegers);
+
+/// Power-law row degrees (graph adjacency): row r gets about
+/// max_degree / (r+1)^alpha random columns.
+sparse::CsrMatrix powerLawCsr(Rng& rng, Index rows, Index cols,
+                              Index max_degree, double alpha,
+                              ValueDist dist = ValueDist::kSmallIntegers);
+
+/// Block-diagonal with dense-ish blocks (multi-physics coupling).
+sparse::CsrMatrix blockDiagonalCsr(Rng& rng, Index num_blocks, Index block_size,
+                                   double block_fill,
+                                   ValueDist dist = ValueDist::kSmallIntegers);
+
+}  // namespace hht::workload

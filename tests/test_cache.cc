@@ -1,0 +1,105 @@
+// L1D cache model tests: configuration validation, hit/miss/LRU/writeback
+// behaviour, and latency accounting.
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+
+namespace hht::mem {
+namespace {
+
+CacheConfig tinyConfig() {
+  CacheConfig cfg;
+  cfg.size_bytes = 256;   // 8 lines
+  cfg.line_bytes = 32;
+  cfg.ways = 2;           // 4 sets x 2 ways
+  cfg.hit_latency = 1;
+  cfg.miss_penalty = 10;
+  cfg.writeback_penalty = 5;
+  return cfg;
+}
+
+TEST(Cache, RejectsInvalidGeometry) {
+  CacheConfig cfg = tinyConfig();
+  cfg.line_bytes = 24;  // not a power of two
+  EXPECT_THROW(Cache c(cfg), std::invalid_argument);
+
+  cfg = tinyConfig();
+  cfg.ways = 0;
+  EXPECT_THROW(Cache c(cfg), std::invalid_argument);
+
+  cfg = tinyConfig();
+  cfg.ways = 3;  // 8 lines not divisible into 3 ways evenly -> non-pow2 sets
+  EXPECT_THROW(Cache c(cfg), std::invalid_argument);
+
+  cfg = tinyConfig();
+  cfg.size_bytes = 16;  // smaller than one line
+  EXPECT_THROW(Cache c(cfg), std::invalid_argument);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache cache(tinyConfig());
+  EXPECT_EQ(cache.access(0x100, false), 11u);  // hit latency + miss penalty
+  EXPECT_EQ(cache.access(0x104, false), 1u);   // same line -> hit
+  EXPECT_EQ(cache.access(0x11F, false), 1u);   // last byte of the line
+  EXPECT_EQ(cache.access(0x120, false), 11u);  // next line -> miss
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+TEST(Cache, TwoWaysHoldTwoConflictingLines) {
+  Cache cache(tinyConfig());
+  // Set index = (addr/32) % 4. Addresses 0x000, 0x080, 0x100 share set 0.
+  cache.access(0x000, false);
+  cache.access(0x080, false);
+  EXPECT_EQ(cache.access(0x000, false), 1u);  // both resident
+  EXPECT_EQ(cache.access(0x080, false), 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  Cache cache(tinyConfig());
+  cache.access(0x000, false);  // way A
+  cache.access(0x080, false);  // way B
+  cache.access(0x000, false);  // touch A -> B is LRU
+  cache.access(0x100, false);  // evicts B
+  EXPECT_EQ(cache.access(0x000, false), 1u);   // A still resident
+  EXPECT_EQ(cache.access(0x080, false), 11u);  // B was evicted
+}
+
+TEST(Cache, DirtyEvictionPaysWriteback) {
+  Cache cache(tinyConfig());
+  cache.access(0x000, true);   // miss, line becomes dirty
+  cache.access(0x080, false);  // fills the other way
+  cache.access(0x100, false);  // evicts dirty 0x000 (LRU): miss + writeback
+  EXPECT_EQ(cache.writebacks(), 1u);
+  // Latency of the evicting access included the writeback penalty.
+  Cache fresh(tinyConfig());
+  fresh.access(0x000, true);
+  fresh.access(0x080, false);
+  EXPECT_EQ(fresh.access(0x100, false), 1u + 10u + 5u);
+}
+
+TEST(Cache, WriteHitSetsDirtyWithoutWriteback) {
+  Cache cache(tinyConfig());
+  cache.access(0x000, false);
+  EXPECT_EQ(cache.access(0x004, true), 1u);  // write hit
+  EXPECT_EQ(cache.writebacks(), 0u);
+}
+
+TEST(Cache, FlushDropsAllLines) {
+  Cache cache(tinyConfig());
+  cache.access(0x000, false);
+  cache.flush();
+  EXPECT_EQ(cache.access(0x000, false), 11u);  // miss again after flush
+}
+
+TEST(Cache, StreamingWorkloadHitRate) {
+  Cache cache(tinyConfig());
+  // Sequential 4-byte reads over 128 bytes: 1 miss per 32-byte line.
+  for (Addr a = 0; a < 128; a += 4) cache.access(a, false);
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 28u);
+}
+
+}  // namespace
+}  // namespace hht::mem

@@ -1,0 +1,123 @@
+// Energy/area model tests: the synthesis anchors from §5.5 and the scaling
+// rules documented in DESIGN.md substitution #2.
+#include <gtest/gtest.h>
+
+#include "energy/events.h"
+#include "energy/model.h"
+
+namespace hht::energy {
+namespace {
+
+TEST(Model, AnchorCornerMatchesPaperExactly) {
+  const SynthesisEstimate est = synthesisEstimate(FeatureSize::Nm16, 50.0);
+  EXPECT_DOUBLE_EQ(est.core_uW, 223.0);
+  EXPECT_DOUBLE_EQ(est.core_hht_uW, 314.0);
+  EXPECT_NEAR(est.hhtAreaFraction(), 0.389, 0.0005);
+  EXPECT_NEAR(est.hhtPowerUw(), 91.0, 1e-9);
+}
+
+TEST(Model, AreaBreakdownSumsToHhtArea) {
+  const SynthesisEstimate est = synthesisEstimate(FeatureSize::Nm16, 50.0);
+  double sum = 0.0;
+  for (const AreaComponent& c : hhtAreaBreakdown()) {
+    EXPECT_GT(c.um2_16nm, 0.0) << c.name;
+    sum += c.um2_16nm;
+  }
+  EXPECT_DOUBLE_EQ(sum, est.hht_area_um2);
+}
+
+TEST(Model, PowerScalesWithClock) {
+  for (FeatureSize f : {FeatureSize::Nm28, FeatureSize::Nm16, FeatureSize::Nm7}) {
+    const double p10 = synthesisEstimate(f, 10.0).core_hht_uW;
+    const double p50 = synthesisEstimate(f, 50.0).core_hht_uW;
+    const double p100 = synthesisEstimate(f, 100.0).core_hht_uW;
+    EXPECT_LT(p10, p50);
+    EXPECT_LT(p50, p100);
+    // Dynamic component linear in f: p100 - p50 == 50/40 * (p50 - p10).
+    EXPECT_NEAR(p100 - p50, (p50 - p10) * 50.0 / 40.0, 1e-6);
+  }
+}
+
+TEST(Model, NewerNodesAreSmallerAndLowerDynamicPower) {
+  const auto n28 = synthesisEstimate(FeatureSize::Nm28, 50.0);
+  const auto n16 = synthesisEstimate(FeatureSize::Nm16, 50.0);
+  const auto n7 = synthesisEstimate(FeatureSize::Nm7, 50.0);
+  EXPECT_GT(n28.ibex_area_um2, n16.ibex_area_um2);
+  EXPECT_GT(n16.ibex_area_um2, n7.ibex_area_um2);
+  EXPECT_GT(n28.core_uW, n16.core_uW);
+  EXPECT_GT(n16.core_uW, n7.core_uW);
+  // The area *ratio* is process-independent.
+  EXPECT_NEAR(n28.hhtAreaFraction(), n7.hhtAreaFraction(), 1e-12);
+}
+
+TEST(Model, InvalidClockThrows) {
+  EXPECT_THROW(synthesisEstimate(FeatureSize::Nm16, 0.0), std::invalid_argument);
+  EXPECT_THROW(synthesisEstimate(FeatureSize::Nm16, -5.0), std::invalid_argument);
+}
+
+TEST(Model, EnergyMath) {
+  // 50e6 cycles at 50 MHz = 1 s; at 223 uW that is 223 uJ.
+  EXPECT_NEAR(energyUj(50'000'000, 50.0, 223.0), 223.0, 1e-9);
+  EXPECT_DOUBLE_EQ(energyUj(0, 50.0, 223.0), 0.0);
+}
+
+TEST(Model, CompareEnergyReproducesThePapersComputation) {
+  // Speedup 1.73 at the anchor corner: saving = 1 - (314/223)/1.73 = 18.6%.
+  const EnergyComparison cmp =
+      compareEnergy(173'000, 100'000, FeatureSize::Nm16, 50.0);
+  EXPECT_NEAR(cmp.savings_fraction, 1.0 - (314.0 / 223.0) / 1.73, 1e-9);
+  EXPECT_NEAR(cmp.savings_fraction, 0.186, 0.001);
+}
+
+TEST(Model, BreakEvenSpeedupIsPowerRatio) {
+  // Below speedup 314/223 ~ 1.408 the HHT costs energy.
+  const EnergyComparison at_even =
+      compareEnergy(1408, 1000, FeatureSize::Nm16, 50.0);
+  EXPECT_NEAR(at_even.savings_fraction, 0.0, 1e-3);
+  const EnergyComparison below =
+      compareEnergy(1200, 1000, FeatureSize::Nm16, 50.0);
+  EXPECT_LT(below.savings_fraction, 0.0);
+}
+
+TEST(Events, BreakdownTracksCounters) {
+  sim::StatSet stats;
+  stats.counter("cpu.cycles") = 1000;
+  stats.counter("cpu.retired") = 600;
+  stats.counter("mem.cpu.reads") = 200;
+  stats.counter("mem.cpu.writes") = 50;
+  stats.counter("mem.cpu.mmio_requests") = 80;
+  stats.counter("hht.active_cycles") = 900;
+  stats.counter("hht.mem_reads") = 400;
+  stats.counter("hht.merge.comparisons") = 300;
+  stats.counter("hht.elements_delivered") = 80;
+
+  const EventEnergyTable t;
+  const EnergyBreakdown b = eventEnergy(stats, t);
+  EXPECT_NEAR(b.cpu_clock_uj, 1000 * t.cpu_cycle_base * 1e-6, 1e-12);
+  EXPECT_NEAR(b.hht_compare_uj, 300 * t.hht_comparison * 1e-6, 1e-12);
+  EXPECT_GT(b.cpuTotalUj(), 0.0);
+  EXPECT_GT(b.hhtTotalUj(), 0.0);
+  EXPECT_NEAR(b.totalUj(), b.cpuTotalUj() + b.hhtTotalUj(), 1e-12);
+}
+
+TEST(Events, ZeroStatsZeroEnergy) {
+  sim::StatSet empty;
+  const EnergyBreakdown b = eventEnergy(empty);
+  EXPECT_DOUBLE_EQ(b.totalUj(), 0.0);
+}
+
+TEST(Events, MoreEventsMoreEnergy) {
+  sim::StatSet a, b2;
+  a.counter("cpu.cycles") = 100;
+  b2.counter("cpu.cycles") = 200;
+  EXPECT_LT(eventEnergy(a).totalUj(), eventEnergy(b2).totalUj());
+}
+
+TEST(Model, FeatureSizeNames) {
+  EXPECT_STREQ(featureSizeName(FeatureSize::Nm28), "28nm");
+  EXPECT_STREQ(featureSizeName(FeatureSize::Nm16), "16nm");
+  EXPECT_STREQ(featureSizeName(FeatureSize::Nm7), "7nm");
+}
+
+}  // namespace
+}  // namespace hht::energy

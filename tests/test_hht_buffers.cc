@@ -1,0 +1,167 @@
+// Front-end plumbing tests: the BufferPool's N-buffer capacity/publish
+// semantics (§3.1's control unit) and the EmissionQueue's in-order
+// reorder behaviour.
+#include <gtest/gtest.h>
+
+#include "core/buffers.h"
+#include "core/emission.h"
+
+namespace hht::core {
+namespace {
+
+HhtConfig cfg(std::uint32_t buffers, std::uint32_t len) {
+  HhtConfig c;
+  c.num_buffers = buffers;
+  c.buffer_len = len;
+  return c;
+}
+
+TEST(BufferPool, RejectsDegenerateGeometry) {
+  EXPECT_THROW(BufferPool p(cfg(0, 8)), std::invalid_argument);
+  EXPECT_THROW(BufferPool p(cfg(2, 0)), std::invalid_argument);
+}
+
+TEST(BufferPool, CapacityAccounting) {
+  BufferPool pool(cfg(2, 4));
+  EXPECT_EQ(pool.freeCapacity(), 8u);
+  pool.push({1, false, false});
+  EXPECT_EQ(pool.freeCapacity(), 7u);    // staging open: 3 left + 1 buffer
+  pool.push({2, false, false});
+  pool.push({3, false, false});
+  pool.push({4, false, false});          // staging fills -> publishes
+  EXPECT_EQ(pool.freeCapacity(), 4u);    // one whole buffer left
+  EXPECT_TRUE(pool.hasFront());
+}
+
+TEST(BufferPool, DataNotVisibleUntilPublished) {
+  BufferPool pool(cfg(2, 4));
+  pool.push({1, false, false});
+  pool.push({2, false, false});
+  EXPECT_FALSE(pool.hasFront());         // still staging
+  pool.push({3, false, true});           // row boundary -> publish partial
+  EXPECT_TRUE(pool.hasFront());
+  EXPECT_EQ(pool.pop().bits, 1u);
+  EXPECT_EQ(pool.pop().bits, 2u);
+  EXPECT_EQ(pool.pop().bits, 3u);
+  EXPECT_FALSE(pool.hasFront());
+}
+
+TEST(BufferPool, SingleBufferSerializes) {
+  BufferPool pool(cfg(1, 2));
+  pool.push({1, false, false});
+  pool.push({2, false, false});          // full -> published, pool saturated
+  EXPECT_EQ(pool.freeCapacity(), 0u);
+  EXPECT_FALSE(pool.canPush());
+  EXPECT_EQ(pool.pop().bits, 1u);
+  EXPECT_EQ(pool.freeCapacity(), 0u);    // buffer frees only when drained
+  EXPECT_EQ(pool.pop().bits, 2u);
+  EXPECT_EQ(pool.freeCapacity(), 2u);
+  EXPECT_TRUE(pool.canPush());
+}
+
+TEST(BufferPool, PushPastCapacityThrows) {
+  BufferPool pool(cfg(1, 1));
+  pool.push({1, false, false});
+  EXPECT_THROW(pool.push({2, false, false}), std::logic_error);
+}
+
+TEST(BufferPool, FifoOrderAcrossBuffers) {
+  BufferPool pool(cfg(3, 2));
+  for (std::uint32_t i = 0; i < 6; ++i) pool.push({i, false, false});
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(pool.hasFront());
+    EXPECT_EQ(pool.pop().bits, i);
+  }
+}
+
+TEST(BufferPool, FinishPublishesPartialTail) {
+  BufferPool pool(cfg(2, 4));
+  pool.push({9, false, false});
+  EXPECT_FALSE(pool.hasFront());
+  pool.finish();
+  EXPECT_TRUE(pool.hasFront());
+  EXPECT_EQ(pool.unread(), 1u);
+  pool.finish();  // idempotent on empty staging
+  EXPECT_EQ(pool.unread(), 1u);
+}
+
+TEST(BufferPool, RowEndMarkersFlowThrough) {
+  BufferPool pool(cfg(2, 4));
+  pool.push({7, false, false});
+  pool.push({0, true, true});  // marker publishes
+  ASSERT_TRUE(pool.hasFront());
+  EXPECT_FALSE(pool.front().is_row_end);
+  pool.pop();
+  EXPECT_TRUE(pool.front().is_row_end);
+}
+
+TEST(BufferPool, ResetClearsEverything) {
+  BufferPool pool(cfg(2, 2));
+  pool.push({1, false, true});
+  pool.push({2, false, false});
+  pool.reset();
+  EXPECT_FALSE(pool.hasFront());
+  EXPECT_EQ(pool.stagedSlots(), 0u);
+  EXPECT_EQ(pool.freeCapacity(), 4u);
+}
+
+TEST(EmissionQueue, InOrderDrainDespiteOutOfOrderFills) {
+  EmissionQueue q(4);
+  const auto t0 = q.reserve();
+  const auto t1 = q.reserve();
+  const auto t2 = q.reserve();
+  q.fill(t2, {22, false, false});
+  q.fill(t0, {20, false, false});
+
+  BufferPool pool(cfg(1, 8));
+  EXPECT_EQ(q.drainTo(pool, 8), 1u);  // only t0 is at the head and filled
+  q.fill(t1, {21, false, false});
+  EXPECT_EQ(q.drainTo(pool, 8), 2u);
+  pool.finish();
+  EXPECT_EQ(pool.pop().bits, 20u);
+  EXPECT_EQ(pool.pop().bits, 21u);
+  EXPECT_EQ(pool.pop().bits, 22u);
+}
+
+TEST(EmissionQueue, DepthLimitsReservations) {
+  EmissionQueue q(2);
+  EXPECT_TRUE(q.canReserve(2));
+  EXPECT_FALSE(q.canReserve(3));
+  q.reserve();
+  q.reserve();
+  EXPECT_FALSE(q.canReserve());
+  EXPECT_THROW(q.reserve(), std::logic_error);
+}
+
+TEST(EmissionQueue, DrainBoundedByRateAndPoolCapacity) {
+  EmissionQueue q(8);
+  for (int i = 0; i < 6; ++i) q.emitNow({static_cast<std::uint32_t>(i), false, false});
+
+  BufferPool pool(cfg(1, 4));
+  EXPECT_EQ(q.drainTo(pool, 2), 2u);       // rate-limited
+  EXPECT_EQ(q.drainTo(pool, 8), 2u);       // then capacity-limited (pool=4)
+  EXPECT_EQ(q.drainTo(pool, 8), 0u);       // pool saturated
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EmissionQueue, FillErrorsAreDetected) {
+  EmissionQueue q(4);
+  const auto t = q.reserve();
+  q.fill(t, {1, false, false});
+  EXPECT_THROW(q.fill(t, {2, false, false}), std::logic_error);   // double
+  EXPECT_THROW(q.fill(t + 10, {0, false, false}), std::logic_error);  // bogus
+}
+
+TEST(EmissionQueue, ResetRestartsTicketSpace) {
+  EmissionQueue q(2);
+  q.reserve();
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  const auto t = q.reserve();
+  q.fill(t, {5, false, false});
+  BufferPool pool(cfg(1, 2));
+  EXPECT_EQ(q.drainTo(pool, 4), 1u);
+}
+
+}  // namespace
+}  // namespace hht::core

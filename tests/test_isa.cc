@@ -1,0 +1,198 @@
+// ISA-layer tests: program builder and label resolution, trace-word
+// encoding round-trips across every opcode, and disassembly.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "isa/encoding.h"
+#include "isa/program.h"
+#include "sim/rng.h"
+
+namespace hht::isa {
+namespace {
+
+using namespace reg;
+
+TEST(Builder, BackwardAndForwardLabels) {
+  ProgramBuilder b("labels");
+  Label start = b.newLabel();
+  Label end = b.newLabel();
+  b.bind(start);            // pc 0
+  b.addi(t0, t0, 1);        // 0
+  b.beq(t0, t1, end);       // 1 -> forward
+  b.j(start);               // 2 -> backward
+  b.bind(end);
+  b.ecall();                // 3
+  const Program p = b.build();
+  EXPECT_EQ(p.at(1).imm, 3);
+  EXPECT_EQ(p.at(2).imm, 0);
+}
+
+TEST(Builder, UnboundLabelThrows) {
+  ProgramBuilder b("bad");
+  Label l = b.newLabel();
+  b.j(l);
+  EXPECT_THROW(b.build(), AssemblerError);
+}
+
+TEST(Builder, DoubleBindThrows) {
+  ProgramBuilder b("bad");
+  Label l = b.newLabel();
+  b.bind(l);
+  EXPECT_THROW(b.bind(l), AssemblerError);
+}
+
+TEST(Builder, BranchToForeignLabelThrows) {
+  ProgramBuilder b("bad");
+  EXPECT_THROW(b.beq(t0, t1, Label{7}), AssemblerError);
+}
+
+TEST(Builder, LiSmallValuesAreOneInstruction) {
+  ProgramBuilder b("li");
+  b.li(t0, 0);
+  b.li(t1, 2047);
+  b.li(t2, -2048);
+  const Program p = b.build();
+  ASSERT_EQ(p.size(), 3u);
+  for (const Instr& in : p.code()) EXPECT_EQ(in.op, Opcode::ADDI);
+}
+
+TEST(Builder, LiLargeValuesExpandToLuiAddi) {
+  ProgramBuilder b("li");
+  b.li(t0, 0x12345678);
+  const Program p = b.build();
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.at(0).op, Opcode::LUI);
+  EXPECT_EQ(p.at(1).op, Opcode::ADDI);
+  // The expansion must reconstruct the value: lui part + addi part.
+  EXPECT_EQ(p.at(0).imm + p.at(1).imm, 0x12345678);
+}
+
+TEST(Builder, LiNegativeAndAddressLikeValues) {
+  for (std::int32_t v : {-1, -123456, 0x7FFFFFFF,
+                         static_cast<std::int32_t>(0xF0000040u),
+                         static_cast<std::int32_t>(0x80000000u)}) {
+    ProgramBuilder b("li");
+    b.li(t0, v);
+    const Program p = b.build();
+    std::int32_t acc = 0;
+    for (const Instr& in : p.code()) acc += in.imm;
+    EXPECT_EQ(acc, v) << std::hex << v;
+  }
+}
+
+TEST(Builder, RegisterRangeChecked) {
+  ProgramBuilder b("bad");
+  EXPECT_THROW(b.add(32, 0, 0), AssemblerError);
+}
+
+TEST(Encoding, RoundTripsEveryOpcode) {
+  sim::Rng rng(0xE2C);
+  for (int op = 0; op < kNumOpcodes; ++op) {
+    for (int trial = 0; trial < 8; ++trial) {
+      Instr in;
+      in.op = static_cast<Opcode>(op);
+      in.rd = static_cast<Reg>(rng.nextBelow(kNumXRegs));
+      in.rs1 = static_cast<Reg>(rng.nextBelow(kNumXRegs));
+      in.rs2 = static_cast<Reg>(rng.nextBelow(kNumXRegs));
+      in.rs3 = static_cast<Reg>(rng.nextBelow(kNumXRegs));
+      in.imm = static_cast<std::int32_t>(rng.next64());
+      ASSERT_EQ(decode(encode(in)), in) << mnemonic(in.op);
+    }
+  }
+}
+
+TEST(Encoding, BadOpcodeByteThrows) {
+  const std::uint64_t word = static_cast<std::uint64_t>(kNumOpcodes) << 56;
+  EXPECT_THROW(decode(word), EncodingError);
+}
+
+TEST(Encoding, ProgramRoundTrip) {
+  ProgramBuilder b("rt");
+  Label l = b.newLabel();
+  b.bind(l);
+  b.lw(t0, a0, 8).fmadd(fs0, ft1, ft2, fs0).bne(t0, zero, l).ecall();
+  const Program p = b.build();
+  const auto words = encodeProgram(p);
+  const Program q = decodeProgram("rt", words);
+  EXPECT_EQ(p.code(), q.code());
+}
+
+TEST(Opcodes, ClassPredicatesAreConsistent) {
+  EXPECT_TRUE(isMemory(Opcode::LW));
+  EXPECT_TRUE(isMemory(Opcode::FSW));
+  EXPECT_TRUE(isMemory(Opcode::VLUXEI32));
+  EXPECT_FALSE(isMemory(Opcode::ADD));
+  EXPECT_TRUE(isVector(Opcode::VSETVLI));
+  EXPECT_TRUE(isVector(Opcode::VFMACC_VV));
+  EXPECT_FALSE(isVector(Opcode::FMADD_S));
+  EXPECT_TRUE(isBranch(Opcode::BGEU));
+  EXPECT_TRUE(isControlFlow(Opcode::JALR));
+  EXPECT_FALSE(isControlFlow(Opcode::ECALL));
+}
+
+TEST(Disasm, RendersRepresentativeForms) {
+  EXPECT_EQ(disassemble({Opcode::ADDI, t0, t1, 0, 0, 4}), "addi x5, x6, 4");
+  EXPECT_EQ(disassemble({Opcode::LW, t0, a0, 0, 0, 8}), "lw x5, 8(x10)");
+  EXPECT_EQ(disassemble({Opcode::SW, 0, a0, t0, 0, -4}), "sw x5, -4(x10)");
+  EXPECT_EQ(disassemble({Opcode::BEQ, 0, t0, t1, 0, 12}), "beq x5, x6, @12");
+  EXPECT_EQ(disassemble({Opcode::FLW, ft1, a0, 0, 0, 0}), "flw f1, 0(x10)");
+  EXPECT_EQ(disassemble({Opcode::FMADD_S, fs0, ft1, ft2, fs0, 0}),
+            "fmadd.s f8, f1, f2, f8");
+  EXPECT_EQ(disassemble({Opcode::VLE32, v2, a1, 0, 0, 0}), "vle32.v v2, (x11)");
+  EXPECT_EQ(disassemble({Opcode::VLUXEI32, v2, a3, v1, 0, 0}),
+            "vluxei32.v v2, (x13), v1");
+  EXPECT_EQ(disassemble({Opcode::ECALL, 0, 0, 0, 0, 0}), "ecall");
+}
+
+TEST(Disasm, ListingIncludesNameAndAddresses) {
+  ProgramBuilder b("demo");
+  b.nop().ecall();
+  const std::string listing = b.build().listing();
+  EXPECT_NE(listing.find("demo"), std::string::npos);
+  EXPECT_NE(listing.find("0:"), std::string::npos);
+  EXPECT_NE(listing.find("1:"), std::string::npos);
+}
+
+TEST(ProgramFile, SaveLoadRoundTrip) {
+  ProgramBuilder b("roundtrip_kernel");
+  Label l = b.newLabel();
+  b.li(t0, 100);
+  b.bind(l);
+  b.addi(t0, t0, -1);
+  b.flw(ft1, a0, 8);
+  b.fmadd(fs0, ft1, ft1, fs0);
+  b.bnez(t0, l);
+  b.ecall();
+  const Program p = b.build();
+  const std::string path = ::testing::TempDir() + "/hht_prog_test.hhtp";
+  saveProgramFile(path, p);
+  const Program q = loadProgramFile(path);
+  EXPECT_EQ(q.name(), "roundtrip_kernel");
+  EXPECT_EQ(q.code(), p.code());
+}
+
+TEST(ProgramFile, RejectsCorruptImages) {
+  EXPECT_THROW(loadProgramFile("/nonexistent/x.hhtp"), EncodingError);
+  const std::string path = ::testing::TempDir() + "/hht_bad.hhtp";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE garbage";
+  }
+  EXPECT_THROW(loadProgramFile(path), EncodingError);
+  {
+    // Right magic, truncated body.
+    std::ofstream out(path, std::ios::binary);
+    out << "HHTP";
+  }
+  EXPECT_THROW(loadProgramFile(path), EncodingError);
+}
+
+TEST(Opcodes, MnemonicTableIsTotal) {
+  for (int op = 0; op < kNumOpcodes; ++op) {
+    EXPECT_STRNE(mnemonic(static_cast<Opcode>(op)), "<bad>");
+  }
+}
+
+}  // namespace
+}  // namespace hht::isa

@@ -1,0 +1,116 @@
+// Matrix Market I/O tests: the loader for SuiteSparse-style files (§4's
+// Texas A&M collection is distributed in this format).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/csr.h"
+#include "sparse/matrix_market.h"
+#include "workload/synthetic.h"
+
+namespace hht::sparse {
+namespace {
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  sim::Rng rng(0x33);
+  const CsrMatrix original = workload::randomCsr(rng, 12, 9, 0.6);
+  std::stringstream io;
+  writeMatrixMarket(io, original.toCoo());
+  const CooMatrix loaded = readMatrixMarket(io);
+  EXPECT_TRUE(loaded.validate());
+  EXPECT_EQ(CsrMatrix::fromCoo(loaded), original);
+}
+
+TEST(MatrixMarket, ParsesGeneralRealFile) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment line\n"
+      "3 4 2\n"
+      "1 1 1.5\n"
+      "3 4 -2.0\n");
+  const CooMatrix coo = readMatrixMarket(in);
+  EXPECT_EQ(coo.numRows(), 3u);
+  EXPECT_EQ(coo.numCols(), 4u);
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_EQ(coo.entries()[0], (Triplet{0, 0, 1.5f}));   // 1-based -> 0-based
+  EXPECT_EQ(coo.entries()[1], (Triplet{2, 3, -2.0f}));
+}
+
+TEST(MatrixMarket, PatternEntriesDefaultToOne) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const CooMatrix coo = readMatrixMarket(in);
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_EQ(coo.entries()[0].value, 1.0f);
+  EXPECT_EQ(coo.entries()[1].value, 1.0f);
+}
+
+TEST(MatrixMarket, SymmetricFilesAreMirrored) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 5.0\n"
+      "2 1 1.0\n"
+      "3 2 2.0\n");
+  const CooMatrix coo = readMatrixMarket(in);
+  const DenseMatrix dense = coo.toDense();
+  EXPECT_EQ(dense.at(0, 0), 5.0f);       // diagonal not duplicated
+  EXPECT_EQ(dense.at(1, 0), 1.0f);
+  EXPECT_EQ(dense.at(0, 1), 1.0f);       // mirror added
+  EXPECT_EQ(dense.at(2, 1), 2.0f);
+  EXPECT_EQ(dense.at(1, 2), 2.0f);
+}
+
+TEST(MatrixMarket, IntegerFieldAccepted) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "1 1 1\n"
+      "1 1 7\n");
+  EXPECT_EQ(readMatrixMarket(in).entries()[0].value, 7.0f);
+}
+
+TEST(MatrixMarket, BlankLinesBetweenEntriesTolerated) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "\n"
+      "2 2 2.0\n");
+  EXPECT_EQ(readMatrixMarket(in).nnz(), 2u);
+}
+
+TEST(MatrixMarket, RejectsMalformedInputs) {
+  const auto reject = [](const std::string& text) {
+    std::istringstream in(text);
+    EXPECT_THROW(readMatrixMarket(in), MatrixMarketError) << text;
+  };
+  reject("");
+  reject("%%NotMatrixMarket matrix coordinate real general\n1 1 0\n");
+  reject("%%MatrixMarket matrix array real general\n1 1\n");       // dense
+  reject("%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+  reject("%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 0\n");
+  reject("%%MatrixMarket matrix coordinate real general\nnot a size line\n");
+  reject("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  reject("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+  reject("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n");
+}
+
+TEST(MatrixMarket, FileRoundTripThroughDisk) {
+  sim::Rng rng(0x34);
+  const CooMatrix original = workload::randomCsr(rng, 6, 6, 0.5).toCoo();
+  const std::string path = ::testing::TempDir() + "/hht_mm_test.mtx";
+  writeMatrixMarketFile(path, original);
+  const CooMatrix loaded = readMatrixMarketFile(path);
+  EXPECT_EQ(CsrMatrix::fromCoo(loaded), CsrMatrix::fromCoo(original));
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(readMatrixMarketFile("/nonexistent/path/x.mtx"),
+               MatrixMarketError);
+}
+
+}  // namespace
+}  // namespace hht::sparse

@@ -1,0 +1,258 @@
+// Memory-system tests: SRAM functional store, request timing, arbitration
+// policies and bandwidth limits, and MMIO routing (including stalled reads
+// — the FE's CPU-stall mechanism).
+#include <gtest/gtest.h>
+
+#include "mem/layout.h"
+#include "mem/memory_system.h"
+
+namespace hht::mem {
+namespace {
+
+TEST(Sram, ReadWriteAllSizes) {
+  Sram sram(64);
+  sram.write(0, 4, 0xAABBCCDD);
+  EXPECT_EQ(sram.read(0, 4), 0xAABBCCDDu);
+  EXPECT_EQ(sram.read(0, 1), 0xDDu);         // little-endian
+  EXPECT_EQ(sram.read(1, 2), 0xBBCCu);
+  sram.write(8, 1, 0x12345678);              // only low byte stored
+  EXPECT_EQ(sram.read(8, 4), 0x78u);
+}
+
+TEST(Sram, BoundsChecked) {
+  Sram sram(16);
+  EXPECT_NO_THROW(sram.read(12, 4));
+  EXPECT_THROW(sram.read(13, 4), std::out_of_range);
+  EXPECT_THROW(sram.write(16, 1, 0), std::out_of_range);
+  EXPECT_THROW(sram.read(0xFFFFFFFF, 4), std::out_of_range);
+}
+
+TEST(Sram, TypedPeekPoke) {
+  Sram sram(64);
+  sram.pokeValue<float>(4, 3.5f);
+  EXPECT_EQ(sram.peekValue<float>(4), 3.5f);
+  const std::vector<std::uint32_t> xs{1, 2, 3};
+  sram.pokeArray<std::uint32_t>(16, xs);
+  EXPECT_EQ(sram.peekArray<std::uint32_t>(16, 3), xs);
+}
+
+TEST(Arena, AlignedBumpAllocation) {
+  Arena arena(0x100, 0x100);
+  EXPECT_EQ(arena.allocate(3, 4), 0x100u);
+  EXPECT_EQ(arena.allocate(4, 4), 0x104u);   // bumped past the 3-byte block
+  EXPECT_EQ(arena.allocate(1, 16), 0x110u);  // 16-byte alignment
+  EXPECT_THROW(arena.allocate(0x1000), std::runtime_error);
+}
+
+MemorySystemConfig smallConfig() {
+  MemorySystemConfig cfg;
+  cfg.sram_bytes = 4096;
+  cfg.sram_latency = 2;
+  cfg.grants_per_cycle = 1;
+  return cfg;
+}
+
+/// Tick until request `id` completes; returns (data, cycles waited).
+std::pair<std::uint32_t, int> waitFor(MemorySystem& mem, RequestId id,
+                                      sim::Cycle& now) {
+  for (int waited = 0; waited < 100; ++waited) {
+    mem.tick(now++);
+    if (auto data = mem.takeCompleted(id)) return {*data, waited};
+  }
+  ADD_FAILURE() << "request never completed";
+  return {0, -1};
+}
+
+TEST(MemorySystem, ReadSeesPriorWrite) {
+  MemorySystem mem(smallConfig());
+  sim::Cycle now = 0;
+  mem.submit({0x40, 4, true, 0xDEADBEEF, Requester::Cpu});
+  const RequestId id = mem.submit({0x40, 4, false, 0, Requester::Cpu});
+  const auto [data, waited] = waitFor(mem, id, now);
+  EXPECT_EQ(data, 0xDEADBEEFu);
+  EXPECT_GE(waited, 1);  // latency 2 => not same-tick
+}
+
+TEST(MemorySystem, LatencyIsConfigLatency) {
+  MemorySystemConfig cfg = smallConfig();
+  cfg.sram_latency = 5;
+  MemorySystem mem(cfg);
+  sim::Cycle now = 0;
+  const RequestId id = mem.submit({0, 4, false, 0, Requester::Cpu});
+  const auto [data, waited] = waitFor(mem, id, now);
+  (void)data;
+  EXPECT_EQ(waited, 5);  // granted at tick 0, retired `latency` ticks later
+}
+
+TEST(MemorySystem, BandwidthLimitSpreadsGrants) {
+  MemorySystemConfig cfg = smallConfig();
+  cfg.sram_latency = 1;
+  cfg.grants_per_cycle = 1;
+  MemorySystem mem(cfg);
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(mem.submit({static_cast<Addr>(4 * i), 4, false, 0,
+                              Requester::Cpu}));
+  }
+  // With 1 grant/cycle and latency 1, completions arrive one per cycle.
+  sim::Cycle now = 0;
+  std::vector<int> completion_cycle(4, -1);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    mem.tick(now++);
+    for (int i = 0; i < 4; ++i) {
+      if (completion_cycle[i] < 0 && mem.takeCompleted(ids[i])) {
+        completion_cycle[i] = cycle;
+      }
+    }
+  }
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_GE(completion_cycle[i], 0);
+    EXPECT_EQ(completion_cycle[i], completion_cycle[i - 1] + 1);
+  }
+}
+
+TEST(MemorySystem, CpuPriorityStarvesHhtUnderContention) {
+  MemorySystemConfig cfg = smallConfig();
+  cfg.grants_per_cycle = 1;
+  cfg.policy = ArbiterPolicy::CpuPriority;
+  MemorySystem mem(cfg);
+  const RequestId hht = mem.submit({0, 4, false, 0, Requester::Hht});
+  const RequestId cpu = mem.submit({4, 4, false, 0, Requester::Cpu});
+  // CPU submitted *after* but must be granted first.
+  sim::Cycle now = 0;
+  int cpu_done = -1, hht_done = -1;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    mem.tick(now++);
+    if (cpu_done < 0 && mem.takeCompleted(cpu)) cpu_done = cycle;
+    if (hht_done < 0 && mem.takeCompleted(hht)) hht_done = cycle;
+  }
+  EXPECT_LT(cpu_done, hht_done);
+  EXPECT_GT(mem.stats().value("mem.hht.conflict_cycles"), 0u);
+}
+
+TEST(MemorySystem, RoundRobinAlternates) {
+  MemorySystemConfig cfg = smallConfig();
+  cfg.grants_per_cycle = 1;
+  cfg.policy = ArbiterPolicy::RoundRobin;
+  MemorySystem mem(cfg);
+  // Queue 2 HHT then 2 CPU; round-robin grants CPU, HHT, CPU, HHT.
+  const RequestId h1 = mem.submit({0, 4, false, 0, Requester::Hht});
+  const RequestId h2 = mem.submit({4, 4, false, 0, Requester::Hht});
+  const RequestId c1 = mem.submit({8, 4, false, 0, Requester::Cpu});
+  const RequestId c2 = mem.submit({12, 4, false, 0, Requester::Cpu});
+  sim::Cycle now = 0;
+  std::vector<RequestId> completion_order;
+  for (int cycle = 0; cycle < 12 && completion_order.size() < 4; ++cycle) {
+    mem.tick(now++);
+    for (RequestId id : {h1, h2, c1, c2}) {
+      if (mem.takeCompleted(id)) completion_order.push_back(id);
+    }
+  }
+  ASSERT_EQ(completion_order.size(), 4u);
+  EXPECT_EQ(completion_order[0], c1);
+  EXPECT_EQ(completion_order[1], h1);
+  EXPECT_EQ(completion_order[2], c2);
+  EXPECT_EQ(completion_order[3], h2);
+}
+
+TEST(MemorySystem, PerRequesterFifoOrder) {
+  MemorySystem mem(smallConfig());
+  const RequestId a = mem.submit({0, 4, false, 0, Requester::Cpu});
+  const RequestId b = mem.submit({4, 4, false, 0, Requester::Cpu});
+  sim::Cycle now = 0;
+  bool a_done = false;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    mem.tick(now++);
+    if (mem.takeCompleted(b)) {
+      EXPECT_TRUE(a_done) << "younger same-requester read completed first";
+      break;
+    }
+    if (mem.takeCompleted(a)) a_done = true;
+  }
+  EXPECT_TRUE(a_done);
+}
+
+TEST(MemorySystem, IdleTracksOutstandingWork) {
+  MemorySystem mem(smallConfig());
+  EXPECT_TRUE(mem.idle());
+  const RequestId id = mem.submit({0, 4, false, 0, Requester::Cpu});
+  EXPECT_FALSE(mem.idle());
+  sim::Cycle now = 0;
+  waitFor(mem, id, now);
+  EXPECT_TRUE(mem.idle());
+  // Posted writes drain without any takeCompleted call.
+  mem.submit({0, 4, true, 1, Requester::Cpu});
+  EXPECT_FALSE(mem.idle());
+  mem.tick(now++);
+  EXPECT_TRUE(mem.idle());
+}
+
+/// Scripted MMIO device: not-ready for the first `stall_reads` attempts.
+class StubDevice : public MmioDevice {
+ public:
+  MmioReadResult mmioRead(Addr offset, std::uint32_t, Requester) override {
+    ++read_attempts;
+    if (stall_reads > 0) {
+      --stall_reads;
+      return {false, 0};
+    }
+    return {true, 0x1000 + offset};
+  }
+  void mmioWrite(Addr offset, std::uint32_t, std::uint32_t value, Requester) override {
+    last_write_offset = offset;
+    last_write_value = value;
+  }
+
+  int stall_reads = 0;
+  int read_attempts = 0;
+  Addr last_write_offset = 0;
+  std::uint32_t last_write_value = 0;
+};
+
+TEST(MemorySystem, MmioRoutesToDevice) {
+  MemorySystemConfig cfg = smallConfig();
+  MemorySystem mem(cfg);
+  StubDevice dev;
+  mem.attachMmioDevice(&dev);
+  ASSERT_TRUE(mem.isMmio(cfg.mmio_base + 0x20));
+  ASSERT_FALSE(mem.isMmio(0x20));
+
+  mem.submit({cfg.mmio_base + 0x08, 4, true, 77, Requester::Cpu});
+  sim::Cycle now = 0;
+  mem.tick(now++);
+  EXPECT_EQ(dev.last_write_offset, 0x08u);
+  EXPECT_EQ(dev.last_write_value, 77u);
+
+  const RequestId id = mem.submit({cfg.mmio_base + 0x40, 4, false, 0,
+                                   Requester::Cpu});
+  const auto [data, waited] = waitFor(mem, id, now);
+  (void)waited;
+  EXPECT_EQ(data, 0x1040u);
+}
+
+TEST(MemorySystem, StalledMmioReadRetriesEveryCycle) {
+  MemorySystemConfig cfg = smallConfig();
+  MemorySystem mem(cfg);
+  StubDevice dev;
+  dev.stall_reads = 3;
+  mem.attachMmioDevice(&dev);
+  const RequestId id = mem.submit({cfg.mmio_base, 4, false, 0, Requester::Cpu});
+  sim::Cycle now = 0;
+  const auto [data, waited] = waitFor(mem, id, now);
+  EXPECT_EQ(data, 0x1000u);
+  EXPECT_EQ(dev.read_attempts, 4);  // 3 stalls + 1 success
+  EXPECT_GE(waited, 3);
+}
+
+TEST(MemorySystem, UnmappedMmioReadsZero) {
+  MemorySystem mem(smallConfig());
+  const RequestId id =
+      mem.submit({mem.config().mmio_base, 4, false, 0, Requester::Cpu});
+  sim::Cycle now = 0;
+  const auto [data, waited] = waitFor(mem, id, now);
+  (void)waited;
+  EXPECT_EQ(data, 0u);
+}
+
+}  // namespace
+}  // namespace hht::mem

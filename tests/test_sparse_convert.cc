@@ -1,0 +1,134 @@
+// Cross-format conversion tests: every conversion path must preserve the
+// dense image exactly (re-indexing only, no arithmetic).
+#include <gtest/gtest.h>
+
+#include "sparse/convert.h"
+#include "workload/synthetic.h"
+
+namespace hht::sparse {
+namespace {
+
+struct Shape {
+  sim::Index rows;
+  sim::Index cols;
+  double sparsity;
+};
+
+class ConvertTest : public ::testing::TestWithParam<Shape> {
+ protected:
+  CsrMatrix makeCsr() const {
+    const Shape& s = GetParam();
+    sim::Rng rng(0xC0 + s.rows * 3 + s.cols +
+                 static_cast<std::uint64_t>(s.sparsity * 10));
+    return workload::randomCsr(rng, s.rows, s.cols, s.sparsity);
+  }
+};
+
+TEST_P(ConvertTest, CsrCscRoundTrip) {
+  const CsrMatrix csr = makeCsr();
+  const CscMatrix csc = csrToCsc(csr);
+  EXPECT_TRUE(csc.validate());
+  EXPECT_EQ(csc.nnz(), csr.nnz());
+  EXPECT_EQ(cscToCsr(csc), csr);
+}
+
+TEST_P(ConvertTest, TransposeTwiceIsIdentity) {
+  const CsrMatrix csr = makeCsr();
+  const CsrMatrix t = transpose(csr);
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.numRows(), csr.numCols());
+  EXPECT_EQ(t.numCols(), csr.numRows());
+  EXPECT_EQ(transpose(t), csr);
+}
+
+TEST_P(ConvertTest, TransposeMatchesDenseTranspose) {
+  const CsrMatrix csr = makeCsr();
+  const DenseMatrix dense = csr.toDense();
+  const DenseMatrix td = transpose(csr).toDense();
+  for (sim::Index r = 0; r < dense.numRows(); ++r) {
+    for (sim::Index c = 0; c < dense.numCols(); ++c) {
+      ASSERT_EQ(td.at(c, r), dense.at(r, c));
+    }
+  }
+}
+
+TEST_P(ConvertTest, BitVectorRoundTrip) {
+  const CsrMatrix csr = makeCsr();
+  EXPECT_EQ(bitVectorToCsr(csrToBitVector(csr)), csr);
+}
+
+TEST_P(ConvertTest, RleRoundTrip) {
+  const CsrMatrix csr = makeCsr();
+  EXPECT_EQ(rleToCsr(csrToRle(csr)), csr);
+}
+
+TEST_P(ConvertTest, HierBitmapRoundTrip) {
+  const CsrMatrix csr = makeCsr();
+  EXPECT_EQ(hierBitmapToCsr(csrToHierBitmap(csr)), csr);
+}
+
+TEST_P(ConvertTest, BcsrRoundTrip) {
+  const CsrMatrix csr = makeCsr();
+  EXPECT_EQ(bcsrToCsr(csrToBcsr(csr, 4, 4)), csr);
+  EXPECT_EQ(bcsrToCsr(csrToBcsr(csr, 2, 8)), csr);
+}
+
+TEST_P(ConvertTest, EllRoundTrip) {
+  const CsrMatrix csr = makeCsr();
+  EXPECT_EQ(ellToCsr(csrToEll(csr)), csr);
+}
+
+TEST_P(ConvertTest, DiaRoundTrip) {
+  const CsrMatrix csr = makeCsr();
+  EXPECT_EQ(diaToCsr(csrToDia(csr)), csr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvertTest,
+    ::testing::Values(Shape{1, 1, 0.5}, Shape{8, 8, 0.0}, Shape{8, 8, 1.0},
+                      Shape{16, 16, 0.5}, Shape{13, 29, 0.8},
+                      Shape{29, 13, 0.8}, Shape{64, 64, 0.95}));
+
+TEST(Convert, CsrFromUnsortedCooWithDuplicates) {
+  CooMatrix coo(3, 3);
+  coo.add(2, 2, 1.0f);
+  coo.add(0, 0, 2.0f);
+  coo.add(2, 2, 3.0f);  // duplicate -> summed
+  coo.add(1, 0, 4.0f);
+  const CsrMatrix csr = CsrMatrix::fromCoo(coo);
+  EXPECT_TRUE(csr.validate());
+  EXPECT_EQ(csr.nnz(), 3u);
+  EXPECT_EQ(csr.toDense().at(2, 2), 4.0f);
+  EXPECT_EQ(csr.toDense().at(1, 0), 4.0f);
+}
+
+TEST(Convert, CscFromUnsortedCooKeepsRowsAscendingPerColumn) {
+  CooMatrix coo(4, 2);
+  coo.add(3, 1, 1.0f);
+  coo.add(0, 1, 2.0f);
+  coo.add(2, 1, 3.0f);
+  const CscMatrix csc = CscMatrix::fromCoo(coo);
+  EXPECT_TRUE(csc.validate());
+  ASSERT_EQ(csc.colNnz(1), 3u);
+  EXPECT_EQ(csc.colRows(1)[0], 0u);
+  EXPECT_EQ(csc.colRows(1)[1], 2u);
+  EXPECT_EQ(csc.colRows(1)[2], 3u);
+}
+
+TEST(Convert, StorageFootprintsAreConsistent) {
+  sim::Rng rng(0xF00);
+  const CsrMatrix csr = workload::randomCsr(rng, 64, 64, 0.9);
+  const std::size_t csr_bytes = csrStorageBytes(csr);
+  EXPECT_EQ(csr_bytes, (64 + 1) * 4 + csr.nnz() * 8);
+
+  // At 90% sparsity the bitmap format should beat CSR on metadata bytes.
+  const HierBitmapMatrix hb = csrToHierBitmap(csr);
+  EXPECT_LT(hb.storageBytes(), csr_bytes);
+
+  // BCSR stores padded blocks; with scattered non-zeros it is the largest.
+  const BcsrMatrix bcsr = csrToBcsr(csr, 4, 4);
+  EXPECT_GT(bcsr.storageBytes(), csr_bytes / 2);
+}
+
+}  // namespace
+}  // namespace hht::sparse

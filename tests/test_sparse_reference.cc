@@ -1,0 +1,123 @@
+// Reference-kernel tests: the host-side SpMV/SpMSpV implementations that
+// serve as the simulator's functional ground truth.
+#include <gtest/gtest.h>
+
+#include "sparse/reference.h"
+#include "workload/synthetic.h"
+
+namespace hht::sparse {
+namespace {
+
+struct Shape {
+  sim::Index rows;
+  sim::Index cols;
+  double m_sparsity;
+  double v_sparsity;
+};
+
+class ReferenceTest : public ::testing::TestWithParam<Shape> {
+ protected:
+  void SetUp() override {
+    const Shape& s = GetParam();
+    sim::Rng rng(0xEF + s.rows + s.cols * 17 +
+                 static_cast<std::uint64_t>(s.m_sparsity * 100));
+    dense_ = workload::randomDense(rng, s.rows, s.cols, s.m_sparsity);
+    csr_ = CsrMatrix::fromDense(dense_);
+    dv_ = workload::randomDenseVector(rng, s.cols);
+    sv_ = workload::randomSparseVector(rng, s.cols, s.v_sparsity);
+  }
+
+  DenseMatrix dense_;
+  CsrMatrix csr_;
+  DenseVector dv_;
+  SparseVector sv_;
+};
+
+TEST_P(ReferenceTest, SpmvCsrMatchesDenseMatVec) {
+  EXPECT_EQ(spmvCsr(csr_, dv_), matVecDense(dense_, dv_));
+}
+
+TEST_P(ReferenceTest, SpmspvMergeMatchesSpmvOnDensifiedVector) {
+  // Intersection with a densified vector must equal plain SpMV because the
+  // merge skips exactly the zero positions (small-integer data => exact).
+  EXPECT_EQ(spmspvMerge(csr_, sv_), spmvCsr(csr_, sv_.toDense()));
+}
+
+TEST_P(ReferenceTest, ValueStreamOrderingMatchesMerge) {
+  EXPECT_EQ(spmspvValueStream(csr_, sv_), spmspvMerge(csr_, sv_));
+}
+
+TEST_P(ReferenceTest, IntersectRowIsTheIndexIntersection) {
+  for (sim::Index r = 0; r < csr_.numRows(); ++r) {
+    const auto pairs = intersectRow(csr_, r, sv_);
+    // Count: positions where both are non-zero.
+    std::size_t expected = 0;
+    for (sim::Index c = 0; c < csr_.numCols(); ++c) {
+      expected += (dense_.at(r, c) != 0.0f && sv_.at(c) != 0.0f);
+    }
+    ASSERT_EQ(pairs.size(), expected) << "row " << r;
+    // Pair payloads: walk the row and check each matching column in order.
+    std::size_t k = 0;
+    for (sim::Index c = 0; c < csr_.numCols(); ++c) {
+      if (dense_.at(r, c) != 0.0f && sv_.at(c) != 0.0f) {
+        ASSERT_EQ(pairs[k].m_val, dense_.at(r, c));
+        ASSERT_EQ(pairs[k].v_val, sv_.at(c));
+        ++k;
+      }
+    }
+  }
+}
+
+TEST_P(ReferenceTest, ValueStreamRowAlignsWithMatrixNonZeros) {
+  for (sim::Index r = 0; r < csr_.numRows(); ++r) {
+    const auto stream = valueStreamRow(csr_, r, sv_);
+    const auto cols = csr_.rowCols(r);
+    ASSERT_EQ(stream.size(), cols.size());
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      ASSERT_EQ(stream[k], sv_.at(cols[k]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReferenceTest,
+    ::testing::Values(Shape{1, 1, 0.0, 0.0}, Shape{8, 8, 0.5, 0.5},
+                      Shape{16, 16, 0.9, 0.1}, Shape{16, 16, 0.1, 0.9},
+                      Shape{32, 16, 0.7, 0.7}, Shape{16, 32, 0.7, 0.7},
+                      Shape{48, 48, 1.0, 0.5}, Shape{48, 48, 0.5, 1.0},
+                      Shape{64, 64, 0.95, 0.95}));
+
+TEST(Reference, HandWorkedExample) {
+  // The paper's Fig. 1 style 3x3 example.
+  DenseMatrix m(3, 3);
+  m.at(0, 0) = 1.0f;
+  m.at(0, 2) = 2.0f;
+  m.at(1, 1) = 3.0f;
+  m.at(2, 0) = 4.0f;
+  m.at(2, 2) = 5.0f;
+  const CsrMatrix csr = CsrMatrix::fromDense(m);
+  const DenseVector v(std::vector<Value>{10.0f, 20.0f, 30.0f});
+  const DenseVector y = spmvCsr(csr, v);
+  EXPECT_EQ(y.at(0), 1.0f * 10 + 2.0f * 30);
+  EXPECT_EQ(y.at(1), 3.0f * 20);
+  EXPECT_EQ(y.at(2), 4.0f * 10 + 5.0f * 30);
+}
+
+TEST(Reference, EmptyVectorGivesZeroResult) {
+  sim::Rng rng(3);
+  const CsrMatrix m = workload::randomCsr(rng, 8, 8, 0.5);
+  const SparseVector empty(8, {}, {});
+  const DenseVector y = spmspvMerge(m, empty);
+  for (sim::Index i = 0; i < 8; ++i) EXPECT_EQ(y.at(i), 0.0f);
+}
+
+TEST(Reference, EmptyMatrixGivesZeroResult) {
+  const CsrMatrix m = CsrMatrix::fromDense(DenseMatrix(4, 4));
+  sim::Rng rng(4);
+  const DenseVector v = workload::randomDenseVector(rng, 4);
+  const DenseVector y = spmvCsr(m, v);
+  for (sim::Index i = 0; i < 4; ++i) EXPECT_EQ(y.at(i), 0.0f);
+}
+
+}  // namespace
+}  // namespace hht::sparse

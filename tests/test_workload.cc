@@ -1,0 +1,132 @@
+// Workload generator tests: statistical properties, determinism, and the
+// DNN layer catalogue.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/dnn.h"
+#include "workload/synthetic.h"
+
+namespace hht::workload {
+namespace {
+
+class SparsitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SparsitySweep, RandomDenseHitsTargetSparsity) {
+  sim::Rng rng(0x10 + static_cast<std::uint64_t>(GetParam() * 100));
+  const sparse::DenseMatrix m = randomDense(rng, 128, 128, GetParam());
+  EXPECT_NEAR(m.sparsity(), GetParam(), 0.03);
+}
+
+TEST_P(SparsitySweep, RandomSparseVectorHitsTargetSparsity) {
+  sim::Rng rng(0x20 + static_cast<std::uint64_t>(GetParam() * 100));
+  const sparse::SparseVector v = randomSparseVector(rng, 4096, GetParam());
+  EXPECT_TRUE(v.validate());
+  EXPECT_NEAR(v.sparsity(), GetParam(), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, SparsitySweep,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9, 1.0));
+
+TEST(Synthetic, DeterministicForEqualSeeds) {
+  sim::Rng a(42), b(42);
+  EXPECT_EQ(randomCsr(a, 32, 32, 0.5), randomCsr(b, 32, 32, 0.5));
+  sim::Rng c(43);
+  EXPECT_NE(randomCsr(c, 32, 32, 0.5), randomCsr(b, 32, 32, 0.5));
+}
+
+TEST(Synthetic, SmallIntegerValuesAreExactlyRepresentable) {
+  sim::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = drawValue(rng, ValueDist::kSmallIntegers);
+    EXPECT_GE(v, 1.0f);
+    EXPECT_LE(v, 15.0f);
+    EXPECT_EQ(v, std::floor(v));  // integral
+  }
+}
+
+TEST(Synthetic, UniformRealValuesInRange) {
+  sim::Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = drawValue(rng, ValueDist::kUniformReal);
+    EXPECT_GE(v, 0.5f);
+    EXPECT_LT(v, 1.5f);
+  }
+}
+
+TEST(Synthetic, DenseVectorHasNoZeros) {
+  sim::Rng rng(9);
+  const sparse::DenseVector v = randomDenseVector(rng, 512);
+  EXPECT_EQ(v.countNonZeros(), 512u);
+}
+
+TEST(Synthetic, BandedMatrixStaysInBand) {
+  sim::Rng rng(10);
+  const sparse::CsrMatrix m = bandedCsr(rng, 64, 3, 0.8);
+  EXPECT_TRUE(m.validate());
+  EXPECT_GT(m.nnz(), 0u);
+  for (sim::Index r = 0; r < 64; ++r) {
+    for (sim::Index c : m.rowCols(r)) {
+      const auto dist = c > r ? c - r : r - c;
+      ASSERT_LE(dist, 3u) << "entry (" << r << "," << c << ") out of band";
+    }
+  }
+  EXPECT_GT(m.sparsity(), 0.85);  // banded at n=64, hb=3 is >90% sparse
+}
+
+TEST(Synthetic, PowerLawDegreesDecay) {
+  sim::Rng rng(11);
+  const sparse::CsrMatrix m = powerLawCsr(rng, 64, 64, 16, 0.7);
+  EXPECT_TRUE(m.validate());
+  EXPECT_LE(m.rowNnz(0), 16u);
+  EXPECT_GE(m.rowNnz(0), m.rowNnz(63));  // head row densest
+  for (sim::Index r = 0; r < 64; ++r) EXPECT_GE(m.rowNnz(r), 1u);
+}
+
+TEST(Synthetic, BlockDiagonalStructure) {
+  sim::Rng rng(12);
+  const sparse::CsrMatrix m = blockDiagonalCsr(rng, 4, 8, 0.9);
+  EXPECT_EQ(m.numRows(), 32u);
+  EXPECT_TRUE(m.validate());
+  for (sim::Index r = 0; r < 32; ++r) {
+    for (sim::Index c : m.rowCols(r)) {
+      ASSERT_EQ(r / 8, c / 8) << "entry crosses block boundary";
+    }
+  }
+}
+
+TEST(Dnn, CatalogMatchesPublishedClassifierShapes) {
+  const auto catalog = dnnFcCatalog();
+  ASSERT_EQ(catalog.size(), 7u);
+  for (const DnnFcLayer& l : catalog) {
+    EXPECT_EQ(l.out_features, 1000u) << l.network;  // ImageNet classes
+    EXPECT_GT(l.sparsity, 0.0);
+    EXPECT_LT(l.sparsity, 1.0);
+  }
+  EXPECT_EQ(std::string(catalog[0].network), "MobileNet");
+  EXPECT_EQ(catalog[0].in_features, 1024u);
+  EXPECT_EQ(catalog[5].in_features, 4096u);  // VGG16
+  EXPECT_EQ(catalog[6].in_features, 4096u);  // VGG19
+}
+
+TEST(Dnn, LayerMatrixRespectsRowLimitAndSparsity) {
+  const DnnFcLayer& layer = dnnFcCatalog()[0];
+  const sparse::CsrMatrix full = dnnLayerMatrix(layer, 5);
+  EXPECT_EQ(full.numRows(), layer.out_features);
+  EXPECT_EQ(full.numCols(), layer.in_features);
+  EXPECT_NEAR(full.sparsity(), layer.sparsity, 0.01);
+
+  const sparse::CsrMatrix slice = dnnLayerMatrix(layer, 5, 64);
+  EXPECT_EQ(slice.numRows(), 64u);
+  // A row limit above the layer size is clamped.
+  EXPECT_EQ(dnnLayerMatrix(layer, 5, 5000).numRows(), layer.out_features);
+}
+
+TEST(Dnn, LayerMatrixIsSeedDeterministic) {
+  const DnnFcLayer& layer = dnnFcCatalog()[2];
+  EXPECT_EQ(dnnLayerMatrix(layer, 9, 32), dnnLayerMatrix(layer, 9, 32));
+  EXPECT_NE(dnnLayerMatrix(layer, 9, 32), dnnLayerMatrix(layer, 10, 32));
+}
+
+}  // namespace
+}  // namespace hht::workload
