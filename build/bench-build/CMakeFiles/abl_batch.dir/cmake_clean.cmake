@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_batch"
+  "../bench/abl_batch.pdb"
+  "CMakeFiles/abl_batch.dir/abl_batch.cc.o"
+  "CMakeFiles/abl_batch.dir/abl_batch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

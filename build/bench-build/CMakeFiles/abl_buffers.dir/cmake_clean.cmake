@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_buffers"
+  "../bench/abl_buffers.pdb"
+  "CMakeFiles/abl_buffers.dir/abl_buffers.cc.o"
+  "CMakeFiles/abl_buffers.dir/abl_buffers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_memory"
+  "../bench/abl_memory.pdb"
+  "CMakeFiles/abl_memory.dir/abl_memory.cc.o"
+  "CMakeFiles/abl_memory.dir/abl_memory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

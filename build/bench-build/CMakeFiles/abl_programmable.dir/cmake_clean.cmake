@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_programmable"
+  "../bench/abl_programmable.pdb"
+  "CMakeFiles/abl_programmable.dir/abl_programmable.cc.o"
+  "CMakeFiles/abl_programmable.dir/abl_programmable.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_programmable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

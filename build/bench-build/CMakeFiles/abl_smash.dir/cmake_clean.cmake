@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_smash"
+  "../bench/abl_smash.pdb"
+  "CMakeFiles/abl_smash.dir/abl_smash.cc.o"
+  "CMakeFiles/abl_smash.dir/abl_smash.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_smash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

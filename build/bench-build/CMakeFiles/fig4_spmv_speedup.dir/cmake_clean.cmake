@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_spmv_speedup"
+  "../bench/fig4_spmv_speedup.pdb"
+  "CMakeFiles/fig4_spmv_speedup.dir/fig4_spmv_speedup.cc.o"
+  "CMakeFiles/fig4_spmv_speedup.dir/fig4_spmv_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_spmv_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

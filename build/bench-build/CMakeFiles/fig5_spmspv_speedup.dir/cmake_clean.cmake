@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_spmspv_speedup"
+  "../bench/fig5_spmspv_speedup.pdb"
+  "CMakeFiles/fig5_spmspv_speedup.dir/fig5_spmspv_speedup.cc.o"
+  "CMakeFiles/fig5_spmspv_speedup.dir/fig5_spmspv_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_spmspv_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

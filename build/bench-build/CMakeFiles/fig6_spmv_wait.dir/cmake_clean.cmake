@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_spmv_wait"
+  "../bench/fig6_spmv_wait.pdb"
+  "CMakeFiles/fig6_spmv_wait.dir/fig6_spmv_wait.cc.o"
+  "CMakeFiles/fig6_spmv_wait.dir/fig6_spmv_wait.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_spmv_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

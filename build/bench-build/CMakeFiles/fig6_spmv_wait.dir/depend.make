@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_spmv_wait.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_spmspv_wait"
+  "../bench/fig7_spmspv_wait.pdb"
+  "CMakeFiles/fig7_spmspv_wait.dir/fig7_spmspv_wait.cc.o"
+  "CMakeFiles/fig7_spmspv_wait.dir/fig7_spmspv_wait.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_spmspv_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_vector_width"
+  "../bench/fig8_vector_width.pdb"
+  "CMakeFiles/fig8_vector_width.dir/fig8_vector_width.cc.o"
+  "CMakeFiles/fig8_vector_width.dir/fig8_vector_width.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vector_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_dnn_layers"
+  "../bench/fig9_dnn_layers.pdb"
+  "CMakeFiles/fig9_dnn_layers.dir/fig9_dnn_layers.cc.o"
+  "CMakeFiles/fig9_dnn_layers.dir/fig9_dnn_layers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dnn_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_sparse"
+  "../bench/micro_sparse.pdb"
+  "CMakeFiles/micro_sparse.dir/micro_sparse.cc.o"
+  "CMakeFiles/micro_sparse.dir/micro_sparse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_energy_area"
+  "../bench/tab_energy_area.pdb"
+  "CMakeFiles/tab_energy_area.dir/tab_energy_area.cc.o"
+  "CMakeFiles/tab_energy_area.dir/tab_energy_area.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_energy_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmspv_pipeline.dir/spmspv_pipeline.cpp.o"
+  "CMakeFiles/spmspv_pipeline.dir/spmspv_pipeline.cpp.o.d"
+  "spmspv_pipeline"
+  "spmspv_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmspv_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gather_engine.cc" "src/core/CMakeFiles/hht_core.dir/gather_engine.cc.o" "gcc" "src/core/CMakeFiles/hht_core.dir/gather_engine.cc.o.d"
+  "/root/repo/src/core/hht.cc" "src/core/CMakeFiles/hht_core.dir/hht.cc.o" "gcc" "src/core/CMakeFiles/hht_core.dir/hht.cc.o.d"
+  "/root/repo/src/core/hier_engine.cc" "src/core/CMakeFiles/hht_core.dir/hier_engine.cc.o" "gcc" "src/core/CMakeFiles/hht_core.dir/hier_engine.cc.o.d"
+  "/root/repo/src/core/merge_engine.cc" "src/core/CMakeFiles/hht_core.dir/merge_engine.cc.o" "gcc" "src/core/CMakeFiles/hht_core.dir/merge_engine.cc.o.d"
+  "/root/repo/src/core/micro_hht.cc" "src/core/CMakeFiles/hht_core.dir/micro_hht.cc.o" "gcc" "src/core/CMakeFiles/hht_core.dir/micro_hht.cc.o.d"
+  "/root/repo/src/core/stream_engine.cc" "src/core/CMakeFiles/hht_core.dir/stream_engine.cc.o" "gcc" "src/core/CMakeFiles/hht_core.dir/stream_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hht_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hht_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hht_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hht_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

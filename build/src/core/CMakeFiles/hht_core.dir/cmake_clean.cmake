@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hht_core.dir/gather_engine.cc.o"
+  "CMakeFiles/hht_core.dir/gather_engine.cc.o.d"
+  "CMakeFiles/hht_core.dir/hht.cc.o"
+  "CMakeFiles/hht_core.dir/hht.cc.o.d"
+  "CMakeFiles/hht_core.dir/hier_engine.cc.o"
+  "CMakeFiles/hht_core.dir/hier_engine.cc.o.d"
+  "CMakeFiles/hht_core.dir/merge_engine.cc.o"
+  "CMakeFiles/hht_core.dir/merge_engine.cc.o.d"
+  "CMakeFiles/hht_core.dir/micro_hht.cc.o"
+  "CMakeFiles/hht_core.dir/micro_hht.cc.o.d"
+  "CMakeFiles/hht_core.dir/stream_engine.cc.o"
+  "CMakeFiles/hht_core.dir/stream_engine.cc.o.d"
+  "libhht_core.a"
+  "libhht_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hht_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hht_cpu.dir/core.cc.o"
+  "CMakeFiles/hht_cpu.dir/core.cc.o.d"
+  "libhht_cpu.a"
+  "libhht_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hht_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhht_cpu.a"
+)

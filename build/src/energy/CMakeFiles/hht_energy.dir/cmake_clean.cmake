@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hht_energy.dir/events.cc.o"
+  "CMakeFiles/hht_energy.dir/events.cc.o.d"
+  "CMakeFiles/hht_energy.dir/model.cc.o"
+  "CMakeFiles/hht_energy.dir/model.cc.o.d"
+  "libhht_energy.a"
+  "libhht_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hht_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

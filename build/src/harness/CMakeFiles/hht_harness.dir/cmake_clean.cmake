@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hht_harness.dir/experiment.cc.o"
+  "CMakeFiles/hht_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/hht_harness.dir/report.cc.o"
+  "CMakeFiles/hht_harness.dir/report.cc.o.d"
+  "CMakeFiles/hht_harness.dir/system.cc.o"
+  "CMakeFiles/hht_harness.dir/system.cc.o.d"
+  "libhht_harness.a"
+  "libhht_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hht_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hht_isa.dir/encoding.cc.o"
+  "CMakeFiles/hht_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/hht_isa.dir/opcodes.cc.o"
+  "CMakeFiles/hht_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/hht_isa.dir/program.cc.o"
+  "CMakeFiles/hht_isa.dir/program.cc.o.d"
+  "libhht_isa.a"
+  "libhht_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hht_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

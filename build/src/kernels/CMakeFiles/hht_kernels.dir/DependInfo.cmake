@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/firmware.cc" "src/kernels/CMakeFiles/hht_kernels.dir/firmware.cc.o" "gcc" "src/kernels/CMakeFiles/hht_kernels.dir/firmware.cc.o.d"
+  "/root/repo/src/kernels/kernels.cc" "src/kernels/CMakeFiles/hht_kernels.dir/kernels.cc.o" "gcc" "src/kernels/CMakeFiles/hht_kernels.dir/kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/hht_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hht_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hht_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hht_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hht_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

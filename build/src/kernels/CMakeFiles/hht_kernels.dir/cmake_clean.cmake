@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hht_kernels.dir/firmware.cc.o"
+  "CMakeFiles/hht_kernels.dir/firmware.cc.o.d"
+  "CMakeFiles/hht_kernels.dir/kernels.cc.o"
+  "CMakeFiles/hht_kernels.dir/kernels.cc.o.d"
+  "libhht_kernels.a"
+  "libhht_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hht_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

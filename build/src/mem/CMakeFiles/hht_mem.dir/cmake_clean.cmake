@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hht_mem.dir/cache.cc.o"
+  "CMakeFiles/hht_mem.dir/cache.cc.o.d"
+  "CMakeFiles/hht_mem.dir/memory_system.cc.o"
+  "CMakeFiles/hht_mem.dir/memory_system.cc.o.d"
+  "libhht_mem.a"
+  "libhht_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hht_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

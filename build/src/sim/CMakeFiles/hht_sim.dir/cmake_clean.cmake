@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hht_sim.dir/log.cc.o"
+  "CMakeFiles/hht_sim.dir/log.cc.o.d"
+  "libhht_sim.a"
+  "libhht_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hht_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/bcsr.cc" "src/sparse/CMakeFiles/hht_sparse.dir/bcsr.cc.o" "gcc" "src/sparse/CMakeFiles/hht_sparse.dir/bcsr.cc.o.d"
+  "/root/repo/src/sparse/bitvector.cc" "src/sparse/CMakeFiles/hht_sparse.dir/bitvector.cc.o" "gcc" "src/sparse/CMakeFiles/hht_sparse.dir/bitvector.cc.o.d"
+  "/root/repo/src/sparse/convert.cc" "src/sparse/CMakeFiles/hht_sparse.dir/convert.cc.o" "gcc" "src/sparse/CMakeFiles/hht_sparse.dir/convert.cc.o.d"
+  "/root/repo/src/sparse/coo.cc" "src/sparse/CMakeFiles/hht_sparse.dir/coo.cc.o" "gcc" "src/sparse/CMakeFiles/hht_sparse.dir/coo.cc.o.d"
+  "/root/repo/src/sparse/csc.cc" "src/sparse/CMakeFiles/hht_sparse.dir/csc.cc.o" "gcc" "src/sparse/CMakeFiles/hht_sparse.dir/csc.cc.o.d"
+  "/root/repo/src/sparse/csr.cc" "src/sparse/CMakeFiles/hht_sparse.dir/csr.cc.o" "gcc" "src/sparse/CMakeFiles/hht_sparse.dir/csr.cc.o.d"
+  "/root/repo/src/sparse/dia.cc" "src/sparse/CMakeFiles/hht_sparse.dir/dia.cc.o" "gcc" "src/sparse/CMakeFiles/hht_sparse.dir/dia.cc.o.d"
+  "/root/repo/src/sparse/ell.cc" "src/sparse/CMakeFiles/hht_sparse.dir/ell.cc.o" "gcc" "src/sparse/CMakeFiles/hht_sparse.dir/ell.cc.o.d"
+  "/root/repo/src/sparse/hier_bitmap.cc" "src/sparse/CMakeFiles/hht_sparse.dir/hier_bitmap.cc.o" "gcc" "src/sparse/CMakeFiles/hht_sparse.dir/hier_bitmap.cc.o.d"
+  "/root/repo/src/sparse/matrix_market.cc" "src/sparse/CMakeFiles/hht_sparse.dir/matrix_market.cc.o" "gcc" "src/sparse/CMakeFiles/hht_sparse.dir/matrix_market.cc.o.d"
+  "/root/repo/src/sparse/reference.cc" "src/sparse/CMakeFiles/hht_sparse.dir/reference.cc.o" "gcc" "src/sparse/CMakeFiles/hht_sparse.dir/reference.cc.o.d"
+  "/root/repo/src/sparse/rle.cc" "src/sparse/CMakeFiles/hht_sparse.dir/rle.cc.o" "gcc" "src/sparse/CMakeFiles/hht_sparse.dir/rle.cc.o.d"
+  "/root/repo/src/sparse/sparse_vector.cc" "src/sparse/CMakeFiles/hht_sparse.dir/sparse_vector.cc.o" "gcc" "src/sparse/CMakeFiles/hht_sparse.dir/sparse_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hht_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hht_sparse.dir/bcsr.cc.o"
+  "CMakeFiles/hht_sparse.dir/bcsr.cc.o.d"
+  "CMakeFiles/hht_sparse.dir/bitvector.cc.o"
+  "CMakeFiles/hht_sparse.dir/bitvector.cc.o.d"
+  "CMakeFiles/hht_sparse.dir/convert.cc.o"
+  "CMakeFiles/hht_sparse.dir/convert.cc.o.d"
+  "CMakeFiles/hht_sparse.dir/coo.cc.o"
+  "CMakeFiles/hht_sparse.dir/coo.cc.o.d"
+  "CMakeFiles/hht_sparse.dir/csc.cc.o"
+  "CMakeFiles/hht_sparse.dir/csc.cc.o.d"
+  "CMakeFiles/hht_sparse.dir/csr.cc.o"
+  "CMakeFiles/hht_sparse.dir/csr.cc.o.d"
+  "CMakeFiles/hht_sparse.dir/dia.cc.o"
+  "CMakeFiles/hht_sparse.dir/dia.cc.o.d"
+  "CMakeFiles/hht_sparse.dir/ell.cc.o"
+  "CMakeFiles/hht_sparse.dir/ell.cc.o.d"
+  "CMakeFiles/hht_sparse.dir/hier_bitmap.cc.o"
+  "CMakeFiles/hht_sparse.dir/hier_bitmap.cc.o.d"
+  "CMakeFiles/hht_sparse.dir/matrix_market.cc.o"
+  "CMakeFiles/hht_sparse.dir/matrix_market.cc.o.d"
+  "CMakeFiles/hht_sparse.dir/reference.cc.o"
+  "CMakeFiles/hht_sparse.dir/reference.cc.o.d"
+  "CMakeFiles/hht_sparse.dir/rle.cc.o"
+  "CMakeFiles/hht_sparse.dir/rle.cc.o.d"
+  "CMakeFiles/hht_sparse.dir/sparse_vector.cc.o"
+  "CMakeFiles/hht_sparse.dir/sparse_vector.cc.o.d"
+  "libhht_sparse.a"
+  "libhht_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hht_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

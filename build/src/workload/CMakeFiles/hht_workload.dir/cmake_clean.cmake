@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hht_workload.dir/dnn.cc.o"
+  "CMakeFiles/hht_workload.dir/dnn.cc.o.d"
+  "CMakeFiles/hht_workload.dir/synthetic.cc.o"
+  "CMakeFiles/hht_workload.dir/synthetic.cc.o.d"
+  "libhht_workload.a"
+  "libhht_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hht_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhht_workload.a"
+)

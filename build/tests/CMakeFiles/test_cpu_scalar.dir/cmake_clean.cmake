@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_scalar.dir/test_cpu_scalar.cc.o"
+  "CMakeFiles/test_cpu_scalar.dir/test_cpu_scalar.cc.o.d"
+  "test_cpu_scalar"
+  "test_cpu_scalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hht_buffers.cc" "tests/CMakeFiles/test_hht_buffers.dir/test_hht_buffers.cc.o" "gcc" "tests/CMakeFiles/test_hht_buffers.dir/test_hht_buffers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/hht_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hht_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/hht_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/hht_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hht_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hht_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hht_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hht_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/hht_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hht_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hht_buffers.dir/test_hht_buffers.cc.o"
+  "CMakeFiles/test_hht_buffers.dir/test_hht_buffers.cc.o.d"
+  "test_hht_buffers"
+  "test_hht_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hht_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hht_engines.dir/test_hht_engines.cc.o"
+  "CMakeFiles/test_hht_engines.dir/test_hht_engines.cc.o.d"
+  "test_hht_engines"
+  "test_hht_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hht_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

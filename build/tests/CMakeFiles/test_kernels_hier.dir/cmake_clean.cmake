@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_hier.dir/test_kernels_hier.cc.o"
+  "CMakeFiles/test_kernels_hier.dir/test_kernels_hier.cc.o.d"
+  "test_kernels_hier"
+  "test_kernels_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

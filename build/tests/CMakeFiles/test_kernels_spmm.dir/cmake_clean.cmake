@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_spmm.dir/test_kernels_spmm.cc.o"
+  "CMakeFiles/test_kernels_spmm.dir/test_kernels_spmm.cc.o.d"
+  "test_kernels_spmm"
+  "test_kernels_spmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_spmspv.dir/test_kernels_spmspv.cc.o"
+  "CMakeFiles/test_kernels_spmspv.dir/test_kernels_spmspv.cc.o.d"
+  "test_kernels_spmspv"
+  "test_kernels_spmspv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_spmspv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_spmv.dir/test_kernels_spmv.cc.o"
+  "CMakeFiles/test_kernels_spmv.dir/test_kernels_spmv.cc.o.d"
+  "test_kernels_spmv"
+  "test_kernels_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

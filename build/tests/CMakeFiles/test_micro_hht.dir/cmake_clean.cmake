@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_micro_hht.dir/test_micro_hht.cc.o"
+  "CMakeFiles/test_micro_hht.dir/test_micro_hht.cc.o.d"
+  "test_micro_hht"
+  "test_micro_hht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_micro_hht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_convert.dir/test_sparse_convert.cc.o"
+  "CMakeFiles/test_sparse_convert.dir/test_sparse_convert.cc.o.d"
+  "test_sparse_convert"
+  "test_sparse_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_walkers.dir/test_walkers.cc.o"
+  "CMakeFiles/test_walkers.dir/test_walkers.cc.o.d"
+  "test_walkers"
+  "test_walkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_walkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
