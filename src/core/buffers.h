@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "sim/fault.h"
 
 namespace hht::core {
 
@@ -20,6 +21,10 @@ struct Slot {
   std::uint32_t bits = 0;
   bool is_row_end = false;
   bool publish_after = false;
+  /// Parity tag carried with the entry. The fault injector clears it when
+  /// it corrupts `bits` in the SRAM cell; the FE checks it on pop and
+  /// raises a FifoParity fault instead of handing the CPU bad data.
+  bool parity_ok = true;
 };
 
 /// The N CPU-side buffers of the HHT front-end (Table 1: N=2, 32 B each).
@@ -55,10 +60,17 @@ class BufferPool {
   bool canPush() const { return freeCapacity() > 0; }
 
   /// Stage one slot; publishes the staging buffer when it fills or the slot
-  /// requests a row-aligned publish. Precondition: canPush().
+  /// requests a row-aligned publish. Precondition: canPush(). The write
+  /// into the buffer SRAM is the injection point for FIFO corruption: a
+  /// flipped entry keeps its (now wrong) payload but loses its parity tag.
   void push(const Slot& slot) {
     if (!canPush()) throw std::logic_error("BufferPool::push past capacity");
-    staging_.push_back(slot);
+    Slot staged = slot;
+    if (injector_ != nullptr && !staged.is_row_end &&
+        injector_->corruptFifoSlot(staged.bits)) {
+      staged.parity_ok = false;
+    }
+    staging_.push_back(staged);
     if (staging_.size() == buffer_len_ || slot.publish_after) publish();
   }
 
@@ -97,6 +109,9 @@ class BufferPool {
     read_pos_ = 0;
   }
 
+  /// nullptr = no injection (zero cost).
+  void setFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
+
  private:
   void publish() {
     published_.push_back(std::move(staging_));
@@ -105,6 +120,7 @@ class BufferPool {
 
   std::uint32_t num_buffers_;
   std::uint32_t buffer_len_;
+  sim::FaultInjector* injector_ = nullptr;
   std::deque<std::vector<Slot>> published_;
   std::vector<Slot> staging_;
   std::size_t read_pos_ = 0;

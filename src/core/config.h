@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "sim/error.h"
 #include "sim/types.h"
 
 namespace hht::core {
@@ -40,6 +41,31 @@ struct HhtConfig {
   /// queue would act as hidden extra buffering and erase the difference
   /// between the 1-buffer and 2-buffer configurations of Fig. 4/5.
   std::uint32_t emission_queue = 2;
+
+  /// Reject impossible sizings with SimError(Config). Every field below is
+  /// a hardware resource count — zero means "this unit does not exist" and
+  /// the pipelines would deadlock rather than error at runtime.
+  void validate() const {
+    const struct {
+      const char* name;
+      std::uint32_t value;
+    } required[] = {
+        {"num_buffers", num_buffers},
+        {"buffer_len", buffer_len},
+        {"be_issue_per_cycle", be_issue_per_cycle},
+        {"cmp_per_cycle", cmp_per_cycle},
+        {"cmp_recurrence", cmp_recurrence},
+        {"emit_per_cycle", emit_per_cycle},
+        {"prefetch_queue", prefetch_queue},
+        {"emission_queue", emission_queue},
+    };
+    for (const auto& field : required) {
+      if (field.value == 0) {
+        throw sim::SimError(sim::ErrorKind::Config, "hht",
+                            std::string(field.name) + " must be >= 1");
+      }
+    }
+  }
 };
 
 }  // namespace hht::core

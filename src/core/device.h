@@ -1,6 +1,10 @@
 #pragma once
 
+#include <string>
+#include <utility>
+
 #include "mem/mmio.h"
+#include "sim/fault.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -11,7 +15,13 @@ namespace hht::core {
 /// the §7 design the paper proposes as future work). The harness and the
 /// primary core interact with either through this surface plus the shared
 /// MMIO register map (core/mmr.h).
-class HhtDevice : public mem::MmioDevice {
+///
+/// The device is also the system's FaultSink: back-end engines, walkers and
+/// the FE's parity checks report detected errors here. The first fault wins
+/// and is latched into architectural state (the FAULT/CAUSE MMRs) — the
+/// device halts, software polls, and the harness either re-runs on the
+/// scalar baseline (graceful degradation) or raises a structured SimError.
+class HhtDevice : public mem::MmioDevice, public sim::FaultSink {
  public:
   /// Advance the accelerator one cycle (called before the primary core).
   virtual void tick(sim::Cycle now) = 0;
@@ -26,6 +36,45 @@ class HhtDevice : public mem::MmioDevice {
   virtual std::uint64_t cpuWaitCycles() const = 0;
   /// Cycles the accelerator was throttled by buffer availability.
   virtual std::uint64_t hhtWaitCycles() const = 0;
+
+  // ---- fault surface ----
+
+  /// Latch a detected fault (first one wins; later reports are dropped so
+  /// CAUSE names the root error, not a cascade).
+  void raiseFault(sim::FaultCause cause, std::string detail) override {
+    if (fault_cause_ != sim::FaultCause::None) return;
+    fault_cause_ = cause;
+    fault_detail_ = std::move(detail);
+    ++stats().counter("hht.faults_raised");
+  }
+  /// Re-arm after software handled the fault (the FAULT_CLEAR MMR).
+  void clearFault() {
+    fault_cause_ = sim::FaultCause::None;
+    fault_detail_.clear();
+  }
+  bool faultRaised() const { return fault_cause_ != sim::FaultCause::None; }
+  sim::FaultCause faultCause() const { return fault_cause_; }
+  const std::string& faultDetail() const { return fault_detail_; }
+
+  /// Wire the shared fault injector (nullptr = no injection, zero cost).
+  virtual void setFaultInjector(sim::FaultInjector* injector) = 0;
+
+  /// Return to the just-constructed state: MMRs cleared, buffers emptied,
+  /// engine torn down, fault latch re-armed. Used by the harness's
+  /// graceful-degradation path before re-running on the software baseline.
+  virtual void reset() = 0;
+
+  /// Monotonic count of observable forward progress (FIFO pops, and for the
+  /// programmable variant the micro-core's retired instructions). Feeds the
+  /// run loop's watchdog.
+  virtual std::uint64_t progressSignal() const = 0;
+
+  /// Multi-line snapshot for diagnostic dumps.
+  virtual std::string describeState() const = 0;
+
+ protected:
+  sim::FaultCause fault_cause_ = sim::FaultCause::None;
+  std::string fault_detail_;
 };
 
 }  // namespace hht::core

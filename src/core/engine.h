@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string>
+
 #include "core/buffers.h"
 #include "core/config.h"
 #include "core/emission.h"
@@ -23,6 +25,9 @@ struct EngineContext {
   BufferPool& buffers;
   EmissionQueue& emit;
   sim::StatSet& stats;
+  /// Where detected faults go (the owning device). May be null in
+  /// unit-test contexts; reports are then dropped.
+  sim::FaultSink* fault = nullptr;
 };
 
 /// A back-end engine implements one MODE's pipeline (§3.2). The device
@@ -45,13 +50,67 @@ class Engine {
 
   /// Issue one 4-byte BE read. Callers (the engine itself and its walker
   /// helpers) enforce the per-cycle issue budget.
+  ///
+  /// Every BE-generated address passes a physical bounds check here: an
+  /// address outside the SRAM (the product of corrupted metadata) raises an
+  /// AddrOutOfBounds fault and returns kInvalidRequest instead of letting
+  /// the corrupt pointer reach the memory system.
   mem::RequestId issueReadFor(Addr addr) {
+    if (!ctx_.mem.sram().inBounds(addr, 4)) {
+      reportFault(sim::FaultCause::AddrOutOfBounds,
+                  "BE-generated read address 0x" + toHex(addr) +
+                      " outside SRAM (" +
+                      std::to_string(ctx_.mem.sram().size()) + " bytes)");
+      return mem::kInvalidRequest;
+    }
     ++ctx_.stats.counter("hht.mem_reads");
     return ctx_.mem.submit({addr, 4, false, 0, mem::Requester::Hht});
   }
 
+  /// Report a detected fault to the owning device and freeze this engine
+  /// (the device stops ticking a faulted pipeline).
+  void reportFault(sim::FaultCause cause, const std::string& detail) {
+    faulted_ = true;
+    if (ctx_.fault != nullptr) ctx_.fault->raiseFault(cause, detail);
+  }
+  bool faulted() const { return faulted_; }
+
+  /// Validate a CSR row extent [start, end) fetched from memory before any
+  /// address is generated from it. A corrupted row pointer shows up as an
+  /// inverted extent (end < start would underflow into a ~4-billion-element
+  /// row) or one past the programmed M_NNZ cap. Returns false (fault
+  /// raised) when the metadata cannot be trusted.
+  bool checkRowExtent(std::uint32_t row, std::uint32_t start,
+                      std::uint32_t end) {
+    if (end < start) {
+      reportFault(sim::FaultCause::MalformedMeta,
+                  "CSR row " + std::to_string(row) +
+                      " extent inverted: rows[r+1]=" + std::to_string(end) +
+                      " < rows[r]=" + std::to_string(start));
+      return false;
+    }
+    if (ctx_.mmr.m_nnz != 0 && end > ctx_.mmr.m_nnz) {
+      reportFault(sim::FaultCause::MalformedMeta,
+                  "CSR row " + std::to_string(row) + " extent end " +
+                      std::to_string(end) + " exceeds programmed M_NNZ " +
+                      std::to_string(ctx_.mmr.m_nnz));
+      return false;
+    }
+    return true;
+  }
+
  protected:
+  static std::string toHex(Addr addr) {
+    static const char* digits = "0123456789abcdef";
+    std::string out;
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(digits[(addr >> shift) & 0xF]);
+    }
+    return out;
+  }
+
   EngineContext ctx_;
+  bool faulted_ = false;
 };
 
 }  // namespace hht::core

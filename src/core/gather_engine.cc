@@ -11,22 +11,33 @@ GatherEngine::GatherEngine(const EngineContext& ctx)
 
 void GatherEngine::configureRowStream() {
   const std::uint32_t start = rows_.rowStart();
-  const std::uint32_t nnz = rows_.rowEnd() - start;
-  cols_.configure(ctx_.mmr.m_cols_base + start * 4u, nnz, start);
+  const std::uint32_t end = rows_.rowEnd();
+  if (!checkRowExtent(rows_.row(), start, end)) return;
+  cols_.configure(ctx_.mmr.m_cols_base + start * 4u, end - start, start);
   row_stream_ready_ = true;
 }
 
 void GatherEngine::tick(Cycle) {
+  if (faulted_) return;
+
   // 1. Collect memory responses.
   rows_.poll(ctx_.mem);
   cols_.poll(ctx_.mem);
   vfetch_.poll(ctx_.mem, ctx_.emit);
+  if (rows_.sawPoison() || cols_.sawPoison() || vfetch_.sawPoison()) {
+    reportFault(sim::FaultCause::MemUncorrectable,
+                "ECC-uncorrectable response reached the gather pipeline");
+    return;
+  }
 
   // 2. Row bookkeeping: target the column stream at the current row, and
   //    advance over rows whose indices are fully consumed (including
   //    empty rows).
   while (rows_.haveRow()) {
-    if (!row_stream_ready_) configureRowStream();
+    if (!row_stream_ready_) {
+      configureRowStream();
+      if (faulted_) return;
+    }
     if (cols_.morePending()) break;
     rows_.advance();
     row_stream_ready_ = false;
@@ -38,6 +49,13 @@ void GatherEngine::tick(Cycle) {
   //    row-aligned publish.
   while (row_stream_ready_ && cols_.headAvailable() && ctx_.emit.canReserve() &&
          vfetch_.canAccept()) {
+    if (ctx_.mmr.v_len != 0 && cols_.head() >= ctx_.mmr.v_len) {
+      reportFault(sim::FaultCause::AddrOutOfBounds,
+                  "gather column index " + std::to_string(cols_.head()) +
+                      " exceeds programmed V_LEN " +
+                      std::to_string(ctx_.mmr.v_len));
+      return;
+    }
     const Addr v_addr =
         ctx_.mmr.v_base + cols_.head() * ctx_.mmr.element_size;
     const bool last_of_row = cols_.headIsLast();

@@ -1,5 +1,6 @@
 #include "core/hht.h"
 
+#include <sstream>
 #include <stdexcept>
 
 #include "core/gather_engine.h"
@@ -11,13 +12,48 @@
 namespace hht::core {
 
 Hht::Hht(const HhtConfig& config, mem::MemorySystem& memory)
-    : cfg_(config), mem_(memory), buffers_(config), emit_(config.emission_queue) {}
+    : cfg_(config), mem_(memory), buffers_(config), emit_(config.emission_queue) {
+  fifo_pops_ = &stats_.counter("hht.fifo_pops");
+}
 
 void Hht::start() {
+  // Config registers are checked at their single architectural use point:
+  // writes are posted, so START is the first moment the device can act on
+  // (and therefore vet) the programmed state.
+  if (!mmr_parity_ok_) {
+    raiseFault(sim::FaultCause::MmrParity,
+               "a configuration register failed its parity check at START");
+    return;
+  }
+  if (mmr_.element_size != 4) {
+    raiseFault(sim::FaultCause::BadProgram,
+               "ELEMENT_SIZE=" + std::to_string(mmr_.element_size) +
+                   " unsupported (BE pipelines are 32-bit)");
+    return;
+  }
+  const bool csr = mmr_.mode == Mode::SpmvGather ||
+                   mmr_.mode == Mode::SpmspvV1 || mmr_.mode == Mode::SpmspvV2;
+  if (csr) {
+    const std::uint64_t rows_bytes =
+        (static_cast<std::uint64_t>(mmr_.m_num_rows) + 1) * 4u;
+    if (!mem_.sram().inBounds(mmr_.m_rows_base,
+                              static_cast<std::size_t>(rows_bytes))) {
+      raiseFault(sim::FaultCause::BadProgram,
+                 "CSR row-pointer array [M_Rows_Base, +" +
+                     std::to_string(rows_bytes) + ") falls outside SRAM");
+      return;
+    }
+  }
+  if ((mmr_.mode == Mode::HierBitmap || mmr_.mode == Mode::FlatBitmap) &&
+      mmr_.num_cols == 0) {
+    raiseFault(sim::FaultCause::BadProgram,
+               "bitmap walk requires NUM_COLS >= 1");
+    return;
+  }
   buffers_.reset();
   emit_.reset();
   finished_flush_done_ = false;
-  const EngineContext ctx{cfg_, mmr_, mem_, buffers_, emit_, stats_};
+  const EngineContext ctx{cfg_, mmr_, mem_, buffers_, emit_, stats_, this};
   switch (mmr_.mode) {
     case Mode::SpmvGather:
       engine_ = std::make_unique<GatherEngine>(ctx);
@@ -43,6 +79,9 @@ void Hht::start() {
 }
 
 void Hht::tick(sim::Cycle now) {
+  // A faulted device halts: no further production, no buffer movement. The
+  // FAULT/CAUSE MMRs stay readable (the non-blocking poll path below).
+  if (faultRaised()) return;
   if (!engine_) return;
   if (!engine_->done()) {
     ++stats_.counter("hht.active_cycles");
@@ -68,7 +107,15 @@ bool Hht::busy() const {
 }
 
 mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
-                                  mem::Requester) {
+                                  mem::Requester who) {
+  if (who != mem::Requester::Cpu) {
+    // The ASIC HHT has no firmware-side port; only the programmable
+    // variant accepts Requester::Hht (core/micro_hht.h).
+    throw sim::SimError(sim::ErrorKind::Mmio, "hht",
+                        "device-side (Requester::Hht) read from the ASIC "
+                        "HHT's CPU-facing register file, offset " +
+                            std::to_string(offset));
+  }
   if (size != 4) {
     throw std::invalid_argument("HHT FE supports 32-bit reads only");
   }
@@ -87,6 +134,14 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
             "kernel bug: CPU read BUF_DATA where VALID would return 0");
       }
       const Slot slot = buffers_.pop();
+      ++*fifo_pops_;
+      if (!slot.parity_ok) {
+        // Deliver *and* latch the fault: the CPU gets the (corrupt) word
+        // this cycle, but FAULT is already visible — the harness's
+        // same-cycle poll guarantees the run never ends silently wrong.
+        raiseFault(sim::FaultCause::FifoParity,
+                   "buffer entry failed its parity check at BUF_DATA pop");
+      }
       ++stats_.counter("hht.elements_delivered");
       return {true, slot.bits};
     }
@@ -101,12 +156,17 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
       }
       if (buffers_.front().is_row_end) {
         buffers_.pop();
+        ++*fifo_pops_;
         return {true, 0};
       }
       return {true, 1};
     }
     case mmr::kStatus:
       return {true, busy() ? 1u : 0u};
+    case mmr::kFault:
+      return {true, faultRaised() ? 1u : 0u};
+    case mmr::kCause:
+      return {true, static_cast<std::uint32_t>(faultCause())};
     default:
       throw std::invalid_argument("HHT FE read from unknown MMR offset " +
                                   std::to_string(offset));
@@ -114,9 +174,22 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
 }
 
 void Hht::mmioWrite(Addr offset, std::uint32_t size, std::uint32_t value,
-                    mem::Requester) {
+                    mem::Requester who) {
+  if (who != mem::Requester::Cpu) {
+    throw sim::SimError(sim::ErrorKind::Mmio, "hht",
+                        "device-side (Requester::Hht) write to the ASIC "
+                        "HHT's CPU-facing register file, offset " +
+                            std::to_string(offset));
+  }
   if (size != 4) {
     throw std::invalid_argument("HHT FE supports 32-bit writes only");
+  }
+  // MMR glitch injection point: the value is corrupted as it is latched
+  // into the register cell (commands — START, FAULT_CLEAR — are pulse
+  // wires, not latches, and are not subject to it).
+  if (injector_ != nullptr && offset != mmr::kStart &&
+      offset != mmr::kFaultClear && injector_->glitchMmrValue(value)) {
+    mmr_parity_ok_ = false;
   }
   switch (offset) {
     case mmr::kMNumRows: mmr_.m_num_rows = value; break;
@@ -132,13 +205,48 @@ void Hht::mmioWrite(Addr offset, std::uint32_t size, std::uint32_t value,
     case mmr::kNumCols: mmr_.num_cols = value; break;
     case mmr::kL1Base: mmr_.l1_base = value; break;
     case mmr::kLeavesBase: mmr_.leaves_base = value; break;
+    case mmr::kMNnz: mmr_.m_nnz = value; break;
+    case mmr::kVLen: mmr_.v_len = value; break;
     case mmr::kStart:
       if (value != 0) start();
+      break;
+    case mmr::kFaultClear:
+      if (value != 0) clearFault();
       break;
     default:
       throw std::invalid_argument("HHT FE write to unknown MMR offset " +
                                   std::to_string(offset));
   }
+}
+
+void Hht::setFaultInjector(sim::FaultInjector* injector) {
+  injector_ = injector;
+  buffers_.setFaultInjector(injector);
+}
+
+void Hht::reset() {
+  buffers_.reset();
+  emit_.reset();
+  engine_.reset();
+  finished_flush_done_ = false;
+  mmr_ = MmrFile{};
+  mmr_parity_ok_ = true;
+  clearFault();
+}
+
+std::string Hht::describeState() const {
+  std::ostringstream os;
+  os << "hht: mode=" << static_cast<unsigned>(mmr_.mode)
+     << " engine=" << (engine_ ? (engine_->done() ? "done" : "active") : "none")
+     << " staged=" << buffers_.stagedSlots()
+     << " published_buffers=" << buffers_.publishedBuffers()
+     << " emit_pending=" << (emit_.empty() ? 0 : 1)
+     << " fifo_pops=" << *fifo_pops_;
+  if (faultRaised()) {
+    os << "\n  FAULT cause=" << sim::faultCauseName(faultCause()) << ": "
+       << faultDetail();
+  }
+  return os.str();
 }
 
 }  // namespace hht::core

@@ -54,6 +54,12 @@ class Hht : public HhtDevice {
     return stats_.value("hht.stall_buffers_full");
   }
 
+  // ---- fault surface (HhtDevice) ----
+  void setFaultInjector(sim::FaultInjector* injector) override;
+  void reset() override;
+  std::uint64_t progressSignal() const override { return *fifo_pops_; }
+  std::string describeState() const override;
+
  private:
   void start();
 
@@ -64,7 +70,13 @@ class Hht : public HhtDevice {
   EmissionQueue emit_;
   std::unique_ptr<Engine> engine_;
   bool finished_flush_done_ = false;
+  /// Config-register parity: cleared when the injector glitches a latched
+  /// MMR value; checked once at START (writes are posted, so detection at
+  /// use time is the only architecturally visible point).
+  bool mmr_parity_ok_ = true;
+  sim::FaultInjector* injector_ = nullptr;
   sim::StatSet stats_;
+  std::uint64_t* fifo_pops_;  ///< cached "hht.fifo_pops" (watchdog signal)
 };
 
 }  // namespace hht::core

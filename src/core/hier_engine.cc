@@ -21,21 +21,38 @@ HierBitmapEngine::HierBitmapEngine(const EngineContext& ctx, bool flat)
 }
 
 void HierBitmapEngine::tick(Cycle) {
+  if (faulted_) return;
+
   l1_.poll(ctx_.mem);
   vfetch_.poll(ctx_.mem, ctx_.emit);
+  if (l1_.sawPoison() || vfetch_.sawPoison()) {
+    reportFault(sim::FaultCause::MemUncorrectable,
+                "ECC-uncorrectable response reached the bitmap pipeline");
+    return;
+  }
 
   // Collect leaf word responses (lo/hi 32-bit halves).
   while (!leaf_fetches_.empty()) {
     LeafFetch& f = leaf_fetches_.front();
     if (!f.have_lo) {
-      if (auto d = ctx_.mem.takeCompleted(f.lo_req)) {
-        f.lo = *d;
+      if (auto r = ctx_.mem.takeResponse(f.lo_req)) {
+        if (r->poisoned) {
+          reportFault(sim::FaultCause::MemUncorrectable,
+                      "ECC-uncorrectable leaf-word response");
+          return;
+        }
+        f.lo = r->data;
         f.have_lo = true;
       }
     }
     if (!f.have_hi) {
-      if (auto d = ctx_.mem.takeCompleted(f.hi_req)) {
-        f.hi = *d;
+      if (auto r = ctx_.mem.takeResponse(f.hi_req)) {
+        if (r->poisoned) {
+          reportFault(sim::FaultCause::MemUncorrectable,
+                      "ECC-uncorrectable leaf-word response");
+          return;
+        }
+        f.hi = r->data;
         f.have_hi = true;
       }
     }
@@ -64,6 +81,15 @@ void HierBitmapEngine::tick(Cycle) {
           static_cast<std::uint32_t>(pos / ctx_.mmr.num_cols);
       const std::uint32_t col =
           static_cast<std::uint32_t>(pos % ctx_.mmr.num_cols);
+      if (row >= ctx_.mmr.m_num_rows) {
+        // A set bit past the matrix extent means the bitmap metadata is
+        // corrupt (position maps outside the num_rows × num_cols grid).
+        reportFault(sim::FaultCause::MalformedMeta,
+                    "bitmap position " + std::to_string(pos) +
+                        " maps to row " + std::to_string(row) +
+                        " >= num_rows " + std::to_string(ctx_.mmr.m_num_rows));
+        return;
+      }
       if (row > cur_row_) {
         // Close the previous row(s); one marker per budget slot.
         if (!ctx_.emit.canReserve()) break;

@@ -12,8 +12,9 @@ MergeEngine::MergeEngine(const EngineContext& ctx)
 
 void MergeEngine::configureRow() {
   const std::uint32_t start = rows_.rowStart();
-  const std::uint32_t nnz = rows_.rowEnd() - start;
-  cols_.configure(ctx_.mmr.m_cols_base + start * 4u, nnz, start);
+  const std::uint32_t end = rows_.rowEnd();
+  if (!checkRowExtent(rows_.row(), start, end)) return;
+  cols_.configure(ctx_.mmr.m_cols_base + start * 4u, end - start, start);
   // Variant-1 rescans the vector index list for every row: both lists are
   // sorted, but the next row's columns restart from low indices.
   vidx_.configure(ctx_.mmr.v_idx_base, ctx_.mmr.v_nnz, 0);
@@ -32,12 +33,23 @@ bool MergeEngine::tryFinishRow() {
 }
 
 void MergeEngine::tick(Cycle) {
+  if (faulted_) return;
+
   rows_.poll(ctx_.mem);
   cols_.poll(ctx_.mem);
   vidx_.poll(ctx_.mem);
   vfetch_.poll(ctx_.mem, ctx_.emit);
+  if (rows_.sawPoison() || cols_.sawPoison() || vidx_.sawPoison() ||
+      vfetch_.sawPoison()) {
+    reportFault(sim::FaultCause::MemUncorrectable,
+                "ECC-uncorrectable response reached the merge pipeline");
+    return;
+  }
 
-  if (rows_.haveRow() && !row_ready_) configureRow();
+  if (rows_.haveRow() && !row_ready_) {
+    configureRow();
+    if (faulted_) return;
+  }
 
   // Merge step: the compare-select-advance recurrence completes every
   // cmp_recurrence cycles; each completion performs cmp_per_cycle steps.

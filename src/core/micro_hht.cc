@@ -1,5 +1,6 @@
 #include "core/micro_hht.h"
 
+#include <sstream>
 #include <stdexcept>
 
 #include "sim/log.h"
@@ -12,7 +13,9 @@ MicroHht::MicroHht(const HhtConfig& config, mem::MemorySystem& memory,
       buffers_(config),
       micro_core_(std::make_unique<cpu::Core>(micro_timing, memory,
                                               /*vlmax=*/1,
-                                              mem::Requester::Hht)) {}
+                                              mem::Requester::Hht)) {
+  fifo_pops_ = &stats_.counter("hht.fifo_pops");
+}
 
 void MicroHht::setFirmware(const isa::Program& firmware) {
   firmware_ = &firmware;
@@ -22,6 +25,11 @@ void MicroHht::start() {
   if (firmware_ == nullptr) {
     throw std::logic_error("MicroHht started without firmware installed");
   }
+  if (!mmr_parity_ok_) {
+    raiseFault(sim::FaultCause::MmrParity,
+               "a configuration register failed its parity check at START");
+    return;
+  }
   buffers_.reset();
   micro_core_->loadProgram(*firmware_);
   started_ = true;
@@ -30,6 +38,7 @@ void MicroHht::start() {
 }
 
 void MicroHht::tick(sim::Cycle now) {
+  if (faultRaised()) return;  // a faulted device halts (firmware included)
   if (!started_) return;
   if (!micro_core_->halted()) ++stats_.counter("hht.active_cycles");
   micro_core_->tick(now);
@@ -54,8 +63,14 @@ mem::MmioReadResult MicroHht::cpuRead(Addr offset) {
         throw std::logic_error(
             "kernel bug: CPU read BUF_DATA where VALID would return 0");
       }
+      const Slot slot = buffers_.pop();
+      ++*fifo_pops_;
+      if (!slot.parity_ok) {
+        raiseFault(sim::FaultCause::FifoParity,
+                   "buffer entry failed its parity check at BUF_DATA pop");
+      }
       ++stats_.counter("hht.elements_delivered");
-      return {true, buffers_.pop().bits};
+      return {true, slot.bits};
     }
     case mmr::kValid: {
       if (!buffers_.hasFront()) {
@@ -67,12 +82,17 @@ mem::MmioReadResult MicroHht::cpuRead(Addr offset) {
       }
       if (buffers_.front().is_row_end) {
         buffers_.pop();
+        ++*fifo_pops_;
         return {true, 0};
       }
       return {true, 1};
     }
     case mmr::kStatus:
       return {true, busy() ? 1u : 0u};
+    case mmr::kFault:
+      return {true, faultRaised() ? 1u : 0u};
+    case mmr::kCause:
+      return {true, static_cast<std::uint32_t>(faultCause())};
     default:
       throw std::invalid_argument("MicroHht: CPU read from unknown offset " +
                                   std::to_string(offset));
@@ -134,6 +154,10 @@ void MicroHht::mmioWrite(Addr offset, std::uint32_t size, std::uint32_t value,
   // CPU side: the same configuration sequence as the ASIC — the consumer
   // kernels are reused verbatim. Config registers the firmware does not
   // need are still latched (firmware gets its parameters compiled in).
+  if (injector_ != nullptr && offset != mmr::kStart &&
+      offset != mmr::kFaultClear && injector_->glitchMmrValue(value)) {
+    mmr_parity_ok_ = false;
+  }
   switch (offset) {
     case mmr::kMNumRows: mmr_.m_num_rows = value; break;
     case mmr::kMRowsBase: mmr_.m_rows_base = value; break;
@@ -148,13 +172,51 @@ void MicroHht::mmioWrite(Addr offset, std::uint32_t size, std::uint32_t value,
     case mmr::kNumCols: mmr_.num_cols = value; break;
     case mmr::kL1Base: mmr_.l1_base = value; break;
     case mmr::kLeavesBase: mmr_.leaves_base = value; break;
+    case mmr::kMNnz: mmr_.m_nnz = value; break;
+    case mmr::kVLen: mmr_.v_len = value; break;
     case mmr::kStart:
       if (value != 0) start();
+      break;
+    case mmr::kFaultClear:
+      if (value != 0) clearFault();
       break;
     default:
       throw std::invalid_argument("MicroHht: CPU write to unknown offset " +
                                   std::to_string(offset));
   }
+}
+
+void MicroHht::setFaultInjector(sim::FaultInjector* injector) {
+  injector_ = injector;
+  buffers_.setFaultInjector(injector);
+}
+
+std::uint64_t MicroHht::progressSignal() const {
+  // The micro-core's retired instructions count as progress: firmware can
+  // legitimately compute for long stretches between pushes.
+  return *fifo_pops_ + micro_core_->stats().value("cpu.retired");
+}
+
+void MicroHht::reset() {
+  buffers_.reset();
+  started_ = false;
+  mmr_ = MmrFile{};
+  mmr_parity_ok_ = true;
+  clearFault();
+}
+
+std::string MicroHht::describeState() const {
+  std::ostringstream os;
+  os << "uhht: started=" << started_
+     << " core_halted=" << micro_core_->halted()
+     << " staged=" << buffers_.stagedSlots()
+     << " published_buffers=" << buffers_.publishedBuffers()
+     << " fifo_pops=" << *fifo_pops_;
+  if (faultRaised()) {
+    os << "\n  FAULT cause=" << sim::faultCauseName(faultCause()) << ": "
+       << faultDetail();
+  }
+  return os.str();
 }
 
 }  // namespace hht::core

@@ -59,6 +59,12 @@ class MicroHht : public HhtDevice {
   cpu::Core& microCore() { return *micro_core_; }
   const cpu::Core& microCore() const { return *micro_core_; }
 
+  // ---- fault surface (HhtDevice) ----
+  void setFaultInjector(sim::FaultInjector* injector) override;
+  std::uint64_t progressSignal() const override;
+  void reset() override;
+  std::string describeState() const override;
+
  private:
   void start();
   mem::MmioReadResult cpuRead(Addr offset);
@@ -71,7 +77,10 @@ class MicroHht : public HhtDevice {
   std::unique_ptr<cpu::Core> micro_core_;
   const isa::Program* firmware_ = nullptr;
   bool started_ = false;
+  bool mmr_parity_ok_ = true;
+  sim::FaultInjector* injector_ = nullptr;
   sim::StatSet stats_;
+  std::uint64_t* fifo_pops_ = nullptr;  ///< cached "hht.fifo_pops"
 };
 
 }  // namespace hht::core

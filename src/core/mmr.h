@@ -39,6 +39,20 @@ inline constexpr Addr kBufData = 0x40;     ///< blocking pop of next element
 inline constexpr Addr kValid = 0x44;       ///< blocking: 1=element pending, 0=row done
 inline constexpr Addr kStatus = 0x48;      ///< non-blocking: bit0 = busy
 
+// --- fault interface ---
+// The HHT latches the first architectural fault it detects (parity error,
+// out-of-extent address, malformed metadata, uncorrectable memory response)
+// and halts; software polls FAULT and reads CAUSE (a sim::FaultCause) plus
+// re-arms with FAULT_CLEAR. Extent registers bound the metadata the BE is
+// allowed to trust: M_NNZ caps CSR row extents, V_LEN caps gather indices.
+// Both default to 0 = "not programmed, skip the check" so existing kernels
+// keep identical instruction streams.
+inline constexpr Addr kFault = 0x4C;       ///< non-blocking read: bit0 = fault latched
+inline constexpr Addr kCause = 0x50;       ///< non-blocking read: sim::FaultCause
+inline constexpr Addr kFaultClear = 0x54;  ///< write 1: clear the fault latch
+inline constexpr Addr kMNnz = 0x58;        ///< write: matrix NNZ extent (0 = unchecked)
+inline constexpr Addr kVLen = 0x5C;        ///< write: dense-vector length (0 = unchecked)
+
 // --- firmware-side port of the *programmable* HHT (§7 / core::MicroHht).
 //     Only the device's own micro-core (Requester::Hht) may touch these.
 inline constexpr Addr kFwSpace = 0x80;        ///< blocking read: free slots (>0)
@@ -66,6 +80,8 @@ struct MmrFile {
   std::uint32_t num_cols = 0;
   Addr l1_base = 0;
   Addr leaves_base = 0;
+  std::uint32_t m_nnz = 0;  ///< extent check cap, 0 = unchecked
+  std::uint32_t v_len = 0;  ///< extent check cap, 0 = unchecked
 };
 
 }  // namespace hht::core

@@ -14,19 +14,31 @@ StreamEngine::StreamEngine(const EngineContext& ctx)
 
 void StreamEngine::configureRow() {
   const std::uint32_t start = rows_.rowStart();
-  const std::uint32_t nnz = rows_.rowEnd() - start;
-  cols_.configure(ctx_.mmr.m_cols_base + start * 4u, nnz, start);
+  const std::uint32_t end = rows_.rowEnd();
+  if (!checkRowExtent(rows_.row(), start, end)) return;
+  cols_.configure(ctx_.mmr.m_cols_base + start * 4u, end - start, start);
   vidx_.configure(ctx_.mmr.v_idx_base, ctx_.mmr.v_nnz, 0);
   row_ready_ = true;
 }
 
 void StreamEngine::tick(Cycle) {
+  if (faulted_) return;
+
   rows_.poll(ctx_.mem);
   cols_.poll(ctx_.mem);
   vidx_.poll(ctx_.mem);
   vfetch_.poll(ctx_.mem, ctx_.emit);
+  if (rows_.sawPoison() || cols_.sawPoison() || vidx_.sawPoison() ||
+      vfetch_.sawPoison()) {
+    reportFault(sim::FaultCause::MemUncorrectable,
+                "ECC-uncorrectable response reached the stream pipeline");
+    return;
+  }
 
-  if (rows_.haveRow() && !row_ready_) configureRow();
+  if (rows_.haveRow() && !row_ready_) {
+    configureRow();
+    if (faulted_) return;
+  }
 
   // One emitted element (or vector-pointer advance) per merge step,
   // completing every cmp_recurrence cycles.
@@ -39,7 +51,10 @@ void StreamEngine::tick(Cycle) {
       rows_.advance();
       row_ready_ = false;
       ++ctx_.stats.counter("hht.stream.rows_done");
-      if (rows_.haveRow()) configureRow();
+      if (rows_.haveRow()) {
+        configureRow();
+        if (faulted_) return;
+      }
       continue;
     }
     if (!cols_.headAvailable()) break;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -22,6 +23,7 @@ class RowPtrWalker {
     row_end_.reset();
     pending_ = mem::kInvalidRequest;
     fetch_slot_ = 0;
+    saw_poison_ = false;
   }
 
   bool finished() const { return row_ >= num_rows_; }
@@ -52,15 +54,23 @@ class RowPtrWalker {
 
   void poll(mem::MemorySystem& mem) {
     if (pending_ == mem::kInvalidRequest) return;
-    if (auto data = mem.takeCompleted(pending_)) {
-      if (fetch_slot_ == row_) {
-        row_start_ = *data;
-      } else {
-        row_end_ = *data;
-      }
+    if (auto response = mem.takeResponse(pending_)) {
       pending_ = mem::kInvalidRequest;
+      if (response->poisoned) {
+        saw_poison_ = true;  // row extent unusable; owner raises the fault
+        return;
+      }
+      if (fetch_slot_ == row_) {
+        row_start_ = response->data;
+      } else {
+        row_end_ = response->data;
+      }
     }
   }
+
+  /// An ECC-uncorrectable response reached this walker; the owning engine
+  /// must raise MemUncorrectable (the row extent was lost, not delivered).
+  bool sawPoison() const { return saw_poison_; }
 
  private:
   Addr rows_base_ = 0;
@@ -70,6 +80,7 @@ class RowPtrWalker {
   std::optional<std::uint32_t> row_end_;
   mem::RequestId pending_ = mem::kInvalidRequest;
   std::uint32_t fetch_slot_ = 0;
+  bool saw_poison_ = false;
 };
 
 /// Prefetching reader of a contiguous 32-bit-element array segment
@@ -88,22 +99,32 @@ class IndexStream {
     count_ = count;
     first_global_ = first_global;
     fetch_i_ = 0;
+    next_pop_ = 0;
     queue_.clear();
     ++epoch_;
+    saw_poison_ = false;
   }
 
-  bool headAvailable() const { return !queue_.empty(); }
+  /// The stream delivers strictly in element order: responses land in their
+  /// (sorted) slot, and the head only becomes available once the *next*
+  /// element has arrived. Injected delays/drops can complete reads out of
+  /// order; without this gate a late response would let a later column
+  /// overtake an earlier one and silently mis-pair the gathered stream.
+  bool headAvailable() const {
+    return !queue_.empty() && queue_.front().index == next_pop_;
+  }
   std::uint32_t head() const { return queue_.front().value; }
   /// Stream-local index of the head element.
   std::uint32_t headIndex() const { return queue_.front().index; }
   /// Global element index (first_global + headIndex).
   std::uint32_t headGlobal() const { return first_global_ + queue_.front().index; }
   bool headIsLast() const { return queue_.front().index + 1 == count_; }
-  void pop() { queue_.pop_front(); }
-
-  std::uint32_t consumedUpTo() const {
-    return queue_.empty() ? fetch_i_ - inflight() : queue_.front().index;
+  void pop() {
+    ++next_pop_;
+    queue_.pop_front();
   }
+
+  std::uint32_t consumedUpTo() const { return next_pop_; }
   /// All `count` elements popped? (Queue empty and nothing left to fetch.)
   bool exhausted() const {
     return queue_.empty() && fetch_i_ >= count_ && inflight() == 0;
@@ -125,13 +146,28 @@ class IndexStream {
 
   void poll(mem::MemorySystem& mem) {
     std::erase_if(pending_, [&](const Pending& p) {
-      if (auto data = mem.takeCompleted(p.id)) {
-        if (p.epoch == epoch_) queue_.push_back({*data, p.index});
+      if (auto response = mem.takeResponse(p.id)) {
+        if (p.epoch == epoch_) {
+          if (response->poisoned) {
+            // Stale-epoch poison is dropped with the data (it was never
+            // going to be consumed); current-epoch poison is a real loss.
+            saw_poison_ = true;
+          } else {
+            // Sorted insert: out-of-order completions (injected delays)
+            // fill their slot, never reorder delivery.
+            const auto at = std::lower_bound(
+                queue_.begin(), queue_.end(), p.index,
+                [](const Entry& e, std::uint32_t i) { return e.index < i; });
+            queue_.insert(at, {response->data, p.index});
+          }
+        }
         return true;
       }
       return false;
     });
   }
+
+  bool sawPoison() const { return saw_poison_; }
 
  private:
   struct Entry {
@@ -155,7 +191,9 @@ class IndexStream {
   std::uint32_t count_ = 0;
   std::uint32_t first_global_ = 0;
   std::uint32_t fetch_i_ = 0;
+  std::uint32_t next_pop_ = 0;  ///< stream-local index of the next delivery
   std::uint64_t epoch_ = 0;
+  bool saw_poison_ = false;
   std::deque<Entry> queue_;
   std::deque<Pending> pending_;
 };
@@ -184,13 +222,22 @@ class ValueFetchQueue {
 
   void poll(mem::MemorySystem& mem, EmissionQueue& emit) {
     std::erase_if(pending_, [&](const Pending& p) {
-      if (auto data = mem.takeCompleted(p.id)) {
-        emit.fill(p.item.ticket, Slot{*data, false, p.item.publish_after});
+      if (auto response = mem.takeResponse(p.id)) {
+        if (response->poisoned) {
+          // The reserved ticket stays unfilled — the stream stalls rather
+          // than delivering a corrupt value; owner raises MemUncorrectable.
+          saw_poison_ = true;
+          return true;
+        }
+        emit.fill(p.item.ticket,
+                  Slot{response->data, false, p.item.publish_after});
         return true;
       }
       return false;
     });
   }
+
+  bool sawPoison() const { return saw_poison_; }
 
   bool drained() const { return todo_.empty() && pending_.empty(); }
 
@@ -201,6 +248,7 @@ class ValueFetchQueue {
   };
 
   std::uint32_t depth_;
+  bool saw_poison_ = false;
   std::deque<Item> todo_;
   std::deque<Pending> pending_;
 };

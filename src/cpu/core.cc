@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sim/error.h"
 #include "sim/log.h"
 
 namespace hht::cpu {
@@ -72,9 +73,19 @@ void Core::tick(Cycle now) {
       break;
     case Phase::LoadWait: {
       ++*c_load_stall_;
-      if (auto data = mem_.takeCompleted(load_req_)) {
+      if (auto response = mem_.takeResponse(load_req_)) {
+        if (response->poisoned) {
+          // Machine check: an ECC-uncorrectable response reached a scalar
+          // load. Architectural state must not absorb the corrupt word.
+          throw sim::SimError(
+              sim::ErrorKind::MachineCheck,
+              requester_ == mem::Requester::Cpu ? "cpu" : "uhht-core",
+              "uncorrectable memory error on scalar load from addr=" +
+                  std::to_string(load_addr_) + " at pc=" +
+                  std::to_string(pc_));
+        }
         const Instr& in = load_instr_;
-        const std::uint32_t raw = *data;
+        const std::uint32_t raw = response->data;
         switch (in.op) {
           case Opcode::LW: setX(in.rd, raw); break;
           case Opcode::LB:
@@ -417,6 +428,7 @@ void Core::startScalarMemory(const Instr& in) {
 
   load_req_ = mem_.submit({addr, size, /*is_write=*/false, 0, requester_});
   load_instr_ = in;
+  load_addr_ = addr;
   next_pc_ = pc_ + 1;
   phase_ = Phase::LoadWait;
 }
@@ -482,8 +494,15 @@ void Core::tickVecMem(Cycle now) {
 
   // Collect load responses.
   std::erase_if(vec_pending_, [&](const VecElem& e) {
-    if (auto data = mem_.takeCompleted(e.req)) {
-      v_[in.rd][e.lane] = *data;
+    if (auto response = mem_.takeResponse(e.req)) {
+      if (response->poisoned) {
+        throw sim::SimError(
+            sim::ErrorKind::MachineCheck,
+            requester_ == mem::Requester::Cpu ? "cpu" : "uhht-core",
+            "uncorrectable memory error on vector element load, lane " +
+                std::to_string(e.lane) + " at pc=" + std::to_string(pc_));
+      }
+      v_[in.rd][e.lane] = response->data;
       return true;
     }
     return false;

@@ -110,6 +110,7 @@ class Core {
   // Scalar load in flight.
   mem::RequestId load_req_ = mem::kInvalidRequest;
   Instr load_instr_{};
+  Addr load_addr_ = 0;  ///< for the machine-check diagnostic
 
   // Vector memory operation in flight.
   struct VecElem {

@@ -127,6 +127,38 @@ RunResult runSpmspvProgHht(const SystemConfig& cfg, const sparse::CsrMatrix& m,
   return sys.run(program, layout.y, layout.num_rows);
 }
 
+RunResult runSpmvHhtResilient(const SystemConfig& cfg,
+                              const sparse::CsrMatrix& m,
+                              const sparse::DenseVector& v, bool vectorized) {
+  System sys(cfg);
+  const kernels::SpmvLayout layout = loadSpmv(sys, m, v);
+  const Addr mmio = cfg.memory.mmio_base;
+  const isa::Program program = vectorized
+                                   ? kernels::spmvVectorHht(layout, mmio)
+                                   : kernels::spmvScalarHht(layout, mmio);
+  const isa::Program fallback = kernels::spmvScalarBaseline(layout);
+  return sys.run(program, layout.y, layout.num_rows, 500'000'000, &fallback);
+}
+
+RunResult runSpmspvHhtResilient(const SystemConfig& cfg,
+                                const sparse::CsrMatrix& m,
+                                const sparse::SparseVector& v, int variant,
+                                bool vectorized) {
+  System sys(cfg);
+  const kernels::SpmspvLayout layout = loadSpmspv(sys, m, v);
+  const Addr mmio = cfg.memory.mmio_base;
+  isa::Program program = [&] {
+    if (variant == 1) return kernels::spmspvHhtV1(layout, mmio);
+    if (variant == 2) {
+      return vectorized ? kernels::spmspvHhtV2(layout, mmio)
+                        : kernels::spmspvHhtV2Scalar(layout, mmio);
+    }
+    throw std::invalid_argument("SpMSpV variant must be 1 or 2");
+  }();
+  const isa::Program fallback = kernels::spmspvScalarBaseline(layout);
+  return sys.run(program, layout.y, layout.num_rows, 500'000'000, &fallback);
+}
+
 RunResult runHierHht(const SystemConfig& cfg, const sparse::HierBitmapMatrix& m,
                      const sparse::DenseVector& v) {
   System sys(cfg);

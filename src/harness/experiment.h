@@ -54,6 +54,21 @@ RunResult runSpmspvProgHht(const SystemConfig& cfg, const sparse::CsrMatrix& m,
                            const sparse::SparseVector& v, int variant,
                            bool vectorized = true);
 
+/// HHT-assisted SpMV with graceful degradation: the scalar software
+/// baseline is installed as the fallback program, so an HHT fault mid-run
+/// yields RunResult{degraded=true} with a correct y instead of an error.
+/// Pair with SystemConfig::faults for injection campaigns.
+RunResult runSpmvHhtResilient(const SystemConfig& cfg,
+                              const sparse::CsrMatrix& m,
+                              const sparse::DenseVector& v, bool vectorized);
+
+/// HHT-assisted SpMSpV (variant 1 or 2) with the scalar merge baseline as
+/// the degradation fallback.
+RunResult runSpmspvHhtResilient(const SystemConfig& cfg,
+                                const sparse::CsrMatrix& m,
+                                const sparse::SparseVector& v, int variant,
+                                bool vectorized = true);
+
 /// speedup = baseline cycles / accelerated cycles.
 inline double speedup(const RunResult& baseline, const RunResult& accel) {
   return accel.cycles == 0

@@ -1,15 +1,28 @@
 #include "harness/system.h"
 
+#include <sstream>
 #include <stdexcept>
+
+#include "sim/watchdog.h"
 
 namespace hht::harness {
 
 namespace {
 constexpr Addr kArenaBase = 0x1000;  // keep address 0 unmapped-looking
+
+/// Pre-construction validation hook: members are built from `config`, so
+/// the checks must run before the initializer list touches it.
+const SystemConfig& validated(const SystemConfig& config) {
+  config.validate();
+  return config;
 }
+}  // namespace
 
 System::System(const SystemConfig& config)
-    : config_(config),
+    : config_(validated(config)),
+      injector_(config.faults.enabled
+                    ? std::make_unique<sim::FaultInjector>(config.faults)
+                    : nullptr),
       mem_(std::make_unique<mem::MemorySystem>(config.memory)),
       cpu_(std::make_unique<cpu::Core>(config.timing, *mem_, config.vlmax)),
       arena_(kArenaBase, config.memory.sram_bytes - kArenaBase) {
@@ -22,24 +35,62 @@ System::System(const SystemConfig& config)
     hht_ = std::make_unique<core::Hht>(config.hht, *mem_);
   }
   mem_->attachMmioDevice(hht_.get());
+  if (injector_) {
+    mem_->setFaultInjector(injector_.get());
+    hht_->setFaultInjector(injector_.get());
+  }
 }
 
 RunResult System::run(const isa::Program& program, Addr y_addr,
-                      std::uint32_t y_len, Cycle max_cycles) {
+                      std::uint32_t y_len, Cycle max_cycles,
+                      const isa::Program* fallback) {
   cpu_->loadProgram(program);
+
+  sim::Watchdog watchdog(config_.watchdog_cycles);
+  // Progress = retired instructions + SRAM grants + HHT FIFO pops/firmware
+  // retirement. Counter references are stable, so the hot loop reads two
+  // cached pointers plus one virtual call — and only on sampling cycles.
+  const std::uint64_t* cpu_retired = &cpu_->stats().counter("cpu.retired");
+  const std::uint64_t* mem_grants = &mem_->stats().counter("mem.grants");
+
+  RunResult result;
   Cycle now = 0;
   for (; now < max_cycles; ++now) {
     hht_->tick(now);
     cpu_->tick(now);
     mem_->tick(now);
+    if (hht_->faultRaised()) {
+      // Host-side poll of the FAULT MMR (zero simulated cost): the run can
+      // never complete with silently wrong data past this point.
+      result.fault_cause = hht_->faultCause();
+      result.fault_detail = hht_->faultDetail();
+      if (fallback == nullptr) {
+        throw sim::SimError(
+            sim::ErrorKind::DeviceFault, "hht",
+            std::string("HHT raised fault [") +
+                sim::faultCauseName(result.fault_cause) +
+                "] with no degradation fallback installed: " +
+                result.fault_detail,
+            dumpDiagnostics(now));
+      }
+      degradedRerun(*fallback, max_cycles);
+      result.degraded = true;
+      break;
+    }
     if (cpu_->halted() && mem_->idle()) break;
+    if (watchdog.due(now)) {
+      watchdog.observe(
+          now, *cpu_retired + *mem_grants + hht_->progressSignal(),
+          [&] { return dumpDiagnostics(now); });
+    }
   }
-  if (now >= max_cycles) {
-    throw std::runtime_error("simulation exceeded max_cycles running " +
-                             program.name());
+  if (!result.degraded && now >= max_cycles) {
+    throw sim::SimError(sim::ErrorKind::Watchdog, "system",
+                        "simulation exceeded max_cycles running " +
+                            program.name(),
+                        dumpDiagnostics(now));
   }
 
-  RunResult result;
   result.cycles = cpu_->stats().value("cpu.cycles");
   result.retired = cpu_->stats().value("cpu.retired");
   result.cpu_wait_cycles = hht_->cpuWaitCycles();
@@ -52,7 +103,51 @@ RunResult System::run(const isa::Program& program, Addr y_addr,
   result.stats.absorb(cpu_->stats(), "");
   result.stats.absorb(mem_->stats(), "");
   result.stats.absorb(hht_->stats(), "");
+  if (injector_) result.stats.absorb(injector_->stats(), "");
   return result;
+}
+
+void System::degradedRerun(const isa::Program& fallback, Cycle max_cycles) {
+  // Quiesce: stop injecting (the recovery run must succeed), drop every
+  // in-flight access (stale responses must not leak into the rerun) and
+  // return the device to its reset state.
+  mem_->setFaultInjector(nullptr);
+  hht_->setFaultInjector(nullptr);
+  mem_->cancelAll();
+  hht_->reset();
+
+  cpu_->loadProgram(fallback);
+  Cycle now = 0;
+  for (; now < max_cycles; ++now) {
+    hht_->tick(now);
+    cpu_->tick(now);
+    mem_->tick(now);
+    if (cpu_->halted() && mem_->idle()) break;
+  }
+  if (now >= max_cycles) {
+    throw sim::SimError(sim::ErrorKind::Watchdog, "system",
+                        "degraded fallback run exceeded max_cycles running " +
+                            fallback.name(),
+                        dumpDiagnostics(now));
+  }
+
+  // Re-arm injection for any subsequent run on this System.
+  if (injector_) {
+    mem_->setFaultInjector(injector_.get());
+    hht_->setFaultInjector(injector_.get());
+  }
+}
+
+std::string System::dumpDiagnostics(Cycle now) const {
+  std::ostringstream os;
+  os << "diagnostic dump at cycle " << now << "\n";
+  os << "cpu: halted=" << cpu_->halted() << " pc=" << cpu_->pc()
+     << " retired=" << cpu_->stats().value("cpu.retired")
+     << " load_stalls=" << cpu_->stats().value("cpu.load_stall_cycles")
+     << "\n";
+  os << hht_->describeState() << "\n";
+  os << mem_->describeState();
+  return os.str();
 }
 
 kernels::SpmvLayout loadSpmv(System& sys, const sparse::CsrMatrix& m,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/device.h"
 #include "core/hht.h"
@@ -14,6 +15,7 @@
 #include "sparse/dense.h"
 #include "sparse/bitvector.h"
 #include "sparse/hier_bitmap.h"
+#include "sim/fault.h"
 #include "sparse/sparse_vector.h"
 
 namespace hht::harness {
@@ -31,6 +33,26 @@ struct SystemConfig {
   /// ASIC engines. Firmware must then be installed via System::microHht().
   bool programmable_hht = false;
   cpu::TimingConfig micro_timing;  ///< the micro-core's own latencies
+  /// Fault-injection knobs (disabled by default: zero cost, identical
+  /// cycle-for-cycle behaviour to a build without the fault layer).
+  sim::FaultConfig faults;
+  /// Forward-progress watchdog period: a run with this many consecutive
+  /// cycles of no retired instruction, no SRAM grant and no FIFO pop is
+  /// declared wedged (SimError(Watchdog) with a diagnostic dump). 0
+  /// disables the watchdog; the max_cycles ceiling still applies.
+  Cycle watchdog_cycles = 100'000;
+
+  /// Reject broken configurations with SimError(Config); called by the
+  /// System constructor before any component is built.
+  void validate() const {
+    memory.validate();
+    hht.validate();
+    faults.validate();
+    if (vlmax < 1) {
+      throw sim::SimError(sim::ErrorKind::Config, "system",
+                          "vlmax must be >= 1");
+    }
+  }
 };
 
 /// Outcome of simulating one kernel to completion.
@@ -40,6 +62,11 @@ struct RunResult {
   std::uint64_t cpu_wait_cycles = 0;  ///< CPU stalled on the HHT FE (Fig. 6/7)
   std::uint64_t hht_wait_cycles = 0;  ///< BE throttled on full buffers
   bool hht_residual_busy = false;     ///< HHT still busy after ECALL (kernel bug)
+  /// The HHT faulted mid-run and the result was recomputed on the scalar
+  /// software baseline: `y` is correct, the timing fields cover both runs.
+  bool degraded = false;
+  sim::FaultCause fault_cause = sim::FaultCause::None;  ///< when degraded
+  std::string fault_detail;                             ///< when degraded
   sparse::DenseVector y;              ///< output vector read back from SRAM
   sim::StatSet stats;                 ///< merged cpu/mem/hht counters
 
@@ -64,15 +91,35 @@ class System {
   core::MicroHht* microHht() { return micro_hht_; }
   mem::Arena& arena() { return arena_; }
   const SystemConfig& config() const { return config_; }
+  /// Non-null when config().faults.enabled.
+  sim::FaultInjector* faultInjector() { return injector_.get(); }
 
   /// Run `program` to ECALL (plus memory drain); read back `y_len` floats
-  /// from `y_addr`. Throws if `max_cycles` elapses first (deadlocked
-  /// kernel — always a bug, never a valid result).
+  /// from `y_addr`.
+  ///
+  /// Failure handling:
+  /// - HHT fault detected mid-run: if `fallback` is non-null the system
+  ///   gracefully degrades — injection is disabled, the device and memory
+  ///   system are quiesced, and `fallback` (the scalar software baseline,
+  ///   which must fully overwrite y) re-runs to completion; the result has
+  ///   degraded=true with the fault recorded. Without a fallback the fault
+  ///   becomes a SimError(DeviceFault) carrying a diagnostic dump.
+  /// - No forward progress for config().watchdog_cycles: SimError(Watchdog)
+  ///   with a dump naming the stalled components.
+  /// - `max_cycles` elapsed: SimError(Watchdog) — a deadlocked kernel is
+  ///   always a bug, never a valid result.
   RunResult run(const isa::Program& program, Addr y_addr, std::uint32_t y_len,
-                Cycle max_cycles = 500'000'000);
+                Cycle max_cycles = 500'000'000,
+                const isa::Program* fallback = nullptr);
+
+  /// Multi-line snapshot of every component (watchdog / fault dumps).
+  std::string dumpDiagnostics(Cycle now) const;
 
  private:
+  void degradedRerun(const isa::Program& fallback, Cycle max_cycles);
+
   SystemConfig config_;
+  std::unique_ptr<sim::FaultInjector> injector_;  ///< null when disabled
   std::unique_ptr<mem::MemorySystem> mem_;
   std::unique_ptr<core::HhtDevice> hht_;
   core::MicroHht* micro_hht_ = nullptr;  ///< alias into hht_ when programmable

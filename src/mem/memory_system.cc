@@ -1,10 +1,40 @@
 #include "mem/memory_system.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "sim/log.h"
 
 namespace hht::mem {
+
+void MemorySystemConfig::validate() const {
+  using sim::ErrorKind;
+  using sim::SimError;
+  if (sram_bytes < 16) {
+    throw SimError(ErrorKind::Config, "mem", "sram_bytes too small");
+  }
+  if (grants_per_cycle == 0) {
+    throw SimError(ErrorKind::Config, "mem",
+                   "grants_per_cycle must be >= 1 (zero-bandwidth SRAM "
+                   "can never complete an access)");
+  }
+  if (prefetch_enabled && !cpu_cache_enabled) {
+    throw SimError(ErrorKind::Config, "mem",
+                   "prefetch_enabled requires cpu_cache_enabled (the "
+                   "prefetcher fills L1D lines)");
+  }
+  if (prefetch_enabled && prefetch_degree == 0) {
+    throw SimError(ErrorKind::Config, "mem",
+                   "prefetch_enabled requires prefetch_degree >= 1");
+  }
+  if (mmio_size == 0) {
+    throw SimError(ErrorKind::Config, "mem", "mmio_size must be non-zero");
+  }
+  if (mmio_base < sram_bytes) {
+    throw SimError(ErrorKind::Config, "mem",
+                   "MMIO window overlaps the SRAM address range");
+  }
+}
 
 MemorySystem::MemorySystem(const MemorySystemConfig& config)
     : config_(config), sram_(config.sram_bytes) {
@@ -15,6 +45,7 @@ MemorySystem::MemorySystem(const MemorySystemConfig& config)
     mmio_requests_[r] = &stats_.counter("mem." + who + ".mmio_requests");
     conflict_cycles_[r] = &stats_.counter("mem." + who + ".conflict_cycles");
   }
+  grants_ = &stats_.counter("mem.grants");
   if (config_.cpu_cache_enabled) {
     cpu_cache_ = std::make_unique<Cache>(config_.cache);
   }
@@ -24,24 +55,59 @@ MemorySystem::MemorySystem(const MemorySystemConfig& config)
 }
 
 RequestId MemorySystem::submit(const MemAccess& access) {
+  using sim::ErrorKind;
+  using sim::SimError;
+  if (access.size != 1 && access.size != 2 && access.size != 4) {
+    throw SimError(ErrorKind::Memory, requesterName(access.requester),
+                   "oversized access: size=" + std::to_string(access.size) +
+                       " at addr=" + std::to_string(access.addr));
+  }
+  if (access.addr % access.size != 0) {
+    throw SimError(ErrorKind::Memory, requesterName(access.requester),
+                   "misaligned access: addr=" + std::to_string(access.addr) +
+                       " size=" + std::to_string(access.size));
+  }
   const RequestId id = next_id_++;
   const int who = static_cast<int>(access.requester);
   if (isMmio(access.addr)) {
+    if (access.addr - config_.mmio_base + access.size > config_.mmio_size) {
+      throw SimError(ErrorKind::Memory, requesterName(access.requester),
+                     "MMIO access crosses the window end: addr=" +
+                         std::to_string(access.addr));
+    }
     mmio_queue_.push_back({id, access});
     ++*mmio_requests_[who];
   } else {
+    if (!sram_.inBounds(access.addr, access.size)) {
+      throw SimError(ErrorKind::Memory, requesterName(access.requester),
+                     "SRAM access out of bounds: addr=" +
+                         std::to_string(access.addr) +
+                         " size=" + std::to_string(access.size) +
+                         " sram_bytes=" + std::to_string(sram_.size()));
+    }
     sram_queue_.push_back({id, access});
     ++*(access.is_write ? writes_[who] : reads_[who]);
   }
   return id;
 }
 
-std::optional<std::uint32_t> MemorySystem::takeCompleted(RequestId id) {
+std::optional<MemResponse> MemorySystem::takeResponse(RequestId id) {
   auto it = completed_.find(id);
   if (it == completed_.end()) return std::nullopt;
-  const std::uint32_t data = it->second;
+  const MemResponse response = it->second;
   completed_.erase(it);
-  return data;
+  return response;
+}
+
+std::optional<std::uint32_t> MemorySystem::takeCompleted(RequestId id) {
+  auto response = takeResponse(id);
+  if (!response) return std::nullopt;
+  if (response->poisoned) {
+    throw sim::SimError(sim::ErrorKind::Memory, "mem",
+                        "poisoned response consumed through takeCompleted "
+                        "(caller has no fault-handling path)");
+  }
+  return response->data;
 }
 
 void MemorySystem::grant(const Pending& pending, Cycle now) {
@@ -71,10 +137,47 @@ void MemorySystem::grant(const Pending& pending, Cycle now) {
     // ever waits on a store (the SRAM absorbs it), so recording one would
     // leak and keep idle() false forever.
     sram_.write(a.addr, a.size, a.wdata);
+    ++*grants_;
     return;
   }
-  const std::uint32_t data = sram_.read(a.addr, a.size);
-  in_flight_.push_back({pending.id, now + latency, data});
+  std::uint32_t data = sram_.read(a.addr, a.size);
+  bool poisoned = false;
+  if (injector_ != nullptr) {
+    // ECC path: a flip on the read port is always *detected* (SECDED-style
+    // model); the controller re-reads up to ecc_retry_limit times, each
+    // attempt paying another array access. A flip that recurs on every
+    // attempt is delivered poisoned — consumers must not use the payload.
+    const std::uint32_t clean = data;
+    if (injector_->corruptReadData(data)) {
+      ++stats_.counter("mem.ecc_detected");
+      const std::uint32_t limit = injector_->config().ecc_retry_limit;
+      std::uint32_t attempt = 0;
+      for (; attempt < limit; ++attempt) {
+        ++stats_.counter("mem.ecc_retries");
+        latency += config_.sram_latency;
+        data = clean;
+        if (!injector_->corruptReadData(data)) break;
+      }
+      if (attempt < limit) {
+        ++stats_.counter("mem.ecc_corrected");
+      } else {
+        ++stats_.counter("mem.ecc_uncorrectable");
+        poisoned = true;
+      }
+    }
+    if (injector_->dropResponse()) {
+      // Dropped response: the controller times out and re-requests; the
+      // requester just sees a long-latency completion.
+      ++stats_.counter("mem.drop_recoveries");
+      latency += injector_->config().drop_penalty_cycles;
+    }
+    if (injector_->delayResponse()) {
+      ++stats_.counter("mem.delayed_responses");
+      latency += injector_->config().delay_cycles;
+    }
+  }
+  in_flight_.push_back({pending.id, now + latency, data, poisoned});
+  ++*grants_;
   HHT_LOG_AT(Trace, "mem", "grant id=%llu %s addr=0x%x done@%llu",
              static_cast<unsigned long long>(pending.id),
              a.is_write ? "W" : "R", a.addr,
@@ -85,7 +188,7 @@ void MemorySystem::tick(Cycle now) {
   // 1. Retire accesses whose latency has elapsed.
   std::erase_if(in_flight_, [&](const InFlight& f) {
     if (f.done_at > now) return false;
-    completed_.emplace(f.id, f.data);
+    completed_.emplace(f.id, MemResponse{f.data, f.poisoned});
     return true;
   });
 
@@ -136,7 +239,7 @@ void MemorySystem::tick(Cycle now) {
     if (blocked[who]) return false;
     if (mmio_device_ == nullptr) {
       // Unmapped MMIO: reads return 0, writes are dropped.
-      if (!p.access.is_write) completed_.emplace(p.id, 0);
+      if (!p.access.is_write) completed_.emplace(p.id, MemResponse{0, false});
       return true;
     }
     const Addr offset = p.access.addr - config_.mmio_base;
@@ -151,12 +254,63 @@ void MemorySystem::tick(Cycle now) {
       blocked[who] = true;  // retry next cycle; requester stays stalled
       return false;
     }
-    completed_.emplace(p.id, result.data);
+    completed_.emplace(p.id, MemResponse{result.data, false});
     return true;
   });
 }
 
-void MemorySystem::attachMmioDevice(MmioDevice* device) { mmio_device_ = device; }
+void MemorySystem::attachMmioDevice(MmioDevice* device) {
+  if (device == nullptr) {
+    throw sim::SimError(sim::ErrorKind::Mmio, "mem",
+                        "attachMmioDevice(nullptr): detaching the device "
+                        "window is not supported");
+  }
+  if (mmio_device_ != nullptr) {
+    throw sim::SimError(sim::ErrorKind::Mmio, "mem",
+                        "attachMmioDevice: a device is already mapped at 0x" +
+                            std::to_string(config_.mmio_base) +
+                            "; silently replacing it would orphan in-flight "
+                            "MMIO requests");
+  }
+  mmio_device_ = device;
+}
+
+void MemorySystem::cancelAll() {
+  sram_queue_.clear();
+  mmio_queue_.clear();
+  prefetch_queue_.clear();
+  in_flight_.clear();
+  completed_.clear();
+}
+
+std::string MemorySystem::describeState() const {
+  std::ostringstream os;
+  os << "mem: sram_queue=" << sram_queue_.size()
+     << " mmio_queue=" << mmio_queue_.size()
+     << " in_flight=" << in_flight_.size()
+     << " completed_unclaimed=" << completed_.size() << "\n";
+  auto line = [&os](const char* tag, const Pending& p) {
+    os << "  " << tag << " id=" << p.id << " "
+       << requesterName(p.access.requester) << " "
+       << (p.access.is_write ? "W" : "R") << " addr=0x" << std::hex
+       << p.access.addr << std::dec << " size=" << p.access.size << "\n";
+  };
+  std::size_t shown = 0;
+  for (const Pending& p : sram_queue_) {
+    if (++shown > 8) break;
+    line("sram", p);
+  }
+  shown = 0;
+  for (const Pending& p : mmio_queue_) {
+    if (++shown > 8) break;
+    line("mmio", p);
+  }
+  for (const InFlight& f : in_flight_) {
+    os << "  in-flight id=" << f.id << " done_at=" << f.done_at
+       << (f.poisoned ? " POISONED" : "") << "\n";
+  }
+  return os.str();
+}
 
 void MemorySystem::finalizeStats() {
   if (cpu_cache_) {

@@ -9,6 +9,7 @@
 #include "mem/mmio.h"
 #include "mem/request.h"
 #include "mem/sram.h"
+#include "sim/fault.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -41,6 +42,10 @@ struct MemorySystemConfig {
   std::uint32_t prefetch_degree = 2;
   Addr mmio_base = 0xF000'0000u;
   Addr mmio_size = 0x1'0000u;
+
+  /// Reject obviously-broken configurations with SimError(Config). Called
+  /// by SystemConfig::validate(); standalone users may call it directly.
+  void validate() const;
 };
 
 /// The simulated memory system: a 1 MB on-chip SRAM behind a bandwidth-
@@ -56,19 +61,45 @@ class MemorySystem {
  public:
   explicit MemorySystem(const MemorySystemConfig& config);
 
-  /// Queue an access; returns a handle to poll with takeCompleted().
+  /// Queue an access; returns a handle to poll with takeResponse(). The
+  /// access is validated here — misaligned, oversized, out-of-SRAM or
+  /// window-crossing MMIO accesses throw SimError(Memory) at submit time
+  /// rather than corrupting state deeper in the pipeline.
   RequestId submit(const MemAccess& access);
 
-  /// If request `id` has completed, consume it and return the read data
-  /// (zero for writes). Otherwise std::nullopt.
+  /// If request `id` has completed, consume it and return the response
+  /// (data is zero for writes). Poison-aware consumers (cores, walkers)
+  /// use this. Otherwise std::nullopt.
+  std::optional<MemResponse> takeResponse(RequestId id);
+
+  /// Legacy convenience: like takeResponse but returns the bare data.
+  /// Throws SimError(Memory) if the response was poisoned — callers that
+  /// can recover must use takeResponse instead.
   std::optional<std::uint32_t> takeCompleted(RequestId id);
 
   /// Advance one cycle: arbitrate SRAM grants, retry MMIO reads, retire
   /// in-flight accesses whose latency elapsed.
   void tick(Cycle now);
 
-  /// Register the device behind the MMIO window. At most one device.
+  /// Register the device behind the MMIO window. Attaching a second device
+  /// (or a null one) throws SimError(Mmio) — a silently-replaced device
+  /// window is a wiring bug, never intentional.
   void attachMmioDevice(MmioDevice* device);
+
+  /// Wire the shared fault injector (nullptr = no injection, zero cost).
+  /// Injection applies to SRAM read grants: bit flips (detected by ECC and
+  /// retried up to FaultConfig::ecc_retry_limit times, else poisoned),
+  /// dropped responses (controller re-request after drop_penalty_cycles)
+  /// and delayed responses.
+  void setFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
+
+  /// Drop every queued and in-flight access (graceful-degradation path:
+  /// the harness aborts a faulted run and re-runs on the software
+  /// baseline; stale responses must not leak into the rerun).
+  void cancelAll();
+
+  /// Multi-line queue/in-flight snapshot for diagnostic dumps.
+  std::string describeState() const;
 
   bool isMmio(Addr addr) const {
     return addr >= config_.mmio_base &&
@@ -102,6 +133,7 @@ class MemorySystem {
     RequestId id;
     Cycle done_at;
     std::uint32_t data;
+    bool poisoned = false;
   };
 
   void grant(const Pending& pending, Cycle now);
@@ -111,12 +143,13 @@ class MemorySystem {
   std::unique_ptr<Cache> cpu_cache_;
   std::unique_ptr<Cache> hht_cache_;
   MmioDevice* mmio_device_ = nullptr;
+  sim::FaultInjector* injector_ = nullptr;
 
   std::deque<Pending> sram_queue_;
   std::deque<Pending> mmio_queue_;
   std::deque<Addr> prefetch_queue_;  ///< line addresses awaiting spare slots
   std::vector<InFlight> in_flight_;
-  std::unordered_map<RequestId, std::uint32_t> completed_;
+  std::unordered_map<RequestId, MemResponse> completed_;
 
   RequestId next_id_ = 1;
   bool rr_hht_turn_ = false;  ///< round-robin: whose turn is next
@@ -128,6 +161,7 @@ class MemorySystem {
   std::uint64_t* writes_[2];
   std::uint64_t* mmio_requests_[2];
   std::uint64_t* conflict_cycles_[2];
+  std::uint64_t* grants_;  ///< watchdog progress signal
 };
 
 }  // namespace hht::mem

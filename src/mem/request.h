@@ -22,6 +22,15 @@ using RequestId = std::uint64_t;
 
 inline constexpr RequestId kInvalidRequest = 0;
 
+/// A completed memory response. `poisoned` marks data the controller's ECC
+/// detected as corrupt but could not repair within its bounded retry budget;
+/// consumers must not use the payload (cores machine-check, the HHT raises
+/// a MemUncorrectable fault).
+struct MemResponse {
+  std::uint32_t data = 0;
+  bool poisoned = false;
+};
+
 /// One element-sized access to the simulated memory system.
 ///
 /// All simulated traffic is element-granular (1/2/4-byte scalars, or 4-byte

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hht::sim {
+
+/// What class of failure a SimError reports. The harness and the fault
+/// campaign classify outcomes by this, so every structured error carries
+/// exactly one kind.
+enum class ErrorKind {
+  Config,        ///< rejected configuration (SystemConfig::validate &c.)
+  Mmio,          ///< MMIO protocol misuse (double attach, wrong requester)
+  Memory,        ///< malformed memory access (misaligned, oversized, OOB)
+  MachineCheck,  ///< uncorrectable memory fault consumed by a core
+  DeviceFault,   ///< HHT raised FAULT and no degradation path was available
+  Watchdog,      ///< forward-progress watchdog expired (or max_cycles)
+};
+
+inline const char* errorKindName(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::Config: return "config";
+    case ErrorKind::Mmio: return "mmio";
+    case ErrorKind::Memory: return "memory";
+    case ErrorKind::MachineCheck: return "machine-check";
+    case ErrorKind::DeviceFault: return "device-fault";
+    case ErrorKind::Watchdog: return "watchdog";
+  }
+  return "?";
+}
+
+/// Structured simulator error: a kind, the component that raised it, a
+/// one-line message, and an optional multi-line diagnostic dump (pipeline
+/// state, queue occupancies, MMR contents) appended to what().
+///
+/// Derives from std::runtime_error so existing catch sites keep working;
+/// new code catches SimError and dispatches on kind().
+class SimError : public std::runtime_error {
+ public:
+  SimError(ErrorKind kind, std::string component, const std::string& message,
+           std::string diagnostic = {})
+      : std::runtime_error(std::string("[") + errorKindName(kind) + ":" +
+                           component + "] " + message +
+                           (diagnostic.empty() ? "" : "\n" + diagnostic)),
+        kind_(kind),
+        component_(std::move(component)),
+        message_(message),
+        diagnostic_(std::move(diagnostic)) {}
+
+  ErrorKind kind() const noexcept { return kind_; }
+  const std::string& component() const noexcept { return component_; }
+  const std::string& message() const noexcept { return message_; }
+  const std::string& diagnostic() const noexcept { return diagnostic_; }
+
+ private:
+  ErrorKind kind_;
+  std::string component_;
+  std::string message_;
+  std::string diagnostic_;
+};
+
+}  // namespace hht::sim

@@ -1,0 +1,56 @@
+#include "sim/fault.h"
+
+namespace hht::sim {
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : cfg_(config), rng_(config.seed) {
+  cfg_.validate();
+  c_flips_ = &stats_.counter("faults.sram_read_flips");
+  c_drops_ = &stats_.counter("faults.drops");
+  c_delays_ = &stats_.counter("faults.delays");
+  c_glitches_ = &stats_.counter("faults.mmr_glitches");
+  c_fifo_ = &stats_.counter("faults.fifo_corruptions");
+  c_total_ = &stats_.counter("faults.total_injected");
+}
+
+bool FaultInjector::flipOneBit(std::uint32_t& word, double rate,
+                               std::uint64_t* counter) {
+  if (!cfg_.enabled || rate <= 0.0 || !rng_.nextBool(rate)) return false;
+  word ^= 1u << rng_.nextBelow(32);
+  ++*counter;
+  ++*c_total_;
+  return true;
+}
+
+bool FaultInjector::corruptReadData(std::uint32_t& data) {
+  return flipOneBit(data, cfg_.sram_read_flip_rate, c_flips_);
+}
+
+bool FaultInjector::dropResponse() {
+  if (!cfg_.enabled || cfg_.drop_rate <= 0.0 || !rng_.nextBool(cfg_.drop_rate)) {
+    return false;
+  }
+  ++*c_drops_;
+  ++*c_total_;
+  return true;
+}
+
+bool FaultInjector::delayResponse() {
+  if (!cfg_.enabled || cfg_.delay_rate <= 0.0 ||
+      !rng_.nextBool(cfg_.delay_rate)) {
+    return false;
+  }
+  ++*c_delays_;
+  ++*c_total_;
+  return true;
+}
+
+bool FaultInjector::glitchMmrValue(std::uint32_t& value) {
+  return flipOneBit(value, cfg_.mmr_glitch_rate, c_glitches_);
+}
+
+bool FaultInjector::corruptFifoSlot(std::uint32_t& bits) {
+  return flipOneBit(bits, cfg_.fifo_corrupt_rate, c_fifo_);
+}
+
+}  // namespace hht::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "sim/error.h"
+#include "sim/types.h"
+
+namespace hht::sim {
+
+/// Forward-progress watchdog for a run loop.
+///
+/// The caller feeds it a monotonic progress sum each observation — for the
+/// full system that is retired instructions + SRAM grants + HHT FIFO pops,
+/// so a machine that is merely *slow* (long memory latency, throttled BE)
+/// still shows progress, while a wedged one (CPU stalled on a FE read that
+/// will never be ready, BE waiting on a response that was never sent) does
+/// not. When the sum stays flat for `period` cycles the watchdog throws a
+/// SimError carrying the caller-built diagnostic dump.
+///
+/// Observations are sampled every `interval` cycles (a power of two derived
+/// from the period) so the per-cycle cost in the run loop is one branch.
+class Watchdog {
+ public:
+  /// period = cycles without progress before firing; 0 disables.
+  explicit Watchdog(Cycle period) : period_(period) {
+    Cycle target = period / 8;
+    if (target > 1024) target = 1024;
+    interval_mask_ = 0;
+    while ((interval_mask_ + 1) * 2 <= target) {
+      interval_mask_ = interval_mask_ * 2 + 1;  // next pow2 - 1
+    }
+  }
+
+  bool enabled() const { return period_ != 0; }
+
+  /// Cheap per-cycle gate: true when this cycle is a sampling point.
+  bool due(Cycle now) const {
+    return period_ != 0 && (now & interval_mask_) == 0;
+  }
+
+  /// Record the progress sum at a sampling point; throws SimError(Watchdog)
+  /// once `period` cycles elapse with no change. `dump` is only invoked
+  /// when firing (it is expensive to build).
+  template <typename DumpFn>
+  void observe(Cycle now, std::uint64_t progress_sum, DumpFn&& dump) {
+    if (progress_sum != last_sum_) {
+      last_sum_ = progress_sum;
+      last_progress_ = now;
+      return;
+    }
+    if (now - last_progress_ >= period_) {
+      throw SimError(
+          ErrorKind::Watchdog, "watchdog",
+          "no forward progress for " + std::to_string(now - last_progress_) +
+              " cycles (no retired instruction, no SRAM grant, no FIFO pop)",
+          std::forward<DumpFn>(dump)());
+    }
+  }
+
+ private:
+  Cycle period_;
+  Cycle interval_mask_ = 0;
+  Cycle last_progress_ = 0;
+  std::uint64_t last_sum_ = 0;
+};
+
+}  // namespace hht::sim
