@@ -1,0 +1,151 @@
+// Differential fuzz campaign: pathological sparse operands x randomized
+// hardware configurations, every run cross-checked element-by-element
+// against the functional model by the differential oracle (src/verify).
+//
+// A failing run is shrunk greedily and both the original and the shrunk
+// case are written as replay bundles (snapshot + config + operands) that
+// bench/replay re-executes to the exact failing cycle.
+//
+//   fuzz_campaign --seed S --runs N [--engine gather|merge-v1|stream-v2|
+//                 hier|flat] [--inject-bug N] [--out DIR]
+//
+// Exit status: 0 when every run matched the oracle, 1 otherwise — so CI
+// can gate on a short fixed-seed campaign.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "verify/fuzz.h"
+#include "verify/replay.h"
+#include "verify/shrink.h"
+
+namespace {
+
+using namespace hht;
+
+struct Options {
+  std::uint64_t seed = 0x5EED'2022;
+  std::uint64_t runs = 50;
+  std::string engine;  ///< empty = rotate through all kinds
+  std::uint64_t inject_bug = ~0ull;  ///< test_flip_element for self-test
+  std::string out_dir = ".";
+};
+
+const char* nextArg(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc) {
+    std::cerr << flag << " needs a value\n";
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=') return arg + n + 1;
+      if (std::strcmp(arg, flag) == 0) return nextArg(argc, argv, i, flag);
+      return nullptr;
+    };
+    if (const char* v = value("--seed")) {
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--runs")) {
+      opt.runs = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--engine")) {
+      opt.engine = v;
+    } else if (const char* v = value("--inject-bug")) {
+      opt.inject_bug = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--out")) {
+      opt.out_dir = v;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+std::vector<verify::EngineKind> selectEngines(const std::string& name) {
+  using verify::EngineKind;
+  if (name.empty()) {
+    return {EngineKind::Gather, EngineKind::MergeV1, EngineKind::StreamV2,
+            EngineKind::Hier, EngineKind::Flat};
+  }
+  if (name == "gather") return {EngineKind::Gather};
+  if (name == "merge-v1" || name == "v1") return {EngineKind::MergeV1};
+  if (name == "stream-v2" || name == "v2") return {EngineKind::StreamV2};
+  if (name == "hier") return {EngineKind::Hier};
+  if (name == "flat") return {EngineKind::Flat};
+  std::cerr << "unknown engine '" << name << "'\n";
+  std::exit(2);
+}
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t i) {
+  return seed ^ (0x9E3779B97F4A7C15ull * (i + 1));
+}
+
+/// Capture a replay bundle for a failing case (re-runs it with a cycle-0
+/// snapshot attached) and write it to disk.
+void emitBundle(const Options& opt, const verify::CosimCase& c,
+                std::uint64_t run_index, const std::string& suffix) {
+  verify::CosimOptions copts;
+  copts.capture_snapshot = true;
+  const verify::CosimReport rep = runCosim(c, copts);
+
+  verify::ReplayBundle bundle;
+  bundle.c = c;
+  bundle.seed = opt.seed;
+  bundle.run_index = run_index;
+  if (rep.divergence) {
+    bundle.failing_element = rep.divergence->element_index;
+    bundle.failing_cycle = rep.divergence->cycle;
+  }
+  bundle.detail = rep.describe();
+  bundle.cycle0_snapshot = rep.cycle0_snapshot;
+
+  const std::string path = opt.out_dir + "/fuzz_fail_run" +
+                           std::to_string(run_index) + suffix + ".hhtr";
+  verify::saveBundle(path, bundle);
+  std::cout << "  wrote " << path << " (" << bundle.detail << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const std::vector<verify::EngineKind> engines = selectEngines(opt.engine);
+
+  std::uint64_t failures = 0;
+  std::uint64_t total_elements = 0;
+  for (std::uint64_t i = 0; i < opt.runs; ++i) {
+    sim::Rng rng(mix(opt.seed, i));
+    const verify::EngineKind kind = engines[i % engines.size()];
+    verify::CosimCase c = verify::randomCase(rng, kind);
+    if (opt.inject_bug != ~0ull) c.cfg.hht.test_flip_element = opt.inject_bug;
+
+    const verify::CosimReport rep = runCosim(c);
+    total_elements += rep.elements;
+    if (rep.ok) continue;
+
+    ++failures;
+    std::cout << "run " << i << " [" << verify::engineKindName(kind) << ", "
+              << c.m.numRows() << "x" << c.m.numCols() << ", nnz "
+              << c.m.nnz() << "]: " << rep.describe() << "\n";
+    emitBundle(opt, c, i, "");
+
+    const verify::ShrinkResult shrunk = verify::shrinkCase(c);
+    std::cout << "  shrunk " << shrunk.initial_nnz << " -> "
+              << shrunk.final_nnz << " nnz, " << shrunk.initial_rows
+              << " -> " << shrunk.final_rows << " rows in " << shrunk.evals
+              << " evals\n";
+    emitBundle(opt, shrunk.c, i, "_shrunk");
+  }
+
+  std::cout << "fuzz campaign: " << opt.runs << " runs, seed " << opt.seed
+            << ", " << total_elements << " elements cross-checked, "
+            << failures << " divergences\n";
+  return failures == 0 ? 0 : 1;
+}

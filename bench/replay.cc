@@ -1,0 +1,68 @@
+// Re-execute a fuzz-failure replay bundle (written by bench/fuzz_campaign)
+// to its exact failing cycle.
+//
+// The bundle carries the machine configuration, the operands, and a
+// cycle-0 snapshot of the failing run. Replay reconstructs the System,
+// restores the snapshot (proving the configuration and program identity
+// match via the snapshot fingerprint), and re-runs under the differential
+// oracle. Exit 0 when the recorded failure reproduces at the same element
+// and cycle; 1 when it does not (which itself is a determinism bug worth
+// filing).
+//
+//   replay BUNDLE.hhtr
+#include <iostream>
+#include <string>
+
+#include "verify/replay.h"
+
+int main(int argc, char** argv) {
+  using namespace hht;
+  if (argc != 2) {
+    std::cerr << "usage: replay BUNDLE.hhtr\n";
+    return 2;
+  }
+
+  verify::ReplayBundle bundle;
+  try {
+    bundle = verify::loadBundle(argv[1]);
+  } catch (const sim::SimError& e) {
+    std::cerr << "cannot load bundle: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "bundle: campaign seed " << bundle.seed << ", run "
+            << bundle.run_index << ", engine "
+            << verify::engineKindName(bundle.c.kind) << ", matrix "
+            << bundle.c.m.numRows() << "x" << bundle.c.m.numCols()
+            << " nnz " << bundle.c.m.nnz() << "\n";
+  std::cout << "recorded: " << bundle.detail << "\n";
+
+  verify::CosimOptions opts;
+  if (!bundle.cycle0_snapshot.empty()) {
+    opts.restore_snapshot = &bundle.cycle0_snapshot;
+  }
+  const verify::CosimReport rep = runCosim(bundle.c, opts);
+  std::cout << "replayed: " << rep.describe() << "\n";
+
+  if (rep.ok) {
+    std::cout << "NOT REPRODUCED: bundle recorded a failure but the replay "
+                 "passed\n";
+    return 1;
+  }
+  if (rep.divergence && bundle.failing_cycle != 0) {
+    const bool same = rep.divergence->element_index == bundle.failing_element &&
+                      rep.divergence->cycle == bundle.failing_cycle;
+    if (!same) {
+      std::cout << "DIVERGED DIFFERENTLY: recorded element "
+                << bundle.failing_element << " cycle " << bundle.failing_cycle
+                << ", replay hit element " << rep.divergence->element_index
+                << " cycle " << rep.divergence->cycle << "\n";
+      return 1;
+    }
+    std::cout << "REPRODUCED at element " << rep.divergence->element_index
+              << ", cycle " << rep.divergence->cycle << "\n";
+    return 0;
+  }
+  std::cout << "REPRODUCED (non-divergence failure)\n";
+  return 0;
+}

@@ -7,6 +7,7 @@
 
 #include "core/config.h"
 #include "sim/fault.h"
+#include "sim/state_io.h"
 
 namespace hht::core {
 
@@ -111,6 +112,49 @@ class BufferPool {
 
   /// nullptr = no injection (zero cost).
   void setFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
+
+  void serialize(sim::StateWriter& w) const {
+    w.tag("BUFP");
+    auto write_slot = [&w](const Slot& slot) {
+      w.u32(slot.bits);
+      w.b(slot.is_row_end);
+      w.b(slot.publish_after);
+      w.b(slot.parity_ok);
+    };
+    w.u64(published_.size());
+    for (const auto& buf : published_) {
+      w.u64(buf.size());
+      for (const Slot& slot : buf) write_slot(slot);
+    }
+    w.u64(staging_.size());
+    for (const Slot& slot : staging_) write_slot(slot);
+    w.u64(read_pos_);
+  }
+
+  void deserialize(sim::StateReader& r) {
+    r.expectTag("BUFP");
+    auto read_slot = [&r]() {
+      Slot slot;
+      slot.bits = r.u32();
+      slot.is_row_end = r.b();
+      slot.publish_after = r.b();
+      slot.parity_ok = r.b();
+      return slot;
+    };
+    published_.clear();
+    const std::uint64_t n_bufs = r.u64();
+    for (std::uint64_t i = 0; i < n_bufs; ++i) {
+      std::vector<Slot> buf;
+      const std::uint64_t n_slots = r.u64();
+      buf.reserve(n_slots);
+      for (std::uint64_t j = 0; j < n_slots; ++j) buf.push_back(read_slot());
+      published_.push_back(std::move(buf));
+    }
+    staging_.clear();
+    const std::uint64_t n_staged = r.u64();
+    for (std::uint64_t i = 0; i < n_staged; ++i) staging_.push_back(read_slot());
+    read_pos_ = static_cast<std::size_t>(r.u64());
+  }
 
  private:
   void publish() {

@@ -42,6 +42,12 @@ struct HhtConfig {
   /// between the 1-buffer and 2-buffer configurations of Fig. 4/5.
   std::uint32_t emission_queue = 2;
 
+  /// Test-only hook for the verification layer: when not ~0, the FE XORs
+  /// bit 0 of the Nth delivered BUF_DATA element (0-based, parity left OK —
+  /// a *silent* corruption the differential oracle must catch). Never set
+  /// outside fuzz-campaign self-tests; no hardware analogue.
+  std::uint64_t test_flip_element = ~0ull;
+
   /// Reject impossible sizings with SimError(Config). Every field below is
   /// a hardware resource count — zero means "this unit does not exist" and
   /// the pipelines would deadlock rather than error at runtime.
@@ -64,6 +70,16 @@ struct HhtConfig {
         throw sim::SimError(sim::ErrorKind::Config, "hht",
                             std::string(field.name) + " must be >= 1");
       }
+    }
+    // Variant-1 reserves both slots of an aligned (m_val, v_val) pair
+    // atomically at compare time so the stream order is fixed while the two
+    // value fetches are in flight. A 1-deep emission queue can never accept
+    // a pair, so the back-end wedges with the CPU blocked on the FE — found
+    // by the differential fuzz campaign, now rejected up front.
+    if (emission_queue < 2) {
+      throw sim::SimError(sim::ErrorKind::Config, "hht",
+                          "emission_queue must be >= 2 (variant-1 reserves "
+                          "aligned m/v pair slots atomically)");
     }
   }
 };

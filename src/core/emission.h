@@ -73,6 +73,40 @@ class EmissionQueue {
     base_ = 0;
   }
 
+  void serialize(sim::StateWriter& w) const {
+    w.tag("EMIQ");
+    w.u64(base_);
+    w.u64(entries_.size());
+    for (const auto& entry : entries_) {
+      w.b(entry.has_value());
+      if (entry) {
+        w.u32(entry->bits);
+        w.b(entry->is_row_end);
+        w.b(entry->publish_after);
+        w.b(entry->parity_ok);
+      }
+    }
+  }
+
+  void deserialize(sim::StateReader& r) {
+    r.expectTag("EMIQ");
+    base_ = r.u64();
+    entries_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!r.b()) {
+        entries_.push_back(std::nullopt);
+        continue;
+      }
+      Slot slot;
+      slot.bits = r.u32();
+      slot.is_row_end = r.b();
+      slot.publish_after = r.b();
+      slot.parity_ok = r.b();
+      entries_.push_back(slot);
+    }
+  }
+
  private:
   std::uint32_t depth_;
   std::deque<std::optional<Slot>> entries_;

@@ -7,6 +7,7 @@
 #include "core/emission.h"
 #include "core/mmr.h"
 #include "mem/memory_system.h"
+#include "sim/state_io.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -47,6 +48,13 @@ class Engine {
   /// True once every slot of the stream has been handed to the emission
   /// queue (the queue and buffers may still hold undelivered slots).
   virtual bool done() const = 0;
+
+  /// Checkpoint hooks. The base serializes the shared `faulted_` flag;
+  /// each engine appends its own pipeline latches and walker state. The
+  /// restoring device reconstructs the engine from the (already-restored)
+  /// MMRs via its mode factory, then calls deserialize.
+  virtual void serialize(sim::StateWriter& w) const { w.b(faulted_); }
+  virtual void deserialize(sim::StateReader& r) { faulted_ = r.b(); }
 
   /// Issue one 4-byte BE read. Callers (the engine itself and its walker
   /// helpers) enforce the per-cycle issue budget.

@@ -20,6 +20,21 @@ class GatherEngine : public Engine {
   void tick(Cycle now) override;
   bool done() const override;
 
+  void serialize(sim::StateWriter& w) const override {
+    Engine::serialize(w);
+    rows_.serialize(w);
+    cols_.serialize(w);
+    vfetch_.serialize(w);
+    w.b(row_stream_ready_);
+  }
+  void deserialize(sim::StateReader& r) override {
+    Engine::deserialize(r);
+    rows_.deserialize(r);
+    cols_.deserialize(r);
+    vfetch_.deserialize(r);
+    row_stream_ready_ = r.b();
+  }
+
  private:
   void configureRowStream();
 

@@ -53,32 +53,31 @@ void Hht::start() {
   buffers_.reset();
   emit_.reset();
   finished_flush_done_ = false;
-  const EngineContext ctx{cfg_, mmr_, mem_, buffers_, emit_, stats_, this};
-  switch (mmr_.mode) {
-    case Mode::SpmvGather:
-      engine_ = std::make_unique<GatherEngine>(ctx);
-      break;
-    case Mode::SpmspvV1:
-      engine_ = std::make_unique<MergeEngine>(ctx);
-      break;
-    case Mode::SpmspvV2:
-      engine_ = std::make_unique<StreamEngine>(ctx);
-      break;
-    case Mode::HierBitmap:
-      engine_ = std::make_unique<HierBitmapEngine>(ctx);
-      break;
-    case Mode::FlatBitmap:
-      engine_ = std::make_unique<HierBitmapEngine>(ctx, /*flat=*/true);
-      break;
-    default:
-      throw std::invalid_argument("HHT started with invalid MODE register");
-  }
+  engine_ = makeEngine();
   HHT_LOG_AT(Info, "hht", "start mode=%u rows=%u buffers=%u blen=%u",
              static_cast<unsigned>(mmr_.mode), mmr_.m_num_rows,
              cfg_.num_buffers, cfg_.buffer_len);
 }
 
+std::unique_ptr<Engine> Hht::makeEngine() {
+  const EngineContext ctx{cfg_, mmr_, mem_, buffers_, emit_, stats_, this};
+  switch (mmr_.mode) {
+    case Mode::SpmvGather:
+      return std::make_unique<GatherEngine>(ctx);
+    case Mode::SpmspvV1:
+      return std::make_unique<MergeEngine>(ctx);
+    case Mode::SpmspvV2:
+      return std::make_unique<StreamEngine>(ctx);
+    case Mode::HierBitmap:
+      return std::make_unique<HierBitmapEngine>(ctx);
+    case Mode::FlatBitmap:
+      return std::make_unique<HierBitmapEngine>(ctx, /*flat=*/true);
+  }
+  throw std::invalid_argument("HHT started with invalid MODE register");
+}
+
 void Hht::tick(sim::Cycle now) {
+  last_tick_cycle_ = now;
   // A faulted device halts: no further production, no buffer movement. The
   // FAULT/CAUSE MMRs stay readable (the non-blocking poll path below).
   if (faultRaised()) return;
@@ -133,7 +132,7 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
         throw std::logic_error(
             "kernel bug: CPU read BUF_DATA where VALID would return 0");
       }
-      const Slot slot = buffers_.pop();
+      Slot slot = buffers_.pop();
       ++*fifo_pops_;
       if (!slot.parity_ok) {
         // Deliver *and* latch the fault: the CPU gets the (corrupt) word
@@ -142,7 +141,14 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
         raiseFault(sim::FaultCause::FifoParity,
                    "buffer entry failed its parity check at BUF_DATA pop");
       }
-      ++stats_.counter("hht.elements_delivered");
+      std::uint64_t& delivered = stats_.counter("hht.elements_delivered");
+      if (cfg_.test_flip_element == delivered) {
+        // Verification-layer self-test hook: silent single-bit corruption of
+        // the Nth delivered element (parity stays good on purpose).
+        slot.bits ^= 1u;
+      }
+      ++delivered;
+      if (tap_ != nullptr) tap_->onDelivered(last_tick_cycle_, false, slot.bits);
       return {true, slot.bits};
     }
     case mmr::kValid: {
@@ -157,6 +163,7 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
       if (buffers_.front().is_row_end) {
         buffers_.pop();
         ++*fifo_pops_;
+        if (tap_ != nullptr) tap_->onDelivered(last_tick_cycle_, true, 0);
         return {true, 0};
       }
       return {true, 1};
@@ -232,6 +239,72 @@ void Hht::reset() {
   mmr_ = MmrFile{};
   mmr_parity_ok_ = true;
   clearFault();
+}
+
+void Hht::serialize(sim::StateWriter& w) const {
+  w.tag("HHTD");
+  w.u32(mmr_.m_num_rows);
+  w.u32(mmr_.m_rows_base);
+  w.u32(mmr_.m_cols_base);
+  w.u32(mmr_.m_vals_base);
+  w.u32(mmr_.v_base);
+  w.u32(mmr_.v_idx_base);
+  w.u32(mmr_.v_vals_base);
+  w.u32(mmr_.v_nnz);
+  w.u32(mmr_.element_size);
+  w.u32(static_cast<std::uint32_t>(mmr_.mode));
+  w.u32(mmr_.num_cols);
+  w.u32(mmr_.l1_base);
+  w.u32(mmr_.leaves_base);
+  w.u32(mmr_.m_nnz);
+  w.u32(mmr_.v_len);
+  buffers_.serialize(w);
+  emit_.serialize(w);
+  w.b(finished_flush_done_);
+  w.b(mmr_parity_ok_);
+  serializeFaultLatch(w);
+  w.u64(last_tick_cycle_);
+  stats_.serialize(w);
+  w.b(engine_ != nullptr);
+  if (engine_) engine_->serialize(w);
+}
+
+void Hht::deserialize(sim::StateReader& r) {
+  r.expectTag("HHTD");
+  mmr_.m_num_rows = r.u32();
+  mmr_.m_rows_base = r.u32();
+  mmr_.m_cols_base = r.u32();
+  mmr_.m_vals_base = r.u32();
+  mmr_.v_base = r.u32();
+  mmr_.v_idx_base = r.u32();
+  mmr_.v_vals_base = r.u32();
+  mmr_.v_nnz = r.u32();
+  mmr_.element_size = r.u32();
+  const std::uint32_t mode = r.u32();
+  if (mode > static_cast<std::uint32_t>(Mode::FlatBitmap)) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "hht",
+                        "snapshot MODE register invalid: " +
+                            std::to_string(mode));
+  }
+  mmr_.mode = static_cast<Mode>(mode);
+  mmr_.num_cols = r.u32();
+  mmr_.l1_base = r.u32();
+  mmr_.leaves_base = r.u32();
+  mmr_.m_nnz = r.u32();
+  mmr_.v_len = r.u32();
+  buffers_.deserialize(r);
+  emit_.deserialize(r);
+  finished_flush_done_ = r.b();
+  mmr_parity_ok_ = r.b();
+  deserializeFaultLatch(r);
+  last_tick_cycle_ = r.u64();
+  stats_.deserialize(r);
+  if (r.b()) {
+    engine_ = makeEngine();
+    engine_->deserialize(r);
+  } else {
+    engine_.reset();
+  }
 }
 
 std::string Hht::describeState() const {

@@ -9,6 +9,7 @@
 #include "core/engine.h"
 #include "core/mmr.h"
 #include "mem/memory_system.h"
+#include "sim/probe.h"
 #include "sim/stats.h"
 
 namespace hht::core {
@@ -60,8 +61,24 @@ class Hht : public HhtDevice {
   std::uint64_t progressSignal() const override { return *fifo_pops_; }
   std::string describeState() const override;
 
+  // ---- verification surface ----
+
+  /// Observer of every delivered element (nullptr = none, zero cost).
+  void setStreamTap(sim::StreamTap* tap) { tap_ = tap; }
+  /// Read-only FE internals for the oracle's occupancy invariants.
+  const BufferPool& bufferPool() const { return buffers_; }
+  const EmissionQueue& emissionQueue() const { return emit_; }
+
+  // ---- checkpoint surface (HhtDevice) ----
+  void serialize(sim::StateWriter& w) const override;
+  void deserialize(sim::StateReader& r) override;
+
  private:
   void start();
+  /// Construct the mode's back-end engine from the current MMRs (shared by
+  /// start() and deserialize(); engine constructors have no memory side
+  /// effects, so reconstruct-then-deserialize restores exact state).
+  std::unique_ptr<Engine> makeEngine();
 
   HhtConfig cfg_;
   mem::MemorySystem& mem_;
@@ -75,6 +92,10 @@ class Hht : public HhtDevice {
   /// use time is the only architecturally visible point).
   bool mmr_parity_ok_ = true;
   sim::FaultInjector* injector_ = nullptr;
+  sim::StreamTap* tap_ = nullptr;
+  /// Cycle of the most recent tick; MMIO pops have no cycle parameter, so
+  /// this is the timestamp the stream tap (and divergence reports) see.
+  sim::Cycle last_tick_cycle_ = 0;
   sim::StatSet stats_;
   std::uint64_t* fifo_pops_;  ///< cached "hht.fifo_pops" (watchdog signal)
 };

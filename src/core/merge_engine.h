@@ -21,6 +21,29 @@ class MergeEngine : public Engine {
   void tick(Cycle now) override;
   bool done() const override;
 
+  void serialize(sim::StateWriter& w) const override {
+    Engine::serialize(w);
+    rows_.serialize(w);
+    cols_.serialize(w);
+    vidx_.serialize(w);
+    vfetch_.serialize(w);
+    w.b(row_ready_);
+    w.b(row_merge_done_);
+    w.b(prefer_cols_);
+    w.u32(cmp_phase_);
+  }
+  void deserialize(sim::StateReader& r) override {
+    Engine::deserialize(r);
+    rows_.deserialize(r);
+    cols_.deserialize(r);
+    vidx_.deserialize(r);
+    vfetch_.deserialize(r);
+    row_ready_ = r.b();
+    row_merge_done_ = r.b();
+    prefer_cols_ = r.b();
+    cmp_phase_ = r.u32();
+  }
+
  private:
   void configureRow();
   /// Try to close the current row (marker + advance). Returns true if

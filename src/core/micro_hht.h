@@ -65,6 +65,21 @@ class MicroHht : public HhtDevice {
   void reset() override;
   std::string describeState() const override;
 
+  // ---- checkpoint surface (HhtDevice) ----
+  // The programmable variant borrows its firmware by reference and cannot
+  // prove a restored program matches; checkpointing it is a documented
+  // limitation (DESIGN.md §10) until firmware lives in simulated memory.
+  void serialize(sim::StateWriter&) const override {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "uhht",
+                        "the programmable HHT does not support checkpoints "
+                        "(firmware is borrowed host state)");
+  }
+  void deserialize(sim::StateReader&) override {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "uhht",
+                        "the programmable HHT does not support checkpoints "
+                        "(firmware is borrowed host state)");
+  }
+
  private:
   void start();
   mem::MmioReadResult cpuRead(Addr offset);

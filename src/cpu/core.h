@@ -7,6 +7,7 @@
 #include "cpu/timing.h"
 #include "isa/program.h"
 #include "mem/memory_system.h"
+#include "sim/state_io.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -42,6 +43,17 @@ class Core {
   /// Install a program and reset architectural + pipeline state.
   void loadProgram(const Program& program);
   void reset();
+
+  /// Install a program WITHOUT resetting state — the checkpoint-restore
+  /// path: deserialize() supplies every architectural and pipeline field,
+  /// and the caller has already verified the program's identity against
+  /// the snapshot header.
+  void installProgram(const Program& program) { program_ = &program; }
+
+  /// Checkpoint hooks: full architectural + pipeline state. The program
+  /// itself is NOT serialized (host-owned); System records its identity.
+  void serialize(sim::StateWriter& w) const;
+  void deserialize(sim::StateReader& r);
 
   /// Advance one cycle. No-op once halted.
   void tick(Cycle now);

@@ -1,8 +1,10 @@
 #include "harness/system.h"
 
+#include <bit>
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/state_io.h"
 #include "sim/watchdog.h"
 
 namespace hht::harness {
@@ -16,7 +18,162 @@ const SystemConfig& validated(const SystemConfig& config) {
   config.validate();
   return config;
 }
+
+// --- snapshot identity ---
+//
+// A snapshot only replays correctly on a System built from an *identical*
+// SystemConfig running the *identical* program (same name and encoded
+// instructions). Rather than serialize and diff whole configs, both sides
+// are reduced to FNV-1a fingerprints over a canonical byte serialization;
+// restore() rejects any mismatch with SimError(Checkpoint).
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t configFingerprint(const SystemConfig& cfg) {
+  sim::StateWriter w;
+  writeSystemConfig(w, cfg);
+  return fnv1a(w.data().data(), w.size());
+}
+
+std::uint64_t programHash(const isa::Program& program) {
+  sim::StateWriter w;
+  w.str(program.name());
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const isa::Instr& instr = program.at(i);
+    w.u8(static_cast<std::uint8_t>(instr.op));
+    w.u8(instr.rd).u8(instr.rs1).u8(instr.rs2).u8(instr.rs3);
+    w.u32(static_cast<std::uint32_t>(instr.imm));
+  }
+  return fnv1a(w.data().data(), w.size());
+}
+
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+void writeTiming(sim::StateWriter& w, const cpu::TimingConfig& t) {
+  w.u64(t.int_alu).u64(t.int_mul).u64(t.int_div);
+  w.u64(t.branch_not_taken).u64(t.branch_taken).u64(t.jump);
+  w.u64(t.fp_alu).u64(t.fp_mul).u64(t.fp_madd).u64(t.fp_div).u64(t.fp_move);
+  w.u64(t.load_issue).u64(t.store_issue);
+  w.u64(t.vec_cfg).u64(t.vec_alu).u64(t.vec_fp).u64(t.vec_red).u64(t.vec_move);
+  w.u64(t.vec_mem_issue).u64(t.gather_startup);
+  w.u32(t.vec_bus_bytes).u32(t.gather_issue_per_cycle);
+  w.u64(std::bit_cast<std::uint64_t>(t.clock_hz));
+}
+
+cpu::TimingConfig readTiming(sim::StateReader& r) {
+  cpu::TimingConfig t;
+  t.int_alu = r.u64();
+  t.int_mul = r.u64();
+  t.int_div = r.u64();
+  t.branch_not_taken = r.u64();
+  t.branch_taken = r.u64();
+  t.jump = r.u64();
+  t.fp_alu = r.u64();
+  t.fp_mul = r.u64();
+  t.fp_madd = r.u64();
+  t.fp_div = r.u64();
+  t.fp_move = r.u64();
+  t.load_issue = r.u64();
+  t.store_issue = r.u64();
+  t.vec_cfg = r.u64();
+  t.vec_alu = r.u64();
+  t.vec_fp = r.u64();
+  t.vec_red = r.u64();
+  t.vec_move = r.u64();
+  t.vec_mem_issue = r.u64();
+  t.gather_startup = r.u64();
+  t.vec_bus_bytes = r.u32();
+  t.gather_issue_per_cycle = r.u32();
+  t.clock_hz = std::bit_cast<double>(r.u64());
+  return t;
+}
 }  // namespace
+
+void writeSystemConfig(sim::StateWriter& w, const SystemConfig& cfg) {
+  writeTiming(w, cfg.timing);
+  const mem::MemorySystemConfig& m = cfg.memory;
+  w.u64(m.sram_bytes).u64(m.sram_latency).u32(m.grants_per_cycle);
+  w.u8(static_cast<std::uint8_t>(m.policy));
+  w.b(m.cpu_cache_enabled).b(m.hht_cache_enabled);
+  w.u32(m.cache.size_bytes).u32(m.cache.line_bytes).u32(m.cache.ways);
+  w.u64(m.cache.hit_latency).u64(m.cache.miss_penalty);
+  w.u64(m.cache.writeback_penalty);
+  w.b(m.prefetch_enabled).u32(m.prefetch_degree);
+  w.u32(m.mmio_base).u32(m.mmio_size);
+  const core::HhtConfig& h = cfg.hht;
+  w.u32(h.num_buffers).u32(h.buffer_len).u32(h.be_issue_per_cycle);
+  w.u32(h.cmp_per_cycle).u32(h.cmp_recurrence).u32(h.emit_per_cycle);
+  w.u32(h.prefetch_queue).u32(h.emission_queue);
+  w.u64(h.test_flip_element);
+  w.u32(static_cast<std::uint32_t>(cfg.vlmax));
+  w.b(cfg.programmable_hht);
+  writeTiming(w, cfg.micro_timing);
+  const sim::FaultConfig& f = cfg.faults;
+  w.b(f.enabled).u64(f.seed);
+  w.u64(std::bit_cast<std::uint64_t>(f.sram_read_flip_rate));
+  w.u64(std::bit_cast<std::uint64_t>(f.drop_rate));
+  w.u64(std::bit_cast<std::uint64_t>(f.delay_rate));
+  w.u64(f.delay_cycles);
+  w.u64(std::bit_cast<std::uint64_t>(f.mmr_glitch_rate));
+  w.u64(std::bit_cast<std::uint64_t>(f.fifo_corrupt_rate));
+  w.u32(f.ecc_retry_limit).u64(f.drop_penalty_cycles);
+  w.u64(cfg.watchdog_cycles);
+}
+
+SystemConfig readSystemConfig(sim::StateReader& r) {
+  SystemConfig cfg;
+  cfg.timing = readTiming(r);
+  mem::MemorySystemConfig& m = cfg.memory;
+  m.sram_bytes = static_cast<std::size_t>(r.u64());
+  m.sram_latency = r.u64();
+  m.grants_per_cycle = r.u32();
+  m.policy = static_cast<mem::ArbiterPolicy>(r.u8());
+  m.cpu_cache_enabled = r.b();
+  m.hht_cache_enabled = r.b();
+  m.cache.size_bytes = r.u32();
+  m.cache.line_bytes = r.u32();
+  m.cache.ways = r.u32();
+  m.cache.hit_latency = r.u64();
+  m.cache.miss_penalty = r.u64();
+  m.cache.writeback_penalty = r.u64();
+  m.prefetch_enabled = r.b();
+  m.prefetch_degree = r.u32();
+  m.mmio_base = r.u32();
+  m.mmio_size = r.u32();
+  core::HhtConfig& h = cfg.hht;
+  h.num_buffers = r.u32();
+  h.buffer_len = r.u32();
+  h.be_issue_per_cycle = r.u32();
+  h.cmp_per_cycle = r.u32();
+  h.cmp_recurrence = r.u32();
+  h.emit_per_cycle = r.u32();
+  h.prefetch_queue = r.u32();
+  h.emission_queue = r.u32();
+  h.test_flip_element = r.u64();
+  cfg.vlmax = static_cast<int>(r.u32());
+  cfg.programmable_hht = r.b();
+  cfg.micro_timing = readTiming(r);
+  sim::FaultConfig& f = cfg.faults;
+  f.enabled = r.b();
+  f.seed = r.u64();
+  f.sram_read_flip_rate = std::bit_cast<double>(r.u64());
+  f.drop_rate = std::bit_cast<double>(r.u64());
+  f.delay_rate = std::bit_cast<double>(r.u64());
+  f.delay_cycles = r.u64();
+  f.mmr_glitch_rate = std::bit_cast<double>(r.u64());
+  f.fifo_corrupt_rate = std::bit_cast<double>(r.u64());
+  f.ecc_retry_limit = r.u32();
+  f.drop_penalty_cycles = r.u64();
+  cfg.watchdog_cycles = r.u64();
+  return cfg;
+}
 
 System::System(const SystemConfig& config)
     : config_(validated(config)),
@@ -32,7 +189,9 @@ System::System(const SystemConfig& config)
     micro_hht_ = micro.get();
     hht_ = std::move(micro);
   } else {
-    hht_ = std::make_unique<core::Hht>(config.hht, *mem_);
+    auto asic = std::make_unique<core::Hht>(config.hht, *mem_);
+    asic_hht_ = asic.get();
+    hht_ = std::move(asic);
   }
   mem_->attachMmioDevice(hht_.get());
   if (injector_) {
@@ -43,9 +202,24 @@ System::System(const SystemConfig& config)
 
 RunResult System::run(const isa::Program& program, Addr y_addr,
                       std::uint32_t y_len, Cycle max_cycles,
-                      const isa::Program* fallback) {
+                      const isa::Program* fallback, RunObserver* observer) {
   cpu_->loadProgram(program);
+  return runLoop(program, y_addr, y_len, 0, max_cycles, fallback, observer);
+}
 
+RunResult System::resume(const isa::Program& program, Addr y_addr,
+                         std::uint32_t y_len, Cycle start_cycle,
+                         Cycle max_cycles, const isa::Program* fallback,
+                         RunObserver* observer) {
+  cpu_->installProgram(program);
+  return runLoop(program, y_addr, y_len, start_cycle, max_cycles, fallback,
+                 observer);
+}
+
+RunResult System::runLoop(const isa::Program& program, Addr y_addr,
+                          std::uint32_t y_len, Cycle start_cycle,
+                          Cycle max_cycles, const isa::Program* fallback,
+                          RunObserver* observer) {
   sim::Watchdog watchdog(config_.watchdog_cycles);
   // Progress = retired instructions + SRAM grants + HHT FIFO pops/firmware
   // retirement. Counter references are stable, so the hot loop reads two
@@ -54,7 +228,7 @@ RunResult System::run(const isa::Program& program, Addr y_addr,
   const std::uint64_t* mem_grants = &mem_->stats().counter("mem.grants");
 
   RunResult result;
-  Cycle now = 0;
+  Cycle now = start_cycle;
   for (; now < max_cycles; ++now) {
     hht_->tick(now);
     cpu_->tick(now);
@@ -77,6 +251,7 @@ RunResult System::run(const isa::Program& program, Addr y_addr,
       result.degraded = true;
       break;
     }
+    if (observer != nullptr) observer->onCycle(*this, now);
     if (cpu_->halted() && mem_->idle()) break;
     if (watchdog.due(now)) {
       watchdog.observe(
@@ -105,6 +280,68 @@ RunResult System::run(const isa::Program& program, Addr y_addr,
   result.stats.absorb(hht_->stats(), "");
   if (injector_) result.stats.absorb(injector_->stats(), "");
   return result;
+}
+
+std::vector<std::uint8_t> System::checkpoint(const isa::Program& program,
+                                             Cycle next_cycle) const {
+  sim::StateWriter w;
+  w.tag("HHTS");
+  w.u32(kSnapshotVersion);
+  w.u64(configFingerprint(config_));
+  w.str(program.name());
+  w.u64(programHash(program));
+  w.u64(next_cycle);
+  w.b(injector_ != nullptr);
+  if (injector_) injector_->serialize(w);
+  mem_->serialize(w);
+  hht_->serialize(w);
+  cpu_->serialize(w);
+  return w.data();
+}
+
+Cycle System::restore(const std::vector<std::uint8_t>& snapshot,
+                      const isa::Program& program) {
+  sim::StateReader r(snapshot);
+  r.expectTag("HHTS");
+  const std::uint32_t version = r.u32();
+  if (version != kSnapshotVersion) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "system",
+                        "snapshot version " + std::to_string(version) +
+                            " != supported version " +
+                            std::to_string(kSnapshotVersion));
+  }
+  const std::uint64_t fingerprint = r.u64();
+  if (fingerprint != configFingerprint(config_)) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "system",
+                        "snapshot was taken under a different SystemConfig "
+                        "(fingerprint mismatch)");
+  }
+  const std::string prog_name = r.str();
+  const std::uint64_t prog_hash = r.u64();
+  if (prog_name != program.name() || prog_hash != programHash(program)) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "system",
+                        "snapshot records program '" + prog_name +
+                            "', got '" + program.name() +
+                            "' (or the code differs)");
+  }
+  const Cycle next_cycle = r.u64();
+  const bool has_injector = r.b();
+  if (has_injector != (injector_ != nullptr)) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "system",
+                        "snapshot fault-injector presence does not match "
+                        "this System");
+  }
+  if (injector_) injector_->deserialize(r);
+  mem_->deserialize(r);
+  hht_->deserialize(r);
+  cpu_->deserialize(r);
+  if (!r.atEnd()) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "system",
+                        std::to_string(r.remaining()) +
+                            " trailing bytes after snapshot payload");
+  }
+  cpu_->installProgram(program);
+  return next_cycle;
 }
 
 void System::degradedRerun(const isa::Program& fallback, Cycle max_cycles) {

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/device.h"
 #include "core/hht.h"
@@ -16,6 +18,7 @@
 #include "sparse/bitvector.h"
 #include "sparse/hier_bitmap.h"
 #include "sim/fault.h"
+#include "sim/state_io.h"
 #include "sparse/sparse_vector.h"
 
 namespace hht::harness {
@@ -55,6 +58,12 @@ struct SystemConfig {
   }
 };
 
+/// Canonical binary serialization of a SystemConfig: the byte stream the
+/// snapshot fingerprint hashes, and the representation replay bundles embed
+/// so a failure reproduces under the exact machine configuration.
+void writeSystemConfig(sim::StateWriter& w, const SystemConfig& cfg);
+SystemConfig readSystemConfig(sim::StateReader& r);
+
 /// Outcome of simulating one kernel to completion.
 struct RunResult {
   std::uint64_t cycles = 0;           ///< CPU cycles to ECALL
@@ -77,6 +86,19 @@ struct RunResult {
   }
 };
 
+class System;
+
+/// Per-cycle observer of a running System. The differential oracle uses
+/// this for its periodic FIFO-occupancy invariants; tests use it to trigger
+/// mid-run checkpoints. Called after the three component ticks and the
+/// fault poll of each cycle, before halt detection — so the observer sees
+/// every cycle the machine actually executed.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+  virtual void onCycle(System& sys, Cycle now) = 0;
+};
+
 /// One simulated machine instance: memory system + HHT + core, advanced in
 /// lock-step (HHT first so its publications are CPU-visible next cycle,
 /// then CPU, then the memory system which arbitrates both).
@@ -89,6 +111,9 @@ class System {
   core::HhtDevice& hht() { return *hht_; }
   /// Non-null when configured with programmable_hht.
   core::MicroHht* microHht() { return micro_hht_; }
+  /// Non-null for the default (ASIC) device; the oracle's tap/invariant
+  /// hooks live on the concrete core::Hht.
+  core::Hht* asicHht() { return asic_hht_; }
   mem::Arena& arena() { return arena_; }
   const SystemConfig& config() const { return config_; }
   /// Non-null when config().faults.enabled.
@@ -110,12 +135,41 @@ class System {
   ///   always a bug, never a valid result.
   RunResult run(const isa::Program& program, Addr y_addr, std::uint32_t y_len,
                 Cycle max_cycles = 500'000'000,
-                const isa::Program* fallback = nullptr);
+                const isa::Program* fallback = nullptr,
+                RunObserver* observer = nullptr);
+
+  /// Continue a run previously restore()d from a snapshot: the program is
+  /// installed WITHOUT a reset (all state came from the snapshot) and the
+  /// cycle loop starts at `start_cycle`. Semantics otherwise match run().
+  RunResult resume(const isa::Program& program, Addr y_addr,
+                   std::uint32_t y_len, Cycle start_cycle,
+                   Cycle max_cycles = 500'000'000,
+                   const isa::Program* fallback = nullptr,
+                   RunObserver* observer = nullptr);
+
+  /// Serialize the complete simulator state (SRAM, caches, queues, HHT
+  /// pipeline, CPU, RNG/fault-injector) to a versioned binary snapshot.
+  /// `next_cycle` is the cycle at which a resume() should continue — from
+  /// a RunObserver at cycle `now`, pass `now + 1`. The program is recorded
+  /// by identity (name + code hash), not contents.
+  std::vector<std::uint8_t> checkpoint(const isa::Program& program,
+                                       Cycle next_cycle) const;
+
+  /// Restore a snapshot taken by checkpoint() into this System. The
+  /// SystemConfig must be identical (enforced via fingerprint) and
+  /// `program` must be the recorded program (name + code hash); mismatch
+  /// or corruption throws SimError(Checkpoint). Returns the cycle to pass
+  /// to resume().
+  Cycle restore(const std::vector<std::uint8_t>& snapshot,
+                const isa::Program& program);
 
   /// Multi-line snapshot of every component (watchdog / fault dumps).
   std::string dumpDiagnostics(Cycle now) const;
 
  private:
+  RunResult runLoop(const isa::Program& program, Addr y_addr,
+                    std::uint32_t y_len, Cycle start_cycle, Cycle max_cycles,
+                    const isa::Program* fallback, RunObserver* observer);
   void degradedRerun(const isa::Program& fallback, Cycle max_cycles);
 
   SystemConfig config_;
@@ -123,6 +177,7 @@ class System {
   std::unique_ptr<mem::MemorySystem> mem_;
   std::unique_ptr<core::HhtDevice> hht_;
   core::MicroHht* micro_hht_ = nullptr;  ///< alias into hht_ when programmable
+  core::Hht* asic_hht_ = nullptr;        ///< alias into hht_ when ASIC
   std::unique_ptr<cpu::Core> cpu_;
   mem::Arena arena_;
 };

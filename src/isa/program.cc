@@ -63,7 +63,10 @@ ProgramBuilder& ProgramBuilder::li(Reg rd, std::int32_t value) {
     return addi(rd, reg::zero, value);
   }
   const std::int32_t low = static_cast<std::int32_t>(value << 20) >> 20;
-  const std::int32_t high = value - low;
+  // Wrap-around subtraction: value - low can step past INT32_MAX (e.g.
+  // 0x7FFFFFFF with low = -1), which is what the hardware does too.
+  const std::int32_t high = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(value) - static_cast<std::uint32_t>(low));
   lui(rd, high);
   if (low != 0) addi(rd, rd, low);
   return *this;

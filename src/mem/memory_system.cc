@@ -312,6 +312,134 @@ std::string MemorySystem::describeState() const {
   return os.str();
 }
 
+namespace {
+
+void writeAccess(sim::StateWriter& w, const MemAccess& a) {
+  w.u32(a.addr);
+  w.u32(a.size);
+  w.b(a.is_write);
+  w.u32(a.wdata);
+  w.u8(static_cast<std::uint8_t>(a.requester));
+}
+
+MemAccess readAccess(sim::StateReader& r) {
+  MemAccess a;
+  a.addr = r.u32();
+  a.size = r.u32();
+  a.is_write = r.b();
+  a.wdata = r.u32();
+  a.requester = static_cast<Requester>(r.u8());
+  return a;
+}
+
+}  // namespace
+
+void MemorySystem::serialize(sim::StateWriter& w) const {
+  w.tag("MEMS");
+  sram_.serialize(w);
+  w.b(cpu_cache_ != nullptr);
+  if (cpu_cache_) cpu_cache_->serialize(w);
+  w.b(hht_cache_ != nullptr);
+  if (hht_cache_) hht_cache_->serialize(w);
+
+  auto write_queue = [&w](const std::deque<Pending>& q) {
+    w.u64(q.size());
+    for (const Pending& p : q) {
+      w.u64(p.id);
+      writeAccess(w, p.access);
+    }
+  };
+  write_queue(sram_queue_);
+  write_queue(mmio_queue_);
+
+  w.u64(prefetch_queue_.size());
+  for (Addr a : prefetch_queue_) w.u32(a);
+
+  w.u64(in_flight_.size());
+  for (const InFlight& f : in_flight_) {
+    w.u64(f.id);
+    w.u64(f.done_at);
+    w.u32(f.data);
+    w.b(f.poisoned);
+  }
+
+  // completed_ is an unordered_map; serialize sorted by id so identical
+  // states produce identical snapshot bytes.
+  std::vector<std::pair<RequestId, MemResponse>> done(completed_.begin(),
+                                                      completed_.end());
+  std::sort(done.begin(), done.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(done.size());
+  for (const auto& [id, response] : done) {
+    w.u64(id);
+    w.u32(response.data);
+    w.b(response.poisoned);
+  }
+
+  w.u64(next_id_);
+  w.b(rr_hht_turn_);
+  stats_.serialize(w);
+}
+
+void MemorySystem::deserialize(sim::StateReader& r) {
+  r.expectTag("MEMS");
+  sram_.deserialize(r);
+  const bool has_cpu_cache = r.b();
+  if (has_cpu_cache != (cpu_cache_ != nullptr)) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "mem",
+                        "snapshot CPU-cache presence disagrees with config");
+  }
+  if (cpu_cache_) cpu_cache_->deserialize(r);
+  const bool has_hht_cache = r.b();
+  if (has_hht_cache != (hht_cache_ != nullptr)) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "mem",
+                        "snapshot HHT-cache presence disagrees with config");
+  }
+  if (hht_cache_) hht_cache_->deserialize(r);
+
+  auto read_queue = [&r](std::deque<Pending>& q) {
+    q.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const RequestId id = r.u64();
+      q.push_back({id, readAccess(r)});
+    }
+  };
+  read_queue(sram_queue_);
+  read_queue(mmio_queue_);
+
+  prefetch_queue_.clear();
+  const std::uint64_t n_prefetch = r.u64();
+  for (std::uint64_t i = 0; i < n_prefetch; ++i) {
+    prefetch_queue_.push_back(r.u32());
+  }
+
+  in_flight_.clear();
+  const std::uint64_t n_flight = r.u64();
+  for (std::uint64_t i = 0; i < n_flight; ++i) {
+    InFlight f;
+    f.id = r.u64();
+    f.done_at = r.u64();
+    f.data = r.u32();
+    f.poisoned = r.b();
+    in_flight_.push_back(f);
+  }
+
+  completed_.clear();
+  const std::uint64_t n_done = r.u64();
+  for (std::uint64_t i = 0; i < n_done; ++i) {
+    const RequestId id = r.u64();
+    MemResponse response;
+    response.data = r.u32();
+    response.poisoned = r.b();
+    completed_.emplace(id, response);
+  }
+
+  next_id_ = r.u64();
+  rr_hht_turn_ = r.b();
+  stats_.deserialize(r);
+}
+
 void MemorySystem::finalizeStats() {
   if (cpu_cache_) {
     stats_.counter("mem.cpu.cache_hits") = cpu_cache_->hits();

@@ -124,6 +124,13 @@ class MemorySystem {
   /// Export cache counters into stats() (called by run loops at the end).
   void finalizeStats();
 
+  /// Checkpoint hooks: serialize the complete run state (SRAM contents,
+  /// cache tag state, all queues, in-flight and completed responses, the
+  /// request-id allocator and arbiter turn). The MMIO device pointer and
+  /// fault injector are wiring, re-established by the owning System.
+  void serialize(sim::StateWriter& w) const;
+  void deserialize(sim::StateReader& r);
+
  private:
   struct Pending {
     RequestId id;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/error.h"
+#include "sim/state_io.h"
 #include "sim/types.h"
 
 namespace hht::mem {
@@ -41,10 +43,12 @@ class Sram {
   /// host-side conveniences and carry no simulated cost.
   void pokeBytes(Addr addr, std::span<const std::byte> data) {
     check(addr, data.size());
+    if (data.empty()) return;  // empty span has a null data(); memcpy forbids it
     std::memcpy(bytes_.data() + addr, data.data(), data.size());
   }
   void peekBytes(Addr addr, std::span<std::byte> out) const {
     check(addr, out.size());
+    if (out.empty()) return;
     std::memcpy(out.data(), bytes_.data() + addr, out.size());
   }
 
@@ -72,6 +76,24 @@ class Sram {
     std::vector<T> out(count);
     peekBytes(addr, std::as_writable_bytes(std::span(out)));
     return out;
+  }
+
+  void serialize(sim::StateWriter& w) const {
+    w.tag("SRAM");
+    w.bytes(bytes_.data(), bytes_.size());
+  }
+
+  /// The SRAM is sized by config, never by snapshot: a size mismatch means
+  /// the snapshot belongs to a different SystemConfig.
+  void deserialize(sim::StateReader& r) {
+    r.expectTag("SRAM");
+    std::vector<std::uint8_t> blob = r.bytes();
+    if (blob.size() != bytes_.size()) {
+      throw sim::SimError(sim::ErrorKind::Checkpoint, "sram",
+                          "snapshot SRAM size " + std::to_string(blob.size()) +
+                              " != configured " + std::to_string(bytes_.size()));
+    }
+    bytes_ = std::move(blob);
   }
 
  private:

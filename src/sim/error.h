@@ -16,6 +16,8 @@ enum class ErrorKind {
   MachineCheck,  ///< uncorrectable memory fault consumed by a core
   DeviceFault,   ///< HHT raised FAULT and no degradation path was available
   Watchdog,      ///< forward-progress watchdog expired (or max_cycles)
+  Checkpoint,    ///< snapshot serialization / restore failure (bad bundle)
+  Verify,        ///< differential oracle detected a divergence
 };
 
 inline const char* errorKindName(ErrorKind kind) {
@@ -26,6 +28,8 @@ inline const char* errorKindName(ErrorKind kind) {
     case ErrorKind::MachineCheck: return "machine-check";
     case ErrorKind::DeviceFault: return "device-fault";
     case ErrorKind::Watchdog: return "watchdog";
+    case ErrorKind::Checkpoint: return "checkpoint";
+    case ErrorKind::Verify: return "verify";
   }
   return "?";
 }

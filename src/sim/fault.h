@@ -122,6 +122,20 @@ class FaultInjector {
   StatSet& stats() { return stats_; }
   const StatSet& stats() const { return stats_; }
 
+  /// Checkpoint hooks. The config is NOT serialized — the restoring side
+  /// reconstructs the injector from the (fingerprint-checked) SystemConfig;
+  /// only the PRNG position and injection counters are run state.
+  void serialize(StateWriter& w) const {
+    w.tag("FINJ");
+    rng_.serialize(w);
+    stats_.serialize(w);
+  }
+  void deserialize(StateReader& r) {
+    r.expectTag("FINJ");
+    rng_.deserialize(r);
+    stats_.deserialize(r);
+  }
+
  private:
   bool flipOneBit(std::uint32_t& word, double rate, std::uint64_t* counter);
 

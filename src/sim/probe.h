@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace hht::sim {
+
+/// Observer of the HHT's delivered element stream. The differential oracle
+/// installs one to see every BUF_DATA value pop and VALID row-end pop in
+/// consumption order, with the device's last tick cycle for divergence
+/// reports. Null tap = zero overhead (a single pointer test per pop).
+class StreamTap {
+ public:
+  virtual ~StreamTap() = default;
+  /// One element left the CPU-side buffers. `is_row_end` distinguishes the
+  /// VALID==0 row terminator from a BUF_DATA payload (`bits`).
+  virtual void onDelivered(Cycle now, bool is_row_end, std::uint32_t bits) = 0;
+};
+
+}  // namespace hht::sim

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "sim/state_io.h"
+
 namespace hht::sim {
 
 /// Deterministic, seedable PRNG used by all workload generators.
@@ -71,6 +73,14 @@ class Rng {
 
   /// Bernoulli trial with probability p (clamped to [0,1]).
   bool nextBool(double p) { return nextDouble() < p; }
+
+  /// Checkpoint hooks: the full generator state is the four state words.
+  void serialize(StateWriter& w) const {
+    for (std::uint64_t word : state_) w.u64(word);
+  }
+  void deserialize(StateReader& r) {
+    for (auto& word : state_) word = r.u64();
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

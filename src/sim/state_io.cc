@@ -1,0 +1,27 @@
+#include "sim/state_io.h"
+
+namespace hht::sim {
+
+void StateWriter::tag(const char* four_cc) {
+  if (four_cc[0] == '\0' || four_cc[1] == '\0' || four_cc[2] == '\0' ||
+      four_cc[3] == '\0' || four_cc[4] != '\0') {
+    throw SimError(ErrorKind::Checkpoint, "state-io",
+                   std::string("section tags must be exactly 4 characters: '") +
+                       four_cc + "'");
+  }
+  buf_.insert(buf_.end(), four_cc, four_cc + 4);
+}
+
+void StateReader::expectTag(const char* four_cc) {
+  need(4);
+  const char* found = reinterpret_cast<const char*>(data_ + pos_);
+  if (std::memcmp(found, four_cc, 4) != 0) {
+    throw SimError(ErrorKind::Checkpoint, "state-io",
+                   std::string("section tag mismatch at offset ") +
+                       std::to_string(pos_) + ": expected '" + four_cc +
+                       "', found '" + std::string(found, 4) + "'");
+  }
+  pos_ += 4;
+}
+
+}  // namespace hht::sim

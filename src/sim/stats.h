@@ -6,6 +6,8 @@
 #include <string>
 #include <string_view>
 
+#include "sim/state_io.h"
+
 namespace hht::sim {
 
 /// A hierarchical set of named 64-bit counters.
@@ -44,6 +46,27 @@ class StatSet {
   }
 
   const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+
+  void serialize(StateWriter& w) const {
+    w.u64(counters_.size());
+    for (const auto& [name, v] : counters_) {
+      w.str(name);
+      w.u64(v);
+    }
+  }
+
+  /// Restore counter values WITHOUT erasing map nodes: components cache
+  /// `counter()` references, and std::map node stability is what keeps them
+  /// valid. Existing counters are zeroed, then snapshot values assigned via
+  /// counter() (creating any the snapshot has that we don't yet).
+  void deserialize(StateReader& r) {
+    for (auto& [name, v] : counters_) v = 0;
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::string name = r.str();
+      counter(name) = r.u64();
+    }
+  }
 
   friend std::ostream& operator<<(std::ostream& os, const StatSet& s) {
     for (const auto& [name, v] : s.counters_) {

@@ -1,6 +1,9 @@
 #include "sparse/matrix_market.h"
 
+#include <cmath>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace hht::sparse {
@@ -10,6 +13,12 @@ namespace {
 std::string lower(std::string s) {
   for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   return s;
+}
+
+/// Reject trailing non-whitespace after the expected fields of a line.
+bool hasTrailingGarbage(std::istringstream& parsed) {
+  std::string rest;
+  return static_cast<bool>(parsed >> rest);
 }
 
 }  // namespace
@@ -42,14 +51,37 @@ CooMatrix readMatrixMarket(std::istream& in) {
   }
 
   // Skip comments, then read the size line.
+  bool have_size_line = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    if (!line.empty() && line[0] != '%') {
+      have_size_line = true;
+      break;
+    }
+  }
+  if (!have_size_line) {
+    throw MatrixMarketError("truncated file: no size line after the header");
   }
   std::istringstream size_line(line);
   long long n_rows = 0, n_cols = 0, n_entries = 0;
   if (!(size_line >> n_rows >> n_cols >> n_entries) || n_rows < 0 ||
-      n_cols < 0 || n_entries < 0) {
+      n_cols < 0 || n_entries < 0 || hasTrailingGarbage(size_line)) {
     throw MatrixMarketError("malformed size line: " + line);
+  }
+  // Dimensions must fit the simulator's 32-bit Index; an overflowing header
+  // would otherwise wrap silently in the Index casts below.
+  constexpr long long kMaxDim = std::numeric_limits<Index>::max();
+  if (n_rows > kMaxDim || n_cols > kMaxDim) {
+    throw MatrixMarketError("dimensions overflow 32-bit Index: " + line);
+  }
+  // A coordinate file cannot hold more entries than cells; a header
+  // claiming otherwise is corrupt (and would make the reader loop try to
+  // consume an absurd number of lines from a truncated body).
+  const unsigned long long cells = static_cast<unsigned long long>(n_rows) *
+                                   static_cast<unsigned long long>(n_cols);
+  if (static_cast<unsigned long long>(n_entries) > cells) {
+    throw MatrixMarketError("entry count " + std::to_string(n_entries) +
+                            " exceeds " + std::to_string(n_rows) + "x" +
+                            std::to_string(n_cols) + " cells");
   }
 
   CooMatrix coo(static_cast<Index>(n_rows), static_cast<Index>(n_cols));
@@ -70,8 +102,14 @@ CooMatrix readMatrixMarket(std::istream& in) {
     if (!pattern && !(entry >> v)) {
       throw MatrixMarketError("entry missing value: " + line);
     }
+    if (hasTrailingGarbage(entry)) {
+      throw MatrixMarketError("trailing garbage after entry: " + line);
+    }
     if (r < 1 || r > n_rows || c < 1 || c > n_cols) {
       throw MatrixMarketError("entry out of bounds: " + line);
+    }
+    if (!std::isfinite(v)) {
+      throw MatrixMarketError("non-finite value in entry: " + line);
     }
     const Index ri = static_cast<Index>(r - 1);
     const Index ci = static_cast<Index>(c - 1);

@@ -1,9 +1,9 @@
 #pragma once
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
+#include "sim/error.h"
 #include "sparse/coo.h"
 
 namespace hht::sparse {
@@ -16,10 +16,19 @@ namespace hht::sparse {
 ///   %%MatrixMarket matrix coordinate {real|integer|pattern} {general|symmetric}
 /// Pattern entries get value 1.0; symmetric files are expanded to general
 /// on load (mirror entries added, diagonal not duplicated).
+///
+/// Malformed input — truncated files, dimensions that overflow Index,
+/// entry counts inconsistent with the dimensions, out-of-range
+/// coordinates, non-finite values, trailing garbage — is rejected with a
+/// structured error; nothing is inferred from a broken file.
 
-class MatrixMarketError : public std::runtime_error {
+/// Structured parse error: a sim::SimError of kind Config raised by
+/// component "matrix-market", so campaign drivers can classify loader
+/// failures alongside every other configuration rejection.
+class MatrixMarketError : public sim::SimError {
  public:
-  using std::runtime_error::runtime_error;
+  explicit MatrixMarketError(const std::string& message)
+      : sim::SimError(sim::ErrorKind::Config, "matrix-market", message) {}
 };
 
 /// Parse a Matrix Market stream into COO (1-based coordinates converted to

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/system.h"
+#include "verify/oracle.h"
+
+namespace hht::verify {
+
+/// Which HHT engine a co-simulation case exercises. Mirrors core::Mode but
+/// lives here so verification code never widens the device's own enum.
+enum class EngineKind : std::uint32_t {
+  Gather = 0,    ///< SpMV gather
+  MergeV1 = 1,   ///< SpMSpV variant-1 aligned pairs
+  StreamV2 = 2,  ///< SpMSpV variant-2 value-or-zero stream
+  Hier = 3,      ///< hierarchical-bitmap walker
+  Flat = 4,      ///< one-level bit-vector walker
+};
+
+const char* engineKindName(EngineKind kind);
+
+/// A self-contained co-simulation input: the operands plus the machine
+/// configuration. The CSR matrix is the canonical operand for every kind;
+/// the bitmap kinds derive their format from it through the dense form.
+/// `v` feeds Gather/Hier/Flat; `sv` feeds MergeV1/StreamV2.
+struct CosimCase {
+  EngineKind kind = EngineKind::Gather;
+  sparse::CsrMatrix m;
+  sparse::DenseVector v;
+  sparse::SparseVector sv;
+  harness::SystemConfig cfg;
+};
+
+struct CosimOptions {
+  sim::Cycle invariant_interval = 64;  ///< FIFO checks every N cycles; 0 off
+  sim::Cycle max_cycles = 50'000'000;
+  /// Fill CosimReport::cycle0_snapshot with a checkpoint taken before the
+  /// first cycle (what a replay bundle embeds).
+  bool capture_snapshot = false;
+  /// Restore this snapshot instead of starting fresh (the bench/replay
+  /// path); must have been captured from an identical case.
+  const std::vector<std::uint8_t>* restore_snapshot = nullptr;
+};
+
+struct CosimReport {
+  bool ok = true;
+  std::optional<Divergence> divergence;  ///< when the oracle disagreed
+  std::string error;  ///< when the simulator threw (SimError text)
+  std::uint64_t cycles = 0;
+  std::uint64_t elements = 0;  ///< elements the FE delivered
+  std::vector<std::uint8_t> cycle0_snapshot;  ///< when capture_snapshot
+
+  std::string describe() const;
+};
+
+/// Run one case against the differential oracle: fresh System, operands
+/// loaded, expected stream + reference output computed from the functional
+/// model, scalar consumer kernel simulated to completion with the oracle
+/// tapped into the FE delivery path. Never throws on divergence or
+/// SimError — both are reported through the returned CosimReport.
+CosimReport runCosim(const CosimCase& c, const CosimOptions& opts = {});
+
+}  // namespace hht::verify

@@ -1,0 +1,151 @@
+#include "verify/fuzz.h"
+
+#include <algorithm>
+
+#include "harness/experiment.h"
+#include "sparse/coo.h"
+
+namespace hht::verify {
+
+namespace {
+
+using sim::Index;
+using sim::Rng;
+
+/// Small-integer value in [1, 15]: exact under float accumulation in any
+/// order the pipelines produce.
+float smallValue(Rng& rng) {
+  return static_cast<float>(1 + rng.nextBelow(15));
+}
+
+Index pickDim(Rng& rng, Index cap) {
+  // Bias towards tiny dimensions (where off-by-ones live) but keep some
+  // mid-sized draws for occupancy pressure.
+  switch (rng.nextBelow(6)) {
+    case 0: return 1;
+    case 1: return 2;
+    case 2: return static_cast<Index>(2 + rng.nextBelow(6));     // 2..7
+    case 3: return static_cast<Index>(8 + rng.nextBelow(9));     // 8..16
+    default:
+      return static_cast<Index>(
+          std::min<std::uint64_t>(cap, 8 + rng.nextBelow(cap)));
+  }
+}
+
+sparse::CsrMatrix randomMatrix(Rng& rng, Index num_rows, Index num_cols) {
+  sparse::CooMatrix coo(num_rows, num_cols);
+  const std::uint64_t shape = rng.nextBelow(8);
+  auto fill_row = [&](Index r, double density) {
+    for (Index c = 0; c < num_cols; ++c) {
+      if (rng.nextBool(density)) coo.add(r, c, smallValue(rng));
+    }
+  };
+  switch (shape) {
+    case 0:
+      break;  // completely empty matrix
+    case 1:   // one singleton non-zero in a random cell
+      coo.add(static_cast<Index>(rng.nextBelow(num_rows)),
+              static_cast<Index>(rng.nextBelow(num_cols)), smallValue(rng));
+      break;
+    case 2:  // one fully dense row amid empty rows
+      fill_row(static_cast<Index>(rng.nextBelow(num_rows)), 1.0);
+      break;
+    case 3:  // alternating dense / empty rows
+      for (Index r = 0; r < num_rows; r += 2) fill_row(r, 1.0);
+      break;
+    case 4:  // fully dense
+      for (Index r = 0; r < num_rows; ++r) fill_row(r, 1.0);
+      break;
+    case 5: {  // adversarial column ordering: reversed-stride diagonal band
+      for (Index r = 0; r < num_rows; ++r) {
+        const Index c = (num_cols - 1) - (r % num_cols);
+        coo.add(r, c, smallValue(rng));
+        if (c > 0 && rng.nextBool(0.5)) coo.add(r, c - 1, smallValue(rng));
+      }
+      break;
+    }
+    case 6: {  // one huge row (every column), rest sparse
+      fill_row(static_cast<Index>(rng.nextBelow(num_rows)), 1.0);
+      for (Index r = 0; r < num_rows; ++r) fill_row(r, 0.1);
+      break;
+    }
+    default:  // plain random 5%..50% density
+      for (Index r = 0; r < num_rows; ++r) {
+        fill_row(r, 0.05 + 0.45 * rng.nextDouble());
+      }
+      break;
+  }
+  return sparse::CsrMatrix::fromCoo(std::move(coo));
+}
+
+sparse::DenseVector randomDense(Rng& rng, Index n) {
+  sparse::DenseVector v(n);
+  for (Index i = 0; i < n; ++i) v[i] = smallValue(rng);
+  return v;
+}
+
+sparse::SparseVector randomSparse(Rng& rng, Index n) {
+  std::vector<Index> idx;
+  std::vector<sparse::Value> vals;
+  // Edge-biased occupancy: sometimes empty, sometimes full, usually partial.
+  const double density = [&] {
+    switch (rng.nextBelow(4)) {
+      case 0: return 0.0;
+      case 1: return 1.0;
+      default: return 0.1 + 0.8 * rng.nextDouble();
+    }
+  }();
+  for (Index i = 0; i < n; ++i) {
+    if (rng.nextBool(density)) {
+      idx.push_back(i);
+      vals.push_back(smallValue(rng));
+    }
+  }
+  return sparse::SparseVector(n, std::move(idx), std::move(vals));
+}
+
+}  // namespace
+
+void randomizeHardware(sim::Rng& rng, harness::SystemConfig& cfg) {
+  cfg.hht.num_buffers = static_cast<std::uint32_t>(1 + rng.nextBelow(4));
+  cfg.hht.buffer_len = static_cast<std::uint32_t>(1 + rng.nextBelow(16));
+  cfg.hht.be_issue_per_cycle = static_cast<std::uint32_t>(1 + rng.nextBelow(2));
+  cfg.hht.cmp_per_cycle = static_cast<std::uint32_t>(1 + rng.nextBelow(2));
+  cfg.hht.cmp_recurrence = static_cast<std::uint32_t>(1 + rng.nextBelow(3));
+  cfg.hht.emit_per_cycle = static_cast<std::uint32_t>(1 + rng.nextBelow(4));
+  cfg.hht.prefetch_queue = static_cast<std::uint32_t>(1 + rng.nextBelow(8));
+  // Depth >= 2: variant-1 reserves aligned pair slots atomically, and
+  // HhtConfig::validate() rejects a 1-deep queue outright.
+  cfg.hht.emission_queue = static_cast<std::uint32_t>(2 + rng.nextBelow(3));
+  cfg.memory.sram_latency = 1 + rng.nextBelow(4);
+  cfg.memory.grants_per_cycle = static_cast<std::uint32_t>(1 + rng.nextBelow(4));
+  cfg.memory.policy = rng.nextBool(0.5) ? mem::ArbiterPolicy::CpuPriority
+                                        : mem::ArbiterPolicy::RoundRobin;
+  cfg.memory.hht_cache_enabled = rng.nextBool(0.25);
+  cfg.memory.cpu_cache_enabled = rng.nextBool(0.25);
+  cfg.memory.prefetch_enabled =
+      cfg.memory.cpu_cache_enabled && rng.nextBool(0.5);
+}
+
+CosimCase randomCase(sim::Rng& rng, EngineKind kind) {
+  CosimCase c;
+  c.kind = kind;
+  // Bitmap walks enumerate the whole position space; keep those dims small
+  // so a campaign run stays in the tens of milliseconds.
+  const Index cap = (kind == EngineKind::Hier || kind == EngineKind::Flat)
+                        ? 40
+                        : 96;
+  const Index num_rows = pickDim(rng, cap);
+  const Index num_cols = pickDim(rng, cap);
+  c.m = randomMatrix(rng, num_rows, num_cols);
+  c.v = randomDense(rng, num_cols);
+  c.sv = randomSparse(rng, num_cols);
+  c.cfg = harness::defaultConfig();
+  // Fuzz operands are tiny; a small SRAM keeps cycle-0 snapshots (and so
+  // replay bundles) compact.
+  c.cfg.memory.sram_bytes = 256u << 10;
+  randomizeHardware(rng, c.cfg);
+  return c;
+}
+
+}  // namespace hht::verify

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "sim/rng.h"
+#include "verify/cosim.h"
+
+namespace hht::verify {
+
+/// Deterministic pathological-case generator for the fuzz campaign.
+///
+/// Draws one co-simulation case from `rng`: a sparse matrix biased towards
+/// the structural edge cases that break metadata walkers (empty matrix,
+/// empty rows mixed with dense rows, singleton non-zeros, one huge row,
+/// adversarial column orderings, single-column/single-row shapes) plus a
+/// randomized hardware configuration (buffer counts and lengths, pipeline
+/// rates, memory latencies, arbiter policy, caches) so every run exercises
+/// a different timing interleaving of the same functional contract.
+///
+/// Values are drawn from small integers so float accumulation is exact and
+/// the oracle's bit-exact output comparison has no tolerance question.
+CosimCase randomCase(sim::Rng& rng, EngineKind kind);
+
+/// Randomize only the hardware knobs of `cfg` (in place); used by
+/// randomCase and exposed for tests.
+void randomizeHardware(sim::Rng& rng, harness::SystemConfig& cfg);
+
+}  // namespace hht::verify

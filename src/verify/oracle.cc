@@ -1,0 +1,193 @@
+#include "verify/oracle.h"
+
+#include <sstream>
+
+#include "sparse/reference.h"
+
+namespace hht::verify {
+
+namespace {
+std::uint32_t bitsOf(float v) { return std::bit_cast<std::uint32_t>(v); }
+}  // namespace
+
+std::string Divergence::describe() const {
+  std::ostringstream os;
+  os << "divergence at element " << element_index << " (cycle window ["
+     << prev_cycle << ", " << cycle << "]): " << detail;
+  if (expected_row_end != actual_row_end) {
+    os << " expected " << (expected_row_end ? "row-end" : "data")
+       << ", device delivered " << (actual_row_end ? "row-end" : "data");
+  }
+  if (!expected_row_end && !actual_row_end &&
+      expected_bits != actual_bits) {
+    os << " expected bits 0x" << std::hex << expected_bits
+       << ", device delivered 0x" << actual_bits << std::dec;
+  }
+  return os.str();
+}
+
+std::vector<StreamEvent> expectedGatherStream(const sparse::CsrMatrix& m,
+                                              const sparse::DenseVector& v) {
+  std::vector<StreamEvent> out;
+  out.reserve(m.nnz());
+  for (sim::Index col : m.cols()) {
+    out.push_back({false, bitsOf(v[col])});
+  }
+  return out;
+}
+
+std::vector<StreamEvent> expectedMergeV1Stream(const sparse::CsrMatrix& m,
+                                               const sparse::SparseVector& v) {
+  std::vector<StreamEvent> out;
+  for (sim::Index r = 0; r < m.numRows(); ++r) {
+    for (const sparse::AlignedPair& pair : sparse::intersectRow(m, r, v)) {
+      out.push_back({false, bitsOf(pair.m_val)});
+      out.push_back({false, bitsOf(pair.v_val)});
+    }
+    out.push_back({true, 0});
+  }
+  return out;
+}
+
+std::vector<StreamEvent> expectedStreamV2Stream(const sparse::CsrMatrix& m,
+                                                const sparse::SparseVector& v) {
+  std::vector<StreamEvent> out;
+  out.reserve(m.nnz());
+  for (sim::Index r = 0; r < m.numRows(); ++r) {
+    for (sparse::Value val : sparse::valueStreamRow(m, r, v)) {
+      out.push_back({false, bitsOf(val)});
+    }
+  }
+  return out;
+}
+
+namespace {
+/// Shared walk for both bitmap formats: enumerate (position, value) pairs
+/// in row-major position order, emit the gathered v[col] per set position
+/// and close each row with a marker as the walk crosses its boundary.
+std::vector<StreamEvent> bitmapStream(
+    const std::vector<std::pair<std::size_t, sparse::Value>>& nonzeros,
+    sim::Index num_rows, sim::Index num_cols, const sparse::DenseVector& v) {
+  std::vector<StreamEvent> out;
+  out.reserve(nonzeros.size() + num_rows);
+  sim::Index cur_row = 0;
+  for (const auto& [pos, val] : nonzeros) {
+    (void)val;  // the device streams gathered v values; vals come via CPU
+    const sim::Index row = static_cast<sim::Index>(pos / num_cols);
+    const sim::Index col = static_cast<sim::Index>(pos % num_cols);
+    while (cur_row < row) {
+      out.push_back({true, 0});
+      ++cur_row;
+    }
+    out.push_back({false, bitsOf(v[col])});
+  }
+  while (cur_row < num_rows) {
+    out.push_back({true, 0});
+    ++cur_row;
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<StreamEvent> expectedHierStream(const sparse::HierBitmapMatrix& m,
+                                            const sparse::DenseVector& v) {
+  return bitmapStream(m.enumerate(), m.numRows(), m.numCols(), v);
+}
+
+std::vector<StreamEvent> expectedFlatStream(const sparse::BitVectorMatrix& m,
+                                            const sparse::DenseVector& v) {
+  std::vector<std::pair<std::size_t, sparse::Value>> nonzeros;
+  nonzeros.reserve(m.nnz());
+  const std::size_t positions =
+      static_cast<std::size_t>(m.numRows()) * m.numCols();
+  std::size_t vi = 0;
+  for (std::size_t pos = 0; pos < positions; ++pos) {
+    if ((m.words()[pos >> 6] >> (pos & 63)) & 1u) {
+      nonzeros.emplace_back(pos, m.vals()[vi++]);
+    }
+  }
+  return bitmapStream(nonzeros, m.numRows(), m.numCols(), v);
+}
+
+void DifferentialOracle::onDelivered(sim::Cycle now, bool is_row_end,
+                                     std::uint32_t bits) {
+  const sim::Cycle prev = last_cycle_;
+  last_cycle_ = now;
+  const std::uint64_t index = delivered_++;
+  if (divergence_) return;  // first divergence already latched; keep counting
+
+  if (index >= expected_.size()) {
+    latch({index, false, is_row_end, 0, bits, prev, now,
+           "device delivered more elements than the functional model "
+           "expects (" +
+               std::to_string(expected_.size()) + ")"});
+    return;
+  }
+  const StreamEvent& want = expected_[index];
+  if (want.row_end != is_row_end) {
+    latch({index, want.row_end, is_row_end, want.bits, bits, prev, now,
+           "element kind mismatch"});
+    return;
+  }
+  if (!want.row_end && want.bits != bits) {
+    latch({index, want.row_end, is_row_end, want.bits, bits, prev, now,
+           "payload mismatch"});
+  }
+}
+
+void DifferentialOracle::onCycle(harness::System& sys, sim::Cycle now) {
+  if (check_interval_ == 0 || now % check_interval_ != 0) return;
+  const core::Hht* hht = sys.asicHht();
+  if (hht == nullptr || divergence_) return;
+  const core::HhtConfig& cfg = sys.config().hht;
+  const core::BufferPool& pool = hht->bufferPool();
+  if (pool.stagedSlots() > cfg.buffer_len) {
+    latch({delivered_, false, false, 0, 0, last_cycle_, now,
+           "FIFO invariant violated: staging holds " +
+               std::to_string(pool.stagedSlots()) + " slots > BLEN " +
+               std::to_string(cfg.buffer_len)});
+    return;
+  }
+  if (pool.publishedBuffers() > cfg.num_buffers) {
+    latch({delivered_, false, false, 0, 0, last_cycle_, now,
+           "FIFO invariant violated: " +
+               std::to_string(pool.publishedBuffers()) +
+               " published buffers > N " + std::to_string(cfg.num_buffers)});
+    return;
+  }
+  if (hht->emissionQueue().size() > cfg.emission_queue) {
+    latch({delivered_, false, false, 0, 0, last_cycle_, now,
+           "FIFO invariant violated: emission queue holds " +
+               std::to_string(hht->emissionQueue().size()) +
+               " entries > depth " + std::to_string(cfg.emission_queue)});
+  }
+}
+
+void DifferentialOracle::checkFinal(const sparse::DenseVector& actual_y,
+                                    const sparse::DenseVector& expected_y) {
+  if (divergence_) return;
+  if (delivered_ != expected_.size()) {
+    latch({delivered_, false, false, 0, 0, last_cycle_, last_cycle_,
+           "stream ended after " + std::to_string(delivered_) +
+               " elements; the functional model expects " +
+               std::to_string(expected_.size())});
+    return;
+  }
+  if (actual_y.size() != expected_y.size()) {
+    latch({delivered_, false, false, 0, 0, last_cycle_, last_cycle_,
+           "output vector length " + std::to_string(actual_y.size()) +
+               " != reference length " + std::to_string(expected_y.size())});
+    return;
+  }
+  for (sim::Index i = 0; i < expected_y.size(); ++i) {
+    if (bitsOf(actual_y[i]) != bitsOf(expected_y[i])) {
+      latch({delivered_, false, false, bitsOf(expected_y[i]),
+             bitsOf(actual_y[i]), last_cycle_, last_cycle_,
+             "output y[" + std::to_string(i) +
+                 "] differs from the reference kernel"});
+      return;
+    }
+  }
+}
+
+}  // namespace hht::verify

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <bit>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/system.h"
+#include "sim/probe.h"
+#include "sparse/csr.h"
+#include "sparse/dense.h"
+#include "sparse/hier_bitmap.h"
+#include "sparse/bitvector.h"
+#include "sparse/sparse_vector.h"
+
+namespace hht::verify {
+
+/// One element the HHT front-end is expected to deliver to the CPU, in
+/// stream order: either a data element (the 32 bits a BUF_DATA pop must
+/// return) or a row-end marker (a VALID=0 pop).
+struct StreamEvent {
+  bool row_end = false;
+  std::uint32_t bits = 0;
+
+  friend bool operator==(const StreamEvent&, const StreamEvent&) = default;
+};
+
+/// First point where the simulated device's behaviour departed from the
+/// functional model, with enough context to aim a waveform-level debug
+/// session: the ordinal of the divergent element and the cycle window
+/// [prev_cycle, cycle] between the previous delivery and the divergent one.
+struct Divergence {
+  std::uint64_t element_index = 0;  ///< 0-based ordinal in the delivery stream
+  bool expected_row_end = false;
+  bool actual_row_end = false;
+  std::uint32_t expected_bits = 0;
+  std::uint32_t actual_bits = 0;
+  sim::Cycle prev_cycle = 0;  ///< cycle of the previous delivered element
+  sim::Cycle cycle = 0;       ///< cycle of the divergent element (or check)
+  std::string detail;         ///< human-readable classification
+
+  std::string describe() const;
+};
+
+// --- expected-stream builders (the functional model of each engine) ---
+
+/// SpmvGather: one data element per stored non-zero, row-major —
+/// bit_cast(v[cols[k]]). The gather engine emits no row-end markers (the
+/// consumer walks rowPtr itself).
+std::vector<StreamEvent> expectedGatherStream(const sparse::CsrMatrix& m,
+                                              const sparse::DenseVector& v);
+
+/// SpmspvV1: per index match of row r with the sparse vector, the matrix
+/// value then the vector value; after every row (including empty ones)
+/// exactly one row-end marker.
+std::vector<StreamEvent> expectedMergeV1Stream(const sparse::CsrMatrix& m,
+                                               const sparse::SparseVector& v);
+
+/// SpmspvV2: one data element per stored matrix non-zero — the matching
+/// vector value, or literal 0.0f bits when the column is absent from the
+/// sparse vector. No markers.
+std::vector<StreamEvent> expectedStreamV2Stream(const sparse::CsrMatrix& m,
+                                                const sparse::SparseVector& v);
+
+/// HierBitmap: gathered v[col] per set position in row-major position
+/// order, plus one row-end marker per row (trailing empty rows close at
+/// the end of the walk).
+std::vector<StreamEvent> expectedHierStream(const sparse::HierBitmapMatrix& m,
+                                            const sparse::DenseVector& v);
+
+/// FlatBitmap: same contract as the hierarchical walk over the one-level
+/// bit-vector format.
+std::vector<StreamEvent> expectedFlatStream(const sparse::BitVectorMatrix& m,
+                                            const sparse::DenseVector& v);
+
+/// Differential co-simulation oracle.
+///
+/// Runs in lockstep with harness::System via two hooks:
+///  - sim::StreamTap (install with Hht::setStreamTap): every element the FE
+///    delivers to the CPU is compared against the expected stream; the
+///    first mismatch is latched as a Divergence with its cycle window.
+///  - harness::RunObserver (pass to System::run): every `check_interval`
+///    cycles the FIFO occupancy invariants are checked against the
+///    configured hardware sizes (staging <= BLEN, published buffers <= N,
+///    emission queue <= its depth).
+///
+/// After the run, checkFinal() verifies the delivered-element count and the
+/// bit-exact output vector. The oracle never throws on divergence — it
+/// latches the first one and keeps observing, so a campaign driver can
+/// always collect the full report and decide what to do.
+class DifferentialOracle : public sim::StreamTap, public harness::RunObserver {
+ public:
+  explicit DifferentialOracle(std::vector<StreamEvent> expected,
+                              sim::Cycle check_interval = 64)
+      : expected_(std::move(expected)), check_interval_(check_interval) {}
+
+  void onDelivered(sim::Cycle now, bool is_row_end,
+                   std::uint32_t bits) override;
+  void onCycle(harness::System& sys, sim::Cycle now) override;
+
+  /// Post-run checks: the whole expected stream was delivered and the
+  /// output vector matches the reference bit-for-bit.
+  void checkFinal(const sparse::DenseVector& actual_y,
+                  const sparse::DenseVector& expected_y);
+
+  bool diverged() const { return divergence_.has_value(); }
+  const std::optional<Divergence>& divergence() const { return divergence_; }
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  void latch(Divergence d) {
+    if (!divergence_) divergence_ = std::move(d);
+  }
+
+  std::vector<StreamEvent> expected_;
+  sim::Cycle check_interval_;
+  std::uint64_t delivered_ = 0;
+  sim::Cycle last_cycle_ = 0;
+  std::optional<Divergence> divergence_;
+};
+
+}  // namespace hht::verify

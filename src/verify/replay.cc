@@ -1,0 +1,122 @@
+#include "verify/replay.h"
+
+#include <fstream>
+
+#include "sparse/coo.h"
+
+namespace hht::verify {
+
+namespace {
+constexpr std::uint32_t kBundleVersion = 1;
+
+void writeCase(sim::StateWriter& w, const CosimCase& c) {
+  w.u32(static_cast<std::uint32_t>(c.kind));
+  harness::writeSystemConfig(w, c.cfg);
+  w.tag("CSRM");
+  w.u32(c.m.numRows()).u32(c.m.numCols()).u64(c.m.nnz());
+  const sparse::CooMatrix coo = c.m.toCoo();  // keep alive across the loop
+  for (const sparse::Triplet& t : coo.entries()) {
+    w.u32(t.row).u32(t.col).f32(t.value);
+  }
+  w.tag("DVEC");
+  w.u32(c.v.size());
+  for (sparse::Value val : c.v.values()) w.f32(val);
+  w.tag("SVEC");
+  w.u32(c.sv.size()).u32(c.sv.nnz());
+  for (sim::Index i : c.sv.indices()) w.u32(i);
+  for (sparse::Value val : c.sv.vals()) w.f32(val);
+}
+
+CosimCase readCase(sim::StateReader& r) {
+  CosimCase c;
+  const std::uint32_t kind = r.u32();
+  if (kind > static_cast<std::uint32_t>(EngineKind::Flat)) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "replay",
+                        "bundle names engine kind " + std::to_string(kind) +
+                            ", which this build does not know");
+  }
+  c.kind = static_cast<EngineKind>(kind);
+  c.cfg = harness::readSystemConfig(r);
+  r.expectTag("CSRM");
+  const sim::Index num_rows = r.u32();
+  const sim::Index num_cols = r.u32();
+  const std::uint64_t nnz = r.u64();
+  sparse::CooMatrix coo(num_rows, num_cols);
+  for (std::uint64_t i = 0; i < nnz; ++i) {
+    const sim::Index row = r.u32();
+    const sim::Index col = r.u32();
+    coo.add(row, col, r.f32());
+  }
+  c.m = sparse::CsrMatrix::fromCoo(std::move(coo));
+  r.expectTag("DVEC");
+  std::vector<sparse::Value> dv(r.u32());
+  for (auto& val : dv) val = r.f32();
+  c.v = sparse::DenseVector(std::move(dv));
+  r.expectTag("SVEC");
+  const sim::Index sv_size = r.u32();
+  std::vector<sim::Index> idx(r.u32());
+  for (auto& i : idx) i = r.u32();
+  std::vector<sparse::Value> vals(idx.size());
+  for (auto& val : vals) val = r.f32();
+  c.sv = sparse::SparseVector(sv_size, std::move(idx), std::move(vals));
+  return c;
+}
+}  // namespace
+
+void saveBundle(const std::string& path, const ReplayBundle& bundle) {
+  sim::StateWriter w;
+  w.tag("HHTR");
+  w.u32(kBundleVersion);
+  writeCase(w, bundle.c);
+  w.u64(bundle.seed).u64(bundle.run_index);
+  w.u64(bundle.failing_element).u64(bundle.failing_cycle);
+  w.str(bundle.detail);
+  w.bytes(bundle.cycle0_snapshot.data(), bundle.cycle0_snapshot.size());
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw sim::SimError(sim::ErrorKind::Verify, "replay",
+                        "cannot open '" + path + "' for writing");
+  }
+  out.write(reinterpret_cast<const char*>(w.data().data()),
+            static_cast<std::streamsize>(w.size()));
+  if (!out) {
+    throw sim::SimError(sim::ErrorKind::Verify, "replay",
+                        "short write to '" + path + "'");
+  }
+}
+
+ReplayBundle loadBundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw sim::SimError(sim::ErrorKind::Verify, "replay",
+                        "cannot open '" + path + "'");
+  }
+  std::vector<std::uint8_t> buf(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  sim::StateReader r(buf);
+  r.expectTag("HHTR");
+  const std::uint32_t version = r.u32();
+  if (version != kBundleVersion) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "replay",
+                        "bundle version " + std::to_string(version) +
+                            " != supported version " +
+                            std::to_string(kBundleVersion));
+  }
+  ReplayBundle bundle;
+  bundle.c = readCase(r);
+  bundle.seed = r.u64();
+  bundle.run_index = r.u64();
+  bundle.failing_element = r.u64();
+  bundle.failing_cycle = r.u64();
+  bundle.detail = r.str();
+  bundle.cycle0_snapshot = r.bytes();
+  if (!r.atEnd()) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "replay",
+                        "trailing bytes after bundle payload");
+  }
+  return bundle;
+}
+
+}  // namespace hht::verify

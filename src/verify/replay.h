@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/cosim.h"
+
+namespace hht::verify {
+
+/// Everything needed to reproduce a fuzz failure on another machine:
+/// the machine configuration, the operands, the campaign seed that found
+/// it, where it failed, and a cycle-0 snapshot of the failing run so the
+/// replay tool exercises the checkpoint/restore path instead of trusting
+/// its own operand placement.
+struct ReplayBundle {
+  CosimCase c;
+  std::uint64_t seed = 0;            ///< campaign seed that found the case
+  std::uint64_t run_index = 0;       ///< which run of the campaign
+  std::uint64_t failing_element = 0; ///< Divergence::element_index
+  std::uint64_t failing_cycle = 0;   ///< Divergence::cycle
+  std::string detail;                ///< Divergence/SimError text
+  std::vector<std::uint8_t> cycle0_snapshot;
+};
+
+/// Serialize a bundle ("HHTR" version-1 container). Throws
+/// SimError(Verify) on I/O failure.
+void saveBundle(const std::string& path, const ReplayBundle& bundle);
+
+/// Parse a bundle; throws SimError(Verify) on I/O failure and
+/// SimError(Checkpoint) on a malformed or version-skewed container.
+ReplayBundle loadBundle(const std::string& path);
+
+}  // namespace hht::verify

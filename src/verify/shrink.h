@@ -1,0 +1,26 @@
+#pragma once
+
+#include "verify/cosim.h"
+
+namespace hht::verify {
+
+struct ShrinkResult {
+  CosimCase c;     ///< the smallest still-failing case found
+  int evals = 0;   ///< co-simulations spent shrinking
+  std::size_t initial_nnz = 0;
+  std::size_t final_nnz = 0;
+  sim::Index initial_rows = 0;
+  sim::Index final_rows = 0;
+};
+
+/// Greedy shrink of a failing co-simulation case: repeatedly try removing
+/// chunks of matrix non-zeros (delta-debugging style, halving chunk
+/// sizes), dropping rows, truncating unreferenced trailing columns and
+/// thinning the sparse vector — keeping any reduction under which the case
+/// still fails — until a fixpoint or the evaluation budget is reached.
+/// The failure predicate is simply "runCosim reports not-ok", so a shrink
+/// may walk from one failure mode to another; what it never does is return
+/// a passing case.
+ShrinkResult shrinkCase(const CosimCase& failing, int max_evals = 300);
+
+}  // namespace hht::verify

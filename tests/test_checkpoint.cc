@@ -1,0 +1,189 @@
+// Deterministic checkpoint/replay tests: System::checkpoint() mid-run via a
+// RunObserver, restore() into a fresh System, and resume() producing results
+// bit-identical to the uninterrupted run; plus rejection of snapshots that
+// do not match this machine or this program.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "sparse/reference.h"
+#include "workload/synthetic.h"
+
+namespace hht::harness {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::DenseVector;
+using sim::Cycle;
+using sim::ErrorKind;
+using sim::SimError;
+
+/// Observer that checkpoints the running System once, at cycle `at`.
+class CheckpointAt : public RunObserver {
+ public:
+  CheckpointAt(const isa::Program& program, Cycle at)
+      : program_(&program), at_(at) {}
+
+  void onCycle(System& sys, Cycle now) override {
+    if (now == at_ && snapshot_.empty()) {
+      snapshot_ = sys.checkpoint(*program_, now + 1);
+      resume_at_ = now + 1;
+    }
+  }
+
+  const std::vector<std::uint8_t>& snapshot() const { return snapshot_; }
+  Cycle resumeAt() const { return resume_at_; }
+
+ private:
+  const isa::Program* program_;
+  Cycle at_;
+  Cycle resume_at_ = 0;
+  std::vector<std::uint8_t> snapshot_;
+};
+
+void expectIdentical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.retired, b.retired);
+  EXPECT_EQ(a.cpu_wait_cycles, b.cpu_wait_cycles);
+  EXPECT_EQ(a.hht_wait_cycles, b.hht_wait_cycles);
+  EXPECT_EQ(a.hht_residual_busy, b.hht_residual_busy);
+  ASSERT_EQ(a.y.size(), b.y.size());
+  for (sim::Index i = 0; i < a.y.size(); ++i) {
+    EXPECT_EQ(a.y.at(i), b.y.at(i)) << "y[" << i << "]";
+  }
+  EXPECT_EQ(a.stats.all(), b.stats.all());
+}
+
+/// The figure-bench workload every test below runs: HHT-assisted SpMV with
+/// the scalar consumer, deterministic operands.
+struct Workload {
+  CsrMatrix m;
+  DenseVector v;
+  isa::Program program;
+  kernels::SpmvLayout layout;
+};
+
+Workload prepare(System& sys, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Workload w;
+  w.m = workload::randomCsr(rng, 24, 24, 0.4);
+  w.v = workload::randomDenseVector(rng, 24);
+  w.layout = loadSpmv(sys, w.m, w.v);
+  w.program =
+      kernels::spmvScalarHht(w.layout, sys.config().memory.mmio_base);
+  return w;
+}
+
+TEST(Checkpoint, MidRunRestoreIsBitIdenticalToUninterruptedRun) {
+  const SystemConfig cfg = defaultConfig();
+
+  System uninterrupted(cfg);
+  const Workload w = prepare(uninterrupted, 0xC4EC);
+  const RunResult base =
+      uninterrupted.run(w.program, w.layout.y, w.layout.num_rows);
+  ASSERT_GT(base.cycles, 200u) << "workload too small to checkpoint mid-run";
+
+  // Same run again, snapshotting midway through.
+  System observed(cfg);
+  const Workload w2 = prepare(observed, 0xC4EC);
+  CheckpointAt observer(w2.program, base.cycles / 2);
+  const RunResult watched = observed.run(w2.program, w2.layout.y,
+                                         w2.layout.num_rows, 500'000'000,
+                                         nullptr, &observer);
+  expectIdentical(base, watched);  // observing must not perturb the machine
+  ASSERT_FALSE(observer.snapshot().empty());
+
+  // Fresh machine, nothing loaded: the snapshot carries all state.
+  System resumed_sys(cfg);
+  const Cycle start = resumed_sys.restore(observer.snapshot(), w2.program);
+  EXPECT_EQ(start, observer.resumeAt());
+  const RunResult resumed = resumed_sys.resume(w2.program, w2.layout.y,
+                                               w2.layout.num_rows, start);
+  expectIdentical(base, resumed);
+  // And the result is actually correct, not just self-consistent.
+  const DenseVector ref = sparse::spmvCsr(w.m, w.v);
+  for (sim::Index i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(resumed.y.at(i), ref.at(i));
+  }
+}
+
+TEST(Checkpoint, Cycle0SnapshotReplaysTheWholeRun) {
+  const SystemConfig cfg = defaultConfig();
+  System sys(cfg);
+  const Workload w = prepare(sys, 0xC4ED);
+  // Arm the architectural state, snapshot before the first cycle.
+  sys.cpu().loadProgram(w.program);
+  const std::vector<std::uint8_t> snap = sys.checkpoint(w.program, 0);
+  const RunResult base = sys.run(w.program, w.layout.y, w.layout.num_rows);
+
+  System fresh(cfg);
+  const Cycle start = fresh.restore(snap, w.program);
+  EXPECT_EQ(start, 0u);
+  const RunResult replayed =
+      fresh.resume(w.program, w.layout.y, w.layout.num_rows, start);
+  expectIdentical(base, replayed);
+}
+
+TEST(Checkpoint, SnapshotBytesAreDeterministic) {
+  const SystemConfig cfg = defaultConfig();
+  System a(cfg);
+  const Workload wa = prepare(a, 0xC4EE);
+  a.cpu().loadProgram(wa.program);
+  System b(cfg);
+  const Workload wb = prepare(b, 0xC4EE);
+  b.cpu().loadProgram(wb.program);
+  EXPECT_EQ(a.checkpoint(wa.program, 0), b.checkpoint(wb.program, 0));
+  // Idempotent: checkpointing is read-only.
+  EXPECT_EQ(a.checkpoint(wa.program, 0), a.checkpoint(wa.program, 0));
+}
+
+TEST(Checkpoint, RestoreRejectsMismatchesAndCorruption) {
+  const SystemConfig cfg = defaultConfig();
+  System sys(cfg);
+  const Workload w = prepare(sys, 0xC4EF);
+  sys.cpu().loadProgram(w.program);
+  const std::vector<std::uint8_t> snap = sys.checkpoint(w.program, 0);
+
+  const auto expectCheckpointError = [&](System& target,
+                                         const std::vector<std::uint8_t>& s,
+                                         const isa::Program& p) {
+    try {
+      target.restore(s, p);
+      ADD_FAILURE() << "restore accepted a bad snapshot";
+    } catch (const SimError& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::Checkpoint) << e.what();
+    }
+  };
+
+  {  // Different machine configuration: fingerprint mismatch.
+    SystemConfig other = cfg;
+    other.memory.sram_latency += 1;
+    System target(other);
+    expectCheckpointError(target, snap, w.program);
+  }
+  {  // Different program identity (name + code hash).
+    System target(cfg);
+    const isa::Program other =
+        isa::ProgramBuilder("not_the_program").ecall().build();
+    expectCheckpointError(target, snap, other);
+  }
+  {  // Truncated payload.
+    System target(cfg);
+    std::vector<std::uint8_t> cut(snap.begin(), snap.end() - 8);
+    expectCheckpointError(target, cut, w.program);
+  }
+  {  // Trailing bytes.
+    System target(cfg);
+    std::vector<std::uint8_t> padded = snap;
+    padded.push_back(0xFF);
+    expectCheckpointError(target, padded, w.program);
+  }
+  {  // Corrupt magic.
+    System target(cfg);
+    std::vector<std::uint8_t> bad = snap;
+    bad[0] ^= 0x5A;
+    expectCheckpointError(target, bad, w.program);
+  }
+}
+
+}  // namespace
+}  // namespace hht::harness

@@ -444,6 +444,45 @@ TEST(Recovery, UncorrectableLoadIsAMachineCheck) {
   EXPECT_EQ(e.component(), "cpu");
 }
 
+TEST(Recovery, ResilientSpmvMatchesReferenceUnderEveryFaultKind) {
+  // The degradation contract, stated as the differential oracle would: no
+  // matter which fault kind fires (or whether the run degrades at all),
+  // the resilient driver's output is bit-identical to the functional
+  // model. Small-integer operands make == exact.
+  struct Knob {
+    const char* name;
+    void (*apply)(sim::FaultConfig&);
+  };
+  const Knob knobs[] = {
+      {"sram-read-flip",
+       [](sim::FaultConfig& fc) { fc.sram_read_flip_rate = 5e-3; }},
+      {"fifo-corrupt",
+       [](sim::FaultConfig& fc) { fc.fifo_corrupt_rate = 0.05; }},
+      {"mmr-glitch",
+       [](sim::FaultConfig& fc) { fc.mmr_glitch_rate = 1.0; }},
+      {"response-delay", [](sim::FaultConfig& fc) {
+         fc.delay_rate = 0.05;
+         fc.delay_cycles = 16;
+       }},
+      {"response-drop", [](sim::FaultConfig& fc) {
+         fc.drop_rate = 0.05;
+         fc.drop_penalty_cycles = 32;
+       }},
+  };
+  sim::Rng rng(29);
+  const CsrMatrix m = workload::randomCsr(rng, 32, 32, 0.35);
+  const DenseVector v = workload::randomDenseVector(rng, 32);
+  const DenseVector ref = sparse::spmvCsr(m, v);
+  for (const Knob& knob : knobs) {
+    SystemConfig cfg = faultyConfig(0x50 + (&knob - knobs));
+    knob.apply(cfg.faults);
+    const RunResult r = harness::runSpmvHhtResilient(cfg, m, v, false);
+    SCOPED_TRACE(knob.name);
+    EXPECT_GE(r.stats.value("faults.total_injected"), 1u);
+    expectSameY(r.y, ref);
+  }
+}
+
 TEST(Recovery, SeededCampaignsAreDeterministic) {
   SystemConfig cfg = faultyConfig(47);
   cfg.faults.sram_read_flip_rate = 1e-3;

@@ -75,9 +75,9 @@ TEST(Builder, LiNegativeAndAddressLikeValues) {
     ProgramBuilder b("li");
     b.li(t0, v);
     const Program p = b.build();
-    std::int32_t acc = 0;
-    for (const Instr& in : p.code()) acc += in.imm;
-    EXPECT_EQ(acc, v) << std::hex << v;
+    std::uint32_t acc = 0;  // wrap-around sum, as the adder would
+    for (const Instr& in : p.code()) acc += static_cast<std::uint32_t>(in.imm);
+    EXPECT_EQ(static_cast<std::int32_t>(acc), v) << std::hex << v;
   }
 }
 

@@ -98,6 +98,62 @@ TEST(MatrixMarket, RejectsMalformedInputs) {
   reject("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n");
 }
 
+TEST(MatrixMarket, RejectsHostileHeaders) {
+  const auto reject = [](const std::string& text) {
+    std::istringstream in(text);
+    EXPECT_THROW(readMatrixMarket(in), MatrixMarketError) << text;
+  };
+  // Truncated after the banner or after comments: no size line at all.
+  reject("%%MatrixMarket matrix coordinate real general\n");
+  reject("%%MatrixMarket matrix coordinate real general\n% only comments\n");
+  // Negative and Index-overflowing dimensions / entry counts.
+  reject("%%MatrixMarket matrix coordinate real general\n-1 2 0\n");
+  reject("%%MatrixMarket matrix coordinate real general\n2 2 -1\n");
+  reject("%%MatrixMarket matrix coordinate real general\n99999999999 1 0\n");
+  reject("%%MatrixMarket matrix coordinate real general\n1 99999999999 0\n");
+  // Entry count inconsistent with the dimensions (more entries than cells).
+  reject("%%MatrixMarket matrix coordinate real general\n2 2 5\n"
+         "1 1 1\n1 2 1\n2 1 1\n2 2 1\n1 1 1\n");
+  // Trailing garbage on the size line.
+  reject("%%MatrixMarket matrix coordinate real general\n2 2 1 junk\n1 1 1\n");
+}
+
+TEST(MatrixMarket, RejectsHostileEntries) {
+  const auto reject = [](const std::string& text) {
+    std::istringstream in(text);
+    EXPECT_THROW(readMatrixMarket(in), MatrixMarketError) << text;
+  };
+  const std::string head = "%%MatrixMarket matrix coordinate real general\n";
+  reject(head + "2 2 1\n0 1 1.0\n");           // 1-based coords: 0 is OOB
+  reject(head + "2 2 1\n1 0 1.0\n");
+  reject(head + "2 2 1\n1 1 1.0 junk\n");      // trailing garbage
+  reject(head + "2 2 1\n99999999999999999999 1 1.0\n");  // coord overflow
+  reject(head + "2 2 1\n1 1 nan\n");           // non-finite values
+  reject(head + "2 2 1\n1 1 inf\n");
+  reject(head + "2 2 1\n1 1 -inf\n");
+  // Truncation mid-list, with and without a trailing newline.
+  reject(head + "2 2 2\n1 1 1.0");
+  reject(head + "3 3 3\n1 1 1.0\n2 2 2.0\n");
+}
+
+TEST(MatrixMarket, ErrorsAreStructuredSimErrors) {
+  std::istringstream in("%%MatrixMarket matrix coordinate real general\n");
+  try {
+    readMatrixMarket(in);
+    FAIL() << "expected MatrixMarketError";
+  } catch (const MatrixMarketError& e) {
+    EXPECT_EQ(e.kind(), sim::ErrorKind::Config);
+    EXPECT_EQ(e.component(), "matrix-market");
+    EXPECT_NE(e.message().find("size line"), std::string::npos);
+  }
+  // The structured error still flows through std::runtime_error catch sites.
+  std::istringstream in2("");
+  EXPECT_THROW(readMatrixMarket(in2), std::runtime_error);
+  // And through the SimError base, so campaign drivers can classify it.
+  std::istringstream in3("");
+  EXPECT_THROW(readMatrixMarket(in3), sim::SimError);
+}
+
 TEST(MatrixMarket, FileRoundTripThroughDisk) {
   sim::Rng rng(0x34);
   const CooMatrix original = workload::randomCsr(rng, 6, 6, 0.5).toCoo();
