@@ -6,10 +6,12 @@
 // reconfiguration cost amortises and the SpMV speedup carries over to
 // batched workloads.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "workload/synthetic.h"
 
 int main(int argc, char** argv) {
@@ -23,21 +25,43 @@ int main(int argc, char** argv) {
   sim::Rng rng(opt.seed);
   const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, 0.6);
 
-  harness::Table table({"batch k", "base_cycles", "hht_cycles", "speedup",
-                        "hht_cycles_per_col"});
-  for (sim::Index k : {1u, 2u, 4u, 8u, 16u}) {
+  // Operand generation consumes one shared RNG stream, so it stays serial
+  // (and cheap); only the simulations fan out across --jobs.
+  const std::vector<sim::Index> ks = {1u, 2u, 4u, 8u, 16u};
+  std::vector<sparse::DenseMatrix> bs;
+  for (sim::Index k : ks) {
     sparse::DenseMatrix b(n, k);
     for (sim::Index i = 0; i < n; ++i) {
       for (sim::Index j = 0; j < k; ++j) {
         b.at(i, j) = workload::drawValue(rng, workload::ValueDist::kSmallIntegers);
       }
     }
-    const auto base = harness::runSpmmBaseline(harness::defaultConfig(2), m, b);
-    const auto hht = harness::runSpmmHht(harness::defaultConfig(2), m, b);
-    table.addRow({std::to_string(k), std::to_string(base.cycles),
-                  std::to_string(hht.cycles),
-                  harness::fmt(harness::speedup(base, hht)),
-                  std::to_string(hht.cycles / k)});
+    bs.push_back(std::move(b));
+  }
+
+  harness::SystemConfig cfg = harness::defaultConfig(2);
+  cfg.host_fastforward = opt.fastforward;
+  struct Row {
+    std::uint64_t base = 0, hht = 0;
+  };
+  harness::SweepRunner sweep(opt.jobs);
+  const auto rows = sweep.run(ks.size(), [&](std::size_t i) {
+    Row row;
+    row.base = harness::runSpmmBaseline(cfg, m, bs[i]).cycles;
+    row.hht = harness::runSpmmHht(cfg, m, bs[i]).cycles;
+    return row;
+  });
+
+  harness::Table table({"batch k", "base_cycles", "hht_cycles", "speedup",
+                        "hht_cycles_per_col"});
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const sim::Index k = ks[i];
+    const double sp = rows[i].hht == 0
+                          ? 0.0
+                          : static_cast<double>(rows[i].base) / rows[i].hht;
+    table.addRow({std::to_string(k), std::to_string(rows[i].base),
+                  std::to_string(rows[i].hht), harness::fmt(sp),
+                  std::to_string(rows[i].hht / k)});
   }
   if (opt.csv) {
     table.printCsv(std::cout);

@@ -11,6 +11,7 @@
 #include "bench_util.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "workload/synthetic.h"
 
 int main(int argc, char** argv) {
@@ -26,21 +27,36 @@ int main(int argc, char** argv) {
   const sparse::DenseVector dv = workload::randomDenseVector(rng, n);
   const sparse::SparseVector sv = workload::randomSparseVector(rng, n, 0.5);
 
-  const auto spmv_base =
-      harness::runSpmvBaseline(harness::defaultConfig(2), m, dv, true);
-  const auto spmspv_base =
-      harness::runSpmspvBaseline(harness::defaultConfig(2), m, sv);
+  auto config = [&](std::uint32_t nb) {
+    harness::SystemConfig cfg = harness::defaultConfig(nb);
+    cfg.host_fastforward = opt.fastforward;
+    return cfg;
+  };
+  const auto spmv_base = harness::runSpmvBaseline(config(2), m, dv, true);
+  const auto spmspv_base = harness::runSpmspvBaseline(config(2), m, sv);
+
+  const std::uint32_t nbs[4] = {1u, 2u, 4u, 8u};
+  struct Row {
+    double spmv_sp = 0.0, spmv_wait = 0.0, v1_sp = 0.0, v1_wait = 0.0;
+  };
+  harness::SweepRunner sweep(opt.jobs);
+  const auto rows = sweep.run(4, [&](std::size_t i) {
+    const auto spmv = harness::runSpmvHht(config(nbs[i]), m, dv, true);
+    const auto v1 = harness::runSpmspvHht(config(nbs[i]), m, sv, 1);
+    Row row;
+    row.spmv_sp = harness::speedup(spmv_base, spmv);
+    row.spmv_wait = spmv.cpuWaitFraction();
+    row.v1_sp = harness::speedup(spmspv_base, v1);
+    row.v1_wait = v1.cpuWaitFraction();
+    return row;
+  });
 
   harness::Table table({"buffers", "spmv_speedup", "spmv_cpu_wait",
                         "v1_speedup", "v1_cpu_wait"});
-  for (std::uint32_t nb : {1u, 2u, 4u, 8u}) {
-    const auto spmv = harness::runSpmvHht(harness::defaultConfig(nb), m, dv, true);
-    const auto v1 = harness::runSpmspvHht(harness::defaultConfig(nb), m, sv, 1);
-    table.addRow({std::to_string(nb),
-                  harness::fmt(harness::speedup(spmv_base, spmv)),
-                  harness::pct(spmv.cpuWaitFraction()),
-                  harness::fmt(harness::speedup(spmspv_base, v1)),
-                  harness::pct(v1.cpuWaitFraction())});
+  for (std::size_t i = 0; i < 4; ++i) {
+    table.addRow({std::to_string(nbs[i]), harness::fmt(rows[i].spmv_sp),
+                  harness::pct(rows[i].spmv_wait), harness::fmt(rows[i].v1_sp),
+                  harness::pct(rows[i].v1_wait)});
   }
   if (opt.csv) {
     table.printCsv(std::cout);

@@ -5,10 +5,13 @@
 //   (b) The §3.2 "high-performance processor integration": an L1D cache in
 //       front of the memory for the CPU path, the HHT path, or both.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "workload/synthetic.h"
 
 int main(int argc, char** argv) {
@@ -22,42 +25,54 @@ int main(int argc, char** argv) {
   sim::Rng rng(opt.seed);
   const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, 0.5);
   const sparse::DenseVector v = workload::randomDenseVector(rng, n);
+  harness::SweepRunner sweep(opt.jobs);
 
   {
-    harness::Table table({"grants/cycle", "policy", "base_cycles",
-                          "hht_cycles", "speedup", "hht_conflict_cycles"});
+    struct Case {
+      std::uint32_t grants;
+      mem::ArbiterPolicy policy;
+    };
+    std::vector<Case> cases;
     for (std::uint32_t grants : {1u, 2u, 4u}) {
       for (auto policy : {mem::ArbiterPolicy::CpuPriority,
                           mem::ArbiterPolicy::RoundRobin}) {
-        harness::SystemConfig cfg = harness::defaultConfig(2);
-        cfg.memory.grants_per_cycle = grants;
-        cfg.memory.policy = policy;
-        const auto base = harness::runSpmvBaseline(cfg, m, v, true);
-        const auto hht = harness::runSpmvHht(cfg, m, v, true);
-        table.addRow(
-            {std::to_string(grants),
-             policy == mem::ArbiterPolicy::CpuPriority ? "cpu-priority"
-                                                       : "round-robin",
-             std::to_string(base.cycles), std::to_string(hht.cycles),
-             harness::fmt(harness::speedup(base, hht)),
-             std::to_string(hht.stats.value("mem.hht.conflict_cycles"))});
+        cases.push_back({grants, policy});
       }
     }
+    const auto rows = sweep.run(cases.size(), [&](std::size_t i) {
+      harness::SystemConfig cfg = harness::defaultConfig(2);
+      cfg.memory.grants_per_cycle = cases[i].grants;
+      cfg.memory.policy = cases[i].policy;
+      cfg.host_fastforward = opt.fastforward;
+      const auto base = harness::runSpmvBaseline(cfg, m, v, true);
+      const auto hht = harness::runSpmvHht(cfg, m, v, true);
+      return std::vector<std::string>{
+          std::to_string(cases[i].grants),
+          cases[i].policy == mem::ArbiterPolicy::CpuPriority ? "cpu-priority"
+                                                             : "round-robin",
+          std::to_string(base.cycles), std::to_string(hht.cycles),
+          harness::fmt(harness::speedup(base, hht)),
+          std::to_string(hht.stats.value("mem.hht.conflict_cycles"))};
+    });
+    harness::Table table({"grants/cycle", "policy", "base_cycles",
+                          "hht_cycles", "speedup", "hht_conflict_cycles"});
+    for (const auto& row : rows) table.addRow(row);
     table.print(std::cout);
     std::cout << '\n';
   }
 
   {
-    harness::Table table({"L1D config", "base_cycles", "hht_cycles", "speedup",
-                          "cpu_hit_rate", "hht_hit_rate"});
     struct CacheCase {
       const char* name;
       bool cpu;
       bool hht;
     };
-    for (const CacheCase& cc :
-         {CacheCase{"none (MCU)", false, false}, CacheCase{"cpu only", true, false},
-          CacheCase{"hht only", false, true}, CacheCase{"cpu+hht", true, true}}) {
+    const std::vector<CacheCase> cases = {{"none (MCU)", false, false},
+                                          {"cpu only", true, false},
+                                          {"hht only", false, true},
+                                          {"cpu+hht", true, true}};
+    const auto rows = sweep.run(cases.size(), [&](std::size_t i) {
+      const CacheCase& cc = cases[i];
       harness::SystemConfig cfg = harness::defaultConfig(2);
       cfg.memory.cpu_cache_enabled = cc.cpu;
       cfg.memory.hht_cache_enabled = cc.hht;
@@ -66,6 +81,7 @@ int main(int argc, char** argv) {
       // the MCU integration (row "none") the same far RAM is felt directly.
       cfg.memory.sram_latency = 24;
       cfg.memory.cache.miss_penalty = 24;
+      cfg.host_fastforward = opt.fastforward;
       const auto base = harness::runSpmvBaseline(cfg, m, v, true);
       const auto hht = harness::runSpmvHht(cfg, m, v, true);
       const auto rate = [](const harness::RunResult& r, const char* who) {
@@ -75,11 +91,14 @@ int main(int argc, char** argv) {
             r.stats.value(std::string("mem.") + who + ".cache_misses"));
         return hits + misses == 0.0 ? 0.0 : hits / (hits + misses);
       };
-      table.addRow({cc.name, std::to_string(base.cycles),
-                    std::to_string(hht.cycles),
-                    harness::fmt(harness::speedup(base, hht)),
-                    harness::pct(rate(hht, "cpu")), harness::pct(rate(hht, "hht"))});
-    }
+      return std::vector<std::string>{
+          cc.name, std::to_string(base.cycles), std::to_string(hht.cycles),
+          harness::fmt(harness::speedup(base, hht)),
+          harness::pct(rate(hht, "cpu")), harness::pct(rate(hht, "hht"))};
+    });
+    harness::Table table({"L1D config", "base_cycles", "hht_cycles", "speedup",
+                          "cpu_hit_rate", "hht_hit_rate"});
+    for (const auto& row : rows) table.addRow(row);
     table.print(std::cout);
   }
   return 0;

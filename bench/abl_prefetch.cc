@@ -12,6 +12,7 @@
 #include "bench_util.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "workload/synthetic.h"
 
 int main(int argc, char** argv) {
@@ -34,13 +35,27 @@ int main(int argc, char** argv) {
     cfg.memory.hht_cache_enabled = hht_cache;
     cfg.memory.prefetch_enabled = prefetch;
     cfg.memory.prefetch_degree = 2;
+    cfg.host_fastforward = opt.fastforward;
     return cfg;
   };
 
-  const auto base = harness::runSpmvBaseline(makeCfg(false, false), m, v, true);
-  const auto base_pf = harness::runSpmvBaseline(makeCfg(true, false), m, v, true);
-  const auto hht = harness::runSpmvHht(makeCfg(false, true), m, v, true);
-  const auto hht_pf = harness::runSpmvHht(makeCfg(true, true), m, v, true);
+  harness::SweepRunner sweep(opt.jobs);
+  const auto runs = sweep.run(4, [&](std::size_t i) {
+    switch (i) {
+      case 0:
+        return harness::runSpmvBaseline(makeCfg(false, false), m, v, true);
+      case 1:
+        return harness::runSpmvBaseline(makeCfg(true, false), m, v, true);
+      case 2:
+        return harness::runSpmvHht(makeCfg(false, true), m, v, true);
+      default:
+        return harness::runSpmvHht(makeCfg(true, true), m, v, true);
+    }
+  });
+  const auto& base = runs[0];
+  const auto& base_pf = runs[1];
+  const auto& hht = runs[2];
+  const auto& hht_pf = runs[3];
 
   const auto hitrate = [](const harness::RunResult& r) {
     const double h = static_cast<double>(r.stats.value("mem.cpu.cache_hits"));

@@ -8,10 +8,13 @@
 // silicon) is traded against the metadata-processing rate. This bench
 // quantifies that trade for SpMV and both SpMSpV variants.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "workload/synthetic.h"
 
 int main(int argc, char** argv) {
@@ -22,51 +25,49 @@ int main(int argc, char** argv) {
   harness::printBanner(std::cout, "Ablation (§7)",
                        "dedicated ASIC HHT vs programmable (firmware) HHT");
 
-  harness::Table table({"kernel", "sparsity", "baseline", "asic_hht",
-                        "prog_hht", "asic_speedup", "prog_speedup",
-                        "prog_cpu_wait"});
-  const harness::SystemConfig cfg = harness::defaultConfig(2);
+  harness::SystemConfig cfg = harness::defaultConfig(2);
+  cfg.host_fastforward = opt.fastforward;
 
-  for (int s : {30, 60, 90}) {
+  const int sparsities[3] = {30, 60, 90};
+  harness::SweepRunner sweep(opt.jobs);
+  // One task per sparsity level; each returns its three pre-formatted
+  // table rows so output order is independent of --jobs.
+  const auto groups = sweep.run(3, [&](std::size_t idx) {
+    const int s = sparsities[idx];
     sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s));
     const double sparsity = s / 100.0;
     const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, sparsity);
     const sparse::DenseVector dv = workload::randomDenseVector(rng, n);
     const sparse::SparseVector sv = workload::randomSparseVector(rng, n, sparsity);
 
-    {
-      const auto base = harness::runSpmvBaseline(cfg, m, dv, true);
-      const auto asic = harness::runSpmvHht(cfg, m, dv, true);
-      const auto prog = harness::runSpmvProgHht(cfg, m, dv, true);
-      table.addRow({"SpMV", std::to_string(s) + "%",
-                    std::to_string(base.cycles), std::to_string(asic.cycles),
-                    std::to_string(prog.cycles),
-                    harness::fmt(harness::speedup(base, asic)),
-                    harness::fmt(harness::speedup(base, prog)),
-                    harness::pct(prog.cpuWaitFraction())});
-    }
-    {
-      const auto base = harness::runSpmspvBaseline(cfg, m, sv);
-      const auto asic = harness::runSpmspvHht(cfg, m, sv, 1);
-      const auto prog = harness::runSpmspvProgHht(cfg, m, sv, 1);
-      table.addRow({"SpMSpV v1", std::to_string(s) + "%",
-                    std::to_string(base.cycles), std::to_string(asic.cycles),
-                    std::to_string(prog.cycles),
-                    harness::fmt(harness::speedup(base, asic)),
-                    harness::fmt(harness::speedup(base, prog)),
-                    harness::pct(prog.cpuWaitFraction())});
-    }
-    {
-      const auto base = harness::runSpmspvBaseline(cfg, m, sv);
-      const auto asic = harness::runSpmspvHht(cfg, m, sv, 2);
-      const auto prog = harness::runSpmspvProgHht(cfg, m, sv, 2);
-      table.addRow({"SpMSpV v2", std::to_string(s) + "%",
-                    std::to_string(base.cycles), std::to_string(asic.cycles),
-                    std::to_string(prog.cycles),
-                    harness::fmt(harness::speedup(base, asic)),
-                    harness::fmt(harness::speedup(base, prog)),
-                    harness::pct(prog.cpuWaitFraction())});
-    }
+    std::vector<std::vector<std::string>> rows;
+    const auto add = [&](const char* kernel, const harness::RunResult& base,
+                         const harness::RunResult& asic,
+                         const harness::RunResult& prog) {
+      rows.push_back({kernel, std::to_string(s) + "%",
+                      std::to_string(base.cycles), std::to_string(asic.cycles),
+                      std::to_string(prog.cycles),
+                      harness::fmt(harness::speedup(base, asic)),
+                      harness::fmt(harness::speedup(base, prog)),
+                      harness::pct(prog.cpuWaitFraction())});
+    };
+    add("SpMV", harness::runSpmvBaseline(cfg, m, dv, true),
+        harness::runSpmvHht(cfg, m, dv, true),
+        harness::runSpmvProgHht(cfg, m, dv, true));
+    add("SpMSpV v1", harness::runSpmspvBaseline(cfg, m, sv),
+        harness::runSpmspvHht(cfg, m, sv, 1),
+        harness::runSpmspvProgHht(cfg, m, sv, 1));
+    add("SpMSpV v2", harness::runSpmspvBaseline(cfg, m, sv),
+        harness::runSpmspvHht(cfg, m, sv, 2),
+        harness::runSpmspvProgHht(cfg, m, sv, 2));
+    return rows;
+  });
+
+  harness::Table table({"kernel", "sparsity", "baseline", "asic_hht",
+                        "prog_hht", "asic_speedup", "prog_speedup",
+                        "prog_cpu_wait"});
+  for (const auto& rows : groups) {
+    for (const auto& row : rows) table.addRow(row);
   }
   if (opt.csv) {
     table.printCsv(std::cout);

@@ -8,10 +8,13 @@
 // CPU-only CSR baseline, across high sparsities where bitmap formats are
 // attractive for storage, plus the storage footprint comparison.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "sparse/bitvector.h"
 #include "sparse/convert.h"
 #include "workload/synthetic.h"
@@ -24,11 +27,10 @@ int main(int argc, char** argv) {
   harness::printBanner(std::cout, "Ablation (§6)",
                        "HHT on SMASH-style hierarchical bitmaps vs CSR");
 
-  harness::Table table({"sparsity", "base(CSR)", "hht(CSR)", "hht(smash)",
-                        "hht(flatbv)", "csr_speedup", "smash_speedup",
-                        "flatbv_speedup", "csr_bytes", "smash_bytes",
-                        "flatbv_bytes"});
-  for (int s : {70, 90, 95, 99}) {
+  const int sparsities[4] = {70, 90, 95, 99};
+  harness::SweepRunner sweep(opt.jobs);
+  const auto rows = sweep.run(4, [&](std::size_t idx) {
+    const int s = sparsities[idx];
     sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s));
     const sparse::DenseMatrix dense =
         workload::randomDense(rng, n, n, s / 100.0);
@@ -38,22 +40,30 @@ int main(int argc, char** argv) {
     const sparse::BitVectorMatrix bv = sparse::BitVectorMatrix::fromDense(dense);
     const sparse::DenseVector v = workload::randomDenseVector(rng, n);
 
-    const harness::SystemConfig cfg = harness::defaultConfig(2);
+    harness::SystemConfig cfg = harness::defaultConfig(2);
+    cfg.host_fastforward = opt.fastforward;
     const auto base = harness::runSpmvBaseline(cfg, csr, v, true);
     const auto hht_csr = harness::runSpmvHht(cfg, csr, v, true);
     const auto hht_hb = harness::runHierHht(cfg, hb, v);
     const auto hht_bv = harness::runFlatHht(cfg, bv, v);
 
-    table.addRow({std::to_string(s) + "%", std::to_string(base.cycles),
-                  std::to_string(hht_csr.cycles), std::to_string(hht_hb.cycles),
-                  std::to_string(hht_bv.cycles),
-                  harness::fmt(harness::speedup(base, hht_csr)),
-                  harness::fmt(harness::speedup(base, hht_hb)),
-                  harness::fmt(harness::speedup(base, hht_bv)),
-                  std::to_string(sparse::csrStorageBytes(csr)),
-                  std::to_string(hb.storageBytes()),
-                  std::to_string(bv.storageBytes())});
-  }
+    return std::vector<std::string>{
+        std::to_string(s) + "%", std::to_string(base.cycles),
+        std::to_string(hht_csr.cycles), std::to_string(hht_hb.cycles),
+        std::to_string(hht_bv.cycles),
+        harness::fmt(harness::speedup(base, hht_csr)),
+        harness::fmt(harness::speedup(base, hht_hb)),
+        harness::fmt(harness::speedup(base, hht_bv)),
+        std::to_string(sparse::csrStorageBytes(csr)),
+        std::to_string(hb.storageBytes()),
+        std::to_string(bv.storageBytes())};
+  });
+
+  harness::Table table({"sparsity", "base(CSR)", "hht(CSR)", "hht(smash)",
+                        "hht(flatbv)", "csr_speedup", "smash_speedup",
+                        "flatbv_speedup", "csr_bytes", "smash_bytes",
+                        "flatbv_bytes"});
+  for (const auto& row : rows) table.addRow(row);
   if (opt.csv) {
     table.printCsv(std::cout);
   } else {

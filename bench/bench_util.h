@@ -3,13 +3,20 @@
 // Shared helpers for the figure/table bench binaries.
 //
 // Every bench accepts:
-//   --csv          emit CSV instead of the aligned table
-//   --size=N       override the matrix dimension (default per figure)
-//   --seed=S       override the workload seed
-// Benches print the paper's expected values next to the measured ones so a
-// reader can check the reproduced *shape* directly from the output.
+//   --csv              emit CSV instead of the aligned table
+//   --size=N           override the matrix dimension (default per figure)
+//   --seed=S           override the workload seed
+//   --jobs=N           host threads for the sweep (default: all hardware
+//                      threads; 1 = serial)
+//   --no-fastforward   disable host-side quiescence skipping (A/B check:
+//                      results must be bit-identical either way)
+// Unknown flags are an error: a silently-ignored typo ("--sizes=512") used
+// to produce a full run of the wrong experiment. Benches print the paper's
+// expected values next to the measured ones so a reader can check the
+// reproduced *shape* directly from the output.
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -20,7 +27,20 @@ struct Options {
   bool csv = false;
   std::uint32_t size = 0;     ///< 0 = figure default
   std::uint64_t seed = 0x5EED'2022;
+  unsigned jobs = 0;          ///< 0 = hardware_concurrency
+  bool fastforward = true;    ///< SystemConfig::host_fastforward
 };
+
+[[noreturn]] inline void usage(const char* prog, const char* bad_arg) {
+  if (bad_arg != nullptr) {
+    std::fprintf(stderr, "%s: unknown argument '%s'\n", prog, bad_arg);
+  }
+  std::fprintf(stderr,
+               "usage: %s [--csv] [--size=N] [--seed=S] [--jobs=N]"
+               " [--no-fastforward]\n",
+               prog);
+  std::exit(bad_arg == nullptr ? 0 : 2);
+}
 
 inline Options parse(int argc, char** argv) {
   Options opt;
@@ -32,6 +52,14 @@ inline Options parse(int argc, char** argv) {
       opt.size = static_cast<std::uint32_t>(std::strtoul(arg + 7, nullptr, 10));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       opt.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      opt.jobs = static_cast<unsigned>(std::strtoul(arg + 7, nullptr, 10));
+    } else if (std::strcmp(arg, "--no-fastforward") == 0) {
+      opt.fastforward = false;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      usage(argv[0], nullptr);
+    } else {
+      usage(argv[0], arg);
     }
   }
   return opt;

@@ -10,6 +10,7 @@
 #include "bench_util.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "workload/synthetic.h"
 
 int main(int argc, char** argv) {
@@ -20,32 +21,51 @@ int main(int argc, char** argv) {
   harness::printBanner(std::cout, "Fig. 4",
                        "SpMV speedup vs sparsity (512x512, VL=8, HHT 1/2 buffers)");
 
+  // Each sparsity point is an independent simulation (its own seed-derived
+  // operands and fresh Systems), so the sweep parallelizes across rows;
+  // results come back in row order regardless of --jobs.
+  auto config = [&](std::uint32_t buffers) {
+    harness::SystemConfig cfg = harness::defaultConfig(buffers);
+    cfg.host_fastforward = opt.fastforward;
+    return cfg;
+  };
+  struct Row {
+    int s = 0;
+    std::uint64_t base = 0, hht1 = 0, hht2 = 0;
+    double sp1 = 0.0, sp2 = 0.0;
+  };
+  harness::SweepRunner sweep(opt.jobs);
+  const auto rows = sweep.run(9, [&](std::size_t i) {
+    Row row;
+    row.s = 10 + static_cast<int>(i) * 10;
+    const double sparsity = row.s / 100.0;
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(row.s));
+    const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, sparsity);
+    const sparse::DenseVector v = workload::randomDenseVector(rng, n);
+
+    const auto base = harness::runSpmvBaseline(config(2), m, v, true);
+    const auto hht1 = harness::runSpmvHht(config(1), m, v, true);
+    const auto hht2 = harness::runSpmvHht(config(2), m, v, true);
+    row.base = base.cycles;
+    row.hht1 = hht1.cycles;
+    row.hht2 = hht2.cycles;
+    row.sp1 = harness::speedup(base, hht1);
+    row.sp2 = harness::speedup(base, hht2);
+    return row;
+  });
+
   harness::Table table({"sparsity", "base_cycles", "hht1_cycles", "hht2_cycles",
                         "speedup_1buf", "speedup_2buf", "bar(2buf)"});
   double sum1 = 0.0, sum2 = 0.0;
   int count = 0;
-  for (int s = 10; s <= 90; s += 10) {
-    const double sparsity = s / 100.0;
-    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s));
-    const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, sparsity);
-    const sparse::DenseVector v = workload::randomDenseVector(rng, n);
-
-    const auto base =
-        harness::runSpmvBaseline(harness::defaultConfig(2), m, v, true);
-    const auto hht1 =
-        harness::runSpmvHht(harness::defaultConfig(1), m, v, true);
-    const auto hht2 =
-        harness::runSpmvHht(harness::defaultConfig(2), m, v, true);
-
-    const double sp1 = harness::speedup(base, hht1);
-    const double sp2 = harness::speedup(base, hht2);
-    sum1 += sp1;
-    sum2 += sp2;
+  for (const Row& row : rows) {
+    sum1 += row.sp1;
+    sum2 += row.sp2;
     ++count;
-    table.addRow({std::to_string(s) + "%", std::to_string(base.cycles),
-                  std::to_string(hht1.cycles), std::to_string(hht2.cycles),
-                  harness::fmt(sp1), harness::fmt(sp2),
-                  harness::bar(sp2, 4.0)});
+    table.addRow({std::to_string(row.s) + "%", std::to_string(row.base),
+                  std::to_string(row.hht1), std::to_string(row.hht2),
+                  harness::fmt(row.sp1), harness::fmt(row.sp2),
+                  harness::bar(row.sp2, 4.0)});
   }
 
   if (opt.csv) {

@@ -13,6 +13,7 @@
 #include "bench_util.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "workload/synthetic.h"
 
 int main(int argc, char** argv) {
@@ -23,33 +24,49 @@ int main(int argc, char** argv) {
   harness::printBanner(std::cout, "Fig. 5",
                        "SpMSpV speedup vs sparsity: variant-1/2 x 1/2 buffers");
 
-  harness::Table table({"sparsity", "base_cycles", "v1_1buf", "v1_2buf",
-                        "v2_1buf", "v2_2buf", "v2_2buf_scalar"});
-  double sums[5] = {};
-  int count = 0;
-  for (int s = 10; s <= 90; s += 10) {
-    const double sparsity = s / 100.0;
-    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s) * 7);
+  auto config = [&](std::uint32_t buffers) {
+    harness::SystemConfig cfg = harness::defaultConfig(buffers);
+    cfg.host_fastforward = opt.fastforward;
+    return cfg;
+  };
+  struct Row {
+    int s = 0;
+    std::uint64_t base = 0;
+    double sp[5] = {};
+  };
+  harness::SweepRunner sweep(opt.jobs);
+  const auto rows = sweep.run(9, [&](std::size_t i) {
+    Row row;
+    row.s = 10 + static_cast<int>(i) * 10;
+    const double sparsity = row.s / 100.0;
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(row.s) * 7);
     const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, sparsity);
     const sparse::SparseVector v =
         workload::randomSparseVector(rng, n, sparsity);
 
-    const auto base = harness::runSpmspvBaseline(harness::defaultConfig(2), m, v);
-    const double sp[5] = {
-        harness::speedup(base, harness::runSpmspvHht(harness::defaultConfig(1), m, v, 1)),
-        harness::speedup(base, harness::runSpmspvHht(harness::defaultConfig(2), m, v, 1)),
-        harness::speedup(base, harness::runSpmspvHht(harness::defaultConfig(1), m, v, 2)),
-        harness::speedup(base, harness::runSpmspvHht(harness::defaultConfig(2), m, v, 2)),
-        // v2 with a scalar consumer: how much of v2's win is vectorization.
-        harness::speedup(base,
-                         harness::runSpmspvHht(harness::defaultConfig(2), m, v, 2,
-                                               /*vectorized=*/false)),
-    };
-    for (int i = 0; i < 5; ++i) sums[i] += sp[i];
+    const auto base = harness::runSpmspvBaseline(config(2), m, v);
+    row.base = base.cycles;
+    row.sp[0] = harness::speedup(base, harness::runSpmspvHht(config(1), m, v, 1));
+    row.sp[1] = harness::speedup(base, harness::runSpmspvHht(config(2), m, v, 1));
+    row.sp[2] = harness::speedup(base, harness::runSpmspvHht(config(1), m, v, 2));
+    row.sp[3] = harness::speedup(base, harness::runSpmspvHht(config(2), m, v, 2));
+    // v2 with a scalar consumer: how much of v2's win is vectorization.
+    row.sp[4] = harness::speedup(
+        base, harness::runSpmspvHht(config(2), m, v, 2, /*vectorized=*/false));
+    return row;
+  });
+
+  harness::Table table({"sparsity", "base_cycles", "v1_1buf", "v1_2buf",
+                        "v2_1buf", "v2_2buf", "v2_2buf_scalar"});
+  double sums[5] = {};
+  int count = 0;
+  for (const Row& row : rows) {
+    for (int i = 0; i < 5; ++i) sums[i] += row.sp[i];
     ++count;
-    table.addRow({std::to_string(s) + "%", std::to_string(base.cycles),
-                  harness::fmt(sp[0]), harness::fmt(sp[1]), harness::fmt(sp[2]),
-                  harness::fmt(sp[3]), harness::fmt(sp[4])});
+    table.addRow({std::to_string(row.s) + "%", std::to_string(row.base),
+                  harness::fmt(row.sp[0]), harness::fmt(row.sp[1]),
+                  harness::fmt(row.sp[2]), harness::fmt(row.sp[3]),
+                  harness::fmt(row.sp[4])});
   }
 
   if (opt.csv) {

@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "workload/synthetic.h"
 
 int main(int argc, char** argv) {
@@ -19,23 +20,43 @@ int main(int argc, char** argv) {
   harness::printBanner(std::cout, "Fig. 6",
                        "CPU wait-cycle fraction for SpMV (512x512, VL=8)");
 
-  harness::Table table({"sparsity", "wait_1buf", "wait_2buf", "hht_stall_1buf",
-                        "hht_stall_2buf"});
-  for (int s = 10; s <= 90; s += 10) {
-    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s));
-    const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, s / 100.0);
+  auto config = [&](std::uint32_t buffers) {
+    harness::SystemConfig cfg = harness::defaultConfig(buffers);
+    cfg.host_fastforward = opt.fastforward;
+    return cfg;
+  };
+  struct Row {
+    int s = 0;
+    double wait1 = 0.0, wait2 = 0.0, stall1 = 0.0, stall2 = 0.0;
+  };
+  harness::SweepRunner sweep(opt.jobs);
+  const auto rows = sweep.run(9, [&](std::size_t i) {
+    Row row;
+    row.s = 10 + static_cast<int>(i) * 10;
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(row.s));
+    const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, row.s / 100.0);
     const sparse::DenseVector v = workload::randomDenseVector(rng, n);
 
-    const auto h1 = harness::runSpmvHht(harness::defaultConfig(1), m, v, true);
-    const auto h2 = harness::runSpmvHht(harness::defaultConfig(2), m, v, true);
+    const auto h1 = harness::runSpmvHht(config(1), m, v, true);
+    const auto h2 = harness::runSpmvHht(config(2), m, v, true);
     // hht_stall = fraction of cycles the *BE* idles on full buffers — the
     // complementary "HHT waiting for CPU" counter of §4.
     const auto stallFrac = [](const harness::RunResult& r) {
       return r.cycles ? static_cast<double>(r.hht_wait_cycles) / r.cycles : 0.0;
     };
-    table.addRow({std::to_string(s) + "%", harness::pct(h1.cpuWaitFraction()),
-                  harness::pct(h2.cpuWaitFraction()),
-                  harness::pct(stallFrac(h1)), harness::pct(stallFrac(h2))});
+    row.wait1 = h1.cpuWaitFraction();
+    row.wait2 = h2.cpuWaitFraction();
+    row.stall1 = stallFrac(h1);
+    row.stall2 = stallFrac(h2);
+    return row;
+  });
+
+  harness::Table table({"sparsity", "wait_1buf", "wait_2buf", "hht_stall_1buf",
+                        "hht_stall_2buf"});
+  for (const Row& row : rows) {
+    table.addRow({std::to_string(row.s) + "%", harness::pct(row.wait1),
+                  harness::pct(row.wait2), harness::pct(row.stall1),
+                  harness::pct(row.stall2)});
   }
   if (opt.csv) {
     table.printCsv(std::cout);

@@ -10,6 +10,7 @@
 #include "bench_util.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "workload/synthetic.h"
 
 int main(int argc, char** argv) {
@@ -21,24 +22,37 @@ int main(int argc, char** argv) {
       std::cout, "Fig. 7",
       "CPU wait-cycle fraction for SpMSpV: variant-1/2 x 1/2 buffers");
 
+  auto config = [&](std::uint32_t buffers) {
+    harness::SystemConfig cfg = harness::defaultConfig(buffers);
+    cfg.host_fastforward = opt.fastforward;
+    return cfg;
+  };
+  struct Row {
+    int s = 0;
+    double wait[4] = {};
+  };
+  harness::SweepRunner sweep(opt.jobs);
+  const auto rows = sweep.run(9, [&](std::size_t i) {
+    Row row;
+    row.s = 10 + static_cast<int>(i) * 10;
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(row.s) * 7);
+    const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, row.s / 100.0);
+    const sparse::SparseVector v =
+        workload::randomSparseVector(rng, n, row.s / 100.0);
+
+    row.wait[0] = harness::runSpmspvHht(config(1), m, v, 1).cpuWaitFraction();
+    row.wait[1] = harness::runSpmspvHht(config(2), m, v, 1).cpuWaitFraction();
+    row.wait[2] = harness::runSpmspvHht(config(1), m, v, 2).cpuWaitFraction();
+    row.wait[3] = harness::runSpmspvHht(config(2), m, v, 2).cpuWaitFraction();
+    return row;
+  });
+
   harness::Table table(
       {"sparsity", "v1_1buf", "v1_2buf", "v2_1buf", "v2_2buf"});
-  for (int s = 10; s <= 90; s += 10) {
-    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s) * 7);
-    const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, s / 100.0);
-    const sparse::SparseVector v =
-        workload::randomSparseVector(rng, n, s / 100.0);
-
-    table.addRow(
-        {std::to_string(s) + "%",
-         harness::pct(harness::runSpmspvHht(harness::defaultConfig(1), m, v, 1)
-                          .cpuWaitFraction()),
-         harness::pct(harness::runSpmspvHht(harness::defaultConfig(2), m, v, 1)
-                          .cpuWaitFraction()),
-         harness::pct(harness::runSpmspvHht(harness::defaultConfig(1), m, v, 2)
-                          .cpuWaitFraction()),
-         harness::pct(harness::runSpmspvHht(harness::defaultConfig(2), m, v, 2)
-                          .cpuWaitFraction())});
+  for (const Row& row : rows) {
+    table.addRow({std::to_string(row.s) + "%", harness::pct(row.wait[0]),
+                  harness::pct(row.wait[1]), harness::pct(row.wait[2]),
+                  harness::pct(row.wait[3])});
   }
   if (opt.csv) {
     table.printCsv(std::cout);

@@ -10,6 +10,7 @@
 #include "bench_util.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "workload/synthetic.h"
 
 int main(int argc, char** argv) {
@@ -20,27 +21,38 @@ int main(int argc, char** argv) {
   harness::printBanner(std::cout, "Fig. 8",
                        "SpMV speedup vs vector width VL in {1,4,8} (512x512)");
 
-  harness::Table table({"sparsity", "VL=1(scalar)", "VL=4", "VL=8"});
-  double sums[3] = {};
-  int count = 0;
-  for (int s = 10; s <= 90; s += 10) {
-    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s));
-    const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, s / 100.0);
+  struct Row {
+    int s = 0;
+    double sp[3] = {};
+  };
+  harness::SweepRunner sweep(opt.jobs);
+  const auto rows = sweep.run(9, [&](std::size_t idx) {
+    Row row;
+    row.s = 10 + static_cast<int>(idx) * 10;
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(row.s));
+    const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, row.s / 100.0);
     const sparse::DenseVector v = workload::randomDenseVector(rng, n);
 
-    std::vector<std::string> row{std::to_string(s) + "%"};
     const int widths[3] = {1, 4, 8};
     for (int i = 0; i < 3; ++i) {
-      const harness::SystemConfig cfg = harness::defaultConfig(2, widths[i]);
+      harness::SystemConfig cfg = harness::defaultConfig(2, widths[i]);
+      cfg.host_fastforward = opt.fastforward;
       const bool vectorized = widths[i] > 1;
       const auto base = harness::runSpmvBaseline(cfg, m, v, vectorized);
       const auto hht = harness::runSpmvHht(cfg, m, v, vectorized);
-      const double sp = harness::speedup(base, hht);
-      sums[i] += sp;
-      row.push_back(harness::fmt(sp));
+      row.sp[i] = harness::speedup(base, hht);
     }
+    return row;
+  });
+
+  harness::Table table({"sparsity", "VL=1(scalar)", "VL=4", "VL=8"});
+  double sums[3] = {};
+  int count = 0;
+  for (const Row& row : rows) {
+    for (int i = 0; i < 3; ++i) sums[i] += row.sp[i];
     ++count;
-    table.addRow(std::move(row));
+    table.addRow({std::to_string(row.s) + "%", harness::fmt(row.sp[0]),
+                  harness::fmt(row.sp[1]), harness::fmt(row.sp[2])});
   }
   if (opt.csv) {
     table.printCsv(std::cout);

@@ -9,10 +9,12 @@
 // 128-row slice of each layer preserves the cycle ratio while keeping the
 // bench fast; pass --size=1000 to simulate the full layers.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "workload/dnn.h"
 
 int main(int argc, char** argv) {
@@ -23,24 +25,42 @@ int main(int argc, char** argv) {
   harness::printBanner(std::cout, "Fig. 9",
                        "SpMV speedup on DNN fully-connected layers (VL=8)");
 
-  harness::Table table({"network", "shape", "sparsity", "base_cycles",
-                        "hht_cycles", "speedup", "bar"});
-  for (const workload::DnnFcLayer& layer : workload::dnnFcCatalog()) {
+  const auto catalog = workload::dnnFcCatalog();
+  struct Row {
+    std::string network, shape, sparsity;
+    std::uint64_t base = 0, hht = 0;
+    double sp = 0.0;
+  };
+  harness::SweepRunner sweep(opt.jobs);
+  const auto rows = sweep.run(catalog.size(), [&](std::size_t i) {
+    const workload::DnnFcLayer& layer = catalog[i];
     const sparse::CsrMatrix m =
         workload::dnnLayerMatrix(layer, opt.seed, row_limit);
     sim::Rng rng(opt.seed ^ 0xD99);
     const sparse::DenseVector v =
         workload::randomDenseVector(rng, layer.in_features);
 
-    const harness::SystemConfig cfg = harness::defaultConfig(2);
+    harness::SystemConfig cfg = harness::defaultConfig(2);
+    cfg.host_fastforward = opt.fastforward;
     const auto base = harness::runSpmvBaseline(cfg, m, v, true);
     const auto hht = harness::runSpmvHht(cfg, m, v, true);
-    const double sp = harness::speedup(base, hht);
-    table.addRow({layer.network,
-                  std::to_string(m.numRows()) + "x" + std::to_string(m.numCols()),
-                  harness::pct(layer.sparsity, 0), std::to_string(base.cycles),
-                  std::to_string(hht.cycles), harness::fmt(sp),
-                  harness::bar(sp, 2.5)});
+    Row row;
+    row.network = layer.network;
+    row.shape =
+        std::to_string(m.numRows()) + "x" + std::to_string(m.numCols());
+    row.sparsity = harness::pct(layer.sparsity, 0);
+    row.base = base.cycles;
+    row.hht = hht.cycles;
+    row.sp = harness::speedup(base, hht);
+    return row;
+  });
+
+  harness::Table table({"network", "shape", "sparsity", "base_cycles",
+                        "hht_cycles", "speedup", "bar"});
+  for (const Row& row : rows) {
+    table.addRow({row.network, row.shape, row.sparsity,
+                  std::to_string(row.base), std::to_string(row.hht),
+                  harness::fmt(row.sp), harness::bar(row.sp, 2.5)});
   }
   if (opt.csv) {
     table.printCsv(std::cout);

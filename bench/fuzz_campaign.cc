@@ -7,7 +7,13 @@
 // bench/replay re-executes to the exact failing cycle.
 //
 //   fuzz_campaign --seed S --runs N [--engine gather|merge-v1|stream-v2|
-//                 hier|flat] [--inject-bug N] [--out DIR]
+//                 hier|flat] [--inject-bug N] [--out DIR] [--jobs N]
+//
+// Runs are independent (each derives its own RNG stream from the campaign
+// seed and its index), so the case-generation + co-simulation phase fans
+// out across --jobs host threads; failure reporting, bundle emission and
+// shrinking stay sequential in run order, so the failure set and all
+// output files are identical for every --jobs value.
 //
 // Exit status: 0 when every run matched the oracle, 1 otherwise — so CI
 // can gate on a short fixed-seed campaign.
@@ -16,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/sweep.h"
 #include "verify/fuzz.h"
 #include "verify/replay.h"
 #include "verify/shrink.h"
@@ -30,6 +37,7 @@ struct Options {
   std::string engine;  ///< empty = rotate through all kinds
   std::uint64_t inject_bug = ~0ull;  ///< test_flip_element for self-test
   std::string out_dir = ".";
+  unsigned jobs = 0;  ///< 0 = hardware_concurrency
 };
 
 const char* nextArg(int argc, char** argv, int& i, const char* flag) {
@@ -60,6 +68,8 @@ Options parse(int argc, char** argv) {
       opt.inject_bug = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--out")) {
       opt.out_dir = v;
+    } else if (const char* v = value("--jobs")) {
+      opt.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       std::exit(2);
@@ -118,20 +128,37 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   const std::vector<verify::EngineKind> engines = selectEngines(opt.engine);
 
+  // Phase 1 (parallel): each run derives its operands from mix(seed, i)
+  // and co-simulates against the oracle on a fully-private System.
+  struct Outcome {
+    verify::CosimCase c;
+    verify::CosimReport rep;
+  };
+  harness::SweepRunner sweep(opt.jobs);
+  const std::vector<Outcome> outcomes =
+      sweep.run(opt.runs, [&](std::size_t i) {
+        sim::Rng rng(mix(opt.seed, i));
+        const verify::EngineKind kind = engines[i % engines.size()];
+        Outcome out;
+        out.c = verify::randomCase(rng, kind);
+        if (opt.inject_bug != ~0ull) {
+          out.c.cfg.hht.test_flip_element = opt.inject_bug;
+        }
+        out.rep = runCosim(out.c);
+        return out;
+      });
+
+  // Phase 2 (sequential, run order): report, capture bundles and shrink.
   std::uint64_t failures = 0;
   std::uint64_t total_elements = 0;
   for (std::uint64_t i = 0; i < opt.runs; ++i) {
-    sim::Rng rng(mix(opt.seed, i));
-    const verify::EngineKind kind = engines[i % engines.size()];
-    verify::CosimCase c = verify::randomCase(rng, kind);
-    if (opt.inject_bug != ~0ull) c.cfg.hht.test_flip_element = opt.inject_bug;
-
-    const verify::CosimReport rep = runCosim(c);
+    const verify::CosimCase& c = outcomes[i].c;
+    const verify::CosimReport& rep = outcomes[i].rep;
     total_elements += rep.elements;
     if (rep.ok) continue;
 
     ++failures;
-    std::cout << "run " << i << " [" << verify::engineKindName(kind) << ", "
+    std::cout << "run " << i << " [" << verify::engineKindName(c.kind) << ", "
               << c.m.numRows() << "x" << c.m.numCols() << ", nnz "
               << c.m.nnz() << "]: " << rep.describe() << "\n";
     emitBundle(opt, c, i, "");

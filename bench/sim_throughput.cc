@@ -1,0 +1,170 @@
+// Simulator-throughput benchmark: how fast does the *host* simulate?
+//
+// Workload: the Fig. 4 SpMV set (9 sparsity levels x {baseline, HHT-1buf,
+// HHT-2buf}), run twice —
+//   naive: per-cycle loop (host_fastforward off), serial
+//   fast:  quiescence skipping on + parallel sweep across --jobs threads
+// The two passes must produce bit-identical simulation results (final
+// cycles, wait counters, every stat, the output vector); the binary exits
+// non-zero on any mismatch, so the throughput number can never come from
+// a simulator that cheated.
+//
+// Output: a human table (or --csv) plus BENCH_sim_throughput.json in the
+// current directory. CI gates on `in_binary_speedup` (fast vs naive in the
+// same binary — machine-independent enough to compare across runners)
+// against bench/sim_throughput_baseline.json.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/sweep.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace hht;
+
+bool sameResult(const harness::RunResult& a, const harness::RunResult& b,
+                const char* what, int s) {
+  const auto fail = [&](const char* field) {
+    std::cerr << "MISMATCH [" << what << " @" << s << "%] field " << field
+              << "\n";
+    return false;
+  };
+  if (a.cycles != b.cycles) return fail("cycles");
+  if (a.retired != b.retired) return fail("retired");
+  if (a.cpu_wait_cycles != b.cpu_wait_cycles) return fail("cpu_wait_cycles");
+  if (a.hht_wait_cycles != b.hht_wait_cycles) return fail("hht_wait_cycles");
+  if (a.hht_residual_busy != b.hht_residual_busy) {
+    return fail("hht_residual_busy");
+  }
+  if (a.stats.all() != b.stats.all()) return fail("stats");
+  const auto& ya = a.y.values();
+  const auto& yb = b.y.values();
+  if (ya.size() != yb.size() ||
+      (ya.size() != 0 &&
+       std::memcmp(ya.data(), yb.data(), ya.size() * sizeof(float)) != 0)) {
+    return fail("y");
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hht;
+  using Clock = std::chrono::steady_clock;
+  const benchutil::Options opt = benchutil::parse(argc, argv);
+  const sim::Index n = opt.size ? opt.size : 512;
+
+  harness::printBanner(std::cout, "Throughput",
+                       "host simulation rate on the Fig. 4 SpMV workload set");
+
+  struct Work {
+    int s = 0;
+    sparse::CsrMatrix m;
+    sparse::DenseVector v;
+  };
+  std::vector<Work> works;
+  for (int s = 10; s <= 90; s += 10) {
+    Work w;
+    w.s = s;
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s));
+    w.m = workload::randomCsr(rng, n, n, s / 100.0);
+    w.v = workload::randomDenseVector(rng, n);
+    works.push_back(std::move(w));
+  }
+
+  using Triple = std::array<harness::RunResult, 3>;
+  const auto runSet = [&](bool fastforward, unsigned jobs) {
+    harness::SweepRunner sweep(jobs);
+    return sweep.run(works.size(), [&](std::size_t i) {
+      auto config = [&](std::uint32_t buffers) {
+        harness::SystemConfig cfg = harness::defaultConfig(buffers);
+        cfg.host_fastforward = fastforward;
+        return cfg;
+      };
+      Triple r;
+      r[0] = harness::runSpmvBaseline(config(2), works[i].m, works[i].v, true);
+      r[1] = harness::runSpmvHht(config(1), works[i].m, works[i].v, true);
+      r[2] = harness::runSpmvHht(config(2), works[i].m, works[i].v, true);
+      return r;
+    });
+  };
+
+  const auto t0 = Clock::now();
+  const std::vector<Triple> naive = runSet(false, 1);
+  const auto t1 = Clock::now();
+  // --no-fastforward turns the "fast" pass into a parallel-only pass so the
+  // A/B check still runs; the headline numbers assume the default.
+  const std::vector<Triple> fast = runSet(opt.fastforward, opt.jobs);
+  const auto t2 = Clock::now();
+
+  bool identical = true;
+  std::uint64_t total_cycles = 0;
+  const char* kinds[3] = {"baseline", "hht_1buf", "hht_2buf"};
+  for (std::size_t i = 0; i < works.size(); ++i) {
+    for (int j = 0; j < 3; ++j) {
+      identical &= sameResult(naive[i][j], fast[i][j], kinds[j], works[i].s);
+      total_cycles += naive[i][j].cycles;
+    }
+  }
+  if (!identical) {
+    std::cerr << "sim_throughput: fast path diverged from the naive loop\n";
+    return 1;
+  }
+
+  const double naive_s = std::chrono::duration<double>(t1 - t0).count();
+  const double fast_s = std::chrono::duration<double>(t2 - t1).count();
+  const double naive_mcps = total_cycles / naive_s / 1e6;
+  const double fast_mcps = total_cycles / fast_s / 1e6;
+  const double speedup = fast_s > 0.0 ? naive_s / fast_s : 0.0;
+  const unsigned jobs =
+      opt.jobs == 0 ? harness::SweepRunner::defaultJobs() : opt.jobs;
+
+  harness::Table table({"pass", "wall_s", "Mcycles/s", "speedup"});
+  table.addRow({"naive (per-cycle, serial)", harness::fmt(naive_s, 3),
+                harness::fmt(naive_mcps, 2), "1.00"});
+  table.addRow({"fast (skip + " + std::to_string(jobs) + " jobs)",
+                harness::fmt(fast_s, 3), harness::fmt(fast_mcps, 2),
+                harness::fmt(speedup)});
+  if (opt.csv) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "simulated " << total_cycles
+            << " cycles per pass; results bit-identical across passes\n";
+
+  std::FILE* f = std::fopen("BENCH_sim_throughput.json", "w");
+  if (f == nullptr) {
+    std::cerr << "cannot write BENCH_sim_throughput.json\n";
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"workload\": \"fig4_spmv_set\",\n"
+               "  \"size\": %u,\n"
+               "  \"seed\": %llu,\n"
+               "  \"jobs\": %u,\n"
+               "  \"fastforward\": %s,\n"
+               "  \"simulated_cycles\": %llu,\n"
+               "  \"naive\": {\"wall_s\": %.6f, \"mcycles_per_s\": %.3f},\n"
+               "  \"fast\": {\"wall_s\": %.6f, \"mcycles_per_s\": %.3f},\n"
+               "  \"in_binary_speedup\": %.3f,\n"
+               "  \"bit_identical\": true\n"
+               "}\n",
+               static_cast<unsigned>(n),
+               static_cast<unsigned long long>(opt.seed), jobs,
+               opt.fastforward ? "true" : "false",
+               static_cast<unsigned long long>(total_cycles), naive_s,
+               naive_mcps, fast_s, fast_mcps, speedup);
+  std::fclose(f);
+  std::cout << "wrote BENCH_sim_throughput.json\n";
+  return 0;
+}

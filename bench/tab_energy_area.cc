@@ -18,6 +18,7 @@
 #include "energy/model.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "workload/synthetic.h"
 
 int main(int argc, char** argv) {
@@ -70,14 +71,18 @@ int main(int argc, char** argv) {
   // tile is setup-dominated and saves nothing, which is why amortization
   // matters.
   {
-    harness::Table table({"sparsity", "base_cycles", "hht_cycles", "base_uJ",
-                          "hht_uJ", "saving", "single_tile_saving"});
-    double sum_saving = 0.0;
-    int count = 0;
-    for (int s = 10; s <= 90; s += 10) {
-      sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s) * 13);
+    struct Row {
+      int s = 0;
+      std::uint64_t base = 0, hht = 0;
+      energy::EnergyComparison cmp{}, tile_cmp{};
+    };
+    harness::SweepRunner sweep(opt.jobs);
+    const auto rows = sweep.run(9, [&](std::size_t i) {
+      Row row;
+      row.s = 10 + static_cast<int>(i) * 10;
+      sim::Rng rng(opt.seed + static_cast<std::uint64_t>(row.s) * 13);
       const sim::Index n = opt.size ? opt.size : 256;
-      const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, s / 100.0);
+      const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, row.s / 100.0);
       const sparse::DenseVector v = workload::randomDenseVector(rng, n);
       const sparse::CsrMatrix tile = m.extractTile(0, 0, 16, 16);
       const sparse::DenseVector tile_v(
@@ -85,22 +90,33 @@ int main(int argc, char** argv) {
 
       harness::SystemConfig cfg = harness::defaultConfig(2);
       cfg.timing.clock_hz = 50e6;  // §5.5 synthesis clock
+      cfg.host_fastforward = opt.fastforward;
       const auto base = harness::runSpmvBaseline(cfg, m, v, true);
       const auto hht = harness::runSpmvHht(cfg, m, v, true);
-      const auto cmp = energy::compareEnergy(base.cycles, hht.cycles,
-                                             energy::FeatureSize::Nm16, 50.0);
+      row.base = base.cycles;
+      row.hht = hht.cycles;
+      row.cmp = energy::compareEnergy(base.cycles, hht.cycles,
+                                      energy::FeatureSize::Nm16, 50.0);
       const auto tile_base = harness::runSpmvBaseline(cfg, tile, tile_v, true);
       const auto tile_hht = harness::runSpmvHht(cfg, tile, tile_v, true);
-      const auto tile_cmp = energy::compareEnergy(
+      row.tile_cmp = energy::compareEnergy(
           tile_base.cycles, tile_hht.cycles, energy::FeatureSize::Nm16, 50.0);
-      sum_saving += cmp.savings_fraction;
+      return row;
+    });
+
+    harness::Table table({"sparsity", "base_cycles", "hht_cycles", "base_uJ",
+                          "hht_uJ", "saving", "single_tile_saving"});
+    double sum_saving = 0.0;
+    int count = 0;
+    for (const Row& row : rows) {
+      sum_saving += row.cmp.savings_fraction;
       ++count;
-      table.addRow({std::to_string(s) + "%", std::to_string(base.cycles),
-                    std::to_string(hht.cycles),
-                    harness::fmt(cmp.baseline_uj, 4),
-                    harness::fmt(cmp.hht_uj, 4),
-                    harness::pct(cmp.savings_fraction),
-                    harness::pct(tile_cmp.savings_fraction)});
+      table.addRow({std::to_string(row.s) + "%", std::to_string(row.base),
+                    std::to_string(row.hht),
+                    harness::fmt(row.cmp.baseline_uj, 4),
+                    harness::fmt(row.cmp.hht_uj, 4),
+                    harness::pct(row.cmp.savings_fraction),
+                    harness::pct(row.tile_cmp.savings_fraction)});
     }
     table.print(std::cout);
     std::cout << "average energy saving: " << harness::pct(sum_saving / count)

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/config.h"
@@ -88,6 +89,7 @@ class BufferPool {
   Slot pop() {
     const Slot slot = front();
     if (++read_pos_ == published_.front().size()) {
+      recycle(std::move(published_.front()));
       published_.pop_front();
       read_pos_ = 0;
     }
@@ -159,7 +161,20 @@ class BufferPool {
  private:
   void publish() {
     published_.push_back(std::move(staging_));
-    staging_.clear();
+    if (!spare_.empty()) {
+      staging_ = std::move(spare_.back());
+      spare_.pop_back();
+      staging_.clear();
+    }
+    staging_.reserve(buffer_len_);
+  }
+
+  /// Return a drained buffer's storage to the spare pool so the staging
+  /// buffer never reallocates in steady state (publish() moves the staging
+  /// allocation out, which would otherwise force a fresh growth sequence
+  /// for every published buffer). Host-side only — never serialized.
+  void recycle(std::vector<Slot>&& storage) {
+    if (spare_.size() < num_buffers_) spare_.push_back(std::move(storage));
   }
 
   std::uint32_t num_buffers_;
@@ -167,6 +182,7 @@ class BufferPool {
   sim::FaultInjector* injector_ = nullptr;
   std::deque<std::vector<Slot>> published_;
   std::vector<Slot> staging_;
+  std::vector<std::vector<Slot>> spare_;  ///< recycled storage, host-only
   std::size_t read_pos_ = 0;
 };
 

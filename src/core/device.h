@@ -30,6 +30,18 @@ class HhtDevice : public mem::MmioDevice, public sim::FaultSink {
   /// Producing, or holding undelivered data.
   virtual bool busy() const = 0;
 
+  /// Quiescence protocol (DESIGN.md §11): earliest future cycle (> now) at
+  /// which this device can change state, perform an event, or needs its
+  /// tick for side effects; sim::kNeverCycle when fully idle. The default
+  /// (tick me every cycle) is always correct, merely never skippable —
+  /// devices opt in by overriding.
+  virtual sim::Cycle nextEventCycle(sim::Cycle now) const { return now + 1; }
+
+  /// Bulk-credit `n` skipped cycles: exactly the counter bumps and phase
+  /// advances the skipped ticks would have performed. Paired with
+  /// nextEventCycle(); the default has nothing to credit.
+  virtual void skipCycles(sim::Cycle n) { (void)n; }
+
   virtual sim::StatSet& stats() = 0;
   virtual const sim::StatSet& stats() const = 0;
 

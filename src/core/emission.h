@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <stdexcept>
+#include <vector>
 
 #include "core/buffers.h"
 
@@ -58,7 +58,7 @@ class EmissionQueue {
     while (drained < max_slots && !entries_.empty() &&
            entries_.front().has_value() && pool.canPush()) {
       pool.push(*entries_.front());
-      entries_.pop_front();
+      entries_.erase(entries_.begin());
       ++base_;
       ++drained;
     }
@@ -109,7 +109,9 @@ class EmissionQueue {
 
  private:
   std::uint32_t depth_;
-  std::deque<std::optional<Slot>> entries_;
+  /// Bounded by depth_ and touched every engine tick; a contiguous vector
+  /// keeps reserve/fill/drain on cache-line-friendly storage.
+  std::vector<std::optional<Slot>> entries_;
   Ticket base_ = 0;
 };
 

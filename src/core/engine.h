@@ -37,7 +37,8 @@ struct EngineContext {
 /// cfg.be_issue_per_cycle new memory requests.
 class Engine {
  public:
-  explicit Engine(const EngineContext& ctx) : ctx_(ctx) {}
+  explicit Engine(const EngineContext& ctx)
+      : ctx_(ctx), c_mem_reads_(&ctx_.stats.counter("hht.mem_reads")) {}
   virtual ~Engine() = default;
 
   Engine(const Engine&) = delete;
@@ -48,6 +49,12 @@ class Engine {
   /// True once every slot of the stream has been handed to the emission
   /// queue (the queue and buffers may still hold undelivered slots).
   virtual bool done() const = 0;
+
+  /// Quiescence protocol (DESIGN.md §11): credit `n` ticks the device
+  /// skipped over. Engines whose tick advances free-running state even
+  /// while idle (the comparator recurrence phase) override this so a
+  /// skipping run serializes byte-identically to a naive one.
+  virtual void creditSkippedCycles(Cycle n) { (void)n; }
 
   /// Checkpoint hooks. The base serializes the shared `faulted_` flag;
   /// each engine appends its own pipeline latches and walker state. The
@@ -71,7 +78,7 @@ class Engine {
                       std::to_string(ctx_.mem.sram().size()) + " bytes)");
       return mem::kInvalidRequest;
     }
-    ++ctx_.stats.counter("hht.mem_reads");
+    ++*c_mem_reads_;
     return ctx_.mem.submit({addr, 4, false, 0, mem::Requester::Hht});
   }
 
@@ -119,6 +126,7 @@ class Engine {
 
   EngineContext ctx_;
   bool faulted_ = false;
+  std::uint64_t* c_mem_reads_;  ///< hot path: one BE read per issue slot
 };
 
 }  // namespace hht::core

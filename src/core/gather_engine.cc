@@ -5,7 +5,8 @@ namespace hht::core {
 GatherEngine::GatherEngine(const EngineContext& ctx)
     : Engine(ctx),
       cols_(ctx.cfg.prefetch_queue),
-      vfetch_(ctx.cfg.prefetch_queue) {
+      vfetch_(ctx.cfg.prefetch_queue),
+      c_values_requested_(&ctx_.stats.counter("hht.gather.values_requested")) {
   rows_.configure(ctx.mmr.m_rows_base, ctx.mmr.m_num_rows);
 }
 
@@ -61,7 +62,7 @@ void GatherEngine::tick(Cycle) {
     const bool last_of_row = cols_.headIsLast();
     vfetch_.enqueue({v_addr, ctx_.emit.reserve(), last_of_row});
     cols_.pop();
-    ++ctx_.stats.counter("hht.gather.values_requested");
+    ++*c_values_requested_;
   }
 
   // 4. Issue memory requests within the BE budget.

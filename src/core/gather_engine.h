@@ -42,6 +42,7 @@ class GatherEngine : public Engine {
   IndexStream cols_;
   ValueFetchQueue vfetch_;
   bool row_stream_ready_ = false;  ///< cols_ targets the current row
+  std::uint64_t* c_values_requested_;
 };
 
 }  // namespace hht::core

@@ -14,6 +14,10 @@ namespace hht::core {
 Hht::Hht(const HhtConfig& config, mem::MemorySystem& memory)
     : cfg_(config), mem_(memory), buffers_(config), emit_(config.emission_queue) {
   fifo_pops_ = &stats_.counter("hht.fifo_pops");
+  c_active_cycles_ = &stats_.counter("hht.active_cycles");
+  c_stall_buffers_full_ = &stats_.counter("hht.stall_buffers_full");
+  c_cpu_wait_cycles_ = &stats_.counter("hht.cpu_wait_cycles");
+  c_elements_delivered_ = &stats_.counter("hht.elements_delivered");
 }
 
 void Hht::start() {
@@ -83,11 +87,11 @@ void Hht::tick(sim::Cycle now) {
   if (faultRaised()) return;
   if (!engine_) return;
   if (!engine_->done()) {
-    ++stats_.counter("hht.active_cycles");
+    ++*c_active_cycles_;
     // Control-unit throttle accounting: the BE has produced data it cannot
     // place because every buffer is owned by unconsumed CPU data.
     if (!emit_.empty() && buffers_.freeCapacity() == 0) {
-      ++stats_.counter("hht.stall_buffers_full");
+      ++*c_stall_buffers_full_;
     }
   }
   // Tick even when done: prefetch streams may still have speculative reads
@@ -99,6 +103,28 @@ void Hht::tick(sim::Cycle now) {
     buffers_.finish();  // publish any partial tail buffer
     finished_flush_done_ = true;
   }
+}
+
+sim::Cycle Hht::nextEventCycle(sim::Cycle now) const {
+  if (tap_ != nullptr) return now + 1;  // oracle needs real per-cycle ticks
+  if (faultRaised() || !engine_) return sim::kNeverCycle;
+  if (!engine_->done() || !emit_.empty() || !finished_flush_done_) {
+    return now + 1;
+  }
+  // A done engine still polls its walkers every tick: speculative reads
+  // (e.g. vector indices fetched past the last match) may be queued or in
+  // flight, and only those polls drain their responses out of the memory
+  // system. Quiescent only once the memory system is completely empty.
+  if (!mem_.idle()) return now + 1;
+  return sim::kNeverCycle;
+}
+
+void Hht::skipCycles(sim::Cycle n) {
+  // Exactly what the skipped ticks would have done: stamp the tick cycle
+  // (tick assigns, so advancing by n lands on the same value) and advance
+  // any free-running engine state (the comparator recurrence phase).
+  last_tick_cycle_ += n;
+  if (engine_ && !faultRaised()) engine_->creditSkippedCycles(n);
 }
 
 bool Hht::busy() const {
@@ -125,7 +151,7 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
           throw std::logic_error(
               "kernel bug: CPU load from HHT BUF_DATA past end of stream");
         }
-        ++stats_.counter("hht.cpu_wait_cycles");
+        ++*c_cpu_wait_cycles_;
         return {false, 0};
       }
       if (buffers_.front().is_row_end) {
@@ -141,7 +167,7 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
         raiseFault(sim::FaultCause::FifoParity,
                    "buffer entry failed its parity check at BUF_DATA pop");
       }
-      std::uint64_t& delivered = stats_.counter("hht.elements_delivered");
+      std::uint64_t& delivered = *c_elements_delivered_;
       if (cfg_.test_flip_element == delivered) {
         // Verification-layer self-test hook: silent single-bit corruption of
         // the Nth delivered element (parity stays good on purpose).
@@ -157,7 +183,7 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
           throw std::logic_error(
               "kernel bug: CPU read VALID past end of stream");
         }
-        ++stats_.counter("hht.cpu_wait_cycles");
+        ++*c_cpu_wait_cycles_;
         return {false, 0};
       }
       if (buffers_.front().is_row_end) {

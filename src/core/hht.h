@@ -21,13 +21,23 @@ namespace hht::core {
 /// Attach to the memory system's MMIO window and tick once per cycle
 /// *before* the CPU (registered interface: data published in cycle t is
 /// loadable at t+1).
-class Hht : public HhtDevice {
+class Hht final : public HhtDevice {
  public:
   Hht(const HhtConfig& config, mem::MemorySystem& memory);
 
   /// Advance the back-end one cycle and drain the emission queue into the
   /// CPU-side buffers.
   void tick(sim::Cycle now) override;
+
+  /// Quiescence protocol (DESIGN.md §11). The device is skippable only
+  /// once the engine is done, the emission queue is drained, the tail
+  /// buffer is flushed and the BE's memory traffic has fully drained
+  /// (a done engine may still hold speculative reads in flight whose
+  /// responses only leave the memory system through its tick polls). An
+  /// attached stream tap forces per-cycle mode: delivery timestamps must
+  /// come from real ticks.
+  sim::Cycle nextEventCycle(sim::Cycle now) const override;
+  void skipCycles(sim::Cycle n) override;
 
   // MmioDevice interface (driven by the memory system). The ASIC HHT has
   // no device-side micro-core, so `who` only guards against misuse.
@@ -98,6 +108,11 @@ class Hht : public HhtDevice {
   sim::Cycle last_tick_cycle_ = 0;
   sim::StatSet stats_;
   std::uint64_t* fifo_pops_;  ///< cached "hht.fifo_pops" (watchdog signal)
+  // Hot-path counters cached once (StatSet references are stable).
+  std::uint64_t* c_active_cycles_;
+  std::uint64_t* c_stall_buffers_full_;
+  std::uint64_t* c_cpu_wait_cycles_;
+  std::uint64_t* c_elements_delivered_;
 };
 
 }  // namespace hht::core

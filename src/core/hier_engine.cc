@@ -11,7 +11,12 @@ constexpr std::uint32_t kL1Granule = 32;  ///< level-1 fetched as 32-bit words
 
 HierBitmapEngine::HierBitmapEngine(const EngineContext& ctx, bool flat)
     : Engine(ctx), l1_(ctx.cfg.prefetch_queue), vfetch_(ctx.cfg.emission_queue),
-      flat_(flat) {
+      flat_(flat),
+      c_rows_done_(&ctx_.stats.counter("hht.hier.rows_done")),
+      c_values_requested_(&ctx_.stats.counter("hht.hier.values_requested")),
+      c_emit_stall_(&ctx_.stats.counter("hht.hier.emit_stall_cycles")),
+      c_slots_found_(&ctx_.stats.counter("hht.hier.slots_found")),
+      c_l1_words_scanned_(&ctx_.stats.counter("hht.hier.l1_words_scanned")) {
   const std::uint64_t positions = numPositions();
   num_slots_ = (positions + kLeafBits - 1) / kLeafBits;
   const std::uint32_t l1_words = flat_
@@ -95,18 +100,18 @@ void HierBitmapEngine::tick(Cycle) {
         if (!ctx_.emit.canReserve()) break;
         ctx_.emit.emitNow(Slot{0, true, true});
         ++cur_row_;
-        ++ctx_.stats.counter("hht.hier.rows_done");
+        ++*c_rows_done_;
         --budget;
         continue;
       }
       if (!ctx_.emit.canReserve() || !vfetch_.canAccept()) {
-        ++ctx_.stats.counter("hht.hier.emit_stall_cycles");
+        ++*c_emit_stall_;
         break;
       }
       vfetch_.enqueue({ctx_.mmr.v_base + col * ctx_.mmr.element_size,
                        ctx_.emit.reserve(), false});
       leaf.bits &= leaf.bits - 1;
-      ++ctx_.stats.counter("hht.hier.values_requested");
+      ++*c_values_requested_;
       --budget;
       continue;
     }
@@ -119,7 +124,7 @@ void HierBitmapEngine::tick(Cycle) {
              slot_q_.size() < ctx_.cfg.prefetch_queue) {
         slot_q_.push_back(next_slot_++);
         queued = true;
-        ++ctx_.stats.counter("hht.hier.slots_found");
+        ++*c_slots_found_;
       }
       if (queued) continue;
     }
@@ -135,7 +140,7 @@ void HierBitmapEngine::tick(Cycle) {
       l1_word_bits_ &= l1_word_bits_ - 1;
       slot_q_.push_back(static_cast<std::uint64_t>(l1_word_index_) * kL1Granule +
                         static_cast<unsigned>(bit));
-      ++ctx_.stats.counter("hht.hier.slots_found");
+      ++*c_slots_found_;
       --budget;
       continue;
     }
@@ -144,7 +149,7 @@ void HierBitmapEngine::tick(Cycle) {
       l1_word_index_ = l1_.headIndex();
       l1_.pop();
       l1_word_open_ = true;
-      ++ctx_.stats.counter("hht.hier.l1_words_scanned");
+      ++*c_l1_words_scanned_;
       --budget;
       continue;
     }
@@ -157,7 +162,7 @@ void HierBitmapEngine::tick(Cycle) {
       if (!ctx_.emit.canReserve()) break;
       ctx_.emit.emitNow(Slot{0, true, true});
       ++cur_row_;
-      ++ctx_.stats.counter("hht.hier.rows_done");
+      ++*c_rows_done_;
       --budget;
       continue;
     }

@@ -31,6 +31,13 @@ class HierBitmapEngine : public Engine {
   void tick(Cycle now) override;
   bool done() const override;
 
+  /// The comparator recurrence free-runs every tick, even when idle or
+  /// done; skipped ticks must advance it identically (DESIGN.md §11).
+  void creditSkippedCycles(Cycle n) override {
+    cmp_phase_ = static_cast<std::uint32_t>(
+        (cmp_phase_ + n) % ctx_.cfg.cmp_recurrence);
+  }
+
   void serialize(sim::StateWriter& w) const override {
     Engine::serialize(w);
     l1_.serialize(w);
@@ -136,6 +143,11 @@ class HierBitmapEngine : public Engine {
   std::uint64_t next_slot_ = 0;        ///< flat mode: next slot to visit
   std::uint64_t num_slots_ = 0;
   std::uint32_t cmp_phase_ = 0;  ///< merge-recurrence phase counter
+  std::uint64_t* c_rows_done_;
+  std::uint64_t* c_values_requested_;
+  std::uint64_t* c_emit_stall_;
+  std::uint64_t* c_slots_found_;
+  std::uint64_t* c_l1_words_scanned_;
 };
 
 }  // namespace hht::core

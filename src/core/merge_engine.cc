@@ -6,7 +6,11 @@ MergeEngine::MergeEngine(const EngineContext& ctx)
     : Engine(ctx),
       cols_(ctx.cfg.prefetch_queue),
       vidx_(ctx.cfg.prefetch_queue),
-      vfetch_(ctx.cfg.emission_queue) {
+      vfetch_(ctx.cfg.emission_queue),
+      c_rows_done_(&ctx_.stats.counter("hht.merge.rows_done")),
+      c_comparisons_(&ctx_.stats.counter("hht.merge.comparisons")),
+      c_matches_(&ctx_.stats.counter("hht.merge.matches")),
+      c_emit_stall_(&ctx_.stats.counter("hht.merge.emit_stall_cycles")) {
   rows_.configure(ctx.mmr.m_rows_base, ctx.mmr.m_num_rows);
 }
 
@@ -25,7 +29,7 @@ void MergeEngine::configureRow() {
 bool MergeEngine::tryFinishRow() {
   if (!ctx_.emit.canReserve()) return false;
   ctx_.emit.emitNow(Slot{0, /*is_row_end=*/true, /*publish_after=*/true});
-  ++ctx_.stats.counter("hht.merge.rows_done");
+  ++*c_rows_done_;
   rows_.advance();
   row_ready_ = false;
   row_merge_done_ = false;
@@ -69,7 +73,7 @@ void MergeEngine::tick(Cycle) {
       // Vector exhausted: remaining columns are unmatched; discard one per
       // comparison slot (the hardware still walks them).
       cols_.pop();
-      ++ctx_.stats.counter("hht.merge.comparisons");
+      ++*c_comparisons_;
       --cmps;
       continue;
     }
@@ -77,12 +81,12 @@ void MergeEngine::tick(Cycle) {
 
     const std::uint32_t mc = cols_.head();
     const std::uint32_t vc = vidx_.head();
-    ++ctx_.stats.counter("hht.merge.comparisons");
+    ++*c_comparisons_;
     --cmps;
     if (mc == vc) {
       if (!ctx_.emit.canReserve(2) || !vfetch_.canAccept(2)) {
         // Downstream full: retry the same comparison next cycle.
-        ++ctx_.stats.counter("hht.merge.emit_stall_cycles");
+        ++*c_emit_stall_;
         break;
       }
       const Addr m_addr = ctx_.mmr.m_vals_base + cols_.headGlobal() * 4u;
@@ -91,7 +95,7 @@ void MergeEngine::tick(Cycle) {
       vfetch_.enqueue({v_addr, ctx_.emit.reserve(), false});
       cols_.pop();
       vidx_.pop();
-      ++ctx_.stats.counter("hht.merge.matches");
+      ++*c_matches_;
     } else if (mc < vc) {
       cols_.pop();
     } else {

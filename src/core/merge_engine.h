@@ -21,6 +21,13 @@ class MergeEngine : public Engine {
   void tick(Cycle now) override;
   bool done() const override;
 
+  /// The comparator recurrence free-runs every tick, even when idle or
+  /// done; skipped ticks must advance it identically (DESIGN.md §11).
+  void creditSkippedCycles(Cycle n) override {
+    cmp_phase_ = static_cast<std::uint32_t>(
+        (cmp_phase_ + n) % ctx_.cfg.cmp_recurrence);
+  }
+
   void serialize(sim::StateWriter& w) const override {
     Engine::serialize(w);
     rows_.serialize(w);
@@ -58,6 +65,10 @@ class MergeEngine : public Engine {
   bool row_merge_done_ = false;  ///< matrix side exhausted; marker pending
   bool prefer_cols_ = true;      ///< round-robin between the index streams
   std::uint32_t cmp_phase_ = 0;  ///< merge-recurrence phase counter
+  std::uint64_t* c_rows_done_;
+  std::uint64_t* c_comparisons_;
+  std::uint64_t* c_matches_;
+  std::uint64_t* c_emit_stall_;
 };
 
 }  // namespace hht::core

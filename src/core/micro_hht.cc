@@ -15,6 +15,12 @@ MicroHht::MicroHht(const HhtConfig& config, mem::MemorySystem& memory,
                                               /*vlmax=*/1,
                                               mem::Requester::Hht)) {
   fifo_pops_ = &stats_.counter("hht.fifo_pops");
+  c_active_cycles_ = &stats_.counter("hht.active_cycles");
+  c_cpu_wait_cycles_ = &stats_.counter("hht.cpu_wait_cycles");
+  c_elements_delivered_ = &stats_.counter("hht.elements_delivered");
+  c_fw_space_wait_ = &stats_.counter("hht.fw_space_wait_cycles");
+  c_fw_pushes_ = &stats_.counter("hht.fw_pushes");
+  c_fw_row_ends_ = &stats_.counter("hht.fw_row_ends");
 }
 
 void MicroHht::setFirmware(const isa::Program& firmware) {
@@ -40,8 +46,22 @@ void MicroHht::start() {
 void MicroHht::tick(sim::Cycle now) {
   if (faultRaised()) return;  // a faulted device halts (firmware included)
   if (!started_) return;
-  if (!micro_core_->halted()) ++stats_.counter("hht.active_cycles");
+  if (!micro_core_->halted()) ++*c_active_cycles_;
   micro_core_->tick(now);
+}
+
+sim::Cycle MicroHht::nextEventCycle(sim::Cycle now) const {
+  if (faultRaised() || !started_) return sim::kNeverCycle;
+  if (micro_core_->halted()) return sim::kNeverCycle;
+  return micro_core_->nextEventCycle(now);
+}
+
+void MicroHht::skipCycles(sim::Cycle n) {
+  if (faultRaised() || !started_) return;
+  if (!micro_core_->halted()) {
+    *c_active_cycles_ += n;
+    micro_core_->skipCycles(n);
+  }
 }
 
 bool MicroHht::busy() const {
@@ -56,7 +76,7 @@ mem::MmioReadResult MicroHht::cpuRead(Addr offset) {
           throw std::logic_error(
               "kernel bug: CPU load from BUF_DATA past end of firmware stream");
         }
-        ++stats_.counter("hht.cpu_wait_cycles");
+        ++*c_cpu_wait_cycles_;
         return {false, 0};
       }
       if (buffers_.front().is_row_end) {
@@ -69,7 +89,7 @@ mem::MmioReadResult MicroHht::cpuRead(Addr offset) {
         raiseFault(sim::FaultCause::FifoParity,
                    "buffer entry failed its parity check at BUF_DATA pop");
       }
-      ++stats_.counter("hht.elements_delivered");
+      ++*c_elements_delivered_;
       return {true, slot.bits};
     }
     case mmr::kValid: {
@@ -77,7 +97,7 @@ mem::MmioReadResult MicroHht::cpuRead(Addr offset) {
         if (started_ && micro_core_->halted()) {
           throw std::logic_error("kernel bug: CPU read VALID past end of stream");
         }
-        ++stats_.counter("hht.cpu_wait_cycles");
+        ++*c_cpu_wait_cycles_;
         return {false, 0};
       }
       if (buffers_.front().is_row_end) {
@@ -108,7 +128,7 @@ mem::MmioReadResult MicroHht::firmwareRead(Addr offset) {
   if (space == 0) {
     // The control unit throttles the firmware exactly as it would the
     // ASIC back-end: this is the "HHT waiting for CPU" condition.
-    ++stats_.counter("hht.fw_space_wait_cycles");
+    ++*c_fw_space_wait_;
     return {false, 0};
   }
   return {true, space};
@@ -118,15 +138,15 @@ void MicroHht::firmwareWrite(Addr offset, std::uint32_t value) {
   switch (offset) {
     case mmr::kFwPushValue:
       buffers_.push({value, false, false});
-      ++stats_.counter("hht.fw_pushes");
+      ++*c_fw_pushes_;
       break;
     case mmr::kFwPushValueEor:
       buffers_.push({value, false, true});
-      ++stats_.counter("hht.fw_pushes");
+      ++*c_fw_pushes_;
       break;
     case mmr::kFwPushRowEnd:
       buffers_.push({0, true, true});
-      ++stats_.counter("hht.fw_row_ends");
+      ++*c_fw_row_ends_;
       break;
     default:
       throw std::invalid_argument("MicroHht: firmware write to non-port offset " +

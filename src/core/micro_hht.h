@@ -28,7 +28,7 @@ namespace hht::core {
 /// The flexibility/performance trade-off the paper anticipates shows up
 /// directly: bench/abl_programmable measures the slowdown of firmware
 /// metadata processing versus the ASIC pipelines.
-class MicroHht : public HhtDevice {
+class MicroHht final : public HhtDevice {
  public:
   MicroHht(const HhtConfig& config, mem::MemorySystem& memory,
            const cpu::TimingConfig& micro_timing = cpu::TimingConfig{});
@@ -40,6 +40,13 @@ class MicroHht : public HhtDevice {
 
   void tick(sim::Cycle now) override;
   bool busy() const override;
+
+  /// Quiescence protocol (DESIGN.md §11): the front-end has no autonomous
+  /// per-cycle work, so skippability delegates to the micro-core (whose
+  /// Busy stretches — long divides in address arithmetic — are exactly the
+  /// firmware's dead cycles).
+  sim::Cycle nextEventCycle(sim::Cycle now) const override;
+  void skipCycles(sim::Cycle n) override;
 
   mem::MmioReadResult mmioRead(Addr offset, std::uint32_t size,
                                mem::Requester who) override;
@@ -96,6 +103,13 @@ class MicroHht : public HhtDevice {
   sim::FaultInjector* injector_ = nullptr;
   sim::StatSet stats_;
   std::uint64_t* fifo_pops_ = nullptr;  ///< cached "hht.fifo_pops"
+  // Hot-path counters cached once (StatSet references are stable).
+  std::uint64_t* c_active_cycles_ = nullptr;
+  std::uint64_t* c_cpu_wait_cycles_ = nullptr;
+  std::uint64_t* c_elements_delivered_ = nullptr;
+  std::uint64_t* c_fw_space_wait_ = nullptr;
+  std::uint64_t* c_fw_pushes_ = nullptr;
+  std::uint64_t* c_fw_row_ends_ = nullptr;
 };
 
 }  // namespace hht::core

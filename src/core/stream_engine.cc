@@ -8,7 +8,12 @@ StreamEngine::StreamEngine(const EngineContext& ctx)
     : Engine(ctx),
       cols_(ctx.cfg.prefetch_queue),
       vidx_(ctx.cfg.prefetch_queue),
-      vfetch_(ctx.cfg.emission_queue) {
+      vfetch_(ctx.cfg.emission_queue),
+      c_rows_done_(&ctx_.stats.counter("hht.stream.rows_done")),
+      c_comparisons_(&ctx_.stats.counter("hht.stream.comparisons")),
+      c_matches_(&ctx_.stats.counter("hht.stream.matches")),
+      c_zeros_emitted_(&ctx_.stats.counter("hht.stream.zeros_emitted")),
+      c_emit_stall_(&ctx_.stats.counter("hht.stream.emit_stall_cycles")) {
   rows_.configure(ctx.mmr.m_rows_base, ctx.mmr.m_num_rows);
 }
 
@@ -50,7 +55,7 @@ void StreamEngine::tick(Cycle) {
       // Row complete (every matrix NZ produced one stream element).
       rows_.advance();
       row_ready_ = false;
-      ++ctx_.stats.counter("hht.stream.rows_done");
+      ++*c_rows_done_;
       if (rows_.haveRow()) {
         configureRow();
         if (faulted_) return;
@@ -61,7 +66,7 @@ void StreamEngine::tick(Cycle) {
 
     const std::uint32_t mc = cols_.head();
     const bool last = cols_.headIsLast();
-    ++ctx_.stats.counter("hht.stream.comparisons");
+    ++*c_comparisons_;
     --cmps;
 
     if (!vidx_.morePending()) {
@@ -69,7 +74,7 @@ void StreamEngine::tick(Cycle) {
       if (!ctx_.emit.canReserve()) break;
       ctx_.emit.emitNow(Slot{std::bit_cast<std::uint32_t>(0.0f), false, last});
       cols_.pop();
-      ++ctx_.stats.counter("hht.stream.zeros_emitted");
+      ++*c_zeros_emitted_;
       continue;
     }
     if (!vidx_.headAvailable()) break;
@@ -77,19 +82,19 @@ void StreamEngine::tick(Cycle) {
     const std::uint32_t vc = vidx_.head();
     if (mc == vc) {
       if (!ctx_.emit.canReserve() || !vfetch_.canAccept()) {
-        ++ctx_.stats.counter("hht.stream.emit_stall_cycles");
+        ++*c_emit_stall_;
         break;
       }
       const Addr v_addr = ctx_.mmr.v_vals_base + vidx_.headIndex() * 4u;
       vfetch_.enqueue({v_addr, ctx_.emit.reserve(), last});
       cols_.pop();
       vidx_.pop();
-      ++ctx_.stats.counter("hht.stream.matches");
+      ++*c_matches_;
     } else if (mc < vc) {
       if (!ctx_.emit.canReserve()) break;
       ctx_.emit.emitNow(Slot{std::bit_cast<std::uint32_t>(0.0f), false, last});
       cols_.pop();
-      ++ctx_.stats.counter("hht.stream.zeros_emitted");
+      ++*c_zeros_emitted_;
     } else {
       vidx_.pop();
     }

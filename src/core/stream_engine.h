@@ -22,6 +22,13 @@ class StreamEngine : public Engine {
   void tick(Cycle now) override;
   bool done() const override;
 
+  /// The comparator recurrence free-runs every tick, even when idle or
+  /// done; skipped ticks must advance it identically (DESIGN.md §11).
+  void creditSkippedCycles(Cycle n) override {
+    cmp_phase_ = static_cast<std::uint32_t>(
+        (cmp_phase_ + n) % ctx_.cfg.cmp_recurrence);
+  }
+
   void serialize(sim::StateWriter& w) const override {
     Engine::serialize(w);
     rows_.serialize(w);
@@ -53,6 +60,11 @@ class StreamEngine : public Engine {
   bool row_ready_ = false;
   bool prefer_cols_ = true;
   std::uint32_t cmp_phase_ = 0;  ///< merge-recurrence phase counter
+  std::uint64_t* c_rows_done_;
+  std::uint64_t* c_comparisons_;
+  std::uint64_t* c_matches_;
+  std::uint64_t* c_zeros_emitted_;
+  std::uint64_t* c_emit_stall_;
 };
 
 }  // namespace hht::core

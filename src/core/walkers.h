@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "core/engine.h"
 #include "sim/state_io.h"
@@ -150,7 +150,7 @@ class IndexStream {
   bool headIsLast() const { return queue_.front().index + 1 == count_; }
   void pop() {
     ++next_pop_;
-    queue_.pop_front();
+    queue_.erase(queue_.begin());
   }
 
   std::uint32_t consumedUpTo() const { return next_pop_; }
@@ -275,8 +275,11 @@ class IndexStream {
   std::uint32_t next_pop_ = 0;  ///< stream-local index of the next delivery
   std::uint64_t epoch_ = 0;
   bool saw_poison_ = false;
-  std::deque<Entry> queue_;
-  std::deque<Pending> pending_;
+  // Vectors, not deques: both stay at or below the (small) prefetch depth,
+  // and they are polled every engine tick — contiguous storage keeps that
+  // scan cheap. Element order is the delivery contract; never reorder.
+  std::vector<Entry> queue_;
+  std::vector<Pending> pending_;
 };
 
 /// Queue of deferred value fetches whose emission slots are already
@@ -297,7 +300,7 @@ class ValueFetchQueue {
 
   void issue(Engine& engine, mem::MemorySystem&) {
     const Item item = todo_.front();
-    todo_.pop_front();
+    todo_.erase(todo_.begin());
     pending_.push_back({engine.issueReadFor(item.addr), item});
   }
 
@@ -370,8 +373,8 @@ class ValueFetchQueue {
 
   std::uint32_t depth_;
   bool saw_poison_ = false;
-  std::deque<Item> todo_;
-  std::deque<Pending> pending_;
+  std::vector<Item> todo_;      ///< bounded by depth_; polled every tick
+  std::vector<Pending> pending_;
 };
 
 }  // namespace hht::core

@@ -1,5 +1,6 @@
 #include "cpu/core.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <limits>
@@ -192,6 +193,53 @@ void Core::tick(Cycle now) {
     }
     case Phase::VecMem:
       tickVecMem(now);
+      break;
+  }
+}
+
+Cycle Core::nextEventCycle(Cycle now) const {
+  if (halted_) return sim::kNeverCycle;
+  switch (phase_) {
+    case Phase::Ready:
+      return now + 1;  // dispatch is an event
+    case Phase::Busy:
+      // Ticks now+1 .. now+busy_left_ only decrement the timer; the flip to
+      // Ready happens on the last of them and dispatch on the one after.
+      return now + busy_left_ + 1;
+    case Phase::LoadWait:
+      return mem_.responseReadyCycle(load_req_, now);
+    case Phase::VecMem:
+      if (vec_startup_left_ > 0) return now + vec_startup_left_ + 1;
+      if (vec_issued_ < vec_total_) return now + 1;  // issuing every cycle
+      if (vec_pending_.empty()) return now + 1;
+      {
+        Cycle earliest = sim::kNeverCycle;
+        for (const VecElem& e : vec_pending_) {
+          earliest = std::min(earliest, mem_.responseReadyCycle(e.req, now));
+          if (earliest <= now + 1) return earliest;  // can't skip; stop scanning
+        }
+        return earliest;
+      }
+  }
+  return now + 1;
+}
+
+void Core::skipCycles(Cycle n) {
+  if (halted_ || n == 0) return;
+  *c_cycles_ += n;
+  switch (phase_) {
+    case Phase::Ready:
+      break;  // never skipped across: nextEventCycle() is now + 1
+    case Phase::Busy:
+      busy_left_ -= n;
+      if (busy_left_ == 0) phase_ = Phase::Ready;
+      break;
+    case Phase::LoadWait:
+      *c_load_stall_ += n;
+      break;
+    case Phase::VecMem:
+      *c_vec_mem_ += n;
+      vec_startup_left_ -= std::min(vec_startup_left_, n);
       break;
   }
 }

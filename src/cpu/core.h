@@ -58,6 +58,17 @@ class Core {
   /// Advance one cycle. No-op once halted.
   void tick(Cycle now);
 
+  /// Earliest future cycle (> now) at which this core can change state or
+  /// perform an event, assuming nothing else in the system acts first.
+  /// Returns sim::kNeverCycle when halted (quiescence protocol, DESIGN.md
+  /// §11). A return of now + 1 means "not quiescent — tick me".
+  Cycle nextEventCycle(Cycle now) const;
+
+  /// Bulk-credit `n` skipped cycles: exactly the counter bumps and timer
+  /// decrements the pure-stall ticks would have performed, with no other
+  /// side effects. Only valid for n < nextEventCycle(now) - now - 1.
+  void skipCycles(Cycle n);
+
   bool halted() const { return halted_; }
   /// True when the core has more work this cycle (used by run loops
   /// together with MemorySystem::idle()).

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace hht::harness {
+
+/// Host-side parallel sweep driver: runs `n` independent tasks — typically
+/// one fully-owned System per task — on a small pool of host threads and
+/// returns the results in index order.
+///
+/// Determinism contract: the task function receives only its index, so it
+/// must derive everything task-specific (operands, RNG stream, config) from
+/// that index. Tasks share no simulator state; results land in a
+/// pre-sized vector slot per index. Output is therefore byte-identical for
+/// every `jobs` value, including 1 — the scheduling order can change, the
+/// results cannot. (Simulator objects themselves are single-threaded;
+/// never share a System between tasks.)
+///
+/// Error contract: every task runs to completion or failure; afterwards the
+/// first failure *by index* (not by wall-clock order) is rethrown, so the
+/// reported error is also independent of `jobs`.
+class SweepRunner {
+ public:
+  /// `jobs` = 0 selects std::thread::hardware_concurrency().
+  explicit SweepRunner(unsigned jobs = 0)
+      : jobs_(jobs == 0 ? defaultJobs() : jobs) {}
+
+  static unsigned defaultJobs() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  unsigned jobs() const { return jobs_; }
+
+  /// Run fn(0) .. fn(n-1); return {fn(0), ..., fn(n-1)}. The result type
+  /// must be default-constructible (slots are pre-sized). With jobs <= 1 or
+  /// n <= 1 this is a plain inline loop — zero threading cost.
+  template <typename Fn>
+  auto run(std::size_t n, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{0}))> {
+    using R = decltype(fn(std::size_t{0}));
+    std::vector<R> results(n);
+    if (n <= 1 || jobs_ <= 1) {
+      // The inline loop throws at the lowest failing index, which is the
+      // same failure the pool path selects below.
+      for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+      return results;
+    }
+    std::vector<std::exception_ptr> errors(n);
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          results[i] = fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    const auto pool =
+        static_cast<unsigned>(std::min<std::size_t>(jobs_, n));
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (unsigned t = 0; t < pool; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (errors[i]) std::rethrow_exception(errors[i]);
+    }
+    return results;
+  }
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace hht::harness

@@ -227,10 +227,35 @@ RunResult System::runLoop(const isa::Program& program, Addr y_addr,
   const std::uint64_t* cpu_retired = &cpu_->stats().counter("cpu.retired");
   const std::uint64_t* mem_grants = &mem_->stats().counter("mem.grants");
 
+  // Host fast-forward (DESIGN.md §11): only when no observer is attached —
+  // an observer is entitled to see every executed cycle (the differential
+  // oracle samples FIFO occupancy; checkpoint triggers fire at exact
+  // cycles). The fault injector needs no quiescence hook: faults only
+  // arise from component activity, and skipped stretches have none.
+  const bool allow_ff = config_.host_fastforward && observer == nullptr;
+  host_skipped_cycles_ = 0;
+  // Failed-attempt throttle: on skip-hostile stretches (some component has
+  // an event every cycle) the hook itself would otherwise tax every cycle.
+  // Attempts are side-effect-free, so thinning them never changes results —
+  // a skippable stretch is still found within ff_backoff cycles, and the
+  // stretches that matter (idle tails, long stalls) are far longer than the
+  // backoff cap.
+  Cycle ff_next_attempt = 0;
+  Cycle ff_backoff = 0;
+
+  // Devirtualized tick target: both concrete device types are final, so
+  // calling through the typed alias lets the per-cycle dispatch inline.
+  core::Hht* const asic = asic_hht_;
+  core::MicroHht* const micro = micro_hht_;
+
   RunResult result;
   Cycle now = start_cycle;
   for (; now < max_cycles; ++now) {
-    hht_->tick(now);
+    if (asic != nullptr) {
+      asic->tick(now);
+    } else {
+      micro->tick(now);
+    }
     cpu_->tick(now);
     mem_->tick(now);
     if (hht_->faultRaised()) {
@@ -257,6 +282,39 @@ RunResult System::runLoop(const isa::Program& program, Addr y_addr,
       watchdog.observe(
           now, *cpu_retired + *mem_grants + hht_->progressSignal(),
           [&] { return dumpDiagnostics(now); });
+    }
+    if (allow_ff && now >= ff_next_attempt) {
+      // Cheapest hook first: the CPU is almost always the binding
+      // component, so the HHT/memory hooks only run when the CPU already
+      // reported a skippable stretch.
+      Cycle ev = cpu_->nextEventCycle(now);
+      if (ev > now + 1) {
+        ev = std::min(ev, asic != nullptr ? asic->nextEventCycle(now)
+                                          : micro->nextEventCycle(now));
+      }
+      if (ev > now + 1) ev = std::min(ev, mem_->nextEventCycle(now));
+      if (ev <= now + 1) {
+        ff_backoff = std::min<Cycle>(ff_backoff == 0 ? 1 : ff_backoff * 2, 64);
+        ff_next_attempt = now + ff_backoff;
+      } else {
+        // Cap at the watchdog's next state-changing sample so a wedged run
+        // still fires at the exact cycle — and with the exact diagnostics —
+        // the naive loop would produce, and at max_cycles so the timeout
+        // path is also unchanged.
+        Cycle target = std::min(ev, max_cycles);
+        target = std::min(
+            target, watchdog.observeSkip(
+                        now, *cpu_retired + *mem_grants +
+                                 hht_->progressSignal()));
+        if (target > now + 1) {
+          const Cycle skipped = target - (now + 1);
+          cpu_->skipCycles(skipped);
+          hht_->skipCycles(skipped);
+          host_skipped_cycles_ += skipped;
+          now += skipped;  // the for-loop ++now resumes ticking at `target`
+          ff_backoff = 0;
+        }
+      }
     }
   }
   if (!result.degraded && now >= max_cycles) {

@@ -44,6 +44,15 @@ struct SystemConfig {
   /// declared wedged (SimError(Watchdog) with a diagnostic dump). 0
   /// disables the watchdog; the max_cycles ceiling still applies.
   Cycle watchdog_cycles = 100'000;
+  /// Host-side quiescence fast-forward (DESIGN.md §11): when no RunObserver
+  /// is attached, the run loop skips stretches in which no component can
+  /// change simulated state, bulk-crediting the skipped cycles so results
+  /// are bit-identical to the naive loop. This knob is host-only tooling —
+  /// it is deliberately excluded from writeSystemConfig/readSystemConfig
+  /// and the snapshot fingerprint, because two configs differing only here
+  /// describe the same simulated machine. Disable (or pass
+  /// --no-fastforward to the benches) for A/B verification.
+  bool host_fastforward = true;
 
   /// Reject broken configurations with SimError(Config); called by the
   /// System constructor before any component is built.
@@ -166,6 +175,11 @@ class System {
   /// Multi-line snapshot of every component (watchdog / fault dumps).
   std::string dumpDiagnostics(Cycle now) const;
 
+  /// Host cycles elapsed via fast-forward during the most recent run() /
+  /// resume() (host diagnostic, not a simulated statistic — it never
+  /// appears in RunResult::stats).
+  std::uint64_t hostSkippedCycles() const { return host_skipped_cycles_; }
+
  private:
   RunResult runLoop(const isa::Program& program, Addr y_addr,
                     std::uint32_t y_len, Cycle start_cycle, Cycle max_cycles,
@@ -180,6 +194,7 @@ class System {
   core::Hht* asic_hht_ = nullptr;        ///< alias into hht_ when ASIC
   std::unique_ptr<cpu::Core> cpu_;
   mem::Arena arena_;
+  std::uint64_t host_skipped_cycles_ = 0;
 };
 
 // --- workload loaders: place operands into simulated SRAM ---

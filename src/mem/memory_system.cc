@@ -46,6 +46,13 @@ MemorySystem::MemorySystem(const MemorySystemConfig& config)
     conflict_cycles_[r] = &stats_.counter("mem." + who + ".conflict_cycles");
   }
   grants_ = &stats_.counter("mem.grants");
+  ecc_detected_ = &stats_.counter("mem.ecc_detected");
+  ecc_retries_ = &stats_.counter("mem.ecc_retries");
+  ecc_corrected_ = &stats_.counter("mem.ecc_corrected");
+  ecc_uncorrectable_ = &stats_.counter("mem.ecc_uncorrectable");
+  drop_recoveries_ = &stats_.counter("mem.drop_recoveries");
+  delayed_responses_ = &stats_.counter("mem.delayed_responses");
+  prefetch_fills_ = &stats_.counter("mem.cpu.prefetch_fills");
   if (config_.cpu_cache_enabled) {
     cpu_cache_ = std::make_unique<Cache>(config_.cache);
   }
@@ -89,14 +96,6 @@ RequestId MemorySystem::submit(const MemAccess& access) {
     ++*(access.is_write ? writes_[who] : reads_[who]);
   }
   return id;
-}
-
-std::optional<MemResponse> MemorySystem::takeResponse(RequestId id) {
-  auto it = completed_.find(id);
-  if (it == completed_.end()) return std::nullopt;
-  const MemResponse response = it->second;
-  completed_.erase(it);
-  return response;
 }
 
 std::optional<std::uint32_t> MemorySystem::takeCompleted(RequestId id) {
@@ -149,30 +148,30 @@ void MemorySystem::grant(const Pending& pending, Cycle now) {
     // attempt is delivered poisoned — consumers must not use the payload.
     const std::uint32_t clean = data;
     if (injector_->corruptReadData(data)) {
-      ++stats_.counter("mem.ecc_detected");
+      ++*ecc_detected_;
       const std::uint32_t limit = injector_->config().ecc_retry_limit;
       std::uint32_t attempt = 0;
       for (; attempt < limit; ++attempt) {
-        ++stats_.counter("mem.ecc_retries");
+        ++*ecc_retries_;
         latency += config_.sram_latency;
         data = clean;
         if (!injector_->corruptReadData(data)) break;
       }
       if (attempt < limit) {
-        ++stats_.counter("mem.ecc_corrected");
+        ++*ecc_corrected_;
       } else {
-        ++stats_.counter("mem.ecc_uncorrectable");
+        ++*ecc_uncorrectable_;
         poisoned = true;
       }
     }
     if (injector_->dropResponse()) {
       // Dropped response: the controller times out and re-requests; the
       // requester just sees a long-latency completion.
-      ++stats_.counter("mem.drop_recoveries");
+      ++*drop_recoveries_;
       latency += injector_->config().drop_penalty_cycles;
     }
     if (injector_->delayResponse()) {
-      ++stats_.counter("mem.delayed_responses");
+      ++*delayed_responses_;
       latency += injector_->config().delay_cycles;
     }
   }
@@ -188,7 +187,7 @@ void MemorySystem::tick(Cycle now) {
   // 1. Retire accesses whose latency has elapsed.
   std::erase_if(in_flight_, [&](const InFlight& f) {
     if (f.done_at > now) return false;
-    completed_.emplace(f.id, MemResponse{f.data, f.poisoned});
+    completed_.emplace_back(f.id, MemResponse{f.data, f.poisoned});
     return true;
   });
 
@@ -222,9 +221,9 @@ void MemorySystem::tick(Cycle now) {
   // Spare slots feed the stream prefetcher (demand traffic always wins).
   while (slots_left > 0 && !prefetch_queue_.empty()) {
     const Addr target = prefetch_queue_.front();
-    prefetch_queue_.pop_front();
+    prefetch_queue_.erase(prefetch_queue_.begin());
     if (cpu_cache_ && cpu_cache_->install(target)) {
-      ++stats_.counter("mem.cpu.prefetch_fills");
+      ++*prefetch_fills_;
     }
     --slots_left;
   }
@@ -239,7 +238,7 @@ void MemorySystem::tick(Cycle now) {
     if (blocked[who]) return false;
     if (mmio_device_ == nullptr) {
       // Unmapped MMIO: reads return 0, writes are dropped.
-      if (!p.access.is_write) completed_.emplace(p.id, MemResponse{0, false});
+      if (!p.access.is_write) completed_.emplace_back(p.id, MemResponse{0, false});
       return true;
     }
     const Addr offset = p.access.addr - config_.mmio_base;
@@ -254,9 +253,35 @@ void MemorySystem::tick(Cycle now) {
       blocked[who] = true;  // retry next cycle; requester stays stalled
       return false;
     }
-    completed_.emplace(p.id, MemResponse{result.data, false});
+    completed_.emplace_back(p.id, MemResponse{result.data, false});
     return true;
   });
+}
+
+Cycle MemorySystem::responseReadyCycle(RequestId id, Cycle now) const {
+  for (const auto& [done_id, response] : completed_) {
+    (void)response;
+    if (done_id == id) return now + 1;
+  }
+  for (const InFlight& f : in_flight_) {
+    // The response enters completed_ during tick(done_at); consumers tick
+    // before the memory system, so the first successful poll is done_at+1.
+    if (f.id == id) return std::max(f.done_at, now) + 1;
+  }
+  return now + 1;  // still queued (SRAM or MMIO): poll again next cycle
+}
+
+Cycle MemorySystem::nextEventCycle(Cycle now) const {
+  if (!sram_queue_.empty() || !mmio_queue_.empty() ||
+      !prefetch_queue_.empty()) {
+    return now + 1;  // arbitration / MMIO retry runs every tick
+  }
+  if (in_flight_.empty()) return sim::kNeverCycle;
+  Cycle earliest = sim::kNeverCycle;
+  for (const InFlight& f : in_flight_) {
+    earliest = std::min(earliest, f.done_at);
+  }
+  return std::max(earliest, now + 1);
 }
 
 void MemorySystem::attachMmioDevice(MmioDevice* device) {
@@ -342,7 +367,7 @@ void MemorySystem::serialize(sim::StateWriter& w) const {
   w.b(hht_cache_ != nullptr);
   if (hht_cache_) hht_cache_->serialize(w);
 
-  auto write_queue = [&w](const std::deque<Pending>& q) {
+  auto write_queue = [&w](const std::vector<Pending>& q) {
     w.u64(q.size());
     for (const Pending& p : q) {
       w.u64(p.id);
@@ -363,8 +388,9 @@ void MemorySystem::serialize(sim::StateWriter& w) const {
     w.b(f.poisoned);
   }
 
-  // completed_ is an unordered_map; serialize sorted by id so identical
-  // states produce identical snapshot bytes.
+  // completed_ is kept in retirement order; serialize sorted by id so
+  // identical states produce identical snapshot bytes regardless of the
+  // order responses retired.
   std::vector<std::pair<RequestId, MemResponse>> done(completed_.begin(),
                                                       completed_.end());
   std::sort(done.begin(), done.end(),
@@ -397,7 +423,7 @@ void MemorySystem::deserialize(sim::StateReader& r) {
   }
   if (hht_cache_) hht_cache_->deserialize(r);
 
-  auto read_queue = [&r](std::deque<Pending>& q) {
+  auto read_queue = [&r](std::vector<Pending>& q) {
     q.clear();
     const std::uint64_t n = r.u64();
     for (std::uint64_t i = 0; i < n; ++i) {
@@ -432,7 +458,7 @@ void MemorySystem::deserialize(sim::StateReader& r) {
     MemResponse response;
     response.data = r.u32();
     response.poisoned = r.b();
-    completed_.emplace(id, response);
+    completed_.emplace_back(id, response);
   }
 
   next_id_ = r.u64();

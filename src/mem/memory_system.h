@@ -1,9 +1,9 @@
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "mem/cache.h"
 #include "mem/mmio.h"
@@ -69,7 +69,9 @@ class MemorySystem {
 
   /// If request `id` has completed, consume it and return the response
   /// (data is zero for writes). Poison-aware consumers (cores, walkers)
-  /// use this. Otherwise std::nullopt.
+  /// use this. Otherwise std::nullopt. Defined below, inline: every
+  /// consumer polls this once per pending request per cycle, and the
+  /// common miss (empty completed_) must cost a load and a branch.
   std::optional<MemResponse> takeResponse(RequestId id);
 
   /// Legacy convenience: like takeResponse but returns the bare data.
@@ -113,6 +115,20 @@ class MemorySystem {
            completed_.empty();
   }
 
+  /// Quiescence protocol (DESIGN.md §11): first cycle (> now) at which a
+  /// consumer polling takeResponse(id) can succeed. A completed response is
+  /// consumable next cycle; an in-flight one the cycle after its latency
+  /// elapses (components tick before the memory system, so the grant cycle
+  /// itself is never consumable); anything still queued conservatively
+  /// polls next cycle.
+  Cycle responseReadyCycle(RequestId id, Cycle now) const;
+
+  /// Earliest future cycle (> now) at which tick() can change state:
+  /// next cycle while anything is queued (arbitration runs every tick),
+  /// else the earliest in-flight completion, else sim::kNeverCycle.
+  /// Pure-stall ticks mutate nothing, so there is no skipCycles().
+  Cycle nextEventCycle(Cycle now) const;
+
   Sram& sram() { return sram_; }
   const Sram& sram() const { return sram_; }
   const MemorySystemConfig& config() const { return config_; }
@@ -152,11 +168,17 @@ class MemorySystem {
   MmioDevice* mmio_device_ = nullptr;
   sim::FaultInjector* injector_ = nullptr;
 
-  std::deque<Pending> sram_queue_;
-  std::deque<Pending> mmio_queue_;
-  std::deque<Addr> prefetch_queue_;  ///< line addresses awaiting spare slots
+  // Arrival-ordered vectors (arrival order IS the arbitration tiebreak and
+  // the serialized format): all three stay short, and the arbiter scans
+  // them every cycle, so contiguous storage wins over std::deque.
+  std::vector<Pending> sram_queue_;
+  std::vector<Pending> mmio_queue_;
+  std::vector<Addr> prefetch_queue_;  ///< line addresses awaiting spare slots
   std::vector<InFlight> in_flight_;
-  std::unordered_map<RequestId, MemResponse> completed_;
+  /// Unclaimed responses, in retirement order. A flat vector beats a hash
+  /// map here: the set is nearly always empty or a handful of entries, and
+  /// takeResponse() sits on the per-cycle hot path of every consumer poll.
+  std::vector<std::pair<RequestId, MemResponse>> completed_;
 
   RequestId next_id_ = 1;
   bool rr_hht_turn_ = false;  ///< round-robin: whose turn is next
@@ -169,6 +191,24 @@ class MemorySystem {
   std::uint64_t* mmio_requests_[2];
   std::uint64_t* conflict_cycles_[2];
   std::uint64_t* grants_;  ///< watchdog progress signal
+  std::uint64_t* ecc_detected_;
+  std::uint64_t* ecc_retries_;
+  std::uint64_t* ecc_corrected_;
+  std::uint64_t* ecc_uncorrectable_;
+  std::uint64_t* drop_recoveries_;
+  std::uint64_t* delayed_responses_;
+  std::uint64_t* prefetch_fills_;
 };
+
+inline std::optional<MemResponse> MemorySystem::takeResponse(RequestId id) {
+  for (std::size_t i = 0; i < completed_.size(); ++i) {
+    if (completed_[i].first == id) {
+      const MemResponse response = completed_[i].second;
+      completed_.erase(completed_.begin() + static_cast<std::ptrdiff_t>(i));
+      return response;
+    }
+  }
+  return std::nullopt;
+}
 
 }  // namespace hht::mem

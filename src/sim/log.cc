@@ -1,11 +1,10 @@
 #include "sim/log.h"
 
-#include <atomic>
 #include <cstdlib>
 
 namespace hht::sim {
 
-namespace {
+namespace detail {
 std::atomic<int> g_level{-1};  // -1 = not yet initialised from env
 }
 
@@ -16,20 +15,11 @@ void initLogLevelFromEnv() {
     if (level < 0) level = 0;
     if (level > 3) level = 3;
   }
-  g_level.store(level, std::memory_order_relaxed);
-}
-
-LogLevel logLevel() {
-  int v = g_level.load(std::memory_order_relaxed);
-  if (v < 0) {
-    initLogLevelFromEnv();
-    v = g_level.load(std::memory_order_relaxed);
-  }
-  return static_cast<LogLevel>(v);
+  detail::g_level.store(level, std::memory_order_relaxed);
 }
 
 void setLogLevel(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  detail::g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 namespace detail {

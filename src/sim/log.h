@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -11,13 +12,27 @@ namespace hht::sim {
 /// branch when disabled.
 enum class LogLevel : int { Off = 0, Info = 1, Debug = 2, Trace = 3 };
 
-/// Process-wide log level (set from a bench flag or HHT_LOG env var).
-LogLevel logLevel();
-void setLogLevel(LogLevel level);
+namespace detail {
+/// -1 = not yet initialised from the environment. Exposed only so that
+/// logLevel() inlines to a relaxed load + branch at every HHT_LOG_AT site
+/// (several million fire per simulated second with logging off).
+extern std::atomic<int> g_level;
+}  // namespace detail
 
 /// Initialise the level from the HHT_LOG environment variable ("0".."3").
 /// Called lazily by logLevel(); exposed for tests.
 void initLogLevelFromEnv();
+
+/// Process-wide log level (set from a bench flag or HHT_LOG env var).
+inline LogLevel logLevel() {
+  int v = detail::g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    initLogLevelFromEnv();
+    v = detail::g_level.load(std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+void setLogLevel(LogLevel level);
 
 namespace detail {
 void logLine(LogLevel level, const char* component, const std::string& msg);

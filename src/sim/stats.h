@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <ostream>
 #include <string>
@@ -14,53 +15,82 @@ namespace hht::sim {
 ///
 /// Every simulator component (core, memory system, HHT) owns a StatSet and
 /// bumps counters by name. Names are dotted paths ("cpu.load_stall_cycles")
-/// so a merged dump groups naturally. Lookup cost is irrelevant off the hot
-/// path; components that bump a counter per cycle cache a reference once via
-/// counter().
+/// so a merged dump groups naturally.
+///
+/// Storage is split into a string-keyed index (setup/report time only) and a
+/// dense value array (hot path). Components that bump a counter per cycle
+/// obtain either a stable `uint64_t&` via counter() or a dense Handle via
+/// handle() once at construction; per-cycle code never touches the string
+/// map. Values live in a std::deque so references stay valid as new counters
+/// are created.
 class StatSet {
  public:
+  /// Dense index of a counter, obtained once via handle().
+  using Handle = std::uint32_t;
+
+  /// Returns the dense handle for `name`, creating the counter at zero on
+  /// first use. Handles are stable for the StatSet's lifetime.
+  Handle handle(std::string_view name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    const Handle id = static_cast<Handle>(values_.size());
+    index_.emplace(std::string(name), id);
+    values_.push_back(0);
+    return id;
+  }
+
+  /// Hot-path access by dense handle.
+  std::uint64_t& at(Handle id) { return values_[id]; }
+  std::uint64_t at(Handle id) const { return values_[id]; }
+
   /// Returns a stable reference to the counter named `name`, creating it at
   /// zero on first use. References stay valid for the StatSet's lifetime
-  /// (std::map nodes never move).
-  std::uint64_t& counter(std::string_view name) {
-    return counters_[std::string(name)];
-  }
+  /// (deque elements never move under push_back).
+  std::uint64_t& counter(std::string_view name) { return values_[handle(name)]; }
 
   /// Read-only lookup; returns 0 for a counter never bumped.
   std::uint64_t value(std::string_view name) const {
-    auto it = counters_.find(std::string(name));
-    return it == counters_.end() ? 0 : it->second;
+    auto it = index_.find(name);
+    return it == index_.end() ? 0 : values_[it->second];
   }
 
-  bool contains(std::string_view name) const {
-    return counters_.contains(std::string(name));
-  }
+  bool contains(std::string_view name) const { return index_.contains(name); }
 
-  void clear() { counters_.clear(); }
+  /// Drops every counter. Invalidates all handles and references; only
+  /// valid before components cache them (setup/report/test code).
+  void clear() {
+    index_.clear();
+    values_.clear();
+  }
 
   /// Merge another StatSet into this one, prefixing each counter name.
   void absorb(const StatSet& other, std::string_view prefix) {
-    for (const auto& [name, v] : other.counters_) {
-      counters_[std::string(prefix) + name] += v;
+    for (const auto& [name, id] : other.index_) {
+      counter(std::string(prefix) + name) += other.values_[id];
     }
   }
 
-  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+  /// Name -> value snapshot (sorted by name), for reports and tests.
+  std::map<std::string, std::uint64_t> all() const {
+    std::map<std::string, std::uint64_t> out;
+    for (const auto& [name, id] : index_) out.emplace(name, values_[id]);
+    return out;
+  }
 
   void serialize(StateWriter& w) const {
-    w.u64(counters_.size());
-    for (const auto& [name, v] : counters_) {
+    w.u64(index_.size());
+    for (const auto& [name, id] : index_) {
       w.str(name);
-      w.u64(v);
+      w.u64(values_[id]);
     }
   }
 
-  /// Restore counter values WITHOUT erasing map nodes: components cache
-  /// `counter()` references, and std::map node stability is what keeps them
-  /// valid. Existing counters are zeroed, then snapshot values assigned via
-  /// counter() (creating any the snapshot has that we don't yet).
+  /// Restore counter values WITHOUT invalidating handles: components cache
+  /// counter() references and handle() ids, so existing entries must stay
+  /// in place. Existing counters are zeroed, then snapshot values assigned
+  /// via counter() (creating any the snapshot has that we don't yet).
   void deserialize(StateReader& r) {
-    for (auto& [name, v] : counters_) v = 0;
+    for (auto& v : values_) v = 0;
     const std::uint64_t n = r.u64();
     for (std::uint64_t i = 0; i < n; ++i) {
       const std::string name = r.str();
@@ -69,14 +99,15 @@ class StatSet {
   }
 
   friend std::ostream& operator<<(std::ostream& os, const StatSet& s) {
-    for (const auto& [name, v] : s.counters_) {
-      os << name << " = " << v << '\n';
+    for (const auto& [name, id] : s.index_) {
+      os << name << " = " << s.values_[id] << '\n';
     }
     return os;
   }
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Handle, std::less<>> index_;
+  std::deque<std::uint64_t> values_;
 };
 
 }  // namespace hht::sim

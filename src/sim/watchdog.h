@@ -40,6 +40,26 @@ class Watchdog {
     return period_ != 0 && (now & interval_mask_) == 0;
   }
 
+  /// Called instead of per-cycle sampling when the run loop is about to
+  /// fast-forward across a quiescent stretch (during which the progress sum
+  /// cannot change). Performs the one state-updating observation the naive
+  /// loop would have made at the first sampling point after `now`, then
+  /// returns the aligned cycle at which the watchdog would fire if the sum
+  /// stays flat. The loop must not skip past the returned cycle: simulating
+  /// it live makes due()/observe() fire with the exact naive diagnostics.
+  /// Returns kNeverCycle when disabled.
+  Cycle observeSkip(Cycle now, std::uint64_t progress_sum) {
+    if (period_ == 0) return kNeverCycle;
+    const Cycle first_sample = (now | interval_mask_) + 1;
+    if (progress_sum != last_sum_) {
+      last_sum_ = progress_sum;
+      last_progress_ = first_sample;
+    }
+    Cycle fire = last_progress_ + period_;
+    fire = (fire + interval_mask_) & ~interval_mask_;  // round up to a sample
+    return fire > first_sample ? fire : first_sample;
+  }
+
   /// Record the progress sum at a sampling point; throws SimError(Watchdog)
   /// once `period` cycles elapse with no change. `dump` is only invoked
   /// when firing (it is expensive to build).

@@ -1,0 +1,262 @@
+// Quiescence fast-forward verification (DESIGN.md §11): the host-side cycle
+// skipping in System::runLoop must be invisible in every simulated result —
+// same cycle counts, same merged stats map, same output bits, same snapshot
+// bytes — for every engine, with and without fault injection, across a
+// checkpoint/restore, and for every SweepRunner jobs value.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "sparse/bitvector.h"
+#include "sparse/hier_bitmap.h"
+#include "workload/synthetic.h"
+
+namespace hht::harness {
+namespace {
+
+using sim::Cycle;
+using sparse::CsrMatrix;
+using sparse::DenseVector;
+using sparse::SparseVector;
+
+void expectIdentical(const RunResult& a, const RunResult& b,
+                     const char* label) {
+  EXPECT_EQ(a.cycles, b.cycles) << label;
+  EXPECT_EQ(a.retired, b.retired) << label;
+  EXPECT_EQ(a.cpu_wait_cycles, b.cpu_wait_cycles) << label;
+  EXPECT_EQ(a.hht_wait_cycles, b.hht_wait_cycles) << label;
+  EXPECT_EQ(a.hht_residual_busy, b.hht_residual_busy) << label;
+  EXPECT_EQ(a.degraded, b.degraded) << label;
+  ASSERT_EQ(a.y.size(), b.y.size()) << label;
+  for (sim::Index i = 0; i < a.y.size(); ++i) {
+    EXPECT_EQ(a.y.at(i), b.y.at(i)) << label << " y[" << i << "]";
+  }
+  EXPECT_EQ(a.stats.all(), b.stats.all()) << label;
+}
+
+/// Run `driver` with fast-forward enabled and disabled (everything else
+/// identical) and require a bit-identical outcome.
+template <typename Driver>
+void abFastForward(const char* label, const SystemConfig& cfg,
+                   Driver&& driver) {
+  SystemConfig on = cfg;
+  on.host_fastforward = true;
+  SystemConfig off = cfg;
+  off.host_fastforward = false;
+  expectIdentical(driver(on), driver(off), label);
+}
+
+struct Operands {
+  CsrMatrix m;
+  DenseVector v;
+  SparseVector sv;
+};
+
+Operands operands(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Operands ops;
+  ops.m = workload::randomCsr(rng, 32, 32, 0.3);
+  ops.v = workload::randomDenseVector(rng, 32);
+  ops.sv = workload::randomSparseVector(rng, 32, 0.5);
+  return ops;
+}
+
+TEST(FastForward, EveryEngineIsBitIdenticalWithAndWithoutSkipping) {
+  const SystemConfig cfg = defaultConfig();
+  const Operands ops = operands(0xFF'01);
+  const sparse::HierBitmapMatrix hm =
+      sparse::HierBitmapMatrix::fromDense(ops.m.toDense());
+  const sparse::BitVectorMatrix bm =
+      sparse::BitVectorMatrix::fromDense(ops.m.toDense());
+
+  // All five back-end engines (gather, merge v1/v2, hier-bitmap, flat),
+  // plus the software baseline and the programmable front-end.
+  abFastForward("gather-scalar", cfg, [&](const SystemConfig& c) {
+    return runSpmvHht(c, ops.m, ops.v, false);
+  });
+  abFastForward("gather-vector", cfg, [&](const SystemConfig& c) {
+    return runSpmvHht(c, ops.m, ops.v, true);
+  });
+  abFastForward("merge-v1", cfg, [&](const SystemConfig& c) {
+    return runSpmspvHht(c, ops.m, ops.sv, 1);
+  });
+  abFastForward("merge-v2", cfg, [&](const SystemConfig& c) {
+    return runSpmspvHht(c, ops.m, ops.sv, 2);
+  });
+  abFastForward("hier-bitmap", cfg, [&](const SystemConfig& c) {
+    return runHierHht(c, hm, ops.v);
+  });
+  abFastForward("flat-bitmap", cfg, [&](const SystemConfig& c) {
+    return runFlatHht(c, bm, ops.v);
+  });
+  abFastForward("baseline-scalar", cfg, [&](const SystemConfig& c) {
+    return runSpmvBaseline(c, ops.m, ops.v, false);
+  });
+  abFastForward("programmable", cfg, [&](const SystemConfig& c) {
+    return runSpmvProgHht(c, ops.m, ops.v, false);
+  });
+}
+
+TEST(FastForward, SpmmEngineIsBitIdenticalWithAndWithoutSkipping) {
+  const SystemConfig cfg = defaultConfig();
+  sim::Rng rng(0xFF'02);
+  const CsrMatrix m = workload::randomCsr(rng, 16, 16, 0.4);
+  const sparse::DenseMatrix b = workload::randomDense(rng, 16, 4, 0.0);
+  abFastForward("spmm", cfg, [&](const SystemConfig& c) {
+    return runSpmmHht(c, m, b);
+  });
+}
+
+TEST(FastForward, FaultInjectedRunsAreBitIdenticalWithAndWithoutSkipping) {
+  // The fault injector needs no quiescence hook: its RNG only advances when
+  // a component does work, and skipped stretches are exactly the ones in
+  // which no component does any. A fault-injected (possibly degraded) run
+  // must therefore also be invariant under skipping.
+  SystemConfig cfg = defaultConfig();
+  cfg.faults.enabled = true;
+  cfg.faults.seed = 0xF00D;
+  cfg.faults.sram_read_flip_rate = 1e-3;
+  cfg.faults.fifo_corrupt_rate = 1e-3;
+  const Operands ops = operands(0xFF'03);
+  abFastForward("spmv-resilient", cfg, [&](const SystemConfig& c) {
+    return runSpmvHhtResilient(c, ops.m, ops.v, false);
+  });
+  abFastForward("spmspv-resilient", cfg, [&](const SystemConfig& c) {
+    return runSpmspvHhtResilient(c, ops.m, ops.sv, 2, false);
+  });
+}
+
+// ---- tests below need System access (hostSkippedCycles / checkpoint) ----
+
+struct Workload {
+  CsrMatrix m;
+  DenseVector v;
+  isa::Program program;
+  kernels::SpmvLayout layout;
+};
+
+/// Scalar-baseline SpMV on a high-latency SRAM: every load stalls the CPU
+/// for sram_latency cycles with the HHT idle — long quiescent stretches the
+/// fast-forward layer must actually skip.
+SystemConfig stallHeavyConfig() {
+  SystemConfig cfg = defaultConfig();
+  cfg.memory.sram_latency = 32;
+  return cfg;
+}
+
+Workload prepareBaseline(System& sys, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Workload w;
+  w.m = workload::randomCsr(rng, 24, 24, 0.4);
+  w.v = workload::randomDenseVector(rng, 24);
+  w.layout = loadSpmv(sys, w.m, w.v);
+  w.program = kernels::spmvScalarBaseline(w.layout);
+  return w;
+}
+
+TEST(FastForward, SkipsEngageOnStallHeavyWorkload) {
+  SystemConfig on = stallHeavyConfig();
+  on.host_fastforward = true;
+  SystemConfig off = on;
+  off.host_fastforward = false;
+
+  System fast(on);
+  const Workload wf = prepareBaseline(fast, 0xFF'04);
+  const RunResult a = fast.run(wf.program, wf.layout.y, wf.layout.num_rows);
+
+  System naive(off);
+  const Workload wn = prepareBaseline(naive, 0xFF'04);
+  const RunResult b = naive.run(wn.program, wn.layout.y, wn.layout.num_rows);
+
+  expectIdentical(a, b, "stall-heavy");
+  EXPECT_GT(fast.hostSkippedCycles(), 0u)
+      << "fast-forward never engaged on a workload built to stall";
+  EXPECT_EQ(naive.hostSkippedCycles(), 0u);
+
+  // The complete serialized machine state — SRAM, queues, pipeline, RNG —
+  // is byte-identical after the two runs, not just the RunResult surface.
+  EXPECT_EQ(fast.checkpoint(wf.program, a.cycles),
+            naive.checkpoint(wn.program, b.cycles));
+}
+
+/// Observer that checkpoints the running System once, at cycle `at`.
+class CheckpointAt : public RunObserver {
+ public:
+  CheckpointAt(const isa::Program& program, Cycle at)
+      : program_(&program), at_(at) {}
+
+  void onCycle(System& sys, Cycle now) override {
+    if (now == at_ && snapshot_.empty()) {
+      snapshot_ = sys.checkpoint(*program_, now + 1);
+      resume_at_ = now + 1;
+    }
+  }
+
+  const std::vector<std::uint8_t>& snapshot() const { return snapshot_; }
+  Cycle resumeAt() const { return resume_at_; }
+
+ private:
+  const isa::Program* program_;
+  Cycle at_;
+  Cycle resume_at_ = 0;
+  std::vector<std::uint8_t> snapshot_;
+};
+
+TEST(FastForward, ResumeSkipsAcrossTheRestoredRegionAndMatchesNaive) {
+  // A snapshot is taken mid-run by an observer (which forces per-cycle
+  // mode), restored into a fresh System with fast-forward ON, and resumed:
+  // the resumed half skips, and the combined result must still equal the
+  // uninterrupted run.
+  SystemConfig cfg = stallHeavyConfig();
+  cfg.host_fastforward = true;
+
+  System base_sys(cfg);
+  const Workload w = prepareBaseline(base_sys, 0xFF'05);
+  const RunResult base =
+      base_sys.run(w.program, w.layout.y, w.layout.num_rows);
+  ASSERT_GT(base_sys.hostSkippedCycles(), 0u);
+  ASSERT_GT(base.cycles, 200u) << "workload too small to checkpoint mid-run";
+
+  System observed(cfg);
+  const Workload w2 = prepareBaseline(observed, 0xFF'05);
+  CheckpointAt observer(w2.program, base.cycles / 2);
+  const RunResult watched =
+      observed.run(w2.program, w2.layout.y, w2.layout.num_rows, 500'000'000,
+                   nullptr, &observer);
+  // The observer forces per-cycle mode; the outcome must not change.
+  expectIdentical(base, watched, "observed");
+  EXPECT_EQ(observed.hostSkippedCycles(), 0u)
+      << "an attached observer must disable fast-forward";
+  ASSERT_FALSE(observer.snapshot().empty());
+
+  System resumed_sys(cfg);
+  const Cycle start = resumed_sys.restore(observer.snapshot(), w2.program);
+  EXPECT_EQ(start, observer.resumeAt());
+  const RunResult resumed = resumed_sys.resume(w2.program, w2.layout.y,
+                                               w2.layout.num_rows, start);
+  expectIdentical(base, resumed, "resumed");
+  EXPECT_GT(resumed_sys.hostSkippedCycles(), 0u)
+      << "the resumed half should fast-forward its stalls";
+}
+
+TEST(FastForward, SweepRunnerResultsAreJobsInvariant) {
+  // The parallel sweep driver must return byte-identical results for every
+  // jobs value: each task derives everything from its index alone.
+  const auto task = [](std::size_t i) {
+    const SystemConfig cfg = defaultConfig();
+    const Operands ops = operands(0xFF'10 + i);
+    return runSpmvHht(cfg, ops.m, ops.v, (i % 2) == 0);
+  };
+  const std::vector<RunResult> serial = SweepRunner(1).run(6, task);
+  const std::vector<RunResult> pooled = SweepRunner(3).run(6, task);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expectIdentical(serial[i], pooled[i], "sweep");
+  }
+}
+
+}  // namespace
+}  // namespace hht::harness
