@@ -19,7 +19,7 @@
 
 int main(int argc, char** argv) {
   using namespace hht;
-  const benchutil::Options opt = benchutil::parse(argc, argv);
+  const benchutil::Options opt = benchutil::parse(argc, argv, /*trace=*/true);
   const sim::Index n = opt.size ? opt.size : 128;
 
   harness::printBanner(std::cout, "Ablation (§7)",
@@ -82,5 +82,19 @@ int main(int argc, char** argv) {
          "(§7) therefore needs the specialisation the paper hints at:\n"
          "multi-word fetch, a compare-select step, or a faster clock, not\n"
          "just a smaller general-purpose core.\n";
+
+  // --trace: the programmable-HHT SpMV run at the middle sparsity — the
+  // micro_core track shows where the firmware walk burns its cycles.
+  benchutil::writeTraceIfRequested(opt, std::cout, [&](obs::TraceSink& sink) {
+    const int s = sparsities[1];
+    std::cout << "tracing programmable-HHT SpMV run at sparsity " << s
+              << "%\n";
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s));
+    const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, s / 100.0);
+    const sparse::DenseVector dv = workload::randomDenseVector(rng, n);
+    harness::SystemConfig tcfg = cfg;
+    tcfg.trace_sink = &sink;
+    harness::runSpmvProgHht(tcfg, m, dv, true);
+  });
   return 0;
 }

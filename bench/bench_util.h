@@ -10,6 +10,15 @@
 //                      threads; 1 = serial)
 //   --no-fastforward   disable host-side quiescence skipping (A/B check:
 //                      results must be bit-identical either way)
+// Benches that wire a representative traced run (parse(..., true)) also
+// accept:
+//   --trace=FILE       after the sweep, re-run one representative point
+//                      with a TraceSink attached and write FILE (.json =
+//                      Perfetto/Chrome trace-event JSON, else CSV), plus a
+//                      stall-attribution table on stdout
+//   --trace-categories=LIST
+//                      comma-separated subset of cpu,mem,fifo,pipe,mmr,
+//                      system (or "all"; default all)
 // Unknown flags are an error: a silently-ignored typo ("--sizes=512") used
 // to produce a full run of the wrong experiment. Benches print the paper's
 // expected values next to the measured ones so a reader can check the
@@ -19,7 +28,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <ostream>
 #include <string>
+
+#include "obs/export.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace hht::benchutil {
 
@@ -29,20 +44,26 @@ struct Options {
   std::uint64_t seed = 0x5EED'2022;
   unsigned jobs = 0;          ///< 0 = hardware_concurrency
   bool fastforward = true;    ///< SystemConfig::host_fastforward
+  std::string trace_file;     ///< empty = no tracing
+  std::uint32_t trace_categories = obs::kAllCategories;
+
+  bool traceRequested() const { return !trace_file.empty(); }
 };
 
-[[noreturn]] inline void usage(const char* prog, const char* bad_arg) {
+[[noreturn]] inline void usage(const char* prog, const char* bad_arg,
+                               bool with_trace = false) {
   if (bad_arg != nullptr) {
     std::fprintf(stderr, "%s: unknown argument '%s'\n", prog, bad_arg);
   }
   std::fprintf(stderr,
                "usage: %s [--csv] [--size=N] [--seed=S] [--jobs=N]"
-               " [--no-fastforward]\n",
-               prog);
+               " [--no-fastforward]%s\n",
+               prog,
+               with_trace ? " [--trace=FILE] [--trace-categories=LIST]" : "");
   std::exit(bad_arg == nullptr ? 0 : 2);
 }
 
-inline Options parse(int argc, char** argv) {
+inline Options parse(int argc, char** argv, bool with_trace = false) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -56,13 +77,57 @@ inline Options parse(int argc, char** argv) {
       opt.jobs = static_cast<unsigned>(std::strtoul(arg + 7, nullptr, 10));
     } else if (std::strcmp(arg, "--no-fastforward") == 0) {
       opt.fastforward = false;
+    } else if (with_trace && std::strncmp(arg, "--trace=", 8) == 0) {
+      opt.trace_file = arg + 8;
+      if (opt.trace_file.empty()) usage(argv[0], arg, with_trace);
+    } else if (with_trace &&
+               std::strncmp(arg, "--trace-categories=", 19) == 0) {
+      const auto mask = obs::parseCategoryList(arg + 19);
+      if (!mask) {
+        std::fprintf(stderr, "%s: bad category list '%s'\n", argv[0],
+                     arg + 19);
+        std::exit(2);
+      }
+      opt.trace_categories = *mask;
     } else if (std::strcmp(arg, "--help") == 0) {
-      usage(argv[0], nullptr);
+      usage(argv[0], nullptr, with_trace);
     } else {
-      usage(argv[0], arg);
+      usage(argv[0], arg, with_trace);
     }
   }
   return opt;
+}
+
+/// Run `traced_run` (a callable taking obs::TraceSink&; it should execute
+/// one representative workload with the sink installed in its
+/// SystemConfig) and write the requested trace file. The format follows
+/// the extension: ".json" emits Perfetto/Chrome trace-event JSON, anything
+/// else the flat CSV golden format. A stall-attribution summary goes to
+/// `os`. No-op when --trace was not given.
+template <typename Fn>
+inline void writeTraceIfRequested(const Options& opt, std::ostream& os,
+                                  Fn&& traced_run) {
+  if (!opt.traceRequested()) return;
+  obs::TraceSink sink(obs::TraceSink::kDefaultCapacity, opt.trace_categories);
+  traced_run(sink);
+  std::ofstream out(opt.trace_file, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open trace file '%s'\n",
+                 opt.trace_file.c_str());
+    std::exit(2);
+  }
+  const std::string& f = opt.trace_file;
+  const bool json =
+      f.size() >= 5 && f.compare(f.size() - 5, 5, ".json") == 0;
+  if (json) {
+    obs::writePerfettoTrace(out, sink);
+  } else {
+    obs::writeCsvTrace(out, sink);
+  }
+  const obs::ProfileReport rep = obs::profile(sink);
+  os << "trace: " << sink.size() << " events (" << sink.dropped()
+     << " dropped) -> " << f << " [" << (json ? "perfetto" : "csv") << "]\n"
+     << rep.table();
 }
 
 }  // namespace hht::benchutil

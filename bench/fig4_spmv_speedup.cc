@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace hht;
-  const benchutil::Options opt = benchutil::parse(argc, argv);
+  const benchutil::Options opt = benchutil::parse(argc, argv, /*trace=*/true);
   const sim::Index n = opt.size ? opt.size : 512;
 
   harness::printBanner(std::cout, "Fig. 4",
@@ -76,5 +76,22 @@ int main(int argc, char** argv) {
   std::cout << "average speedup: 1-buffer " << harness::fmt(sum1 / count)
             << " (paper: 1.70), 2-buffer " << harness::fmt(sum2 / count)
             << " (paper: 1.73)\n";
+
+  // --trace: re-run the worst 2-buffer sparsity point (lowest speedup, the
+  // matrix where stall attribution is most interesting) with a sink.
+  benchutil::writeTraceIfRequested(opt, std::cout, [&](obs::TraceSink& sink) {
+    const Row* worst = &rows.front();
+    for (const Row& row : rows) {
+      if (row.sp2 < worst->sp2) worst = &row;
+    }
+    std::cout << "tracing 2-buffer HHT run at sparsity " << worst->s << "%\n";
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(worst->s));
+    const sparse::CsrMatrix m =
+        workload::randomCsr(rng, n, n, worst->s / 100.0);
+    const sparse::DenseVector v = workload::randomDenseVector(rng, n);
+    harness::SystemConfig cfg = config(2);
+    cfg.trace_sink = &sink;
+    harness::runSpmvHht(cfg, m, v, true);
+  });
   return 0;
 }

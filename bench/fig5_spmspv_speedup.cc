@@ -18,7 +18,7 @@
 
 int main(int argc, char** argv) {
   using namespace hht;
-  const benchutil::Options opt = benchutil::parse(argc, argv);
+  const benchutil::Options opt = benchutil::parse(argc, argv, /*trace=*/true);
   const sim::Index n = opt.size ? opt.size : 512;
 
   harness::printBanner(std::cout, "Fig. 5",
@@ -77,5 +77,20 @@ int main(int argc, char** argv) {
   std::cout << "averages: v1_2buf " << harness::fmt(sums[1] / count)
             << " (paper v1 avg: 2.47), v2_2buf " << harness::fmt(sums[3] / count)
             << " (paper v2 avg: 3.05)\n";
+
+  // --trace: variant-1 at the lowest sparsity — the configuration where
+  // "HHT is performing more work than the CPU" (§5.1) and the CPU-wait
+  // attribution matters most.
+  benchutil::writeTraceIfRequested(opt, std::cout, [&](obs::TraceSink& sink) {
+    const int s = rows.front().s;
+    std::cout << "tracing variant-1 2-buffer run at sparsity " << s << "%\n";
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s) * 7);
+    const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, s / 100.0);
+    const sparse::SparseVector v =
+        workload::randomSparseVector(rng, n, s / 100.0);
+    harness::SystemConfig cfg = config(2);
+    cfg.trace_sink = &sink;
+    harness::runSpmspvHht(cfg, m, v, 1);
+  });
   return 0;
 }

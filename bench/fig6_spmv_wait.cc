@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace hht;
-  const benchutil::Options opt = benchutil::parse(argc, argv);
+  const benchutil::Options opt = benchutil::parse(argc, argv, /*trace=*/true);
   const sim::Index n = opt.size ? opt.size : 512;
 
   harness::printBanner(std::cout, "Fig. 6",
@@ -64,5 +64,22 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
   std::cout << "paper: CPU wait ~0% at all sparsities (ASIC HHT keeps up)\n";
+
+  // --trace: the highest-wait 1-buffer point; the profiler's fifo_wait
+  // bucket decomposes exactly the wait fraction this figure plots.
+  benchutil::writeTraceIfRequested(opt, std::cout, [&](obs::TraceSink& sink) {
+    const Row* worst = &rows.front();
+    for (const Row& row : rows) {
+      if (row.wait1 > worst->wait1) worst = &row;
+    }
+    std::cout << "tracing 1-buffer HHT run at sparsity " << worst->s << "%\n";
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(worst->s));
+    const sparse::CsrMatrix m =
+        workload::randomCsr(rng, n, n, worst->s / 100.0);
+    const sparse::DenseVector v = workload::randomDenseVector(rng, n);
+    harness::SystemConfig cfg = config(1);
+    cfg.trace_sink = &sink;
+    harness::runSpmvHht(cfg, m, v, true);
+  });
   return 0;
 }

@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace hht;
-  const benchutil::Options opt = benchutil::parse(argc, argv);
+  const benchutil::Options opt = benchutil::parse(argc, argv, /*trace=*/true);
   const sim::Index n = opt.size ? opt.size : 512;
 
   harness::printBanner(
@@ -61,5 +61,24 @@ int main(int argc, char** argv) {
   }
   std::cout << "paper: variant-1 idles significantly (HHT does the merge);\n"
                "       variant-2 idles far less; 2 buffers help marginally\n";
+
+  // --trace: the highest-wait variant-1 point — the bar this figure is
+  // about; the profiler attributes those wait cycles per component.
+  benchutil::writeTraceIfRequested(opt, std::cout, [&](obs::TraceSink& sink) {
+    const Row* worst = &rows.front();
+    for (const Row& row : rows) {
+      if (row.wait[0] > worst->wait[0]) worst = &row;
+    }
+    std::cout << "tracing variant-1 1-buffer run at sparsity " << worst->s
+              << "%\n";
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(worst->s) * 7);
+    const sparse::CsrMatrix m =
+        workload::randomCsr(rng, n, n, worst->s / 100.0);
+    const sparse::SparseVector v =
+        workload::randomSparseVector(rng, n, worst->s / 100.0);
+    harness::SystemConfig tcfg = config(1);
+    tcfg.trace_sink = &sink;
+    harness::runSpmspvHht(tcfg, m, v, 1);
+  });
   return 0;
 }

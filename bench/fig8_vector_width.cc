@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace hht;
-  const benchutil::Options opt = benchutil::parse(argc, argv);
+  const benchutil::Options opt = benchutil::parse(argc, argv, /*trace=*/true);
   const sim::Index n = opt.size ? opt.size : 512;
 
   harness::printBanner(std::cout, "Fig. 8",
@@ -63,5 +63,19 @@ int main(int argc, char** argv) {
             << " (paper 1.77-1.81), VL4 " << harness::fmt(sums[1] / count)
             << " (paper 1.51-1.62), VL8 " << harness::fmt(sums[2] / count)
             << " (paper 1.71-1.75)\n";
+
+  // --trace: scalar (VL=1) consumer at the lowest sparsity — the slowest
+  // consumer against the densest stream, maximizing FIFO back-pressure.
+  benchutil::writeTraceIfRequested(opt, std::cout, [&](obs::TraceSink& sink) {
+    const int s = rows.front().s;
+    std::cout << "tracing VL=1 HHT run at sparsity " << s << "%\n";
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s));
+    const sparse::CsrMatrix m = workload::randomCsr(rng, n, n, s / 100.0);
+    const sparse::DenseVector v = workload::randomDenseVector(rng, n);
+    harness::SystemConfig cfg = harness::defaultConfig(2, 1);
+    cfg.host_fastforward = opt.fastforward;
+    cfg.trace_sink = &sink;
+    harness::runSpmvHht(cfg, m, v, false);
+  });
   return 0;
 }

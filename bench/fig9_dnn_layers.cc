@@ -19,7 +19,7 @@
 
 int main(int argc, char** argv) {
   using namespace hht;
-  const benchutil::Options opt = benchutil::parse(argc, argv);
+  const benchutil::Options opt = benchutil::parse(argc, argv, /*trace=*/true);
   const sim::Index row_limit = opt.size ? opt.size : 128;
 
   harness::printBanner(std::cout, "Fig. 9",
@@ -68,5 +68,24 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
   std::cout << "paper: 1.53 (DenseNet) .. 1.92 (VGG19)\n";
+
+  // --trace: the lowest-speedup network layer.
+  benchutil::writeTraceIfRequested(opt, std::cout, [&](obs::TraceSink& sink) {
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      if (rows[i].sp < rows[worst].sp) worst = i;
+    }
+    const workload::DnnFcLayer& layer = catalog[worst];
+    std::cout << "tracing HHT run on " << layer.network << " classifier\n";
+    const sparse::CsrMatrix m =
+        workload::dnnLayerMatrix(layer, opt.seed, row_limit);
+    sim::Rng rng(opt.seed ^ 0xD99);
+    const sparse::DenseVector v =
+        workload::randomDenseVector(rng, layer.in_features);
+    harness::SystemConfig cfg = harness::defaultConfig(2);
+    cfg.host_fastforward = opt.fastforward;
+    cfg.trace_sink = &sink;
+    harness::runSpmvHht(cfg, m, v, true);
+  });
   return 0;
 }

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Per-directory line-coverage gate.
+
+Consumes a gcovr JSON summary (`gcovr --json-summary-pretty`) and compares
+aggregate line coverage per source directory against the checked-in floors
+in tests/coverage_thresholds.json. Fails (exit 1) when any directory with a
+configured floor regresses below it, so coverage can only ratchet upward.
+
+Usage:
+    gcovr -r . --filter 'src/' --json-summary-pretty -o coverage.json \
+        build-coverage
+    python3 scripts/check_coverage.py coverage.json \
+        tests/coverage_thresholds.json
+
+Directories are keyed by their path relative to the repo root (e.g.
+"src/obs"); files nested deeper roll up into the nearest configured key.
+Directories without a configured floor are reported but never fail the
+gate — add a floor once a subsystem's suite stabilises.
+"""
+
+import json
+import sys
+
+
+def directory_key(path, thresholds):
+    """Longest configured directory prefix of `path`, or its parent dir."""
+    parts = path.replace("\\", "/").split("/")
+    for cut in range(len(parts) - 1, 0, -1):
+        prefix = "/".join(parts[:cut])
+        if prefix in thresholds:
+            return prefix
+    return "/".join(parts[:-1]) or "."
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.stderr.write(
+            "usage: check_coverage.py <gcovr-json-summary> <thresholds.json>\n")
+        return 2
+
+    with open(argv[1]) as f:
+        summary = json.load(f)
+    with open(argv[2]) as f:
+        thresholds = {k: v for k, v in json.load(f).items()
+                      if not k.startswith("_")}
+
+    totals = {}  # dir key -> [covered, total]
+    for entry in summary.get("files", []):
+        key = directory_key(entry["filename"], thresholds)
+        agg = totals.setdefault(key, [0, 0])
+        agg[0] += entry.get("line_covered", 0)
+        agg[1] += entry.get("line_total", 0)
+
+    failures = []
+    print(f"{'directory':<24} {'lines':>12} {'coverage':>9} {'floor':>7}")
+    for key in sorted(set(totals) | set(thresholds)):
+        covered, total = totals.get(key, [0, 0])
+        pct = 100.0 * covered / total if total else 0.0
+        floor = thresholds.get(key)
+        mark = ""
+        if floor is not None:
+            if total == 0:
+                failures.append(f"{key}: no lines measured (floor {floor}%)")
+                mark = "  MISSING"
+            elif pct < floor:
+                failures.append(
+                    f"{key}: {pct:.1f}% < floor {floor}% "
+                    f"({covered}/{total} lines)")
+                mark = "  FAIL"
+        floor_s = f"{floor:.0f}%" if floor is not None else "-"
+        print(f"{key:<24} {covered:>5}/{total:<6} {pct:>8.1f}% {floor_s:>7}"
+              f"{mark}")
+
+    if failures:
+        for f in failures:
+            print(f"::error::coverage regression: {f}")
+        return 1
+    print("coverage gate: all configured floors met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

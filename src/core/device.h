@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "mem/mmio.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/state_io.h"
 #include "sim/stats.h"
@@ -71,6 +72,12 @@ class HhtDevice : public mem::MmioDevice, public sim::FaultSink {
 
   /// Wire the shared fault injector (nullptr = no injection, zero cost).
   virtual void setFaultInjector(sim::FaultInjector* injector) = 0;
+
+  /// Attach a structured trace sink (obs layer). Host-side observation
+  /// only — never serialized, never consulted by simulated logic. An
+  /// attached sink forces per-cycle mode (nextEventCycle returns now + 1)
+  /// so no traced cycle is ever fast-forwarded over.
+  virtual void setTraceSink(obs::TraceSink* sink) { (void)sink; }
 
   /// Return to the just-constructed state: MMRs cleared, buffers emptied,
   /// engine torn down, fault latch re-armed. Used by the harness's

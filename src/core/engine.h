@@ -7,6 +7,7 @@
 #include "core/emission.h"
 #include "core/mmr.h"
 #include "mem/memory_system.h"
+#include "obs/trace.h"
 #include "sim/state_io.h"
 #include "sim/stats.h"
 #include "sim/types.h"
@@ -29,6 +30,8 @@ struct EngineContext {
   /// Where detected faults go (the owning device). May be null in
   /// unit-test contexts; reports are then dropped.
   sim::FaultSink* fault = nullptr;
+  /// Structured trace sink (obs layer); null = no tracing, zero cost.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// A back-end engine implements one MODE's pipeline (§3.2). The device
@@ -112,6 +115,22 @@ class Engine {
       return false;
     }
     return true;
+  }
+
+  /// Trace helpers for the per-engine pipeline events. The emit sites sit
+  /// exactly at the corresponding stat-counter bumps so the profiler's
+  /// tallies reconcile with fig6/fig7 counters by construction.
+  void traceRowDone(Cycle now, std::uint64_t row) {
+    if (ctx_.trace != nullptr && ctx_.trace->enabled(obs::Category::kPipe)) {
+      ctx_.trace->emit(now, obs::Category::kPipe, obs::Component::kHhtBe,
+                       obs::EventKind::kEngineRowDone, row);
+    }
+  }
+  void traceEmitStall(Cycle now) {
+    if (ctx_.trace != nullptr && ctx_.trace->enabled(obs::Category::kPipe)) {
+      ctx_.trace->emit(now, obs::Category::kPipe, obs::Component::kHhtBe,
+                       obs::EventKind::kEngineEmitStall);
+    }
   }
 
  protected:

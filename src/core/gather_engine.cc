@@ -18,7 +18,7 @@ void GatherEngine::configureRowStream() {
   row_stream_ready_ = true;
 }
 
-void GatherEngine::tick(Cycle) {
+void GatherEngine::tick(Cycle now) {
   if (faulted_) return;
 
   // 1. Collect memory responses.
@@ -40,6 +40,7 @@ void GatherEngine::tick(Cycle) {
       if (faulted_) return;
     }
     if (cols_.morePending()) break;
+    traceRowDone(now, rows_.row());
     rows_.advance();
     row_stream_ready_ = false;
   }

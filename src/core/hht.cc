@@ -64,7 +64,8 @@ void Hht::start() {
 }
 
 std::unique_ptr<Engine> Hht::makeEngine() {
-  const EngineContext ctx{cfg_, mmr_, mem_, buffers_, emit_, stats_, this};
+  const EngineContext ctx{cfg_, mmr_, mem_, buffers_, emit_, stats_, this,
+                          trace_};
   switch (mmr_.mode) {
     case Mode::SpmvGather:
       return std::make_unique<GatherEngine>(ctx);
@@ -82,6 +83,18 @@ std::unique_ptr<Engine> Hht::makeEngine() {
 
 void Hht::tick(sim::Cycle now) {
   last_tick_cycle_ = now;
+  if (trace_ != nullptr && trace_->enabled(obs::Category::kPipe)) {
+    // BE occupancy, coalesced to transitions: active while the engine is
+    // producing, drained otherwise (faulted, unstarted, or done).
+    const std::uint8_t bucket =
+        (!faultRaised() && engine_ && !engine_->done()) ? obs::kBucketActive
+                                                        : obs::kBucketDrained;
+    if (bucket != trace_bucket_) {
+      trace_bucket_ = bucket;
+      trace_->emit(now, obs::Category::kPipe, obs::Component::kHhtBe,
+                   obs::EventKind::kPhase, bucket);
+    }
+  }
   // A faulted device halts: no further production, no buffer movement. The
   // FAULT/CAUSE MMRs stay readable (the non-blocking poll path below).
   if (faultRaised()) return;
@@ -92,13 +105,22 @@ void Hht::tick(sim::Cycle now) {
     // place because every buffer is owned by unconsumed CPU data.
     if (!emit_.empty() && buffers_.freeCapacity() == 0) {
       ++*c_stall_buffers_full_;
+      if (trace_ != nullptr && trace_->enabled(obs::Category::kFifo)) {
+        trace_->emit(now, obs::Category::kFifo, obs::Component::kHhtFe,
+                     obs::EventKind::kFifoFull);
+      }
     }
   }
   // Tick even when done: prefetch streams may still have speculative reads
   // in flight (e.g. vector indices fetched past the last match) whose
   // responses must be drained from the memory system.
   engine_->tick(now);
-  emit_.drainTo(buffers_, cfg_.emit_per_cycle);
+  const std::uint32_t pushed = emit_.drainTo(buffers_, cfg_.emit_per_cycle);
+  if (pushed > 0 && trace_ != nullptr &&
+      trace_->enabled(obs::Category::kFifo)) {
+    trace_->emit(now, obs::Category::kFifo, obs::Component::kHhtFe,
+                 obs::EventKind::kFifoPush, pushed);
+  }
   if (engine_->done() && !finished_flush_done_) {
     buffers_.finish();  // publish any partial tail buffer
     finished_flush_done_ = true;
@@ -106,7 +128,8 @@ void Hht::tick(sim::Cycle now) {
 }
 
 sim::Cycle Hht::nextEventCycle(sim::Cycle now) const {
-  if (tap_ != nullptr) return now + 1;  // oracle needs real per-cycle ticks
+  // Any observer needs real per-cycle ticks (delivery/event timestamps).
+  if (!taps_.empty() || trace_ != nullptr) return now + 1;
   if (faultRaised() || !engine_) return sim::kNeverCycle;
   if (!engine_->done() || !emit_.empty() || !finished_flush_done_) {
     return now + 1;
@@ -152,6 +175,11 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
               "kernel bug: CPU load from HHT BUF_DATA past end of stream");
         }
         ++*c_cpu_wait_cycles_;
+        if (trace_ != nullptr && trace_->enabled(obs::Category::kFifo)) {
+          trace_->emit(last_tick_cycle_, obs::Category::kFifo,
+                       obs::Component::kHhtFe, obs::EventKind::kFifoNotReady,
+                       offset);
+        }
         return {false, 0};
       }
       if (buffers_.front().is_row_end) {
@@ -174,7 +202,12 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
         slot.bits ^= 1u;
       }
       ++delivered;
-      if (tap_ != nullptr) tap_->onDelivered(last_tick_cycle_, false, slot.bits);
+      taps_.onDelivered(last_tick_cycle_, false, slot.bits);
+      if (trace_ != nullptr && trace_->enabled(obs::Category::kFifo)) {
+        trace_->emit(last_tick_cycle_, obs::Category::kFifo,
+                     obs::Component::kHhtFe, obs::EventKind::kFifoPop,
+                     slot.bits, 0);
+      }
       return {true, slot.bits};
     }
     case mmr::kValid: {
@@ -184,12 +217,22 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
               "kernel bug: CPU read VALID past end of stream");
         }
         ++*c_cpu_wait_cycles_;
+        if (trace_ != nullptr && trace_->enabled(obs::Category::kFifo)) {
+          trace_->emit(last_tick_cycle_, obs::Category::kFifo,
+                       obs::Component::kHhtFe, obs::EventKind::kFifoNotReady,
+                       offset);
+        }
         return {false, 0};
       }
       if (buffers_.front().is_row_end) {
         buffers_.pop();
         ++*fifo_pops_;
-        if (tap_ != nullptr) tap_->onDelivered(last_tick_cycle_, true, 0);
+        taps_.onDelivered(last_tick_cycle_, true, 0);
+        if (trace_ != nullptr && trace_->enabled(obs::Category::kFifo)) {
+          trace_->emit(last_tick_cycle_, obs::Category::kFifo,
+                       obs::Component::kHhtFe, obs::EventKind::kFifoPop, 0,
+                       1);
+        }
         return {true, 0};
       }
       return {true, 1};
@@ -223,6 +266,11 @@ void Hht::mmioWrite(Addr offset, std::uint32_t size, std::uint32_t value,
   if (injector_ != nullptr && offset != mmr::kStart &&
       offset != mmr::kFaultClear && injector_->glitchMmrValue(value)) {
     mmr_parity_ok_ = false;
+  }
+  if (trace_ != nullptr && trace_->enabled(obs::Category::kMmr)) {
+    trace_->emit(last_tick_cycle_, obs::Category::kMmr,
+                 obs::Component::kHhtFe, obs::EventKind::kMmrWrite, offset,
+                 value);
   }
   switch (offset) {
     case mmr::kMNumRows: mmr_.m_num_rows = value; break;

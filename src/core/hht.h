@@ -33,9 +33,10 @@ class Hht final : public HhtDevice {
   /// once the engine is done, the emission queue is drained, the tail
   /// buffer is flushed and the BE's memory traffic has fully drained
   /// (a done engine may still hold speculative reads in flight whose
-  /// responses only leave the memory system through its tick polls). An
-  /// attached stream tap forces per-cycle mode: delivery timestamps must
-  /// come from real ticks.
+  /// responses only leave the memory system through its tick polls). Any
+  /// attached observer — stream tap or trace sink — forces per-cycle mode:
+  /// delivery timestamps must come from real ticks. The two share one
+  /// combined check so stacking observers never double-disables anything.
   sim::Cycle nextEventCycle(sim::Cycle now) const override;
   void skipCycles(sim::Cycle n) override;
 
@@ -71,10 +72,18 @@ class Hht final : public HhtDevice {
   std::uint64_t progressSignal() const override { return *fifo_pops_; }
   std::string describeState() const override;
 
-  // ---- verification surface ----
+  // ---- verification / observability surface ----
 
-  /// Observer of every delivered element (nullptr = none, zero cost).
-  void setStreamTap(sim::StreamTap* tap) { tap_ = tap; }
+  /// Register an observer of every delivered element (a DifferentialOracle
+  /// tap, a test probe, ...). Several can coexist; delivery order is
+  /// registration order. Empty registry = zero overhead per pop.
+  void addStreamTap(sim::StreamTap* tap) { taps_.add(tap); }
+  void removeStreamTap(sim::StreamTap* tap) { taps_.remove(tap); }
+  /// Attach a structured trace sink (obs layer; host-only, not serialized).
+  void setTraceSink(obs::TraceSink* sink) override {
+    trace_ = sink;
+    trace_bucket_ = obs::kNoBucket;
+  }
   /// Read-only FE internals for the oracle's occupancy invariants.
   const BufferPool& bufferPool() const { return buffers_; }
   const EmissionQueue& emissionQueue() const { return emit_; }
@@ -102,9 +111,12 @@ class Hht final : public HhtDevice {
   /// use time is the only architecturally visible point).
   bool mmr_parity_ok_ = true;
   sim::FaultInjector* injector_ = nullptr;
-  sim::StreamTap* tap_ = nullptr;
+  sim::TapRegistry taps_;
+  /// Host-only trace state (not serialized).
+  obs::TraceSink* trace_ = nullptr;
+  std::uint8_t trace_bucket_ = obs::kNoBucket;
   /// Cycle of the most recent tick; MMIO pops have no cycle parameter, so
-  /// this is the timestamp the stream tap (and divergence reports) see.
+  /// this is the timestamp the stream taps (and divergence reports) see.
   sim::Cycle last_tick_cycle_ = 0;
   sim::StatSet stats_;
   std::uint64_t* fifo_pops_;  ///< cached "hht.fifo_pops" (watchdog signal)

@@ -25,7 +25,7 @@ HierBitmapEngine::HierBitmapEngine(const EngineContext& ctx, bool flat)
   l1_.configure(ctx.mmr.l1_base, l1_words, 0);
 }
 
-void HierBitmapEngine::tick(Cycle) {
+void HierBitmapEngine::tick(Cycle now) {
   if (faulted_) return;
 
   l1_.poll(ctx_.mem);
@@ -99,6 +99,7 @@ void HierBitmapEngine::tick(Cycle) {
         // Close the previous row(s); one marker per budget slot.
         if (!ctx_.emit.canReserve()) break;
         ctx_.emit.emitNow(Slot{0, true, true});
+        traceRowDone(now, cur_row_);
         ++cur_row_;
         ++*c_rows_done_;
         --budget;
@@ -106,6 +107,7 @@ void HierBitmapEngine::tick(Cycle) {
       }
       if (!ctx_.emit.canReserve() || !vfetch_.canAccept()) {
         ++*c_emit_stall_;
+        traceEmitStall(now);
         break;
       }
       vfetch_.enqueue({ctx_.mmr.v_base + col * ctx_.mmr.element_size,
@@ -161,6 +163,7 @@ void HierBitmapEngine::tick(Cycle) {
         cur_row_ < ctx_.mmr.m_num_rows) {
       if (!ctx_.emit.canReserve()) break;
       ctx_.emit.emitNow(Slot{0, true, true});
+      traceRowDone(now, cur_row_);
       ++cur_row_;
       ++*c_rows_done_;
       --budget;

@@ -26,17 +26,18 @@ void MergeEngine::configureRow() {
   row_merge_done_ = false;
 }
 
-bool MergeEngine::tryFinishRow() {
+bool MergeEngine::tryFinishRow(Cycle now) {
   if (!ctx_.emit.canReserve()) return false;
   ctx_.emit.emitNow(Slot{0, /*is_row_end=*/true, /*publish_after=*/true});
   ++*c_rows_done_;
+  traceRowDone(now, rows_.row());
   rows_.advance();
   row_ready_ = false;
   row_merge_done_ = false;
   return true;
 }
 
-void MergeEngine::tick(Cycle) {
+void MergeEngine::tick(Cycle now) {
   if (faulted_) return;
 
   rows_.poll(ctx_.mem);
@@ -87,6 +88,7 @@ void MergeEngine::tick(Cycle) {
       if (!ctx_.emit.canReserve(2) || !vfetch_.canAccept(2)) {
         // Downstream full: retry the same comparison next cycle.
         ++*c_emit_stall_;
+        traceEmitStall(now);
         break;
       }
       const Addr m_addr = ctx_.mmr.m_vals_base + cols_.headGlobal() * 4u;
@@ -106,7 +108,7 @@ void MergeEngine::tick(Cycle) {
   // Close the row once its pairs' value fetches are all in flight order
   // (the RowEnd marker is reserved after them, so emission order is safe
   // even while fetches are pending).
-  if (row_ready_ && row_merge_done_) tryFinishRow();
+  if (row_ready_ && row_merge_done_) tryFinishRow(now);
 
   // Issue budget: row pointers, then value fetches, then whichever index
   // stream is shorter on buffered entries.

@@ -55,7 +55,7 @@ class MergeEngine : public Engine {
   void configureRow();
   /// Try to close the current row (marker + advance). Returns true if
   /// advanced.
-  bool tryFinishRow();
+  bool tryFinishRow(Cycle now);
 
   RowPtrWalker rows_;
   IndexStream cols_;    ///< current row's column indices

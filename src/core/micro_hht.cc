@@ -44,6 +44,18 @@ void MicroHht::start() {
 }
 
 void MicroHht::tick(sim::Cycle now) {
+  last_tick_cycle_ = now;  // stamp for MMIO events delivered this cycle
+  if (trace_ != nullptr && trace_->enabled(obs::Category::kPipe)) {
+    const std::uint8_t bucket =
+        (started_ && !faultRaised() && !micro_core_->halted())
+            ? obs::kBucketActive
+            : obs::kBucketDrained;
+    if (bucket != trace_bucket_) {
+      trace_bucket_ = bucket;
+      trace_->emit(now, obs::Category::kPipe, obs::Component::kHhtBe,
+                   obs::EventKind::kPhase, bucket);
+    }
+  }
   if (faultRaised()) return;  // a faulted device halts (firmware included)
   if (!started_) return;
   if (!micro_core_->halted()) ++*c_active_cycles_;
@@ -51,6 +63,7 @@ void MicroHht::tick(sim::Cycle now) {
 }
 
 sim::Cycle MicroHht::nextEventCycle(sim::Cycle now) const {
+  if (trace_ != nullptr) return now + 1;  // tracing forces per-cycle ticks
   if (faultRaised() || !started_) return sim::kNeverCycle;
   if (micro_core_->halted()) return sim::kNeverCycle;
   return micro_core_->nextEventCycle(now);
@@ -77,6 +90,11 @@ mem::MmioReadResult MicroHht::cpuRead(Addr offset) {
               "kernel bug: CPU load from BUF_DATA past end of firmware stream");
         }
         ++*c_cpu_wait_cycles_;
+        if (trace_ != nullptr && trace_->enabled(obs::Category::kFifo)) {
+          trace_->emit(last_tick_cycle_, obs::Category::kFifo,
+                       obs::Component::kHhtFe, obs::EventKind::kFifoNotReady,
+                       mmr::kBufData);
+        }
         return {false, 0};
       }
       if (buffers_.front().is_row_end) {
@@ -85,6 +103,11 @@ mem::MmioReadResult MicroHht::cpuRead(Addr offset) {
       }
       const Slot slot = buffers_.pop();
       ++*fifo_pops_;
+      if (trace_ != nullptr && trace_->enabled(obs::Category::kFifo)) {
+        trace_->emit(last_tick_cycle_, obs::Category::kFifo,
+                     obs::Component::kHhtFe, obs::EventKind::kFifoPop,
+                     slot.bits, 0);
+      }
       if (!slot.parity_ok) {
         raiseFault(sim::FaultCause::FifoParity,
                    "buffer entry failed its parity check at BUF_DATA pop");
@@ -98,11 +121,20 @@ mem::MmioReadResult MicroHht::cpuRead(Addr offset) {
           throw std::logic_error("kernel bug: CPU read VALID past end of stream");
         }
         ++*c_cpu_wait_cycles_;
+        if (trace_ != nullptr && trace_->enabled(obs::Category::kFifo)) {
+          trace_->emit(last_tick_cycle_, obs::Category::kFifo,
+                       obs::Component::kHhtFe, obs::EventKind::kFifoNotReady,
+                       mmr::kValid);
+        }
         return {false, 0};
       }
       if (buffers_.front().is_row_end) {
         buffers_.pop();
         ++*fifo_pops_;
+        if (trace_ != nullptr && trace_->enabled(obs::Category::kFifo)) {
+          trace_->emit(last_tick_cycle_, obs::Category::kFifo,
+                       obs::Component::kHhtFe, obs::EventKind::kFifoPop, 0, 1);
+        }
         return {true, 0};
       }
       return {true, 1};
@@ -129,24 +161,42 @@ mem::MmioReadResult MicroHht::firmwareRead(Addr offset) {
     // The control unit throttles the firmware exactly as it would the
     // ASIC back-end: this is the "HHT waiting for CPU" condition.
     ++*c_fw_space_wait_;
+    if (trace_ != nullptr && trace_->enabled(obs::Category::kFifo)) {
+      trace_->emit(last_tick_cycle_, obs::Category::kFifo,
+                   obs::Component::kHhtFe, obs::EventKind::kFwSpaceWait);
+    }
     return {false, 0};
   }
   return {true, space};
 }
 
 void MicroHht::firmwareWrite(Addr offset, std::uint32_t value) {
+  const bool fifo_trace =
+      trace_ != nullptr && trace_->enabled(obs::Category::kFifo);
   switch (offset) {
     case mmr::kFwPushValue:
       buffers_.push({value, false, false});
       ++*c_fw_pushes_;
+      if (fifo_trace) {
+        trace_->emit(last_tick_cycle_, obs::Category::kFifo,
+                     obs::Component::kHhtFe, obs::EventKind::kFwPush, value, 0);
+      }
       break;
     case mmr::kFwPushValueEor:
       buffers_.push({value, false, true});
       ++*c_fw_pushes_;
+      if (fifo_trace) {
+        trace_->emit(last_tick_cycle_, obs::Category::kFifo,
+                     obs::Component::kHhtFe, obs::EventKind::kFwPush, value, 1);
+      }
       break;
     case mmr::kFwPushRowEnd:
       buffers_.push({0, true, true});
       ++*c_fw_row_ends_;
+      if (fifo_trace) {
+        trace_->emit(last_tick_cycle_, obs::Category::kFifo,
+                     obs::Component::kHhtFe, obs::EventKind::kFwRowEnd);
+      }
       break;
     default:
       throw std::invalid_argument("MicroHht: firmware write to non-port offset " +
@@ -177,6 +227,10 @@ void MicroHht::mmioWrite(Addr offset, std::uint32_t size, std::uint32_t value,
   if (injector_ != nullptr && offset != mmr::kStart &&
       offset != mmr::kFaultClear && injector_->glitchMmrValue(value)) {
     mmr_parity_ok_ = false;
+  }
+  if (trace_ != nullptr && trace_->enabled(obs::Category::kMmr)) {
+    trace_->emit(last_tick_cycle_, obs::Category::kMmr, obs::Component::kHhtFe,
+                 obs::EventKind::kMmrWrite, offset, value);
   }
   switch (offset) {
     case mmr::kMNumRows: mmr_.m_num_rows = value; break;

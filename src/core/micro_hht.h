@@ -66,6 +66,16 @@ class MicroHht final : public HhtDevice {
   cpu::Core& microCore() { return *micro_core_; }
   const cpu::Core& microCore() const { return *micro_core_; }
 
+  // ---- observability surface (HhtDevice) ----
+  // Host-only, never serialized: forwards to the embedded micro-core as
+  // Component::kMicroCore so firmware compute/stall phases show up as
+  // their own trace track alongside the front-end FIFO events.
+  void setTraceSink(obs::TraceSink* sink) override {
+    trace_ = sink;
+    trace_bucket_ = obs::kNoBucket;
+    micro_core_->setTraceSink(sink, obs::Component::kMicroCore);
+  }
+
   // ---- fault surface (HhtDevice) ----
   void setFaultInjector(sim::FaultInjector* injector) override;
   std::uint64_t progressSignal() const override;
@@ -101,6 +111,13 @@ class MicroHht final : public HhtDevice {
   bool started_ = false;
   bool mmr_parity_ok_ = true;
   sim::FaultInjector* injector_ = nullptr;
+  // Host-only observability state (never serialized; see DESIGN.md §12).
+  // MMIO handlers run during the memory tick, after this device's tick at
+  // the same cycle, so FIFO/firmware-port events are stamped with the
+  // cycle recorded at tick() entry.
+  obs::TraceSink* trace_ = nullptr;
+  std::uint8_t trace_bucket_ = obs::kNoBucket;
+  sim::Cycle last_tick_cycle_ = 0;
   sim::StatSet stats_;
   std::uint64_t* fifo_pops_ = nullptr;  ///< cached "hht.fifo_pops"
   // Hot-path counters cached once (StatSet references are stable).

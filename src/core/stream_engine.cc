@@ -26,7 +26,7 @@ void StreamEngine::configureRow() {
   row_ready_ = true;
 }
 
-void StreamEngine::tick(Cycle) {
+void StreamEngine::tick(Cycle now) {
   if (faulted_) return;
 
   rows_.poll(ctx_.mem);
@@ -53,6 +53,7 @@ void StreamEngine::tick(Cycle) {
   while (row_ready_ && cmps > 0) {
     if (!cols_.morePending()) {
       // Row complete (every matrix NZ produced one stream element).
+      traceRowDone(now, rows_.row());
       rows_.advance();
       row_ready_ = false;
       ++*c_rows_done_;
@@ -83,6 +84,7 @@ void StreamEngine::tick(Cycle) {
     if (mc == vc) {
       if (!ctx_.emit.canReserve() || !vfetch_.canAccept()) {
         ++*c_emit_stall_;
+        traceEmitStall(now);
         break;
       }
       const Addr v_addr = ctx_.mmr.v_vals_base + vidx_.headIndex() * 4u;

@@ -148,6 +148,7 @@ void Core::setFLane(Reg vr, int lane, float value) {
 void Core::tick(Cycle now) {
   if (halted_) return;
   ++*c_cycles_;
+  if (trace_ != nullptr) traceCycle(now);
   switch (phase_) {
     case Phase::Ready:
       dispatch(now);
@@ -241,6 +242,41 @@ void Core::skipCycles(Cycle n) {
       *c_vec_mem_ += n;
       vec_startup_left_ -= std::min(vec_startup_left_, n);
       break;
+  }
+}
+
+// Classify the cycle about to execute into a stall-attribution bucket and
+// emit a kPhase event on transitions (coalesced: one event per contiguous
+// span, so the stream stays small and deterministic). MMIO-directed waits
+// are FIFO waits (the HHT FE's streaming port); SRAM waits are memory
+// waits. Retires are stamped at dispatch, which is where c_retired_ bumps.
+void Core::traceCycle(Cycle now) {
+  if (!trace_->enabled(obs::Category::kCpu)) return;
+  std::uint8_t bucket = obs::kBucketCompute;
+  switch (phase_) {
+    case Phase::Ready:
+    case Phase::Busy:
+      bucket = obs::kBucketCompute;
+      break;
+    case Phase::LoadWait:
+      bucket = mem_.isMmio(load_addr_) ? obs::kBucketFifoWait
+                                       : obs::kBucketMemWait;
+      break;
+    case Phase::VecMem:
+      bucket = mem_.isMmio(x_[vec_instr_.rs1]) ? obs::kBucketFifoWait
+                                               : obs::kBucketMemWait;
+      break;
+  }
+  if (bucket != trace_bucket_) {
+    trace_bucket_ = bucket;
+    trace_->emit(now, obs::Category::kCpu, trace_component_,
+                 obs::EventKind::kPhase, bucket);
+  }
+  if (phase_ == Phase::Ready) {
+    const Instr& in = program_->at(pc_);
+    trace_->emit(now, obs::Category::kCpu, trace_component_,
+                 obs::EventKind::kRetire, pc_,
+                 static_cast<std::uint64_t>(in.op));
   }
 }
 

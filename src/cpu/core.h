@@ -7,6 +7,7 @@
 #include "cpu/timing.h"
 #include "isa/program.h"
 #include "mem/memory_system.h"
+#include "obs/trace.h"
 #include "sim/state_io.h"
 #include "sim/stats.h"
 #include "sim/types.h"
@@ -88,6 +89,16 @@ class Core {
   const StatSet& stats() const { return stats_; }
   const TimingConfig& timing() const { return timing_; }
 
+  /// Attach a structured trace sink (obs layer). Host-side observation
+  /// only: never serialized, never consulted by architectural logic, so a
+  /// traced run is bit-identical to an untraced one. `component` labels
+  /// this core's events (primary core vs the micro-HHT's embedded core).
+  void setTraceSink(obs::TraceSink* sink, obs::Component component) {
+    trace_ = sink;
+    trace_component_ = component;
+    trace_bucket_ = obs::kNoBucket;
+  }
+
   /// Cycles retired so far attribute totals; convenience accessors for the
   /// counters the paper reports.
   std::uint64_t retiredInstructions() const { return stats_.value("cpu.retired"); }
@@ -101,6 +112,7 @@ class Core {
   };
 
   void dispatch(Cycle now);
+  void traceCycle(Cycle now);
   void execNonMemory(const Instr& instr, Cycle now);
   void startScalarMemory(const Instr& instr);
   void startVectorMemory(const Instr& instr);
@@ -147,6 +159,12 @@ class Core {
   std::vector<VecElem> vec_pending_;
 
   StatSet stats_;
+
+  // Host-only trace state (not serialized; resumed runs re-announce their
+  // first bucket, which tests normalize by expanding to per-cycle values).
+  obs::TraceSink* trace_ = nullptr;
+  obs::Component trace_component_ = obs::Component::kCpu;
+  std::uint8_t trace_bucket_ = obs::kNoBucket;
 
   // Hot-path counters cached once (StatSet references are stable).
   std::uint64_t* c_cycles_;

@@ -54,7 +54,8 @@ std::uint64_t programHash(const isa::Program& program) {
   return fnv1a(w.data().data(), w.size());
 }
 
-constexpr std::uint32_t kSnapshotVersion = 1;
+// v2: sim::StatSet serializes interval histograms after the counters.
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 void writeTiming(sim::StateWriter& w, const cpu::TimingConfig& t) {
   w.u64(t.int_alu).u64(t.int_mul).u64(t.int_div);
@@ -198,6 +199,11 @@ System::System(const SystemConfig& config)
     mem_->setFaultInjector(injector_.get());
     hht_->setFaultInjector(injector_.get());
   }
+  if (config.trace_sink != nullptr) {
+    cpu_->setTraceSink(config.trace_sink, obs::Component::kCpu);
+    mem_->setTraceSink(config.trace_sink);
+    hht_->setTraceSink(config.trace_sink);
+  }
 }
 
 RunResult System::run(const isa::Program& program, Addr y_addr,
@@ -227,12 +233,16 @@ RunResult System::runLoop(const isa::Program& program, Addr y_addr,
   const std::uint64_t* cpu_retired = &cpu_->stats().counter("cpu.retired");
   const std::uint64_t* mem_grants = &mem_->stats().counter("mem.grants");
 
-  // Host fast-forward (DESIGN.md §11): only when no observer is attached —
-  // an observer is entitled to see every executed cycle (the differential
-  // oracle samples FIFO occupancy; checkpoint triggers fire at exact
-  // cycles). The fault injector needs no quiescence hook: faults only
-  // arise from component activity, and skipped stretches have none.
-  const bool allow_ff = config_.host_fastforward && observer == nullptr;
+  // Host fast-forward (DESIGN.md §11): only when no observer (per-run or
+  // registered) and no trace sink is attached — an observer is entitled to
+  // see every executed cycle (the differential oracle samples FIFO
+  // occupancy; checkpoint triggers fire at exact cycles) and a trace must
+  // record every executed cycle's phase. One combined check: attaching
+  // both an oracle tap and a trace sink disables fast-forward exactly
+  // once. The fault injector needs no quiescence hook: faults only arise
+  // from component activity, and skipped stretches have none.
+  const bool allow_ff = config_.host_fastforward && observer == nullptr &&
+                        observers_.empty() && config_.trace_sink == nullptr;
   host_skipped_cycles_ = 0;
   // Failed-attempt throttle: on skip-hostile stretches (some component has
   // an event every cycle) the hook itself would otherwise tax every cycle.
@@ -277,6 +287,7 @@ RunResult System::runLoop(const isa::Program& program, Addr y_addr,
       break;
     }
     if (observer != nullptr) observer->onCycle(*this, now);
+    for (RunObserver* o : observers_) o->onCycle(*this, now);
     if (cpu_->halted() && mem_->idle()) break;
     if (watchdog.due(now)) {
       watchdog.observe(
@@ -322,6 +333,14 @@ RunResult System::runLoop(const isa::Program& program, Addr y_addr,
                         "simulation exceeded max_cycles running " +
                             program.name(),
                         dumpDiagnostics(now));
+  }
+  if (config_.trace_sink != nullptr &&
+      config_.trace_sink->enabled(obs::Category::kSystem)) {
+    // Horizon marker: the run executed cycles [start_cycle, now], so the
+    // profiler's total-cycle denominator is now + 1.
+    config_.trace_sink->emit(now, obs::Category::kSystem,
+                             obs::Component::kSystem, obs::EventKind::kRunEnd,
+                             now + 1);
   }
 
   result.cycles = cpu_->stats().value("cpu.cycles");

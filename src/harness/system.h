@@ -17,6 +17,7 @@
 #include "sparse/dense.h"
 #include "sparse/bitvector.h"
 #include "sparse/hier_bitmap.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/state_io.h"
 #include "sparse/sparse_vector.h"
@@ -53,6 +54,14 @@ struct SystemConfig {
   /// describe the same simulated machine. Disable (or pass
   /// --no-fastforward to the benches) for A/B verification.
   bool host_fastforward = true;
+  /// Optional cycle-accurate trace sink (src/obs, DESIGN.md §12). Host-only
+  /// tooling exactly like host_fastforward: excluded from
+  /// writeSystemConfig/readSystemConfig and the snapshot fingerprint — a
+  /// traced machine and an untraced machine are the same simulated machine.
+  /// Attaching a sink disables quiescence fast-forward (every executed
+  /// cycle must be observed) but never changes results, stats or snapshot
+  /// bytes. The sink must outlive the System.
+  obs::TraceSink* trace_sink = nullptr;
 
   /// Reject broken configurations with SimError(Config); called by the
   /// System constructor before any component is built.
@@ -180,6 +189,24 @@ class System {
   /// appears in RunResult::stats).
   std::uint64_t hostSkippedCycles() const { return host_skipped_cycles_; }
 
+  /// Persistent observer registry: observers registered here are invoked
+  /// every executed cycle, after the per-run observer passed to run() /
+  /// resume() (registration order). This is the single attach point that
+  /// lets a differential-oracle tap and a trace sink ride the same run:
+  /// fast-forward is disabled once by the combined check in runLoop — there
+  /// is no per-observer disable to double-apply. Observers are borrowed;
+  /// remove before destroying.
+  void addObserver(RunObserver* observer) {
+    if (observer == nullptr) return;
+    for (RunObserver* o : observers_) {
+      if (o == observer) return;
+    }
+    observers_.push_back(observer);
+  }
+  void removeObserver(RunObserver* observer) {
+    std::erase(observers_, observer);
+  }
+
  private:
   RunResult runLoop(const isa::Program& program, Addr y_addr,
                     std::uint32_t y_len, Cycle start_cycle, Cycle max_cycles,
@@ -194,6 +221,7 @@ class System {
   core::Hht* asic_hht_ = nullptr;        ///< alias into hht_ when ASIC
   std::unique_ptr<cpu::Core> cpu_;
   mem::Arena arena_;
+  std::vector<RunObserver*> observers_;  ///< borrowed; see addObserver
   std::uint64_t host_skipped_cycles_ = 0;
 };
 

@@ -137,6 +137,13 @@ void MemorySystem::grant(const Pending& pending, Cycle now) {
     // leak and keep idle() false forever.
     sram_.write(a.addr, a.size, a.wdata);
     ++*grants_;
+    if (trace_ != nullptr && trace_->enabled(obs::Category::kMem)) {
+      trace_->emit(now, obs::Category::kMem, obs::Component::kMem,
+                   obs::EventKind::kMemGrant, a.addr,
+                   static_cast<std::uint64_t>(a.requester) |
+                       (std::uint64_t{a.is_write} << 1) |
+                       (static_cast<std::uint64_t>(sram_queue_.size()) << 8));
+    }
     return;
   }
   std::uint32_t data = sram_.read(a.addr, a.size);
@@ -177,13 +184,36 @@ void MemorySystem::grant(const Pending& pending, Cycle now) {
   }
   in_flight_.push_back({pending.id, now + latency, data, poisoned});
   ++*grants_;
+  if (trace_ != nullptr && trace_->enabled(obs::Category::kMem)) {
+    // b packs requester | is_write<<1 | queue-depth-at-grant<<8, so the
+    // trace carries request-queue occupancy without a per-cycle event.
+    trace_->emit(now, obs::Category::kMem, obs::Component::kMem,
+                 obs::EventKind::kMemGrant, a.addr,
+                 static_cast<std::uint64_t>(a.requester) |
+                     (std::uint64_t{a.is_write} << 1) |
+                     (static_cast<std::uint64_t>(sram_queue_.size()) << 8));
+  }
   HHT_LOG_AT(Trace, "mem", "grant id=%llu %s addr=0x%x done@%llu",
              static_cast<unsigned long long>(pending.id),
              a.is_write ? "W" : "R", a.addr,
              static_cast<unsigned long long>(now + latency));
 }
 
+// Coalesced active/drained occupancy transitions (one kPhase event per
+// contiguous span). Host-only; see DESIGN.md §12 for the resume contract.
+void MemorySystem::traceTick(Cycle now) {
+  if (!trace_->enabled(obs::Category::kMem)) return;
+  const std::uint8_t bucket =
+      idle() ? obs::kBucketDrained : obs::kBucketActive;
+  if (bucket != trace_bucket_) {
+    trace_bucket_ = bucket;
+    trace_->emit(now, obs::Category::kMem, obs::Component::kMem,
+                 obs::EventKind::kPhase, bucket);
+  }
+}
+
 void MemorySystem::tick(Cycle now) {
+  if (trace_ != nullptr) traceTick(now);
   // 1. Retire accesses whose latency has elapsed.
   std::erase_if(in_flight_, [&](const InFlight& f) {
     if (f.done_at > now) return false;
@@ -214,8 +244,16 @@ void MemorySystem::tick(Cycle now) {
     sram_queue_.erase(it);
   }
   // Requests left waiting lost arbitration this cycle.
+  std::uint64_t passed_over[2] = {0, 0};
   for (const Pending& p : sram_queue_) {
     ++*conflict_cycles_[static_cast<int>(p.access.requester)];
+    ++passed_over[static_cast<int>(p.access.requester)];
+  }
+  if ((passed_over[0] | passed_over[1]) != 0 && trace_ != nullptr &&
+      trace_->enabled(obs::Category::kMem)) {
+    trace_->emit(now, obs::Category::kMem, obs::Component::kMem,
+                 obs::EventKind::kMemConflict, passed_over[0],
+                 passed_over[1]);
   }
 
   // Spare slots feed the stream prefetcher (demand traffic always wins).

@@ -9,6 +9,7 @@
 #include "mem/mmio.h"
 #include "mem/request.h"
 #include "mem/sram.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/stats.h"
 #include "sim/types.h"
@@ -88,6 +89,15 @@ class MemorySystem {
   /// window is a wiring bug, never intentional.
   void attachMmioDevice(MmioDevice* device);
 
+  /// Attach a structured trace sink (obs layer). Host-side observation
+  /// only: arbitration grants (with queue depth), bank-conflict tallies and
+  /// active/drained occupancy transitions. Never serialized, never
+  /// consulted by simulated logic.
+  void setTraceSink(obs::TraceSink* sink) {
+    trace_ = sink;
+    trace_bucket_ = obs::kNoBucket;
+  }
+
   /// Wire the shared fault injector (nullptr = no injection, zero cost).
   /// Injection applies to SRAM read grants: bit flips (detected by ECC and
   /// retried up to FaultConfig::ecc_retry_limit times, else poisoned),
@@ -160,6 +170,7 @@ class MemorySystem {
   };
 
   void grant(const Pending& pending, Cycle now);
+  void traceTick(Cycle now);
 
   MemorySystemConfig config_;
   Sram sram_;
@@ -183,6 +194,10 @@ class MemorySystem {
   RequestId next_id_ = 1;
   bool rr_hht_turn_ = false;  ///< round-robin: whose turn is next
   StatSet stats_;
+
+  // Host-only trace state (not serialized).
+  obs::TraceSink* trace_ = nullptr;
+  std::uint8_t trace_bucket_ = obs::kNoBucket;
 
   // Hot-path counters cached once (StatSet references are stable); indexed
   // by Requester.

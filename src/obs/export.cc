@@ -1,0 +1,87 @@
+#include "obs/export.h"
+
+#include <array>
+#include <ostream>
+#include <vector>
+
+namespace hht::obs {
+
+namespace {
+
+/// Stable Perfetto track id per component (pid 0, tid = component + 1;
+/// tid 0 is reserved so tracks sort after process metadata).
+int tid(Component c) { return static_cast<int>(c) + 1; }
+
+void writeMeta(std::ostream& os, Component c, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"ph":"M","pid":0,"tid":)" << tid(c)
+     << R"(,"name":"thread_name","args":{"name":")" << componentName(c)
+     << R"("}})";
+}
+
+}  // namespace
+
+void writePerfettoTrace(std::ostream& os, const TraceSink& sink) {
+  const std::vector<TraceEvent> events = sink.events();
+
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":\""
+     << sink.dropped() << "\"},\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t c = 0; c < kNumComponents; ++c) {
+    writeMeta(os, static_cast<Component>(c), first);
+  }
+
+  // Fold kPhase transitions into complete spans, closed at the run horizon
+  // (kRunEnd) or the last event cycle.
+  struct OpenSpan {
+    sim::Cycle start = 0;
+    std::uint8_t bucket = kNoBucket;
+  };
+  std::array<OpenSpan, kNumComponents> open{};
+  sim::Cycle horizon = 0;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == EventKind::kRunEnd && ev.a > horizon) horizon = ev.a;
+    if (ev.cycle + 1 > horizon) horizon = ev.cycle + 1;
+  }
+
+  const auto emitSpan = [&](Component comp, const OpenSpan& span,
+                            sim::Cycle end) {
+    if (span.bucket == kNoBucket || end <= span.start) return;
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"ph":"X","pid":0,"tid":)" << tid(comp) << R"(,"name":")"
+       << bucketName(span.bucket) << R"(","cat":"phase","ts":)" << span.start
+       << R"(,"dur":)" << (end - span.start) << "}";
+  };
+
+  for (const TraceEvent& ev : events) {
+    const std::size_t ci = static_cast<std::size_t>(ev.component);
+    if (ev.kind == EventKind::kPhase) {
+      emitSpan(ev.component, open[ci], ev.cycle);
+      open[ci] = {ev.cycle, static_cast<std::uint8_t>(ev.a)};
+      continue;
+    }
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"ph":"i","s":"t","pid":0,"tid":)" << tid(ev.component)
+       << R"(,"name":")" << kindName(ev.kind) << R"(","cat":")"
+       << categoryName(ev.category) << R"(","ts":)" << ev.cycle
+       << R"(,"args":{"a":)" << ev.a << R"(,"b":)" << ev.b << "}}";
+  }
+  for (std::size_t c = 0; c < kNumComponents; ++c) {
+    emitSpan(static_cast<Component>(c), open[c], horizon);
+  }
+  os << "\n]}\n";
+}
+
+void writeCsvTrace(std::ostream& os, const TraceSink& sink) {
+  os << "cycle,category,component,kind,a,b\n";
+  for (const TraceEvent& ev : sink.events()) {
+    os << ev.cycle << ',' << categoryName(ev.category) << ','
+       << componentName(ev.component) << ',' << kindName(ev.kind) << ','
+       << ev.a << ',' << ev.b << '\n';
+  }
+}
+
+}  // namespace hht::obs

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/trace.h"
+
+namespace hht::obs {
+
+/// Write the trace as Chrome/Perfetto trace-event JSON (load via
+/// chrome://tracing or ui.perfetto.dev). kPhase spans become "X" complete
+/// events (one track per component, dur in cycles-as-microseconds); every
+/// other kind becomes an "i" instant event with its payload in args.
+/// Deterministic byte output for a deterministic event stream.
+void writePerfettoTrace(std::ostream& os, const TraceSink& sink);
+
+/// Write the trace as flat CSV: `cycle,category,component,kind,a,b` rows in
+/// emission order. This is the golden-trace format (tests/golden/).
+void writeCsvTrace(std::ostream& os, const TraceSink& sink);
+
+}  // namespace hht::obs

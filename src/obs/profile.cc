@@ -1,0 +1,158 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+namespace hht::obs {
+
+namespace {
+
+std::string spanHistName(Component c, std::uint8_t bucket) {
+  std::string name{componentName(c)};
+  name += '.';
+  name += bucketName(bucket);
+  name += "_span_cycles";
+  return name;
+}
+
+}  // namespace
+
+std::uint64_t ProfileReport::componentTotal(Component c) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : bucket_cycles[static_cast<std::size_t>(c)]) {
+    total += v;
+  }
+  return total;
+}
+
+std::string ProfileReport::table() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line), "%-11s %12s %12s %12s %12s %12s\n",
+                "component", "compute", "fifo_wait", "mem_wait", "active",
+                "drained");
+  out += line;
+  for (std::size_t c = 0; c < kNumComponents; ++c) {
+    const auto& b = bucket_cycles[c];
+    std::uint64_t active_total = 0;
+    for (std::uint8_t k = 0; k < kNumBuckets; ++k) {
+      if (k != kBucketDrained) active_total += b[k];
+    }
+    if (active_total == 0) continue;  // component absent from this run
+    std::snprintf(line, sizeof(line), "%-11s %12llu %12llu %12llu %12llu %12llu\n",
+                  std::string(componentName(static_cast<Component>(c))).c_str(),
+                  static_cast<unsigned long long>(b[kBucketCompute]),
+                  static_cast<unsigned long long>(b[kBucketFifoWait]),
+                  static_cast<unsigned long long>(b[kBucketMemWait]),
+                  static_cast<unsigned long long>(b[kBucketActive]),
+                  static_cast<unsigned long long>(b[kBucketDrained]));
+    out += line;
+    if (horizon > 0) {
+      std::snprintf(
+          line, sizeof(line), "%-11s %11.1f%% %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
+          "", 100.0 * static_cast<double>(b[kBucketCompute]) / static_cast<double>(horizon),
+          100.0 * static_cast<double>(b[kBucketFifoWait]) / static_cast<double>(horizon),
+          100.0 * static_cast<double>(b[kBucketMemWait]) / static_cast<double>(horizon),
+          100.0 * static_cast<double>(b[kBucketActive]) / static_cast<double>(horizon),
+          100.0 * static_cast<double>(b[kBucketDrained]) / static_cast<double>(horizon));
+      out += line;
+    }
+  }
+  return out;
+}
+
+ProfileReport profile(const TraceSink& sink) {
+  ProfileReport rep;
+  rep.dropped = sink.dropped();
+
+  struct OpenSpan {
+    sim::Cycle start = 0;
+    std::uint8_t bucket = kNoBucket;
+  };
+  std::array<OpenSpan, kNumComponents> open{};
+
+  const std::vector<TraceEvent> events = sink.events();
+  sim::Cycle last_cycle = 0;
+  const auto close = [&rep](Component comp, OpenSpan& span, sim::Cycle end) {
+    if (span.bucket == kNoBucket || end <= span.start) return;
+    const std::uint64_t len = end - span.start;
+    rep.bucket_cycles[static_cast<std::size_t>(comp)][span.bucket] += len;
+    rep.spans.histogram(spanHistName(comp, span.bucket)).add(len);
+  };
+
+  for (const TraceEvent& ev : events) {
+    last_cycle = ev.cycle;
+    const std::size_t ci = static_cast<std::size_t>(ev.component);
+    switch (ev.kind) {
+      case EventKind::kPhase: {
+        OpenSpan& span = open[ci];
+        close(ev.component, span, ev.cycle);
+        span.start = ev.cycle;
+        span.bucket = static_cast<std::uint8_t>(ev.a);
+        break;
+      }
+      case EventKind::kRetire:
+        ++rep.retires[ci];
+        break;
+      case EventKind::kMemGrant:
+        ++rep.mem_grants;
+        break;
+      case EventKind::kMemConflict:
+        rep.mem_conflict_cpu += ev.a;
+        rep.mem_conflict_hht += ev.b;
+        break;
+      case EventKind::kFifoPush:
+        rep.fifo_pushes += ev.a;
+        break;
+      case EventKind::kFifoPop:
+        ++rep.fifo_pops;
+        break;
+      case EventKind::kFifoNotReady:
+        ++rep.fifo_not_ready;
+        break;
+      case EventKind::kFifoFull:
+        ++rep.fifo_full;
+        break;
+      case EventKind::kMmrWrite:
+        ++rep.mmr_writes;
+        break;
+      case EventKind::kEngineRowDone:
+        ++rep.engine_rows_done;
+        break;
+      case EventKind::kEngineEmitStall:
+        ++rep.engine_emit_stalls;
+        break;
+      case EventKind::kFwSpaceWait:
+        ++rep.fw_space_waits;
+        break;
+      case EventKind::kFwPush:
+        ++rep.fw_pushes;
+        break;
+      case EventKind::kFwRowEnd:
+        ++rep.fw_row_ends;
+        break;
+      case EventKind::kRunEnd:
+        if (ev.a > rep.horizon) rep.horizon = static_cast<sim::Cycle>(ev.a);
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (rep.horizon == 0 && !events.empty()) rep.horizon = last_cycle + 1;
+
+  for (std::size_t c = 0; c < kNumComponents; ++c) {
+    close(static_cast<Component>(c), open[c], rep.horizon);
+  }
+  // Cycles outside any emitted span are drained by definition: before a
+  // component's first phase event and after a halted CPU's last tick.
+  for (std::size_t c = 0; c < kNumComponents; ++c) {
+    std::uint64_t attributed = 0;
+    for (const std::uint64_t v : rep.bucket_cycles[c]) attributed += v;
+    if (rep.horizon > attributed) {
+      rep.bucket_cycles[c][kBucketDrained] += rep.horizon - attributed;
+    }
+  }
+  return rep;
+}
+
+}  // namespace hht::obs

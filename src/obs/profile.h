@@ -1,0 +1,69 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace hht::obs {
+
+/// Stall-attribution summary folded from a trace stream.
+///
+/// Invariant (tested in tests/test_profile.cc): for every component,
+/// `componentTotal() == horizon` — the per-bucket cycle counts partition the
+/// run exactly, with cycles outside any emitted span attributed to
+/// kBucketDrained. Event tallies reconcile exactly with the fig6/fig7
+/// counters because their emit sites are the counter bump sites:
+/// `fifo_not_ready == hht.cpu_wait_cycles`,
+/// `fifo_full == hht.stall_buffers_full`, `mem_grants == mem.grants`,
+/// per-requester conflict sums == `mem.*.conflict_cycles`.
+struct ProfileReport {
+  sim::Cycle horizon = 0;  ///< total simulated cycles (from kRunEnd)
+
+  /// bucket_cycles[component][bucket] — cycles spent per bucket.
+  std::array<std::array<std::uint64_t, kNumBuckets>, kNumComponents>
+      bucket_cycles{};
+
+  /// Instruction retires per component (primary core vs micro core).
+  std::array<std::uint64_t, kNumComponents> retires{};
+
+  std::uint64_t fifo_pops = 0;
+  std::uint64_t fifo_pushes = 0;      ///< slots drained FE-ward (sum of a)
+  std::uint64_t fifo_not_ready = 0;   ///< == hht.cpu_wait_cycles
+  std::uint64_t fifo_full = 0;        ///< == hht.stall_buffers_full
+  std::uint64_t mem_grants = 0;       ///< == mem.grants
+  std::uint64_t mem_conflict_cpu = 0; ///< == mem.cpu.conflict_cycles
+  std::uint64_t mem_conflict_hht = 0; ///< == mem.hht.conflict_cycles
+  std::uint64_t mmr_writes = 0;
+  std::uint64_t engine_rows_done = 0;
+  std::uint64_t engine_emit_stalls = 0;
+  std::uint64_t fw_space_waits = 0;   ///< == hht.fw_space_wait_cycles
+  std::uint64_t fw_pushes = 0;
+  std::uint64_t fw_row_ends = 0;
+  std::uint64_t dropped = 0;  ///< ring overwrites: report covers a suffix
+
+  /// Interval histograms of span lengths, one per component+bucket
+  /// ("cpu.fifo_wait_span_cycles", ...), log2-bucketed in a StatSet.
+  sim::StatSet spans;
+
+  std::uint64_t bucketCycles(Component c, std::uint8_t bucket) const {
+    return bucket_cycles[static_cast<std::size_t>(c)][bucket];
+  }
+
+  /// Sum of all buckets for one component; equals `horizon` by invariant.
+  std::uint64_t componentTotal(Component c) const;
+
+  /// Human-readable per-component breakdown table (cycles and percent).
+  std::string table() const;
+};
+
+/// Fold a trace stream into the stall-attribution report. Requires the
+/// stream to carry a kRunEnd event (emitted by harness::System::run when a
+/// sink is attached); without one the horizon falls back to the last event
+/// cycle + 1.
+ProfileReport profile(const TraceSink& sink);
+
+}  // namespace hht::obs

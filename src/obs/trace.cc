@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+namespace hht::obs {
+
+std::string_view categoryName(std::uint32_t category_bit) {
+  switch (category_bit) {
+    case bit(Category::kCpu): return "cpu";
+    case bit(Category::kMem): return "mem";
+    case bit(Category::kFifo): return "fifo";
+    case bit(Category::kPipe): return "pipe";
+    case bit(Category::kMmr): return "mmr";
+    case bit(Category::kSystem): return "system";
+    default: return "unknown";
+  }
+}
+
+std::string_view componentName(Component c) {
+  switch (c) {
+    case Component::kSystem: return "system";
+    case Component::kCpu: return "cpu";
+    case Component::kMem: return "mem";
+    case Component::kHhtFe: return "hht_fe";
+    case Component::kHhtBe: return "hht_be";
+    case Component::kMicroCore: return "micro_core";
+    default: return "unknown";
+  }
+}
+
+std::string_view kindName(EventKind k) {
+  switch (k) {
+    case EventKind::kPhase: return "phase";
+    case EventKind::kRetire: return "retire";
+    case EventKind::kMemGrant: return "mem_grant";
+    case EventKind::kMemConflict: return "mem_conflict";
+    case EventKind::kFifoPush: return "fifo_push";
+    case EventKind::kFifoPop: return "fifo_pop";
+    case EventKind::kFifoNotReady: return "fifo_not_ready";
+    case EventKind::kFifoFull: return "fifo_full";
+    case EventKind::kMmrWrite: return "mmr_write";
+    case EventKind::kEngineRowDone: return "engine_row_done";
+    case EventKind::kEngineEmitStall: return "engine_emit_stall";
+    case EventKind::kFwSpaceWait: return "fw_space_wait";
+    case EventKind::kFwPush: return "fw_push";
+    case EventKind::kFwRowEnd: return "fw_row_end";
+    case EventKind::kRunEnd: return "run_end";
+    default: return "unknown";
+  }
+}
+
+std::string_view bucketName(std::uint8_t bucket) {
+  switch (bucket) {
+    case kBucketCompute: return "compute";
+    case kBucketFifoWait: return "fifo_wait";
+    case kBucketMemWait: return "mem_wait";
+    case kBucketActive: return "active";
+    case kBucketDrained: return "drained";
+    default: return "unknown";
+  }
+}
+
+std::optional<std::uint32_t> parseCategoryList(std::string_view list) {
+  std::uint32_t mask = 0;
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    const std::string_view name = list.substr(0, comma);
+    if (name == "all") {
+      mask |= kAllCategories;
+    } else if (name == "cpu") {
+      mask |= bit(Category::kCpu);
+    } else if (name == "mem") {
+      mask |= bit(Category::kMem);
+    } else if (name == "fifo") {
+      mask |= bit(Category::kFifo);
+    } else if (name == "pipe") {
+      mask |= bit(Category::kPipe);
+    } else if (name == "mmr") {
+      mask |= bit(Category::kMmr);
+    } else if (name == "system") {
+      mask |= bit(Category::kSystem);
+    } else {
+      return std::nullopt;
+    }
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  return mask;
+}
+
+}  // namespace hht::obs

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "sim/types.h"
 
@@ -16,6 +18,33 @@ class StreamTap {
   /// One element left the CPU-side buffers. `is_row_end` distinguishes the
   /// VALID==0 row terminator from a BUF_DATA payload (`bits`).
   virtual void onDelivered(Cycle now, bool is_row_end, std::uint32_t bits) = 0;
+};
+
+/// Small registry of delivery-port observers, so a run can carry several at
+/// once (e.g. a DifferentialOracle tap AND an obs::TraceSink-driven probe)
+/// without each claiming the device's single tap slot. Delivery order is
+/// registration order, so the stream each tap sees is deterministic.
+/// `empty()` is the device's "may I fast-forward?" input — one combined
+/// check instead of one per observer kind.
+class TapRegistry {
+ public:
+  void add(StreamTap* tap) {
+    if (tap == nullptr) return;
+    if (std::find(taps_.begin(), taps_.end(), tap) == taps_.end()) {
+      taps_.push_back(tap);
+    }
+  }
+  void remove(StreamTap* tap) {
+    taps_.erase(std::remove(taps_.begin(), taps_.end(), tap), taps_.end());
+  }
+  bool empty() const { return taps_.empty(); }
+
+  void onDelivered(Cycle now, bool is_row_end, std::uint32_t bits) const {
+    for (StreamTap* tap : taps_) tap->onDelivered(now, is_row_end, bits);
+  }
+
+ private:
+  std::vector<StreamTap*> taps_;
 };
 
 }  // namespace hht::sim

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -10,6 +13,79 @@
 #include "sim/state_io.h"
 
 namespace hht::sim {
+
+/// Log2-bucketed interval histogram: bucket i counts values v with
+/// bit_width(v) == i, i.e. bucket 0 holds v==0, bucket i>=1 holds
+/// [2^(i-1), 2^i). Used for latency/occupancy/span-length distributions
+/// where exact per-value storage would be unbounded.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void add(std::uint64_t v) {
+    sum_ += v;
+    if (count_ == 0) {
+      min_ = v;
+      max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    ++count_;
+    ++buckets_[bucketOf(v)];
+  }
+
+  static std::size_t bucketOf(std::uint64_t v) {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Inclusive lower bound of bucket i.
+  static std::uint64_t bucketLow(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return min_; }
+  std::uint64_t max() const { return max_; }
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  void absorb(const Histogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  }
+
+  void serialize(StateWriter& w) const {
+    w.u64(count_);
+    w.u64(sum_);
+    w.u64(min_);
+    w.u64(max_);
+    for (const std::uint64_t b : buckets_) w.u64(b);
+  }
+  void deserialize(StateReader& r) {
+    count_ = r.u64();
+    sum_ = r.u64();
+    min_ = r.u64();
+    max_ = r.u64();
+    for (std::uint64_t& b : buckets_) b = r.u64();
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
 
 /// A hierarchical set of named 64-bit counters.
 ///
@@ -56,17 +132,40 @@ class StatSet {
 
   bool contains(std::string_view name) const { return index_.contains(name); }
 
+  /// Returns the interval histogram named `name`, creating it empty on
+  /// first use. References stay valid for the StatSet's lifetime.
+  Histogram& histogram(std::string_view name) {
+    auto it = hists_.find(name);
+    if (it != hists_.end()) return it->second;
+    return hists_.emplace(std::string(name), Histogram{}).first->second;
+  }
+
+  /// Read-only lookup; nullptr if never created.
+  const Histogram* findHistogram(std::string_view name) const {
+    auto it = hists_.find(name);
+    return it == hists_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return hists_;
+  }
+
   /// Drops every counter. Invalidates all handles and references; only
   /// valid before components cache them (setup/report/test code).
   void clear() {
     index_.clear();
     values_.clear();
+    hists_.clear();
   }
 
-  /// Merge another StatSet into this one, prefixing each counter name.
+  /// Merge another StatSet into this one, prefixing each counter and
+  /// histogram name.
   void absorb(const StatSet& other, std::string_view prefix) {
     for (const auto& [name, id] : other.index_) {
       counter(std::string(prefix) + name) += other.values_[id];
+    }
+    for (const auto& [name, hist] : other.hists_) {
+      histogram(std::string(prefix) + name).absorb(hist);
     }
   }
 
@@ -83,6 +182,11 @@ class StatSet {
       w.str(name);
       w.u64(values_[id]);
     }
+    w.u64(hists_.size());
+    for (const auto& [name, hist] : hists_) {
+      w.str(name);
+      hist.serialize(w);
+    }
   }
 
   /// Restore counter values WITHOUT invalidating handles: components cache
@@ -96,6 +200,12 @@ class StatSet {
       const std::string name = r.str();
       counter(name) = r.u64();
     }
+    hists_.clear();
+    const std::uint64_t nh = r.u64();
+    for (std::uint64_t i = 0; i < nh; ++i) {
+      const std::string name = r.str();
+      histogram(name).deserialize(r);
+    }
   }
 
   friend std::ostream& operator<<(std::ostream& os, const StatSet& s) {
@@ -108,6 +218,7 @@ class StatSet {
  private:
   std::map<std::string, Handle, std::less<>> index_;
   std::deque<std::uint64_t> values_;
+  std::map<std::string, Histogram, std::less<>> hists_;
 };
 
 }  // namespace hht::sim

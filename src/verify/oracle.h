@@ -76,7 +76,7 @@ std::vector<StreamEvent> expectedFlatStream(const sparse::BitVectorMatrix& m,
 /// Differential co-simulation oracle.
 ///
 /// Runs in lockstep with harness::System via two hooks:
-///  - sim::StreamTap (install with Hht::setStreamTap): every element the FE
+///  - sim::StreamTap (install with Hht::addStreamTap): every element the FE
 ///    delivers to the CPU is compared against the expected stream; the
 ///    first mismatch is latched as a Divergence with its cycle window.
 ///  - harness::RunObserver (pass to System::run): every `check_interval`

@@ -10,6 +10,7 @@
 
 #include "harness/experiment.h"
 #include "harness/sweep.h"
+#include "obs/trace.h"
 #include "sparse/bitvector.h"
 #include "sparse/hier_bitmap.h"
 #include "workload/synthetic.h"
@@ -180,6 +181,39 @@ TEST(FastForward, SkipsEngageOnStallHeavyWorkload) {
   // is byte-identical after the two runs, not just the RunResult surface.
   EXPECT_EQ(fast.checkpoint(wf.program, a.cycles),
             naive.checkpoint(wn.program, b.cycles));
+}
+
+TEST(FastForward, TraceSinkDisablesSkippingWithoutChangingTheMachine) {
+  // Attaching a trace sink forces per-cycle mode (events are per-cycle
+  // observations), but must be invisible to the simulation itself: same
+  // RunResult, same stats, same serialized machine state as the skipping
+  // no-sink run. This is the no-sink A/B for the observability layer —
+  // tracing is a pure read, never a perturbation.
+  SystemConfig plain = stallHeavyConfig();
+  plain.host_fastforward = true;
+
+  System fast(plain);
+  const Workload wf = prepareBaseline(fast, 0xFF'06);
+  const RunResult a = fast.run(wf.program, wf.layout.y, wf.layout.num_rows);
+  ASSERT_GT(fast.hostSkippedCycles(), 0u)
+      << "no-sink run must fast-forward on a stall-heavy workload";
+
+  obs::TraceSink sink;
+  SystemConfig traced = plain;
+  traced.trace_sink = &sink;
+  System watched(traced);
+  const Workload wt = prepareBaseline(watched, 0xFF'06);
+  const RunResult b =
+      watched.run(wt.program, wt.layout.y, wt.layout.num_rows);
+  EXPECT_EQ(watched.hostSkippedCycles(), 0u)
+      << "an attached trace sink must disable fast-forward";
+  EXPECT_GT(sink.size() + sink.dropped(), 0u)
+      << "the traced run emitted nothing";
+
+  expectIdentical(a, b, "trace-ab");
+  EXPECT_EQ(fast.checkpoint(wf.program, a.cycles),
+            watched.checkpoint(wt.program, b.cycles))
+      << "trace sink leaked into the serialized machine state";
 }
 
 /// Observer that checkpoints the running System once, at cycle `at`.
