@@ -50,52 +50,105 @@ struct Options {
   bool traceRequested() const { return !trace_file.empty(); }
 };
 
-[[noreturn]] inline void usage(const char* prog, const char* bad_arg,
+[[noreturn]] inline void usage(const char* prog, const char* error,
                                bool with_trace = false) {
-  if (bad_arg != nullptr) {
-    std::fprintf(stderr, "%s: unknown argument '%s'\n", prog, bad_arg);
+  if (error != nullptr) {
+    std::fprintf(stderr, "%s: %s\n", prog, error);
   }
   std::fprintf(stderr,
                "usage: %s [--csv] [--size=N] [--seed=S] [--jobs=N]"
                " [--no-fastforward]%s\n",
                prog,
                with_trace ? " [--trace=FILE] [--trace-categories=LIST]" : "");
-  std::exit(bad_arg == nullptr ? 0 : 2);
+  std::exit(error == nullptr ? 0 : 2);
+}
+
+enum class ParseStatus { kOk, kHelp, kError };
+
+/// The exit-free core of parse(): fills `opt` and returns kOk, or returns
+/// kError with a diagnostic in `error` (unknown flag, duplicate flag, or a
+/// rejected value). Testable without spawning a process — the bench
+/// binaries go through parse(), which turns kError into usage()+exit(2).
+///
+/// Strictness (each historic hole produced a silent wrong-experiment run):
+///  - unknown flags are errors, not ignored;
+///  - every flag may appear at most once ("--seed=1 --seed=2" used to
+///    silently keep the last one — ambiguous in scripted sweeps);
+///  - "--jobs=0" is rejected: 0 is the *absence* default meaning "all
+///    hardware threads"; an explicit 0 is always a typo for 1 or a
+///    wrong-variable expansion in CI.
+inline ParseStatus tryParse(int argc, char** argv, bool with_trace,
+                            Options& opt, std::string& error) {
+  enum Flag { kCsv, kSize, kSeed, kJobs, kNoFf, kTrace, kTraceCat, kNumFlags };
+  bool seen[kNumFlags] = {};
+  const auto once = [&](Flag f, const char* name) {
+    if (seen[f]) {
+      error = std::string("duplicate argument '--") + name + "'";
+      return false;
+    }
+    seen[f] = true;
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--csv") == 0) {
+      if (!once(kCsv, "csv")) return ParseStatus::kError;
+      opt.csv = true;
+    } else if (std::strncmp(arg, "--size=", 7) == 0) {
+      if (!once(kSize, "size")) return ParseStatus::kError;
+      opt.size = static_cast<std::uint32_t>(std::strtoul(arg + 7, nullptr, 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      if (!once(kSeed, "seed")) return ParseStatus::kError;
+      opt.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      if (!once(kJobs, "jobs")) return ParseStatus::kError;
+      opt.jobs = static_cast<unsigned>(std::strtoul(arg + 7, nullptr, 10));
+      if (opt.jobs == 0) {
+        error = "--jobs must be >= 1 (omit the flag to use all hardware "
+                "threads)";
+        return ParseStatus::kError;
+      }
+    } else if (std::strcmp(arg, "--no-fastforward") == 0) {
+      if (!once(kNoFf, "no-fastforward")) return ParseStatus::kError;
+      opt.fastforward = false;
+    } else if (with_trace && std::strncmp(arg, "--trace=", 8) == 0) {
+      if (!once(kTrace, "trace")) return ParseStatus::kError;
+      opt.trace_file = arg + 8;
+      if (opt.trace_file.empty()) {
+        error = "--trace needs a file name";
+        return ParseStatus::kError;
+      }
+    } else if (with_trace &&
+               std::strncmp(arg, "--trace-categories=", 19) == 0) {
+      if (!once(kTraceCat, "trace-categories")) return ParseStatus::kError;
+      const auto mask = obs::parseCategoryList(arg + 19);
+      if (!mask) {
+        error = std::string("bad category list '") + (arg + 19) + "'";
+        return ParseStatus::kError;
+      }
+      opt.trace_categories = *mask;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      return ParseStatus::kHelp;
+    } else {
+      error = std::string("unknown argument '") + arg + "'";
+      return ParseStatus::kError;
+    }
+  }
+  return ParseStatus::kOk;
 }
 
 inline Options parse(int argc, char** argv, bool with_trace = false) {
   Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strcmp(arg, "--csv") == 0) {
-      opt.csv = true;
-    } else if (std::strncmp(arg, "--size=", 7) == 0) {
-      opt.size = static_cast<std::uint32_t>(std::strtoul(arg + 7, nullptr, 10));
-    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      opt.seed = std::strtoull(arg + 7, nullptr, 10);
-    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      opt.jobs = static_cast<unsigned>(std::strtoul(arg + 7, nullptr, 10));
-    } else if (std::strcmp(arg, "--no-fastforward") == 0) {
-      opt.fastforward = false;
-    } else if (with_trace && std::strncmp(arg, "--trace=", 8) == 0) {
-      opt.trace_file = arg + 8;
-      if (opt.trace_file.empty()) usage(argv[0], arg, with_trace);
-    } else if (with_trace &&
-               std::strncmp(arg, "--trace-categories=", 19) == 0) {
-      const auto mask = obs::parseCategoryList(arg + 19);
-      if (!mask) {
-        std::fprintf(stderr, "%s: bad category list '%s'\n", argv[0],
-                     arg + 19);
-        std::exit(2);
-      }
-      opt.trace_categories = *mask;
-    } else if (std::strcmp(arg, "--help") == 0) {
+  std::string error;
+  switch (tryParse(argc, argv, with_trace, opt, error)) {
+    case ParseStatus::kOk:
+      return opt;
+    case ParseStatus::kHelp:
       usage(argv[0], nullptr, with_trace);
-    } else {
-      usage(argv[0], arg, with_trace);
-    }
+    case ParseStatus::kError:
+    default:
+      usage(argv[0], error.c_str(), with_trace);
   }
-  return opt;
 }
 
 /// Run `traced_run` (a callable taking obs::TraceSink&; it should execute

@@ -32,6 +32,9 @@ struct EngineContext {
   sim::FaultSink* fault = nullptr;
   /// Structured trace sink (obs layer); null = no tracing, zero cost.
   obs::TraceSink* trace = nullptr;
+  /// Tile this BE's memory traffic belongs to (multi-tile scale-out; 0 in
+  /// a single-tile system).
+  std::uint8_t tile = 0;
 };
 
 /// A back-end engine implements one MODE's pipeline (§3.2). The device
@@ -82,7 +85,8 @@ class Engine {
       return mem::kInvalidRequest;
     }
     ++*c_mem_reads_;
-    return ctx_.mem.submit({addr, 4, false, 0, mem::Requester::Hht});
+    return ctx_.mem.submit(
+        {addr, 4, false, 0, mem::Requester::Hht, ctx_.tile});
   }
 
   /// Report a detected fault to the owning device and freeze this engine

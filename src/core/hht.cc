@@ -11,8 +11,13 @@
 
 namespace hht::core {
 
-Hht::Hht(const HhtConfig& config, mem::MemorySystem& memory)
-    : cfg_(config), mem_(memory), buffers_(config), emit_(config.emission_queue) {
+Hht::Hht(const HhtConfig& config, mem::MemorySystem& memory,
+         std::uint32_t tile)
+    : cfg_(config),
+      mem_(memory),
+      tile_(static_cast<std::uint8_t>(tile)),
+      buffers_(config),
+      emit_(config.emission_queue) {
   fifo_pops_ = &stats_.counter("hht.fifo_pops");
   c_active_cycles_ = &stats_.counter("hht.active_cycles");
   c_stall_buffers_full_ = &stats_.counter("hht.stall_buffers_full");
@@ -64,8 +69,8 @@ void Hht::start() {
 }
 
 std::unique_ptr<Engine> Hht::makeEngine() {
-  const EngineContext ctx{cfg_, mmr_, mem_, buffers_, emit_, stats_, this,
-                          trace_};
+  const EngineContext ctx{cfg_,   mmr_, mem_,   buffers_, emit_,
+                          stats_, this, trace_, tile_};
   switch (mmr_.mode) {
     case Mode::SpmvGather:
       return std::make_unique<GatherEngine>(ctx);

@@ -23,7 +23,11 @@ namespace hht::core {
 /// loadable at t+1).
 class Hht final : public HhtDevice {
  public:
-  Hht(const HhtConfig& config, mem::MemorySystem& memory);
+  /// `tile` identifies the {CPU+HHT} tile this device belongs to in a
+  /// multi-tile system; the BE tags its memory traffic with it (0 in the
+  /// paper's single-tile machine).
+  Hht(const HhtConfig& config, mem::MemorySystem& memory,
+      std::uint32_t tile = 0);
 
   /// Advance the back-end one cycle and drain the emission queue into the
   /// CPU-side buffers.
@@ -101,6 +105,7 @@ class Hht final : public HhtDevice {
 
   HhtConfig cfg_;
   mem::MemorySystem& mem_;
+  std::uint8_t tile_;
   MmrFile mmr_;
   BufferPool buffers_;
   EmissionQueue emit_;

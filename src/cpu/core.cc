@@ -15,8 +15,12 @@ using isa::InstrClass;
 using isa::instrClass;
 
 Core::Core(const TimingConfig& timing, mem::MemorySystem& memory, int vlmax,
-           mem::Requester requester)
-    : timing_(timing), mem_(memory), vlmax_(vlmax), requester_(requester) {
+           mem::Requester requester, std::uint32_t tile)
+    : timing_(timing),
+      mem_(memory),
+      vlmax_(vlmax),
+      requester_(requester),
+      tile_(static_cast<std::uint8_t>(tile)) {
   if (vlmax < 1 || vlmax > isa::kMaxVl) {
     throw std::invalid_argument("vlmax must be in [1, kMaxVl]");
   }
@@ -581,7 +585,7 @@ void Core::startScalarMemory(const Instr& in) {
     } else {
       wdata = x_[in.rs2];
     }
-    mem_.submit({addr, size, /*is_write=*/true, wdata, requester_});
+    mem_.submit({addr, size, /*is_write=*/true, wdata, requester_, tile_});
     // Posted store: occupy the pipe for the issue cycle(s) only.
     pc_ = pc_ + 1;
     if (timing_.store_issue > 1) {
@@ -593,7 +597,8 @@ void Core::startScalarMemory(const Instr& in) {
     return;
   }
 
-  load_req_ = mem_.submit({addr, size, /*is_write=*/false, 0, requester_});
+  load_req_ =
+      mem_.submit({addr, size, /*is_write=*/false, 0, requester_, tile_});
   load_instr_ = in;
   load_addr_ = addr;
   next_pc_ = pc_ + 1;
@@ -651,10 +656,10 @@ void Core::tickVecMem(Cycle now) {
       addr = base + static_cast<Addr>(lane) * 4;
     }
     if (store) {
-      mem_.submit({addr, 4, true, v_[in.rs2][lane], requester_});
+      mem_.submit({addr, 4, true, v_[in.rs2][lane], requester_, tile_});
     } else {
       const mem::RequestId id =
-          mem_.submit({addr, 4, false, 0, requester_});
+          mem_.submit({addr, 4, false, 0, requester_, tile_});
       vec_pending_.push_back({id, lane});
     }
   }

@@ -37,9 +37,12 @@ class Core {
   /// 8; Fig. 8 sweeps {1, 4, 8}). Must be 1..isa::kMaxVl.
   /// `requester` tags this core's memory traffic for arbitration and
   /// statistics: the primary core is Requester::Cpu; the programmable
-  /// HHT's micro-core (§7) runs as Requester::Hht.
+  /// HHT's micro-core (§7) runs as Requester::Hht. `tile` identifies the
+  /// {CPU+HHT} tile this core belongs to in a multi-tile system (0 in the
+  /// paper's single-tile machine).
   Core(const TimingConfig& timing, mem::MemorySystem& memory, int vlmax,
-       mem::Requester requester = mem::Requester::Cpu);
+       mem::Requester requester = mem::Requester::Cpu,
+       std::uint32_t tile = 0);
 
   /// Install a program and reset architectural + pipeline state.
   void loadProgram(const Program& program);
@@ -126,6 +129,7 @@ class Core {
   mem::MemorySystem& mem_;
   int vlmax_;
   mem::Requester requester_;
+  std::uint8_t tile_;
 
   const Program* program_ = nullptr;
 

@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include "kernels/firmware.h"
+#include "workload/partition.h"
 
 #include <stdexcept>
 
@@ -165,6 +166,68 @@ RunResult runHierHht(const SystemConfig& cfg, const sparse::HierBitmapMatrix& m,
   const kernels::HierLayout layout = loadHier(sys, m, v);
   return sys.run(kernels::hierBitmapHht(layout, cfg.memory.mmio_base),
                  layout.y, layout.num_rows);
+}
+
+namespace {
+std::vector<kernels::RowShard> partitionRows(const sparse::CsrMatrix& m,
+                                             std::uint32_t num_tiles,
+                                             Partition part) {
+  return part == Partition::Block
+             ? workload::partitionRowsBlock(m, num_tiles)
+             : workload::partitionRowsNnzBalanced(m, num_tiles);
+}
+}  // namespace
+
+RunResult runSpmvHhtSharded(const SystemConfig& cfg, std::uint32_t num_tiles,
+                            Partition part, const sparse::CsrMatrix& m,
+                            const sparse::DenseVector& v, bool vectorized) {
+  SystemConfig mcfg = cfg;
+  mcfg.memory.num_tiles = num_tiles;
+  MultiTileSystem sys(mcfg);
+  // Operands live once in the shared SRAM; every tile reads the same
+  // arrays, restricted to its own row range.
+  const kernels::SpmvLayout layout =
+      loadSpmv(sys.arena(), sys.memory().sram(), m, v);
+  const std::vector<kernels::RowShard> shards =
+      partitionRows(m, num_tiles, part);
+  std::vector<isa::Program> programs;
+  programs.reserve(num_tiles);
+  for (std::uint32_t t = 0; t < num_tiles; ++t) {
+    const Addr mmio = sys.mmioBaseOf(t);
+    programs.push_back(
+        vectorized ? kernels::spmvVectorHhtShard(layout, shards[t], mmio)
+                   : kernels::spmvScalarHhtShard(layout, shards[t], mmio));
+  }
+  return sys.run(programs, layout.y, layout.num_rows);
+}
+
+RunResult runSpmspvHhtSharded(const SystemConfig& cfg, std::uint32_t num_tiles,
+                              Partition part, const sparse::CsrMatrix& m,
+                              const sparse::SparseVector& v, int variant,
+                              bool vectorized) {
+  if (variant != 1 && variant != 2) {
+    throw std::invalid_argument("SpMSpV variant must be 1 or 2");
+  }
+  if (variant == 2 && !vectorized) {
+    throw std::invalid_argument(
+        "sharded SpMSpV variant 2 has a vectorized consumer only");
+  }
+  SystemConfig mcfg = cfg;
+  mcfg.memory.num_tiles = num_tiles;
+  MultiTileSystem sys(mcfg);
+  const kernels::SpmspvLayout layout =
+      loadSpmspv(sys.arena(), sys.memory().sram(), m, v);
+  const std::vector<kernels::RowShard> shards =
+      partitionRows(m, num_tiles, part);
+  std::vector<isa::Program> programs;
+  programs.reserve(num_tiles);
+  for (std::uint32_t t = 0; t < num_tiles; ++t) {
+    const Addr mmio = sys.mmioBaseOf(t);
+    programs.push_back(variant == 1
+                           ? kernels::spmspvHhtV1Shard(layout, shards[t], mmio)
+                           : kernels::spmspvHhtV2Shard(layout, shards[t], mmio));
+  }
+  return sys.run(programs, layout.y, layout.num_rows);
 }
 
 }  // namespace hht::harness

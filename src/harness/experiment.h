@@ -1,5 +1,6 @@
 #pragma once
 
+#include "harness/multi_tile.h"
 #include "harness/system.h"
 
 namespace hht::harness {
@@ -68,6 +69,27 @@ RunResult runSpmspvHhtResilient(const SystemConfig& cfg,
                                 const sparse::CsrMatrix& m,
                                 const sparse::SparseVector& v, int variant,
                                 bool vectorized = true);
+
+// --- multi-tile scale-out drivers (DESIGN.md §13) ---
+
+/// Row partitioner selection for the sharded drivers.
+enum class Partition { Block, NnzBalanced };
+
+/// SpMV sharded across `num_tiles` {CPU+HHT} tiles of a MultiTileSystem
+/// sharing one memory system: the matrix is row-partitioned, each tile runs
+/// the single-tile HHT kernel restricted to its shard against its own MMIO
+/// window, and the disjoint y slices concatenate in tile order — making the
+/// result bit-identical to the single-tile kernel for any num_tiles. The
+/// config's memory.num_tiles is overridden with `num_tiles`.
+RunResult runSpmvHhtSharded(const SystemConfig& cfg, std::uint32_t num_tiles,
+                            Partition part, const sparse::CsrMatrix& m,
+                            const sparse::DenseVector& v, bool vectorized);
+
+/// SpMSpV (variant 1 or 2) sharded across tiles; see runSpmvHhtSharded.
+RunResult runSpmspvHhtSharded(const SystemConfig& cfg, std::uint32_t num_tiles,
+                              Partition part, const sparse::CsrMatrix& m,
+                              const sparse::SparseVector& v, int variant,
+                              bool vectorized = true);
 
 /// speedup = baseline cycles / accelerated cycles.
 inline double speedup(const RunResult& baseline, const RunResult& accel) {

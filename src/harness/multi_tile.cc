@@ -1,0 +1,319 @@
+#include "harness/multi_tile.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/watchdog.h"
+
+namespace hht::harness {
+
+namespace {
+constexpr Addr kArenaBase = 0x1000;  // matches System: address 0 stays unmapped
+
+/// Pre-construction validation: same hook as System, plus the multi-tile
+/// restrictions (ASIC HHTs only, no fault campaigns — those features model
+/// single-tile robustness and have no per-tile story yet).
+const SystemConfig& multiTileValidated(const SystemConfig& config) {
+  config.validate();
+  if (config.programmable_hht) {
+    throw sim::SimError(sim::ErrorKind::Config, "multi_tile",
+                        "MultiTileSystem supports ASIC HHTs only "
+                        "(programmable_hht requires harness::System)");
+  }
+  if (config.faults.enabled) {
+    throw sim::SimError(sim::ErrorKind::Config, "multi_tile",
+                        "MultiTileSystem does not support fault injection "
+                        "(faults.enabled requires harness::System)");
+  }
+  return config;
+}
+}  // namespace
+
+MultiTileSystem::MultiTileSystem(const SystemConfig& config)
+    : config_(multiTileValidated(config)),
+      num_tiles_(config.memory.num_tiles),
+      mem_(std::make_unique<mem::MemorySystem>(config.memory)),
+      tile_sinks_(config.memory.num_tiles, nullptr),
+      arena_(kArenaBase, config.memory.sram_bytes - kArenaBase) {
+  hhts_.reserve(num_tiles_);
+  cpus_.reserve(num_tiles_);
+  for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+    hhts_.push_back(std::make_unique<core::Hht>(config.hht, *mem_, t));
+    mem_->attachMmioDevice(hhts_.back().get(), t);
+    cpus_.push_back(std::make_unique<cpu::Core>(
+        config.timing, *mem_, config.vlmax, mem::Requester::Cpu, t));
+  }
+  if (config.trace_sink != nullptr) {
+    mem_->setTraceSink(config.trace_sink);
+  }
+}
+
+void MultiTileSystem::setTileTraceSink(std::uint32_t tile,
+                                       obs::TraceSink* sink) {
+  tile_sinks_.at(tile) = sink;
+  cpus_.at(tile)->setTraceSink(sink, obs::Component::kCpu);
+  hhts_.at(tile)->setTraceSink(sink);
+}
+
+void MultiTileSystem::checkProgramCount(
+    const std::vector<isa::Program>& programs) const {
+  if (programs.size() != num_tiles_) {
+    throw sim::SimError(sim::ErrorKind::Config, "multi_tile",
+                        "expected " + std::to_string(num_tiles_) +
+                            " programs (one per tile), got " +
+                            std::to_string(programs.size()));
+  }
+}
+
+RunResult MultiTileSystem::run(const std::vector<isa::Program>& programs,
+                               Addr y_addr, std::uint32_t y_len,
+                               Cycle max_cycles, MultiTileObserver* observer) {
+  checkProgramCount(programs);
+  for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+    cpus_[t]->loadProgram(programs[t]);
+  }
+  return runLoop(y_addr, y_len, 0, max_cycles, observer);
+}
+
+RunResult MultiTileSystem::resume(const std::vector<isa::Program>& programs,
+                                  Addr y_addr, std::uint32_t y_len,
+                                  Cycle start_cycle, Cycle max_cycles,
+                                  MultiTileObserver* observer) {
+  checkProgramCount(programs);
+  for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+    cpus_[t]->installProgram(programs[t]);
+  }
+  return runLoop(y_addr, y_len, start_cycle, max_cycles, observer);
+}
+
+RunResult MultiTileSystem::runLoop(Addr y_addr, std::uint32_t y_len,
+                                   Cycle start_cycle, Cycle max_cycles,
+                                   MultiTileObserver* observer) {
+  sim::Watchdog watchdog(config_.watchdog_cycles);
+  const std::uint64_t* mem_grants = &mem_->stats().counter("mem.grants");
+  std::vector<const std::uint64_t*> retired;
+  retired.reserve(num_tiles_);
+  for (auto& c : cpus_) retired.push_back(&c->stats().counter("cpu.retired"));
+  const auto progress = [&] {
+    std::uint64_t p = *mem_grants;
+    for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+      p += *retired[t] + hhts_[t]->progressSignal();
+    }
+    return p;
+  };
+
+  // Fast-forward gating mirrors System: any observer or any attached sink
+  // (shared or per-tile) must see every executed cycle.
+  bool any_sink = config_.trace_sink != nullptr;
+  for (obs::TraceSink* s : tile_sinks_) any_sink = any_sink || s != nullptr;
+  const bool allow_ff =
+      config_.host_fastforward && observer == nullptr && !any_sink;
+  host_skipped_cycles_ = 0;
+  Cycle ff_next_attempt = 0;
+  Cycle ff_backoff = 0;
+
+  RunResult result;
+  Cycle now = start_cycle;
+  for (; now < max_cycles; ++now) {
+    // Fixed tile order keeps arbitration deterministic: all HHTs publish,
+    // then all cores, then the single shared memory system arbitrates the
+    // whole cycle's requests.
+    for (auto& h : hhts_) h->tick(now);
+    for (auto& c : cpus_) c->tick(now);
+    mem_->tick(now);
+    for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+      if (hhts_[t]->faultRaised()) {
+        result.fault_cause = hhts_[t]->faultCause();
+        result.fault_detail = hhts_[t]->faultDetail();
+        throw sim::SimError(
+            sim::ErrorKind::DeviceFault, "multi_tile",
+            "tile " + std::to_string(t) + " HHT raised fault [" +
+                sim::faultCauseName(result.fault_cause) +
+                "]: " + result.fault_detail,
+            dumpDiagnostics(now));
+      }
+    }
+    if (observer != nullptr) observer->onCycle(*this, now);
+    bool all_halted = true;
+    for (auto& c : cpus_) all_halted = all_halted && c->halted();
+    if (all_halted && mem_->idle()) break;
+    if (watchdog.due(now)) {
+      watchdog.observe(now, progress(), [&] { return dumpDiagnostics(now); });
+    }
+    if (allow_ff && now >= ff_next_attempt) {
+      // Skip only when EVERY tile is quiescent: the earliest next event
+      // across all cores, all HHTs and the memory system bounds the skip.
+      // Cores first (cheapest, and usually the binding components).
+      Cycle ev = max_cycles;
+      for (auto& c : cpus_) {
+        ev = std::min(ev, c->nextEventCycle(now));
+        if (ev <= now + 1) break;
+      }
+      if (ev > now + 1) {
+        for (auto& h : hhts_) {
+          ev = std::min(ev, h->nextEventCycle(now));
+          if (ev <= now + 1) break;
+        }
+      }
+      if (ev > now + 1) ev = std::min(ev, mem_->nextEventCycle(now));
+      if (ev <= now + 1) {
+        ff_backoff = std::min<Cycle>(ff_backoff == 0 ? 1 : ff_backoff * 2, 64);
+        ff_next_attempt = now + ff_backoff;
+      } else {
+        Cycle target = std::min(ev, max_cycles);
+        target = std::min(target, watchdog.observeSkip(now, progress()));
+        if (target > now + 1) {
+          const Cycle skipped = target - (now + 1);
+          for (auto& c : cpus_) c->skipCycles(skipped);
+          for (auto& h : hhts_) h->skipCycles(skipped);
+          host_skipped_cycles_ += skipped;
+          now += skipped;
+          ff_backoff = 0;
+        }
+      }
+    }
+  }
+  if (now >= max_cycles) {
+    throw sim::SimError(sim::ErrorKind::Watchdog, "multi_tile",
+                        "simulation exceeded max_cycles (" +
+                            std::to_string(num_tiles_) + " tiles)",
+                        dumpDiagnostics(now));
+  }
+  // Horizon marker to every attached sink: per-tile profiles must all use
+  // the run's shared denominator (the buckets of each tile partition the
+  // SAME wall-clock horizon).
+  const auto emitRunEnd = [&](obs::TraceSink* sink) {
+    if (sink != nullptr && sink->enabled(obs::Category::kSystem)) {
+      sink->emit(now, obs::Category::kSystem, obs::Component::kSystem,
+                 obs::EventKind::kRunEnd, now + 1);
+    }
+  };
+  emitRunEnd(config_.trace_sink);
+  for (obs::TraceSink* s : tile_sinks_) {
+    if (s != config_.trace_sink) emitRunEnd(s);
+  }
+
+  // Wall-clock = slowest tile; wait counters sum across tiles (total CPU
+  // cycles burnt stalling on FIFOs, the Fig. 6/7 quantity).
+  for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+    result.cycles = std::max(result.cycles, cpus_[t]->stats().value("cpu.cycles"));
+    result.retired += cpus_[t]->stats().value("cpu.retired");
+    result.cpu_wait_cycles += hhts_[t]->cpuWaitCycles();
+    result.hht_wait_cycles += hhts_[t]->hhtWaitCycles();
+    result.hht_residual_busy = result.hht_residual_busy || hhts_[t]->busy();
+  }
+  result.y = sparse::DenseVector(mem_->sram().peekArray<float>(y_addr, y_len));
+
+  mem_->finalizeStats();
+  result.stats.absorb(mem_->stats(), "");
+  for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+    // Tile 0 keeps the historic unprefixed names (a 1-tile MultiTileSystem's
+    // stats are a System's stats); tiles 1.. get the same "t<N>." prefix the
+    // memory system already uses for its per-requester counters.
+    const std::string prefix = t == 0 ? "" : "t" + std::to_string(t) + ".";
+    result.stats.absorb(cpus_[t]->stats(), prefix);
+    result.stats.absorb(hhts_[t]->stats(), prefix);
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> MultiTileSystem::checkpoint(
+    const std::vector<isa::Program>& programs, Cycle next_cycle) const {
+  checkProgramCount(programs);
+  sim::StateWriter w;
+  w.tag("HHTS");
+  w.u32(kSnapshotVersion);
+  w.u64(configFingerprint(config_));
+  w.u32(num_tiles_);
+  for (const isa::Program& p : programs) {
+    w.str(p.name());
+    w.u64(programHash(p));
+  }
+  w.u64(next_cycle);
+  mem_->serialize(w);
+  for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+    hhts_[t]->serialize(w);
+    cpus_[t]->serialize(w);
+  }
+  return w.data();
+}
+
+Cycle MultiTileSystem::restore(const std::vector<std::uint8_t>& snapshot,
+                               const std::vector<isa::Program>& programs) {
+  checkProgramCount(programs);
+  sim::StateReader r(snapshot);
+  r.expectTag("HHTS");
+  const std::uint32_t version = r.u32();
+  if (version > kSnapshotVersion) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "multi_tile",
+                        "snapshot version " + std::to_string(version) +
+                            " is newer than this binary's supported version " +
+                            std::to_string(kSnapshotVersion) +
+                            "; refusing best-effort restore (upgrade the "
+                            "binary that restores, not the snapshot)");
+  }
+  if (version != kSnapshotVersion) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "multi_tile",
+                        "snapshot version " + std::to_string(version) +
+                            " != supported version " +
+                            std::to_string(kSnapshotVersion));
+  }
+  const std::uint64_t fingerprint = r.u64();
+  if (fingerprint != configFingerprint(config_)) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "multi_tile",
+                        "snapshot was taken under a different SystemConfig "
+                        "(fingerprint mismatch)");
+  }
+  const std::uint32_t tiles = r.u32();
+  if (tiles != num_tiles_) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "multi_tile",
+                        "snapshot records " + std::to_string(tiles) +
+                            " tiles, this system has " +
+                            std::to_string(num_tiles_));
+  }
+  for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+    const std::string prog_name = r.str();
+    const std::uint64_t prog_hash = r.u64();
+    if (prog_name != programs[t].name() ||
+        prog_hash != programHash(programs[t])) {
+      throw sim::SimError(sim::ErrorKind::Checkpoint, "multi_tile",
+                          "tile " + std::to_string(t) +
+                              " snapshot records program '" + prog_name +
+                              "', got '" + programs[t].name() +
+                              "' (or the code differs)");
+    }
+  }
+  const Cycle next_cycle = r.u64();
+  mem_->deserialize(r);
+  for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+    hhts_[t]->deserialize(r);
+    cpus_[t]->deserialize(r);
+  }
+  if (!r.atEnd()) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "multi_tile",
+                        std::to_string(r.remaining()) +
+                            " trailing bytes after snapshot payload");
+  }
+  for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+    cpus_[t]->installProgram(programs[t]);
+  }
+  return next_cycle;
+}
+
+std::string MultiTileSystem::dumpDiagnostics(Cycle now) const {
+  std::ostringstream os;
+  os << "diagnostic dump at cycle " << now << " (" << num_tiles_
+     << " tiles)\n";
+  for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+    os << "tile " << t << " cpu: halted=" << cpus_[t]->halted()
+       << " pc=" << cpus_[t]->pc()
+       << " retired=" << cpus_[t]->stats().value("cpu.retired")
+       << " load_stalls=" << cpus_[t]->stats().value("cpu.load_stall_cycles")
+       << "\n";
+    os << "tile " << t << " " << hhts_[t]->describeState() << "\n";
+  }
+  os << mem_->describeState();
+  return os.str();
+}
+
+}  // namespace hht::harness

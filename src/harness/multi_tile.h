@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/system.h"
+
+namespace hht::harness {
+
+class MultiTileSystem;
+
+/// Per-cycle observer of a running MultiTileSystem (the multi-tile
+/// differential oracle's hook; mirrors harness::RunObserver). Attaching one
+/// disables quiescence fast-forward — observers see every executed cycle.
+class MultiTileObserver {
+ public:
+  virtual ~MultiTileObserver() = default;
+  virtual void onCycle(MultiTileSystem& sys, Cycle now) = 0;
+};
+
+/// N {cpu::Core + core::Hht} tiles over one shared banked MemorySystem
+/// (multi-tile scale-out, DESIGN.md §13). The tile count comes from
+/// config.memory.num_tiles; each tile's BE and core tag their memory
+/// traffic with the tile id (arbiter ports tile*2 and tile*2+1) and the
+/// tile's HHT sits behind its own MMIO window at mmioBaseOf(tile), so
+/// kernels for tile t must be built against that base.
+///
+/// Per cycle, in fixed order: every tile's HHT ticks, then every tile's
+/// core, then the shared memory system — for num_tiles=1 this is exactly
+/// System's lockstep, and a 1-tile MultiTileSystem is cycle- and
+/// bit-identical to a System under the same config.
+///
+/// Deliberately narrower than System: ASIC HHTs only, no fault-injection
+/// campaigns, no graceful-degradation fallback (both are single-tile
+/// robustness features; a config requesting them is rejected).
+class MultiTileSystem {
+ public:
+  explicit MultiTileSystem(const SystemConfig& config);
+
+  std::uint32_t numTiles() const { return num_tiles_; }
+  mem::MemorySystem& memory() { return *mem_; }
+  mem::Arena& arena() { return arena_; }
+  const SystemConfig& config() const { return config_; }
+  cpu::Core& cpu(std::uint32_t tile) { return *cpus_.at(tile); }
+  core::Hht& hht(std::uint32_t tile) { return *hhts_.at(tile); }
+  /// Tile t's MMIO window base — the mmio_base to build tile t's kernel
+  /// against.
+  Addr mmioBaseOf(std::uint32_t tile) const { return mem_->mmioBaseOf(tile); }
+
+  /// Attach a structured trace sink to tile `tile`'s core + HHT (host-only;
+  /// the shared memory system and the kRunEnd horizon marker use
+  /// config.trace_sink). One sink per tile keeps per-tile stall profiles
+  /// separable: each tile's stream folds into an obs::ProfileReport whose
+  /// buckets partition the SAME horizon, because every sink receives the
+  /// run's kRunEnd. Any attached sink disables fast-forward.
+  void setTileTraceSink(std::uint32_t tile, obs::TraceSink* sink);
+
+  /// Run one program per tile (programs.size() == numTiles()) until every
+  /// core has halted and the memory system has drained, then read back
+  /// `y_len` floats at `y_addr`. RunResult::cycles is the wall-clock (max
+  /// per-tile core cycles); per-tile counters land in RunResult::stats
+  /// under the tile-0-unprefixed / "t<N>."-prefixed naming the memory
+  /// system's stats already use.
+  RunResult run(const std::vector<isa::Program>& programs, Addr y_addr,
+                std::uint32_t y_len, Cycle max_cycles = 500'000'000,
+                MultiTileObserver* observer = nullptr);
+
+  /// Continue a restore()d run from `start_cycle` (programs installed
+  /// without reset; all state came from the snapshot).
+  RunResult resume(const std::vector<isa::Program>& programs, Addr y_addr,
+                   std::uint32_t y_len, Cycle start_cycle,
+                   Cycle max_cycles = 500'000'000,
+                   MultiTileObserver* observer = nullptr);
+
+  /// Snapshot v3 with per-tile sections: the common header (magic, version,
+  /// config fingerprint) is followed by the tile count, each tile's program
+  /// identity, the shared memory system, and one HHT+core section per tile.
+  std::vector<std::uint8_t> checkpoint(
+      const std::vector<isa::Program>& programs, Cycle next_cycle) const;
+
+  /// Restore a checkpoint() snapshot. Config fingerprint, tile count and
+  /// every tile's program identity must match; any mismatch, version skew
+  /// (including newer-than-supported) or corruption throws
+  /// SimError(Checkpoint). Returns the cycle to pass to resume().
+  Cycle restore(const std::vector<std::uint8_t>& snapshot,
+                const std::vector<isa::Program>& programs);
+
+  /// Multi-line per-tile diagnostic dump (watchdog reports).
+  std::string dumpDiagnostics(Cycle now) const;
+
+  /// Host cycles elapsed via fast-forward during the most recent run.
+  std::uint64_t hostSkippedCycles() const { return host_skipped_cycles_; }
+
+ private:
+  RunResult runLoop(Addr y_addr, std::uint32_t y_len, Cycle start_cycle,
+                    Cycle max_cycles, MultiTileObserver* observer);
+  void checkProgramCount(const std::vector<isa::Program>& programs) const;
+
+  SystemConfig config_;
+  std::uint32_t num_tiles_;
+  std::unique_ptr<mem::MemorySystem> mem_;
+  std::vector<std::unique_ptr<core::Hht>> hhts_;
+  std::vector<std::unique_ptr<cpu::Core>> cpus_;
+  std::vector<obs::TraceSink*> tile_sinks_;  ///< per tile; may hold nulls
+  mem::Arena arena_;
+  std::uint64_t host_skipped_cycles_ = 0;
+};
+
+}  // namespace hht::harness

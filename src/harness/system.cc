@@ -36,27 +36,6 @@ std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size) {
   return h;
 }
 
-std::uint64_t configFingerprint(const SystemConfig& cfg) {
-  sim::StateWriter w;
-  writeSystemConfig(w, cfg);
-  return fnv1a(w.data().data(), w.size());
-}
-
-std::uint64_t programHash(const isa::Program& program) {
-  sim::StateWriter w;
-  w.str(program.name());
-  for (std::size_t i = 0; i < program.size(); ++i) {
-    const isa::Instr& instr = program.at(i);
-    w.u8(static_cast<std::uint8_t>(instr.op));
-    w.u8(instr.rd).u8(instr.rs1).u8(instr.rs2).u8(instr.rs3);
-    w.u32(static_cast<std::uint32_t>(instr.imm));
-  }
-  return fnv1a(w.data().data(), w.size());
-}
-
-// v2: sim::StatSet serializes interval histograms after the counters.
-constexpr std::uint32_t kSnapshotVersion = 2;
-
 void writeTiming(sim::StateWriter& w, const cpu::TimingConfig& t) {
   w.u64(t.int_alu).u64(t.int_mul).u64(t.int_div);
   w.u64(t.branch_not_taken).u64(t.branch_taken).u64(t.jump);
@@ -97,11 +76,30 @@ cpu::TimingConfig readTiming(sim::StateReader& r) {
 }
 }  // namespace
 
+std::uint64_t configFingerprint(const SystemConfig& cfg) {
+  sim::StateWriter w;
+  writeSystemConfig(w, cfg);
+  return fnv1a(w.data().data(), w.size());
+}
+
+std::uint64_t programHash(const isa::Program& program) {
+  sim::StateWriter w;
+  w.str(program.name());
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const isa::Instr& instr = program.at(i);
+    w.u8(static_cast<std::uint8_t>(instr.op));
+    w.u8(instr.rd).u8(instr.rs1).u8(instr.rs2).u8(instr.rs3);
+    w.u32(static_cast<std::uint32_t>(instr.imm));
+  }
+  return fnv1a(w.data().data(), w.size());
+}
+
 void writeSystemConfig(sim::StateWriter& w, const SystemConfig& cfg) {
   writeTiming(w, cfg.timing);
   const mem::MemorySystemConfig& m = cfg.memory;
   w.u64(m.sram_bytes).u64(m.sram_latency).u32(m.grants_per_cycle);
   w.u8(static_cast<std::uint8_t>(m.policy));
+  w.u32(m.num_tiles).u32(m.cpu_starvation_limit);
   w.b(m.cpu_cache_enabled).b(m.hht_cache_enabled);
   w.u32(m.cache.size_bytes).u32(m.cache.line_bytes).u32(m.cache.ways);
   w.u64(m.cache.hit_latency).u64(m.cache.miss_penalty);
@@ -136,6 +134,8 @@ SystemConfig readSystemConfig(sim::StateReader& r) {
   m.sram_latency = r.u64();
   m.grants_per_cycle = r.u32();
   m.policy = static_cast<mem::ArbiterPolicy>(r.u8());
+  m.num_tiles = r.u32();
+  m.cpu_starvation_limit = r.u32();
   m.cpu_cache_enabled = r.b();
   m.hht_cache_enabled = r.b();
   m.cache.size_bytes = r.u32();
@@ -176,8 +176,23 @@ SystemConfig readSystemConfig(sim::StateReader& r) {
   return cfg;
 }
 
+namespace {
+/// System models exactly one {CPU+HHT} tile; MultiTileSystem owns the
+/// N-tile topology. Catch the mismatch before components are built on a
+/// memory system whose extra arbiter ports nothing would ever drive.
+const SystemConfig& singleTileOnly(const SystemConfig& config) {
+  if (config.memory.num_tiles != 1) {
+    throw sim::SimError(sim::ErrorKind::Config, "system",
+                        "System is single-tile; memory.num_tiles=" +
+                            std::to_string(config.memory.num_tiles) +
+                            " requires harness::MultiTileSystem");
+  }
+  return config;
+}
+}  // namespace
+
 System::System(const SystemConfig& config)
-    : config_(validated(config)),
+    : config_(validated(singleTileOnly(config))),
       injector_(config.faults.enabled
                     ? std::make_unique<sim::FaultInjector>(config.faults)
                     : nullptr),
@@ -381,6 +396,18 @@ Cycle System::restore(const std::vector<std::uint8_t>& snapshot,
   sim::StateReader r(snapshot);
   r.expectTag("HHTS");
   const std::uint32_t version = r.u32();
+  if (version > kSnapshotVersion) {
+    // Forward compatibility is explicitly NOT attempted: a newer writer may
+    // have added fields this binary cannot even skip safely (sections are
+    // length-free), so best-effort reading would deserialize garbage into
+    // live component state. Fail structurally instead.
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "system",
+                        "snapshot version " + std::to_string(version) +
+                            " is newer than this binary's supported version " +
+                            std::to_string(kSnapshotVersion) +
+                            "; refusing best-effort restore (upgrade the "
+                            "binary that restores, not the snapshot)");
+  }
   if (version != kSnapshotVersion) {
     throw sim::SimError(sim::ErrorKind::Checkpoint, "system",
                         "snapshot version " + std::to_string(version) +
@@ -464,13 +491,12 @@ std::string System::dumpDiagnostics(Cycle now) const {
   return os.str();
 }
 
-kernels::SpmvLayout loadSpmv(System& sys, const sparse::CsrMatrix& m,
+kernels::SpmvLayout loadSpmv(mem::Arena& arena, mem::Sram& sram,
+                             const sparse::CsrMatrix& m,
                              const sparse::DenseVector& v) {
   if (v.size() != m.numCols()) {
     throw std::invalid_argument("loadSpmv: vector length != matrix columns");
   }
-  mem::Arena& arena = sys.arena();
-  mem::Sram& sram = sys.memory().sram();
   kernels::SpmvLayout layout;
   layout.num_rows = m.numRows();
   layout.rows = arena.place<sim::Index>(sram, m.rowPtr());
@@ -481,13 +507,17 @@ kernels::SpmvLayout loadSpmv(System& sys, const sparse::CsrMatrix& m,
   return layout;
 }
 
-kernels::SpmspvLayout loadSpmspv(System& sys, const sparse::CsrMatrix& m,
+kernels::SpmvLayout loadSpmv(System& sys, const sparse::CsrMatrix& m,
+                             const sparse::DenseVector& v) {
+  return loadSpmv(sys.arena(), sys.memory().sram(), m, v);
+}
+
+kernels::SpmspvLayout loadSpmspv(mem::Arena& arena, mem::Sram& sram,
+                                 const sparse::CsrMatrix& m,
                                  const sparse::SparseVector& v) {
   if (v.size() != m.numCols()) {
     throw std::invalid_argument("loadSpmspv: vector length != matrix columns");
   }
-  mem::Arena& arena = sys.arena();
-  mem::Sram& sram = sys.memory().sram();
   kernels::SpmspvLayout layout;
   layout.num_rows = m.numRows();
   layout.v_nnz = v.nnz();
@@ -498,6 +528,11 @@ kernels::SpmspvLayout loadSpmspv(System& sys, const sparse::CsrMatrix& m,
   layout.vvals = arena.place<float>(sram, v.vals());
   layout.y = arena.allocate(static_cast<std::size_t>(m.numRows()) * 4);
   return layout;
+}
+
+kernels::SpmspvLayout loadSpmspv(System& sys, const sparse::CsrMatrix& m,
+                                 const sparse::SparseVector& v) {
+  return loadSpmspv(sys.arena(), sys.memory().sram(), m, v);
 }
 
 kernels::HierLayout loadHier(System& sys, const sparse::HierBitmapMatrix& m,

@@ -82,6 +82,24 @@ struct SystemConfig {
 void writeSystemConfig(sim::StateWriter& w, const SystemConfig& cfg);
 SystemConfig readSystemConfig(sim::StateReader& r);
 
+/// Snapshot format version written after the "HHTS" magic (bytes 4..8).
+/// v2: StatSet gained interval histograms. v3: multi-tile scale-out —
+/// MemAccess records carry a tile byte, the arbiter serializes its
+/// rotation pointers + CPU streak, writeSystemConfig covers
+/// num_tiles/cpu_starvation_limit, and MultiTileSystem snapshots append
+/// per-tile HHT/CPU sections. restore() fails with SimError(Checkpoint) on
+/// any other version — and with a distinct "newer than this binary" error
+/// when the snapshot is from the future (no best-effort field skipping).
+inline constexpr std::uint32_t kSnapshotVersion = 3;
+
+/// FNV-1a fingerprint of writeSystemConfig(cfg)'s bytes — the identity
+/// restore() checks before touching any component state.
+std::uint64_t configFingerprint(const SystemConfig& cfg);
+
+/// FNV-1a hash of a program's name + encoded instructions (snapshots record
+/// programs by identity, never by contents).
+std::uint64_t programHash(const isa::Program& program);
+
 /// Outcome of simulating one kernel to completion.
 struct RunResult {
   std::uint64_t cycles = 0;           ///< CPU cycles to ECALL
@@ -226,10 +244,20 @@ class System {
 };
 
 // --- workload loaders: place operands into simulated SRAM ---
+//
+// The Arena&/Sram& overloads are the primitive form (MultiTileSystem loads
+// shared operands once into its single memory system); the System&
+// overloads delegate.
 
+kernels::SpmvLayout loadSpmv(mem::Arena& arena, mem::Sram& sram,
+                             const sparse::CsrMatrix& m,
+                             const sparse::DenseVector& v);
 kernels::SpmvLayout loadSpmv(System& sys, const sparse::CsrMatrix& m,
                              const sparse::DenseVector& v);
 
+kernels::SpmspvLayout loadSpmspv(mem::Arena& arena, mem::Sram& sram,
+                                 const sparse::CsrMatrix& m,
+                                 const sparse::SparseVector& v);
 kernels::SpmspvLayout loadSpmspv(System& sys, const sparse::CsrMatrix& m,
                                  const sparse::SparseVector& v);
 

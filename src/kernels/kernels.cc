@@ -1,5 +1,8 @@
 #include "kernels/kernels.h"
 
+#include <string>
+#include <utility>
+
 #include "core/config.h"
 
 namespace hht::kernels {
@@ -33,6 +36,42 @@ std::int32_t bits(Addr a) { return static_cast<std::int32_t>(a); }
 void writeMmr(ProgramBuilder& b, isa::Reg base, Addr offset, std::uint32_t value) {
   b.li(t1, static_cast<std::int32_t>(value));
   b.sw(t1, base, static_cast<std::int32_t>(offset));
+}
+
+/// "<base>_r<begin>_<end>": shard programs must hash differently per range
+/// (snapshots record programs by identity).
+std::string shardName(const char* base, const RowShard& s) {
+  return std::string(base) + "_r" + std::to_string(s.row_begin) + "_" +
+         std::to_string(s.row_end);
+}
+
+/// A tile whose shard is empty runs no kernel and never starts its HHT.
+Program emptyShardProgram(const char* base, const RowShard& s) {
+  ProgramBuilder b(shardName(base, s));
+  b.ecall();
+  return b.build();
+}
+
+/// View of the CSR operands restricted to a shard's rows. The engines
+/// index cols AND vals by *absolute* rowPtr values (MergeEngine reads
+/// m_vals_base + headGlobal()*4), so every base except the row-pointer
+/// window and the y slice stays as loaded; only the CPU consumer's
+/// contiguous vals cursor shifts, and it shifts separately (`cpu_vals`
+/// parameters below), never through this view.
+SpmvLayout shardView(const SpmvLayout& m, const RowShard& s) {
+  SpmvLayout out = m;
+  out.rows = m.rows + s.row_begin * 4;
+  out.y = m.y + s.row_begin * 4;
+  out.num_rows = s.rows();
+  return out;
+}
+
+SpmspvLayout shardView(const SpmspvLayout& m, const RowShard& s) {
+  SpmspvLayout out = m;
+  out.rows = m.rows + s.row_begin * 4;
+  out.y = m.y + s.row_begin * 4;
+  out.num_rows = s.rows();
+  return out;
 }
 
 }  // namespace
@@ -153,11 +192,13 @@ void configureSpmvHht(ProgramBuilder& b, const SpmvLayout& m, Addr mmio_base) {
   writeMmr(b, s11, kStart, 1);
 }
 
-}  // namespace
-
-Program spmvScalarHht(const SpmvLayout& m, Addr mmio_base) {
-  ProgramBuilder b("spmv_scalar_hht");
-  b.li(a0, bits(m.rows)).li(a2, bits(m.vals));
+/// `cpu_vals` is the consumer's contiguous matrix-values cursor — m.vals
+/// for the full kernel, m.vals + nnz_begin*4 for a shard (the MMR bases in
+/// `m` stay absolute either way).
+Program buildSpmvScalarHht(std::string name, const SpmvLayout& m,
+                           Addr cpu_vals, Addr mmio_base) {
+  ProgramBuilder b(std::move(name));
+  b.li(a0, bits(m.rows)).li(a2, bits(cpu_vals));
   b.li(a4, bits(m.y)).li(a5, static_cast<std::int32_t>(m.num_rows));
   configureSpmvHht(b, m, mmio_base);
   b.fcvtSW(ft0, zero);
@@ -197,9 +238,10 @@ Program spmvScalarHht(const SpmvLayout& m, Addr mmio_base) {
   return b.build();
 }
 
-Program spmvVectorHht(const SpmvLayout& m, Addr mmio_base) {
-  ProgramBuilder b("spmv_vector_hht");
-  b.li(a0, bits(m.rows)).li(a2, bits(m.vals));
+Program buildSpmvVectorHht(std::string name, const SpmvLayout& m,
+                           Addr cpu_vals, Addr mmio_base) {
+  ProgramBuilder b(std::move(name));
+  b.li(a0, bits(m.rows)).li(a2, bits(cpu_vals));
   b.li(a4, bits(m.y)).li(a5, static_cast<std::int32_t>(m.num_rows));
   configureSpmvHht(b, m, mmio_base);
   b.li(s10, bits(mmio_base + kBufData));  // fixed FIFO load address
@@ -246,6 +288,32 @@ Program spmvVectorHht(const SpmvLayout& m, Addr mmio_base) {
   b.bind(done);
   b.ecall();
   return b.build();
+}
+
+}  // namespace
+
+Program spmvScalarHht(const SpmvLayout& m, Addr mmio_base) {
+  return buildSpmvScalarHht("spmv_scalar_hht", m, m.vals, mmio_base);
+}
+
+Program spmvVectorHht(const SpmvLayout& m, Addr mmio_base) {
+  return buildSpmvVectorHht("spmv_vector_hht", m, m.vals, mmio_base);
+}
+
+Program spmvScalarHhtShard(const SpmvLayout& m, const RowShard& shard,
+                           Addr mmio_base) {
+  if (shard.empty()) return emptyShardProgram("spmv_scalar_hht", shard);
+  return buildSpmvScalarHht(shardName("spmv_scalar_hht", shard),
+                            shardView(m, shard), m.vals + shard.nnz_begin * 4,
+                            mmio_base);
+}
+
+Program spmvVectorHhtShard(const SpmvLayout& m, const RowShard& shard,
+                           Addr mmio_base) {
+  if (shard.empty()) return emptyShardProgram("spmv_vector_hht", shard);
+  return buildSpmvVectorHht(shardName("spmv_vector_hht", shard),
+                            shardView(m, shard), m.vals + shard.nnz_begin * 4,
+                            mmio_base);
 }
 
 // ---------------------------------------------------------------------------
@@ -457,10 +525,10 @@ void configureSpmspvHht(ProgramBuilder& b, const SpmspvLayout& m,
   writeMmr(b, s11, kStart, 1);
 }
 
-}  // namespace
-
-Program spmspvHhtV1(const SpmspvLayout& m, Addr mmio_base) {
-  ProgramBuilder b("spmspv_hht_v1");
+/// Variant-1's consumer touches only y and the FIFO — no vals cursor.
+Program buildSpmspvV1(std::string name, const SpmspvLayout& m,
+                      Addr mmio_base) {
+  ProgramBuilder b(std::move(name));
   b.li(a5, bits(m.y)).li(a6, static_cast<std::int32_t>(m.num_rows));
   configureSpmspvHht(b, m, mmio_base, core::Mode::SpmspvV1);
   b.fcvtSW(ft0, zero);
@@ -492,9 +560,10 @@ Program spmspvHhtV1(const SpmspvLayout& m, Addr mmio_base) {
   return b.build();
 }
 
-Program spmspvHhtV2(const SpmspvLayout& m, Addr mmio_base) {
-  ProgramBuilder b("spmspv_hht_v2");
-  b.li(a0, bits(m.rows)).li(a2, bits(m.vals));
+Program buildSpmspvV2(std::string name, const SpmspvLayout& m, Addr cpu_vals,
+                      Addr mmio_base) {
+  ProgramBuilder b(std::move(name));
+  b.li(a0, bits(m.rows)).li(a2, bits(cpu_vals));
   b.li(a5, bits(m.y)).li(a6, static_cast<std::int32_t>(m.num_rows));
   configureSpmspvHht(b, m, mmio_base, core::Mode::SpmspvV2);
   b.li(s10, bits(mmio_base + kBufData));
@@ -542,6 +611,30 @@ Program spmspvHhtV2(const SpmspvLayout& m, Addr mmio_base) {
   b.bind(done);
   b.ecall();
   return b.build();
+}
+
+}  // namespace
+
+Program spmspvHhtV1(const SpmspvLayout& m, Addr mmio_base) {
+  return buildSpmspvV1("spmspv_hht_v1", m, mmio_base);
+}
+
+Program spmspvHhtV2(const SpmspvLayout& m, Addr mmio_base) {
+  return buildSpmspvV2("spmspv_hht_v2", m, m.vals, mmio_base);
+}
+
+Program spmspvHhtV1Shard(const SpmspvLayout& m, const RowShard& shard,
+                         Addr mmio_base) {
+  if (shard.empty()) return emptyShardProgram("spmspv_hht_v1", shard);
+  return buildSpmspvV1(shardName("spmspv_hht_v1", shard), shardView(m, shard),
+                       mmio_base);
+}
+
+Program spmspvHhtV2Shard(const SpmspvLayout& m, const RowShard& shard,
+                         Addr mmio_base) {
+  if (shard.empty()) return emptyShardProgram("spmspv_hht_v2", shard);
+  return buildSpmspvV2(shardName("spmspv_hht_v2", shard), shardView(m, shard),
+                       m.vals + shard.nnz_begin * 4, mmio_base);
 }
 
 Program spmspvHhtV2Scalar(const SpmspvLayout& m, Addr mmio_base) {

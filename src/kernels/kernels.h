@@ -43,6 +43,24 @@ struct HierLayout {
   std::uint32_t num_cols = 0;
 };
 
+/// One tile's contiguous row range of a CSR operand (multi-tile scale-out,
+/// DESIGN.md §13). Shards partition [0, num_rows): row-disjoint shards give
+/// each tile its own y slice, so "reduction" is just reading slices back in
+/// tile order — bit-identical to the single-tile kernel by construction
+/// (each y[i] is produced by exactly one tile running the same per-row
+/// FMA sequence).
+struct RowShard {
+  std::uint32_t row_begin = 0;
+  std::uint32_t row_end = 0;    ///< exclusive
+  /// rowPtr[row_begin]: where this shard's slice of cols/vals starts. The
+  /// engines index cols/vals by *absolute* rowPtr values, so only the CPU
+  /// consumer's contiguous vals cursor needs it.
+  std::uint32_t nnz_begin = 0;
+
+  std::uint32_t rows() const { return row_end - row_begin; }
+  bool empty() const { return row_end <= row_begin; }
+};
+
 // ----- SpMV (Fig. 4 / Fig. 8 / Fig. 9) -----
 
 /// Algorithm 1 exactly: scalar CSR SpMV (the VL=1 baseline of Fig. 8).
@@ -60,6 +78,16 @@ isa::Program spmvScalarHht(const SpmvLayout& m,
 /// HHT-assisted vector SpMV (the Fig. 4 configuration).
 isa::Program spmvVectorHht(const SpmvLayout& m,
                            Addr mmio_base = core::kDefaultMmioBase);
+
+/// Sharded HHT SpMV: the same kernels restricted to `shard`'s rows, for one
+/// tile of a MultiTileSystem (pass the tile's own MMIO window base). An
+/// empty shard builds a trivial ecall-only program that never starts the
+/// tile's HHT. Program names encode the row range, so snapshots of
+/// different shards never collide.
+isa::Program spmvScalarHhtShard(const SpmvLayout& m, const RowShard& shard,
+                                Addr mmio_base = core::kDefaultMmioBase);
+isa::Program spmvVectorHhtShard(const SpmvLayout& m, const RowShard& shard,
+                                Addr mmio_base = core::kDefaultMmioBase);
 
 // ----- SpMM (batched SpMV: DNN inference with batch > 1) -----
 
@@ -103,6 +131,14 @@ isa::Program spmspvHhtV2(const SpmspvLayout& m,
 /// Variant-2 with a scalar consumer (used for the VL=1 sensitivity runs).
 isa::Program spmspvHhtV2Scalar(const SpmspvLayout& m,
                                Addr mmio_base = core::kDefaultMmioBase);
+
+/// Sharded SpMSpV variants (see spmvScalarHhtShard). Every tile rescans the
+/// full sparse vector — exactly what the single-tile kernel does per row —
+/// so shard results concatenate into the reference output bit-for-bit.
+isa::Program spmspvHhtV1Shard(const SpmspvLayout& m, const RowShard& shard,
+                              Addr mmio_base = core::kDefaultMmioBase);
+isa::Program spmspvHhtV2Shard(const SpmspvLayout& m, const RowShard& shard,
+                              Addr mmio_base = core::kDefaultMmioBase);
 
 // ----- Hierarchical bitmap (§6, bench/abl_smash) -----
 

@@ -34,18 +34,41 @@ void MemorySystemConfig::validate() const {
     throw SimError(ErrorKind::Config, "mem",
                    "MMIO window overlaps the SRAM address range");
   }
+  if (num_tiles < 1 || num_tiles > 16) {
+    throw SimError(ErrorKind::Config, "mem",
+                   "num_tiles must be in [1, 16], got " +
+                       std::to_string(num_tiles));
+  }
+  // All per-tile MMIO windows must fit below the top of the address space.
+  const std::uint64_t mmio_span =
+      static_cast<std::uint64_t>(num_tiles) * mmio_size;
+  if (static_cast<std::uint64_t>(mmio_base) + mmio_span > 0x1'0000'0000ull) {
+    throw SimError(ErrorKind::Config, "mem",
+                   "per-tile MMIO windows wrap past the 32-bit address "
+                   "space: base + num_tiles*mmio_size overflows");
+  }
 }
 
 MemorySystem::MemorySystem(const MemorySystemConfig& config)
-    : config_(config), sram_(config.sram_bytes) {
-  for (int r = 0; r < 2; ++r) {
-    const std::string who = requesterName(static_cast<Requester>(r));
+    : config_(config),
+      num_requesters_(config.numRequesters()),
+      sram_(config.sram_bytes),
+      mmio_devices_(config.num_tiles, nullptr) {
+  reads_.resize(num_requesters_);
+  writes_.resize(num_requesters_);
+  mmio_requests_.resize(num_requesters_);
+  conflict_cycles_.resize(num_requesters_);
+  grants_by_.resize(num_requesters_);
+  for (std::uint32_t r = 0; r < num_requesters_; ++r) {
+    const std::string who = requesterLabel(r);
     reads_[r] = &stats_.counter("mem." + who + ".reads");
     writes_[r] = &stats_.counter("mem." + who + ".writes");
     mmio_requests_[r] = &stats_.counter("mem." + who + ".mmio_requests");
     conflict_cycles_[r] = &stats_.counter("mem." + who + ".conflict_cycles");
+    grants_by_[r] = &stats_.counter("mem." + who + ".grants");
   }
   grants_ = &stats_.counter("mem.grants");
+  forced_rotations_ = &stats_.counter("mem.arb.forced_rotations");
   ecc_detected_ = &stats_.counter("mem.ecc_detected");
   ecc_retries_ = &stats_.counter("mem.ecc_retries");
   ecc_corrected_ = &stats_.counter("mem.ecc_corrected");
@@ -74,10 +97,19 @@ RequestId MemorySystem::submit(const MemAccess& access) {
                    "misaligned access: addr=" + std::to_string(access.addr) +
                        " size=" + std::to_string(access.size));
   }
+  if (access.tile >= config_.num_tiles) {
+    throw SimError(ErrorKind::Memory, requesterName(access.requester),
+                   "access from tile " + std::to_string(access.tile) +
+                       " but the memory system has " +
+                       std::to_string(config_.num_tiles) + " tile(s)");
+  }
   const RequestId id = next_id_++;
-  const int who = static_cast<int>(access.requester);
+  const std::uint32_t who = requesterIndex(access);
   if (isMmio(access.addr)) {
-    if (access.addr - config_.mmio_base + access.size > config_.mmio_size) {
+    // The access must stay inside its own tile's window: a straddling
+    // access would silently touch the neighbouring tile's device.
+    if ((access.addr - config_.mmio_base) % config_.mmio_size + access.size >
+        config_.mmio_size) {
       throw SimError(ErrorKind::Memory, requesterName(access.requester),
                      "MMIO access crosses the window end: addr=" +
                          std::to_string(access.addr));
@@ -137,11 +169,13 @@ void MemorySystem::grant(const Pending& pending, Cycle now) {
     // leak and keep idle() false forever.
     sram_.write(a.addr, a.size, a.wdata);
     ++*grants_;
+    ++*grants_by_[requesterIndex(a)];
     if (trace_ != nullptr && trace_->enabled(obs::Category::kMem)) {
       trace_->emit(now, obs::Category::kMem, obs::Component::kMem,
                    obs::EventKind::kMemGrant, a.addr,
                    static_cast<std::uint64_t>(a.requester) |
                        (std::uint64_t{a.is_write} << 1) |
+                       (static_cast<std::uint64_t>(a.tile) << 2) |
                        (static_cast<std::uint64_t>(sram_queue_.size()) << 8));
     }
     return;
@@ -184,13 +218,16 @@ void MemorySystem::grant(const Pending& pending, Cycle now) {
   }
   in_flight_.push_back({pending.id, now + latency, data, poisoned});
   ++*grants_;
+  ++*grants_by_[requesterIndex(a)];
   if (trace_ != nullptr && trace_->enabled(obs::Category::kMem)) {
-    // b packs requester | is_write<<1 | queue-depth-at-grant<<8, so the
-    // trace carries request-queue occupancy without a per-cycle event.
+    // b packs requester | is_write<<1 | tile<<2 | queue-depth-at-grant<<8,
+    // so the trace carries request-queue occupancy without a per-cycle
+    // event (tile is 0 on a single-tile machine: payloads unchanged).
     trace_->emit(now, obs::Category::kMem, obs::Component::kMem,
                  obs::EventKind::kMemGrant, a.addr,
                  static_cast<std::uint64_t>(a.requester) |
                      (std::uint64_t{a.is_write} << 1) |
+                     (static_cast<std::uint64_t>(a.tile) << 2) |
                      (static_cast<std::uint64_t>(sram_queue_.size()) << 8));
   }
   HHT_LOG_AT(Trace, "mem", "grant id=%llu %s addr=0x%x done@%llu",
@@ -221,39 +258,48 @@ void MemorySystem::tick(Cycle now) {
     return true;
   });
 
-  // 2. Arbitrate SRAM grant slots.
+  // 2. Arbitrate SRAM grant slots over the 2*num_tiles requester ports.
   std::uint32_t slots_left = config_.grants_per_cycle;
   for (std::uint32_t slot = 0; slot < config_.grants_per_cycle; ++slot) {
     if (sram_queue_.empty()) break;
     --slots_left;
 
-    Requester preferred = Requester::Cpu;
-    if (config_.policy == ArbiterPolicy::RoundRobin) {
-      preferred = rr_hht_turn_ ? Requester::Hht : Requester::Cpu;
-      rr_hht_turn_ = !rr_hht_turn_;
+    std::uint64_t present = 0;
+    for (const Pending& p : sram_queue_) {
+      present |= 1ull << requesterIndex(p.access);
     }
-    // Oldest request of the preferred requester, else oldest overall.
-    // Taking the first queue entry with the matching requester preserves
-    // per-requester program order.
+    const std::uint32_t winner = pickRequester(present);
+    // Oldest request of the winning requester: taking the first queue
+    // entry with the matching port preserves per-requester program order.
     auto it = std::find_if(sram_queue_.begin(), sram_queue_.end(),
                            [&](const Pending& p) {
-                             return p.access.requester == preferred;
+                             return requesterIndex(p.access) == winner;
                            });
-    if (it == sram_queue_.end()) it = sram_queue_.begin();
     grant(*it, now);
     sram_queue_.erase(it);
   }
-  // Requests left waiting lost arbitration this cycle.
-  std::uint64_t passed_over[2] = {0, 0};
+  // Requesters left with work waiting lost arbitration this cycle. Each
+  // stalled *requester* counts one conflict cycle regardless of how many
+  // of its requests sat in the queue — the counter answers "how many
+  // cycles did this port wait", and a deferred request re-arbitrated next
+  // cycle must not be double-counted as a fresh conflict.
+  std::uint64_t stalled = 0;
   for (const Pending& p : sram_queue_) {
-    ++*conflict_cycles_[static_cast<int>(p.access.requester)];
-    ++passed_over[static_cast<int>(p.access.requester)];
+    stalled |= 1ull << requesterIndex(p.access);
   }
-  if ((passed_over[0] | passed_over[1]) != 0 && trace_ != nullptr &&
-      trace_->enabled(obs::Category::kMem)) {
-    trace_->emit(now, obs::Category::kMem, obs::Component::kMem,
-                 obs::EventKind::kMemConflict, passed_over[0],
-                 passed_over[1]);
+  if (stalled != 0) {
+    std::uint64_t stalled_by_role[2] = {0, 0};
+    for (std::uint32_t r = 0; r < num_requesters_; ++r) {
+      if ((stalled >> r) & 1u) {
+        ++*conflict_cycles_[r];
+        ++stalled_by_role[static_cast<int>(requesterRole(r))];
+      }
+    }
+    if (trace_ != nullptr && trace_->enabled(obs::Category::kMem)) {
+      trace_->emit(now, obs::Category::kMem, obs::Component::kMem,
+                   obs::EventKind::kMemConflict, stalled_by_role[0],
+                   stalled_by_role[1]);
+    }
   }
 
   // Spare slots feed the stream prefetcher (demand traffic always wins).
@@ -266,34 +312,88 @@ void MemorySystem::tick(Cycle now) {
     --slots_left;
   }
 
-  // 3. MMIO window (device-adjacent port; no SRAM bandwidth consumed).
+  // 3. MMIO windows (device-adjacent ports; no SRAM bandwidth consumed).
+  //    One window per tile, each routed to that tile's device.
   //    Per-requester FIFO: a stalled CPU read must not block the
   //    programmable HHT's firmware-side port and vice versa, but each
   //    requester's own accesses stay in program order.
-  bool blocked[2] = {false, false};
+  std::uint64_t blocked = 0;
   std::erase_if(mmio_queue_, [&](Pending& p) {
-    const int who = static_cast<int>(p.access.requester);
-    if (blocked[who]) return false;
-    if (mmio_device_ == nullptr) {
+    const std::uint32_t who = requesterIndex(p.access);
+    if ((blocked >> who) & 1u) return false;
+    const Addr window = p.access.addr - config_.mmio_base;
+    const std::uint32_t window_tile = window / config_.mmio_size;
+    MmioDevice* device = mmio_devices_[window_tile];
+    if (device == nullptr) {
       // Unmapped MMIO: reads return 0, writes are dropped.
       if (!p.access.is_write) completed_.emplace_back(p.id, MemResponse{0, false});
       return true;
     }
-    const Addr offset = p.access.addr - config_.mmio_base;
+    const Addr offset = window % config_.mmio_size;
     if (p.access.is_write) {
-      mmio_device_->mmioWrite(offset, p.access.size, p.access.wdata,
-                              p.access.requester);
+      device->mmioWrite(offset, p.access.size, p.access.wdata,
+                        p.access.requester);
       return true;  // posted, like SRAM stores
     }
     const MmioReadResult result =
-        mmio_device_->mmioRead(offset, p.access.size, p.access.requester);
+        device->mmioRead(offset, p.access.size, p.access.requester);
     if (!result.ready) {
-      blocked[who] = true;  // retry next cycle; requester stays stalled
+      blocked |= 1ull << who;  // retry next cycle; requester stays stalled
       return false;
     }
     completed_.emplace_back(p.id, MemResponse{result.data, false});
     return true;
   });
+}
+
+std::uint32_t MemorySystem::pickRequester(std::uint64_t present) {
+  const std::uint32_t R = num_requesters_;
+  // Scan helper: first requester with work at-or-after `from`, wrapping.
+  const auto scan = [&](std::uint32_t from, std::uint64_t mask) {
+    for (std::uint32_t i = 0; i < R; ++i) {
+      const std::uint32_t r = (from + i) % R;
+      if ((mask >> r) & 1u) return r;
+    }
+    return R;  // unreachable when mask != 0
+  };
+
+  if (config_.policy == ArbiterPolicy::RoundRobin) {
+    const std::uint32_t r = scan(rr_next_, present);
+    rr_next_ = (r + 1) % R;
+    return r;
+  }
+
+  // CpuPriority: every CPU-role port outranks every HHT-role port, with
+  // rotation inside each role so no tile monopolizes its role's turn.
+  // Role masks: CPU-role ports are the even indices.
+  const std::uint64_t all = R >= 64 ? ~0ull : (1ull << R) - 1;
+  const std::uint64_t cpu_mask = present & (0x5555'5555'5555'5555ull & all);
+  const std::uint64_t hht_mask = present & ~0x5555'5555'5555'5555ull;
+  if (cpu_mask != 0 && hht_mask != 0 && config_.cpu_starvation_limit != 0 &&
+      cpu_streak_ >= config_.cpu_starvation_limit) {
+    // Starvation bound: the CPU side has taken cpu_starvation_limit
+    // consecutive grants while HHT work waited; force one HHT grant so a
+    // saturating CPU stream cannot defer the BE indefinitely.
+    const std::uint32_t r = scan(prio_next_[1], hht_mask);
+    prio_next_[1] = (r + 2) % R;
+    cpu_streak_ = 0;
+    ++*forced_rotations_;
+    return r;
+  }
+  if (cpu_mask != 0) {
+    const std::uint32_t r = scan(prio_next_[0], cpu_mask);
+    prio_next_[0] = (r + 2) % R;
+    if (hht_mask != 0) {
+      ++cpu_streak_;  // a CPU grant that left HHT work waiting
+    } else {
+      cpu_streak_ = 0;
+    }
+    return r;
+  }
+  const std::uint32_t r = scan(prio_next_[1], hht_mask);
+  prio_next_[1] = (r + 2) % R;
+  cpu_streak_ = 0;
+  return r;
 }
 
 Cycle MemorySystem::responseReadyCycle(RequestId id, Cycle now) const {
@@ -322,20 +422,26 @@ Cycle MemorySystem::nextEventCycle(Cycle now) const {
   return std::max(earliest, now + 1);
 }
 
-void MemorySystem::attachMmioDevice(MmioDevice* device) {
+void MemorySystem::attachMmioDevice(MmioDevice* device, std::uint32_t tile) {
   if (device == nullptr) {
     throw sim::SimError(sim::ErrorKind::Mmio, "mem",
                         "attachMmioDevice(nullptr): detaching the device "
                         "window is not supported");
   }
-  if (mmio_device_ != nullptr) {
+  if (tile >= config_.num_tiles) {
     throw sim::SimError(sim::ErrorKind::Mmio, "mem",
-                        "attachMmioDevice: a device is already mapped at 0x" +
-                            std::to_string(config_.mmio_base) +
-                            "; silently replacing it would orphan in-flight "
-                            "MMIO requests");
+                        "attachMmioDevice: tile " + std::to_string(tile) +
+                            " out of range (num_tiles=" +
+                            std::to_string(config_.num_tiles) + ")");
   }
-  mmio_device_ = device;
+  if (mmio_devices_[tile] != nullptr) {
+    throw sim::SimError(sim::ErrorKind::Mmio, "mem",
+                        "attachMmioDevice: a device is already mapped in tile " +
+                            std::to_string(tile) +
+                            "'s window; silently replacing it would orphan "
+                            "in-flight MMIO requests");
+  }
+  mmio_devices_[tile] = device;
 }
 
 void MemorySystem::cancelAll() {
@@ -354,7 +460,7 @@ std::string MemorySystem::describeState() const {
      << " completed_unclaimed=" << completed_.size() << "\n";
   auto line = [&os](const char* tag, const Pending& p) {
     os << "  " << tag << " id=" << p.id << " "
-       << requesterName(p.access.requester) << " "
+       << requesterLabel(requesterIndex(p.access)) << " "
        << (p.access.is_write ? "W" : "R") << " addr=0x" << std::hex
        << p.access.addr << std::dec << " size=" << p.access.size << "\n";
   };
@@ -383,6 +489,7 @@ void writeAccess(sim::StateWriter& w, const MemAccess& a) {
   w.b(a.is_write);
   w.u32(a.wdata);
   w.u8(static_cast<std::uint8_t>(a.requester));
+  w.u8(a.tile);
 }
 
 MemAccess readAccess(sim::StateReader& r) {
@@ -392,6 +499,7 @@ MemAccess readAccess(sim::StateReader& r) {
   a.is_write = r.b();
   a.wdata = r.u32();
   a.requester = static_cast<Requester>(r.u8());
+  a.tile = r.u8();
   return a;
 }
 
@@ -441,7 +549,10 @@ void MemorySystem::serialize(sim::StateWriter& w) const {
   }
 
   w.u64(next_id_);
-  w.b(rr_hht_turn_);
+  w.u32(rr_next_);
+  w.u32(prio_next_[0]);
+  w.u32(prio_next_[1]);
+  w.u64(cpu_streak_);
   stats_.serialize(w);
 }
 
@@ -500,7 +611,10 @@ void MemorySystem::deserialize(sim::StateReader& r) {
   }
 
   next_id_ = r.u64();
-  rr_hht_turn_ = r.b();
+  rr_next_ = r.u32();
+  prio_next_[0] = r.u32();
+  prio_next_[1] = r.u32();
+  cpu_streak_ = r.u64();
   stats_.deserialize(r);
 }
 

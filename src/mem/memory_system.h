@@ -19,11 +19,11 @@ namespace hht::mem {
 using sim::Cycle;
 using sim::StatSet;
 
-/// Arbitration policy when CPU and HHT requests compete for the same-cycle
-/// SRAM grant slots.
+/// Arbitration policy when requesters compete for the same-cycle SRAM
+/// grant slots.
 enum class ArbiterPolicy : std::uint8_t {
   CpuPriority,  ///< paper design: never add latency to the primary core
-  RoundRobin,   ///< ablation: fair alternation
+  RoundRobin,   ///< fair rotation over all 2*num_tiles requesters
 };
 
 struct MemorySystemConfig {
@@ -31,6 +31,20 @@ struct MemorySystemConfig {
   Cycle sram_latency = 1;                  ///< cycles from grant to data
   std::uint32_t grants_per_cycle = 2;      ///< SRAM bandwidth (ports/banks)
   ArbiterPolicy policy = ArbiterPolicy::CpuPriority;
+  /// Number of {CPU+HHT} tiles sharing this memory system (scale-out,
+  /// DESIGN.md §13). Each tile contributes two arbiter ports (requester
+  /// indices tile*2 and tile*2+1) and owns its own MMIO window at
+  /// mmio_base + tile*mmio_size. 1 = the paper's single-tile machine.
+  std::uint32_t num_tiles = 1;
+  /// CpuPriority starvation bound: maximum consecutive CPU-role grants
+  /// issued while an HHT-role request was left waiting before the arbiter
+  /// forces one grant to the oldest waiting HHT request. Unbounded CPU
+  /// priority (0) can defer HHT grants indefinitely under a saturating
+  /// CPU stream — a real deadlock risk once the CPU itself spins on an
+  /// HHT FIFO that cannot fill because the BE never gets a grant. The
+  /// default is far above anything the paper's workloads produce, so
+  /// Table-1 results are unchanged. Ignored under RoundRobin.
+  std::uint32_t cpu_starvation_limit = 64;
   bool cpu_cache_enabled = false;          ///< L1D on the CPU path (§3.2 HP integration)
   bool hht_cache_enabled = false;          ///< let the HHT BE hit the same-level cache
   CacheConfig cache;
@@ -43,6 +57,8 @@ struct MemorySystemConfig {
   std::uint32_t prefetch_degree = 2;
   Addr mmio_base = 0xF000'0000u;
   Addr mmio_size = 0x1'0000u;
+
+  std::uint32_t numRequesters() const { return 2 * num_tiles; }
 
   /// Reject obviously-broken configurations with SimError(Config). Called
   /// by SystemConfig::validate(); standalone users may call it directly.
@@ -84,10 +100,12 @@ class MemorySystem {
   /// in-flight accesses whose latency elapsed.
   void tick(Cycle now);
 
-  /// Register the device behind the MMIO window. Attaching a second device
-  /// (or a null one) throws SimError(Mmio) — a silently-replaced device
-  /// window is a wiring bug, never intentional.
-  void attachMmioDevice(MmioDevice* device);
+  /// Register the device behind tile `tile`'s MMIO window (offset
+  /// tile*mmio_size from mmio_base). Attaching a second device to the same
+  /// window (or a null one, or to a tile >= num_tiles) throws
+  /// SimError(Mmio) — a silently-replaced device window is a wiring bug,
+  /// never intentional.
+  void attachMmioDevice(MmioDevice* device, std::uint32_t tile = 0);
 
   /// Attach a structured trace sink (obs layer). Host-side observation
   /// only: arbitration grants (with queue depth), bank-conflict tallies and
@@ -115,7 +133,14 @@ class MemorySystem {
 
   bool isMmio(Addr addr) const {
     return addr >= config_.mmio_base &&
-           addr - config_.mmio_base < config_.mmio_size;
+           addr - config_.mmio_base <
+               static_cast<Addr>(config_.num_tiles) * config_.mmio_size;
+  }
+
+  /// MMIO window base of tile `tile` (each tile's HHT FE occupies its own
+  /// mmio_size-byte window).
+  Addr mmioBaseOf(std::uint32_t tile) const {
+    return config_.mmio_base + tile * config_.mmio_size;
   }
 
   /// True when no request is queued or in flight (used by run loops to
@@ -171,12 +196,17 @@ class MemorySystem {
 
   void grant(const Pending& pending, Cycle now);
   void traceTick(Cycle now);
+  /// Pick the flat requester index to grant the current slot (sram_queue_
+  /// must be non-empty). Implements both policies over M requesters,
+  /// including the CpuPriority starvation bound.
+  std::uint32_t pickRequester(std::uint64_t present);
 
   MemorySystemConfig config_;
+  std::uint32_t num_requesters_;
   Sram sram_;
   std::unique_ptr<Cache> cpu_cache_;
   std::unique_ptr<Cache> hht_cache_;
-  MmioDevice* mmio_device_ = nullptr;
+  std::vector<MmioDevice*> mmio_devices_;  ///< one window per tile
   sim::FaultInjector* injector_ = nullptr;
 
   // Arrival-ordered vectors (arrival order IS the arbitration tiebreak and
@@ -192,7 +222,15 @@ class MemorySystem {
   std::vector<std::pair<RequestId, MemResponse>> completed_;
 
   RequestId next_id_ = 1;
-  bool rr_hht_turn_ = false;  ///< round-robin: whose turn is next
+  /// Arbiter rotation state (serialized). RoundRobin: next flat requester
+  /// index to prefer. CpuPriority with multiple tiles: independent
+  /// rotation pointers over the CPU-role and HHT-role requesters so no
+  /// tile monopolizes its role's turn. cpu_streak_ counts consecutive
+  /// CPU-role grants issued while an HHT request waited (the starvation
+  /// bound's trigger).
+  std::uint32_t rr_next_ = 0;
+  std::uint32_t prio_next_[2] = {0, 0};  ///< indexed by role
+  std::uint64_t cpu_streak_ = 0;
   StatSet stats_;
 
   // Host-only trace state (not serialized).
@@ -200,12 +238,14 @@ class MemorySystem {
   std::uint8_t trace_bucket_ = obs::kNoBucket;
 
   // Hot-path counters cached once (StatSet references are stable); indexed
-  // by Requester.
-  std::uint64_t* reads_[2];
-  std::uint64_t* writes_[2];
-  std::uint64_t* mmio_requests_[2];
-  std::uint64_t* conflict_cycles_[2];
+  // by flat requester index (tile*2 + role).
+  std::vector<std::uint64_t*> reads_;
+  std::vector<std::uint64_t*> writes_;
+  std::vector<std::uint64_t*> mmio_requests_;
+  std::vector<std::uint64_t*> conflict_cycles_;
+  std::vector<std::uint64_t*> grants_by_;  ///< per-requester grant counters
   std::uint64_t* grants_;  ///< watchdog progress signal
+  std::uint64_t* forced_rotations_;  ///< starvation-bound interventions
   std::uint64_t* ecc_detected_;
   std::uint64_t* ecc_retries_;
   std::uint64_t* ecc_corrected_;

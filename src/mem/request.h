@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/types.h"
 
@@ -9,8 +10,9 @@ namespace hht::mem {
 using sim::Addr;
 using sim::Cycle;
 
-/// Who issued a memory request. The arbiter's CPU-priority policy and the
-/// per-requester statistics key off this.
+/// Role of the agent issuing a memory request. Together with the tile id a
+/// role identifies one arbiter port; the arbiter's policies and the
+/// per-requester statistics key off the pair.
 enum class Requester : std::uint8_t { Cpu = 0, Hht = 1 };
 
 inline const char* requesterName(Requester r) {
@@ -42,6 +44,38 @@ struct MemAccess {
   bool is_write = false;
   std::uint32_t wdata = 0;    ///< write payload (low `size` bytes)
   Requester requester = Requester::Cpu;
+  /// Which {CPU+HHT} tile issued the access (multi-tile scale-out; 0 in a
+  /// single-tile system, so single-tile call sites never mention it).
+  std::uint8_t tile = 0;
 };
+
+// --- flat requester indexing (multi-tile arbitration) ---
+//
+// The arbiter sees 2*num_tiles independent ports, one per {tile, role}
+// pair, numbered tile*2 + role so tile 0 keeps the historic indices
+// (cpu=0, hht=1) and every single-tile stat name is unchanged.
+
+inline std::uint32_t requesterIndex(Requester role, std::uint32_t tile) {
+  return tile * 2u + static_cast<std::uint32_t>(role);
+}
+
+inline std::uint32_t requesterIndex(const MemAccess& a) {
+  return requesterIndex(a.requester, a.tile);
+}
+
+inline Requester requesterRole(std::uint32_t index) {
+  return static_cast<Requester>(index & 1u);
+}
+
+inline std::uint32_t requesterTile(std::uint32_t index) { return index >> 1; }
+
+/// Stat-name label of a flat requester index: "cpu"/"hht" on tile 0 (the
+/// historic names), "t<N>.cpu"/"t<N>.hht" on the others.
+inline std::string requesterLabel(std::uint32_t index) {
+  const char* who = requesterName(requesterRole(index));
+  const std::uint32_t tile = requesterTile(index);
+  return tile == 0 ? std::string(who)
+                   : "t" + std::to_string(tile) + "." + who;
+}
 
 }  // namespace hht::mem

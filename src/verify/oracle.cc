@@ -26,20 +26,46 @@ std::string Divergence::describe() const {
   return os.str();
 }
 
+namespace {
+kernels::RowShard fullShard(const sparse::CsrMatrix& m) {
+  return {0, m.numRows(), 0};
+}
+}  // namespace
+
 std::vector<StreamEvent> expectedGatherStream(const sparse::CsrMatrix& m,
                                               const sparse::DenseVector& v) {
-  std::vector<StreamEvent> out;
-  out.reserve(m.nnz());
-  for (sim::Index col : m.cols()) {
-    out.push_back({false, bitsOf(v[col])});
-  }
-  return out;
+  return expectedGatherStreamShard(m, v, fullShard(m));
 }
 
 std::vector<StreamEvent> expectedMergeV1Stream(const sparse::CsrMatrix& m,
                                                const sparse::SparseVector& v) {
+  return expectedMergeV1StreamShard(m, v, fullShard(m));
+}
+
+std::vector<StreamEvent> expectedStreamV2Stream(const sparse::CsrMatrix& m,
+                                                const sparse::SparseVector& v) {
+  return expectedStreamV2StreamShard(m, v, fullShard(m));
+}
+
+std::vector<StreamEvent> expectedGatherStreamShard(
+    const sparse::CsrMatrix& m, const sparse::DenseVector& v,
+    const kernels::RowShard& shard) {
   std::vector<StreamEvent> out;
-  for (sim::Index r = 0; r < m.numRows(); ++r) {
+  const auto& row_ptr = m.rowPtr();
+  const sim::Index nnz_begin = row_ptr[shard.row_begin];
+  const sim::Index nnz_end = row_ptr[shard.row_end];
+  out.reserve(nnz_end - nnz_begin);
+  for (sim::Index k = nnz_begin; k < nnz_end; ++k) {
+    out.push_back({false, bitsOf(v[m.cols()[k]])});
+  }
+  return out;
+}
+
+std::vector<StreamEvent> expectedMergeV1StreamShard(
+    const sparse::CsrMatrix& m, const sparse::SparseVector& v,
+    const kernels::RowShard& shard) {
+  std::vector<StreamEvent> out;
+  for (sim::Index r = shard.row_begin; r < shard.row_end; ++r) {
     for (const sparse::AlignedPair& pair : sparse::intersectRow(m, r, v)) {
       out.push_back({false, bitsOf(pair.m_val)});
       out.push_back({false, bitsOf(pair.v_val)});
@@ -49,11 +75,11 @@ std::vector<StreamEvent> expectedMergeV1Stream(const sparse::CsrMatrix& m,
   return out;
 }
 
-std::vector<StreamEvent> expectedStreamV2Stream(const sparse::CsrMatrix& m,
-                                                const sparse::SparseVector& v) {
+std::vector<StreamEvent> expectedStreamV2StreamShard(
+    const sparse::CsrMatrix& m, const sparse::SparseVector& v,
+    const kernels::RowShard& shard) {
   std::vector<StreamEvent> out;
-  out.reserve(m.nnz());
-  for (sim::Index r = 0; r < m.numRows(); ++r) {
+  for (sim::Index r = shard.row_begin; r < shard.row_end; ++r) {
     for (sparse::Value val : sparse::valueStreamRow(m, r, v)) {
       out.push_back({false, bitsOf(val)});
     }
@@ -136,11 +162,16 @@ void DifferentialOracle::onDelivered(sim::Cycle now, bool is_row_end,
 }
 
 void DifferentialOracle::onCycle(harness::System& sys, sim::Cycle now) {
-  if (check_interval_ == 0 || now % check_interval_ != 0) return;
+  if (!occupancyCheckDue(now)) return;
   const core::Hht* hht = sys.asicHht();
-  if (hht == nullptr || divergence_) return;
-  const core::HhtConfig& cfg = sys.config().hht;
-  const core::BufferPool& pool = hht->bufferPool();
+  if (hht == nullptr) return;
+  checkOccupancy(*hht, now);
+}
+
+void DifferentialOracle::checkOccupancy(const core::Hht& hht, sim::Cycle now) {
+  if (divergence_) return;
+  const core::HhtConfig& cfg = hht.config();
+  const core::BufferPool& pool = hht.bufferPool();
   if (pool.stagedSlots() > cfg.buffer_len) {
     latch({delivered_, false, false, 0, 0, last_cycle_, now,
            "FIFO invariant violated: staging holds " +
@@ -155,24 +186,28 @@ void DifferentialOracle::onCycle(harness::System& sys, sim::Cycle now) {
                " published buffers > N " + std::to_string(cfg.num_buffers)});
     return;
   }
-  if (hht->emissionQueue().size() > cfg.emission_queue) {
+  if (hht.emissionQueue().size() > cfg.emission_queue) {
     latch({delivered_, false, false, 0, 0, last_cycle_, now,
            "FIFO invariant violated: emission queue holds " +
-               std::to_string(hht->emissionQueue().size()) +
+               std::to_string(hht.emissionQueue().size()) +
                " entries > depth " + std::to_string(cfg.emission_queue)});
   }
 }
 
-void DifferentialOracle::checkFinal(const sparse::DenseVector& actual_y,
-                                    const sparse::DenseVector& expected_y) {
+void DifferentialOracle::checkStreamComplete() {
   if (divergence_) return;
   if (delivered_ != expected_.size()) {
     latch({delivered_, false, false, 0, 0, last_cycle_, last_cycle_,
            "stream ended after " + std::to_string(delivered_) +
                " elements; the functional model expects " +
                std::to_string(expected_.size())});
-    return;
   }
+}
+
+void DifferentialOracle::checkFinal(const sparse::DenseVector& actual_y,
+                                    const sparse::DenseVector& expected_y) {
+  checkStreamComplete();
+  if (divergence_) return;
   if (actual_y.size() != expected_y.size()) {
     latch({delivered_, false, false, 0, 0, last_cycle_, last_cycle_,
            "output vector length " + std::to_string(actual_y.size()) +
@@ -188,6 +223,92 @@ void DifferentialOracle::checkFinal(const sparse::DenseVector& actual_y,
       return;
     }
   }
+}
+
+MultiTileOracle::MultiTileOracle(
+    std::vector<std::vector<StreamEvent>> expected_per_tile,
+    sim::Cycle check_interval) {
+  tiles_.reserve(expected_per_tile.size());
+  for (auto& expected : expected_per_tile) {
+    tiles_.emplace_back(std::move(expected), check_interval);
+  }
+}
+
+void MultiTileOracle::attach(harness::MultiTileSystem& sys) {
+  if (sys.numTiles() != tiles_.size()) {
+    throw sim::SimError(sim::ErrorKind::Config, "oracle",
+                        "MultiTileOracle holds " +
+                            std::to_string(tiles_.size()) +
+                            " expected streams, system has " +
+                            std::to_string(sys.numTiles()) + " tiles");
+  }
+  for (std::uint32_t t = 0; t < sys.numTiles(); ++t) {
+    sys.hht(t).addStreamTap(&tiles_[t]);
+  }
+}
+
+void MultiTileOracle::detach(harness::MultiTileSystem& sys) {
+  for (std::uint32_t t = 0; t < sys.numTiles() && t < tiles_.size(); ++t) {
+    sys.hht(t).removeStreamTap(&tiles_[t]);
+  }
+}
+
+void MultiTileOracle::onCycle(harness::MultiTileSystem& sys, sim::Cycle now) {
+  for (std::uint32_t t = 0; t < sys.numTiles() && t < tiles_.size(); ++t) {
+    if (tiles_[t].occupancyCheckDue(now)) {
+      tiles_[t].checkOccupancy(sys.hht(t), now);
+    }
+  }
+}
+
+void MultiTileOracle::checkFinal(const sparse::DenseVector& actual_y,
+                                 const sparse::DenseVector& expected_y) {
+  for (DifferentialOracle& tile : tiles_) tile.checkStreamComplete();
+  if (y_divergence_) return;
+  if (actual_y.size() != expected_y.size()) {
+    y_divergence_ = {0,     false, false,
+                     0,     0,     0,
+                     0,     "output vector length " +
+                                std::to_string(actual_y.size()) +
+                                " != reference length " +
+                                std::to_string(expected_y.size())};
+    return;
+  }
+  for (sim::Index i = 0; i < expected_y.size(); ++i) {
+    if (bitsOf(actual_y[i]) != bitsOf(expected_y[i])) {
+      y_divergence_ = {0,
+                       false,
+                       false,
+                       bitsOf(expected_y[i]),
+                       bitsOf(actual_y[i]),
+                       0,
+                       0,
+                       "output y[" + std::to_string(i) +
+                           "] differs from the reference kernel"};
+      return;
+    }
+  }
+}
+
+bool MultiTileOracle::diverged() const {
+  if (y_divergence_) return true;
+  for (const DifferentialOracle& tile : tiles_) {
+    if (tile.diverged()) return true;
+  }
+  return false;
+}
+
+std::string MultiTileOracle::describe() const {
+  std::ostringstream os;
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    if (tiles_[t].diverged()) {
+      os << "tile " << t << ": " << tiles_[t].divergence()->describe() << "\n";
+    }
+  }
+  if (y_divergence_) {
+    os << "shared output: " << y_divergence_->describe() << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace hht::verify

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/multi_tile.h"
 #include "harness/system.h"
 #include "sim/probe.h"
 #include "sparse/csr.h"
@@ -62,6 +63,20 @@ std::vector<StreamEvent> expectedMergeV1Stream(const sparse::CsrMatrix& m,
 std::vector<StreamEvent> expectedStreamV2Stream(const sparse::CsrMatrix& m,
                                                 const sparse::SparseVector& v);
 
+// Shard-restricted variants: the expected stream of one tile of a
+// MultiTileSystem running the corresponding *Shard kernel — exactly the
+// full-matrix stream with the row loop clamped to the shard (the tile
+// streams of a run concatenate, in tile order, into the full stream).
+std::vector<StreamEvent> expectedGatherStreamShard(
+    const sparse::CsrMatrix& m, const sparse::DenseVector& v,
+    const kernels::RowShard& shard);
+std::vector<StreamEvent> expectedMergeV1StreamShard(
+    const sparse::CsrMatrix& m, const sparse::SparseVector& v,
+    const kernels::RowShard& shard);
+std::vector<StreamEvent> expectedStreamV2StreamShard(
+    const sparse::CsrMatrix& m, const sparse::SparseVector& v,
+    const kernels::RowShard& shard);
+
 /// HierBitmap: gathered v[col] per set position in row-major position
 /// order, plus one row-end marker per row (trailing empty rows close at
 /// the end of the walk).
@@ -98,10 +113,27 @@ class DifferentialOracle : public sim::StreamTap, public harness::RunObserver {
                    std::uint32_t bits) override;
   void onCycle(harness::System& sys, sim::Cycle now) override;
 
+  /// The FIFO-occupancy invariant check against `hht`'s own configured
+  /// sizes, independent of where the device lives — onCycle delegates here
+  /// for a System's device, and MultiTileOracle calls it per tile. Latches
+  /// (never throws) like every other check.
+  void checkOccupancy(const core::Hht& hht, sim::Cycle now);
+
+  /// Whether `now` is an occupancy-sampling cycle (check_interval gating;
+  /// interval 0 disables sampling entirely).
+  bool occupancyCheckDue(sim::Cycle now) const {
+    return check_interval_ != 0 && now % check_interval_ == 0;
+  }
+
   /// Post-run checks: the whole expected stream was delivered and the
   /// output vector matches the reference bit-for-bit.
   void checkFinal(const sparse::DenseVector& actual_y,
                   const sparse::DenseVector& expected_y);
+
+  /// Post-run stream-completeness check alone (no output comparison) — the
+  /// per-tile half of a multi-tile checkFinal, where y is shared and
+  /// compared once globally.
+  void checkStreamComplete();
 
   bool diverged() const { return divergence_.has_value(); }
   const std::optional<Divergence>& divergence() const { return divergence_; }
@@ -117,6 +149,47 @@ class DifferentialOracle : public sim::StreamTap, public harness::RunObserver {
   std::uint64_t delivered_ = 0;
   sim::Cycle last_cycle_ = 0;
   std::optional<Divergence> divergence_;
+};
+
+/// Multi-tile differential oracle: one DifferentialOracle (and so one
+/// stream tap) per tile, each holding that tile's shard-restricted expected
+/// stream, plus the per-cycle occupancy sweep over every tile's device.
+/// Divergences latch per tile; the shared output vector is checked once
+/// globally in checkFinal. Like the single-tile oracle it never throws —
+/// campaign drivers collect the report.
+class MultiTileOracle : public harness::MultiTileObserver {
+ public:
+  /// `expected_per_tile.size()` must equal the system's tile count at
+  /// attach(). check_interval gates the occupancy sweep (0 disables).
+  explicit MultiTileOracle(
+      std::vector<std::vector<StreamEvent>> expected_per_tile,
+      sim::Cycle check_interval = 64);
+
+  /// Install tile t's oracle as a stream tap on sys.hht(t). Pair with
+  /// detach() before the system (or this oracle) is destroyed.
+  void attach(harness::MultiTileSystem& sys);
+  void detach(harness::MultiTileSystem& sys);
+
+  void onCycle(harness::MultiTileSystem& sys, sim::Cycle now) override;
+
+  /// Post-run: every tile's stream completed, and the shared output vector
+  /// matches the reference bit-for-bit.
+  void checkFinal(const sparse::DenseVector& actual_y,
+                  const sparse::DenseVector& expected_y);
+
+  bool diverged() const;
+  /// All latched divergences, one line per tile, for a campaign report.
+  std::string describe() const;
+  std::uint32_t numTiles() const {
+    return static_cast<std::uint32_t>(tiles_.size());
+  }
+  DifferentialOracle& tileOracle(std::uint32_t tile) {
+    return tiles_.at(tile);
+  }
+
+ private:
+  std::vector<DifferentialOracle> tiles_;  ///< stable: sized once in the ctor
+  std::optional<Divergence> y_divergence_;
 };
 
 }  // namespace hht::verify

@@ -1,0 +1,71 @@
+#include "workload/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hht::workload {
+
+namespace {
+
+std::uint32_t checkedTiles(std::uint32_t num_tiles) {
+  if (num_tiles == 0) {
+    throw std::invalid_argument("partitionRows: num_tiles must be >= 1");
+  }
+  return num_tiles;
+}
+
+/// Shards from a sorted boundary list: shard t covers
+/// [bounds[t], bounds[t+1]).
+std::vector<kernels::RowShard> fromBounds(
+    const sparse::CsrMatrix& m, const std::vector<std::uint32_t>& bounds) {
+  std::vector<kernels::RowShard> shards;
+  shards.reserve(bounds.size() - 1);
+  for (std::size_t t = 0; t + 1 < bounds.size(); ++t) {
+    kernels::RowShard s;
+    s.row_begin = bounds[t];
+    s.row_end = bounds[t + 1];
+    s.nnz_begin = static_cast<std::uint32_t>(m.rowPtr()[s.row_begin]);
+    shards.push_back(s);
+  }
+  return shards;
+}
+
+}  // namespace
+
+std::vector<kernels::RowShard> partitionRowsBlock(const sparse::CsrMatrix& m,
+                                                  std::uint32_t num_tiles) {
+  checkedTiles(num_tiles);
+  const std::uint32_t rows = static_cast<std::uint32_t>(m.numRows());
+  const std::uint32_t block = (rows + num_tiles - 1) / num_tiles;
+  std::vector<std::uint32_t> bounds(num_tiles + 1, rows);
+  for (std::uint32_t t = 0; t <= num_tiles; ++t) {
+    const std::uint64_t edge = static_cast<std::uint64_t>(t) * block;
+    bounds[t] = static_cast<std::uint32_t>(std::min<std::uint64_t>(edge, rows));
+  }
+  return fromBounds(m, bounds);
+}
+
+std::vector<kernels::RowShard> partitionRowsNnzBalanced(
+    const sparse::CsrMatrix& m, std::uint32_t num_tiles) {
+  checkedTiles(num_tiles);
+  const std::uint32_t rows = static_cast<std::uint32_t>(m.numRows());
+  const std::uint64_t nnz = m.nnz();
+  const auto& row_ptr = m.rowPtr();
+  std::vector<std::uint32_t> bounds(num_tiles + 1, rows);
+  bounds[0] = 0;
+  std::uint32_t row = 0;
+  for (std::uint32_t t = 1; t < num_tiles; ++t) {
+    // Advance to the first row at which shard t-1 has claimed at least its
+    // proportional share of nonzeros. Integer targets keep the split exact
+    // and deterministic: target(t) = floor(nnz * t / num_tiles).
+    const std::uint64_t target = nnz * t / num_tiles;
+    while (row < rows &&
+           static_cast<std::uint64_t>(row_ptr[row + 1]) <= target) {
+      ++row;
+    }
+    bounds[t] = row;
+  }
+  return fromBounds(m, bounds);
+}
+
+}  // namespace hht::workload

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "kernels/kernels.h"
+#include "sparse/csr.h"
+
+namespace hht::workload {
+
+/// Row partitioners for multi-tile scale-out (DESIGN.md §13): split a CSR
+/// matrix's rows into `num_tiles` contiguous, disjoint shards covering
+/// [0, numRows()). Both always return exactly num_tiles shards (trailing
+/// ones may be empty when there are fewer rows than tiles), with
+/// nnz_begin = rowPtr[row_begin] filled in.
+
+/// Static block partition: ceil(num_rows / num_tiles) rows per shard,
+/// ignoring the nonzero distribution. Cheap and cache-friendly, but a
+/// skewed matrix leaves some tiles idle while one drains a dense stripe.
+std::vector<kernels::RowShard> partitionRowsBlock(const sparse::CsrMatrix& m,
+                                                  std::uint32_t num_tiles);
+
+/// NNZ-balanced partition: each shard takes rows until its cumulative
+/// nonzero count reaches the next multiple of nnz/num_tiles. Rows are never
+/// split, so a single pathological row still bounds the imbalance, but
+/// banded/skewed matrices divide far more evenly than the block split.
+std::vector<kernels::RowShard> partitionRowsNnzBalanced(
+    const sparse::CsrMatrix& m, std::uint32_t num_tiles);
+
+}  // namespace hht::workload

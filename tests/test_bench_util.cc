@@ -1,0 +1,129 @@
+// Strict bench CLI parser tests (benchutil::tryParse — the exit-free core
+// of every fig/abl binary's parse()). Regression coverage for two silent
+// wrong-experiment holes: "--jobs=0" (a typo or empty-variable expansion in
+// CI, previously accepted as "serial-ish") and duplicate flags (previously
+// last-one-wins, ambiguous in scripted sweeps).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace hht::benchutil {
+namespace {
+
+/// Build a mutable argv from string literals (argv[0] is the program name).
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : strings(std::move(args)) {
+    strings.insert(strings.begin(), "bench");
+    for (std::string& s : strings) ptrs.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+
+  std::vector<std::string> strings;
+  std::vector<char*> ptrs;
+};
+
+ParseStatus tryParseArgs(std::vector<std::string> args, Options& opt,
+                         std::string& error, bool with_trace = false) {
+  Argv a(std::move(args));
+  return tryParse(a.argc(), a.argv(), with_trace, opt, error);
+}
+
+TEST(BenchUtil, ParsesEveryFlagOnce) {
+  Options opt;
+  std::string error;
+  ASSERT_EQ(tryParseArgs({"--csv", "--size=512", "--seed=7", "--jobs=3",
+                          "--no-fastforward"},
+                         opt, error),
+            ParseStatus::kOk)
+      << error;
+  EXPECT_TRUE(opt.csv);
+  EXPECT_EQ(opt.size, 512u);
+  EXPECT_EQ(opt.seed, 7u);
+  EXPECT_EQ(opt.jobs, 3u);
+  EXPECT_FALSE(opt.fastforward);
+}
+
+TEST(BenchUtil, DefaultsSurviveEmptyCommandLine) {
+  Options opt;
+  std::string error;
+  ASSERT_EQ(tryParseArgs({}, opt, error), ParseStatus::kOk);
+  EXPECT_FALSE(opt.csv);
+  EXPECT_EQ(opt.size, 0u);
+  EXPECT_EQ(opt.jobs, 0u);  // 0 = all hardware threads
+  EXPECT_TRUE(opt.fastforward);
+}
+
+TEST(BenchUtil, RejectsJobsZero) {
+  Options opt;
+  std::string error;
+  EXPECT_EQ(tryParseArgs({"--jobs=0"}, opt, error), ParseStatus::kError);
+  EXPECT_NE(error.find("--jobs"), std::string::npos) << error;
+}
+
+TEST(BenchUtil, RejectsDuplicateFlags) {
+  Options opt;
+  std::string error;
+  EXPECT_EQ(tryParseArgs({"--seed=1", "--seed=2"}, opt, error),
+            ParseStatus::kError);
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  EXPECT_NE(error.find("--seed"), std::string::npos) << error;
+
+  error.clear();
+  Options opt2;
+  EXPECT_EQ(tryParseArgs({"--csv", "--csv"}, opt2, error),
+            ParseStatus::kError);
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(BenchUtil, RejectsUnknownArguments) {
+  Options opt;
+  std::string error;
+  // The historic hole: a typo silently ran the wrong experiment.
+  EXPECT_EQ(tryParseArgs({"--sizes=512"}, opt, error), ParseStatus::kError);
+  EXPECT_NE(error.find("--sizes=512"), std::string::npos) << error;
+}
+
+TEST(BenchUtil, HelpShortCircuits) {
+  Options opt;
+  std::string error;
+  EXPECT_EQ(tryParseArgs({"--help"}, opt, error), ParseStatus::kHelp);
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(BenchUtil, TraceFlagsOnlyExistWhenWired) {
+  {  // Bench without a traced run: --trace is an unknown argument.
+    Options opt;
+    std::string error;
+    EXPECT_EQ(tryParseArgs({"--trace=out.json"}, opt, error,
+                           /*with_trace=*/false),
+              ParseStatus::kError);
+  }
+  {  // Wired: accepted, and an empty file name is rejected.
+    Options opt;
+    std::string error;
+    EXPECT_EQ(tryParseArgs({"--trace=out.json"}, opt, error,
+                           /*with_trace=*/true),
+              ParseStatus::kOk);
+    EXPECT_EQ(opt.trace_file, "out.json");
+
+    Options opt2;
+    EXPECT_EQ(tryParseArgs({"--trace="}, opt2, error, /*with_trace=*/true),
+              ParseStatus::kError);
+    EXPECT_NE(error.find("--trace"), std::string::npos) << error;
+  }
+  {  // Bad category list.
+    Options opt;
+    std::string error;
+    EXPECT_EQ(tryParseArgs({"--trace-categories=cpu,bogus"}, opt, error,
+                           /*with_trace=*/true),
+              ParseStatus::kError);
+    EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+  }
+}
+
+}  // namespace
+}  // namespace hht::benchutil

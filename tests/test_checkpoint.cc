@@ -4,6 +4,8 @@
 // do not match this machine or this program.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "harness/experiment.h"
 #include "sparse/reference.h"
 #include "workload/synthetic.h"
@@ -182,6 +184,33 @@ TEST(Checkpoint, RestoreRejectsMismatchesAndCorruption) {
     std::vector<std::uint8_t> bad = snap;
     bad[0] ^= 0x5A;
     expectCheckpointError(target, bad, w.program);
+  }
+}
+
+// Forward compatibility: a snapshot written by a NEWER simulator build must
+// be rejected with a structured error naming the version skew, never parsed
+// with this build's layout. Regression for the version check accepting any
+// version >= the magic's (it only rejected *older* snapshots, so a v4
+// snapshot's bytes were misinterpreted as v3 sections).
+TEST(Checkpoint, RestoreRejectsSnapshotFromNewerVersion) {
+  const SystemConfig cfg = defaultConfig();
+  System sys(cfg);
+  const Workload w = prepare(sys, 0xC4F0);
+  sys.cpu().loadProgram(w.program);
+  std::vector<std::uint8_t> snap = sys.checkpoint(w.program, 0);
+
+  // The version field sits right after the 4-byte magic.
+  const std::uint32_t newer = kSnapshotVersion + 1;
+  std::memcpy(snap.data() + 4, &newer, sizeof newer);
+
+  System target(cfg);
+  try {
+    target.restore(snap, w.program);
+    ADD_FAILURE() << "restore accepted a snapshot from a newer build";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Checkpoint) << e.what();
+    EXPECT_NE(std::string(e.what()).find("newer"), std::string::npos)
+        << "diagnostic should name the skew direction: " << e.what();
   }
 }
 

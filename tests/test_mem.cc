@@ -3,8 +3,12 @@
 // — the FE's CPU-stall mechanism).
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "mem/layout.h"
 #include "mem/memory_system.h"
+#include "obs/trace.h"
+#include "sim/rng.h"
 
 namespace hht::mem {
 namespace {
@@ -128,6 +132,181 @@ TEST(MemorySystem, CpuPriorityStarvesHhtUnderContention) {
   }
   EXPECT_LT(cpu_done, hht_done);
   EXPECT_GT(mem.stats().value("mem.hht.conflict_cycles"), 0u);
+}
+
+// Regression (starvation bound): under CpuPriority a saturating CPU stream
+// used to defer an HHT grant forever — the arbiter had no rotation escape.
+// With cpu_starvation_limit = L the HHT request must be granted after at
+// most L consecutive CPU grants. This test FAILS pre-fix (the HHT read
+// never completes within the window and forced_rotations stays 0).
+TEST(MemorySystem, CpuPriorityStarvationIsBounded) {
+  MemorySystemConfig cfg = smallConfig();
+  cfg.policy = ArbiterPolicy::CpuPriority;
+  cfg.cpu_starvation_limit = 8;
+  MemorySystem mem(cfg);
+  const RequestId hht = mem.submit({0, 4, false, 0, Requester::Hht});
+  sim::Cycle now = 0;
+  int hht_done = -1;
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    // One fresh CPU read every cycle: the CPU port is never empty, so an
+    // unbounded CpuPriority arbiter would grant CPU forever.
+    const RequestId cpu =
+        mem.submit({static_cast<Addr>(4 + 4 * (cycle % 64)), 4, false, 0,
+                    Requester::Cpu});
+    mem.tick(now++);
+    mem.takeCompleted(cpu);  // drain whatever completed; id reuse-free
+    if (hht_done < 0 && mem.takeCompleted(hht)) hht_done = cycle;
+  }
+  ASSERT_GE(hht_done, 0) << "HHT request starved past the bound";
+  // Granted after at most cpu_starvation_limit CPU grants, plus latency.
+  EXPECT_LE(hht_done,
+            static_cast<int>(cfg.cpu_starvation_limit + cfg.sram_latency + 2));
+  EXPECT_GE(mem.stats().value("mem.arb.forced_rotations"), 1u);
+}
+
+// The pre-fix behaviour stays reachable: limit 0 means unbounded CPU
+// priority, documenting exactly the starvation the bound exists to prevent.
+TEST(MemorySystem, CpuPriorityLimitZeroIsUnbounded) {
+  MemorySystemConfig cfg = smallConfig();
+  cfg.policy = ArbiterPolicy::CpuPriority;
+  cfg.cpu_starvation_limit = 0;
+  MemorySystem mem(cfg);
+  const RequestId hht = mem.submit({0, 4, false, 0, Requester::Hht});
+  sim::Cycle now = 0;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    const RequestId cpu =
+        mem.submit({static_cast<Addr>(4 + 4 * (cycle % 64)), 4, false, 0,
+                    Requester::Cpu});
+    mem.tick(now++);
+    mem.takeCompleted(cpu);
+    EXPECT_FALSE(mem.takeCompleted(hht))
+        << "limit 0 must reproduce the unbounded pre-fix arbiter";
+  }
+  EXPECT_EQ(mem.stats().value("mem.arb.forced_rotations"), 0u);
+}
+
+// Regression (conflict accounting): conflict_cycles counts *cycles a
+// requester spent with work queued but ungranted*, not re-arbitration
+// attempts. Three same-port reads at G=1, latency 1: cycle 0 grants one
+// (2 left waiting -> +1), cycle 1 grants the next (1 left -> +1), cycle 2
+// drains the queue. Exactly 2 — the pre-fix per-waiting-request tally said
+// 3 (and diverged further as queues deepened), inflating every
+// fig6/fig7-style stall attribution.
+TEST(MemorySystem, ConflictCyclesCountUniqueStalledCycles) {
+  MemorySystemConfig cfg = smallConfig();
+  cfg.sram_latency = 1;
+  cfg.grants_per_cycle = 1;
+  MemorySystem mem(cfg);
+  for (int i = 0; i < 3; ++i) {
+    mem.submit({static_cast<Addr>(4 * i), 4, false, 0, Requester::Cpu});
+  }
+  sim::Cycle now = 0;
+  while (!mem.idle() && now < 20) mem.tick(now++);
+  EXPECT_EQ(mem.stats().value("mem.cpu.conflict_cycles"), 2u);
+}
+
+// Property test: random multi-requester schedules over every tile count and
+// both policies. Invariants, independent of policy:
+//   - conservation: every submitted read completes, per-requester grant
+//     counters sum to mem.grants, and each equals that port's submissions;
+//   - bandwidth/exclusivity: never more than grants_per_cycle kMemGrant
+//     events in one cycle;
+//   - bounded wait (RoundRobin only): with per-port outstanding capped at
+//     4, no request waits longer than a full rotation of everyone's cap.
+TEST(MemorySystem, MultiRequesterArbitrationProperties) {
+  for (const std::uint32_t tiles : {1u, 2u, 4u}) {
+    for (const ArbiterPolicy policy :
+         {ArbiterPolicy::CpuPriority, ArbiterPolicy::RoundRobin}) {
+      MemorySystemConfig cfg = smallConfig();
+      cfg.num_tiles = tiles;
+      cfg.policy = policy;
+      cfg.grants_per_cycle = 1;
+      MemorySystem mem(cfg);
+      obs::TraceSink sink;
+      mem.setTraceSink(&sink);
+
+      const std::uint32_t ports = cfg.numRequesters();
+      sim::Rng rng(0xA5B1 + tiles * 16 + static_cast<int>(policy));
+      struct Outstanding {
+        RequestId id;
+        sim::Cycle submitted;
+        std::uint32_t port;
+      };
+      std::vector<Outstanding> pending;
+      std::vector<std::uint32_t> in_flight(ports, 0);
+      std::vector<std::uint64_t> submitted(ports, 0);
+      std::uint64_t max_wait = 0;
+      sim::Cycle now = 0;
+
+      const auto drainCompleted = [&] {
+        for (std::size_t i = 0; i < pending.size();) {
+          if (mem.takeCompleted(pending[i].id)) {
+            max_wait = std::max<std::uint64_t>(max_wait,
+                                               now - pending[i].submitted);
+            --in_flight[pending[i].port];
+            pending[i] = pending.back();
+            pending.pop_back();
+          } else {
+            ++i;
+          }
+        }
+      };
+
+      for (int cycle = 0; cycle < 256; ++cycle) {
+        for (std::uint32_t port = 0; port < ports; ++port) {
+          // ~50% chance per port per cycle, capped at 4 outstanding so the
+          // round-robin wait bound below is meaningful.
+          if (in_flight[port] < 4 && rng.nextBool(0.5)) {
+            const MemAccess access{static_cast<Addr>(4 * port), 4, false, 0,
+                                   requesterRole(port),
+                                   static_cast<std::uint8_t>(
+                                       requesterTile(port))};
+            pending.push_back({mem.submit(access), now, port});
+            ++in_flight[port];
+            ++submitted[port];
+          }
+        }
+        mem.tick(now++);
+        drainCompleted();
+      }
+      while (!mem.idle() && now < 2048) {
+        mem.tick(now++);
+        drainCompleted();
+      }
+      EXPECT_TRUE(pending.empty())
+          << pending.size() << " reads never completed (tiles=" << tiles
+          << ")";
+
+      // Conservation.
+      std::uint64_t total = 0;
+      for (std::uint32_t port = 0; port < ports; ++port) {
+        const std::uint64_t grants =
+            mem.stats().value("mem." + requesterLabel(port) + ".grants");
+        EXPECT_EQ(grants, submitted[port])
+            << "port " << port << " tiles=" << tiles;
+        total += grants;
+      }
+      EXPECT_EQ(mem.stats().value("mem.grants"), total);
+
+      // Bandwidth / per-bank exclusivity: grants per cycle never exceed G.
+      std::map<sim::Cycle, std::uint32_t> grants_at;
+      for (const obs::TraceEvent& ev : sink.events()) {
+        if (ev.kind == obs::EventKind::kMemGrant) ++grants_at[ev.cycle];
+      }
+      for (const auto& [cycle, count] : grants_at) {
+        EXPECT_LE(count, cfg.grants_per_cycle) << "cycle " << cycle;
+      }
+
+      // Bounded wait under round-robin: a port's oldest request is granted
+      // after at most everyone else's full outstanding cap drains ahead of
+      // it, plus its own queue and the SRAM latency.
+      if (policy == ArbiterPolicy::RoundRobin) {
+        const std::uint64_t bound =
+            static_cast<std::uint64_t>(4) * ports + cfg.sram_latency + 8;
+        EXPECT_LE(max_wait, bound) << "tiles=" << tiles;
+      }
+    }
+  }
 }
 
 TEST(MemorySystem, RoundRobinAlternates) {
