@@ -10,6 +10,8 @@
 //                      threads; 1 = serial)
 //   --no-fastforward   disable host-side quiescence skipping (A/B check:
 //                      results must be bit-identical either way)
+//   --timeout-ms=N     host wall-clock budget; the process prints a
+//                      diagnostic and exits 124 if exceeded (HostTimeout)
 // Benches that wire a representative traced run (parse(..., true)) also
 // accept:
 //   --trace=FILE       after the sweep, re-run one representative point
@@ -24,13 +26,18 @@
 // expected values next to the measured ones so a reader can check the
 // reproduced *shape* directly from the output.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/export.h"
 #include "obs/profile.h"
@@ -44,6 +51,7 @@ struct Options {
   std::uint64_t seed = 0x5EED'2022;
   unsigned jobs = 0;          ///< 0 = hardware_concurrency
   bool fastforward = true;    ///< SystemConfig::host_fastforward
+  std::uint32_t timeout_ms = 0;  ///< host wall-clock limit; 0 = none
   std::string trace_file;     ///< empty = no tracing
   std::uint32_t trace_categories = obs::kAllCategories;
 
@@ -57,7 +65,7 @@ struct Options {
   }
   std::fprintf(stderr,
                "usage: %s [--csv] [--size=N] [--seed=S] [--jobs=N]"
-               " [--no-fastforward]%s\n",
+               " [--no-fastforward] [--timeout-ms=N]%s\n",
                prog,
                with_trace ? " [--trace=FILE] [--trace-categories=LIST]" : "");
   std::exit(error == nullptr ? 0 : 2);
@@ -77,9 +85,16 @@ enum class ParseStatus { kOk, kHelp, kError };
 ///  - "--jobs=0" is rejected: 0 is the *absence* default meaning "all
 ///    hardware threads"; an explicit 0 is always a typo for 1 or a
 ///    wrong-variable expansion in CI.
+/// `extra`, when non-null, collects arguments this parser does not know
+/// instead of treating them as errors — for benches that layer their own
+/// flags on top of the shared set (serve_campaign). The caller is then
+/// responsible for rejecting anything left over, so a typo still fails.
 inline ParseStatus tryParse(int argc, char** argv, bool with_trace,
-                            Options& opt, std::string& error) {
-  enum Flag { kCsv, kSize, kSeed, kJobs, kNoFf, kTrace, kTraceCat, kNumFlags };
+                            Options& opt, std::string& error,
+                            std::vector<std::string>* extra = nullptr) {
+  enum Flag {
+    kCsv, kSize, kSeed, kJobs, kNoFf, kTimeout, kTrace, kTraceCat, kNumFlags
+  };
   bool seen[kNumFlags] = {};
   const auto once = [&](Flag f, const char* name) {
     if (seen[f]) {
@@ -111,6 +126,15 @@ inline ParseStatus tryParse(int argc, char** argv, bool with_trace,
     } else if (std::strcmp(arg, "--no-fastforward") == 0) {
       if (!once(kNoFf, "no-fastforward")) return ParseStatus::kError;
       opt.fastforward = false;
+    } else if (std::strncmp(arg, "--timeout-ms=", 13) == 0) {
+      if (!once(kTimeout, "timeout-ms")) return ParseStatus::kError;
+      opt.timeout_ms =
+          static_cast<std::uint32_t>(std::strtoul(arg + 13, nullptr, 10));
+      if (opt.timeout_ms == 0) {
+        error = "--timeout-ms must be >= 1 (omit the flag to run without a "
+                "host watchdog)";
+        return ParseStatus::kError;
+      }
     } else if (with_trace && std::strncmp(arg, "--trace=", 8) == 0) {
       if (!once(kTrace, "trace")) return ParseStatus::kError;
       opt.trace_file = arg + 8;
@@ -129,6 +153,8 @@ inline ParseStatus tryParse(int argc, char** argv, bool with_trace,
       opt.trace_categories = *mask;
     } else if (std::strcmp(arg, "--help") == 0) {
       return ParseStatus::kHelp;
+    } else if (extra != nullptr) {
+      extra->push_back(arg);
     } else {
       error = std::string("unknown argument '") + arg + "'";
       return ParseStatus::kError;
@@ -182,5 +208,56 @@ inline void writeTraceIfRequested(const Options& opt, std::ostream& os,
      << " dropped) -> " << f << " [" << (json ? "perfetto" : "csv") << "]\n"
      << rep.table();
 }
+
+/// Host wall-clock watchdog (--timeout-ms). The *simulated* watchdog bounds
+/// simulated time; this bounds host time — the failure mode it exists for
+/// is a campaign that wedges at the host level (a stuck thread pool, an
+/// accidental unbounded sweep), which no in-simulation check can see. On
+/// expiry it prints a diagnostic and _Exit(124)s (the conventional timeout
+/// status), skipping destructors on purpose: the process is by definition
+/// not making progress, so unwinding it could block forever.
+///
+/// Arm it right after parsing flags; destruction (normal exit) disarms.
+/// timeout_ms == 0 constructs a disarmed, zero-cost watchdog.
+class HostTimeout {
+ public:
+  explicit HostTimeout(std::uint32_t timeout_ms,
+                       const char* what = "campaign") {
+    if (timeout_ms == 0) return;
+    armed_ = true;
+    thread_ = std::thread([this, timeout_ms, what] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       [this] { return disarmed_; })) {
+        return;
+      }
+      std::fprintf(stderr,
+                   "%s still running after --timeout-ms=%u — aborting with "
+                   "exit status 124\n",
+                   what, timeout_ms);
+      std::_Exit(124);
+    });
+  }
+
+  ~HostTimeout() {
+    if (!armed_) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  HostTimeout(const HostTimeout&) = delete;
+  HostTimeout& operator=(const HostTimeout&) = delete;
+
+ private:
+  bool armed_ = false;
+  bool disarmed_ = false;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
 
 }  // namespace hht::benchutil

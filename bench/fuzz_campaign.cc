@@ -8,6 +8,7 @@
 //
 //   fuzz_campaign --seed S --runs N [--engine gather|merge-v1|stream-v2|
 //                 hier|flat] [--inject-bug N] [--out DIR] [--jobs N]
+//                 [--timeout-ms N]
 //
 // Runs are independent (each derives its own RNG stream from the campaign
 // seed and its index), so the case-generation + co-simulation phase fans
@@ -22,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "harness/sweep.h"
 #include "verify/fuzz.h"
 #include "verify/replay.h"
@@ -38,6 +40,7 @@ struct Options {
   std::uint64_t inject_bug = ~0ull;  ///< test_flip_element for self-test
   std::string out_dir = ".";
   unsigned jobs = 0;  ///< 0 = hardware_concurrency
+  std::uint32_t timeout_ms = 0;  ///< host wall-clock budget; 0 = none
 };
 
 const char* nextArg(int argc, char** argv, int& i, const char* flag) {
@@ -70,6 +73,12 @@ Options parse(int argc, char** argv) {
       opt.out_dir = v;
     } else if (const char* v = value("--jobs")) {
       opt.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--timeout-ms")) {
+      opt.timeout_ms = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (opt.timeout_ms == 0) {
+        std::cerr << "--timeout-ms must be >= 1\n";
+        std::exit(2);
+      }
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       std::exit(2);
@@ -126,6 +135,9 @@ void emitBundle(const Options& opt, const verify::CosimCase& c,
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  // Host watchdog: a wedged campaign (host-level hang, runaway sweep) dies
+  // with status 124 instead of stalling CI at its much larger job timeout.
+  benchutil::HostTimeout watchdog(opt.timeout_ms, "fuzz campaign");
   const std::vector<verify::EngineKind> engines = selectEngines(opt.engine);
 
   // Phase 1 (parallel): each run derives its operands from mix(seed, i)

@@ -171,7 +171,8 @@ void Core::tick(Cycle now) {
               requester_ == mem::Requester::Cpu ? "cpu" : "uhht-core",
               "uncorrectable memory error on scalar load from addr=" +
                   std::to_string(load_addr_) + " at pc=" +
-                  std::to_string(pc_));
+                  std::to_string(pc_),
+              {}, tile_);
         }
         const Instr& in = load_instr_;
         const std::uint32_t raw = response->data;
@@ -672,7 +673,8 @@ void Core::tickVecMem(Cycle now) {
             sim::ErrorKind::MachineCheck,
             requester_ == mem::Requester::Cpu ? "cpu" : "uhht-core",
             "uncorrectable memory error on vector element load, lane " +
-                std::to_string(e.lane) + " at pc=" + std::to_string(pc_));
+                std::to_string(e.lane) + " at pc=" + std::to_string(pc_),
+            {}, tile_);
       }
       v_[in.rd][e.lane] = response->data;
       return true;

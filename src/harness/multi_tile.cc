@@ -11,8 +11,8 @@ namespace {
 constexpr Addr kArenaBase = 0x1000;  // matches System: address 0 stays unmapped
 
 /// Pre-construction validation: same hook as System, plus the multi-tile
-/// restrictions (ASIC HHTs only, no fault campaigns — those features model
-/// single-tile robustness and have no per-tile story yet).
+/// restriction (ASIC HHTs only — the programmable HHT models a single-tile
+/// microarchitecture study and has no per-tile story).
 const SystemConfig& multiTileValidated(const SystemConfig& config) {
   config.validate();
   if (config.programmable_hht) {
@@ -20,12 +20,18 @@ const SystemConfig& multiTileValidated(const SystemConfig& config) {
                         "MultiTileSystem supports ASIC HHTs only "
                         "(programmable_hht requires harness::System)");
   }
-  if (config.faults.enabled) {
-    throw sim::SimError(sim::ErrorKind::Config, "multi_tile",
-                        "MultiTileSystem does not support fault injection "
-                        "(faults.enabled requires harness::System)");
-  }
   return config;
+}
+
+/// Tile t's fault configuration: tile 0 keeps the base seed (a 1-tile
+/// faulty MultiTileSystem must stay bit-identical to a System under the
+/// same config); other tiles mix the tile index in with a golden-ratio
+/// stride so per-tile fault streams are independent but reproducible.
+sim::FaultConfig tileFaultConfig(const sim::FaultConfig& base,
+                                 std::uint32_t tile) {
+  sim::FaultConfig f = base;
+  f.seed = base.seed + 0x9E3779B97F4A7C15ull * tile;
+  return f;
 }
 }  // namespace
 
@@ -37,11 +43,18 @@ MultiTileSystem::MultiTileSystem(const SystemConfig& config)
       arena_(kArenaBase, config.memory.sram_bytes - kArenaBase) {
   hhts_.reserve(num_tiles_);
   cpus_.reserve(num_tiles_);
+  injectors_.resize(num_tiles_);
   for (std::uint32_t t = 0; t < num_tiles_; ++t) {
     hhts_.push_back(std::make_unique<core::Hht>(config.hht, *mem_, t));
     mem_->attachMmioDevice(hhts_.back().get(), t);
     cpus_.push_back(std::make_unique<cpu::Core>(
         config.timing, *mem_, config.vlmax, mem::Requester::Cpu, t));
+    if (config.faults.enabled) {
+      injectors_[t] = std::make_unique<sim::FaultInjector>(
+          tileFaultConfig(config.faults, t));
+      mem_->setTileFaultInjector(t, injectors_[t].get());
+      hhts_[t]->setFaultInjector(injectors_[t].get());
+    }
   }
   if (config.trace_sink != nullptr) {
     mem_->setTraceSink(config.trace_sink);
@@ -89,17 +102,28 @@ RunResult MultiTileSystem::resume(const std::vector<isa::Program>& programs,
 RunResult MultiTileSystem::runLoop(Addr y_addr, std::uint32_t y_len,
                                    Cycle start_cycle, Cycle max_cycles,
                                    MultiTileObserver* observer) {
-  sim::Watchdog watchdog(config_.watchdog_cycles);
-  const std::uint64_t* mem_grants = &mem_->stats().counter("mem.grants");
+  // One watchdog per tile over that tile's own progress sum (its core's
+  // retirement, its HHT's FIFO/BE activity, its two arbiter ports' grants):
+  // a single wedged tile fires SimError(Watchdog) attributed to that tile
+  // even while the others keep the global sum moving. Halted tiles are
+  // excluded — a tile that finished early makes no progress by design.
+  std::vector<sim::Watchdog> watchdogs;
+  watchdogs.reserve(num_tiles_);
   std::vector<const std::uint64_t*> retired;
+  std::vector<const std::uint64_t*> grants_cpu;
+  std::vector<const std::uint64_t*> grants_hht;
   retired.reserve(num_tiles_);
-  for (auto& c : cpus_) retired.push_back(&c->stats().counter("cpu.retired"));
-  const auto progress = [&] {
-    std::uint64_t p = *mem_grants;
-    for (std::uint32_t t = 0; t < num_tiles_; ++t) {
-      p += *retired[t] + hhts_[t]->progressSignal();
-    }
-    return p;
+  for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+    watchdogs.emplace_back(config_.watchdog_cycles, static_cast<int>(t));
+    retired.push_back(&cpus_[t]->stats().counter("cpu.retired"));
+    grants_cpu.push_back(&mem_->stats().counter(
+        "mem." + mem::requesterLabel(2 * t) + ".grants"));
+    grants_hht.push_back(&mem_->stats().counter(
+        "mem." + mem::requesterLabel(2 * t + 1) + ".grants"));
+  }
+  const auto tileProgress = [&](std::uint32_t t) {
+    return *retired[t] + hhts_[t]->progressSignal() + *grants_cpu[t] +
+           *grants_hht[t];
   };
 
   // Fast-forward gating mirrors System: any observer or any attached sink
@@ -130,15 +154,19 @@ RunResult MultiTileSystem::runLoop(Addr y_addr, std::uint32_t y_len,
             "tile " + std::to_string(t) + " HHT raised fault [" +
                 sim::faultCauseName(result.fault_cause) +
                 "]: " + result.fault_detail,
-            dumpDiagnostics(now));
+            dumpDiagnostics(now), static_cast<int>(t));
       }
     }
     if (observer != nullptr) observer->onCycle(*this, now);
     bool all_halted = true;
     for (auto& c : cpus_) all_halted = all_halted && c->halted();
     if (all_halted && mem_->idle()) break;
-    if (watchdog.due(now)) {
-      watchdog.observe(now, progress(), [&] { return dumpDiagnostics(now); });
+    if (!watchdogs.empty() && watchdogs[0].due(now)) {
+      for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+        if (cpus_[t]->halted()) continue;
+        watchdogs[t].observe(now, tileProgress(t),
+                             [&] { return dumpDiagnostics(now); });
+      }
     }
     if (allow_ff && now >= ff_next_attempt) {
       // Skip only when EVERY tile is quiescent: the earliest next event
@@ -161,7 +189,11 @@ RunResult MultiTileSystem::runLoop(Addr y_addr, std::uint32_t y_len,
         ff_next_attempt = now + ff_backoff;
       } else {
         Cycle target = std::min(ev, max_cycles);
-        target = std::min(target, watchdog.observeSkip(now, progress()));
+        for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+          if (cpus_[t]->halted()) continue;
+          target =
+              std::min(target, watchdogs[t].observeSkip(now, tileProgress(t)));
+        }
         if (target > now + 1) {
           const Cycle skipped = target - (now + 1);
           for (auto& c : cpus_) c->skipCycles(skipped);
@@ -213,6 +245,7 @@ RunResult MultiTileSystem::runLoop(Addr y_addr, std::uint32_t y_len,
     const std::string prefix = t == 0 ? "" : "t" + std::to_string(t) + ".";
     result.stats.absorb(cpus_[t]->stats(), prefix);
     result.stats.absorb(hhts_[t]->stats(), prefix);
+    if (injectors_[t]) result.stats.absorb(injectors_[t]->stats(), prefix);
   }
   return result;
 }
@@ -232,6 +265,11 @@ std::vector<std::uint8_t> MultiTileSystem::checkpoint(
   w.u64(next_cycle);
   mem_->serialize(w);
   for (std::uint32_t t = 0; t < num_tiles_; ++t) {
+    // v4: each tile's fault-injector (RNG + stats) precedes its HHT/core
+    // sections, so a restored campaign replays the same per-tile fault
+    // stream it would have seen uninterrupted.
+    w.b(injectors_[t] != nullptr);
+    if (injectors_[t]) injectors_[t]->serialize(w);
     hhts_[t]->serialize(w);
     cpus_[t]->serialize(w);
   }
@@ -280,14 +318,30 @@ Cycle MultiTileSystem::restore(const std::vector<std::uint8_t>& snapshot,
                           "tile " + std::to_string(t) +
                               " snapshot records program '" + prog_name +
                               "', got '" + programs[t].name() +
-                              "' (or the code differs)");
+                              "' (or the code differs)",
+                          {}, static_cast<int>(t));
     }
   }
   const Cycle next_cycle = r.u64();
   mem_->deserialize(r);
   for (std::uint32_t t = 0; t < num_tiles_; ++t) {
-    hhts_[t]->deserialize(r);
-    cpus_[t]->deserialize(r);
+    // Attribute section-level corruption to the tile whose section was
+    // being decoded — serving logs need to name the tile, and the reader's
+    // own errors only know the byte offset.
+    try {
+      const bool has_injector = r.b();
+      if (has_injector != (injectors_[t] != nullptr)) {
+        throw sim::SimError(sim::ErrorKind::Checkpoint, "multi_tile",
+                            "snapshot fault-injector presence does not "
+                            "match this system's tile");
+      }
+      if (injectors_[t]) injectors_[t]->deserialize(r);
+      hhts_[t]->deserialize(r);
+      cpus_[t]->deserialize(r);
+    } catch (const sim::SimError& e) {
+      throw e.tile() == sim::SimError::kNoTile ? e.withTile(static_cast<int>(t))
+                                               : e;
+    }
   }
   if (!r.atEnd()) {
     throw sim::SimError(sim::ErrorKind::Checkpoint, "multi_tile",

@@ -32,9 +32,19 @@ class MultiTileObserver {
 /// System's lockstep, and a 1-tile MultiTileSystem is cycle- and
 /// bit-identical to a System under the same config.
 ///
-/// Deliberately narrower than System: ASIC HHTs only, no fault-injection
-/// campaigns, no graceful-degradation fallback (both are single-tile
-/// robustness features; a config requesting them is rejected).
+/// Fault injection (config.faults) is per tile: each tile draws from its
+/// own seeded FaultInjector (tile 0 keeps config.faults.seed so a 1-tile
+/// faulty MultiTileSystem stays bit-identical to a System; other tiles mix
+/// the tile index into the seed), so one tile's fault history never
+/// perturbs another's. There is no graceful-degradation fallback at this
+/// level — a tile's HHT fault surfaces as a SimError(DeviceFault) carrying
+/// the tile index, and the serving layer (src/serve) owns the retry /
+/// degrade / quarantine policy. Each tile is also watched by its own
+/// forward-progress watchdog, so a wedged tile fires SimError(Watchdog)
+/// attributed to that tile.
+///
+/// Deliberately narrower than System: ASIC HHTs only (programmable_hht is
+/// rejected).
 class MultiTileSystem {
  public:
   explicit MultiTileSystem(const SystemConfig& config);
@@ -45,6 +55,10 @@ class MultiTileSystem {
   const SystemConfig& config() const { return config_; }
   cpu::Core& cpu(std::uint32_t tile) { return *cpus_.at(tile); }
   core::Hht& hht(std::uint32_t tile) { return *hhts_.at(tile); }
+  /// Tile `tile`'s fault injector; null unless config().faults.enabled.
+  sim::FaultInjector* faultInjector(std::uint32_t tile) {
+    return injectors_.at(tile).get();
+  }
   /// Tile t's MMIO window base — the mmio_base to build tile t's kernel
   /// against.
   Addr mmioBaseOf(std::uint32_t tile) const { return mem_->mmioBaseOf(tile); }
@@ -74,9 +88,10 @@ class MultiTileSystem {
                    Cycle max_cycles = 500'000'000,
                    MultiTileObserver* observer = nullptr);
 
-  /// Snapshot v3 with per-tile sections: the common header (magic, version,
-  /// config fingerprint) is followed by the tile count, each tile's program
-  /// identity, the shared memory system, and one HHT+core section per tile.
+  /// Snapshot (kSnapshotVersion) with per-tile sections: the common header
+  /// (magic, version, config fingerprint) is followed by the tile count,
+  /// each tile's program identity, the shared memory system, and one
+  /// injector(v4)+HHT+core section per tile.
   std::vector<std::uint8_t> checkpoint(
       const std::vector<isa::Program>& programs, Cycle next_cycle) const;
 
@@ -101,6 +116,8 @@ class MultiTileSystem {
   SystemConfig config_;
   std::uint32_t num_tiles_;
   std::unique_ptr<mem::MemorySystem> mem_;
+  /// Per-tile injectors (empty slots when faults are disabled).
+  std::vector<std::unique_ptr<sim::FaultInjector>> injectors_;
   std::vector<std::unique_ptr<core::Hht>> hhts_;
   std::vector<std::unique_ptr<cpu::Core>> cpus_;
   std::vector<obs::TraceSink*> tile_sinks_;  ///< per tile; may hold nulls

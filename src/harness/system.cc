@@ -233,6 +233,23 @@ RunResult System::resume(const isa::Program& program, Addr y_addr,
                          Cycle max_cycles, const isa::Program* fallback,
                          RunObserver* observer) {
   cpu_->installProgram(program);
+  if (degraded_active_) {
+    // The snapshot was taken mid-degraded-fallback: `program` is the
+    // fallback the machine was re-running. Finish that loop — injection
+    // stays detached, exactly as in the uninterrupted degraded rerun.
+    degradedLoop(program, start_cycle, max_cycles, observer);
+    if (injector_) {
+      mem_->setFaultInjector(injector_.get());
+      hht_->setFaultInjector(injector_.get());
+    }
+    degraded_active_ = false;
+    RunResult result;
+    result.degraded = true;
+    result.fault_cause = degraded_cause_;
+    result.fault_detail = degraded_detail_;
+    finishResult(result, y_addr, y_len);
+    return result;
+  }
   return runLoop(program, y_addr, y_len, start_cycle, max_cycles, fallback,
                  observer);
 }
@@ -297,7 +314,9 @@ RunResult System::runLoop(const isa::Program& program, Addr y_addr,
                 result.fault_detail,
             dumpDiagnostics(now));
       }
-      degradedRerun(*fallback, max_cycles);
+      degraded_cause_ = result.fault_cause;
+      degraded_detail_ = result.fault_detail;
+      degradedRerun(*fallback, max_cycles, observer);
       result.degraded = true;
       break;
     }
@@ -358,6 +377,12 @@ RunResult System::runLoop(const isa::Program& program, Addr y_addr,
                              now + 1);
   }
 
+  finishResult(result, y_addr, y_len);
+  return result;
+}
+
+void System::finishResult(RunResult& result, Addr y_addr,
+                          std::uint32_t y_len) {
   result.cycles = cpu_->stats().value("cpu.cycles");
   result.retired = cpu_->stats().value("cpu.retired");
   result.cpu_wait_cycles = hht_->cpuWaitCycles();
@@ -371,7 +396,6 @@ RunResult System::runLoop(const isa::Program& program, Addr y_addr,
   result.stats.absorb(mem_->stats(), "");
   result.stats.absorb(hht_->stats(), "");
   if (injector_) result.stats.absorb(injector_->stats(), "");
-  return result;
 }
 
 std::vector<std::uint8_t> System::checkpoint(const isa::Program& program,
@@ -383,6 +407,14 @@ std::vector<std::uint8_t> System::checkpoint(const isa::Program& program,
   w.str(program.name());
   w.u64(programHash(program));
   w.u64(next_cycle);
+  // v4: degraded-mode continuation state. When taken mid-fallback-rerun the
+  // recorded program IS the fallback, and restore()+resume() must land in
+  // the degraded loop (injection detached) rather than the primary one.
+  w.b(degraded_active_);
+  if (degraded_active_) {
+    w.u8(static_cast<std::uint8_t>(degraded_cause_));
+    w.str(degraded_detail_);
+  }
   w.b(injector_ != nullptr);
   if (injector_) injector_->serialize(w);
   mem_->serialize(w);
@@ -429,6 +461,14 @@ Cycle System::restore(const std::vector<std::uint8_t>& snapshot,
                             "' (or the code differs)");
   }
   const Cycle next_cycle = r.u64();
+  degraded_active_ = r.b();
+  if (degraded_active_) {
+    degraded_cause_ = static_cast<sim::FaultCause>(r.u8());
+    degraded_detail_ = r.str();
+  } else {
+    degraded_cause_ = sim::FaultCause::None;
+    degraded_detail_.clear();
+  }
   const bool has_injector = r.b();
   if (has_injector != (injector_ != nullptr)) {
     throw sim::SimError(sim::ErrorKind::Checkpoint, "system",
@@ -444,11 +484,18 @@ Cycle System::restore(const std::vector<std::uint8_t>& snapshot,
                         std::to_string(r.remaining()) +
                             " trailing bytes after snapshot payload");
   }
+  if (degraded_active_) {
+    // Mid-fallback snapshot: the rerun executes with injection detached;
+    // resume() re-arms it once the degraded loop completes.
+    mem_->setFaultInjector(nullptr);
+    hht_->setFaultInjector(nullptr);
+  }
   cpu_->installProgram(program);
   return next_cycle;
 }
 
-void System::degradedRerun(const isa::Program& fallback, Cycle max_cycles) {
+void System::degradedRerun(const isa::Program& fallback, Cycle max_cycles,
+                           RunObserver* observer) {
   // Quiesce: stop injecting (the recovery run must succeed), drop every
   // in-flight access (stale responses must not leak into the rerun) and
   // return the device to its reset state.
@@ -458,11 +505,31 @@ void System::degradedRerun(const isa::Program& fallback, Cycle max_cycles) {
   hht_->reset();
 
   cpu_->loadProgram(fallback);
-  Cycle now = 0;
+  degradedLoop(fallback, 0, max_cycles, observer);
+
+  // Re-arm injection for any subsequent run on this System.
+  if (injector_) {
+    mem_->setFaultInjector(injector_.get());
+    hht_->setFaultInjector(injector_.get());
+  }
+  degraded_active_ = false;
+}
+
+void System::degradedLoop(const isa::Program& fallback, Cycle start_cycle,
+                          Cycle max_cycles, RunObserver* observer) {
+  // The fallback loop restarts its cycle numbering at 0 and never injects
+  // or polls the FAULT MMR (the device was reset; the fallback is
+  // CPU-only). Observers still see every executed cycle — that is what
+  // lets a mid-degraded checkpoint fire at an exact degraded cycle —
+  // with degradedActive() distinguishing these cycles from primary ones.
+  degraded_active_ = true;
+  Cycle now = start_cycle;
   for (; now < max_cycles; ++now) {
     hht_->tick(now);
     cpu_->tick(now);
     mem_->tick(now);
+    if (observer != nullptr) observer->onCycle(*this, now);
+    for (RunObserver* o : observers_) o->onCycle(*this, now);
     if (cpu_->halted() && mem_->idle()) break;
   }
   if (now >= max_cycles) {
@@ -470,12 +537,6 @@ void System::degradedRerun(const isa::Program& fallback, Cycle max_cycles) {
                         "degraded fallback run exceeded max_cycles running " +
                             fallback.name(),
                         dumpDiagnostics(now));
-  }
-
-  // Re-arm injection for any subsequent run on this System.
-  if (injector_) {
-    mem_->setFaultInjector(injector_.get());
-    hht_->setFaultInjector(injector_.get());
   }
 }
 

@@ -87,10 +87,15 @@ SystemConfig readSystemConfig(sim::StateReader& r);
 /// MemAccess records carry a tile byte, the arbiter serializes its
 /// rotation pointers + CPU streak, writeSystemConfig covers
 /// num_tiles/cpu_starvation_limit, and MultiTileSystem snapshots append
-/// per-tile HHT/CPU sections. restore() fails with SimError(Checkpoint) on
-/// any other version — and with a distinct "newer than this binary" error
-/// when the snapshot is from the future (no best-effort field skipping).
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+/// per-tile HHT/CPU sections. v4: degraded-mode continuation — System
+/// snapshots record whether the machine was mid-degraded-fallback (plus
+/// the latched fault cause/detail) so a checkpoint taken during the
+/// graceful-degradation rerun restores into the degraded loop, and
+/// MultiTileSystem snapshots carry per-tile fault-injector sections.
+/// restore() fails with SimError(Checkpoint) on any other version — and
+/// with a distinct "newer than this binary" error when the snapshot is
+/// from the future (no best-effort field skipping).
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 /// FNV-1a fingerprint of writeSystemConfig(cfg)'s bytes — the identity
 /// restore() checks before touching any component state.
@@ -202,6 +207,11 @@ class System {
   /// Multi-line snapshot of every component (watchdog / fault dumps).
   std::string dumpDiagnostics(Cycle now) const;
 
+  /// True while the machine is executing (or restored into) the
+  /// graceful-degradation fallback rerun. Observers use this to tell
+  /// degraded-loop cycles (which restart at 0) from primary-run cycles.
+  bool degradedActive() const { return degraded_active_; }
+
   /// Host cycles elapsed via fast-forward during the most recent run() /
   /// resume() (host diagnostic, not a simulated statistic — it never
   /// appears in RunResult::stats).
@@ -229,7 +239,14 @@ class System {
   RunResult runLoop(const isa::Program& program, Addr y_addr,
                     std::uint32_t y_len, Cycle start_cycle, Cycle max_cycles,
                     const isa::Program* fallback, RunObserver* observer);
-  void degradedRerun(const isa::Program& fallback, Cycle max_cycles);
+  void degradedRerun(const isa::Program& fallback, Cycle max_cycles,
+                     RunObserver* observer);
+  /// Continue the degraded fallback loop from `start_cycle` (degraded
+  /// resume path); shared by degradedRerun (start_cycle 0) and resume().
+  void degradedLoop(const isa::Program& fallback, Cycle start_cycle,
+                    Cycle max_cycles, RunObserver* observer);
+  /// Read back y + merge stats into `result` (common run/resume tail).
+  void finishResult(RunResult& result, Addr y_addr, std::uint32_t y_len);
 
   SystemConfig config_;
   std::unique_ptr<sim::FaultInjector> injector_;  ///< null when disabled
@@ -241,6 +258,12 @@ class System {
   mem::Arena arena_;
   std::vector<RunObserver*> observers_;  ///< borrowed; see addObserver
   std::uint64_t host_skipped_cycles_ = 0;
+  /// Degraded-mode continuation state (serialized, v4): while true the
+  /// machine is inside the fallback rerun — injection is detached and a
+  /// resume() continues the degraded loop instead of the primary one.
+  bool degraded_active_ = false;
+  sim::FaultCause degraded_cause_ = sim::FaultCause::None;
+  std::string degraded_detail_;
 };
 
 // --- workload loaders: place operands into simulated SRAM ---

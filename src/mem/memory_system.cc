@@ -53,7 +53,8 @@ MemorySystem::MemorySystem(const MemorySystemConfig& config)
     : config_(config),
       num_requesters_(config.numRequesters()),
       sram_(config.sram_bytes),
-      mmio_devices_(config.num_tiles, nullptr) {
+      mmio_devices_(config.num_tiles, nullptr),
+      injectors_(config.num_tiles, nullptr) {
   reads_.resize(num_requesters_);
   writes_.resize(num_requesters_);
   mmio_requests_.resize(num_requesters_);
@@ -90,18 +91,21 @@ RequestId MemorySystem::submit(const MemAccess& access) {
   if (access.size != 1 && access.size != 2 && access.size != 4) {
     throw SimError(ErrorKind::Memory, requesterName(access.requester),
                    "oversized access: size=" + std::to_string(access.size) +
-                       " at addr=" + std::to_string(access.addr));
+                       " at addr=" + std::to_string(access.addr),
+                   {}, access.tile);
   }
   if (access.addr % access.size != 0) {
     throw SimError(ErrorKind::Memory, requesterName(access.requester),
                    "misaligned access: addr=" + std::to_string(access.addr) +
-                       " size=" + std::to_string(access.size));
+                       " size=" + std::to_string(access.size),
+                   {}, access.tile);
   }
   if (access.tile >= config_.num_tiles) {
     throw SimError(ErrorKind::Memory, requesterName(access.requester),
                    "access from tile " + std::to_string(access.tile) +
                        " but the memory system has " +
-                       std::to_string(config_.num_tiles) + " tile(s)");
+                       std::to_string(config_.num_tiles) + " tile(s)",
+                   {}, access.tile);
   }
   const RequestId id = next_id_++;
   const std::uint32_t who = requesterIndex(access);
@@ -112,7 +116,8 @@ RequestId MemorySystem::submit(const MemAccess& access) {
         config_.mmio_size) {
       throw SimError(ErrorKind::Memory, requesterName(access.requester),
                      "MMIO access crosses the window end: addr=" +
-                         std::to_string(access.addr));
+                         std::to_string(access.addr),
+                     {}, access.tile);
     }
     mmio_queue_.push_back({id, access});
     ++*mmio_requests_[who];
@@ -122,7 +127,8 @@ RequestId MemorySystem::submit(const MemAccess& access) {
                      "SRAM access out of bounds: addr=" +
                          std::to_string(access.addr) +
                          " size=" + std::to_string(access.size) +
-                         " sram_bytes=" + std::to_string(sram_.size()));
+                         " sram_bytes=" + std::to_string(sram_.size()),
+                     {}, access.tile);
     }
     sram_queue_.push_back({id, access});
     ++*(access.is_write ? writes_[who] : reads_[who]);
@@ -182,21 +188,22 @@ void MemorySystem::grant(const Pending& pending, Cycle now) {
   }
   std::uint32_t data = sram_.read(a.addr, a.size);
   bool poisoned = false;
-  if (injector_ != nullptr) {
+  sim::FaultInjector* const injector = injectors_[a.tile];
+  if (injector != nullptr) {
     // ECC path: a flip on the read port is always *detected* (SECDED-style
     // model); the controller re-reads up to ecc_retry_limit times, each
     // attempt paying another array access. A flip that recurs on every
     // attempt is delivered poisoned — consumers must not use the payload.
     const std::uint32_t clean = data;
-    if (injector_->corruptReadData(data)) {
+    if (injector->corruptReadData(data)) {
       ++*ecc_detected_;
-      const std::uint32_t limit = injector_->config().ecc_retry_limit;
+      const std::uint32_t limit = injector->config().ecc_retry_limit;
       std::uint32_t attempt = 0;
       for (; attempt < limit; ++attempt) {
         ++*ecc_retries_;
         latency += config_.sram_latency;
         data = clean;
-        if (!injector_->corruptReadData(data)) break;
+        if (!injector->corruptReadData(data)) break;
       }
       if (attempt < limit) {
         ++*ecc_corrected_;
@@ -205,15 +212,15 @@ void MemorySystem::grant(const Pending& pending, Cycle now) {
         poisoned = true;
       }
     }
-    if (injector_->dropResponse()) {
+    if (injector->dropResponse()) {
       // Dropped response: the controller times out and re-requests; the
       // requester just sees a long-latency completion.
       ++*drop_recoveries_;
-      latency += injector_->config().drop_penalty_cycles;
+      latency += injector->config().drop_penalty_cycles;
     }
-    if (injector_->delayResponse()) {
+    if (injector->delayResponse()) {
       ++*delayed_responses_;
-      latency += injector_->config().delay_cycles;
+      latency += injector->config().delay_cycles;
     }
   }
   in_flight_.push_back({pending.id, now + latency, data, poisoned});

@@ -116,12 +116,28 @@ class MemorySystem {
     trace_bucket_ = obs::kNoBucket;
   }
 
-  /// Wire the shared fault injector (nullptr = no injection, zero cost).
-  /// Injection applies to SRAM read grants: bit flips (detected by ECC and
-  /// retried up to FaultConfig::ecc_retry_limit times, else poisoned),
-  /// dropped responses (controller re-request after drop_penalty_cycles)
-  /// and delayed responses.
-  void setFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
+  /// Wire the fault injector for tile 0 (nullptr = no injection, zero
+  /// cost). Injection applies to SRAM read grants: bit flips (detected by
+  /// ECC and retried up to FaultConfig::ecc_retry_limit times, else
+  /// poisoned), dropped responses (controller re-request after
+  /// drop_penalty_cycles) and delayed responses.
+  void setFaultInjector(sim::FaultInjector* injector) {
+    injectors_[0] = injector;
+  }
+
+  /// Per-tile injector wiring (multi-tile fault containment: each tile's
+  /// SRAM read traffic draws from its own seeded injector, so one tile's
+  /// fault history never perturbs another's). Tile 0 via the single-arg
+  /// overload is identical to setTileFaultInjector(0, ...).
+  void setTileFaultInjector(std::uint32_t tile, sim::FaultInjector* injector) {
+    if (tile >= config_.num_tiles) {
+      throw sim::SimError(sim::ErrorKind::Config, "mem",
+                          "setTileFaultInjector: tile " + std::to_string(tile) +
+                              " out of range (num_tiles=" +
+                              std::to_string(config_.num_tiles) + ")");
+    }
+    injectors_[tile] = injector;
+  }
 
   /// Drop every queued and in-flight access (graceful-degradation path:
   /// the harness aborts a faulted run and re-runs on the software
@@ -207,7 +223,7 @@ class MemorySystem {
   std::unique_ptr<Cache> cpu_cache_;
   std::unique_ptr<Cache> hht_cache_;
   std::vector<MmioDevice*> mmio_devices_;  ///< one window per tile
-  sim::FaultInjector* injector_ = nullptr;
+  std::vector<sim::FaultInjector*> injectors_;  ///< one (optional) per tile
 
   // Arrival-ordered vectors (arrival order IS the arbitration tiebreak and
   // the serialized format): all three stay short, and the arbiter scans

@@ -1,0 +1,114 @@
+#include "serve/health.h"
+
+namespace hht::serve {
+
+TileHealth::TileHealth(std::uint32_t num_tiles, const Config& cfg)
+    : cfg_(cfg) {
+  cfg_.validate();
+  if (num_tiles == 0) {
+    throw sim::SimError(sim::ErrorKind::Config, "serve",
+                        "TileHealth needs at least one tile");
+  }
+  tiles_.resize(num_tiles);
+  for (Tile& t : tiles_) t.ring.assign(cfg_.window, 0);
+}
+
+TileHealth::Tile& TileHealth::at(std::uint32_t tile) {
+  if (tile >= tiles_.size()) {
+    throw sim::SimError(sim::ErrorKind::Config, "serve",
+                        "tile " + std::to_string(tile) + " out of range",
+                        {}, static_cast<int>(tile));
+  }
+  return tiles_[tile];
+}
+
+const TileHealth::Tile& TileHealth::at(std::uint32_t tile) const {
+  return const_cast<TileHealth*>(this)->at(tile);
+}
+
+void TileHealth::record(std::uint32_t tile, bool fault) {
+  Tile& t = at(tile);
+  if (t.filled == cfg_.window) {
+    t.faults -= t.ring[t.head];  // evict the oldest sample
+  } else {
+    ++t.filled;
+  }
+  t.ring[t.head] = fault ? 1 : 0;
+  t.faults += t.ring[t.head];
+  t.head = (t.head + 1) % cfg_.window;
+  if (!t.quarantined && t.filled >= cfg_.min_samples &&
+      static_cast<double>(t.faults) >=
+          cfg_.fault_rate_threshold * static_cast<double>(t.filled)) {
+    t.quarantined = true;
+    t.cooldown = cfg_.probe_period;
+    ++quarantine_events_;
+  }
+}
+
+void TileHealth::probeFailed(std::uint32_t tile) {
+  Tile& t = at(tile);
+  t.cooldown = cfg_.probe_period;
+}
+
+void TileHealth::reinstate(std::uint32_t tile) {
+  Tile& t = at(tile);
+  t.quarantined = false;
+  t.cooldown = 0;
+  t.filled = 0;
+  t.faults = 0;
+  t.head = 0;
+  for (auto& slot : t.ring) slot = 0;
+  ++reinstate_events_;
+}
+
+void TileHealth::tickBatch() {
+  for (Tile& t : tiles_) {
+    if (t.quarantined && t.cooldown > 0) --t.cooldown;
+  }
+}
+
+std::uint32_t TileHealth::quarantinedCount() const {
+  std::uint32_t n = 0;
+  for (const Tile& t : tiles_) n += t.quarantined ? 1 : 0;
+  return n;
+}
+
+void TileHealth::serialize(sim::StateWriter& w) const {
+  w.tag("HLTH");
+  w.u32(static_cast<std::uint32_t>(tiles_.size()));
+  w.u32(cfg_.window);
+  w.u64(quarantine_events_);
+  w.u64(reinstate_events_);
+  for (const Tile& t : tiles_) {
+    w.u32(t.head).u32(t.filled).u32(t.faults);
+    w.b(t.quarantined);
+    w.u32(t.cooldown);
+    for (const std::uint8_t slot : t.ring) w.u8(slot);
+  }
+}
+
+void TileHealth::deserialize(sim::StateReader& r) {
+  r.expectTag("HLTH");
+  const std::uint32_t tiles = r.u32();
+  const std::uint32_t window = r.u32();
+  if (tiles != tiles_.size() || window != cfg_.window) {
+    throw sim::SimError(
+        sim::ErrorKind::Checkpoint, "serve",
+        "health snapshot shape (" + std::to_string(tiles) + " tiles, window " +
+            std::to_string(window) + ") does not match this server (" +
+            std::to_string(tiles_.size()) + " tiles, window " +
+            std::to_string(cfg_.window) + ")");
+  }
+  quarantine_events_ = r.u64();
+  reinstate_events_ = r.u64();
+  for (Tile& t : tiles_) {
+    t.head = r.u32();
+    t.filled = r.u32();
+    t.faults = r.u32();
+    t.quarantined = r.b();
+    t.cooldown = r.u32();
+    for (std::uint8_t& slot : t.ring) slot = r.u8();
+  }
+}
+
+}  // namespace hht::serve

@@ -38,30 +38,50 @@ inline const char* errorKindName(ErrorKind kind) {
 /// one-line message, and an optional multi-line diagnostic dump (pipeline
 /// state, queue occupancies, MMR contents) appended to what().
 ///
+/// Errors raised on a multi-tile path additionally carry the tile index
+/// (kNoTile for single-tile / tile-agnostic errors), rendered as ":tN" in
+/// the what() bracket so serving logs can attribute a failure to a tile.
+///
 /// Derives from std::runtime_error so existing catch sites keep working;
 /// new code catches SimError and dispatches on kind().
 class SimError : public std::runtime_error {
  public:
+  /// Sentinel tile index: not attributable to any particular tile.
+  static constexpr int kNoTile = -1;
+
   SimError(ErrorKind kind, std::string component, const std::string& message,
-           std::string diagnostic = {})
+           std::string diagnostic = {}, int tile = kNoTile)
       : std::runtime_error(std::string("[") + errorKindName(kind) + ":" +
-                           component + "] " + message +
+                           component +
+                           (tile == kNoTile ? ""
+                                            : ":t" + std::to_string(tile)) +
+                           "] " + message +
                            (diagnostic.empty() ? "" : "\n" + diagnostic)),
         kind_(kind),
         component_(std::move(component)),
         message_(message),
-        diagnostic_(std::move(diagnostic)) {}
+        diagnostic_(std::move(diagnostic)),
+        tile_(tile) {}
 
   ErrorKind kind() const noexcept { return kind_; }
   const std::string& component() const noexcept { return component_; }
   const std::string& message() const noexcept { return message_; }
   const std::string& diagnostic() const noexcept { return diagnostic_; }
+  /// Tile the error is attributed to, or kNoTile.
+  int tile() const noexcept { return tile_; }
+
+  /// Copy of this error re-attributed to `tile` (used by multi-tile paths
+  /// that catch a tile-agnostic error from a shared component).
+  SimError withTile(int tile) const {
+    return SimError(kind_, component_, message_, diagnostic_, tile);
+  }
 
  private:
   ErrorKind kind_;
   std::string component_;
   std::string message_;
   std::string diagnostic_;
+  int tile_ = kNoTile;
 };
 
 }  // namespace hht::sim

@@ -117,6 +117,9 @@ class StateReader {
 
   bool atEnd() const { return pos_ == size_; }
   std::size_t remaining() const { return size_ - pos_; }
+  /// Current read position — for loaders that want to name the offset in
+  /// their own validation errors (bounds checks, implausible counts).
+  std::size_t offset() const { return pos_; }
 
  private:
   void need(std::uint64_t n) const {

@@ -23,8 +23,11 @@ namespace hht::sim {
 /// from the period) so the per-cycle cost in the run loop is one branch.
 class Watchdog {
  public:
-  /// period = cycles without progress before firing; 0 disables.
-  explicit Watchdog(Cycle period) : period_(period) {
+  /// period = cycles without progress before firing; 0 disables. `tile`
+  /// attributes the fired SimError to a tile (multi-tile run loops watch
+  /// each tile's own progress sum with its own Watchdog).
+  explicit Watchdog(Cycle period, int tile = SimError::kNoTile)
+      : period_(period), tile_(tile) {
     Cycle target = period / 8;
     if (target > 1024) target = 1024;
     interval_mask_ = 0;
@@ -75,12 +78,13 @@ class Watchdog {
           ErrorKind::Watchdog, "watchdog",
           "no forward progress for " + std::to_string(now - last_progress_) +
               " cycles (no retired instruction, no SRAM grant, no FIFO pop)",
-          std::forward<DumpFn>(dump)());
+          std::forward<DumpFn>(dump)(), tile_);
     }
   }
 
  private:
   Cycle period_;
+  int tile_ = SimError::kNoTile;
   Cycle interval_mask_ = 0;
   Cycle last_progress_ = 0;
   std::uint64_t last_sum_ = 0;

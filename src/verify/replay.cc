@@ -27,13 +27,32 @@ void writeCase(sim::StateWriter& w, const CosimCase& c) {
   for (sparse::Value val : c.sv.vals()) w.f32(val);
 }
 
+/// Reject a corrupt element count BEFORE allocating for it or mis-decoding
+/// the rest of the stream as payload: a count claiming more elements than
+/// the bytes left in the container can hold is structurally impossible.
+/// Names the offset of the count so a truncated/flipped bundle diagnoses
+/// itself.
+void checkCount(const sim::StateReader& r, std::uint64_t count,
+                std::uint64_t bytes_each, const char* what) {
+  if (bytes_each != 0 && count > r.remaining() / bytes_each) {
+    throw sim::SimError(
+        sim::ErrorKind::Checkpoint, "replay",
+        std::string("corrupt bundle: ") + what + " count " +
+            std::to_string(count) + " needs " +
+            std::to_string(count * bytes_each) + " bytes but only " +
+            std::to_string(r.remaining()) + " remain (count read just "
+            "before offset " + std::to_string(r.offset()) + ")");
+  }
+}
+
 CosimCase readCase(sim::StateReader& r) {
   CosimCase c;
   const std::uint32_t kind = r.u32();
   if (kind > static_cast<std::uint32_t>(EngineKind::Flat)) {
     throw sim::SimError(sim::ErrorKind::Checkpoint, "replay",
                         "bundle names engine kind " + std::to_string(kind) +
-                            ", which this build does not know");
+                            ", which this build does not know (offset " +
+                            std::to_string(r.offset()) + ")");
   }
   c.kind = static_cast<EngineKind>(kind);
   c.cfg = harness::readSystemConfig(r);
@@ -41,21 +60,46 @@ CosimCase readCase(sim::StateReader& r) {
   const sim::Index num_rows = r.u32();
   const sim::Index num_cols = r.u32();
   const std::uint64_t nnz = r.u64();
+  checkCount(r, nnz, 12, "CSRM triplet");  // row + col + value
   sparse::CooMatrix coo(num_rows, num_cols);
   for (std::uint64_t i = 0; i < nnz; ++i) {
+    const std::size_t at = r.offset();
     const sim::Index row = r.u32();
     const sim::Index col = r.u32();
+    if (row >= num_rows || col >= num_cols) {
+      throw sim::SimError(
+          sim::ErrorKind::Checkpoint, "replay",
+          "corrupt bundle: triplet " + std::to_string(i) + " at offset " +
+              std::to_string(at) + " names (" + std::to_string(row) + ", " +
+              std::to_string(col) + ") outside the declared " +
+              std::to_string(num_rows) + "x" + std::to_string(num_cols) +
+              " matrix");
+    }
     coo.add(row, col, r.f32());
   }
   c.m = sparse::CsrMatrix::fromCoo(std::move(coo));
   r.expectTag("DVEC");
-  std::vector<sparse::Value> dv(r.u32());
+  const std::uint32_t dv_len = r.u32();
+  checkCount(r, dv_len, 4, "DVEC element");
+  std::vector<sparse::Value> dv(dv_len);
   for (auto& val : dv) val = r.f32();
   c.v = sparse::DenseVector(std::move(dv));
   r.expectTag("SVEC");
   const sim::Index sv_size = r.u32();
-  std::vector<sim::Index> idx(r.u32());
-  for (auto& i : idx) i = r.u32();
+  const std::uint32_t sv_nnz = r.u32();
+  checkCount(r, sv_nnz, 8, "SVEC entry");  // index + value
+  std::vector<sim::Index> idx(sv_nnz);
+  for (auto& i : idx) {
+    const std::size_t at = r.offset();
+    i = r.u32();
+    if (i >= sv_size) {
+      throw sim::SimError(sim::ErrorKind::Checkpoint, "replay",
+                          "corrupt bundle: SVEC index " + std::to_string(i) +
+                              " at offset " + std::to_string(at) +
+                              " >= declared vector size " +
+                              std::to_string(sv_size));
+    }
+  }
   std::vector<sparse::Value> vals(idx.size());
   for (auto& val : vals) val = r.f32();
   c.sv = sparse::SparseVector(sv_size, std::move(idx), std::move(vals));

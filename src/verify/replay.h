@@ -28,6 +28,10 @@ void saveBundle(const std::string& path, const ReplayBundle& bundle);
 
 /// Parse a bundle; throws SimError(Verify) on I/O failure and
 /// SimError(Checkpoint) on a malformed or version-skewed container.
+/// Truncated payloads, element counts larger than the bytes remaining,
+/// and out-of-bounds matrix/vector coordinates are all rejected before
+/// any state is built, with the failing byte offset named in the error —
+/// never a crash, giant allocation, or silently misread case.
 ReplayBundle loadBundle(const std::string& path);
 
 }  // namespace hht::verify

@@ -87,6 +87,50 @@ TEST(BenchUtil, RejectsUnknownArguments) {
   EXPECT_NE(error.find("--sizes=512"), std::string::npos) << error;
 }
 
+TEST(BenchUtil, ParsesTimeoutAndRejectsZero) {
+  Options opt;
+  std::string error;
+  ASSERT_EQ(tryParseArgs({"--timeout-ms=30000"}, opt, error), ParseStatus::kOk)
+      << error;
+  EXPECT_EQ(opt.timeout_ms, 30000u);
+
+  // 0 would mean "no watchdog" — make the caller omit the flag instead of
+  // silently disarming it.
+  Options opt2;
+  EXPECT_EQ(tryParseArgs({"--timeout-ms=0"}, opt2, error), ParseStatus::kError);
+  EXPECT_NE(error.find("--timeout-ms"), std::string::npos) << error;
+
+  error.clear();
+  Options opt3;
+  EXPECT_EQ(tryParseArgs({"--timeout-ms=1", "--timeout-ms=2"}, opt3, error),
+            ParseStatus::kError);
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(BenchUtil, ExtraArgsCollectUnknownsForLayeredParsers) {
+  // serve_campaign-style layering: the shared parser keeps its own flags
+  // strict but hands unrecognised ones back instead of erroring.
+  Argv a({"--seed=9", "--tiles=3", "--timeout-ms=5", "--recover"});
+  Options opt;
+  std::string error;
+  std::vector<std::string> extra;
+  ASSERT_EQ(tryParse(a.argc(), a.argv(), false, opt, error, &extra),
+            ParseStatus::kOk)
+      << error;
+  EXPECT_EQ(opt.seed, 9u);
+  EXPECT_EQ(opt.timeout_ms, 5u);
+  ASSERT_EQ(extra.size(), 2u);
+  EXPECT_EQ(extra[0], "--tiles=3");
+  EXPECT_EQ(extra[1], "--recover");
+
+  // Shared-flag errors still fail even with the extra channel open.
+  Argv b({"--jobs=0", "--whatever"});
+  Options opt2;
+  std::vector<std::string> extra2;
+  EXPECT_EQ(tryParse(b.argc(), b.argv(), false, opt2, error, &extra2),
+            ParseStatus::kError);
+}
+
 TEST(BenchUtil, HelpShortCircuits) {
   Options opt;
   std::string error;

@@ -214,5 +214,120 @@ TEST(Checkpoint, RestoreRejectsSnapshotFromNewerVersion) {
   }
 }
 
+/// Observer that checkpoints once, `after` cycles into the degraded
+/// fallback loop (v4 snapshots record the mid-degraded continuation).
+class CheckpointInDegraded : public RunObserver {
+ public:
+  CheckpointInDegraded(const isa::Program& fallback, Cycle after)
+      : fallback_(&fallback), after_(after) {}
+
+  void onCycle(System& sys, Cycle now) override {
+    if (!sys.degradedActive() || !snapshot_.empty()) return;
+    if (++degraded_cycles_ == after_) {
+      snapshot_ = sys.checkpoint(*fallback_, now + 1);
+      resume_at_ = now + 1;
+    }
+  }
+
+  const std::vector<std::uint8_t>& snapshot() const { return snapshot_; }
+  Cycle resumeAt() const { return resume_at_; }
+
+ private:
+  const isa::Program* fallback_;
+  Cycle after_;
+  Cycle degraded_cycles_ = 0;
+  Cycle resume_at_ = 0;
+  std::vector<std::uint8_t> snapshot_;
+};
+
+// Checkpoint-under-fault: a snapshot taken while the machine is mid-way
+// through the graceful-degradation rerun restores into the degraded loop
+// (injection detached, fallback program as the identity) and completes
+// with the same degraded RunResult — same y, same latched fault cause —
+// as the uninterrupted faulty run.
+TEST(Checkpoint, MidDegradedFallbackSnapshotResumesBitIdentically) {
+  SystemConfig cfg = defaultConfig();
+  cfg.faults.enabled = true;
+  cfg.faults.seed = 43;
+  cfg.faults.fifo_corrupt_rate = 1.0;  // deterministically forces fallback
+
+  sim::Rng rng(22);
+  const CsrMatrix m = workload::randomCsr(rng, 24, 24, 0.4);
+  const DenseVector v = workload::randomDenseVector(rng, 24);
+
+  System base_sys(cfg);
+  const kernels::SpmvLayout layout = loadSpmv(base_sys, m, v);
+  const isa::Program program =
+      kernels::spmvScalarHht(layout, cfg.memory.mmio_base);
+  const isa::Program fallback = kernels::spmvScalarBaseline(layout);
+  const RunResult base = base_sys.run(program, layout.y, layout.num_rows,
+                                      500'000'000, &fallback);
+  ASSERT_TRUE(base.degraded);
+
+  // Same run, snapshotting 100 cycles into the fallback rerun.
+  System watched_sys(cfg);
+  const kernels::SpmvLayout l2 = loadSpmv(watched_sys, m, v);
+  const isa::Program p2 = kernels::spmvScalarHht(l2, cfg.memory.mmio_base);
+  const isa::Program f2 = kernels::spmvScalarBaseline(l2);
+  CheckpointInDegraded observer(f2, 100);
+  const RunResult watched = watched_sys.run(p2, l2.y, l2.num_rows,
+                                            500'000'000, &f2, &observer);
+  ASSERT_TRUE(watched.degraded);
+  ASSERT_FALSE(observer.snapshot().empty())
+      << "fallback finished before the checkpoint trigger";
+  expectIdentical(base, watched);
+  EXPECT_EQ(base.fault_cause, watched.fault_cause);
+
+  // Fresh machine: restore must land inside the degraded loop and resume
+  // with the fallback program as the recorded identity.
+  System fresh(cfg);
+  const Cycle start = fresh.restore(observer.snapshot(), f2);
+  EXPECT_EQ(start, observer.resumeAt());
+  EXPECT_TRUE(fresh.degradedActive());
+  const RunResult resumed = fresh.resume(f2, l2.y, l2.num_rows, start);
+  EXPECT_TRUE(resumed.degraded);
+  EXPECT_EQ(resumed.fault_cause, base.fault_cause);
+  EXPECT_EQ(resumed.fault_detail, base.fault_detail);
+  expectIdentical(base, resumed);
+  // And the recovered result is correct, not merely self-consistent.
+  const DenseVector ref = sparse::spmvCsr(m, v);
+  ASSERT_EQ(resumed.y.size(), ref.size());
+  for (sim::Index i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(resumed.y.at(i), ref.at(i)) << "y[" << i << "]";
+  }
+}
+
+// A mid-degraded snapshot names the *fallback* as the program identity:
+// restoring it against the original HHT kernel must be rejected.
+TEST(Checkpoint, MidDegradedSnapshotRejectsTheOriginalProgram) {
+  SystemConfig cfg = defaultConfig();
+  cfg.faults.enabled = true;
+  cfg.faults.seed = 43;
+  cfg.faults.fifo_corrupt_rate = 1.0;
+
+  sim::Rng rng(22);
+  const CsrMatrix m = workload::randomCsr(rng, 24, 24, 0.4);
+  const DenseVector v = workload::randomDenseVector(rng, 24);
+
+  System sys(cfg);
+  const kernels::SpmvLayout layout = loadSpmv(sys, m, v);
+  const isa::Program program =
+      kernels::spmvScalarHht(layout, cfg.memory.mmio_base);
+  const isa::Program fallback = kernels::spmvScalarBaseline(layout);
+  CheckpointInDegraded observer(fallback, 100);
+  const RunResult r = sys.run(program, layout.y, layout.num_rows, 500'000'000,
+                              &fallback, &observer);
+  ASSERT_TRUE(r.degraded);
+  ASSERT_FALSE(observer.snapshot().empty());
+
+  System fresh(cfg);
+  try {
+    fresh.restore(observer.snapshot(), program);
+    ADD_FAILURE() << "restore accepted the pre-degradation program";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Checkpoint) << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace hht::harness

@@ -121,11 +121,15 @@ TEST(MultiTile, RejectsUnsupportedConfigsAndProgramCounts) {
     cfg.programmable_hht = true;
     EXPECT_THROW(MultiTileSystem sys(cfg), SimError);
   }
-  {  // ... and has no fault-injection story.
+  {  // Fault injection is supported per tile: one injector per tile, the
+     // tile-0 stream seeded identically to a System's.
     SystemConfig cfg = scaleConfig(2);
     cfg.faults.enabled = true;
     cfg.faults.drop_rate = 0.01;
-    EXPECT_THROW(MultiTileSystem sys(cfg), SimError);
+    MultiTileSystem sys(cfg);
+    EXPECT_NE(sys.faultInjector(0), nullptr);
+    EXPECT_NE(sys.faultInjector(1), nullptr);
+    EXPECT_NE(sys.faultInjector(0), sys.faultInjector(1));
   }
   {  // One program per tile, exactly.
     MultiTileSystem sys(scaleConfig(2));
