@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace hht;
   const benchutil::Options opt = benchutil::parse(argc, argv);
+  const benchutil::HostTimeout host_watchdog(opt.timeout_ms, "abl_buffers");
   const sim::Index n = opt.size ? opt.size : 256;
 
   harness::printBanner(std::cout, "Ablation",

@@ -20,6 +20,7 @@
 int main(int argc, char** argv) {
   using namespace hht;
   const benchutil::Options opt = benchutil::parse(argc, argv, /*trace=*/true);
+  const benchutil::HostTimeout host_watchdog(opt.timeout_ms, "abl_programmable");
   const sim::Index n = opt.size ? opt.size : 128;
 
   harness::printBanner(std::cout, "Ablation (§7)",

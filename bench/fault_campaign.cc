@@ -104,6 +104,7 @@ std::string jsonBucket(double rate, const Bucket& b) {
 
 int main(int argc, char** argv) {
   const benchutil::Options opt = benchutil::parse(argc, argv);
+  const benchutil::HostTimeout host_watchdog(opt.timeout_ms, "fault_campaign");
   const sim::Index n = opt.size ? opt.size : 96;
   const double kRates[] = {1e-4, 1e-3, 1e-2};
   constexpr int kRunsPerKernel = 10;

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace hht;
   const benchutil::Options opt = benchutil::parse(argc, argv, /*trace=*/true);
+  const benchutil::HostTimeout host_watchdog(opt.timeout_ms, "fig4_spmv_speedup");
   const sim::Index n = opt.size ? opt.size : 512;
 
   harness::printBanner(std::cout, "Fig. 4",

@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace hht;
   const benchutil::Options opt = benchutil::parse(argc, argv, /*trace=*/true);
+  const benchutil::HostTimeout host_watchdog(opt.timeout_ms, "fig6_spmv_wait");
   const sim::Index n = opt.size ? opt.size : 512;
 
   harness::printBanner(std::cout, "Fig. 6",

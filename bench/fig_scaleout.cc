@@ -27,6 +27,7 @@
 int main(int argc, char** argv) {
   using namespace hht;
   const benchutil::Options opt = benchutil::parse(argc, argv);
+  const benchutil::HostTimeout host_watchdog(opt.timeout_ms, "fig_scaleout");
   const sim::Index n = opt.size ? opt.size : 256;
 
   harness::printBanner(

@@ -18,7 +18,8 @@
 //    server re-executes deterministically.
 //
 // Extra flags on top of the shared benchutil set:
-//   --requests=N         stream length (default 48; --size sets the matrix
+//   --requests=N         stream length (default 96 so tail percentiles rest
+//                        on a non-trivial sample; --size sets the matrix
 //                        dimension, default 28)
 //   --tiles=N            serving pool size (default 3)
 //   --fault-rate=PPM     injection rate in parts-per-million (integer, so
@@ -29,6 +30,12 @@
 //   --recover            recover from the latest periodic checkpoint and
 //                        prove bit-identical completion
 //   --checkpoint-every=K periodic checkpoint cadence in batches (default 4)
+//   --require-quarantine campaign point for the health policy: fail unless
+//                        the run actually quarantined a tile AND dispatched
+//                        at least one canary probe (use with a high
+//                        --fault-rate; gated in bench/serving_baseline.json)
+//   --out=FILE           JSON report path (default BENCH_serving.json), so
+//                        CI can keep multiple campaign points side by side
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -47,13 +54,15 @@ namespace {
 using namespace hht;
 
 struct ServeOptions {
-  std::uint32_t requests = 48;
+  std::uint32_t requests = 96;
   std::uint32_t tiles = 3;
   std::uint64_t fault_ppm = 0;
   std::uint64_t deadline = 40'000'000;
   std::uint64_t crash_at = 0;
   bool recover = false;
   std::uint32_t checkpoint_every = 4;
+  bool require_quarantine = false;
+  std::string out = "BENCH_serving.json";
 };
 
 ServeOptions parseExtra(const char* prog,
@@ -64,7 +73,8 @@ ServeOptions parseExtra(const char* prog,
     std::cerr << prog << ": " << msg << "\n"
               << "serve flags: [--requests=N] [--tiles=N] [--fault-rate=PPM]"
                  " [--deadline=CYCLES] [--crash-at=N --recover]"
-                 " [--checkpoint-every=K]\n";
+                 " [--checkpoint-every=K] [--require-quarantine]"
+                 " [--out=FILE]\n";
     std::exit(2);
   };
   const auto intval = [&](const std::string& arg, const char* name,
@@ -92,6 +102,11 @@ ServeOptions parseExtra(const char* prog,
       so.recover = true;
     } else if (intval(arg, "--checkpoint-every", v, false)) {
       so.checkpoint_every = static_cast<std::uint32_t>(v);
+    } else if (arg == "--require-quarantine") {
+      so.require_quarantine = true;
+    } else if (arg.compare(0, 6, "--out=") == 0) {
+      so.out = arg.substr(6);
+      if (so.out.empty()) fail("--out needs a file name");
     } else {
       fail("unknown argument '" + arg + "'");
     }
@@ -196,6 +211,14 @@ int main(int argc, char** argv) {
               << " completions for " << stream.size() << " requests\n";
     ok = false;
   }
+  if (so.require_quarantine &&
+      (s.quarantine_events == 0 || s.probes == 0)) {
+    std::cerr << "QUARANTINE GATE: campaign point was meant to exercise the "
+                 "health policy but saw " << s.quarantine_events
+              << " quarantine events and " << s.probes
+              << " probes (raise --fault-rate?)\n";
+    ok = false;
+  }
 
   // Crash/recovery proof: checkpoint periodically, destroy the server after
   // batch N, rebuild from the *latest* snapshot, drain, compare.
@@ -233,14 +256,15 @@ int main(int argc, char** argv) {
   if (opt.csv) {
     harness::Table t({"requests", "ok", "degraded", "late", "rejected",
                       "expired", "failed", "hht_faults", "retries",
-                      "quarantines", "p50", "p99", "p999", "goodput"});
+                      "quarantines", "n", "p50", "p99", "p999", "goodput"});
     t.addRow({std::to_string(s.submitted), std::to_string(s.ok),
               std::to_string(s.degraded), std::to_string(s.late),
               std::to_string(s.rejected), std::to_string(s.deadline_expired),
               std::to_string(s.failed), std::to_string(s.hht_faults),
               std::to_string(s.retries), std::to_string(s.quarantine_events),
-              std::to_string(s.p50), std::to_string(s.p99),
-              std::to_string(s.p999), harness::fmt(s.goodput, 4)});
+              std::to_string(s.served), std::to_string(s.p50),
+              std::to_string(s.p99), std::to_string(s.p999),
+              harness::fmt(s.goodput, 4)});
     t.printCsv(std::cout);
   } else {
     harness::Table t({"metric", "value"});
@@ -261,9 +285,12 @@ int main(int argc, char** argv) {
             " / " + std::to_string(s.reinstate_events));
     row("batches", std::to_string(s.batches));
     row("final simulated cycle", std::to_string(s.final_cycle));
+    // Percentile honesty: always show how many served latencies the
+    // percentiles rest on — a p999 over 40 samples is really the max.
     row("latency p50/p99/p999 (cycles)",
         std::to_string(s.p50) + " / " + std::to_string(s.p99) + " / " +
-            std::to_string(s.p999));
+            std::to_string(s.p999) + "  (n=" + std::to_string(s.served) +
+            ")");
     row("goodput (on-time fraction)", harness::fmt(s.goodput, 4));
     row("host wall time (ms)", harness::fmt(wall_ms, 1));
     if (recovery_checked) {
@@ -272,9 +299,9 @@ int main(int argc, char** argv) {
     t.print(std::cout);
   }
 
-  std::FILE* f = std::fopen("BENCH_serving.json", "w");
+  std::FILE* f = std::fopen(so.out.c_str(), "w");
   if (f == nullptr) {
-    std::cerr << "cannot write BENCH_serving.json\n";
+    std::cerr << "cannot write " << so.out << "\n";
     return 1;
   }
   std::fprintf(f,
@@ -297,6 +324,7 @@ int main(int argc, char** argv) {
                "  \"reinstate_events\": %llu,\n"
                "  \"batches\": %llu,\n"
                "  \"final_cycle\": %llu,\n"
+               "  \"latency_n\": %llu,\n"
                "  \"p50_cycles\": %llu,\n"
                "  \"p99_cycles\": %llu,\n"
                "  \"p999_cycles\": %llu,\n"
@@ -323,6 +351,7 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(s.reinstate_events),
                static_cast<unsigned long long>(s.batches),
                static_cast<unsigned long long>(s.final_cycle),
+               static_cast<unsigned long long>(s.served),
                static_cast<unsigned long long>(s.p50),
                static_cast<unsigned long long>(s.p99),
                static_cast<unsigned long long>(s.p999),
@@ -331,6 +360,6 @@ int main(int argc, char** argv) {
                recovery_identical ? "true" : "false",
                server.idle() ? "true" : "false");
   std::fclose(f);
-  std::cout << "wrote BENCH_serving.json\n";
+  std::cout << "wrote " << so.out << "\n";
   return ok ? 0 : 1;
 }

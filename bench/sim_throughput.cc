@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
   using namespace hht;
   using Clock = std::chrono::steady_clock;
   const benchutil::Options opt = benchutil::parse(argc, argv);
+  const benchutil::HostTimeout host_watchdog(opt.timeout_ms, "sim_throughput");
   const sim::Index n = opt.size ? opt.size : 512;
 
   harness::printBanner(std::cout, "Throughput",

@@ -24,6 +24,7 @@
 int main(int argc, char** argv) {
   using namespace hht;
   const benchutil::Options opt = benchutil::parse(argc, argv);
+  const benchutil::HostTimeout host_watchdog(opt.timeout_ms, "tab_energy_area");
 
   harness::printBanner(std::cout, "Table (5.5)",
                        "Area, power and energy estimates (synthesis model)");

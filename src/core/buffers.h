@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "sim/checksum.h"
 #include "sim/fault.h"
 #include "sim/state_io.h"
 
@@ -27,6 +28,14 @@ struct Slot {
   /// it corrupts `bits` in the SRAM cell; the FE checks it on pop and
   /// raises a FifoParity fault instead of handing the CPU bad data.
   bool parity_ok = true;
+  /// Poison bit (DESIGN.md §15): the payload came from an uncorrectable
+  /// memory response. Under poison containment the slot flows through the
+  /// FIFOs in order and the FE faults exactly when it would deliver it.
+  bool poisoned = false;
+  /// End-to-end check tag: when has_check, `check` carries the BE's running
+  /// stream CRC as of this slot; the FE compares its own running CRC here.
+  bool has_check = false;
+  std::uint32_t check = 0;
 };
 
 /// The N CPU-side buffers of the HHT front-end (Table 1: N=2, 32 B each).
@@ -40,7 +49,9 @@ struct Slot {
 class BufferPool {
  public:
   explicit BufferPool(const HhtConfig& config)
-      : num_buffers_(config.num_buffers), buffer_len_(config.buffer_len) {
+      : num_buffers_(config.num_buffers),
+        buffer_len_(config.buffer_len),
+        e2e_(config.e2e_check) {
     if (num_buffers_ == 0 || buffer_len_ == 0) {
       throw std::invalid_argument("BufferPool needs >=1 buffer of >=1 slot");
     }
@@ -68,9 +79,18 @@ class BufferPool {
   void push(const Slot& slot) {
     if (!canPush()) throw std::logic_error("BufferPool::push past capacity");
     Slot staged = slot;
-    if (injector_ != nullptr && !staged.is_row_end &&
-        injector_->corruptFifoSlot(staged.bits)) {
-      staged.parity_ok = false;
+    // The e2e CRC folds the *intended* slot content, before any injected
+    // corruption below — this is the single chokepoint every producer
+    // (emission-queue drains and micro-HHT firmware pushes alike) funnels
+    // through, so the whole BE-to-FE path downstream is covered.
+    if (e2e_) be_crc_ = sim::crcFoldSlot(be_crc_, staged.bits, staged.is_row_end);
+    if (injector_ != nullptr && !staged.is_row_end) {
+      if (injector_->corruptFifoSlot(staged.bits)) {
+        staged.parity_ok = false;
+      }
+      // Parity-evading SDC injection (campaign-only): flips the payload but
+      // leaves the parity tag GOOD. Only the e2e check can catch it.
+      injector_->silentFifoFlip(staged.bits);
     }
     staging_.push_back(staged);
     if (staging_.size() == buffer_len_ || slot.publish_after) publish();
@@ -110,7 +130,11 @@ class BufferPool {
     published_.clear();
     staging_.clear();
     read_pos_ = 0;
+    be_crc_ = 0;
   }
+
+  /// BE-side running stream CRC (read out through the CHECK_BE MMR).
+  std::uint32_t beCrc() const { return be_crc_; }
 
   /// nullptr = no injection (zero cost).
   void setFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
@@ -122,6 +146,9 @@ class BufferPool {
       w.b(slot.is_row_end);
       w.b(slot.publish_after);
       w.b(slot.parity_ok);
+      w.b(slot.poisoned);    // snapshot v5: integrity channel fields
+      w.b(slot.has_check);
+      w.u32(slot.check);
     };
     w.u64(published_.size());
     for (const auto& buf : published_) {
@@ -131,6 +158,7 @@ class BufferPool {
     w.u64(staging_.size());
     for (const Slot& slot : staging_) write_slot(slot);
     w.u64(read_pos_);
+    w.u32(be_crc_);  // snapshot v5
   }
 
   void deserialize(sim::StateReader& r) {
@@ -141,6 +169,9 @@ class BufferPool {
       slot.is_row_end = r.b();
       slot.publish_after = r.b();
       slot.parity_ok = r.b();
+      slot.poisoned = r.b();
+      slot.has_check = r.b();
+      slot.check = r.u32();
       return slot;
     };
     published_.clear();
@@ -156,10 +187,18 @@ class BufferPool {
     const std::uint64_t n_staged = r.u64();
     for (std::uint64_t i = 0; i < n_staged; ++i) staging_.push_back(read_slot());
     read_pos_ = static_cast<std::size_t>(r.u64());
+    be_crc_ = r.u32();
   }
 
  private:
   void publish() {
+    // Tag the closing slot of every published buffer with the BE's running
+    // CRC; the FE re-verifies there. Tagging at publish covers both the
+    // buffer-full and row-aligned paths as well as the finish() tail.
+    if (e2e_ && !staging_.empty()) {
+      staging_.back().has_check = true;
+      staging_.back().check = be_crc_;
+    }
     published_.push_back(std::move(staging_));
     if (!spare_.empty()) {
       staging_ = std::move(spare_.back());
@@ -179,6 +218,8 @@ class BufferPool {
 
   std::uint32_t num_buffers_;
   std::uint32_t buffer_len_;
+  bool e2e_;                    ///< e2e stream-checksum channel enabled
+  std::uint32_t be_crc_ = 0;    ///< running CRC over staged slot content
   sim::FaultInjector* injector_ = nullptr;
   std::deque<std::vector<Slot>> published_;
   std::vector<Slot> staging_;

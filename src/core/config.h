@@ -42,6 +42,26 @@ struct HhtConfig {
   /// between the 1-buffer and 2-buffer configurations of Fig. 4/5.
   std::uint32_t emission_queue = 2;
 
+  /// End-to-end stream checksum channel (DESIGN.md §15): the BE folds every
+  /// slot it stages into a running CRC-32C, the last slot of each published
+  /// buffer carries the running value as a check tag, and the FE re-folds
+  /// every slot it delivers and compares at each tag — so corruption
+  /// anywhere between staging and delivery (FIFO cell, merge path, the
+  /// delivery port itself) raises FaultCause::StreamCheck at the
+  /// architectural boundary instead of shipping silently. Excluded from the
+  /// snapshot config fingerprint (same discipline as host_fastforward):
+  /// with no corruption the channel never changes an architectural outcome.
+  bool e2e_check = false;
+  /// Poison containment (DESIGN.md §15): an ECC-uncorrectable *value* fetch
+  /// no longer freezes the whole engine at poll time; the poisoned response
+  /// fills its reserved slot with the poison bit set, flows through the
+  /// FIFOs in order, and faults (MemUncorrectable) precisely when the FE
+  /// would deliver it — turning a coarse pipeline freeze into an exact,
+  /// tile-attributable delivery-point error. Metadata walks (row pointers,
+  /// index streams) keep the immediate-fault semantics: their loss corrupts
+  /// control flow, not one element. Fingerprint-excluded like e2e_check.
+  bool poison_containment = false;
+
   /// Test-only hook for the verification layer: when not ~0, the FE XORs
   /// bit 0 of the Nth delivered BUF_DATA element (0-based, parity left OK —
   /// a *silent* corruption the differential oracle must catch). Never set

@@ -84,6 +84,9 @@ class EmissionQueue {
         w.b(entry->is_row_end);
         w.b(entry->publish_after);
         w.b(entry->parity_ok);
+        w.b(entry->poisoned);    // snapshot v5: integrity channel fields
+        w.b(entry->has_check);
+        w.u32(entry->check);
       }
     }
   }
@@ -103,6 +106,9 @@ class EmissionQueue {
       slot.is_row_end = r.b();
       slot.publish_after = r.b();
       slot.parity_ok = r.b();
+      slot.poisoned = r.b();
+      slot.has_check = r.b();
+      slot.check = r.u32();
       entries_.push_back(slot);
     }
   }

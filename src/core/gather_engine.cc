@@ -5,7 +5,7 @@ namespace hht::core {
 GatherEngine::GatherEngine(const EngineContext& ctx)
     : Engine(ctx),
       cols_(ctx.cfg.prefetch_queue),
-      vfetch_(ctx.cfg.prefetch_queue),
+      vfetch_(ctx.cfg.prefetch_queue, ctx.cfg.poison_containment),
       c_values_requested_(&ctx_.stats.counter("hht.gather.values_requested")) {
   rows_.configure(ctx.mmr.m_rows_base, ctx.mmr.m_num_rows);
 }

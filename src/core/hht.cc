@@ -62,6 +62,7 @@ void Hht::start() {
   buffers_.reset();
   emit_.reset();
   finished_flush_done_ = false;
+  fe_crc_ = 0;
   engine_ = makeEngine();
   HHT_LOG_AT(Info, "hht", "start mode=%u rows=%u buffers=%u blen=%u",
              static_cast<unsigned>(mmr_.mode), mmr_.m_num_rows,
@@ -193,7 +194,14 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
       }
       Slot slot = buffers_.pop();
       ++*fifo_pops_;
-      if (!slot.parity_ok) {
+      if (slot.poisoned) {
+        // Poison containment: the uncorrectable value fetch flowed through
+        // the FIFOs in order and faults exactly here, at its delivery
+        // point — the CPU gets a zero this cycle with FAULT already up.
+        raiseFault(sim::FaultCause::MemUncorrectable,
+                   "poisoned element reached BUF_DATA delivery "
+                   "(uncorrectable value fetch, contained in-stream)");
+      } else if (!slot.parity_ok) {
         // Deliver *and* latch the fault: the CPU gets the (corrupt) word
         // this cycle, but FAULT is already visible — the harness's
         // same-cycle poll guarantees the run never ends silently wrong.
@@ -207,6 +215,17 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
         slot.bits ^= 1u;
       }
       ++delivered;
+      if (cfg_.e2e_check) {
+        // Fold what is actually delivered (after any delivery-port flip) so
+        // the check covers the full path up to the architectural boundary.
+        fe_crc_ = sim::crcFoldSlot(fe_crc_, slot.bits, false);
+        if (slot.has_check && fe_crc_ != slot.check) {
+          raiseFault(sim::FaultCause::StreamCheck,
+                     "stream CRC mismatch at BUF_DATA delivery: fe=" +
+                         std::to_string(fe_crc_) +
+                         " be-tag=" + std::to_string(slot.check));
+        }
+      }
       taps_.onDelivered(last_tick_cycle_, false, slot.bits);
       if (trace_ != nullptr && trace_->enabled(obs::Category::kFifo)) {
         trace_->emit(last_tick_cycle_, obs::Category::kFifo,
@@ -230,8 +249,19 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
         return {false, 0};
       }
       if (buffers_.front().is_row_end) {
-        buffers_.pop();
+        const Slot slot = buffers_.pop();
         ++*fifo_pops_;
+        if (cfg_.e2e_check) {
+          // Row-end markers are part of the checked stream (the BE folds
+          // them), and a buffer's closing check tag may ride on one.
+          fe_crc_ = sim::crcFoldSlot(fe_crc_, slot.bits, true);
+          if (slot.has_check && fe_crc_ != slot.check) {
+            raiseFault(sim::FaultCause::StreamCheck,
+                       "stream CRC mismatch at VALID row-end delivery: fe=" +
+                           std::to_string(fe_crc_) +
+                           " be-tag=" + std::to_string(slot.check));
+          }
+        }
         taps_.onDelivered(last_tick_cycle_, true, 0);
         if (trace_ != nullptr && trace_->enabled(obs::Category::kFifo)) {
           trace_->emit(last_tick_cycle_, obs::Category::kFifo,
@@ -244,6 +274,10 @@ mem::MmioReadResult Hht::mmioRead(Addr offset, std::uint32_t size,
     }
     case mmr::kStatus:
       return {true, busy() ? 1u : 0u};
+    case mmr::kCheckBe:
+      return {true, buffers_.beCrc()};
+    case mmr::kCheckFe:
+      return {true, fe_crc_};
     case mmr::kFault:
       return {true, faultRaised() ? 1u : 0u};
     case mmr::kCause:
@@ -315,6 +349,7 @@ void Hht::reset() {
   emit_.reset();
   engine_.reset();
   finished_flush_done_ = false;
+  fe_crc_ = 0;
   mmr_ = MmrFile{};
   mmr_parity_ok_ = true;
   clearFault();
@@ -339,6 +374,7 @@ void Hht::serialize(sim::StateWriter& w) const {
   w.u32(mmr_.v_len);
   buffers_.serialize(w);
   emit_.serialize(w);
+  w.u32(fe_crc_);  // snapshot v5
   w.b(finished_flush_done_);
   w.b(mmr_parity_ok_);
   serializeFaultLatch(w);
@@ -373,6 +409,7 @@ void Hht::deserialize(sim::StateReader& r) {
   mmr_.v_len = r.u32();
   buffers_.deserialize(r);
   emit_.deserialize(r);
+  fe_crc_ = r.u32();
   finished_flush_done_ = r.b();
   mmr_parity_ok_ = r.b();
   deserializeFaultLatch(r);

@@ -111,6 +111,10 @@ class Hht final : public HhtDevice {
   EmissionQueue emit_;
   std::unique_ptr<Engine> engine_;
   bool finished_flush_done_ = false;
+  /// FE-side running stream CRC (e2e_check): folds every slot the FE pops,
+  /// compared against the BE's check tag on each published buffer's closing
+  /// slot. Architectural state (the CHECK_FE MMR) — serialized (v5).
+  std::uint32_t fe_crc_ = 0;
   /// Config-register parity: cleared when the injector glitches a latched
   /// MMR value; checked once at START (writes are posted, so detection at
   /// use time is the only architecturally visible point).

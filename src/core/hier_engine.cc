@@ -10,7 +10,8 @@ constexpr std::uint32_t kL1Granule = 32;  ///< level-1 fetched as 32-bit words
 }  // namespace
 
 HierBitmapEngine::HierBitmapEngine(const EngineContext& ctx, bool flat)
-    : Engine(ctx), l1_(ctx.cfg.prefetch_queue), vfetch_(ctx.cfg.emission_queue),
+    : Engine(ctx), l1_(ctx.cfg.prefetch_queue),
+      vfetch_(ctx.cfg.emission_queue, ctx.cfg.poison_containment),
       flat_(flat),
       c_rows_done_(&ctx_.stats.counter("hht.hier.rows_done")),
       c_values_requested_(&ctx_.stats.counter("hht.hier.values_requested")),

@@ -6,7 +6,7 @@ MergeEngine::MergeEngine(const EngineContext& ctx)
     : Engine(ctx),
       cols_(ctx.cfg.prefetch_queue),
       vidx_(ctx.cfg.prefetch_queue),
-      vfetch_(ctx.cfg.emission_queue),
+      vfetch_(ctx.cfg.emission_queue, ctx.cfg.poison_containment),
       c_rows_done_(&ctx_.stats.counter("hht.merge.rows_done")),
       c_comparisons_(&ctx_.stats.counter("hht.merge.comparisons")),
       c_matches_(&ctx_.stats.counter("hht.merge.matches")),

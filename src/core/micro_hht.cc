@@ -37,6 +37,7 @@ void MicroHht::start() {
     return;
   }
   buffers_.reset();
+  fe_crc_ = 0;
   micro_core_->loadProgram(*firmware_);
   started_ = true;
   HHT_LOG_AT(Info, "uhht", "start firmware='%s' buffers=%u blen=%u",
@@ -108,11 +109,24 @@ mem::MmioReadResult MicroHht::cpuRead(Addr offset) {
                      obs::Component::kHhtFe, obs::EventKind::kFifoPop,
                      slot.bits, 0);
       }
-      if (!slot.parity_ok) {
+      if (slot.poisoned) {
+        raiseFault(sim::FaultCause::MemUncorrectable,
+                   "poisoned element reached BUF_DATA delivery "
+                   "(uncorrectable value fetch, contained in-stream)");
+      } else if (!slot.parity_ok) {
         raiseFault(sim::FaultCause::FifoParity,
                    "buffer entry failed its parity check at BUF_DATA pop");
       }
       ++*c_elements_delivered_;
+      if (cfg_.e2e_check) {
+        fe_crc_ = sim::crcFoldSlot(fe_crc_, slot.bits, false);
+        if (slot.has_check && fe_crc_ != slot.check) {
+          raiseFault(sim::FaultCause::StreamCheck,
+                     "stream CRC mismatch at BUF_DATA delivery: fe=" +
+                         std::to_string(fe_crc_) +
+                         " be-tag=" + std::to_string(slot.check));
+        }
+      }
       return {true, slot.bits};
     }
     case mmr::kValid: {
@@ -129,8 +143,17 @@ mem::MmioReadResult MicroHht::cpuRead(Addr offset) {
         return {false, 0};
       }
       if (buffers_.front().is_row_end) {
-        buffers_.pop();
+        const Slot slot = buffers_.pop();
         ++*fifo_pops_;
+        if (cfg_.e2e_check) {
+          fe_crc_ = sim::crcFoldSlot(fe_crc_, slot.bits, true);
+          if (slot.has_check && fe_crc_ != slot.check) {
+            raiseFault(sim::FaultCause::StreamCheck,
+                       "stream CRC mismatch at VALID row-end delivery: fe=" +
+                           std::to_string(fe_crc_) +
+                           " be-tag=" + std::to_string(slot.check));
+          }
+        }
         if (trace_ != nullptr && trace_->enabled(obs::Category::kFifo)) {
           trace_->emit(last_tick_cycle_, obs::Category::kFifo,
                        obs::Component::kHhtFe, obs::EventKind::kFifoPop, 0, 1);
@@ -141,6 +164,10 @@ mem::MmioReadResult MicroHht::cpuRead(Addr offset) {
     }
     case mmr::kStatus:
       return {true, busy() ? 1u : 0u};
+    case mmr::kCheckBe:
+      return {true, buffers_.beCrc()};
+    case mmr::kCheckFe:
+      return {true, fe_crc_};
     case mmr::kFault:
       return {true, faultRaised() ? 1u : 0u};
     case mmr::kCause:
@@ -274,6 +301,7 @@ std::uint64_t MicroHht::progressSignal() const {
 void MicroHht::reset() {
   buffers_.reset();
   started_ = false;
+  fe_crc_ = 0;
   mmr_ = MmrFile{};
   mmr_parity_ok_ = true;
   clearFault();

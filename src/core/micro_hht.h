@@ -109,6 +109,11 @@ class MicroHht final : public HhtDevice {
   std::unique_ptr<cpu::Core> micro_core_;
   const isa::Program* firmware_ = nullptr;
   bool started_ = false;
+  /// FE-side running stream CRC (e2e_check; the CHECK_FE MMR). The BE side
+  /// lives in the pool: firmware pushes funnel through BufferPool::push,
+  /// the single fold chokepoint — so the channel covers firmware streams
+  /// with no firmware changes.
+  std::uint32_t fe_crc_ = 0;
   bool mmr_parity_ok_ = true;
   sim::FaultInjector* injector_ = nullptr;
   // Host-only observability state (never serialized; see DESIGN.md §12).

@@ -53,6 +53,16 @@ inline constexpr Addr kFaultClear = 0x54;  ///< write 1: clear the fault latch
 inline constexpr Addr kMNnz = 0x58;        ///< write: matrix NNZ extent (0 = unchecked)
 inline constexpr Addr kVLen = 0x5C;        ///< write: dense-vector length (0 = unchecked)
 
+// --- integrity interface (DESIGN.md §15) ---
+// Read-only running CRC-32C of the end-to-end stream checksum channel:
+// CHECK_BE is the back-end's fold over every slot staged into the buffer
+// pool, CHECK_FE the front-end's fold over every slot delivered to the CPU.
+// After a clean drain the two must match; diagnostics and the SDC campaign
+// read them to localise which half of the path diverged. Both read 0 when
+// HhtConfig::e2e_check is off.
+inline constexpr Addr kCheckBe = 0x60;     ///< non-blocking read: BE stream CRC
+inline constexpr Addr kCheckFe = 0x64;     ///< non-blocking read: FE stream CRC
+
 // --- firmware-side port of the *programmable* HHT (§7 / core::MicroHht).
 //     Only the device's own micro-core (Requester::Hht) may touch these.
 inline constexpr Addr kFwSpace = 0x80;        ///< blocking read: free slots (>0)

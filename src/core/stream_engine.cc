@@ -8,7 +8,7 @@ StreamEngine::StreamEngine(const EngineContext& ctx)
     : Engine(ctx),
       cols_(ctx.cfg.prefetch_queue),
       vidx_(ctx.cfg.prefetch_queue),
-      vfetch_(ctx.cfg.emission_queue),
+      vfetch_(ctx.cfg.emission_queue, ctx.cfg.poison_containment),
       c_rows_done_(&ctx_.stats.counter("hht.stream.rows_done")),
       c_comparisons_(&ctx_.stats.counter("hht.stream.comparisons")),
       c_matches_(&ctx_.stats.counter("hht.stream.matches")),

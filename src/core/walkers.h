@@ -292,7 +292,13 @@ class ValueFetchQueue {
     bool publish_after;
   };
 
-  explicit ValueFetchQueue(std::uint32_t depth) : depth_(depth) {}
+  /// `containment` selects the poison semantics (DESIGN.md §15): false =
+  /// legacy freeze (sawPoison() latches, the owning engine faults at poll
+  /// time); true = the poisoned response fills its reserved ticket with the
+  /// slot poison bit set, so the corruption flows in order to the delivery
+  /// port where the FE raises a precise MemUncorrectable fault.
+  explicit ValueFetchQueue(std::uint32_t depth, bool containment = false)
+      : depth_(depth), containment_(containment) {}
 
   bool canAccept(std::uint32_t n = 1) const { return todo_.size() + n <= depth_; }
   void enqueue(const Item& item) { todo_.push_back(item); }
@@ -308,9 +314,19 @@ class ValueFetchQueue {
     std::erase_if(pending_, [&](const Pending& p) {
       if (auto response = mem.takeResponse(p.id)) {
         if (response->poisoned) {
-          // The reserved ticket stays unfilled — the stream stalls rather
-          // than delivering a corrupt value; owner raises MemUncorrectable.
-          saw_poison_ = true;
+          if (!containment_) {
+            // Legacy: the reserved ticket stays unfilled — the stream
+            // stalls rather than delivering a corrupt value; the owner
+            // raises MemUncorrectable for the whole pipeline.
+            saw_poison_ = true;
+            return true;
+          }
+          // Containment: fill the ticket with a poisoned slot (payload
+          // zeroed, parity good — poison is its own channel). It flows in
+          // stream order; the FE faults exactly at its delivery.
+          Slot poison{0, false, p.item.publish_after};
+          poison.poisoned = true;
+          emit.fill(p.item.ticket, poison);
           return true;
         }
         emit.fill(p.item.ticket,
@@ -372,6 +388,7 @@ class ValueFetchQueue {
   };
 
   std::uint32_t depth_;
+  bool containment_ = false;  ///< config wiring, not run state
   bool saw_poison_ = false;
   std::vector<Item> todo_;      ///< bounded by depth_; polled every tick
   std::vector<Pending> pending_;

@@ -92,10 +92,18 @@ SystemConfig readSystemConfig(sim::StateReader& r);
 /// the latched fault cause/detail) so a checkpoint taken during the
 /// graceful-degradation rerun restores into the degraded loop, and
 /// MultiTileSystem snapshots carry per-tile fault-injector sections.
+/// v5: data-integrity subsystem — buffer/emission slots carry the poison
+/// bit and e2e check tag, the BE/FE running stream CRCs are serialized,
+/// the SRAM appends its latent-flip registry, the memory system appends
+/// the patrol scrubber's cursor and due-cycle, and the fault injector
+/// appends its silent-flip ordinal counter. writeSystemConfig is
+/// unchanged: the integrity knobs are fingerprint-excluded (like
+/// host_fastforward) because with no corruption they never change an
+/// architectural outcome.
 /// restore() fails with SimError(Checkpoint) on any other version — and
 /// with a distinct "newer than this binary" error when the snapshot is
 /// from the future (no best-effort field skipping).
-inline constexpr std::uint32_t kSnapshotVersion = 4;
+inline constexpr std::uint32_t kSnapshotVersion = 5;
 
 /// FNV-1a fingerprint of writeSystemConfig(cfg)'s bytes — the identity
 /// restore() checks before touching any component state.

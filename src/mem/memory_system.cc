@@ -1,6 +1,7 @@
 #include "mem/memory_system.h"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "sim/log.h"
@@ -29,6 +30,15 @@ void MemorySystemConfig::validate() const {
   }
   if (mmio_size == 0) {
     throw SimError(ErrorKind::Config, "mem", "mmio_size must be non-zero");
+  }
+  if (scrub_enabled && scrub_period == 0) {
+    throw SimError(ErrorKind::Config, "mem",
+                   "scrub_enabled requires scrub_period >= 1");
+  }
+  if (scrub_enabled && sram_bytes % 4 != 0) {
+    throw SimError(ErrorKind::Config, "mem",
+                   "scrub_enabled requires a word-multiple sram_bytes (the "
+                   "patrol walks 32-bit ECC words)");
   }
   if (mmio_base < sram_bytes) {
     throw SimError(ErrorKind::Config, "mem",
@@ -77,6 +87,14 @@ MemorySystem::MemorySystem(const MemorySystemConfig& config)
   drop_recoveries_ = &stats_.counter("mem.drop_recoveries");
   delayed_responses_ = &stats_.counter("mem.delayed_responses");
   prefetch_fills_ = &stats_.counter("mem.cpu.prefetch_fills");
+  scrub_reads_ = &stats_.counter("mem.scrub.reads");
+  scrub_corrected_ = &stats_.counter("mem.scrub.corrected");
+  scrub_uncorrectable_ = &stats_.counter("mem.scrub.uncorrectable");
+  scrub_conflict_cycles_ = &stats_.counter("mem.scrub.conflict_cycles");
+  secded_demand_corrected_ = &stats_.counter("mem.secded.demand_corrected");
+  secded_demand_uncorrectable_ =
+      &stats_.counter("mem.secded.demand_uncorrectable");
+  next_scrub_cycle_ = config_.scrub_period;
   if (config_.cpu_cache_enabled) {
     cpu_cache_ = std::make_unique<Cache>(config_.cache);
   }
@@ -188,6 +206,27 @@ void MemorySystem::grant(const Pending& pending, Cycle now) {
   }
   std::uint32_t data = sram_.read(a.addr, a.size);
   bool poisoned = false;
+  if (sram_.latentCount() != 0) {
+    // At-rest SECDED (DESIGN.md §15). Sram::read returns the true data;
+    // a word carrying one latent flip is corrected in flight (the cell
+    // stays dirty until a write or the scrubber refreshes it), two or
+    // more flips are uncorrectable: the observed (corrupted) bits are
+    // delivered poisoned. Aligned 1/2/4-byte accesses never straddle a
+    // 32-bit ECC word, so exactly one registry lookup covers the access.
+    const std::uint32_t mask = sram_.latentMask(a.addr);
+    if (mask != 0) {
+      if (std::popcount(mask) == 1) {
+        ++*secded_demand_corrected_;
+      } else {
+        ++*secded_demand_uncorrectable_;
+        const std::uint32_t shift = (a.addr & 3u) * 8;
+        const std::uint32_t keep =
+            a.size == 4 ? ~0u : (1u << (a.size * 8)) - 1u;
+        data ^= (mask >> shift) & keep;
+        poisoned = true;
+      }
+    }
+  }
   sim::FaultInjector* const injector = injectors_[a.tile];
   if (injector != nullptr) {
     // ECC path: a flip on the read port is always *detected* (SECDED-style
@@ -319,6 +358,19 @@ void MemorySystem::tick(Cycle now) {
     --slots_left;
   }
 
+  // The patrol scrubber is the lowest-priority requester class: it takes
+  // a slot only after demand traffic and the prefetcher are satisfied. A
+  // due patrol read that finds no spare bandwidth counts a conflict cycle
+  // and retries every tick until one frees up.
+  if (config_.scrub_enabled && now >= next_scrub_cycle_) {
+    if (slots_left > 0) {
+      scrubStep(now);
+      next_scrub_cycle_ = now + config_.scrub_period;
+    } else {
+      ++*scrub_conflict_cycles_;
+    }
+  }
+
   // 3. MMIO windows (device-adjacent ports; no SRAM bandwidth consumed).
   //    One window per tile, each routed to that tile's device.
   //    Per-requester FIFO: a stalled CPU read must not block the
@@ -351,6 +403,32 @@ void MemorySystem::tick(Cycle now) {
     completed_.emplace_back(p.id, MemResponse{result.data, false});
     return true;
   });
+}
+
+void MemorySystem::scrubStep(Cycle now) {
+  ++*scrub_reads_;
+  const std::uint32_t mask = sram_.latentMask(scrub_addr_);
+  std::uint64_t outcome = 0;
+  if (mask != 0) {
+    if (std::popcount(mask) == 1) {
+      // Correctable: the patrol read runs the word through SECDED and
+      // writes the corrected data back, clearing the latent flip.
+      sram_.clearLatentWord(scrub_addr_);
+      ++*scrub_corrected_;
+      outcome = 1;
+    } else {
+      // Uncorrectable pair: the scrubber can only report it; a demand
+      // read of this word will deliver a poisoned response.
+      ++*scrub_uncorrectable_;
+      outcome = 2;
+    }
+  }
+  if (trace_ != nullptr && trace_->enabled(obs::Category::kScrub)) {
+    trace_->emit(now, obs::Category::kScrub, obs::Component::kMem,
+                 obs::EventKind::kScrubGrant, scrub_addr_, outcome);
+  }
+  scrub_addr_ += 4;
+  if (static_cast<std::size_t>(scrub_addr_) >= sram_.size()) scrub_addr_ = 0;
 }
 
 std::uint32_t MemorySystem::pickRequester(std::uint64_t present) {
@@ -421,12 +499,17 @@ Cycle MemorySystem::nextEventCycle(Cycle now) const {
       !prefetch_queue_.empty()) {
     return now + 1;  // arbitration / MMIO retry runs every tick
   }
-  if (in_flight_.empty()) return sim::kNeverCycle;
   Cycle earliest = sim::kNeverCycle;
+  if (config_.scrub_enabled) {
+    // Quiescence fast-forward must land exactly on patrol ticks: a skipped
+    // stretch may not jump over a due scrub read.
+    earliest = std::max(next_scrub_cycle_, now + 1);
+  }
   for (const InFlight& f : in_flight_) {
     earliest = std::min(earliest, f.done_at);
   }
-  return std::max(earliest, now + 1);
+  return earliest == sim::kNeverCycle ? sim::kNeverCycle
+                                      : std::max(earliest, now + 1);
 }
 
 void MemorySystem::attachMmioDevice(MmioDevice* device, std::uint32_t tile) {
@@ -560,6 +643,8 @@ void MemorySystem::serialize(sim::StateWriter& w) const {
   w.u32(prio_next_[0]);
   w.u32(prio_next_[1]);
   w.u64(cpu_streak_);
+  w.u32(scrub_addr_);         // snapshot v5: patrol walk state
+  w.u64(next_scrub_cycle_);
   stats_.serialize(w);
 }
 
@@ -622,6 +707,8 @@ void MemorySystem::deserialize(sim::StateReader& r) {
   prio_next_[0] = r.u32();
   prio_next_[1] = r.u32();
   cpu_streak_ = r.u64();
+  scrub_addr_ = r.u32();
+  next_scrub_cycle_ = r.u64();
   stats_.deserialize(r);
 }
 

@@ -55,6 +55,16 @@ struct MemorySystemConfig {
   /// (rows/cols/vals) but cannot anticipate the v[cols[k]] indirection.
   bool prefetch_enabled = false;
   std::uint32_t prefetch_degree = 2;
+  /// Background patrol scrubber (DESIGN.md §15): a lowest-priority
+  /// requester class that walks the SRAM one ECC word per scrub_period
+  /// cycles using *spare* arbitration slots only (demand traffic and the
+  /// prefetcher always win), correcting latent single-bit flips before a
+  /// second flip in the same word makes them uncorrectable. Excluded from
+  /// the snapshot config fingerprint (same discipline as host_fastforward):
+  /// scrubbing is an integrity knob, not a different machine, and with no
+  /// latent faults registered it never changes an architectural outcome.
+  bool scrub_enabled = false;
+  Cycle scrub_period = 64;  ///< cycles between patrol reads
   Addr mmio_base = 0xF000'0000u;
   Addr mmio_size = 0x1'0000u;
 
@@ -211,6 +221,12 @@ class MemorySystem {
   };
 
   void grant(const Pending& pending, Cycle now);
+  /// One patrol read: inspect the word under the scrub pointer, correct a
+  /// single latent flip (clear the cell), count an uncorrectable pair, and
+  /// advance the pointer (wrapping). Costs one spare grant slot; never
+  /// touches sram_queue_/in_flight_ (so idle() and the demand-grant
+  /// watchdog signal are unaffected) and never bumps mem.grants.
+  void scrubStep(Cycle now);
   void traceTick(Cycle now);
   /// Pick the flat requester index to grant the current slot (sram_queue_
   /// must be non-empty). Implements both policies over M requesters,
@@ -247,6 +263,10 @@ class MemorySystem {
   std::uint32_t rr_next_ = 0;
   std::uint32_t prio_next_[2] = {0, 0};  ///< indexed by role
   std::uint64_t cpu_streak_ = 0;
+  /// Patrol-scrubber walk state (serialized, snapshot v5): next word to
+  /// inspect and the cycle its next read becomes due.
+  Addr scrub_addr_ = 0;
+  Cycle next_scrub_cycle_ = 0;
   StatSet stats_;
 
   // Host-only trace state (not serialized).
@@ -269,6 +289,12 @@ class MemorySystem {
   std::uint64_t* drop_recoveries_;
   std::uint64_t* delayed_responses_;
   std::uint64_t* prefetch_fills_;
+  std::uint64_t* scrub_reads_;            ///< == patrol grants issued
+  std::uint64_t* scrub_corrected_;
+  std::uint64_t* scrub_uncorrectable_;
+  std::uint64_t* scrub_conflict_cycles_;  ///< due but no spare slot
+  std::uint64_t* secded_demand_corrected_;
+  std::uint64_t* secded_demand_uncorrectable_;
 };
 
 inline std::optional<MemResponse> MemorySystem::takeResponse(RequestId id) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstring>
+#include <map>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -37,7 +38,48 @@ class Sram {
   void write(Addr addr, std::uint32_t size, std::uint32_t value) {
     check(addr, size);
     std::memcpy(bytes_.data() + addr, &value, size);
+    if (!latent_.empty()) clearLatentRange(addr, size);
   }
+
+  // --- latent-fault registry (DESIGN.md §15) ---
+  //
+  // `bytes_` always holds the *true* data; `latent_` records at-rest bit
+  // flips per 32-bit ECC word (key = word-aligned address, value = flipped
+  // bit mask). A demand read of a word with one flipped bit is corrected
+  // in flight (SECDED) but the cell stays dirty until a write refreshes it
+  // or the patrol scrubber cleans it; two or more flips in one word are
+  // uncorrectable and the response is poisoned. With no flips registered
+  // every path below is a single `empty()` test — zero-cost.
+
+  /// XOR `mask` into the latent-flip registry of the word containing
+  /// `addr`. An even re-flip of the same bits clears the entry.
+  void injectLatentFlip(Addr addr, std::uint32_t mask) {
+    check(addr & ~Addr{3}, 4);
+    if (mask == 0) return;
+    const Addr word = addr & ~Addr{3};
+    const std::uint32_t merged = latent_[word] ^ mask;
+    if (merged == 0) {
+      latent_.erase(word);
+    } else {
+      latent_[word] = merged;
+    }
+  }
+
+  std::size_t latentCount() const { return latent_.size(); }
+
+  /// Flipped-bit mask of the word containing `addr` (0 = clean).
+  std::uint32_t latentMask(Addr addr) const {
+    if (latent_.empty()) return 0;
+    auto it = latent_.find(addr & ~Addr{3});
+    return it == latent_.end() ? 0 : it->second;
+  }
+
+  /// Scrub correction: drop the registry entry of the word containing
+  /// `addr` (the scrubber rewrites the cell from the corrected data).
+  void clearLatentWord(Addr addr) { latent_.erase(addr & ~Addr{3}); }
+
+  /// Word-aligned addresses with latent flips, in address order.
+  const std::map<Addr, std::uint32_t>& latentWords() const { return latent_; }
 
   /// Bulk helpers for loading workloads / reading back results. These are
   /// host-side conveniences and carry no simulated cost.
@@ -45,6 +87,7 @@ class Sram {
     check(addr, data.size());
     if (data.empty()) return;  // empty span has a null data(); memcpy forbids it
     std::memcpy(bytes_.data() + addr, data.data(), data.size());
+    if (!latent_.empty()) clearLatentRange(addr, data.size());
   }
   void peekBytes(Addr addr, std::span<std::byte> out) const {
     check(addr, out.size());
@@ -81,6 +124,11 @@ class Sram {
   void serialize(sim::StateWriter& w) const {
     w.tag("SRAM");
     w.bytes(bytes_.data(), bytes_.size());
+    w.u64(latent_.size());  // snapshot v5: latent-flip registry
+    for (const auto& [word, mask] : latent_) {
+      w.u64(word);
+      w.u32(mask);
+    }
   }
 
   /// The SRAM is sized by config, never by snapshot: a size mismatch means
@@ -94,6 +142,12 @@ class Sram {
                               " != configured " + std::to_string(bytes_.size()));
     }
     bytes_ = std::move(blob);
+    latent_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Addr word = static_cast<Addr>(r.u64());
+      latent_[word] = r.u32();
+    }
   }
 
  private:
@@ -106,7 +160,14 @@ class Sram {
     }
   }
 
+  void clearLatentRange(Addr addr, std::size_t len) {
+    const Addr first = addr & ~Addr{3};
+    const Addr last = (addr + static_cast<Addr>(len) - 1) & ~Addr{3};
+    latent_.erase(latent_.lower_bound(first), latent_.upper_bound(last));
+  }
+
   std::vector<std::uint8_t> bytes_;
+  std::map<Addr, std::uint32_t> latent_;
 };
 
 }  // namespace hht::mem

@@ -130,6 +130,10 @@ ProfileReport profile(const TraceSink& sink) {
       case EventKind::kFwRowEnd:
         ++rep.fw_row_ends;
         break;
+      case EventKind::kScrubGrant:
+        ++rep.scrub_grants;
+        if (ev.b == 1) ++rep.scrub_corrected;
+        break;
       case EventKind::kRunEnd:
         if (ev.a > rep.horizon) rep.horizon = static_cast<sim::Cycle>(ev.a);
         break;

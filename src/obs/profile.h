@@ -34,9 +34,14 @@ struct ProfileReport {
   std::uint64_t fifo_pushes = 0;      ///< slots drained FE-ward (sum of a)
   std::uint64_t fifo_not_ready = 0;   ///< == hht.cpu_wait_cycles
   std::uint64_t fifo_full = 0;        ///< == hht.stall_buffers_full
-  std::uint64_t mem_grants = 0;       ///< == mem.grants
+  std::uint64_t mem_grants = 0;       ///< == mem.grants (demand only)
   std::uint64_t mem_conflict_cpu = 0; ///< == mem.cpu.conflict_cycles
   std::uint64_t mem_conflict_hht = 0; ///< == mem.hht.conflict_cycles
+  /// Patrol-scrubber reads (kScrubGrant, its own requester class):
+  /// == mem.scrub.reads. Kept apart from mem_grants so the demand-grant
+  /// reconciliation above survives with scrubbing enabled.
+  std::uint64_t scrub_grants = 0;
+  std::uint64_t scrub_corrected = 0;  ///< patrol reads that fixed a flip
   std::uint64_t mmr_writes = 0;
   std::uint64_t engine_rows_done = 0;
   std::uint64_t engine_emit_stalls = 0;

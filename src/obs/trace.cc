@@ -10,6 +10,7 @@ std::string_view categoryName(std::uint32_t category_bit) {
     case bit(Category::kPipe): return "pipe";
     case bit(Category::kMmr): return "mmr";
     case bit(Category::kSystem): return "system";
+    case bit(Category::kScrub): return "scrub";
     default: return "unknown";
   }
 }
@@ -43,6 +44,7 @@ std::string_view kindName(EventKind k) {
     case EventKind::kFwPush: return "fw_push";
     case EventKind::kFwRowEnd: return "fw_row_end";
     case EventKind::kRunEnd: return "run_end";
+    case EventKind::kScrubGrant: return "scrub_grant";
     default: return "unknown";
   }
 }
@@ -77,6 +79,8 @@ std::optional<std::uint32_t> parseCategoryList(std::string_view list) {
       mask |= bit(Category::kMmr);
     } else if (name == "system") {
       mask |= bit(Category::kSystem);
+    } else if (name == "scrub") {
+      mask |= bit(Category::kScrub);
     } else {
       return std::nullopt;
     }

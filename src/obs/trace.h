@@ -21,9 +21,10 @@ enum class Category : std::uint32_t {
   kPipe = 1u << 3,    ///< HHT BE: device/engine occupancy, rows, emit stalls
   kMmr = 1u << 4,     ///< MMR writes
   kSystem = 1u << 5,  ///< run horizon markers
+  kScrub = 1u << 6,   ///< memory patrol-scrubber reads (DESIGN.md §15)
 };
 
-inline constexpr std::uint32_t kAllCategories = 0x3F;
+inline constexpr std::uint32_t kAllCategories = 0x7F;
 
 constexpr std::uint32_t bit(Category c) {
   return static_cast<std::uint32_t>(c);
@@ -60,6 +61,10 @@ inline constexpr std::size_t kNumComponents =
 ///   kFwPush        a = value bits, b = 1 when pushed via the EOR port
 ///   kFwRowEnd      firmware closed a row
 ///   kRunEnd        a = horizon (total simulated cycles this run segment)
+///   kScrubGrant    a = patrol word address, b = 0 clean / 1 corrected /
+///                  2 uncorrectable (its own kind, NOT kMemGrant: patrol
+///                  reads never count toward mem.grants, so the profiler's
+///                  mem_grants == mem.grants reconciliation stays exact)
 enum class EventKind : std::uint16_t {
   kPhase = 0,
   kRetire,
@@ -76,6 +81,7 @@ enum class EventKind : std::uint16_t {
   kFwPush,
   kFwRowEnd,
   kRunEnd,
+  kScrubGrant,
   kCount,
 };
 

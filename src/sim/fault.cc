@@ -10,6 +10,7 @@ FaultInjector::FaultInjector(const FaultConfig& config)
   c_delays_ = &stats_.counter("faults.delays");
   c_glitches_ = &stats_.counter("faults.mmr_glitches");
   c_fifo_ = &stats_.counter("faults.fifo_corruptions");
+  c_silent_ = &stats_.counter("faults.silent_fifo_flips");
   c_total_ = &stats_.counter("faults.total_injected");
 }
 
@@ -51,6 +52,19 @@ bool FaultInjector::glitchMmrValue(std::uint32_t& value) {
 
 bool FaultInjector::corruptFifoSlot(std::uint32_t& bits) {
   return flipOneBit(bits, cfg_.fifo_corrupt_rate, c_fifo_);
+}
+
+bool FaultInjector::silentFifoFlip(std::uint32_t& bits) {
+  if (!cfg_.enabled || cfg_.sdc_fifo_ordinal == FaultConfig::kNoSdc) {
+    return false;
+  }
+  const bool hit = sdc_fifo_seen_ == cfg_.sdc_fifo_ordinal;
+  ++sdc_fifo_seen_;
+  if (!hit) return false;
+  bits ^= 1u << (cfg_.sdc_fifo_bit & 31u);
+  ++*c_silent_;
+  ++*c_total_;
+  return true;
 }
 
 }  // namespace hht::sim

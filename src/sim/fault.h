@@ -21,6 +21,7 @@ enum class FaultCause : std::uint32_t {
   MalformedMeta = 4,    ///< inconsistent metadata (e.g. rows[r+1] < rows[r])
   FifoParity = 5,       ///< CPU-side buffer entry failed its parity check
   MemUncorrectable = 6, ///< ECC-uncorrectable memory response reached the BE
+  StreamCheck = 7,      ///< end-to-end stream checksum mismatch at delivery
 };
 
 inline const char* faultCauseName(FaultCause cause) {
@@ -32,6 +33,7 @@ inline const char* faultCauseName(FaultCause cause) {
     case FaultCause::MalformedMeta: return "malformed-metadata";
     case FaultCause::FifoParity: return "fifo-parity";
     case FaultCause::MemUncorrectable: return "mem-uncorrectable";
+    case FaultCause::StreamCheck: return "stream-check";
   }
   return "?";
 }
@@ -66,6 +68,19 @@ struct FaultConfig {
   /// Cycles a dropped response costs before the controller's re-request
   /// completes (timeout + reissue).
   Cycle drop_penalty_cycles = 64;
+
+  /// Sentinel for the silent-SDC ordinals below: no injection.
+  static constexpr std::uint64_t kNoSdc = ~std::uint64_t{0};
+
+  /// Silent-data-corruption mode for the SDC coverage campaign: flip bit
+  /// `sdc_fifo_bit` of the Nth data slot pushed into a CPU-side buffer
+  /// *without* marking its parity tag bad — the flip evades every modeled
+  /// detection site and can only be caught by the end-to-end stream
+  /// checksum (or the host-side reference diff). Deterministic (ordinal
+  /// counting, no PRNG draw), so enabling it never perturbs the seeded
+  /// fault stream of the probabilistic injectors above.
+  std::uint64_t sdc_fifo_ordinal = kNoSdc;
+  std::uint32_t sdc_fifo_bit = 0;
 
   void validate() const {
     const double rates[] = {sram_read_flip_rate, drop_rate, delay_rate,
@@ -115,6 +130,10 @@ class FaultInjector {
   /// Maybe flip one bit of a slot entering a CPU-side buffer. Returns true
   /// when corrupted (the slot's parity tag goes bad).
   bool corruptFifoSlot(std::uint32_t& bits);
+  /// Parity-evading flip of the configured Nth buffer push (FaultConfig::
+  /// sdc_fifo_ordinal). Returns true when this push is the target; the
+  /// caller leaves the parity tag GOOD — the corruption is silent.
+  bool silentFifoFlip(std::uint32_t& bits);
 
   /// Total injections of any type so far.
   std::uint64_t injected() const { return *c_total_; }
@@ -129,11 +148,13 @@ class FaultInjector {
     w.tag("FINJ");
     rng_.serialize(w);
     stats_.serialize(w);
+    w.u64(sdc_fifo_seen_);  // snapshot v5
   }
   void deserialize(StateReader& r) {
     r.expectTag("FINJ");
     rng_.deserialize(r);
     stats_.deserialize(r);
+    sdc_fifo_seen_ = r.u64();
   }
 
  private:
@@ -142,11 +163,13 @@ class FaultInjector {
   FaultConfig cfg_;
   Rng rng_;
   StatSet stats_;
+  std::uint64_t sdc_fifo_seen_ = 0;  ///< buffer pushes observed so far
   std::uint64_t* c_flips_;
   std::uint64_t* c_drops_;
   std::uint64_t* c_delays_;
   std::uint64_t* c_glitches_;
   std::uint64_t* c_fifo_;
+  std::uint64_t* c_silent_;
   std::uint64_t* c_total_;
 };
 
