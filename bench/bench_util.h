@@ -12,6 +12,13 @@
 //                      results must be bit-identical either way)
 //   --timeout-ms=N     host wall-clock budget; the process prints a
 //                      diagnostic and exits 124 if exceeded (HostTimeout)
+// Benches that compare host run-loop strategies (parse with with_mode)
+// also accept:
+//   --mode=naive|fast|event
+//                      restrict the run to one strategy (default: run all
+//                      three and gate each faster mode >= 1.0x the previous)
+//   --repeat=N         sample each pass N times and report the minimum
+//                      wall time (min-of-N; default 1)
 // Benches that wire a representative traced run (parse(..., true)) also
 // accept:
 //   --trace=FILE       after the sweep, re-run one representative point
@@ -26,6 +33,7 @@
 // expected values next to the measured ones so a reader can check the
 // reproduced *shape* directly from the output.
 
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -45,6 +53,16 @@
 
 namespace hht::benchutil {
 
+/// Host run-loop selection for benches that expose --mode (sim_throughput).
+/// Each mode must be at least as fast as the previous one on the bench's
+/// aggregate workload — the bench itself gates on the chain.
+enum class RunMode {
+  kAll,    ///< flag absent: run every mode and verify the chain
+  kNaive,  ///< per-cycle reference loop (host_fastforward off)
+  kFast,   ///< quiescence fast-forward (SchedMode::Quiescence)
+  kEvent,  ///< event-scheduled calendar loop (SchedMode::Event)
+};
+
 struct Options {
   bool csv = false;
   std::uint32_t size = 0;     ///< 0 = figure default
@@ -52,6 +70,8 @@ struct Options {
   unsigned jobs = 0;          ///< 0 = hardware_concurrency
   bool fastforward = true;    ///< SystemConfig::host_fastforward
   std::uint32_t timeout_ms = 0;  ///< host wall-clock limit; 0 = none
+  RunMode mode = RunMode::kAll;  ///< --mode (benches parsed with with_mode)
+  unsigned repeat = 1;        ///< --repeat: min-of-N wall-time sampling
   std::string trace_file;     ///< empty = no tracing
   std::uint32_t trace_categories = obs::kAllCategories;
 
@@ -59,16 +79,32 @@ struct Options {
 };
 
 [[noreturn]] inline void usage(const char* prog, const char* error,
-                               bool with_trace = false) {
+                               bool with_trace = false,
+                               bool with_mode = false) {
   if (error != nullptr) {
     std::fprintf(stderr, "%s: %s\n", prog, error);
   }
   std::fprintf(stderr,
                "usage: %s [--csv] [--size=N] [--seed=S] [--jobs=N]"
-               " [--no-fastforward] [--timeout-ms=N]%s\n",
+               " [--no-fastforward] [--timeout-ms=N]%s%s\n",
                prog,
+               with_mode ? " [--mode=naive|fast|event] [--repeat=N]" : "",
                with_trace ? " [--trace=FILE] [--trace-categories=LIST]" : "");
   std::exit(error == nullptr ? 0 : 2);
+}
+
+/// Strict base-10 parse of a whole argument value: empty strings, trailing
+/// junk ("3x"), signs and overflow all fail. The permissive strtoul-style
+/// parsing used to accept "--repeat=3x" as 3 — a silently wrong sample
+/// count in scripted sweeps.
+inline bool parseU64(const char* s, std::uint64_t& out) {
+  if (*s == '\0' || *s == '-' || *s == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  out = v;
+  return true;
 }
 
 enum class ParseStatus { kOk, kHelp, kError };
@@ -91,9 +127,11 @@ enum class ParseStatus { kOk, kHelp, kError };
 /// responsible for rejecting anything left over, so a typo still fails.
 inline ParseStatus tryParse(int argc, char** argv, bool with_trace,
                             Options& opt, std::string& error,
-                            std::vector<std::string>* extra = nullptr) {
+                            std::vector<std::string>* extra = nullptr,
+                            bool with_mode = false) {
   enum Flag {
-    kCsv, kSize, kSeed, kJobs, kNoFf, kTimeout, kTrace, kTraceCat, kNumFlags
+    kCsv, kSize, kSeed, kJobs, kNoFf, kTimeout, kMode, kRepeat, kTrace,
+    kTraceCat, kNumFlags
   };
   bool seen[kNumFlags] = {};
   const auto once = [&](Flag f, const char* name) {
@@ -104,20 +142,31 @@ inline ParseStatus tryParse(int argc, char** argv, bool with_trace,
     seen[f] = true;
     return true;
   };
+  const auto number = [&](const char* value, const char* name,
+                          std::uint64_t& out) {
+    if (parseU64(value, out)) return true;
+    error = std::string("bad value '") + value + "' for --" + name +
+            " (want a base-10 integer)";
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    std::uint64_t value = 0;
     if (std::strcmp(arg, "--csv") == 0) {
       if (!once(kCsv, "csv")) return ParseStatus::kError;
       opt.csv = true;
     } else if (std::strncmp(arg, "--size=", 7) == 0) {
       if (!once(kSize, "size")) return ParseStatus::kError;
-      opt.size = static_cast<std::uint32_t>(std::strtoul(arg + 7, nullptr, 10));
+      if (!number(arg + 7, "size", value)) return ParseStatus::kError;
+      opt.size = static_cast<std::uint32_t>(value);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       if (!once(kSeed, "seed")) return ParseStatus::kError;
-      opt.seed = std::strtoull(arg + 7, nullptr, 10);
+      if (!number(arg + 7, "seed", value)) return ParseStatus::kError;
+      opt.seed = value;
     } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
       if (!once(kJobs, "jobs")) return ParseStatus::kError;
-      opt.jobs = static_cast<unsigned>(std::strtoul(arg + 7, nullptr, 10));
+      if (!number(arg + 7, "jobs", value)) return ParseStatus::kError;
+      opt.jobs = static_cast<unsigned>(value);
       if (opt.jobs == 0) {
         error = "--jobs must be >= 1 (omit the flag to use all hardware "
                 "threads)";
@@ -128,11 +177,33 @@ inline ParseStatus tryParse(int argc, char** argv, bool with_trace,
       opt.fastforward = false;
     } else if (std::strncmp(arg, "--timeout-ms=", 13) == 0) {
       if (!once(kTimeout, "timeout-ms")) return ParseStatus::kError;
-      opt.timeout_ms =
-          static_cast<std::uint32_t>(std::strtoul(arg + 13, nullptr, 10));
+      if (!number(arg + 13, "timeout-ms", value)) return ParseStatus::kError;
+      opt.timeout_ms = static_cast<std::uint32_t>(value);
       if (opt.timeout_ms == 0) {
         error = "--timeout-ms must be >= 1 (omit the flag to run without a "
                 "host watchdog)";
+        return ParseStatus::kError;
+      }
+    } else if (with_mode && std::strncmp(arg, "--mode=", 7) == 0) {
+      if (!once(kMode, "mode")) return ParseStatus::kError;
+      const char* v = arg + 7;
+      if (std::strcmp(v, "naive") == 0) {
+        opt.mode = RunMode::kNaive;
+      } else if (std::strcmp(v, "fast") == 0) {
+        opt.mode = RunMode::kFast;
+      } else if (std::strcmp(v, "event") == 0) {
+        opt.mode = RunMode::kEvent;
+      } else {
+        error = std::string("bad value '") + v +
+                "' for --mode (want naive, fast or event)";
+        return ParseStatus::kError;
+      }
+    } else if (with_mode && std::strncmp(arg, "--repeat=", 9) == 0) {
+      if (!once(kRepeat, "repeat")) return ParseStatus::kError;
+      if (!number(arg + 9, "repeat", value)) return ParseStatus::kError;
+      opt.repeat = static_cast<unsigned>(value);
+      if (opt.repeat == 0) {
+        error = "--repeat must be >= 1 (omit the flag for a single sample)";
         return ParseStatus::kError;
       }
     } else if (with_trace && std::strncmp(arg, "--trace=", 8) == 0) {
@@ -163,17 +234,18 @@ inline ParseStatus tryParse(int argc, char** argv, bool with_trace,
   return ParseStatus::kOk;
 }
 
-inline Options parse(int argc, char** argv, bool with_trace = false) {
+inline Options parse(int argc, char** argv, bool with_trace = false,
+                     bool with_mode = false) {
   Options opt;
   std::string error;
-  switch (tryParse(argc, argv, with_trace, opt, error)) {
+  switch (tryParse(argc, argv, with_trace, opt, error, nullptr, with_mode)) {
     case ParseStatus::kOk:
       return opt;
     case ParseStatus::kHelp:
-      usage(argv[0], nullptr, with_trace);
+      usage(argv[0], nullptr, with_trace, with_mode);
     case ParseStatus::kError:
     default:
-      usage(argv[0], error.c_str(), with_trace);
+      usage(argv[0], error.c_str(), with_trace, with_mode);
   }
 }
 

@@ -1,22 +1,39 @@
 // Simulator-throughput benchmark: how fast does the *host* simulate?
 //
-// Workload: the Fig. 4 SpMV set (9 sparsity levels x {baseline, HHT-1buf,
-// HHT-2buf}), run twice —
-//   naive: per-cycle loop (host_fastforward off), serial
-//   fast:  quiescence skipping on + parallel sweep across --jobs threads
-// The two passes must produce bit-identical simulation results (final
-// cycles, wait counters, every stat, the output vector); the binary exits
-// non-zero on any mismatch, so the throughput number can never come from
-// a simulator that cheated.
+// Three run-loop strategies over the same workload set:
+//   naive: per-cycle reference loop (host_fastforward off)
+//   fast:  quiescence fast-forward (SchedMode::Quiescence)
+//   event: event-scheduled calendar loop (SchedMode::Event)
+// All passes must produce bit-identical simulation results (final cycles,
+// wait counters, every stat, the output vector); the binary exits non-zero
+// on any mismatch, so the throughput numbers can never come from a
+// simulator that cheated. By default every mode runs and the chain is
+// gated: fast >= naive and event >= fast on aggregate Mcycles/s
+// (--mode=X restricts to one pass for profiling; --repeat=N takes the
+// minimum wall time of N samples per pass).
+//
+// The workload set spans three host-cost regimes, so the aggregate rewards
+// a loop that is fast where skipping is impossible AND where it is easy:
+//   busy:        Fig. 4 SpMV set on a 1-cycle SRAM — some component has
+//                work almost every cycle; skip-hostile.
+//   short-stall: scalar baseline on a 6-cycle SRAM — every load opens a
+//                4-6 cycle hole, below the quiescence loop's minimum
+//                profitable skip; only per-component event scheduling
+//                recovers these.
+//   deep-stall:  scalar baseline and HHT SpMV on a 512-cycle SRAM — long
+//                stalls both accelerated loops must fast-forward.
 //
 // Output: a human table (or --csv) plus BENCH_sim_throughput.json in the
-// current directory. CI gates on `in_binary_speedup` (fast vs naive in the
-// same binary — machine-independent enough to compare across runners)
-// against bench/sim_throughput_baseline.json.
+// current directory, including a per-matrix wall-time breakdown for every
+// mode. CI gates on `in_binary_speedup` (event vs naive in the same
+// binary — machine-independent enough to compare across runners) against
+// bench/sim_throughput_baseline.json.
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -29,11 +46,54 @@ namespace {
 
 using namespace hht;
 
+enum ModeIdx { kNaive = 0, kFast = 1, kEvent = 2, kNumModes = 3 };
+constexpr const char* kModeNames[kNumModes] = {"naive", "fast", "event"};
+
+harness::SystemConfig applyMode(harness::SystemConfig cfg, ModeIdx mode) {
+  switch (mode) {
+    case kNaive:
+      cfg.host_fastforward = false;
+      cfg.sched_mode = harness::SchedMode::Naive;
+      break;
+    case kFast:
+      cfg.host_fastforward = true;
+      cfg.sched_mode = harness::SchedMode::Quiescence;
+      break;
+    default:
+      cfg.host_fastforward = true;
+      cfg.sched_mode = harness::SchedMode::Event;
+      break;
+  }
+  return cfg;
+}
+
+/// One matrix x kernel point. `kind` selects the runner; `cfg` carries the
+/// regime's memory latency (mode knobs are overwritten per pass).
+struct Work {
+  const char* regime;
+  const char* kind;
+  int s = 0;  ///< fill percentage
+  harness::SystemConfig cfg;
+  sparse::CsrMatrix m;
+  sparse::DenseVector v;
+};
+
+harness::RunResult runWork(const Work& w, ModeIdx mode) {
+  const harness::SystemConfig cfg = applyMode(w.cfg, mode);
+  if (std::strcmp(w.kind, "baseline_scalar") == 0) {
+    return harness::runSpmvBaseline(cfg, w.m, w.v, /*vectorized=*/false);
+  }
+  if (std::strcmp(w.kind, "baseline_vec") == 0) {
+    return harness::runSpmvBaseline(cfg, w.m, w.v, /*vectorized=*/true);
+  }
+  return harness::runSpmvHht(cfg, w.m, w.v, /*vectorized=*/true);
+}
+
 bool sameResult(const harness::RunResult& a, const harness::RunResult& b,
-                const char* what, int s) {
+                const Work& w, const char* mode) {
   const auto fail = [&](const char* field) {
-    std::cerr << "MISMATCH [" << what << " @" << s << "%] field " << field
-              << "\n";
+    std::cerr << "MISMATCH [" << mode << " vs naive: " << w.regime << "/"
+              << w.kind << " @" << w.s << "%] field " << field << "\n";
     return false;
   };
   if (a.cycles != b.cycles) return fail("cycles");
@@ -54,118 +114,272 @@ bool sameResult(const harness::RunResult& a, const harness::RunResult& b,
   return true;
 }
 
+struct Pass {
+  bool ran = false;
+  std::vector<harness::RunResult> results;
+  std::vector<double> item_s;  ///< min-of-N wall per work item
+  double wall_s = 0.0;         ///< min-of-N wall for the whole pass
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace hht;
   using Clock = std::chrono::steady_clock;
-  const benchutil::Options opt = benchutil::parse(argc, argv);
+  const benchutil::Options opt =
+      benchutil::parse(argc, argv, /*with_trace=*/false, /*with_mode=*/true);
+  if (!opt.fastforward) {
+    benchutil::usage(argv[0],
+                     "--no-fastforward is not meaningful here; use "
+                     "--mode=naive for the per-cycle reference pass",
+                     false, true);
+  }
   const benchutil::HostTimeout host_watchdog(opt.timeout_ms, "sim_throughput");
   const sim::Index n = opt.size ? opt.size : 512;
+  const sim::Index n_stall = n / 2;
 
-  harness::printBanner(std::cout, "Throughput",
-                       "host simulation rate on the Fig. 4 SpMV workload set");
+  harness::printBanner(
+      std::cout, "Throughput",
+      "host simulation rate: busy / short-stall / deep-stall SpMV regimes");
 
-  struct Work {
-    int s = 0;
-    sparse::CsrMatrix m;
-    sparse::DenseVector v;
-  };
   std::vector<Work> works;
-  for (int s = 10; s <= 90; s += 10) {
+  const auto add = [&](const char* regime, const char* kind, int s,
+                       sim::Index dim, sim::Cycle sram_latency,
+                       std::uint32_t buffers) {
     Work w;
+    w.regime = regime;
+    w.kind = kind;
     w.s = s;
-    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s));
-    w.m = workload::randomCsr(rng, n, n, s / 100.0);
-    w.v = workload::randomDenseVector(rng, n);
+    w.cfg = harness::defaultConfig(buffers);
+    w.cfg.memory.sram_latency = sram_latency;
+    sim::Rng rng(opt.seed + static_cast<std::uint64_t>(s) +
+                 1000 * sram_latency);
+    w.m = workload::randomCsr(rng, dim, dim, s / 100.0);
+    w.v = workload::randomDenseVector(rng, dim);
     works.push_back(std::move(w));
+  };
+  // busy: the Fig. 4 set — 9 sparsities x {vector baseline, 1/2-buffer
+  // HHT} on the default 1-cycle SRAM.
+  for (int s = 10; s <= 90; s += 10) {
+    add("busy", "baseline_vec", s, n, 1, 2);
+    add("busy", "hht_1buf", s, n, 1, 1);
+    add("busy", "hht_2buf", s, n, 1, 2);
+  }
+  // short-stall: every scalar load opens a 4-6 cycle hole — too small for
+  // the quiescence loop's minimum profitable skip.
+  for (int s = 10; s <= 90; s += 10) {
+    add("short_stall", "baseline_scalar", s, n, 6, 2);
+  }
+  // deep-stall: 2048-cycle loads; both accelerated loops must fast-forward
+  // the holes or drown.
+  add("deep_stall", "baseline_scalar", 30, n_stall, 2048, 2);
+  add("deep_stall", "baseline_scalar", 70, n_stall, 2048, 2);
+  add("deep_stall", "hht_2buf", 50, n_stall, 2048, 2);
+
+  const unsigned jobs =
+      opt.jobs == 0 ? harness::SweepRunner::defaultJobs() : opt.jobs;
+  const auto runPass = [&](ModeIdx mode) {
+    Pass pass;
+    pass.ran = true;
+    pass.item_s.assign(works.size(), 0.0);
+    for (unsigned r = 0; r < opt.repeat; ++r) {
+      std::vector<double> item_s(works.size(), 0.0);
+      harness::SweepRunner sweep(jobs);
+      const auto t0 = Clock::now();
+      auto results = sweep.run(works.size(), [&](std::size_t i) {
+        const auto w0 = Clock::now();
+        harness::RunResult res = runWork(works[i], mode);
+        item_s[i] = std::chrono::duration<double>(Clock::now() - w0).count();
+        return res;
+      });
+      const double wall =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      if (r == 0 || wall < pass.wall_s) {
+        pass.wall_s = wall;
+        pass.item_s = std::move(item_s);
+      }
+      if (r == 0) pass.results = std::move(results);
+    }
+    return pass;
+  };
+
+  std::array<Pass, kNumModes> passes;
+  const auto wantMode = [&](ModeIdx m) {
+    switch (opt.mode) {
+      case benchutil::RunMode::kAll:
+        return true;
+      case benchutil::RunMode::kNaive:
+        return m == kNaive;
+      case benchutil::RunMode::kFast:
+        return m == kFast;
+      default:
+        return m == kEvent;
+    }
+  };
+  for (int m = 0; m < kNumModes; ++m) {
+    if (wantMode(static_cast<ModeIdx>(m))) {
+      passes[m] = runPass(static_cast<ModeIdx>(m));
+    }
   }
 
-  using Triple = std::array<harness::RunResult, 3>;
-  const auto runSet = [&](bool fastforward, unsigned jobs) {
-    harness::SweepRunner sweep(jobs);
-    return sweep.run(works.size(), [&](std::size_t i) {
-      auto config = [&](std::uint32_t buffers) {
-        harness::SystemConfig cfg = harness::defaultConfig(buffers);
-        cfg.host_fastforward = fastforward;
-        return cfg;
-      };
-      Triple r;
-      r[0] = harness::runSpmvBaseline(config(2), works[i].m, works[i].v, true);
-      r[1] = harness::runSpmvHht(config(1), works[i].m, works[i].v, true);
-      r[2] = harness::runSpmvHht(config(2), works[i].m, works[i].v, true);
-      return r;
-    });
-  };
-
-  const auto t0 = Clock::now();
-  const std::vector<Triple> naive = runSet(false, 1);
-  const auto t1 = Clock::now();
-  // --no-fastforward turns the "fast" pass into a parallel-only pass so the
-  // A/B check still runs; the headline numbers assume the default.
-  const std::vector<Triple> fast = runSet(opt.fastforward, opt.jobs);
-  const auto t2 = Clock::now();
-
+  // Bit-identity: every accelerated pass must match the reference pass on
+  // every run surface (only checkable when both ran).
   bool identical = true;
-  std::uint64_t total_cycles = 0;
-  const char* kinds[3] = {"baseline", "hht_1buf", "hht_2buf"};
-  for (std::size_t i = 0; i < works.size(); ++i) {
-    for (int j = 0; j < 3; ++j) {
-      identical &= sameResult(naive[i][j], fast[i][j], kinds[j], works[i].s);
-      total_cycles += naive[i][j].cycles;
+  if (passes[kNaive].ran) {
+    for (int m = kFast; m < kNumModes; ++m) {
+      if (!passes[m].ran) continue;
+      for (std::size_t i = 0; i < works.size(); ++i) {
+        identical &= sameResult(passes[m].results[i],
+                                passes[kNaive].results[i], works[i],
+                                kModeNames[m]);
+      }
     }
   }
   if (!identical) {
-    std::cerr << "sim_throughput: fast path diverged from the naive loop\n";
+    std::cerr << "sim_throughput: accelerated pass diverged from the naive "
+                 "loop\n";
     return 1;
   }
 
-  const double naive_s = std::chrono::duration<double>(t1 - t0).count();
-  const double fast_s = std::chrono::duration<double>(t2 - t1).count();
-  const double naive_mcps = total_cycles / naive_s / 1e6;
-  const double fast_mcps = total_cycles / fast_s / 1e6;
-  const double speedup = fast_s > 0.0 ? naive_s / fast_s : 0.0;
-  const unsigned jobs =
-      opt.jobs == 0 ? harness::SweepRunner::defaultJobs() : opt.jobs;
+  std::uint64_t total_cycles = 0;
+  const Pass& any =
+      passes[kNaive].ran ? passes[kNaive]
+                         : (passes[kFast].ran ? passes[kFast] : passes[kEvent]);
+  std::vector<std::uint64_t> item_cycles(works.size(), 0);
+  for (std::size_t i = 0; i < works.size(); ++i) {
+    item_cycles[i] = any.results[i].cycles;
+    total_cycles += item_cycles[i];
+  }
 
-  harness::Table table({"pass", "wall_s", "Mcycles/s", "speedup"});
-  table.addRow({"naive (per-cycle, serial)", harness::fmt(naive_s, 3),
-                harness::fmt(naive_mcps, 2), "1.00"});
-  table.addRow({"fast (skip + " + std::to_string(jobs) + " jobs)",
-                harness::fmt(fast_s, 3), harness::fmt(fast_mcps, 2),
-                harness::fmt(speedup)});
+  const auto mcps = [&](const Pass& p) {
+    return p.wall_s > 0.0 ? total_cycles / p.wall_s / 1e6 : 0.0;
+  };
+
+  harness::Table table({"pass", "wall_s", "Mcycles/s", "vs_prev"});
+  double prev_mcps = 0.0;
+  bool chain_ok = true;
+  for (int m = 0; m < kNumModes; ++m) {
+    if (!passes[m].ran) continue;
+    const double cur = mcps(passes[m]);
+    const double ratio = prev_mcps > 0.0 ? cur / prev_mcps : 1.0;
+    if (prev_mcps > 0.0 && ratio < 1.0) chain_ok = false;
+    std::string name = kModeNames[m];
+    if (m == kNaive) name += " (per-cycle reference)";
+    if (m == kFast) name += " (quiescence skip)";
+    if (m == kEvent) name += " (event calendar)";
+    table.addRow({name, harness::fmt(passes[m].wall_s, 3),
+                  harness::fmt(cur, 2),
+                  prev_mcps > 0.0 ? harness::fmt(ratio) : std::string("-")});
+    prev_mcps = cur;
+  }
   if (opt.csv) {
     table.printCsv(std::cout);
   } else {
     table.print(std::cout);
   }
-  std::cout << "simulated " << total_cycles
-            << " cycles per pass; results bit-identical across passes\n";
+  std::cout << "simulated " << total_cycles << " cycles per pass ("
+            << works.size() << " matrices, " << jobs << " jobs, min of "
+            << opt.repeat << " sample" << (opt.repeat == 1 ? "" : "s") << ")"
+            << (opt.mode == benchutil::RunMode::kAll
+                    ? "; results bit-identical across passes\n"
+                    : "\n");
+
+  // Per-regime summary: where each loop earns (or pays for) its keep.
+  if (opt.mode == benchutil::RunMode::kAll) {
+    harness::Table regimes(
+        {"regime", "cycles", "naive_s", "fast_s", "event_s"});
+    const char* kRegimes[3] = {"busy", "short_stall", "deep_stall"};
+    for (const char* reg : kRegimes) {
+      std::uint64_t c = 0;
+      double w[kNumModes] = {};
+      for (std::size_t i = 0; i < works.size(); ++i) {
+        if (std::strcmp(works[i].regime, reg) != 0) continue;
+        c += item_cycles[i];
+        for (int m = 0; m < kNumModes; ++m) w[m] += passes[m].item_s[i];
+      }
+      regimes.addRow({reg, std::to_string(c), harness::fmt(w[kNaive], 3),
+                      harness::fmt(w[kFast], 3), harness::fmt(w[kEvent], 3)});
+    }
+    if (opt.csv) {
+      regimes.printCsv(std::cout);
+    } else {
+      regimes.print(std::cout);
+    }
+  }
 
   std::FILE* f = std::fopen("BENCH_sim_throughput.json", "w");
   if (f == nullptr) {
     std::cerr << "cannot write BENCH_sim_throughput.json\n";
     return 1;
   }
+  const char* mode_str = opt.mode == benchutil::RunMode::kAll
+                             ? "all"
+                             : kModeNames[opt.mode == benchutil::RunMode::kNaive
+                                              ? kNaive
+                                              : opt.mode ==
+                                                        benchutil::RunMode::kFast
+                                                    ? kFast
+                                                    : kEvent];
   std::fprintf(f,
                "{\n"
-               "  \"workload\": \"fig4_spmv_set\",\n"
+               "  \"workload\": \"spmv_busy_shortstall_deepstall\",\n"
                "  \"size\": %u,\n"
                "  \"seed\": %llu,\n"
                "  \"jobs\": %u,\n"
-               "  \"fastforward\": %s,\n"
-               "  \"simulated_cycles\": %llu,\n"
-               "  \"naive\": {\"wall_s\": %.6f, \"mcycles_per_s\": %.3f},\n"
-               "  \"fast\": {\"wall_s\": %.6f, \"mcycles_per_s\": %.3f},\n"
-               "  \"in_binary_speedup\": %.3f,\n"
-               "  \"bit_identical\": true\n"
-               "}\n",
+               "  \"mode\": \"%s\",\n"
+               "  \"repeat\": %u,\n"
+               "  \"simulated_cycles\": %llu,\n",
                static_cast<unsigned>(n),
-               static_cast<unsigned long long>(opt.seed), jobs,
-               opt.fastforward ? "true" : "false",
-               static_cast<unsigned long long>(total_cycles), naive_s,
-               naive_mcps, fast_s, fast_mcps, speedup);
+               static_cast<unsigned long long>(opt.seed), jobs, mode_str,
+               opt.repeat, static_cast<unsigned long long>(total_cycles));
+  for (int m = 0; m < kNumModes; ++m) {
+    if (!passes[m].ran) continue;
+    std::fprintf(f, "  \"%s\": {\"wall_s\": %.6f, \"mcycles_per_s\": %.3f},\n",
+                 kModeNames[m], passes[m].wall_s, mcps(passes[m]));
+  }
+  const double headline =
+      passes[kEvent].ran ? mcps(passes[kEvent])
+                         : mcps(passes[kFast].ran ? passes[kFast]
+                                                  : passes[kNaive]);
+  const double in_binary_speedup =
+      passes[kEvent].ran && passes[kNaive].ran
+          ? mcps(passes[kEvent]) / mcps(passes[kNaive])
+          : 0.0;
+  std::fprintf(f, "  \"matrices\": [\n");
+  for (std::size_t i = 0; i < works.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"regime\": \"%s\", \"kind\": \"%s\", \"fill_pct\": "
+                 "%d, \"cycles\": %llu",
+                 works[i].regime, works[i].kind, works[i].s,
+                 static_cast<unsigned long long>(item_cycles[i]));
+    for (int m = 0; m < kNumModes; ++m) {
+      if (!passes[m].ran) continue;
+      std::fprintf(f, ", \"%s_s\": %.6f", kModeNames[m],
+                   passes[m].item_s[i]);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < works.size() ? "," : "");
+  }
+  // bit_identical reports whether the cross-pass comparison actually ran
+  // (it exits above on mismatch): false here only means a --mode run had
+  // nothing to compare against.
+  const bool identity_checked =
+      passes[kNaive].ran && (passes[kFast].ran || passes[kEvent].ran);
+  std::fprintf(f,
+               "  ],\n"
+               "  \"headline_mcycles_per_s\": %.3f,\n"
+               "  \"in_binary_speedup\": %.3f,\n"
+               "  \"chain_ok\": %s,\n"
+               "  \"bit_identical\": %s\n"
+               "}\n",
+               headline, in_binary_speedup, chain_ok ? "true" : "false",
+               identity_checked ? "true" : "false");
   std::fclose(f);
   std::cout << "wrote BENCH_sim_throughput.json\n";
+
+  if (opt.mode == benchutil::RunMode::kAll && !chain_ok) {
+    std::cerr << "sim_throughput: mode chain regressed (each faster mode "
+                 "must be >= 1.0x the previous on aggregate Mcycles/s)\n";
+    return 1;
+  }
   return 0;
 }

@@ -89,6 +89,13 @@ class Engine {
         {addr, 4, false, 0, mem::Requester::Hht, ctx_.tile});
   }
 
+  /// One-load gate for the per-tick response polls: when this tile's BE
+  /// lane holds no completed response, no stream poll can make progress, so
+  /// the per-pending scans are skipped wholesale on quiet cycles.
+  bool responsesWaiting() const {
+    return ctx_.mem.hasResponses(mem::Requester::Hht, ctx_.tile);
+  }
+
   /// Report a detected fault to the owning device and freeze this engine
   /// (the device stops ticking a faulted pipeline).
   void reportFault(sim::FaultCause cause, const std::string& detail) {

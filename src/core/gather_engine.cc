@@ -21,14 +21,17 @@ void GatherEngine::configureRowStream() {
 void GatherEngine::tick(Cycle now) {
   if (faulted_) return;
 
-  // 1. Collect memory responses.
-  rows_.poll(ctx_.mem);
-  cols_.poll(ctx_.mem);
-  vfetch_.poll(ctx_.mem, ctx_.emit);
-  if (rows_.sawPoison() || cols_.sawPoison() || vfetch_.sawPoison()) {
-    reportFault(sim::FaultCause::MemUncorrectable,
-                "ECC-uncorrectable response reached the gather pipeline");
-    return;
+  // 1. Collect memory responses (the poison flags only change under a
+  //    poll, so the whole block is skipped when the lane is empty).
+  if (responsesWaiting()) {
+    rows_.poll(ctx_.mem);
+    cols_.poll(ctx_.mem);
+    vfetch_.poll(ctx_.mem, ctx_.emit);
+    if (rows_.sawPoison() || cols_.sawPoison() || vfetch_.sawPoison()) {
+      reportFault(sim::FaultCause::MemUncorrectable,
+                  "ECC-uncorrectable response reached the gather pipeline");
+      return;
+    }
   }
 
   // 2. Row bookkeeping: target the column stream at the current row, and

@@ -29,43 +29,50 @@ HierBitmapEngine::HierBitmapEngine(const EngineContext& ctx, bool flat)
 void HierBitmapEngine::tick(Cycle now) {
   if (faulted_) return;
 
-  l1_.poll(ctx_.mem);
-  vfetch_.poll(ctx_.mem, ctx_.emit);
-  if (l1_.sawPoison() || vfetch_.sawPoison()) {
-    reportFault(sim::FaultCause::MemUncorrectable,
-                "ECC-uncorrectable response reached the bitmap pipeline");
-    return;
-  }
+  // Response collection is skipped wholesale when the BE lane is empty:
+  // neither the stream polls nor the leaf-half loop can progress without a
+  // completed response (a leaf fetch with both halves present never
+  // survives to the next tick), and the poison flags only change under a
+  // poll.
+  if (responsesWaiting()) {
+    l1_.poll(ctx_.mem);
+    vfetch_.poll(ctx_.mem, ctx_.emit);
+    if (l1_.sawPoison() || vfetch_.sawPoison()) {
+      reportFault(sim::FaultCause::MemUncorrectable,
+                  "ECC-uncorrectable response reached the bitmap pipeline");
+      return;
+    }
 
-  // Collect leaf word responses (lo/hi 32-bit halves).
-  while (!leaf_fetches_.empty()) {
-    LeafFetch& f = leaf_fetches_.front();
-    if (!f.have_lo) {
-      if (auto r = ctx_.mem.takeResponse(f.lo_req)) {
-        if (r->poisoned) {
-          reportFault(sim::FaultCause::MemUncorrectable,
-                      "ECC-uncorrectable leaf-word response");
-          return;
+    // Collect leaf word responses (lo/hi 32-bit halves).
+    while (!leaf_fetches_.empty()) {
+      LeafFetch& f = leaf_fetches_.front();
+      if (!f.have_lo) {
+        if (auto r = ctx_.mem.takeResponse(f.lo_req)) {
+          if (r->poisoned) {
+            reportFault(sim::FaultCause::MemUncorrectable,
+                        "ECC-uncorrectable leaf-word response");
+            return;
+          }
+          f.lo = r->data;
+          f.have_lo = true;
         }
-        f.lo = r->data;
-        f.have_lo = true;
       }
-    }
-    if (!f.have_hi) {
-      if (auto r = ctx_.mem.takeResponse(f.hi_req)) {
-        if (r->poisoned) {
-          reportFault(sim::FaultCause::MemUncorrectable,
-                      "ECC-uncorrectable leaf-word response");
-          return;
+      if (!f.have_hi) {
+        if (auto r = ctx_.mem.takeResponse(f.hi_req)) {
+          if (r->poisoned) {
+            reportFault(sim::FaultCause::MemUncorrectable,
+                        "ECC-uncorrectable leaf-word response");
+            return;
+          }
+          f.hi = r->data;
+          f.have_hi = true;
         }
-        f.hi = r->data;
-        f.have_hi = true;
       }
+      if (!(f.have_lo && f.have_hi)) break;
+      leaf_q_.push_back(
+          {f.slot, (static_cast<std::uint64_t>(f.hi) << 32) | f.lo});
+      leaf_fetches_.pop_front();
     }
-    if (!(f.have_lo && f.have_hi)) break;
-    leaf_q_.push_back(
-        {f.slot, (static_cast<std::uint64_t>(f.hi) << 32) | f.lo});
-    leaf_fetches_.pop_front();
   }
 
   // Bit-scan work, budgeted like the merge unit's comparisons (one step

@@ -29,15 +29,17 @@ void StreamEngine::configureRow() {
 void StreamEngine::tick(Cycle now) {
   if (faulted_) return;
 
-  rows_.poll(ctx_.mem);
-  cols_.poll(ctx_.mem);
-  vidx_.poll(ctx_.mem);
-  vfetch_.poll(ctx_.mem, ctx_.emit);
-  if (rows_.sawPoison() || cols_.sawPoison() || vidx_.sawPoison() ||
-      vfetch_.sawPoison()) {
-    reportFault(sim::FaultCause::MemUncorrectable,
-                "ECC-uncorrectable response reached the stream pipeline");
-    return;
+  if (responsesWaiting()) {
+    rows_.poll(ctx_.mem);
+    cols_.poll(ctx_.mem);
+    vidx_.poll(ctx_.mem);
+    vfetch_.poll(ctx_.mem, ctx_.emit);
+    if (rows_.sawPoison() || cols_.sawPoison() || vidx_.sawPoison() ||
+        vfetch_.sawPoison()) {
+      reportFault(sim::FaultCause::MemUncorrectable,
+                  "ECC-uncorrectable response reached the stream pipeline");
+      return;
+    }
   }
 
   if (rows_.haveRow() && !row_ready_) {

@@ -665,22 +665,26 @@ void Core::tickVecMem(Cycle now) {
     }
   }
 
-  // Collect load responses.
-  std::erase_if(vec_pending_, [&](const VecElem& e) {
-    if (auto response = mem_.takeResponse(e.req)) {
-      if (response->poisoned) {
-        throw sim::SimError(
-            sim::ErrorKind::MachineCheck,
-            requester_ == mem::Requester::Cpu ? "cpu" : "uhht-core",
-            "uncorrectable memory error on vector element load, lane " +
-                std::to_string(e.lane) + " at pc=" + std::to_string(pc_),
-            {}, tile_);
+  // Collect load responses. One lane-emptiness load gates the whole scan:
+  // with no completed response on this requester's lane, no element poll
+  // can succeed, and the per-pending takeResponse scans are skipped.
+  if (!vec_pending_.empty() && mem_.hasResponses(requester_, tile_)) {
+    std::erase_if(vec_pending_, [&](const VecElem& e) {
+      if (auto response = mem_.takeResponse(e.req)) {
+        if (response->poisoned) {
+          throw sim::SimError(
+              sim::ErrorKind::MachineCheck,
+              requester_ == mem::Requester::Cpu ? "cpu" : "uhht-core",
+              "uncorrectable memory error on vector element load, lane " +
+                  std::to_string(e.lane) + " at pc=" + std::to_string(pc_),
+              {}, tile_);
+        }
+        v_[in.rd][e.lane] = response->data;
+        return true;
       }
-      v_[in.rd][e.lane] = response->data;
-      return true;
-    }
-    return false;
-  });
+      return false;
+    });
+  }
 
   if (vec_issued_ == vec_total_ && vec_pending_.empty()) {
     pc_ = next_pc_;

@@ -1,7 +1,12 @@
 #include "harness/multi_tile.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "sim/watchdog.h"
 
@@ -9,6 +14,103 @@ namespace hht::harness {
 
 namespace {
 constexpr Addr kArenaBase = 0x1000;  // matches System: address 0 stays unmapped
+
+/// Persistent worker pool for the threaded tile phase (DESIGN.md §16).
+///
+/// Epoch protocol: the main thread publishes a cycle number; every worker
+/// ticks its statically-assigned tiles (all devices first, then all cores,
+/// in increasing tile order — the same phase order as the serial loop) with
+/// memory submissions parked in per-requester staging lanes; the main
+/// thread waits for all workers, drains the staged submissions in the
+/// canonical serial arrival order and runs the serial phase (shared memory
+/// tick, fault polls, halt detection, watchdog, fast-forward). Tiles never
+/// share mutable state during the parallel phase — every cross-tile
+/// interaction flows through the staged memory system — so the schedule is
+/// bit-identical to serial by construction (proven in tests/test_multi_tile
+/// and race-checked under the tsan preset).
+class TilePool {
+ public:
+  TilePool(std::uint32_t workers,
+           std::function<void(std::uint32_t, Cycle)> work)
+      : work_(std::move(work)), errors_(workers) {
+    threads_.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { runWorker(w); });
+    }
+  }
+
+  TilePool(const TilePool&) = delete;
+  TilePool& operator=(const TilePool&) = delete;
+
+  ~TilePool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Run one parallel phase at cycle `now`; blocks until every worker is
+  /// done. A worker exception aborts the run: rethrown here, lowest worker
+  /// index first (workers own contiguous tile ranges, so this is the
+  /// lowest faulting tile — matching the serial loop's throw order).
+  void runEpoch(Cycle now) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      now_ = now;
+      pending_ = static_cast<std::uint32_t>(threads_.size());
+      ++epoch_;
+    }
+    start_cv_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] { return pending_ == 0; });
+    }
+    for (std::exception_ptr& e : errors_) {
+      if (e != nullptr) {
+        std::exception_ptr thrown = e;
+        e = nullptr;
+        std::rethrow_exception(thrown);
+      }
+    }
+  }
+
+ private:
+  void runWorker(std::uint32_t w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Cycle now;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+        now = now_;
+      }
+      try {
+        work_(w, now);
+      } catch (...) {
+        errors_[w] = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  std::function<void(std::uint32_t, Cycle)> work_;
+  std::vector<std::exception_ptr> errors_;  ///< one slot per worker
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  Cycle now_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t pending_ = 0;
+  bool stop_ = false;
+};
 
 /// Pre-construction validation: same hook as System, plus the multi-tile
 /// restriction (ASIC HHTs only — the programmable HHT models a single-tile
@@ -136,14 +238,48 @@ RunResult MultiTileSystem::runLoop(Addr y_addr, std::uint32_t y_len,
   Cycle ff_next_attempt = 0;
   Cycle ff_backoff = 0;
 
+  // Threaded tile phase: with tile_workers > 1 the per-tile components tick
+  // on a persistent worker pool while every memory submission parks in its
+  // requester's staging lane; the serial phase drains the lanes in canonical
+  // order, so results are bit-identical to the serial loop (tile_workers is
+  // host-only and excluded from the config fingerprint). The guard restores
+  // immediate-submission mode on every exit path, including thrown faults.
+  const std::uint32_t workers =
+      std::min(std::max(config_.tile_workers, 1u), num_tiles_);
+  struct StagingGuard {
+    mem::MemorySystem* mem;
+    ~StagingGuard() {
+      if (mem != nullptr) mem->endStagedSubmission();
+    }
+  } staging_guard{workers > 1 ? mem_.get() : nullptr};
+  std::unique_ptr<TilePool> pool;
+  if (workers > 1) {
+    mem_->beginStagedSubmission();
+    pool = std::make_unique<TilePool>(
+        workers, [this, workers](std::uint32_t w, Cycle cycle) {
+          const std::uint32_t per = num_tiles_ / workers;
+          const std::uint32_t rem = num_tiles_ % workers;
+          const std::uint32_t begin = w * per + std::min(w, rem);
+          const std::uint32_t end = begin + per + (w < rem ? 1 : 0);
+          for (std::uint32_t t = begin; t < end; ++t) hhts_[t]->tick(cycle);
+          for (std::uint32_t t = begin; t < end; ++t) cpus_[t]->tick(cycle);
+        });
+  }
+
   RunResult result;
   Cycle now = start_cycle;
   for (; now < max_cycles; ++now) {
     // Fixed tile order keeps arbitration deterministic: all HHTs publish,
     // then all cores, then the single shared memory system arbitrates the
-    // whole cycle's requests.
-    for (auto& h : hhts_) h->tick(now);
-    for (auto& c : cpus_) c->tick(now);
+    // whole cycle's requests. The threaded phase reconstructs exactly that
+    // arrival order from the staging lanes before the memory tick.
+    if (pool) {
+      pool->runEpoch(now);
+      mem_->drainStagedSubmissions();
+    } else {
+      for (auto& h : hhts_) h->tick(now);
+      for (auto& c : cpus_) c->tick(now);
+    }
     mem_->tick(now);
     for (std::uint32_t t = 0; t < num_tiles_; ++t) {
       if (hhts_[t]->faultRaised()) {
@@ -184,7 +320,10 @@ RunResult MultiTileSystem::runLoop(Addr y_addr, std::uint32_t y_len,
         }
       }
       if (ev > now + 1) ev = std::min(ev, mem_->nextEventCycle(now));
-      if (ev <= now + 1) {
+      // Short skips cost more in probing than they save (the historic
+      // <1.0x in_binary_speedup regression); treat them as failed attempts.
+      constexpr Cycle kMinProfitableSkip = 8;
+      if (ev <= now + kMinProfitableSkip) {
         ff_backoff = std::min<Cycle>(ff_backoff == 0 ? 1 : ff_backoff * 2, 64);
         ff_next_attempt = now + ff_backoff;
       } else {

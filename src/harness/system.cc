@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/calendar.h"
 #include "sim/state_io.h"
 #include "sim/watchdog.h"
 
@@ -275,6 +276,12 @@ RunResult System::runLoop(const isa::Program& program, Addr y_addr,
   // from component activity, and skipped stretches have none.
   const bool allow_ff = config_.host_fastforward && observer == nullptr &&
                         observers_.empty() && config_.trace_sink == nullptr;
+  if (allow_ff && config_.sched_mode == SchedMode::Event) {
+    return runEventLoop(program, y_addr, y_len, start_cycle, max_cycles,
+                        fallback, observer);
+  }
+  const bool quiescence_ff =
+      allow_ff && config_.sched_mode != SchedMode::Naive;
   host_skipped_cycles_ = 0;
   // Failed-attempt throttle: on skip-hostile stretches (some component has
   // an event every cycle) the hook itself would otherwise tax every cycle.
@@ -328,7 +335,7 @@ RunResult System::runLoop(const isa::Program& program, Addr y_addr,
           now, *cpu_retired + *mem_grants + hht_->progressSignal(),
           [&] { return dumpDiagnostics(now); });
     }
-    if (allow_ff && now >= ff_next_attempt) {
+    if (quiescence_ff && now >= ff_next_attempt) {
       // Cheapest hook first: the CPU is almost always the binding
       // component, so the HHT/memory hooks only run when the CPU already
       // reported a skippable stretch.
@@ -338,7 +345,15 @@ RunResult System::runLoop(const isa::Program& program, Addr y_addr,
                                           : micro->nextEventCycle(now));
       }
       if (ev > now + 1) ev = std::min(ev, mem_->nextEventCycle(now));
-      if (ev <= now + 1) {
+      // Minimum profitable skip: the three hook calls plus the bulk
+      // credits cost more host time than simply ticking a handful of
+      // quiescent cycles, so tiny skips are treated as failed attempts
+      // (this was the source of the mode's historic <1.0x showing on
+      // dense workloads — frequent 2-4 cycle skips, each a net loss).
+      // Long skips — idle tails, deep stalls — are unaffected. Skips are
+      // optional by construction, so thinning them never changes results.
+      constexpr Cycle kMinProfitableSkip = 8;
+      if (ev <= now + kMinProfitableSkip) {
         ff_backoff = std::min<Cycle>(ff_backoff == 0 ? 1 : ff_backoff * 2, 64);
         ff_next_attempt = now + ff_backoff;
       } else {
@@ -377,6 +392,253 @@ RunResult System::runLoop(const isa::Program& program, Addr y_addr,
                              now + 1);
   }
 
+  finishResult(result, y_addr, y_len);
+  return result;
+}
+
+RunResult System::runEventLoop(const isa::Program& program, Addr y_addr,
+                               std::uint32_t y_len, Cycle start_cycle,
+                               Cycle max_cycles, const isa::Program* fallback,
+                               RunObserver* observer) {
+  // Event-scheduled loop (DESIGN.md §16). Each component is ticked only on
+  // cycles it declared work for; the cycles in between — where its
+  // nextEventCycle() contract guarantees a tick would have been a pure
+  // no-op plus bookkeeping — are bulk-credited via skipCycles() just
+  // before its next real tick (or at a synchronization point: watchdog
+  // dump, fault break, loop exit). The loop itself jumps straight to the
+  // earliest posted event. Results, stats and snapshot bytes are
+  // bit-identical to the naive schedule; the A/B proof lives in
+  // tests/test_fastforward.cc.
+  sim::Watchdog watchdog(config_.watchdog_cycles);
+  const std::uint64_t* cpu_retired = &cpu_->stats().counter("cpu.retired");
+  const std::uint64_t* mem_grants = &mem_->stats().counter("mem.grants");
+  core::Hht* const asic = asic_hht_;
+  core::MicroHht* const micro = micro_hht_;
+  host_skipped_cycles_ = 0;
+  RunResult result;
+
+  enum : std::size_t { kHht = 0, kCpu = 1, kMem = 2 };
+  sim::EventCalendar<3> cal;
+  cal.post(kHht, start_cycle);
+  cal.post(kCpu, start_cycle);
+  cal.post(kMem, start_cycle);
+  // First cycle each component has NOT yet been ticked or credited for.
+  Cycle hht_from = start_cycle;
+  Cycle cpu_from = start_cycle;
+  // Hook thinning: while a component keeps answering "tick me next cycle",
+  // consulting its nextEventCycle() hook every tick buys nothing — post
+  // now+1 blindly for a stride of ticks before asking again. Extra ticks
+  // are exactly the naive schedule, so this is always safe, and any hook
+  // answer greater than now+1 ends the blind window at once, so multi-cycle
+  // skips (load stalls, drained devices) are preserved. The only cost is up
+  // to one stride of busy-ticks after a component actually goes quiet.
+  // Only the device and memory hooks are thinned: both answer now+1 for as
+  // long as any memory traffic exists, so their blind windows cost nothing.
+  // The CPU hook is consulted every tick — its answer encodes per-stall
+  // skips (LoadWait, vector-gather startup) that fire even while memory is
+  // busy, and a blind now+1 post would turn each into a forced tick that
+  // pays a response-lane scan.
+  constexpr Cycle kHookThinStride = 16;
+  Cycle hht_hook_due = start_cycle;
+  Cycle mem_hook_due = start_cycle;
+  // Busy-streak burst: when every component keeps answering now+1, the
+  // calendar machinery (due checks, hooks, posts, min-scan) is pure
+  // overhead over the naive loop. After kBurstStreak consecutive
+  // iterations with no jump, fall back to naive ticking for a burst that
+  // doubles up to kBurstCap (the quiescence probe cap), re-consulting the
+  // calendar between bursts. A burst ticks every component every cycle —
+  // exactly the naive schedule — so it can never change results; the cost
+  // is a bounded delay (one burst) before a newly-skippable stretch is
+  // noticed, the same bargain the quiescence backoff strikes.
+  constexpr Cycle kBurstStreak = 8;
+  constexpr Cycle kMinBurst = 16;
+  constexpr Cycle kBurstCap = 256;
+  Cycle burst_until = start_cycle;  // exclusive end of the current burst
+  Cycle burst_len = kMinBurst;
+  Cycle busy_streak = 0;
+
+  const auto progressSum = [&] {
+    return *cpu_retired + *mem_grants + hht_->progressSignal();
+  };
+  // Credit both lazily-skipped components through cycle `upto - 1`.
+  const auto creditTo = [&](Cycle upto) {
+    if (upto > hht_from) {
+      hht_->skipCycles(upto - hht_from);
+      hht_from = upto;
+    }
+    if (upto > cpu_from) {
+      cpu_->skipCycles(upto - cpu_from);
+      cpu_from = upto;
+    }
+  };
+
+  bool finished = false;  // exited via halt or degraded fallback
+  Cycle now = start_cycle;
+  while (now < max_cycles) {
+    if (now < burst_until) {
+      // Naive-burst cycle: tick everything in the reference order with no
+      // calendar traffic. The lazy-credit cursors advance with the ticks,
+      // so the shared fault/halt/watchdog handling below needs no burst
+      // special-casing.
+      if (asic != nullptr) {
+        asic->tick(now);
+      } else {
+        micro->tick(now);
+      }
+      hht_from = now + 1;
+      cpu_->tick(now);
+      cpu_from = now + 1;
+      mem_->tick(now);
+    } else {
+    bool hht_ticked = false;
+    if (cal.due(kHht, now)) {
+      if (now > hht_from) hht_->skipCycles(now - hht_from);
+      if (asic != nullptr) {
+        asic->tick(now);
+      } else {
+        micro->tick(now);
+      }
+      hht_from = now + 1;
+      hht_ticked = true;
+    }
+    bool cpu_ticked = false;
+    if (cal.due(kCpu, now)) {
+      if (now > cpu_from) cpu_->skipCycles(now - cpu_from);
+      cpu_->tick(now);
+      cpu_from = now + 1;
+      cpu_ticked = true;
+    }
+    const bool mmio_was_pending = mem_->mmioPending();
+    if (mmio_was_pending && now + 1 > hht_from) {
+      // Settle the device's lazy credit BEFORE the memory tick delivers
+      // MMIO: a delivered write can create or start an engine, and credits
+      // applied after that would advance the new engine's phase for cycles
+      // the naive schedule ticked against the old (engine-less) state.
+      // Crediting through `now` is sound here: the device was not due this
+      // cycle, so its contract covers every cycle up to and including now.
+      hht_->skipCycles(now + 1 - hht_from);
+      hht_from = now + 1;
+    }
+    if (cal.due(kMem, now) || mem_->pendingArbitration()) {
+      // pendingArbitration covers submits made by this cycle's device/core
+      // ticks: arbitration for them runs this same cycle, which a posting
+      // taken before those ticks cannot know.
+      mem_->tick(now);
+      if (now >= mem_hook_due) {
+        const Cycle next = mem_->nextEventCycle(now);
+        cal.post(kMem, next);
+        if (next == now + 1) mem_hook_due = now + kHookThinStride;
+      } else {
+        cal.post(kMem, now + 1);
+      }
+      if (!hht_ticked && mmio_was_pending) {
+        // The memory system processed MMIO traffic this cycle; an MMIO
+        // start write is the one path that hands an otherwise-idle device
+        // new work, so refresh its posting.
+        const Cycle next = asic != nullptr ? asic->nextEventCycle(now)
+                                           : micro->nextEventCycle(now);
+        cal.post(kHht, std::min(cal.at(kHht), next));
+      }
+    }
+    // Both refreshes run after the memory tick: the device's next event
+    // consults memory drain state, and a CPU load waits on a response
+    // whose ready cycle the memory system only knows once granted. The
+    // CPU is never woken externally — every wait phase it enters carries
+    // its own wake cycle — so its posting refreshes only when it ticks.
+    if (hht_ticked) {
+      if (now >= hht_hook_due) {
+        const Cycle next = asic != nullptr ? asic->nextEventCycle(now)
+                                           : micro->nextEventCycle(now);
+        cal.post(kHht, next);
+        if (next == now + 1) hht_hook_due = now + kHookThinStride;
+      } else {
+        cal.post(kHht, now + 1);
+      }
+    }
+    if (cpu_ticked) cal.post(kCpu, cpu_->nextEventCycle(now));
+    }
+
+    if (hht_->faultRaised()) {
+      result.fault_cause = hht_->faultCause();
+      result.fault_detail = hht_->faultDetail();
+      creditTo(now + 1);
+      if (fallback == nullptr) {
+        throw sim::SimError(
+            sim::ErrorKind::DeviceFault, "hht",
+            std::string("HHT raised fault [") +
+                sim::faultCauseName(result.fault_cause) +
+                "] with no degradation fallback installed: " +
+                result.fault_detail,
+            dumpDiagnostics(now));
+      }
+      degraded_cause_ = result.fault_cause;
+      degraded_detail_ = result.fault_detail;
+      degradedRerun(*fallback, max_cycles, observer);
+      result.degraded = true;
+      finished = true;
+      break;
+    }
+    if (cpu_->halted() && mem_->idle()) {
+      creditTo(now + 1);
+      finished = true;
+      break;
+    }
+    if (watchdog.due(now)) {
+      watchdog.observe(now, progressSum(), [&] {
+        creditTo(now + 1);
+        return dumpDiagnostics(now);
+      });
+    }
+
+    if (now >= burst_until) {
+      const Cycle ev = cal.next();
+      if (ev > now + 1) {
+        busy_streak = 0;
+        burst_len = kMinBurst;
+        // Jump to the earliest cycle any component has work, capped at
+        // max_cycles (timeout path unchanged) and at the watchdog's next
+        // state-changing sample (a wedged run fires at the exact cycle,
+        // with the exact diagnostics, the naive loop would produce).
+        Cycle target = std::min(ev, max_cycles);
+        target = std::min(target, watchdog.observeSkip(now, progressSum()));
+        if (target > now + 1) {
+          host_skipped_cycles_ += target - (now + 1);
+          now = target;
+          continue;
+        }
+      } else if (++busy_streak >= kBurstStreak) {
+        // ev == now+1 only means the EARLIEST component is due next cycle;
+        // another may still carry uncredited lazily-skipped cycles. Settle
+        // both cursors now — the burst ticks every component every cycle,
+        // so it must start from fully-credited state, exactly like the
+        // fault/halt exits. Exiting a burst leaves the calendar entries
+        // stale-low, which is always safe: every component reads as due,
+        // ticks once, and reposts from a fresh hook.
+        creditTo(now + 1);
+        busy_streak = 0;
+        burst_until = now + 1 + burst_len;
+        burst_len = std::min(burst_len * 2, kBurstCap);
+        // A burst ticks without posting, so work created inside it (a
+        // grant's retirement cycle, a stall wake) would leave the pre-burst
+        // entries stale-HIGH and get missed. Force every slot due on the
+        // first post-burst cycle: each component ticks once and reposts
+        // from a fresh hook.
+        cal.post(kHht, burst_until);
+        cal.post(kCpu, burst_until);
+        cal.post(kMem, burst_until);
+      }
+    }
+    ++now;
+  }
+  if (!finished) {
+    // now == max_cycles: credit the lazily-skipped tail through the last
+    // simulated cycle, then fail exactly as the naive loop would.
+    creditTo(now);
+    throw sim::SimError(sim::ErrorKind::Watchdog, "system",
+                        "simulation exceeded max_cycles running " +
+                            program.name(),
+                        dumpDiagnostics(now));
+  }
   finishResult(result, y_addr, y_len);
   return result;
 }

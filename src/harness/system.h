@@ -27,6 +27,25 @@ namespace hht::harness {
 using sim::Addr;
 using sim::Cycle;
 
+/// Host scheduling strategy for the run loop (DESIGN.md §16). All three
+/// modes produce bit-identical simulated results — they differ only in how
+/// much host work each simulated cycle costs. Host-only tooling, excluded
+/// from writeSystemConfig/readSystemConfig and the snapshot fingerprint
+/// (same discipline as host_fastforward).
+enum class SchedMode : std::uint8_t {
+  /// Tick every component every cycle. The reference schedule; forced
+  /// whenever an observer or trace sink must see each executed cycle.
+  Naive,
+  /// Naive ticking plus the all-or-nothing quiescence fast-forward of
+  /// DESIGN.md §11: skip stretches where NO component can change state.
+  Quiescence,
+  /// Event-scheduled (DESIGN.md §16): a per-component next-event calendar;
+  /// each component is ticked only on cycles it has work, lazily credited
+  /// for the cycles it provably idled, and the loop jumps to the next
+  /// cycle any component has work.
+  Event,
+};
+
 /// Full simulated-machine configuration (Table 1 defaults).
 struct SystemConfig {
   cpu::TimingConfig timing;
@@ -54,6 +73,17 @@ struct SystemConfig {
   /// describe the same simulated machine. Disable (or pass
   /// --no-fastforward to the benches) for A/B verification.
   bool host_fastforward = true;
+  /// Which accelerated run-loop strategy to use when host_fastforward is on
+  /// (host_fastforward=false always means SchedMode::Naive; observers and
+  /// trace sinks force Naive regardless). Host-only, fingerprint-excluded.
+  SchedMode sched_mode = SchedMode::Event;
+  /// Worker threads for MultiTileSystem's tile phase (DESIGN.md §16):
+  /// tiles tick in parallel between shared-memory epochs, exchanging
+  /// requests at the epoch boundary in canonical tile order, so results
+  /// and snapshot bytes stay bit-identical to the serial schedule. 1 =
+  /// serial (the default); clamped to the tile count. Host-only,
+  /// fingerprint-excluded; ignored by the single-tile System.
+  std::uint32_t tile_workers = 1;
   /// Optional cycle-accurate trace sink (src/obs, DESIGN.md §12). Host-only
   /// tooling exactly like host_fastforward: excluded from
   /// writeSystemConfig/readSystemConfig and the snapshot fingerprint — a
@@ -100,10 +130,14 @@ SystemConfig readSystemConfig(sim::StateReader& r);
 /// unchanged: the integrity knobs are fingerprint-excluded (like
 /// host_fastforward) because with no corruption they never change an
 /// architectural outcome.
+/// v6: per-requester request-id streams — the memory system serializes one
+/// sequence counter per arbiter port instead of the v5 global next_id_
+/// (ids are now allocation-order-independent across requesters, the
+/// property the threaded multi-tile epoch protocol relies on).
 /// restore() fails with SimError(Checkpoint) on any other version — and
 /// with a distinct "newer than this binary" error when the snapshot is
 /// from the future (no best-effort field skipping).
-inline constexpr std::uint32_t kSnapshotVersion = 5;
+inline constexpr std::uint32_t kSnapshotVersion = 6;
 
 /// FNV-1a fingerprint of writeSystemConfig(cfg)'s bytes — the identity
 /// restore() checks before touching any component state.
@@ -247,6 +281,14 @@ class System {
   RunResult runLoop(const isa::Program& program, Addr y_addr,
                     std::uint32_t y_len, Cycle start_cycle, Cycle max_cycles,
                     const isa::Program* fallback, RunObserver* observer);
+  /// Event-scheduled run loop (SchedMode::Event, DESIGN.md §16): per-
+  /// component next-event tracking with lazy skip credit. Bit-identical to
+  /// the naive loop; only reachable when no observer or trace sink is
+  /// attached (runLoop dispatches).
+  RunResult runEventLoop(const isa::Program& program, Addr y_addr,
+                         std::uint32_t y_len, Cycle start_cycle,
+                         Cycle max_cycles, const isa::Program* fallback,
+                         RunObserver* observer);
   void degradedRerun(const isa::Program& fallback, Cycle max_cycles,
                      RunObserver* observer);
   /// Continue the degraded fallback loop from `start_cycle` (degraded

@@ -95,6 +95,9 @@ MemorySystem::MemorySystem(const MemorySystemConfig& config)
   secded_demand_uncorrectable_ =
       &stats_.counter("mem.secded.demand_uncorrectable");
   next_scrub_cycle_ = config_.scrub_period;
+  next_seq_.resize(num_requesters_, 0);
+  completed_.resize(num_requesters_);
+  stage_.resize(num_requesters_);
   if (config_.cpu_cache_enabled) {
     cpu_cache_ = std::make_unique<Cache>(config_.cache);
   }
@@ -125,9 +128,9 @@ RequestId MemorySystem::submit(const MemAccess& access) {
                        std::to_string(config_.num_tiles) + " tile(s)",
                    {}, access.tile);
   }
-  const RequestId id = next_id_++;
   const std::uint32_t who = requesterIndex(access);
-  if (isMmio(access.addr)) {
+  const bool is_mmio = isMmio(access.addr);
+  if (is_mmio) {
     // The access must stay inside its own tile's window: a straddling
     // access would silently touch the neighbouring tile's device.
     if ((access.addr - config_.mmio_base) % config_.mmio_size + access.size >
@@ -137,21 +140,57 @@ RequestId MemorySystem::submit(const MemAccess& access) {
                          std::to_string(access.addr),
                      {}, access.tile);
     }
-    mmio_queue_.push_back({id, access});
+  } else if (!sram_.inBounds(access.addr, access.size)) {
+    throw SimError(ErrorKind::Memory, requesterName(access.requester),
+                   "SRAM access out of bounds: addr=" +
+                       std::to_string(access.addr) +
+                       " size=" + std::to_string(access.size) +
+                       " sram_bytes=" + std::to_string(sram_.size()),
+                   {}, access.tile);
+  }
+  // Per-requester id stream: the id depends only on this requester's own
+  // submission count, never on cross-requester interleaving. +1 keeps ids
+  // clear of kInvalidRequest.
+  const RequestId id = next_seq_[who]++ * num_requesters_ + who + 1;
+  if (is_mmio) {
     ++*mmio_requests_[who];
   } else {
-    if (!sram_.inBounds(access.addr, access.size)) {
-      throw SimError(ErrorKind::Memory, requesterName(access.requester),
-                     "SRAM access out of bounds: addr=" +
-                         std::to_string(access.addr) +
-                         " size=" + std::to_string(access.size) +
-                         " sram_bytes=" + std::to_string(sram_.size()),
-                     {}, access.tile);
-    }
-    sram_queue_.push_back({id, access});
     ++*(access.is_write ? writes_[who] : reads_[who]);
   }
+  if (staging_) {
+    // Threaded epoch: park in this requester's private lane; the epoch
+    // barrier's drainStagedSubmissions() moves it into the shared queues
+    // in canonical serial order. Everything touched on this path (seq,
+    // counters, lane) is owned by `who`, so concurrent submits from
+    // different requesters never race.
+    stage_[who].push_back({id, access});
+    return id;
+  }
+  (is_mmio ? mmio_queue_ : sram_queue_).push_back({id, access});
   return id;
+}
+
+void MemorySystem::beginStagedSubmission() { staging_ = true; }
+
+void MemorySystem::drainStagedSubmissions() {
+  // Canonical serial arrival order: the serial multi-tile loop ticks every
+  // device (HHT role, odd indices) in tile order, then every core (CPU
+  // role, even indices) in tile order. Reproducing that order here makes
+  // queue contents — and therefore arbitration history and snapshot bytes
+  // — identical to the serial schedule.
+  const auto drain_lane = [this](std::uint32_t who) {
+    for (const Pending& p : stage_[who]) {
+      (isMmio(p.access.addr) ? mmio_queue_ : sram_queue_).push_back(p);
+    }
+    stage_[who].clear();
+  };
+  for (std::uint32_t who = 1; who < num_requesters_; who += 2) drain_lane(who);
+  for (std::uint32_t who = 0; who < num_requesters_; who += 2) drain_lane(who);
+}
+
+void MemorySystem::endStagedSubmission() {
+  drainStagedSubmissions();  // defensive: staged work must never be dropped
+  staging_ = false;
 }
 
 std::optional<std::uint32_t> MemorySystem::takeCompleted(RequestId id) {
@@ -297,10 +336,20 @@ void MemorySystem::traceTick(Cycle now) {
 
 void MemorySystem::tick(Cycle now) {
   if (trace_ != nullptr) traceTick(now);
+  // Pure-stall fast path: nothing queued, nothing in flight, no patrol
+  // read due — the whole tick is a no-op, so skip the arbitration and
+  // conflict bookkeeping below. This is the common case whenever the CPU
+  // computes out of registers (naive mode pays this every such cycle).
+  if (in_flight_.empty() && sram_queue_.empty() && mmio_queue_.empty() &&
+      prefetch_queue_.empty() &&
+      !(config_.scrub_enabled && now >= next_scrub_cycle_)) {
+    return;
+  }
   // 1. Retire accesses whose latency has elapsed.
   std::erase_if(in_flight_, [&](const InFlight& f) {
     if (f.done_at > now) return false;
-    completed_.emplace_back(f.id, MemResponse{f.data, f.poisoned});
+    completed_[(f.id - 1) % num_requesters_].emplace_back(
+        f.id, MemResponse{f.data, f.poisoned});
     return true;
   });
 
@@ -385,7 +434,10 @@ void MemorySystem::tick(Cycle now) {
     MmioDevice* device = mmio_devices_[window_tile];
     if (device == nullptr) {
       // Unmapped MMIO: reads return 0, writes are dropped.
-      if (!p.access.is_write) completed_.emplace_back(p.id, MemResponse{0, false});
+      if (!p.access.is_write) {
+        completed_[(p.id - 1) % num_requesters_].emplace_back(
+            p.id, MemResponse{0, false});
+      }
       return true;
     }
     const Addr offset = window % config_.mmio_size;
@@ -400,7 +452,8 @@ void MemorySystem::tick(Cycle now) {
       blocked |= 1ull << who;  // retry next cycle; requester stays stalled
       return false;
     }
-    completed_.emplace_back(p.id, MemResponse{result.data, false});
+    completed_[(p.id - 1) % num_requesters_].emplace_back(
+        p.id, MemResponse{result.data, false});
     return true;
   });
 }
@@ -482,7 +535,7 @@ std::uint32_t MemorySystem::pickRequester(std::uint64_t present) {
 }
 
 Cycle MemorySystem::responseReadyCycle(RequestId id, Cycle now) const {
-  for (const auto& [done_id, response] : completed_) {
+  for (const auto& [done_id, response] : completed_[(id - 1) % num_requesters_]) {
     (void)response;
     if (done_id == id) return now + 1;
   }
@@ -539,15 +592,18 @@ void MemorySystem::cancelAll() {
   mmio_queue_.clear();
   prefetch_queue_.clear();
   in_flight_.clear();
-  completed_.clear();
+  for (auto& lane : completed_) lane.clear();
+  for (auto& lane : stage_) lane.clear();
 }
 
 std::string MemorySystem::describeState() const {
+  std::size_t completed_total = 0;
+  for (const auto& lane : completed_) completed_total += lane.size();
   std::ostringstream os;
   os << "mem: sram_queue=" << sram_queue_.size()
      << " mmio_queue=" << mmio_queue_.size()
      << " in_flight=" << in_flight_.size()
-     << " completed_unclaimed=" << completed_.size() << "\n";
+     << " completed_unclaimed=" << completed_total << "\n";
   auto line = [&os](const char* tag, const Pending& p) {
     os << "  " << tag << " id=" << p.id << " "
        << requesterLabel(requesterIndex(p.access)) << " "
@@ -624,11 +680,13 @@ void MemorySystem::serialize(sim::StateWriter& w) const {
     w.b(f.poisoned);
   }
 
-  // completed_ is kept in retirement order; serialize sorted by id so
-  // identical states produce identical snapshot bytes regardless of the
-  // order responses retired.
-  std::vector<std::pair<RequestId, MemResponse>> done(completed_.begin(),
-                                                      completed_.end());
+  // Unclaimed responses are kept per-lane in retirement order; serialize
+  // flattened and sorted by id so identical states produce identical
+  // snapshot bytes regardless of the order responses retired.
+  std::vector<std::pair<RequestId, MemResponse>> done;
+  for (const auto& lane : completed_) {
+    done.insert(done.end(), lane.begin(), lane.end());
+  }
   std::sort(done.begin(), done.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   w.u64(done.size());
@@ -638,7 +696,10 @@ void MemorySystem::serialize(sim::StateWriter& w) const {
     w.b(response.poisoned);
   }
 
-  w.u64(next_id_);
+  // Snapshot v6: per-requester id-stream counters (replaces the single
+  // global next_id_ of v5 and earlier).
+  w.u64(next_seq_.size());
+  for (const RequestId seq : next_seq_) w.u64(seq);
   w.u32(rr_next_);
   w.u32(prio_next_[0]);
   w.u32(prio_next_[1]);
@@ -692,17 +753,24 @@ void MemorySystem::deserialize(sim::StateReader& r) {
     in_flight_.push_back(f);
   }
 
-  completed_.clear();
+  for (auto& lane : completed_) lane.clear();
   const std::uint64_t n_done = r.u64();
   for (std::uint64_t i = 0; i < n_done; ++i) {
     const RequestId id = r.u64();
     MemResponse response;
     response.data = r.u32();
     response.poisoned = r.b();
-    completed_.emplace_back(id, response);
+    completed_[(id - 1) % num_requesters_].emplace_back(id, response);
   }
 
-  next_id_ = r.u64();
+  const std::uint64_t n_seq = r.u64();
+  if (n_seq != next_seq_.size()) {
+    throw sim::SimError(sim::ErrorKind::Checkpoint, "mem",
+                        "snapshot requester count disagrees with config: " +
+                            std::to_string(n_seq) + " vs " +
+                            std::to_string(next_seq_.size()));
+  }
+  for (RequestId& seq : next_seq_) seq = r.u64();
   rr_next_ = r.u32();
   prio_next_[0] = r.u32();
   prio_next_[1] = r.u32();

@@ -92,7 +92,29 @@ class MemorySystem {
   /// access is validated here — misaligned, oversized, out-of-SRAM or
   /// window-crossing MMIO accesses throw SimError(Memory) at submit time
   /// rather than corrupting state deeper in the pipeline.
+  ///
+  /// Request ids are drawn from per-requester streams (id = seq *
+  /// numRequesters + requesterIndex + 1), so the id a requester receives
+  /// depends only on its own submission history — never on how its
+  /// submissions interleave with other tiles'. That property is what lets
+  /// the threaded multi-tile epoch loop (DESIGN.md §16) allocate ids from
+  /// concurrent workers and still match the serial schedule bit for bit.
   RequestId submit(const MemAccess& access);
+
+  /// Epoch staging (threaded MultiTileSystem, DESIGN.md §16). Between
+  /// beginStagedSubmission() and endStagedSubmission(), submit() validates,
+  /// allocates the id and bumps the per-requester counters as usual but
+  /// parks the access in a per-requester staging lane instead of the shared
+  /// queues; submit() is then safe to call concurrently from different
+  /// requesters (each touches only its own lane/counters). After the epoch
+  /// barrier, drainStagedSubmissions() moves the staged accesses into the
+  /// real queues in the canonical serial arrival order — every HHT-role
+  /// lane in tile order, then every CPU-role lane in tile order — exactly
+  /// the order the serial loop (all device ticks, then all core ticks)
+  /// would have produced.
+  void beginStagedSubmission();
+  void drainStagedSubmissions();
+  void endStagedSubmission();
 
   /// If request `id` has completed, consume it and return the response
   /// (data is zero for writes). Poison-aware consumers (cores, walkers)
@@ -170,10 +192,41 @@ class MemorySystem {
   }
 
   /// True when no request is queued or in flight (used by run loops to
-  /// detect quiescence).
+  /// detect quiescence). Only called from serial loop contexts (never from
+  /// inside a threaded epoch's parallel phase), so scanning the per-
+  /// requester completed lanes is race-free; with <= 2*16 lanes it is also
+  /// a trivial cost.
   bool idle() const {
-    return sram_queue_.empty() && mmio_queue_.empty() && in_flight_.empty() &&
-           completed_.empty();
+    if (!sram_queue_.empty() || !mmio_queue_.empty() || !in_flight_.empty()) {
+      return false;
+    }
+    for (const auto& lane : completed_) {
+      if (!lane.empty()) return false;
+    }
+    return true;
+  }
+
+  /// True when tick() must run next cycle regardless of in-flight latency:
+  /// queued SRAM/MMIO work awaits arbitration, or the prefetcher holds
+  /// fill candidates. The event-scheduled loop consults this after the
+  /// device/core phase, because a submit *this* cycle makes the memory
+  /// system due the same cycle (nextEventCycle() snapshots are stale by
+  /// then).
+  bool pendingArbitration() const {
+    return !sram_queue_.empty() || !mmio_queue_.empty() ||
+           !prefetch_queue_.empty();
+  }
+
+  /// True while any MMIO access is queued (retried every cycle until the
+  /// device window accepts it).
+  bool mmioPending() const { return !mmio_queue_.empty(); }
+
+  /// Any completed-but-unclaimed response on `role`/`tile`'s lane? One load
+  /// and a compare: consumers with several outstanding requests check this
+  /// before their per-pending poll scans, collapsing the common quiet-cycle
+  /// case to a single branch.
+  bool hasResponses(Requester role, std::uint32_t tile) const {
+    return !completed_[requesterIndex(role, tile)].empty();
   }
 
   /// Quiescence protocol (DESIGN.md §11): first cycle (> now) at which a
@@ -248,12 +301,21 @@ class MemorySystem {
   std::vector<Pending> mmio_queue_;
   std::vector<Addr> prefetch_queue_;  ///< line addresses awaiting spare slots
   std::vector<InFlight> in_flight_;
-  /// Unclaimed responses, in retirement order. A flat vector beats a hash
-  /// map here: the set is nearly always empty or a handful of entries, and
-  /// takeResponse() sits on the per-cycle hot path of every consumer poll.
-  std::vector<std::pair<RequestId, MemResponse>> completed_;
+  /// Unclaimed responses, one lane per requester (lane = (id-1) %
+  /// numRequesters, well-defined because ids are per-requester streams).
+  /// Per-lane storage keeps takeResponse() scanning only the caller's own
+  /// handful of entries — and makes concurrent polls from different tiles
+  /// race-free during the threaded epoch's parallel phase. Each lane stays
+  /// in retirement order.
+  std::vector<std::vector<std::pair<RequestId, MemResponse>>> completed_;
 
-  RequestId next_id_ = 1;
+  /// Per-requester next sequence numbers (id = seq*R + who + 1); replaces
+  /// the old global next_id_ counter (snapshot v6).
+  std::vector<RequestId> next_seq_;
+  /// Epoch staging lanes (host-only, always drained before any snapshot or
+  /// idle() decision; never serialized).
+  std::vector<std::vector<Pending>> stage_;
+  bool staging_ = false;
   /// Arbiter rotation state (serialized). RoundRobin: next flat requester
   /// index to prefer. CpuPriority with multiple tiles: independent
   /// rotation pointers over the CPU-role and HHT-role requesters so no
@@ -298,10 +360,11 @@ class MemorySystem {
 };
 
 inline std::optional<MemResponse> MemorySystem::takeResponse(RequestId id) {
-  for (std::size_t i = 0; i < completed_.size(); ++i) {
-    if (completed_[i].first == id) {
-      const MemResponse response = completed_[i].second;
-      completed_.erase(completed_.begin() + static_cast<std::ptrdiff_t>(i));
+  auto& lane = completed_[(id - 1) % num_requesters_];
+  for (std::size_t i = 0; i < lane.size(); ++i) {
+    if (lane[i].first == id) {
+      const MemResponse response = lane[i].second;
+      lane.erase(lane.begin() + static_cast<std::ptrdiff_t>(i));
       return response;
     }
   }

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "sim/types.h"
+
+/// Per-component next-event calendar for the event-scheduled run loop
+/// (DESIGN.md §16).
+///
+/// The simulator has a small, fixed set of tickable components (device,
+/// core, memory, watchdog, ...), so the calendar is an indexed table of
+/// next-event cycles with a cached minimum rather than a heap: post() is
+/// O(1), next() is O(1) amortised (the min is recomputed lazily, and only
+/// when the slot holding the cached min moved later in time). With N <= 8
+/// slots the recompute is a handful of loads, far cheaper than heap
+/// bookkeeping at this size.
+///
+/// Invariants (unit-tested in tests/test_sim.cc):
+///  - next() never exceeds the earliest posted event: the loop can never
+///    skip past a cycle where some component has work.
+///  - Re-posting a slot overwrites its previous entry (dedupe): a component
+///    has exactly one "next event", the most recently declared one.
+///  - Multiple slots posted for the same cycle all stay due until each is
+///    individually re-posted past it (same-cycle multi-component wakeups).
+///  - kNeverCycle in every slot means the calendar is idle.
+namespace hht::sim {
+
+template <std::size_t N>
+class EventCalendar {
+ public:
+  EventCalendar() { slots_.fill(kNeverCycle); }
+
+  /// Declare that component `slot` next has work at `cycle` (kNeverCycle =
+  /// fully quiescent). Overwrites any previous posting for the slot.
+  void post(std::size_t slot, Cycle cycle) {
+    const Cycle old = slots_[slot];
+    slots_[slot] = cycle;
+    if (cycle < min_) {
+      min_ = cycle;
+    } else if (old == min_ && cycle > min_) {
+      // The slot that defined the cached min moved later; another slot may
+      // still hold the same cycle, so rescan.
+      recompute();
+    }
+  }
+
+  /// Next cycle at which any component has work (kNeverCycle if idle).
+  Cycle next() const { return min_; }
+
+  /// The posted next-event cycle for one slot.
+  Cycle at(std::size_t slot) const { return slots_[slot]; }
+
+  /// True if `slot` has work at or before `now`.
+  bool due(std::size_t slot, Cycle now) const { return slots_[slot] <= now; }
+
+  /// True if no component has any pending event.
+  bool idle() const { return min_ == kNeverCycle; }
+
+  static constexpr std::size_t size() { return N; }
+
+ private:
+  void recompute() {
+    Cycle m = kNeverCycle;
+    for (const Cycle c : slots_) {
+      if (c < m) m = c;
+    }
+    min_ = m;
+  }
+
+  std::array<Cycle, N> slots_{};
+  Cycle min_ = kNeverCycle;
+};
+
+}  // namespace hht::sim

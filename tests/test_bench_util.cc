@@ -131,6 +131,93 @@ TEST(BenchUtil, ExtraArgsCollectUnknownsForLayeredParsers) {
             ParseStatus::kError);
 }
 
+ParseStatus tryParseModeArgs(std::vector<std::string> args, Options& opt,
+                             std::string& error) {
+  Argv a(std::move(args));
+  return tryParse(a.argc(), a.argv(), /*with_trace=*/false, opt, error,
+                  /*extra=*/nullptr, /*with_mode=*/true);
+}
+
+TEST(BenchUtil, ParsesModeAndRepeat) {
+  {
+    Options opt;
+    std::string error;
+    ASSERT_EQ(tryParseModeArgs({"--mode=event", "--repeat=5"}, opt, error),
+              ParseStatus::kOk)
+        << error;
+    EXPECT_EQ(opt.mode, RunMode::kEvent);
+    EXPECT_EQ(opt.repeat, 5u);
+  }
+  {
+    Options opt;
+    std::string error;
+    ASSERT_EQ(tryParseModeArgs({"--mode=naive"}, opt, error), ParseStatus::kOk);
+    EXPECT_EQ(opt.mode, RunMode::kNaive);
+    EXPECT_EQ(opt.repeat, 1u) << "--repeat default is a single sample";
+  }
+  {
+    Options opt;
+    std::string error;
+    ASSERT_EQ(tryParseModeArgs({"--mode=fast"}, opt, error), ParseStatus::kOk);
+    EXPECT_EQ(opt.mode, RunMode::kFast);
+  }
+  {  // Default: run every mode.
+    Options opt;
+    std::string error;
+    ASSERT_EQ(tryParseModeArgs({}, opt, error), ParseStatus::kOk);
+    EXPECT_EQ(opt.mode, RunMode::kAll);
+  }
+}
+
+TEST(BenchUtil, ModeFlagsOnlyExistWhenWired) {
+  // A bench without mode passes (fig sweeps) must reject --mode rather
+  // than silently ignore it.
+  Options opt;
+  std::string error;
+  EXPECT_EQ(tryParseArgs({"--mode=event"}, opt, error), ParseStatus::kError);
+  EXPECT_NE(error.find("--mode=event"), std::string::npos) << error;
+}
+
+TEST(BenchUtil, RejectsBadModeAndRepeatZero) {
+  {
+    Options opt;
+    std::string error;
+    EXPECT_EQ(tryParseModeArgs({"--mode=turbo"}, opt, error),
+              ParseStatus::kError);
+    EXPECT_NE(error.find("--mode"), std::string::npos) << error;
+  }
+  {  // min-of-zero-samples is meaningless; make the caller omit the flag.
+    Options opt;
+    std::string error;
+    EXPECT_EQ(tryParseModeArgs({"--repeat=0"}, opt, error),
+              ParseStatus::kError);
+    EXPECT_NE(error.find("--repeat"), std::string::npos) << error;
+  }
+  {
+    Options opt;
+    std::string error;
+    EXPECT_EQ(tryParseModeArgs({"--repeat=2", "--repeat=3"}, opt, error),
+              ParseStatus::kError);
+    EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  }
+}
+
+TEST(BenchUtil, RejectsMalformedNumbers) {
+  // Every numeric flag goes through the strict base-10 parser: trailing
+  // garbage, signs, empty values and overflow are errors, never silent
+  // truncation (strtoull would happily accept "12abc" and "-1").
+  const std::vector<std::string> bad = {
+      "--size=12abc", "--seed=-3", "--jobs=", "--repeat=+2",
+      "--size=99999999999999999999999999"};
+  for (const std::string& arg : bad) {
+    Options opt;
+    std::string error;
+    EXPECT_EQ(tryParseModeArgs({arg}, opt, error), ParseStatus::kError)
+        << arg << " was accepted";
+    EXPECT_FALSE(error.empty()) << arg;
+  }
+}
+
 TEST(BenchUtil, HelpShortCircuits) {
   Options opt;
   std::string error;

@@ -1,11 +1,15 @@
-// Quiescence fast-forward verification (DESIGN.md §11): the host-side cycle
-// skipping in System::runLoop must be invisible in every simulated result —
-// same cycle counts, same merged stats map, same output bits, same snapshot
-// bytes — for every engine, with and without fault injection, across a
-// checkpoint/restore, and for every SweepRunner jobs value.
+// Run-loop equivalence verification (DESIGN.md §11, §16): the host-side
+// acceleration strategies — quiescence fast-forward and the event-scheduled
+// calendar loop — must be invisible in every simulated result. Same cycle
+// counts, same merged stats map, same output bits, same snapshot bytes —
+// for every engine, with and without fault injection, with the patrol
+// scrubber, under an oracle stream tap, across a checkpoint/restore, and
+// for every SweepRunner jobs value. Every A/B here is really an A/B/C:
+// per-cycle naive vs quiescence vs event calendar.
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "harness/experiment.h"
@@ -13,6 +17,7 @@
 #include "obs/trace.h"
 #include "sparse/bitvector.h"
 #include "sparse/hier_bitmap.h"
+#include "verify/cosim.h"
 #include "workload/synthetic.h"
 
 namespace hht::harness {
@@ -38,16 +43,26 @@ void expectIdentical(const RunResult& a, const RunResult& b,
   EXPECT_EQ(a.stats.all(), b.stats.all()) << label;
 }
 
-/// Run `driver` with fast-forward enabled and disabled (everything else
-/// identical) and require a bit-identical outcome.
+/// Run `driver` under all three run-loop strategies — per-cycle naive,
+/// quiescence fast-forward, event-scheduled calendar (everything else
+/// identical) — and require bit-identical outcomes.
 template <typename Driver>
 void abFastForward(const char* label, const SystemConfig& cfg,
                    Driver&& driver) {
-  SystemConfig on = cfg;
-  on.host_fastforward = true;
-  SystemConfig off = cfg;
-  off.host_fastforward = false;
-  expectIdentical(driver(on), driver(off), label);
+  SystemConfig naive = cfg;
+  naive.host_fastforward = false;
+  naive.sched_mode = SchedMode::Naive;
+  SystemConfig quiescence = cfg;
+  quiescence.host_fastforward = true;
+  quiescence.sched_mode = SchedMode::Quiescence;
+  SystemConfig event = cfg;
+  event.host_fastforward = true;
+  event.sched_mode = SchedMode::Event;
+  const RunResult ref = driver(naive);
+  expectIdentical(driver(quiescence), ref,
+                  (std::string(label) + "/quiescence").c_str());
+  expectIdentical(driver(event), ref,
+                  (std::string(label) + "/event").c_str());
 }
 
 struct Operands {
@@ -128,6 +143,63 @@ TEST(FastForward, FaultInjectedRunsAreBitIdenticalWithAndWithoutSkipping) {
   abFastForward("spmspv-resilient", cfg, [&](const SystemConfig& c) {
     return runSpmspvHhtResilient(c, ops.m, ops.sv, 2, false);
   });
+}
+
+TEST(FastForward, ScrubbedRunsAreBitIdenticalAcrossRunLoops) {
+  // The patrol scrubber posts periodic background work (one ECC word per
+  // scrub_period); the event loop must wake for every patrol read even in
+  // otherwise-quiescent stretches, and the quiescence loop must refuse to
+  // skip across one.
+  SystemConfig cfg = defaultConfig();
+  cfg.memory.scrub_enabled = true;
+  cfg.memory.scrub_period = 16;
+  const Operands ops = operands(0xFF'07);
+  abFastForward("spmv-scrub", cfg, [&](const SystemConfig& c) {
+    return runSpmvHht(c, ops.m, ops.v, true);
+  });
+  // With fault injection the scrubber also repairs planted singles; the
+  // repair schedule must be loop-invariant too.
+  cfg.faults.enabled = true;
+  cfg.faults.seed = 0xBEEF;
+  cfg.faults.sram_read_flip_rate = 1e-3;
+  abFastForward("spmv-scrub-faults", cfg, [&](const SystemConfig& c) {
+    return runSpmvHhtResilient(c, ops.m, ops.v, false);
+  });
+}
+
+TEST(FastForward, OracleTappedRunsAreIdenticalAcrossRunLoops) {
+  // A stream tap forces per-cycle device ticking in the event loop (taps
+  // are per-cycle observations); the oracle's verdict, the delivered
+  // element count and the finish cycle must still be identical across all
+  // three run loops, for every engine kind.
+  const Operands ops = operands(0xFF'08);
+  for (const verify::EngineKind kind :
+       {verify::EngineKind::Gather, verify::EngineKind::MergeV1,
+        verify::EngineKind::StreamV2, verify::EngineKind::Hier,
+        verify::EngineKind::Flat}) {
+    verify::CosimCase c;
+    c.kind = kind;
+    c.m = ops.m;
+    c.v = ops.v;
+    c.sv = ops.sv;
+    c.cfg = defaultConfig();
+    c.cfg.host_fastforward = false;
+    c.cfg.sched_mode = SchedMode::Naive;
+    const verify::CosimReport ref = verify::runCosim(c);
+    ASSERT_TRUE(ref.ok) << verify::engineKindName(kind) << ": "
+                        << ref.describe();
+    c.cfg.host_fastforward = true;
+    c.cfg.sched_mode = SchedMode::Quiescence;
+    const verify::CosimReport quiesced = verify::runCosim(c);
+    c.cfg.sched_mode = SchedMode::Event;
+    const verify::CosimReport evented = verify::runCosim(c);
+    for (const verify::CosimReport* rep : {&quiesced, &evented}) {
+      EXPECT_TRUE(rep->ok) << verify::engineKindName(kind) << ": "
+                           << rep->describe();
+      EXPECT_EQ(rep->cycles, ref.cycles) << verify::engineKindName(kind);
+      EXPECT_EQ(rep->elements, ref.elements) << verify::engineKindName(kind);
+    }
+  }
 }
 
 // ---- tests below need System access (hostSkippedCycles / checkpoint) ----
@@ -274,6 +346,49 @@ TEST(FastForward, ResumeSkipsAcrossTheRestoredRegionAndMatchesNaive) {
   expectIdentical(base, resumed, "resumed");
   EXPECT_GT(resumed_sys.hostSkippedCycles(), 0u)
       << "the resumed half should fast-forward its stalls";
+}
+
+TEST(FastForward, RestoreIsRunLoopAgnostic) {
+  // A mid-run snapshot restored under each run-loop strategy must finish
+  // with the same result as the uninterrupted per-cycle run: the loops may
+  // only differ in host time, never in what the machine does after any
+  // architectural state.
+  SystemConfig naive_cfg = stallHeavyConfig();
+  naive_cfg.host_fastforward = false;
+  naive_cfg.sched_mode = SchedMode::Naive;
+
+  System base_sys(naive_cfg);
+  const Workload w = prepareBaseline(base_sys, 0xFF'09);
+  const RunResult base =
+      base_sys.run(w.program, w.layout.y, w.layout.num_rows);
+  ASSERT_GT(base.cycles, 200u) << "workload too small to checkpoint mid-run";
+
+  System observed(naive_cfg);
+  const Workload w2 = prepareBaseline(observed, 0xFF'09);
+  CheckpointAt observer(w2.program, base.cycles / 2);
+  observed.run(w2.program, w2.layout.y, w2.layout.num_rows, 500'000'000,
+               nullptr, &observer);
+  ASSERT_FALSE(observer.snapshot().empty());
+
+  struct ModeCase {
+    const char* name;
+    bool ff;
+    SchedMode mode;
+  };
+  for (const ModeCase mc : {ModeCase{"restore-naive", false, SchedMode::Naive},
+                            ModeCase{"restore-quiescence", true,
+                                     SchedMode::Quiescence},
+                            ModeCase{"restore-event", true, SchedMode::Event}}) {
+    SystemConfig rc = stallHeavyConfig();
+    rc.host_fastforward = mc.ff;
+    rc.sched_mode = mc.mode;
+    System resumed_sys(rc);
+    const Cycle start = resumed_sys.restore(observer.snapshot(), w2.program);
+    EXPECT_EQ(start, observer.resumeAt()) << mc.name;
+    const RunResult resumed = resumed_sys.resume(w2.program, w2.layout.y,
+                                                 w2.layout.num_rows, start);
+    expectIdentical(base, resumed, mc.name);
+  }
 }
 
 TEST(FastForward, SweepRunnerResultsAreJobsInvariant) {

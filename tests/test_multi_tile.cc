@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "obs/profile.h"
@@ -355,6 +357,87 @@ TEST(MultiTile, FastForwardIsBitIdenticalOn4Tiles) {
   EXPECT_EQ(fast.hht_wait_cycles, naive.hht_wait_cycles);
   EXPECT_EQ(fast.stats.all(), naive.stats.all());
   expectSameY(fast.y, naive.y);
+}
+
+TEST(MultiTile, ThreadedTilePhaseIsByteIdenticalToSerial) {
+  // tile_workers > 1 runs the per-tile component ticks on worker threads
+  // with staged memory submissions drained in canonical tile order — a
+  // host-side execution strategy only. Every run surface (RunResult,
+  // merged stats map, output vector, the complete serialized snapshot)
+  // must be byte-identical to the serial loop for every tile count and
+  // every worker count, including workers > tiles.
+  for (const std::uint32_t tiles : {2u, 4u, 8u}) {
+    SystemConfig serial_cfg = scaleConfig(tiles);
+    serial_cfg.tile_workers = 1;
+    MultiTileSystem serial_sys(serial_cfg);
+    const ShardedWorkload ws = prepare(serial_sys, 0x4720 + tiles);
+    const RunResult serial =
+        serial_sys.run(ws.programs, ws.layout.y, ws.layout.num_rows);
+    const std::vector<std::uint8_t> serial_snap =
+        serial_sys.checkpoint(ws.programs, serial.cycles);
+
+    for (const std::uint32_t workers : {2u, 4u}) {
+      SystemConfig thr_cfg = scaleConfig(tiles);
+      thr_cfg.tile_workers = workers;
+      MultiTileSystem thr_sys(thr_cfg);
+      const ShardedWorkload wt = prepare(thr_sys, 0x4720 + tiles);
+      const RunResult thr =
+          thr_sys.run(wt.programs, wt.layout.y, wt.layout.num_rows);
+      const std::string label = "tiles=" + std::to_string(tiles) +
+                                " workers=" + std::to_string(workers);
+      EXPECT_EQ(serial.cycles, thr.cycles) << label;
+      EXPECT_EQ(serial.retired, thr.retired) << label;
+      EXPECT_EQ(serial.cpu_wait_cycles, thr.cpu_wait_cycles) << label;
+      EXPECT_EQ(serial.hht_wait_cycles, thr.hht_wait_cycles) << label;
+      EXPECT_EQ(serial.stats.all(), thr.stats.all()) << label;
+      expectSameY(serial.y, thr.y);
+      // The snapshot covers SRAM, queues, pipelines, RNG — byte equality
+      // here means the machines are indistinguishable, not just the
+      // result surface.
+      EXPECT_EQ(serial_snap, thr_sys.checkpoint(wt.programs, thr.cycles))
+          << label;
+    }
+  }
+}
+
+TEST(MultiTile, ThreadedTilePhaseEmitsIdenticalTraces) {
+  // Per-tile trace sinks see the exact same event streams no matter how
+  // many worker threads ticked the tiles: each tile traces only its own
+  // components, and the epoch barrier keeps cycle boundaries exact.
+  const std::uint32_t tiles = 2;
+  const auto run = [&](std::uint32_t workers) {
+    SystemConfig cfg = scaleConfig(tiles);
+    cfg.tile_workers = workers;
+    MultiTileSystem sys(cfg);
+    const ShardedWorkload w = prepare(sys, 0x4730);
+    std::vector<obs::TraceSink> sinks(tiles);
+    for (std::uint32_t t = 0; t < tiles; ++t) {
+      sys.setTileTraceSink(t, &sinks[t]);
+    }
+    sys.run(w.programs, w.layout.y, w.layout.num_rows);
+    std::vector<std::vector<obs::TraceEvent>> events;
+    for (auto& sink : sinks) {
+      events.push_back(sink.events());
+    }
+    return events;
+  };
+  const auto serial = run(1);
+  for (const std::uint32_t workers : {2u, 4u}) {
+    const auto threaded = run(workers);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t t = 0; t < serial.size(); ++t) {
+      ASSERT_EQ(serial[t].size(), threaded[t].size())
+          << "tile " << t << " workers " << workers;
+      for (std::size_t i = 0; i < serial[t].size(); ++i) {
+        const obs::TraceEvent& a = serial[t][i];
+        const obs::TraceEvent& b = threaded[t][i];
+        ASSERT_TRUE(a.cycle == b.cycle && a.category == b.category &&
+                    a.component == b.component && a.kind == b.kind &&
+                    a.a == b.a && a.b == b.b)
+            << "tile " << t << " event " << i << " workers " << workers;
+      }
+    }
+  }
 }
 
 TEST(MultiTile, StatsKeepTilePrefixedNamespaces) {
