@@ -107,6 +107,20 @@ void writeSystemConfig(sim::StateWriter& w, const SystemConfig& cfg) {
   w.u64(m.cache.writeback_penalty);
   w.b(m.prefetch_enabled).u32(m.prefetch_degree);
   w.u32(m.mmio_base).u32(m.mmio_size);
+  const mem::TopologyConfig& topo = m.topology;
+  w.u32(topo.channels).u32(topo.interleave_bytes);
+  w.u64(topo.link_latency).u32(topo.link_bandwidth);
+  w.b(topo.tile_l1_enabled);
+  w.u32(topo.tile_l1.size_bytes).u32(topo.tile_l1.line_bytes);
+  w.u32(topo.tile_l1.ways);
+  w.u64(topo.tile_l1.hit_latency).u64(topo.tile_l1.miss_penalty);
+  w.u64(topo.tile_l1.writeback_penalty);
+  w.b(topo.hht_prefetch_enabled);
+  w.u32(topo.hht_prefetch_degree).u32(topo.hht_prefetch_queue);
+  w.u32(static_cast<std::uint32_t>(topo.nodes.size()));
+  for (const mem::TopologyNodeConfig& node : topo.nodes) {
+    w.u32(node.grants_per_cycle).u64(node.extra_latency);
+  }
   const core::HhtConfig& h = cfg.hht;
   w.u32(h.num_buffers).u32(h.buffer_len).u32(h.be_issue_per_cycle);
   w.u32(h.cmp_per_cycle).u32(h.cmp_recurrence).u32(h.emit_per_cycle);
@@ -149,6 +163,26 @@ SystemConfig readSystemConfig(sim::StateReader& r) {
   m.prefetch_degree = r.u32();
   m.mmio_base = r.u32();
   m.mmio_size = r.u32();
+  mem::TopologyConfig& topo = m.topology;
+  topo.channels = r.u32();
+  topo.interleave_bytes = r.u32();
+  topo.link_latency = r.u64();
+  topo.link_bandwidth = r.u32();
+  topo.tile_l1_enabled = r.b();
+  topo.tile_l1.size_bytes = r.u32();
+  topo.tile_l1.line_bytes = r.u32();
+  topo.tile_l1.ways = r.u32();
+  topo.tile_l1.hit_latency = r.u64();
+  topo.tile_l1.miss_penalty = r.u64();
+  topo.tile_l1.writeback_penalty = r.u64();
+  topo.hht_prefetch_enabled = r.b();
+  topo.hht_prefetch_degree = r.u32();
+  topo.hht_prefetch_queue = r.u32();
+  topo.nodes.resize(r.u32());
+  for (mem::TopologyNodeConfig& node : topo.nodes) {
+    node.grants_per_cycle = r.u32();
+    node.extra_latency = r.u64();
+  }
   core::HhtConfig& h = cfg.hht;
   h.num_buffers = r.u32();
   h.buffer_len = r.u32();

@@ -94,6 +94,18 @@ bool Cache::install(Addr addr) {
   return true;
 }
 
+bool Cache::contains(Addr addr) const {
+  const std::uint64_t block = addr / config_.line_bytes;
+  const std::uint32_t set = static_cast<std::uint32_t>(block) & (num_sets_ - 1);
+  const std::uint64_t tag = block / num_sets_;
+  const Line* set_base =
+      lines_.data() + static_cast<std::size_t>(set) * config_.ways;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (set_base[w].valid && set_base[w].tag == tag) return true;
+  }
+  return false;
+}
+
 void Cache::flush() {
   for (Line& line : lines_) line = Line{};
 }

@@ -47,6 +47,11 @@ class Cache {
   /// Returns false if the line was already resident (prefetch was useless).
   bool install(Addr addr);
 
+  /// Residency probe: is `addr`'s line present? Pure lookup — no LRU,
+  /// counter or dirty-bit side effects (prefetchers use it to skip targets
+  /// that are already resident without perturbing replacement state).
+  bool contains(Addr addr) const;
+
   /// Drop all lines (dirty contents are functionally in SRAM already).
   void flush();
 

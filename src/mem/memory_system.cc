@@ -8,6 +8,17 @@
 
 namespace hht::mem {
 
+namespace {
+// kHhtPrefetch payload actions (trace.h).
+constexpr std::uint64_t kPfIssued = 0;
+constexpr std::uint64_t kPfFilled = 1;
+constexpr std::uint64_t kPfUseful = 2;
+constexpr std::uint64_t kPfLate = 3;
+constexpr std::uint64_t kPfDropped = 4;
+// Bound on per-tile tracked prefetched lines (useful-accounting only).
+constexpr std::size_t kMaxTrackedLines = 64;
+}  // namespace
+
 void MemorySystemConfig::validate() const {
   using sim::ErrorKind;
   using sim::SimError;
@@ -57,6 +68,13 @@ void MemorySystemConfig::validate() const {
                    "per-tile MMIO windows wrap past the 32-bit address "
                    "space: base + num_tiles*mmio_size overflows");
   }
+  topology.validate();
+  if (topology.tile_l1_enabled && (cpu_cache_enabled || hht_cache_enabled)) {
+    throw SimError(ErrorKind::Config, "mem",
+                   "topology.tile_l1_enabled conflicts with the flat "
+                   "cpu/hht caches: two same-level caches would charge "
+                   "every access twice");
+  }
 }
 
 MemorySystem::MemorySystem(const MemorySystemConfig& config)
@@ -104,6 +122,54 @@ MemorySystem::MemorySystem(const MemorySystemConfig& config)
   if (config_.hht_cache_enabled) {
     hht_cache_ = std::make_unique<Cache>(config_.cache);
   }
+
+  // Topology nodes: resolve each channel's arbiter knobs (top-level
+  // defaults + per-node overrides). Flat = one node = the legacy arbiter.
+  const TopologyConfig& topo = config_.topology;
+  channels_.resize(topo.channels);
+  for (std::uint32_t k = 0; k < topo.channels; ++k) {
+    ChannelState& ch = channels_[k];
+    const TopologyNodeConfig* node =
+        topo.nodes.empty() ? nullptr : &topo.nodes[k];
+    ch.grants_per_cycle =
+        (node != nullptr && node->grants_per_cycle != 0)
+            ? node->grants_per_cycle
+            : config_.grants_per_cycle;
+    ch.extra_latency = node != nullptr ? node->extra_latency : 0;
+    if (topo.channels > 1) {
+      const std::string prefix = "mem.ch" + std::to_string(k);
+      ch.grants = &stats_.counter(prefix + ".grants");
+      ch.conflict_cycles = &stats_.counter(prefix + ".conflict_cycles");
+    }
+  }
+  if (topo.routed()) {
+    tile_lanes_.resize(config_.num_tiles);
+  }
+  if (topo.tile_l1_enabled) {
+    tile_l1_.reserve(config_.num_tiles);
+    for (std::uint32_t t = 0; t < config_.num_tiles; ++t) {
+      tile_l1_.push_back(std::make_unique<Cache>(topo.tile_l1));
+    }
+  }
+  if (topo.hht_prefetch_enabled) {
+    hht_pf_.resize(config_.num_tiles);
+    hht_pf_tracked_.resize(config_.num_tiles);
+    hpf_issued_ = &stats_.counter("hht.prefetch.issued");
+    hpf_useful_ = &stats_.counter("hht.prefetch.useful");
+    hpf_late_ = &stats_.counter("hht.prefetch.late");
+    hpf_dropped_ = &stats_.counter("hht.prefetch.dropped");
+  }
+}
+
+void MemorySystem::routeDemand(const Pending& pending) {
+  if (!tile_lanes_.empty()) {
+    // Routed topology: the access first crosses its tile's edge (link
+    // bandwidth + L1 lookup happen at lane service).
+    tile_lanes_[pending.access.tile].push_back(pending);
+    return;
+  }
+  channels_[config_.topology.channelOf(pending.access.addr)].queue.push_back(
+      pending);
 }
 
 RequestId MemorySystem::submit(const MemAccess& access) {
@@ -166,7 +232,11 @@ RequestId MemorySystem::submit(const MemAccess& access) {
     stage_[who].push_back({id, access});
     return id;
   }
-  (is_mmio ? mmio_queue_ : sram_queue_).push_back({id, access});
+  if (is_mmio) {
+    mmio_queue_.push_back({id, access});
+  } else {
+    routeDemand({id, access});
+  }
   return id;
 }
 
@@ -180,7 +250,11 @@ void MemorySystem::drainStagedSubmissions() {
   // — identical to the serial schedule.
   const auto drain_lane = [this](std::uint32_t who) {
     for (const Pending& p : stage_[who]) {
-      (isMmio(p.access.addr) ? mmio_queue_ : sram_queue_).push_back(p);
+      if (isMmio(p.access.addr)) {
+        mmio_queue_.push_back(p);
+      } else {
+        routeDemand(p);
+      }
     }
     stage_[who].clear();
   };
@@ -204,7 +278,30 @@ std::optional<std::uint32_t> MemorySystem::takeCompleted(RequestId id) {
   return response->data;
 }
 
-void MemorySystem::grant(const Pending& pending, Cycle now) {
+void MemorySystem::applySecded(const MemAccess& a, std::uint32_t& data,
+                               bool& poisoned) {
+  if (sram_.latentCount() == 0) return;
+  // At-rest SECDED (DESIGN.md §15). Sram::read returns the true data;
+  // a word carrying one latent flip is corrected in flight (the cell
+  // stays dirty until a write or the scrubber refreshes it), two or
+  // more flips are uncorrectable: the observed (corrupted) bits are
+  // delivered poisoned. Aligned 1/2/4-byte accesses never straddle a
+  // 32-bit ECC word, so exactly one registry lookup covers the access.
+  const std::uint32_t mask = sram_.latentMask(a.addr);
+  if (mask == 0) return;
+  if (std::popcount(mask) == 1) {
+    ++*secded_demand_corrected_;
+  } else {
+    ++*secded_demand_uncorrectable_;
+    const std::uint32_t shift = (a.addr & 3u) * 8;
+    const std::uint32_t keep = a.size == 4 ? ~0u : (1u << (a.size * 8)) - 1u;
+    data ^= (mask >> shift) & keep;
+    poisoned = true;
+  }
+}
+
+void MemorySystem::grant(const Pending& pending, Cycle now, ChannelState& ch,
+                         std::uint32_t ch_index) {
   const MemAccess& a = pending.access;
   Cycle latency = config_.sram_latency;
   Cache* cache = a.requester == Requester::Cpu ? cpu_cache_.get()
@@ -223,7 +320,12 @@ void MemorySystem::grant(const Pending& pending, Cycle now) {
         }
       }
     }
+  } else if (pending.l1_latency != 0) {
+    // Tile-L1 miss: the lookup already charged hit+miss(+writeback); the
+    // shared level adds only its own node/link costs below.
+    latency = pending.l1_latency;
   }
+  latency += ch.extra_latency + config_.topology.link_latency;
   if (latency == 0) latency = 1;
 
   if (a.is_write) {
@@ -233,39 +335,21 @@ void MemorySystem::grant(const Pending& pending, Cycle now) {
     sram_.write(a.addr, a.size, a.wdata);
     ++*grants_;
     ++*grants_by_[requesterIndex(a)];
+    if (ch.grants != nullptr) ++*ch.grants;
     if (trace_ != nullptr && trace_->enabled(obs::Category::kMem)) {
       trace_->emit(now, obs::Category::kMem, obs::Component::kMem,
                    obs::EventKind::kMemGrant, a.addr,
                    static_cast<std::uint64_t>(a.requester) |
                        (std::uint64_t{a.is_write} << 1) |
                        (static_cast<std::uint64_t>(a.tile) << 2) |
-                       (static_cast<std::uint64_t>(sram_queue_.size()) << 8));
+                       (static_cast<std::uint64_t>(ch.queue.size()) << 8) |
+                       (static_cast<std::uint64_t>(ch_index) << 56));
     }
     return;
   }
   std::uint32_t data = sram_.read(a.addr, a.size);
   bool poisoned = false;
-  if (sram_.latentCount() != 0) {
-    // At-rest SECDED (DESIGN.md §15). Sram::read returns the true data;
-    // a word carrying one latent flip is corrected in flight (the cell
-    // stays dirty until a write or the scrubber refreshes it), two or
-    // more flips are uncorrectable: the observed (corrupted) bits are
-    // delivered poisoned. Aligned 1/2/4-byte accesses never straddle a
-    // 32-bit ECC word, so exactly one registry lookup covers the access.
-    const std::uint32_t mask = sram_.latentMask(a.addr);
-    if (mask != 0) {
-      if (std::popcount(mask) == 1) {
-        ++*secded_demand_corrected_;
-      } else {
-        ++*secded_demand_uncorrectable_;
-        const std::uint32_t shift = (a.addr & 3u) * 8;
-        const std::uint32_t keep =
-            a.size == 4 ? ~0u : (1u << (a.size * 8)) - 1u;
-        data ^= (mask >> shift) & keep;
-        poisoned = true;
-      }
-    }
-  }
+  applySecded(a, data, poisoned);
   sim::FaultInjector* const injector = injectors_[a.tile];
   if (injector != nullptr) {
     // ECC path: a flip on the read port is always *detected* (SECDED-style
@@ -304,16 +388,19 @@ void MemorySystem::grant(const Pending& pending, Cycle now) {
   in_flight_.push_back({pending.id, now + latency, data, poisoned});
   ++*grants_;
   ++*grants_by_[requesterIndex(a)];
+  if (ch.grants != nullptr) ++*ch.grants;
   if (trace_ != nullptr && trace_->enabled(obs::Category::kMem)) {
-    // b packs requester | is_write<<1 | tile<<2 | queue-depth-at-grant<<8,
-    // so the trace carries request-queue occupancy without a per-cycle
-    // event (tile is 0 on a single-tile machine: payloads unchanged).
+    // b packs requester | is_write<<1 | tile<<2 | queue-depth-at-grant<<8 |
+    // channel<<56, so the trace carries request-queue occupancy and the
+    // granting node without a per-cycle event (tile and channel are 0 on a
+    // flat single-tile machine: payloads unchanged).
     trace_->emit(now, obs::Category::kMem, obs::Component::kMem,
                  obs::EventKind::kMemGrant, a.addr,
                  static_cast<std::uint64_t>(a.requester) |
                      (std::uint64_t{a.is_write} << 1) |
                      (static_cast<std::uint64_t>(a.tile) << 2) |
-                     (static_cast<std::uint64_t>(sram_queue_.size()) << 8));
+                     (static_cast<std::uint64_t>(ch.queue.size()) << 8) |
+                     (static_cast<std::uint64_t>(ch_index) << 56));
   }
   HHT_LOG_AT(Trace, "mem", "grant id=%llu %s addr=0x%x done@%llu",
              static_cast<unsigned long long>(pending.id),
@@ -321,29 +408,177 @@ void MemorySystem::grant(const Pending& pending, Cycle now) {
              static_cast<unsigned long long>(now + latency));
 }
 
-// Coalesced active/drained occupancy transitions (one kPhase event per
-// contiguous span). Host-only; see DESIGN.md §12 for the resume contract.
-void MemorySystem::traceTick(Cycle now) {
-  if (!trace_->enabled(obs::Category::kMem)) return;
-  const std::uint8_t bucket =
-      idle() ? obs::kBucketDrained : obs::kBucketActive;
-  if (bucket != trace_bucket_) {
-    trace_bucket_ = bucket;
+void MemorySystem::completeLocal(const Pending& pending, Cycle latency,
+                                 Cycle now) {
+  const MemAccess& a = pending.access;
+  if (latency == 0) latency = 1;
+  if (a.is_write) {
+    // Posted, like a channel-granted store: functional data lives in the
+    // backing Sram, the L1 only tracked the dirty bit for timing.
+    sram_.write(a.addr, a.size, a.wdata);
+    return;
+  }
+  std::uint32_t data = sram_.read(a.addr, a.size);
+  bool poisoned = false;
+  applySecded(a, data, poisoned);
+  // No fault-injector draw: injection models the shared SRAM read port,
+  // which a tile-local hit never touches. Keeping the draw sequence off
+  // this path also keeps a tile's injector stream identical between flat
+  // and hierarchical runs of the same miss traffic.
+  in_flight_.push_back({pending.id, now + latency, data, poisoned});
+}
+
+void MemorySystem::emitPrefetchEvent(Cycle now, Addr line, std::uint32_t tile,
+                                     std::uint64_t action) {
+  if (trace_ != nullptr && trace_->enabled(obs::Category::kMem)) {
     trace_->emit(now, obs::Category::kMem, obs::Component::kMem,
-                 obs::EventKind::kPhase, bucket);
+                 obs::EventKind::kHhtPrefetch, line,
+                 static_cast<std::uint64_t>(tile) | (action << 8));
+  }
+}
+
+void MemorySystem::observeHhtStride(std::uint32_t tile, Addr addr, Cycle now) {
+  StrideState& pf = hht_pf_[tile];
+  const std::int64_t stride = static_cast<std::int64_t>(addr) -
+                              static_cast<std::int64_t>(pf.last_addr);
+  const bool warm = pf.last_addr != 0;
+  if (warm && stride != 0 && stride == pf.last_stride) {
+    if (pf.confidence < 255) ++pf.confidence;
+  } else {
+    pf.confidence = (warm && stride != 0) ? 1 : 0;
+    pf.last_stride = stride;
+  }
+  pf.last_addr = addr;
+  if (pf.confidence < 2) return;
+
+  const TopologyConfig& topo = config_.topology;
+  const std::uint32_t line_bytes = topo.tile_l1.line_bytes;
+  Cache* l1 = tile_l1_[tile].get();
+  Addr prev_line = ~Addr{0};
+  for (std::uint32_t d = 1; d <= topo.hht_prefetch_degree; ++d) {
+    const std::int64_t target =
+        static_cast<std::int64_t>(addr) + stride * static_cast<std::int64_t>(d);
+    if (target < 0) break;
+    const Addr line = static_cast<Addr>(target) -
+                      static_cast<Addr>(target) % line_bytes;
+    if (line == prev_line) continue;  // small strides share a line
+    prev_line = line;
+    if (!sram_.inBounds(line, line_bytes)) {
+      // Mispredicted past the array end: never submitted, never faults —
+      // only the dropped counter sees it.
+      ++*hpf_dropped_;
+      emitPrefetchEvent(now, line, tile, kPfDropped);
+      continue;
+    }
+    if (l1->contains(line)) continue;  // already resident, nothing to do
+    bool queued = false;
+    for (const PrefetchTarget& t : hht_pf_queue_) {
+      if (t.line == line && t.tile == tile) {
+        queued = true;
+        break;
+      }
+    }
+    if (queued) continue;
+    if (hht_pf_queue_.size() >= topo.hht_prefetch_queue) {
+      ++*hpf_dropped_;
+      emitPrefetchEvent(now, line, tile, kPfDropped);
+      continue;
+    }
+    hht_pf_queue_.push_back({line, static_cast<std::uint8_t>(tile)});
+    ++*hpf_issued_;
+    emitPrefetchEvent(now, line, tile, kPfIssued);
+  }
+}
+
+void MemorySystem::serviceLanes(Cycle now) {
+  const TopologyConfig& topo = config_.topology;
+  const std::uint32_t bw = topo.link_bandwidth;  // 0 = unbounded
+  const bool pf_on = topo.hht_prefetch_enabled;
+  for (std::uint32_t t = 0; t < config_.num_tiles; ++t) {
+    auto& lane = tile_lanes_[t];
+    if (lane.empty()) continue;
+    Cache* l1 = tile_l1_.empty() ? nullptr : tile_l1_[t].get();
+    std::uint32_t served = 0;
+    std::size_t i = 0;
+    while (i < lane.size() && (bw == 0 || served < bw)) {
+      ++served;
+      Pending p = lane[i];
+      lane.erase(lane.begin() + static_cast<std::ptrdiff_t>(i));
+      const MemAccess& a = p.access;
+      if (pf_on && !a.is_write && a.requester == Requester::Hht) {
+        observeHhtStride(t, a.addr, now);
+      }
+      if (l1 == nullptr) {
+        // Pure link (bandwidth/latency edge, no tile storage).
+        channels_[topo.channelOf(a.addr)].queue.push_back(p);
+        continue;
+      }
+      const Cycle lat = l1->access(a.addr, a.is_write);
+      const Addr line = a.addr - a.addr % topo.tile_l1.line_bytes;
+      if (!l1->lastAccessMissed()) {
+        // Tile-local hit: completes without a shared-level grant. First
+        // demand hit on a prefetched line counts it useful.
+        if (pf_on) {
+          auto& tracked = hht_pf_tracked_[t];
+          auto it = std::find(tracked.begin(), tracked.end(), line);
+          if (it != tracked.end()) {
+            tracked.erase(it);
+            ++*hpf_useful_;
+            emitPrefetchEvent(now, line, t, kPfUseful);
+          }
+        }
+        completeLocal(p, lat, now);
+        continue;
+      }
+      // Demand miss: a queued-but-unfilled prefetch of this line was late;
+      // the demand fetch supersedes it. A tracked line that missed was
+      // evicted before use — quietly untrack it.
+      if (pf_on) {
+        for (std::size_t q = 0; q < hht_pf_queue_.size(); ++q) {
+          if (hht_pf_queue_[q].line == line && hht_pf_queue_[q].tile == t) {
+            hht_pf_queue_.erase(hht_pf_queue_.begin() +
+                                static_cast<std::ptrdiff_t>(q));
+            ++*hpf_late_;
+            emitPrefetchEvent(now, line, t, kPfLate);
+            break;
+          }
+        }
+        auto& tracked = hht_pf_tracked_[t];
+        auto it = std::find(tracked.begin(), tracked.end(), line);
+        if (it != tracked.end()) tracked.erase(it);
+      }
+      p.l1_latency = lat;
+      channels_[topo.channelOf(a.addr)].queue.push_back(p);
+    }
   }
 }
 
 void MemorySystem::tick(Cycle now) {
   if (trace_ != nullptr) traceTick(now);
-  // Pure-stall fast path: nothing queued, nothing in flight, no patrol
-  // read due — the whole tick is a no-op, so skip the arbitration and
-  // conflict bookkeeping below. This is the common case whenever the CPU
-  // computes out of registers (naive mode pays this every such cycle).
-  if (in_flight_.empty() && sram_queue_.empty() && mmio_queue_.empty() &&
-      prefetch_queue_.empty() &&
+  // Pure-stall fast path: nothing queued on any node or lane, nothing in
+  // flight, no prefetch candidates, no patrol read due — the whole tick is
+  // a no-op, so skip the arbitration and conflict bookkeeping below. This
+  // is the common case whenever the CPU computes out of registers (naive
+  // mode pays this every such cycle).
+  if (in_flight_.empty() && mmio_queue_.empty() && prefetch_queue_.empty() &&
+      hht_pf_queue_.empty() &&
       !(config_.scrub_enabled && now >= next_scrub_cycle_)) {
-    return;
+    bool any_queued = false;
+    for (const ChannelState& ch : channels_) {
+      if (!ch.queue.empty()) {
+        any_queued = true;
+        break;
+      }
+    }
+    if (!any_queued) {
+      for (const auto& lane : tile_lanes_) {
+        if (!lane.empty()) {
+          any_queued = true;
+          break;
+        }
+      }
+    }
+    if (!any_queued) return;
   }
   // 1. Retire accesses whose latency has elapsed.
   std::erase_if(in_flight_, [&](const InFlight& f) {
@@ -353,34 +588,55 @@ void MemorySystem::tick(Cycle now) {
     return true;
   });
 
-  // 2. Arbitrate SRAM grant slots over the 2*num_tiles requester ports.
-  std::uint32_t slots_left = config_.grants_per_cycle;
-  for (std::uint32_t slot = 0; slot < config_.grants_per_cycle; ++slot) {
-    if (sram_queue_.empty()) break;
-    --slots_left;
+  // 1b. Edge service (routed topologies): per-tile L1 lookups and link
+  //     bandwidth metering; hits complete locally, misses drop into their
+  //     channel's queue and arbitrate this same cycle (the edge adds no
+  //     pipeline bubble, matching the flat submit->arbitrate timing).
+  if (!tile_lanes_.empty()) serviceLanes(now);
 
-    std::uint64_t present = 0;
-    for (const Pending& p : sram_queue_) {
-      present |= 1ull << requesterIndex(p.access);
+  // 2. Arbitrate every node's grant slots over the 2*num_tiles requester
+  //    ports. Channels arbitrate independently (own rotation, own slots).
+  for (std::uint32_t k = 0; k < channels_.size(); ++k) {
+    ChannelState& ch = channels_[k];
+    ch.slots_left = ch.grants_per_cycle;
+    for (std::uint32_t slot = 0; slot < ch.grants_per_cycle; ++slot) {
+      if (ch.queue.empty()) break;
+      --ch.slots_left;
+
+      std::uint64_t present = 0;
+      for (const Pending& p : ch.queue) {
+        present |= 1ull << requesterIndex(p.access);
+      }
+      const std::uint32_t winner = pickRequester(ch, present);
+      // Oldest request of the winning requester: taking the first queue
+      // entry with the matching port preserves per-requester program order.
+      auto it = std::find_if(ch.queue.begin(), ch.queue.end(),
+                             [&](const Pending& p) {
+                               return requesterIndex(p.access) == winner;
+                             });
+      grant(*it, now, ch, k);
+      ch.queue.erase(it);
     }
-    const std::uint32_t winner = pickRequester(present);
-    // Oldest request of the winning requester: taking the first queue
-    // entry with the matching port preserves per-requester program order.
-    auto it = std::find_if(sram_queue_.begin(), sram_queue_.end(),
-                           [&](const Pending& p) {
-                             return requesterIndex(p.access) == winner;
-                           });
-    grant(*it, now);
-    sram_queue_.erase(it);
   }
-  // Requesters left with work waiting lost arbitration this cycle. Each
-  // stalled *requester* counts one conflict cycle regardless of how many
-  // of its requests sat in the queue — the counter answers "how many
-  // cycles did this port wait", and a deferred request re-arbitrated next
-  // cycle must not be double-counted as a fresh conflict.
+  // Requesters left with work waiting lost arbitration this cycle — on any
+  // channel, or stuck behind a saturated tile link. Each stalled
+  // *requester* counts one conflict cycle regardless of how many of its
+  // requests sat in queues — the counter answers "how many cycles did this
+  // port wait", and a deferred request re-arbitrated next cycle must not
+  // be double-counted as a fresh conflict.
   std::uint64_t stalled = 0;
-  for (const Pending& p : sram_queue_) {
-    stalled |= 1ull << requesterIndex(p.access);
+  for (ChannelState& ch : channels_) {
+    for (const Pending& p : ch.queue) {
+      stalled |= 1ull << requesterIndex(p.access);
+    }
+    if (ch.conflict_cycles != nullptr && !ch.queue.empty()) {
+      ++*ch.conflict_cycles;
+    }
+  }
+  for (const auto& lane : tile_lanes_) {
+    for (const Pending& p : lane) {
+      stalled |= 1ull << requesterIndex(p.access);
+    }
   }
   if (stalled != 0) {
     std::uint64_t stalled_by_role[2] = {0, 0};
@@ -397,22 +653,55 @@ void MemorySystem::tick(Cycle now) {
     }
   }
 
-  // Spare slots feed the stream prefetcher (demand traffic always wins).
-  while (slots_left > 0 && !prefetch_queue_.empty()) {
-    const Addr target = prefetch_queue_.front();
-    prefetch_queue_.erase(prefetch_queue_.begin());
+  // Spare slots feed the CPU stream prefetcher (demand traffic always
+  // wins). Each target consumes a slot on its own channel.
+  for (std::size_t i = 0; i < prefetch_queue_.size();) {
+    ChannelState& ch = channels_[config_.topology.channelOf(prefetch_queue_[i])];
+    if (ch.slots_left == 0) {
+      ++i;
+      continue;
+    }
+    --ch.slots_left;
+    const Addr target = prefetch_queue_[i];
+    prefetch_queue_.erase(prefetch_queue_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
     if (cpu_cache_ && cpu_cache_->install(target)) {
       ++*prefetch_fills_;
     }
-    --slots_left;
+  }
+
+  // Then the HHT stride prefetcher: fills install into the owning tile's
+  // L1 from whatever slots demand and the CPU prefetcher left over.
+  for (std::size_t i = 0; i < hht_pf_queue_.size();) {
+    const PrefetchTarget target = hht_pf_queue_[i];
+    ChannelState& ch = channels_[config_.topology.channelOf(target.line)];
+    if (ch.slots_left == 0) {
+      ++i;
+      continue;
+    }
+    --ch.slots_left;
+    hht_pf_queue_.erase(hht_pf_queue_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+    if (tile_l1_[target.tile]->install(target.line)) {
+      auto& tracked = hht_pf_tracked_[target.tile];
+      if (tracked.size() >= kMaxTrackedLines) tracked.erase(tracked.begin());
+      tracked.push_back(target.line);
+      emitPrefetchEvent(now, target.line, target.tile, kPfFilled);
+    } else {
+      // Raced with a demand fill of the same line: the slot was wasted.
+      ++*hpf_dropped_;
+      emitPrefetchEvent(now, target.line, target.tile, kPfDropped);
+    }
   }
 
   // The patrol scrubber is the lowest-priority requester class: it takes
-  // a slot only after demand traffic and the prefetcher are satisfied. A
-  // due patrol read that finds no spare bandwidth counts a conflict cycle
-  // and retries every tick until one frees up.
+  // a slot only after demand traffic and the prefetchers are satisfied —
+  // a spare slot on the channel that owns the patrol word. A due patrol
+  // read that finds no spare bandwidth counts a conflict cycle and retries
+  // every tick until one frees up.
   if (config_.scrub_enabled && now >= next_scrub_cycle_) {
-    if (slots_left > 0) {
+    ChannelState& ch = channels_[config_.topology.channelOf(scrub_addr_)];
+    if (ch.slots_left > 0) {
       scrubStep(now);
       next_scrub_cycle_ = now + config_.scrub_period;
     } else {
@@ -458,6 +747,19 @@ void MemorySystem::tick(Cycle now) {
   });
 }
 
+// Coalesced active/drained occupancy transitions (one kPhase event per
+// contiguous span). Host-only; see DESIGN.md §12 for the resume contract.
+void MemorySystem::traceTick(Cycle now) {
+  if (!trace_->enabled(obs::Category::kMem)) return;
+  const std::uint8_t bucket =
+      idle() ? obs::kBucketDrained : obs::kBucketActive;
+  if (bucket != trace_bucket_) {
+    trace_bucket_ = bucket;
+    trace_->emit(now, obs::Category::kMem, obs::Component::kMem,
+                 obs::EventKind::kPhase, bucket);
+  }
+}
+
 void MemorySystem::scrubStep(Cycle now) {
   ++*scrub_reads_;
   const std::uint32_t mask = sram_.latentMask(scrub_addr_);
@@ -484,7 +786,8 @@ void MemorySystem::scrubStep(Cycle now) {
   if (static_cast<std::size_t>(scrub_addr_) >= sram_.size()) scrub_addr_ = 0;
 }
 
-std::uint32_t MemorySystem::pickRequester(std::uint64_t present) {
+std::uint32_t MemorySystem::pickRequester(ChannelState& ch,
+                                          std::uint64_t present) {
   const std::uint32_t R = num_requesters_;
   // Scan helper: first requester with work at-or-after `from`, wrapping.
   const auto scan = [&](std::uint32_t from, std::uint64_t mask) {
@@ -496,8 +799,8 @@ std::uint32_t MemorySystem::pickRequester(std::uint64_t present) {
   };
 
   if (config_.policy == ArbiterPolicy::RoundRobin) {
-    const std::uint32_t r = scan(rr_next_, present);
-    rr_next_ = (r + 1) % R;
+    const std::uint32_t r = scan(ch.rr_next, present);
+    ch.rr_next = (r + 1) % R;
     return r;
   }
 
@@ -508,29 +811,29 @@ std::uint32_t MemorySystem::pickRequester(std::uint64_t present) {
   const std::uint64_t cpu_mask = present & (0x5555'5555'5555'5555ull & all);
   const std::uint64_t hht_mask = present & ~0x5555'5555'5555'5555ull;
   if (cpu_mask != 0 && hht_mask != 0 && config_.cpu_starvation_limit != 0 &&
-      cpu_streak_ >= config_.cpu_starvation_limit) {
+      ch.cpu_streak >= config_.cpu_starvation_limit) {
     // Starvation bound: the CPU side has taken cpu_starvation_limit
     // consecutive grants while HHT work waited; force one HHT grant so a
     // saturating CPU stream cannot defer the BE indefinitely.
-    const std::uint32_t r = scan(prio_next_[1], hht_mask);
-    prio_next_[1] = (r + 2) % R;
-    cpu_streak_ = 0;
+    const std::uint32_t r = scan(ch.prio_next[1], hht_mask);
+    ch.prio_next[1] = (r + 2) % R;
+    ch.cpu_streak = 0;
     ++*forced_rotations_;
     return r;
   }
   if (cpu_mask != 0) {
-    const std::uint32_t r = scan(prio_next_[0], cpu_mask);
-    prio_next_[0] = (r + 2) % R;
+    const std::uint32_t r = scan(ch.prio_next[0], cpu_mask);
+    ch.prio_next[0] = (r + 2) % R;
     if (hht_mask != 0) {
-      ++cpu_streak_;  // a CPU grant that left HHT work waiting
+      ++ch.cpu_streak;  // a CPU grant that left HHT work waiting
     } else {
-      cpu_streak_ = 0;
+      ch.cpu_streak = 0;
     }
     return r;
   }
-  const std::uint32_t r = scan(prio_next_[1], hht_mask);
-  prio_next_[1] = (r + 2) % R;
-  cpu_streak_ = 0;
+  const std::uint32_t r = scan(ch.prio_next[1], hht_mask);
+  ch.prio_next[1] = (r + 2) % R;
+  ch.cpu_streak = 0;
   return r;
 }
 
@@ -544,12 +847,11 @@ Cycle MemorySystem::responseReadyCycle(RequestId id, Cycle now) const {
     // before the memory system, so the first successful poll is done_at+1.
     if (f.id == id) return std::max(f.done_at, now) + 1;
   }
-  return now + 1;  // still queued (SRAM or MMIO): poll again next cycle
+  return now + 1;  // still queued (lane, channel or MMIO): poll next cycle
 }
 
 Cycle MemorySystem::nextEventCycle(Cycle now) const {
-  if (!sram_queue_.empty() || !mmio_queue_.empty() ||
-      !prefetch_queue_.empty()) {
+  if (pendingArbitration()) {
     return now + 1;  // arbitration / MMIO retry runs every tick
   }
   Cycle earliest = sim::kNeverCycle;
@@ -588,9 +890,13 @@ void MemorySystem::attachMmioDevice(MmioDevice* device, std::uint32_t tile) {
 }
 
 void MemorySystem::cancelAll() {
-  sram_queue_.clear();
+  for (ChannelState& ch : channels_) ch.queue.clear();
+  for (auto& lane : tile_lanes_) lane.clear();
   mmio_queue_.clear();
   prefetch_queue_.clear();
+  hht_pf_queue_.clear();
+  for (StrideState& pf : hht_pf_) pf = StrideState{};
+  for (auto& tracked : hht_pf_tracked_) tracked.clear();
   in_flight_.clear();
   for (auto& lane : completed_) lane.clear();
   for (auto& lane : stage_) lane.clear();
@@ -599,21 +905,38 @@ void MemorySystem::cancelAll() {
 std::string MemorySystem::describeState() const {
   std::size_t completed_total = 0;
   for (const auto& lane : completed_) completed_total += lane.size();
+  std::size_t channel_total = 0;
+  for (const ChannelState& ch : channels_) channel_total += ch.queue.size();
+  std::size_t lane_total = 0;
+  for (const auto& lane : tile_lanes_) lane_total += lane.size();
   std::ostringstream os;
-  os << "mem: sram_queue=" << sram_queue_.size()
-     << " mmio_queue=" << mmio_queue_.size()
+  os << "mem: sram_queue=" << channel_total;
+  if (channels_.size() > 1) os << " (channels=" << channels_.size() << ")";
+  if (!tile_lanes_.empty()) os << " tile_lanes=" << lane_total;
+  os << " mmio_queue=" << mmio_queue_.size()
      << " in_flight=" << in_flight_.size()
      << " completed_unclaimed=" << completed_total << "\n";
-  auto line = [&os](const char* tag, const Pending& p) {
+  auto line = [&os](const std::string& tag, const Pending& p) {
     os << "  " << tag << " id=" << p.id << " "
        << requesterLabel(requesterIndex(p.access)) << " "
        << (p.access.is_write ? "W" : "R") << " addr=0x" << std::hex
        << p.access.addr << std::dec << " size=" << p.access.size << "\n";
   };
   std::size_t shown = 0;
-  for (const Pending& p : sram_queue_) {
-    if (++shown > 8) break;
-    line("sram", p);
+  for (std::size_t k = 0; k < channels_.size(); ++k) {
+    const std::string tag =
+        channels_.size() == 1 ? "sram" : "ch" + std::to_string(k);
+    for (const Pending& p : channels_[k].queue) {
+      if (++shown > 8) break;
+      line(tag, p);
+    }
+  }
+  shown = 0;
+  for (std::size_t t = 0; t < tile_lanes_.size(); ++t) {
+    for (const Pending& p : tile_lanes_[t]) {
+      if (++shown > 8) break;
+      line("lane" + std::to_string(t), p);
+    }
   }
   shown = 0;
   for (const Pending& p : mmio_queue_) {
@@ -652,25 +975,50 @@ MemAccess readAccess(sim::StateReader& r) {
 }  // namespace
 
 void MemorySystem::serialize(sim::StateWriter& w) const {
+  // Topology-dependent sections are config-implied (present exactly when
+  // the corresponding topology feature is on); the snapshot's config
+  // fingerprint pins the topology, so decoding is unambiguous and the
+  // flat layout's byte stream is identical to the pre-topology format v6.
+  const bool with_l1 = config_.topology.tile_l1_enabled;
   w.tag("MEMS");
   sram_.serialize(w);
   w.b(cpu_cache_ != nullptr);
   if (cpu_cache_) cpu_cache_->serialize(w);
   w.b(hht_cache_ != nullptr);
   if (hht_cache_) hht_cache_->serialize(w);
+  for (const auto& l1 : tile_l1_) l1->serialize(w);
 
-  auto write_queue = [&w](const std::vector<Pending>& q) {
+  auto write_queue = [&w, with_l1](const std::vector<Pending>& q) {
     w.u64(q.size());
     for (const Pending& p : q) {
       w.u64(p.id);
       writeAccess(w, p.access);
+      if (with_l1) w.u64(p.l1_latency);
     }
   };
-  write_queue(sram_queue_);
+  for (const ChannelState& ch : channels_) write_queue(ch.queue);
+  for (const auto& lane : tile_lanes_) write_queue(lane);
   write_queue(mmio_queue_);
 
   w.u64(prefetch_queue_.size());
   for (Addr a : prefetch_queue_) w.u32(a);
+
+  if (config_.topology.hht_prefetch_enabled) {
+    w.u64(hht_pf_queue_.size());
+    for (const PrefetchTarget& t : hht_pf_queue_) {
+      w.u32(t.line);
+      w.u8(t.tile);
+    }
+    for (const StrideState& pf : hht_pf_) {
+      w.u32(pf.last_addr);
+      w.u64(static_cast<std::uint64_t>(pf.last_stride));
+      w.u32(pf.confidence);
+    }
+    for (const auto& tracked : hht_pf_tracked_) {
+      w.u64(tracked.size());
+      for (Addr a : tracked) w.u32(a);
+    }
+  }
 
   w.u64(in_flight_.size());
   for (const InFlight& f : in_flight_) {
@@ -700,16 +1048,21 @@ void MemorySystem::serialize(sim::StateWriter& w) const {
   // global next_id_ of v5 and earlier).
   w.u64(next_seq_.size());
   for (const RequestId seq : next_seq_) w.u64(seq);
-  w.u32(rr_next_);
-  w.u32(prio_next_[0]);
-  w.u32(prio_next_[1]);
-  w.u64(cpu_streak_);
+  // Per-node arbiter turn; one record per channel (flat = one record,
+  // byte-identical to the legacy rr/prio/streak fields).
+  for (const ChannelState& ch : channels_) {
+    w.u32(ch.rr_next);
+    w.u32(ch.prio_next[0]);
+    w.u32(ch.prio_next[1]);
+    w.u64(ch.cpu_streak);
+  }
   w.u32(scrub_addr_);         // snapshot v5: patrol walk state
   w.u64(next_scrub_cycle_);
   stats_.serialize(w);
 }
 
 void MemorySystem::deserialize(sim::StateReader& r) {
+  const bool with_l1 = config_.topology.tile_l1_enabled;
   r.expectTag("MEMS");
   sram_.deserialize(r);
   const bool has_cpu_cache = r.b();
@@ -724,22 +1077,48 @@ void MemorySystem::deserialize(sim::StateReader& r) {
                         "snapshot HHT-cache presence disagrees with config");
   }
   if (hht_cache_) hht_cache_->deserialize(r);
+  for (const auto& l1 : tile_l1_) l1->deserialize(r);
 
-  auto read_queue = [&r](std::vector<Pending>& q) {
+  auto read_queue = [&r, with_l1](std::vector<Pending>& q) {
     q.clear();
     const std::uint64_t n = r.u64();
     for (std::uint64_t i = 0; i < n; ++i) {
-      const RequestId id = r.u64();
-      q.push_back({id, readAccess(r)});
+      Pending p;
+      p.id = r.u64();
+      p.access = readAccess(r);
+      if (with_l1) p.l1_latency = r.u64();
+      q.push_back(p);
     }
   };
-  read_queue(sram_queue_);
+  for (ChannelState& ch : channels_) read_queue(ch.queue);
+  for (auto& lane : tile_lanes_) read_queue(lane);
   read_queue(mmio_queue_);
 
   prefetch_queue_.clear();
   const std::uint64_t n_prefetch = r.u64();
   for (std::uint64_t i = 0; i < n_prefetch; ++i) {
     prefetch_queue_.push_back(r.u32());
+  }
+
+  if (config_.topology.hht_prefetch_enabled) {
+    hht_pf_queue_.clear();
+    const std::uint64_t n_pf = r.u64();
+    for (std::uint64_t i = 0; i < n_pf; ++i) {
+      PrefetchTarget t;
+      t.line = r.u32();
+      t.tile = r.u8();
+      hht_pf_queue_.push_back(t);
+    }
+    for (StrideState& pf : hht_pf_) {
+      pf.last_addr = r.u32();
+      pf.last_stride = static_cast<std::int64_t>(r.u64());
+      pf.confidence = r.u32();
+    }
+    for (auto& tracked : hht_pf_tracked_) {
+      tracked.clear();
+      const std::uint64_t n = r.u64();
+      for (std::uint64_t i = 0; i < n; ++i) tracked.push_back(r.u32());
+    }
   }
 
   in_flight_.clear();
@@ -771,10 +1150,12 @@ void MemorySystem::deserialize(sim::StateReader& r) {
                             std::to_string(next_seq_.size()));
   }
   for (RequestId& seq : next_seq_) seq = r.u64();
-  rr_next_ = r.u32();
-  prio_next_[0] = r.u32();
-  prio_next_[1] = r.u32();
-  cpu_streak_ = r.u64();
+  for (ChannelState& ch : channels_) {
+    ch.rr_next = r.u32();
+    ch.prio_next[0] = r.u32();
+    ch.prio_next[1] = r.u32();
+    ch.cpu_streak = r.u64();
+  }
   scrub_addr_ = r.u32();
   next_scrub_cycle_ = r.u64();
   stats_.deserialize(r);
@@ -790,6 +1171,25 @@ void MemorySystem::finalizeStats() {
     stats_.counter("mem.hht.cache_hits") = hht_cache_->hits();
     stats_.counter("mem.hht.cache_misses") = hht_cache_->misses();
     stats_.counter("mem.hht.cache_writebacks") = hht_cache_->writebacks();
+  }
+  if (!tile_l1_.empty()) {
+    std::uint64_t hits = 0, misses = 0, writebacks = 0, fills = 0;
+    for (std::uint32_t t = 0; t < tile_l1_.size(); ++t) {
+      const Cache& l1 = *tile_l1_[t];
+      const std::string prefix = "mem.l1.t" + std::to_string(t);
+      stats_.counter(prefix + ".hits") = l1.hits();
+      stats_.counter(prefix + ".misses") = l1.misses();
+      stats_.counter(prefix + ".writebacks") = l1.writebacks();
+      stats_.counter(prefix + ".prefetch_fills") = l1.prefetchFills();
+      hits += l1.hits();
+      misses += l1.misses();
+      writebacks += l1.writebacks();
+      fills += l1.prefetchFills();
+    }
+    stats_.counter("mem.l1.hits") = hits;
+    stats_.counter("mem.l1.misses") = misses;
+    stats_.counter("mem.l1.writebacks") = writebacks;
+    stats_.counter("mem.l1.prefetch_fills") = fills;
   }
 }
 

@@ -9,6 +9,7 @@
 #include "mem/mmio.h"
 #include "mem/request.h"
 #include "mem/sram.h"
+#include "mem/topology.h"
 #include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/stats.h"
@@ -67,6 +68,10 @@ struct MemorySystemConfig {
   Cycle scrub_period = 64;  ///< cycles between patrol reads
   Addr mmio_base = 0xF000'0000u;
   Addr mmio_size = 0x1'0000u;
+  /// Memory topology (DESIGN.md §17): per-tile L1 + interleaved shared
+  /// channels behind latency/bandwidth links. The default is the flat
+  /// single-arbiter SRAM, bit-identical to the pre-topology machine.
+  TopologyConfig topology;
 
   std::uint32_t numRequesters() const { return 2 * num_tiles; }
 
@@ -75,9 +80,18 @@ struct MemorySystemConfig {
   void validate() const;
 };
 
-/// The simulated memory system: a 1 MB on-chip SRAM behind a bandwidth-
-/// limited arbiter shared by the CPU and the HHT back-end, plus an MMIO
-/// window routed to a registered device (the HHT front-end).
+/// The simulated memory system: a composable topology of bank-set nodes
+/// behind bandwidth-limited arbiters, shared by the CPU and HHT ports of
+/// every tile, plus per-tile MMIO windows routed to registered devices.
+///
+/// The flat default is the paper machine: one node (the 1 MB on-chip SRAM)
+/// behind one arbiter. Hierarchical configurations (TopologyConfig) add
+/// per-tile L1s, K address-interleaved channels each with its own arbiter,
+/// latency/bandwidth tile<->channel links and an HHT stride prefetcher —
+/// all timing-only: functional data always lives in the single Sram, so
+/// every topology is output-identical to flat, and the flat topology is
+/// bit-identical (grant schedule, stats, snapshot bytes) to the
+/// pre-topology implementation.
 ///
 /// Usage per cycle (strict order): requesters call submit() during their
 /// tick; MemorySystem::tick() then arbitrates, applies latencies and marks
@@ -128,7 +142,8 @@ class MemorySystem {
   /// can recover must use takeResponse instead.
   std::optional<std::uint32_t> takeCompleted(RequestId id);
 
-  /// Advance one cycle: arbitrate SRAM grants, retry MMIO reads, retire
+  /// Advance one cycle: service tile lanes (L1 lookups, link-bandwidth
+  /// metering), arbitrate each channel's grants, retry MMIO reads, retire
   /// in-flight accesses whose latency elapsed.
   void tick(Cycle now);
 
@@ -195,10 +210,15 @@ class MemorySystem {
   /// detect quiescence). Only called from serial loop contexts (never from
   /// inside a threaded epoch's parallel phase), so scanning the per-
   /// requester completed lanes is race-free; with <= 2*16 lanes it is also
-  /// a trivial cost.
+  /// a trivial cost. Prefetch fill queues are deliberately excluded —
+  /// abandoned prefetches at quiescence are harmless (timing-only fills).
   bool idle() const {
-    if (!sram_queue_.empty() || !mmio_queue_.empty() || !in_flight_.empty()) {
-      return false;
+    if (!mmio_queue_.empty() || !in_flight_.empty()) return false;
+    for (const ChannelState& ch : channels_) {
+      if (!ch.queue.empty()) return false;
+    }
+    for (const auto& lane : tile_lanes_) {
+      if (!lane.empty()) return false;
     }
     for (const auto& lane : completed_) {
       if (!lane.empty()) return false;
@@ -207,14 +227,23 @@ class MemorySystem {
   }
 
   /// True when tick() must run next cycle regardless of in-flight latency:
-  /// queued SRAM/MMIO work awaits arbitration, or the prefetcher holds
+  /// queued SRAM/MMIO/lane work awaits arbitration, or a prefetcher holds
   /// fill candidates. The event-scheduled loop consults this after the
   /// device/core phase, because a submit *this* cycle makes the memory
   /// system due the same cycle (nextEventCycle() snapshots are stale by
   /// then).
   bool pendingArbitration() const {
-    return !sram_queue_.empty() || !mmio_queue_.empty() ||
-           !prefetch_queue_.empty();
+    if (!mmio_queue_.empty() || !prefetch_queue_.empty() ||
+        !hht_pf_queue_.empty()) {
+      return true;
+    }
+    for (const ChannelState& ch : channels_) {
+      if (!ch.queue.empty()) return true;
+    }
+    for (const auto& lane : tile_lanes_) {
+      if (!lane.empty()) return true;
+    }
+    return false;
   }
 
   /// True while any MMIO access is queued (retried every cycle until the
@@ -238,9 +267,10 @@ class MemorySystem {
   Cycle responseReadyCycle(RequestId id, Cycle now) const;
 
   /// Earliest future cycle (> now) at which tick() can change state:
-  /// next cycle while anything is queued (arbitration runs every tick),
-  /// else the earliest in-flight completion, else sim::kNeverCycle.
-  /// Pure-stall ticks mutate nothing, so there is no skipCycles().
+  /// next cycle while anything is queued on any node or lane (arbitration
+  /// runs every tick), else the earliest in-flight completion, else
+  /// sim::kNeverCycle. Pure-stall ticks mutate nothing, so there is no
+  /// skipCycles().
   Cycle nextEventCycle(Cycle now) const;
 
   Sram& sram() { return sram_; }
@@ -250,14 +280,22 @@ class MemorySystem {
   const StatSet& stats() const { return stats_; }
   const Cache* cpuCache() const { return cpu_cache_.get(); }
   const Cache* hhtCache() const { return hht_cache_.get(); }
+  /// Tile-local L1 (nullptr when topology.tile_l1_enabled is off).
+  const Cache* tileL1(std::uint32_t tile) const {
+    return tile < tile_l1_.size() ? tile_l1_[tile].get() : nullptr;
+  }
 
   /// Export cache counters into stats() (called by run loops at the end).
   void finalizeStats();
 
   /// Checkpoint hooks: serialize the complete run state (SRAM contents,
-  /// cache tag state, all queues, in-flight and completed responses, the
-  /// request-id allocator and arbiter turn). The MMIO device pointer and
-  /// fault injector are wiring, re-established by the owning System.
+  /// cache tag state, all queues — per-channel and per-tile-lane — the
+  /// in-flight and completed responses, the request-id allocator, every
+  /// node's arbiter turn and the prefetcher state). Topology-only sections
+  /// are config-implied (the snapshot fingerprint pins the config), so the
+  /// flat layout's bytes are identical to the pre-topology format v6. The
+  /// MMIO device pointer and fault injector are wiring, re-established by
+  /// the owning System.
   void serialize(sim::StateWriter& w) const;
   void deserialize(sim::StateReader& r);
 
@@ -265,6 +303,10 @@ class MemorySystem {
   struct Pending {
     RequestId id;
     MemAccess access;
+    /// Latency already determined by the tile L1 lookup (miss path):
+    /// carried to the channel grant so the fill charges the L1's miss
+    /// penalty instead of the raw sram_latency. 0 = no L1 on this path.
+    Cycle l1_latency = 0;
   };
   struct InFlight {
     RequestId id;
@@ -272,34 +314,96 @@ class MemorySystem {
     std::uint32_t data;
     bool poisoned = false;
   };
+  /// One topology node: a bank set with its own queue and arbiter state.
+  /// The flat topology has exactly one, reproducing the legacy single
+  /// arbiter bit for bit.
+  struct ChannelState {
+    std::vector<Pending> queue;
+    std::uint32_t rr_next = 0;
+    std::uint32_t prio_next[2] = {0, 0};  ///< indexed by role
+    std::uint64_t cpu_streak = 0;
+    // Resolved config (top-level knobs + per-node overrides).
+    std::uint32_t grants_per_cycle = 0;
+    Cycle extra_latency = 0;
+    // Transient per-tick slot budget (not serialized).
+    std::uint32_t slots_left = 0;
+    // Per-channel counters, created only on multi-channel topologies so
+    // flat stat sets (and snapshots) are unchanged.
+    std::uint64_t* grants = nullptr;
+    std::uint64_t* conflict_cycles = nullptr;
+  };
+  /// Per-tile stride detector over the HHT demand-read stream.
+  struct StrideState {
+    Addr last_addr = 0;
+    std::int64_t last_stride = 0;
+    std::uint32_t confidence = 0;
+  };
+  struct PrefetchTarget {
+    Addr line;
+    std::uint8_t tile;
+  };
 
-  void grant(const Pending& pending, Cycle now);
+  void routeDemand(const Pending& pending);
+  void grant(const Pending& pending, Cycle now, ChannelState& ch,
+             std::uint32_t ch_index);
+  /// Service the per-tile lanes (hierarchical routed topologies): L1
+  /// lookups complete hits locally; misses forward to their channel. At
+  /// most link_bandwidth entries per tile per cycle (0 = all).
+  void serviceLanes(Cycle now);
+  /// Local completion off a tile-L1 hit: data comes from the backing Sram
+  /// (with at-rest SECDED applied — a latent flip under a cached line is
+  /// still corrected or contained), no shared-level grant consumed, no
+  /// fault-injector draw (injection models the SRAM read port).
+  void completeLocal(const Pending& pending, Cycle latency, Cycle now);
+  /// At-rest SECDED check for a demand read (DESIGN.md §15): corrects a
+  /// single latent flip in flight, delivers >=2 flips as poisoned data.
+  void applySecded(const MemAccess& a, std::uint32_t& data, bool& poisoned);
+  /// Observe one HHT demand read for the stride prefetcher; queue
+  /// predicted line fills once confidence is established.
+  void observeHhtStride(std::uint32_t tile, Addr addr, Cycle now);
+  void emitPrefetchEvent(Cycle now, Addr line, std::uint32_t tile,
+                         std::uint64_t action);
   /// One patrol read: inspect the word under the scrub pointer, correct a
   /// single latent flip (clear the cell), count an uncorrectable pair, and
-  /// advance the pointer (wrapping). Costs one spare grant slot; never
-  /// touches sram_queue_/in_flight_ (so idle() and the demand-grant
-  /// watchdog signal are unaffected) and never bumps mem.grants.
+  /// advance the pointer (wrapping). Costs one spare grant slot on the
+  /// word's owning channel; never touches demand queues/in_flight_ (so
+  /// idle() and the demand-grant watchdog signal are unaffected) and never
+  /// bumps mem.grants.
   void scrubStep(Cycle now);
   void traceTick(Cycle now);
-  /// Pick the flat requester index to grant the current slot (sram_queue_
+  /// Pick the flat requester index to grant `ch`'s current slot (ch.queue
   /// must be non-empty). Implements both policies over M requesters,
-  /// including the CpuPriority starvation bound.
-  std::uint32_t pickRequester(std::uint64_t present);
+  /// including the CpuPriority starvation bound; rotation state is per
+  /// node, so channels arbitrate independently.
+  std::uint32_t pickRequester(ChannelState& ch, std::uint64_t present);
 
   MemorySystemConfig config_;
   std::uint32_t num_requesters_;
   Sram sram_;
   std::unique_ptr<Cache> cpu_cache_;
   std::unique_ptr<Cache> hht_cache_;
+  /// Tile-local L1s (topology.tile_l1_enabled; empty otherwise).
+  std::vector<std::unique_ptr<Cache>> tile_l1_;
   std::vector<MmioDevice*> mmio_devices_;  ///< one window per tile
   std::vector<sim::FaultInjector*> injectors_;  ///< one (optional) per tile
 
-  // Arrival-ordered vectors (arrival order IS the arbitration tiebreak and
-  // the serialized format): all three stay short, and the arbiter scans
-  // them every cycle, so contiguous storage wins over std::deque.
-  std::vector<Pending> sram_queue_;
+  /// Topology nodes. channels_[k].queue is arrival-ordered (arrival order
+  /// IS the arbitration tiebreak and the serialized format); all queues
+  /// stay short and are scanned every cycle, so contiguous storage wins
+  /// over std::deque. Flat = exactly one channel.
+  std::vector<ChannelState> channels_;
+  /// Per-tile edge lanes (routed topologies only; empty when flat). A
+  /// submitted SRAM access waits here for its tile's link slot, takes its
+  /// L1 lookup, and either completes locally or forwards to its channel.
+  std::vector<std::vector<Pending>> tile_lanes_;
   std::vector<Pending> mmio_queue_;
-  std::vector<Addr> prefetch_queue_;  ///< line addresses awaiting spare slots
+  std::vector<Addr> prefetch_queue_;  ///< CPU L1D line fills awaiting spare slots
+  /// HHT stride-prefetcher fill targets awaiting spare channel slots.
+  std::vector<PrefetchTarget> hht_pf_queue_;
+  std::vector<StrideState> hht_pf_;  ///< per-tile detectors
+  /// Lines installed by the prefetcher and not yet demanded (per tile,
+  /// bounded): first demand hit counts `useful` and untracks.
+  std::vector<std::vector<Addr>> hht_pf_tracked_;
   std::vector<InFlight> in_flight_;
   /// Unclaimed responses, one lane per requester (lane = (id-1) %
   /// numRequesters, well-defined because ids are per-requester streams).
@@ -316,15 +420,6 @@ class MemorySystem {
   /// idle() decision; never serialized).
   std::vector<std::vector<Pending>> stage_;
   bool staging_ = false;
-  /// Arbiter rotation state (serialized). RoundRobin: next flat requester
-  /// index to prefer. CpuPriority with multiple tiles: independent
-  /// rotation pointers over the CPU-role and HHT-role requesters so no
-  /// tile monopolizes its role's turn. cpu_streak_ counts consecutive
-  /// CPU-role grants issued while an HHT request waited (the starvation
-  /// bound's trigger).
-  std::uint32_t rr_next_ = 0;
-  std::uint32_t prio_next_[2] = {0, 0};  ///< indexed by role
-  std::uint64_t cpu_streak_ = 0;
   /// Patrol-scrubber walk state (serialized, snapshot v5): next word to
   /// inspect and the cycle its next read becomes due.
   Addr scrub_addr_ = 0;
@@ -357,6 +452,13 @@ class MemorySystem {
   std::uint64_t* scrub_conflict_cycles_;  ///< due but no spare slot
   std::uint64_t* secded_demand_corrected_;
   std::uint64_t* secded_demand_uncorrectable_;
+  // HHT prefetcher stat block (created only when enabled, so flat stat
+  // sets and snapshots are unchanged). Final stat names after absorption:
+  // hht.prefetch.{issued,useful,late,dropped}.
+  std::uint64_t* hpf_issued_ = nullptr;
+  std::uint64_t* hpf_useful_ = nullptr;
+  std::uint64_t* hpf_late_ = nullptr;
+  std::uint64_t* hpf_dropped_ = nullptr;
 };
 
 inline std::optional<MemResponse> MemorySystem::takeResponse(RequestId id) {

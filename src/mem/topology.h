@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.h"
+#include "sim/error.h"
+#include "sim/types.h"
+
+namespace hht::mem {
+
+using sim::Addr;
+using sim::Cycle;
+
+/// Per-node overrides for one shared-level channel. A node is a bank set
+/// with its own arbiter: it keeps its own request queue, rotation state and
+/// conflict accounting. Zero-valued fields inherit the MemorySystemConfig
+/// top-level knobs, so `{}` describes a clone of the flat SRAM's arbiter.
+struct TopologyNodeConfig {
+  std::uint32_t grants_per_cycle = 0;  ///< 0 = inherit MemorySystemConfig
+  Cycle extra_latency = 0;             ///< service-latency adder for this node
+};
+
+/// Composable memory topology (DESIGN.md §17): nodes are bank sets with
+/// their own arbiter, edges are latency/bandwidth links — NUMA/chiplet
+/// layouts become config, not code.
+///
+/// The default-constructed value is the *flat* topology: one channel, no
+/// links, no tile-local storage. Flat runs are bit-identical to the
+/// pre-topology memory system (same grant schedule, same stats names, same
+/// snapshot bytes), which is what keeps the single-tile `System` oracle and
+/// the golden traces stable.
+///
+/// The hierarchical (Occamy-style) layout used by `bench/fig_scaleout`:
+///   - per-tile L1 (`tile_l1_enabled`, reusing mem::Cache) close to each
+///     {CPU+HHT} pair, for row pointers, accumulator spills and streamed
+///     value lines;
+///   - a shared second level split into `channels` independent channels,
+///     address-interleaved every `interleave_bytes`, each with its own
+///     arbiter (per-node policy state, grant slots, conflict counters);
+///   - tile<->channel edges modelled as links: `link_latency` cycles added
+///     to every channel-path completion and `link_bandwidth` requests per
+///     tile per cycle crossing the edge (0 = unbounded);
+///   - an HHT-side stride prefetcher (`hht_prefetch_enabled`) watching each
+///     tile's HHT demand-read stream and filling its L1 from spare channel
+///     slots (demand traffic always wins; the patrol scrubber stays last).
+struct TopologyConfig {
+  std::uint32_t channels = 1;           ///< shared-level channel count
+  std::uint32_t interleave_bytes = 256; ///< address-interleave granule
+  Cycle link_latency = 0;               ///< tile<->channel edge latency
+  /// Per-tile edge bandwidth: lane entries serviced (L1 lookups + channel
+  /// forwards) per cycle. 0 = unbounded.
+  std::uint32_t link_bandwidth = 0;
+  bool tile_l1_enabled = false;
+  CacheConfig tile_l1;
+  bool hht_prefetch_enabled = false;
+  std::uint32_t hht_prefetch_degree = 4;   ///< lines predicted per trigger
+  std::uint32_t hht_prefetch_queue = 16;   ///< pending fill targets per system
+  /// Per-channel overrides; empty = every channel inherits the top-level
+  /// arbiter knobs. Non-empty must have exactly `channels` entries.
+  std::vector<TopologyNodeConfig> nodes;
+
+  /// Do requests route through per-tile lanes (edges with their own
+  /// service step) before reaching the shared level?
+  bool routed() const { return tile_l1_enabled || link_bandwidth != 0; }
+
+  /// Anything beyond the flat single-arbiter SRAM?
+  bool hierarchical() const {
+    return channels > 1 || routed() || link_latency != 0 ||
+           hht_prefetch_enabled || !nodes.empty();
+  }
+
+  std::uint32_t channelOf(Addr addr) const {
+    return channels == 1 ? 0u : (addr / interleave_bytes) % channels;
+  }
+
+  void validate() const {
+    using sim::ErrorKind;
+    using sim::SimError;
+    if (channels < 1 || channels > 16) {
+      throw SimError(ErrorKind::Config, "mem",
+                     "topology.channels must be in [1, 16], got " +
+                         std::to_string(channels));
+    }
+    if (interleave_bytes < 4 ||
+        (interleave_bytes & (interleave_bytes - 1)) != 0) {
+      throw SimError(ErrorKind::Config, "mem",
+                     "topology.interleave_bytes must be a power of two >= 4");
+    }
+    if (!nodes.empty() && nodes.size() != channels) {
+      throw SimError(ErrorKind::Config, "mem",
+                     "topology.nodes must be empty or have exactly "
+                     "`channels` entries (" +
+                         std::to_string(nodes.size()) + " vs " +
+                         std::to_string(channels) + ")");
+    }
+    if (hht_prefetch_enabled && !tile_l1_enabled) {
+      throw SimError(ErrorKind::Config, "mem",
+                     "topology.hht_prefetch_enabled requires tile_l1_enabled "
+                     "(prefetches fill the tile-local L1)");
+    }
+    if (hht_prefetch_enabled &&
+        (hht_prefetch_degree == 0 || hht_prefetch_queue == 0)) {
+      throw SimError(ErrorKind::Config, "mem",
+                     "topology.hht_prefetch_enabled requires degree >= 1 and "
+                     "queue >= 1");
+    }
+    if (tile_l1_enabled && interleave_bytes < tile_l1.line_bytes) {
+      throw SimError(ErrorKind::Config, "mem",
+                     "topology.interleave_bytes must be >= tile_l1.line_bytes "
+                     "(a line fill must not straddle two channels)");
+    }
+  }
+};
+
+}  // namespace hht::mem

@@ -134,6 +134,12 @@ ProfileReport profile(const TraceSink& sink) {
         ++rep.scrub_grants;
         if (ev.b == 1) ++rep.scrub_corrected;
         break;
+      case EventKind::kHhtPrefetch: {
+        const std::uint64_t action = ev.b >> 8;
+        if (action == 0) ++rep.hht_prefetch_issued;
+        if (action == 1) ++rep.hht_prefetch_fills;
+        break;
+      }
       case EventKind::kRunEnd:
         if (ev.a > rep.horizon) rep.horizon = static_cast<sim::Cycle>(ev.a);
         break;

@@ -42,6 +42,11 @@ struct ProfileReport {
   /// reconciliation above survives with scrubbing enabled.
   std::uint64_t scrub_grants = 0;
   std::uint64_t scrub_corrected = 0;  ///< patrol reads that fixed a flip
+  /// HHT stride-prefetcher activity (kHhtPrefetch, spare-slot fills —
+  /// like the scrubber, never part of mem_grants): issued predictions and
+  /// completed L1 fills. == hht.prefetch.issued / fills installed.
+  std::uint64_t hht_prefetch_issued = 0;
+  std::uint64_t hht_prefetch_fills = 0;
   std::uint64_t mmr_writes = 0;
   std::uint64_t engine_rows_done = 0;
   std::uint64_t engine_emit_stalls = 0;

@@ -45,6 +45,7 @@ std::string_view kindName(EventKind k) {
     case EventKind::kFwRowEnd: return "fw_row_end";
     case EventKind::kRunEnd: return "run_end";
     case EventKind::kScrubGrant: return "scrub_grant";
+    case EventKind::kHhtPrefetch: return "hht_prefetch";
     default: return "unknown";
   }
 }

@@ -65,6 +65,11 @@ inline constexpr std::size_t kNumComponents =
 ///                  2 uncorrectable (its own kind, NOT kMemGrant: patrol
 ///                  reads never count toward mem.grants, so the profiler's
 ///                  mem_grants == mem.grants reconciliation stays exact)
+///   kHhtPrefetch   a = predicted line address, b = tile | action<<8 with
+///                  action 0 issued / 1 filled / 2 useful (first demand hit)
+///                  / 3 late (demand miss beat the fill) / 4 dropped. Like
+///                  kScrubGrant, its own kind: prefetch fills use spare
+///                  slots and never count toward mem.grants.
 enum class EventKind : std::uint16_t {
   kPhase = 0,
   kRetire,
@@ -82,6 +87,7 @@ enum class EventKind : std::uint16_t {
   kFwRowEnd,
   kRunEnd,
   kScrubGrant,
+  kHhtPrefetch,
   kCount,
 };
 

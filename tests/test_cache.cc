@@ -101,5 +101,36 @@ TEST(Cache, StreamingWorkloadHitRate) {
   EXPECT_EQ(cache.hits(), 28u);
 }
 
+TEST(Cache, ContainsIsAPureResidencyQuery) {
+  // contains() backs the prefetcher's dedupe and the topology's
+  // useful-tracking: it must report line residency exactly, and must not
+  // refresh LRU or move any counter — otherwise querying a line would
+  // protect it from the eviction the query is trying to predict.
+  CacheConfig cfg;
+  cfg.size_bytes = 64;  // one set, two 32 B ways
+  cfg.line_bytes = 32;
+  cfg.ways = 2;
+  Cache cache(cfg);
+
+  EXPECT_FALSE(cache.contains(0x40));
+  EXPECT_TRUE(cache.install(0x40));
+  EXPECT_TRUE(cache.contains(0x40));
+  EXPECT_TRUE(cache.contains(0x5C));   // any byte of the line
+  EXPECT_FALSE(cache.contains(0x60));  // next line
+  cache.access(0x60, false);
+
+  // 0x40 is LRU; querying it repeatedly must not rescue it.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(cache.contains(0x40));
+  cache.access(0x80, false);  // evicts 0x40, not 0x60
+  EXPECT_FALSE(cache.contains(0x40));
+  EXPECT_TRUE(cache.contains(0x60));
+  EXPECT_TRUE(cache.contains(0x80));
+
+  // The queries above moved no demand or prefetch counters.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);       // the two demand installs
+  EXPECT_EQ(cache.prefetchFills(), 1u);
+}
+
 }  // namespace
 }  // namespace hht::mem

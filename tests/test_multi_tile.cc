@@ -32,6 +32,26 @@ SystemConfig scaleConfig(std::uint32_t num_tiles,
   return cfg;
 }
 
+/// Occamy-style hierarchical topology (DESIGN.md §17): per-tile L1s, four
+/// address-interleaved shared channels, a 1-cycle link and the HHT stride
+/// prefetcher. The topology is timing-only, so every run through it must
+/// produce the same output bits as the flat shared SRAM.
+SystemConfig hierConfig(std::uint32_t num_tiles) {
+  SystemConfig cfg = scaleConfig(num_tiles);
+  mem::TopologyConfig& topo = cfg.memory.topology;
+  topo.channels = 4;
+  topo.interleave_bytes = 256;
+  topo.link_latency = 1;
+  topo.tile_l1_enabled = true;
+  topo.tile_l1.size_bytes = 1024;
+  topo.tile_l1.line_bytes = 32;
+  topo.tile_l1.ways = 2;
+  topo.tile_l1.hit_latency = 1;
+  topo.tile_l1.miss_penalty = 4;
+  topo.hht_prefetch_enabled = true;
+  return cfg;
+}
+
 void expectSameY(const sparse::DenseVector& a, const sparse::DenseVector& b) {
   ASSERT_EQ(a.size(), b.size());
   const auto& av = a.values();
@@ -438,6 +458,111 @@ TEST(MultiTile, ThreadedTilePhaseEmitsIdenticalTraces) {
       }
     }
   }
+}
+
+TEST(MultiTile, HierarchicalTopologyIsOutputIdenticalToFlatEveryEngine) {
+  // Differential hierarchy-vs-flat check across every sharded engine mode
+  // (SpMV scalar + vector, SpMSpV v1 + v2) and both partitioners: the
+  // tile L1s, interleaved channels, link latency and prefetcher may change
+  // the schedule but never a single output bit.
+  sim::Rng rng(0x71F0);
+  const sparse::CsrMatrix m = workload::randomCsr(rng, 96, 96, 0.3);
+  const sparse::DenseVector dv = workload::randomDenseVector(rng, 96);
+  const sparse::SparseVector sv = workload::randomSparseVector(rng, 96, 0.4);
+
+  std::uint64_t l1_hits = 0;
+  for (const std::uint32_t tiles : {2u, 4u}) {
+    for (const Partition part : {Partition::Block, Partition::NnzBalanced}) {
+      for (const bool vectorized : {false, true}) {
+        const RunResult flat =
+            runSpmvHhtSharded(scaleConfig(tiles), tiles, part, m, dv,
+                              vectorized);
+        const RunResult hier =
+            runSpmvHhtSharded(hierConfig(tiles), tiles, part, m, dv,
+                              vectorized);
+        expectSameY(flat.y, hier.y);
+        l1_hits += hier.stats.value("mem.l1.hits");
+      }
+      for (const int variant : {1, 2}) {
+        const RunResult flat = runSpmspvHhtSharded(scaleConfig(tiles), tiles,
+                                                   part, m, sv, variant);
+        const RunResult hier = runSpmspvHhtSharded(hierConfig(tiles), tiles,
+                                                   part, m, sv, variant);
+        expectSameY(flat.y, hier.y);
+        l1_hits += hier.stats.value("mem.l1.hits");
+      }
+    }
+  }
+  // The comparison only means something if the hierarchy actually engaged.
+  EXPECT_GT(l1_hits, 0u);
+}
+
+TEST(MultiTile, HierarchicalRunStaysCleanUnderDifferentialOracle) {
+  // The per-tile co-simulation oracle taps the HHT streams, which sit
+  // upstream of the memory topology — a hierarchical run must deliver the
+  // exact same functional stream to every tap.
+  const SystemConfig cfg = hierConfig(2);
+  MultiTileSystem sys(cfg);
+  sim::Rng rng(0x71F1);
+  const sparse::CsrMatrix m = workload::randomCsr(rng, 48, 48, 0.35);
+  const sparse::SparseVector v = workload::randomSparseVector(rng, 48, 0.5);
+  const kernels::SpmspvLayout layout =
+      loadSpmspv(sys.arena(), sys.memory().sram(), m, v);
+  const auto shards = workload::partitionRowsNnzBalanced(m, 2);
+
+  std::vector<std::vector<verify::StreamEvent>> expected;
+  std::vector<isa::Program> programs;
+  for (std::uint32_t t = 0; t < 2; ++t) {
+    expected.push_back(verify::expectedMergeV1StreamShard(m, v, shards[t]));
+    programs.push_back(
+        kernels::spmspvHhtV1Shard(layout, shards[t], sys.mmioBaseOf(t)));
+  }
+
+  verify::MultiTileOracle oracle(std::move(expected));
+  oracle.attach(sys);
+  const RunResult r =
+      sys.run(programs, layout.y, layout.num_rows, 500'000'000, &oracle);
+  oracle.detach(sys);
+  oracle.checkFinal(r.y, sparse::spmspvMerge(m, v));
+  EXPECT_FALSE(oracle.diverged()) << oracle.describe();
+  EXPECT_GT(oracle.tileOracle(0).delivered(), 0u);
+  EXPECT_GT(oracle.tileOracle(1).delivered(), 0u);
+  // The run really went through the hierarchy: local hits happened and the
+  // shared level spread across more than one channel.
+  EXPECT_GT(r.stats.value("mem.l1.hits"), 0u);
+  EXPECT_GT(r.stats.value("mem.ch1.grants") + r.stats.value("mem.ch2.grants") +
+                r.stats.value("mem.ch3.grants"),
+            0u);
+}
+
+TEST(MultiTile, HierarchicalCheckpointRestoreResumeIsBitIdentical) {
+  // Snapshot-v6 round trip with the full topology state in flight: channel
+  // queues, tile lanes, L1 contents, prefetch queue and stride predictors
+  // all restore mid-run and the continuation is bit-identical.
+  const SystemConfig cfg = hierConfig(4);
+
+  MultiTileSystem uninterrupted(cfg);
+  const ShardedWorkload w = prepare(uninterrupted, 0x4719);
+  const RunResult base =
+      uninterrupted.run(w.programs, w.layout.y, w.layout.num_rows);
+  ASSERT_GT(base.cycles, 200u);
+
+  MultiTileSystem observed(cfg);
+  const ShardedWorkload w2 = prepare(observed, 0x4719);
+  CheckpointAt observer(w2.programs, base.cycles / 2);
+  observed.run(w2.programs, w2.layout.y, w2.layout.num_rows, 500'000'000,
+               &observer);
+  ASSERT_FALSE(observer.snapshot().empty());
+
+  MultiTileSystem resumed_sys(cfg);
+  const Cycle start = resumed_sys.restore(observer.snapshot(), w2.programs);
+  const RunResult resumed = resumed_sys.resume(w2.programs, w2.layout.y,
+                                               w2.layout.num_rows, start);
+  EXPECT_EQ(base.cycles, resumed.cycles);
+  EXPECT_EQ(base.retired, resumed.retired);
+  EXPECT_EQ(base.stats.all(), resumed.stats.all());
+  expectSameY(base.y, resumed.y);
+  expectSameY(sparse::spmvCsr(w.m, w.v), resumed.y);
 }
 
 TEST(MultiTile, StatsKeepTilePrefixedNamespaces) {
