@@ -253,8 +253,10 @@ void Core::skipCycles(Cycle n) {
 // Classify the cycle about to execute into a stall-attribution bucket and
 // emit a kPhase event on transitions (coalesced: one event per contiguous
 // span, so the stream stays small and deterministic). MMIO-directed waits
-// are FIFO waits (the HHT FE's streaming port); SRAM waits are memory
-// waits. Retires are stamped at dispatch, which is where c_retired_ bumps.
+// are FIFO waits (the HHT FE's streaming port) — except loads aimed at the
+// shared work-queue window, which are queue waits (chunk-claim
+// arbitration, DESIGN.md §18); SRAM waits are memory waits. Retires are
+// stamped at dispatch, which is where c_retired_ bumps.
 void Core::traceCycle(Cycle now) {
   if (!trace_->enabled(obs::Category::kCpu)) return;
   std::uint8_t bucket = obs::kBucketCompute;
@@ -264,8 +266,9 @@ void Core::traceCycle(Cycle now) {
       bucket = obs::kBucketCompute;
       break;
     case Phase::LoadWait:
-      bucket = mem_.isMmio(load_addr_) ? obs::kBucketFifoWait
-                                       : obs::kBucketMemWait;
+      bucket = mem_.isWorkQueue(load_addr_) ? obs::kBucketQueueWait
+               : mem_.isMmio(load_addr_)    ? obs::kBucketFifoWait
+                                            : obs::kBucketMemWait;
       break;
     case Phase::VecMem:
       bucket = mem_.isMmio(x_[vec_instr_.rs1]) ? obs::kBucketFifoWait

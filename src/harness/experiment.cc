@@ -3,6 +3,7 @@
 #include "kernels/firmware.h"
 #include "workload/partition.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace hht::harness {
@@ -176,6 +177,17 @@ std::vector<kernels::RowShard> partitionRows(const sparse::CsrMatrix& m,
              ? workload::partitionRowsBlock(m, num_tiles)
              : workload::partitionRowsNnzBalanced(m, num_tiles);
 }
+
+/// Surface the static split's quality next to the run's timing counters,
+/// so a skewed matrix diagnoses itself (imbalance_pct far above 100, or
+/// empty shards) instead of just running slowly.
+void recordPartitionStats(RunResult& result, const sparse::CsrMatrix& m,
+                          const std::vector<kernels::RowShard>& shards) {
+  const workload::PartitionStats st = workload::partitionStats(m, shards);
+  result.stats.counter("workload.shard_imbalance_pct") = st.imbalance_pct;
+  result.stats.counter("workload.shard_empty") = st.empty_shards;
+  result.stats.counter("workload.shard_max_nnz") = st.max_nnz;
+}
 }  // namespace
 
 RunResult runSpmvHhtSharded(const SystemConfig& cfg, std::uint32_t num_tiles,
@@ -198,7 +210,9 @@ RunResult runSpmvHhtSharded(const SystemConfig& cfg, std::uint32_t num_tiles,
         vectorized ? kernels::spmvVectorHhtShard(layout, shards[t], mmio)
                    : kernels::spmvScalarHhtShard(layout, shards[t], mmio));
   }
-  return sys.run(programs, layout.y, layout.num_rows);
+  RunResult result = sys.run(programs, layout.y, layout.num_rows);
+  recordPartitionStats(result, m, shards);
+  return result;
 }
 
 RunResult runSpmspvHhtSharded(const SystemConfig& cfg, std::uint32_t num_tiles,
@@ -226,6 +240,81 @@ RunResult runSpmspvHhtSharded(const SystemConfig& cfg, std::uint32_t num_tiles,
     programs.push_back(variant == 1
                            ? kernels::spmspvHhtV1Shard(layout, shards[t], mmio)
                            : kernels::spmspvHhtV2Shard(layout, shards[t], mmio));
+  }
+  RunResult result = sys.run(programs, layout.y, layout.num_rows);
+  recordPartitionStats(result, m, shards);
+  return result;
+}
+
+std::vector<std::vector<mem::ChunkQueueDevice::Chunk>> dealRowChunks(
+    std::uint32_t num_rows, std::uint32_t num_tiles,
+    std::uint32_t chunk_rows) {
+  chunk_rows = std::max<std::uint32_t>(
+      1, std::min(chunk_rows, mem::ChunkQueueDevice::kMaxChunkRows));
+  std::vector<mem::ChunkQueueDevice::Chunk> chunks;
+  for (std::uint32_t row = 0; row < num_rows; row += chunk_rows) {
+    chunks.push_back({row, std::min(chunk_rows, num_rows - row)});
+  }
+  std::vector<std::vector<mem::ChunkQueueDevice::Chunk>> per_tile(num_tiles);
+  const std::size_t total = chunks.size();
+  std::size_t next = 0;
+  for (std::uint32_t t = 0; t < num_tiles; ++t) {
+    // Contiguous deal, remainder spread over the leading tiles.
+    const std::size_t take =
+        total / num_tiles + (t < total % num_tiles ? 1 : 0);
+    for (std::size_t i = 0; i < take; ++i) per_tile[t].push_back(chunks[next++]);
+  }
+  return per_tile;
+}
+
+RunResult runSpmvHhtChunkQueue(const SystemConfig& cfg, std::uint32_t num_tiles,
+                               const sparse::CsrMatrix& m,
+                               const sparse::DenseVector& v, bool vectorized,
+                               std::uint32_t chunk_rows) {
+  SystemConfig mcfg = cfg;
+  mcfg.memory.num_tiles = num_tiles;
+  mcfg.memory.work_queue_enabled = true;
+  MultiTileSystem sys(mcfg);
+  const kernels::SpmvLayout layout =
+      loadSpmv(sys.arena(), sys.memory().sram(), m, v);
+  sys.workQueue()->seed(
+      dealRowChunks(layout.num_rows, num_tiles, chunk_rows));
+  std::vector<isa::Program> programs;
+  programs.reserve(num_tiles);
+  for (std::uint32_t t = 0; t < num_tiles; ++t) {
+    const Addr mmio = sys.mmioBaseOf(t);
+    const Addr claim = sys.workQueueBase() + 4 * t;
+    programs.push_back(
+        vectorized ? kernels::spmvVectorHhtChunkQueue(layout, mmio, claim)
+                   : kernels::spmvScalarHhtChunkQueue(layout, mmio, claim));
+  }
+  return sys.run(programs, layout.y, layout.num_rows);
+}
+
+RunResult runSpmspvHhtChunkQueue(const SystemConfig& cfg,
+                                 std::uint32_t num_tiles,
+                                 const sparse::CsrMatrix& m,
+                                 const sparse::SparseVector& v, int variant,
+                                 std::uint32_t chunk_rows) {
+  if (variant != 1 && variant != 2) {
+    throw std::invalid_argument("SpMSpV variant must be 1 or 2");
+  }
+  SystemConfig mcfg = cfg;
+  mcfg.memory.num_tiles = num_tiles;
+  mcfg.memory.work_queue_enabled = true;
+  MultiTileSystem sys(mcfg);
+  const kernels::SpmspvLayout layout =
+      loadSpmspv(sys.arena(), sys.memory().sram(), m, v);
+  sys.workQueue()->seed(
+      dealRowChunks(layout.num_rows, num_tiles, chunk_rows));
+  std::vector<isa::Program> programs;
+  programs.reserve(num_tiles);
+  for (std::uint32_t t = 0; t < num_tiles; ++t) {
+    const Addr mmio = sys.mmioBaseOf(t);
+    const Addr claim = sys.workQueueBase() + 4 * t;
+    programs.push_back(
+        variant == 1 ? kernels::spmspvHhtV1ChunkQueue(layout, mmio, claim)
+                     : kernels::spmspvHhtV2ChunkQueue(layout, mmio, claim));
   }
   return sys.run(programs, layout.y, layout.num_rows);
 }

@@ -91,6 +91,35 @@ RunResult runSpmspvHhtSharded(const SystemConfig& cfg, std::uint32_t num_tiles,
                               const sparse::SparseVector& v, int variant,
                               bool vectorized = true);
 
+/// Split [0, num_rows) into ceil(num_rows / chunk_rows) fixed-size row
+/// chunks and deal them to `num_tiles` deques in contiguous runs (tile 0
+/// gets the first chunks, and so on) — so with no skew every tile starts
+/// with its block-partition share and never needs to steal, while skew
+/// drains one deque early and work-stealing rebalances. chunk_rows is
+/// clamped to [1, ChunkQueueDevice::kMaxChunkRows].
+std::vector<std::vector<mem::ChunkQueueDevice::Chunk>> dealRowChunks(
+    std::uint32_t num_rows, std::uint32_t num_tiles, std::uint32_t chunk_rows);
+
+/// SpMV with dynamic row distribution: a MultiTileSystem with the shared
+/// chunk-queue device enabled (memory.work_queue_enabled), seeded via
+/// dealRowChunks, each tile running the *ChunkQueue kernel against its own
+/// MMIO window and claim register. Output stays bit-identical to the
+/// single-tile kernel for any claim schedule (each y[i] is produced by
+/// exactly one tile in the single-tile FMA order); the queue's arbitration
+/// lands in the run stats as mem.wq.{grants,steals,conflict_cycles}.
+RunResult runSpmvHhtChunkQueue(const SystemConfig& cfg, std::uint32_t num_tiles,
+                               const sparse::CsrMatrix& m,
+                               const sparse::DenseVector& v, bool vectorized,
+                               std::uint32_t chunk_rows = 16);
+
+/// SpMSpV (variant 1 or 2, vectorized consumer for 2) with dynamic row
+/// distribution; see runSpmvHhtChunkQueue.
+RunResult runSpmspvHhtChunkQueue(const SystemConfig& cfg,
+                                 std::uint32_t num_tiles,
+                                 const sparse::CsrMatrix& m,
+                                 const sparse::SparseVector& v, int variant,
+                                 std::uint32_t chunk_rows = 16);
+
 /// speedup = baseline cycles / accelerated cycles.
 inline double speedup(const RunResult& baseline, const RunResult& accel) {
   return accel.cycles == 0

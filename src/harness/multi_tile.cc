@@ -158,8 +158,13 @@ MultiTileSystem::MultiTileSystem(const SystemConfig& config)
       hhts_[t]->setFaultInjector(injectors_[t].get());
     }
   }
+  if (config.memory.work_queue_enabled) {
+    wq_ = std::make_unique<mem::ChunkQueueDevice>(num_tiles_);
+    mem_->attachMmioDevice(wq_.get(), num_tiles_);
+  }
   if (config.trace_sink != nullptr) {
     mem_->setTraceSink(config.trace_sink);
+    if (wq_) wq_->setTraceSink(config.trace_sink);
   }
 }
 
@@ -280,6 +285,10 @@ RunResult MultiTileSystem::runLoop(Addr y_addr, std::uint32_t y_len,
       for (auto& h : hhts_) h->tick(now);
       for (auto& c : cpus_) c->tick(now);
     }
+    // Reset the chunk queue's per-cycle claim budget before the memory
+    // tick processes this cycle's MMIO (claims beyond the budget retry
+    // next cycle as mem.wq.conflict_cycles).
+    if (wq_) wq_->beginCycle(now);
     mem_->tick(now);
     for (std::uint32_t t = 0; t < num_tiles_; ++t) {
       if (hhts_[t]->faultRaised()) {
@@ -377,6 +386,7 @@ RunResult MultiTileSystem::runLoop(Addr y_addr, std::uint32_t y_len,
 
   mem_->finalizeStats();
   result.stats.absorb(mem_->stats(), "");
+  if (wq_) result.stats.absorb(wq_->stats(), "");
   for (std::uint32_t t = 0; t < num_tiles_; ++t) {
     // Tile 0 keeps the historic unprefixed names (a 1-tile MultiTileSystem's
     // stats are a System's stats); tiles 1.. get the same "t<N>." prefix the
@@ -403,6 +413,9 @@ std::vector<std::uint8_t> MultiTileSystem::checkpoint(
   }
   w.u64(next_cycle);
   mem_->serialize(w);
+  // v7: the chunk-queue section is config-implied (the fingerprint pins
+  // work_queue_enabled), like the memory system's topology sections.
+  if (wq_) wq_->serialize(w);
   for (std::uint32_t t = 0; t < num_tiles_; ++t) {
     // v4: each tile's fault-injector (RNG + stats) precedes its HHT/core
     // sections, so a restored campaign replays the same per-tile fault
@@ -463,6 +476,7 @@ Cycle MultiTileSystem::restore(const std::vector<std::uint8_t>& snapshot,
   }
   const Cycle next_cycle = r.u64();
   mem_->deserialize(r);
+  if (wq_) wq_->deserialize(r);
   for (std::uint32_t t = 0; t < num_tiles_; ++t) {
     // Attribute section-level corruption to the tile whose section was
     // being decoded — serving logs need to name the tile, and the reader's

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "harness/system.h"
+#include "mem/work_queue.h"
 
 namespace hht::harness {
 
@@ -62,6 +63,15 @@ class MultiTileSystem {
   /// Tile t's MMIO window base — the mmio_base to build tile t's kernel
   /// against.
   Addr mmioBaseOf(std::uint32_t tile) const { return mem_->mmioBaseOf(tile); }
+
+  /// Shared chunk-queue device (config.memory.work_queue_enabled), nullptr
+  /// otherwise. The harness seeds chunks before run(); the per-row oracle
+  /// mode drains its claim log.
+  mem::ChunkQueueDevice* workQueue() { return wq_.get(); }
+  const mem::ChunkQueueDevice* workQueue() const { return wq_.get(); }
+  /// Base of the shared work-queue MMIO window (window index num_tiles);
+  /// tile t's claim register is workQueueBase() + 4*t.
+  Addr workQueueBase() const { return mem_->mmioBaseOf(num_tiles_); }
 
   /// Attach a structured trace sink to tile `tile`'s core + HHT (host-only;
   /// the shared memory system and the kRunEnd horizon marker use
@@ -120,6 +130,9 @@ class MultiTileSystem {
   std::vector<std::unique_ptr<sim::FaultInjector>> injectors_;
   std::vector<std::unique_ptr<core::Hht>> hhts_;
   std::vector<std::unique_ptr<cpu::Core>> cpus_;
+  /// Shared work-queue device behind MMIO window num_tiles (null unless
+  /// config.memory.work_queue_enabled).
+  std::unique_ptr<mem::ChunkQueueDevice> wq_;
   std::vector<obs::TraceSink*> tile_sinks_;  ///< per tile; may hold nulls
   mem::Arena arena_;
   std::uint64_t host_skipped_cycles_ = 0;

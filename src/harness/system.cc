@@ -107,6 +107,7 @@ void writeSystemConfig(sim::StateWriter& w, const SystemConfig& cfg) {
   w.u64(m.cache.writeback_penalty);
   w.b(m.prefetch_enabled).u32(m.prefetch_degree);
   w.u32(m.mmio_base).u32(m.mmio_size);
+  w.b(m.work_queue_enabled);
   const mem::TopologyConfig& topo = m.topology;
   w.u32(topo.channels).u32(topo.interleave_bytes);
   w.u64(topo.link_latency).u32(topo.link_bandwidth);
@@ -163,6 +164,7 @@ SystemConfig readSystemConfig(sim::StateReader& r) {
   m.prefetch_degree = r.u32();
   m.mmio_base = r.u32();
   m.mmio_size = r.u32();
+  m.work_queue_enabled = r.b();
   mem::TopologyConfig& topo = m.topology;
   topo.channels = r.u32();
   topo.interleave_bytes = r.u32();

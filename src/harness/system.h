@@ -134,10 +134,15 @@ SystemConfig readSystemConfig(sim::StateReader& r);
 /// sequence counter per arbiter port instead of the v5 global next_id_
 /// (ids are now allocation-order-independent across requesters, the
 /// property the threaded multi-tile epoch protocol relies on).
+/// v7: dynamic work distribution — writeSystemConfig appends
+/// mem.work_queue_enabled (architectural: the claim schedule is machine
+/// behaviour), and MultiTileSystem snapshots append the ChunkQueueDevice
+/// section (per-tile chunk deques, the claim log and the wq stat block)
+/// after the memory system when the queue is enabled.
 /// restore() fails with SimError(Checkpoint) on any other version — and
 /// with a distinct "newer than this binary" error when the snapshot is
 /// from the future (no best-effort field skipping).
-inline constexpr std::uint32_t kSnapshotVersion = 6;
+inline constexpr std::uint32_t kSnapshotVersion = 7;
 
 /// FNV-1a fingerprint of writeSystemConfig(cfg)'s bytes — the identity
 /// restore() checks before touching any component state.

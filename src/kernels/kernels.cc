@@ -45,6 +45,27 @@ std::string shardName(const char* base, const RowShard& s) {
          std::to_string(s.row_end);
 }
 
+/// "<base>_cq<claim_addr>": chunk-queue programs differ only by their claim
+/// register (and MMIO window), so the claim address is the per-tile identity.
+std::string cqName(const char* base, Addr claim_addr) {
+  return std::string(base) + "_cq" + std::to_string(claim_addr);
+}
+
+/// Claim one packed chunk from the work queue into `claim` and unpack it:
+/// count <- low 12 bits (shift pair, not andi — the I-type immediate would
+/// sign-extend 0xFFF), row_begin byte offset <- (claim >> 12) * 4. Falls
+/// through on a grant; branches to `done` on the drained sentinel 0.
+/// Clobbers t1. s6 must hold the claim register address.
+void claimChunk(ProgramBuilder& b, isa::Reg claim, isa::Reg count,
+                isa::Reg row_off, Label done) {
+  b.lw(claim, s6, 0);        // stalls until the queue arbiter grants
+  b.beqz(claim, done);       // 0 = drained
+  b.slli(count, claim, 20);
+  b.srli(count, count, 20);  // row_count
+  b.srli(t1, claim, 12);
+  b.slli(row_off, t1, 2);    // row_begin * 4
+}
+
 /// A tile whose shard is empty runs no kernel and never starts its HHT.
 Program emptyShardProgram(const char* base, const RowShard& s) {
   ProgramBuilder b(shardName(base, s));
@@ -314,6 +335,137 @@ Program spmvVectorHhtShard(const SpmvLayout& m, const RowShard& shard,
   return buildSpmvVectorHht(shardName("spmv_vector_hht", shard),
                             shardView(m, shard), m.vals + shard.nnz_begin * 4,
                             mmio_base);
+}
+
+namespace {
+
+/// Program the SpMV MMRs that hold for every chunk; M_Rows_Base, M_Num_Rows
+/// and START are (re)written per claim.
+void configureSpmvHhtStatic(ProgramBuilder& b, const SpmvLayout& m,
+                            Addr mmio_base) {
+  b.li(s11, bits(mmio_base));
+  writeMmr(b, s11, kMColsBase, m.cols);
+  writeMmr(b, s11, kVBase, m.v);
+  writeMmr(b, s11, kElementSize, 4);
+  writeMmr(b, s11, kMode, static_cast<std::uint32_t>(core::Mode::SpmvGather));
+}
+
+/// Chunk prologue shared by the SpMV consumers: from the claimed chunk
+/// (count in a5, row_begin*4 in t2) derive the rowPtr window (a0), the y
+/// cursor (a4) and the contiguous CPU vals cursor (a2, from the absolute
+/// rowPtr[row_begin]), then retarget the HHT at the window and pulse START.
+/// Leaves t3 = rowPtr[row_begin] and t2 = &rowPtr[row_begin + 1] for the
+/// per-row loop. s7/s8/s9 must hold the rows/vals/y bases.
+void spmvChunkPrologue(ProgramBuilder& b) {
+  b.add(a0, s7, t2);    // &rowPtr[row_begin]
+  b.add(a4, s9, t2);    // y cursor
+  b.lw(t3, a0, 0);      // rowPtr[row_begin] (absolute)
+  b.slli(t6, t3, 2);
+  b.add(a2, s8, t6);    // vals cursor
+  b.sw(a0, s11, static_cast<std::int32_t>(kMRowsBase));
+  b.sw(a5, s11, static_cast<std::int32_t>(kMNumRows));
+  b.li(t1, 1);
+  b.sw(t1, s11, static_cast<std::int32_t>(kStart));
+  b.addi(t2, a0, 4);    // &rowPtr[i + 1]
+}
+
+}  // namespace
+
+Program spmvScalarHhtChunkQueue(const SpmvLayout& m, Addr mmio_base,
+                                Addr claim_addr) {
+  ProgramBuilder b(cqName("spmv_scalar_hht", claim_addr));
+  b.li(s6, bits(claim_addr));
+  b.li(s7, bits(m.rows)).li(s8, bits(m.vals)).li(s9, bits(m.y));
+  configureSpmvHhtStatic(b, m, mmio_base);
+  b.fcvtSW(ft0, zero);
+
+  Label claim_loop = b.newLabel(), row_loop = b.newLabel();
+  Label elem_loop = b.newLabel(), row_done = b.newLabel();
+  Label done = b.newLabel();
+
+  b.bind(claim_loop);
+  claimChunk(b, a6, a5, t2, done);
+  spmvChunkPrologue(b);
+
+  b.bind(row_loop);
+  b.beqz(a5, claim_loop);  // chunk consumed -> claim the next one
+  b.lw(t4, t2, 0);
+  b.sub(t5, t4, t3);
+  b.fsgnj(fs0, ft0, ft0);
+  b.beqz(t5, row_done);
+
+  b.bind(elem_loop);
+  b.flw(ft1, s11, static_cast<std::int32_t>(kBufData));
+  b.flw(ft2, a2, 0);
+  b.fmadd(fs0, ft1, ft2, fs0);
+  b.addi(a2, a2, 4);
+  b.addi(t5, t5, -1);
+  b.bnez(t5, elem_loop);
+
+  b.bind(row_done);
+  b.fsw(fs0, a4, 0);
+  b.addi(a4, a4, 4);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(a5, a5, -1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+Program spmvVectorHhtChunkQueue(const SpmvLayout& m, Addr mmio_base,
+                                Addr claim_addr) {
+  ProgramBuilder b(cqName("spmv_vector_hht", claim_addr));
+  b.li(s6, bits(claim_addr));
+  b.li(s7, bits(m.rows)).li(s8, bits(m.vals)).li(s9, bits(m.y));
+  configureSpmvHhtStatic(b, m, mmio_base);
+  b.li(s10, bits(mmio_base + kBufData));
+  b.fcvtSW(ft0, zero);
+  b.li(s3, isa::kMaxVl * 8);
+
+  Label claim_loop = b.newLabel(), row_loop = b.newLabel();
+  Label chunk_loop = b.newLabel(), reduce = b.newLabel();
+  Label done = b.newLabel();
+
+  b.bind(claim_loop);
+  claimChunk(b, a6, a5, t2, done);
+  spmvChunkPrologue(b);
+
+  b.bind(row_loop);
+  b.beqz(a5, claim_loop);
+  b.lw(t4, t2, 0);
+  b.sub(t5, t4, t3);
+  b.vsetvli(s4, s3);
+  b.vmvVI(v0, 0);
+  b.beqz(t5, reduce);
+
+  b.bind(chunk_loop);
+  b.vsetvli(t6, t5);
+  b.vle32(v2, s10);
+  b.vle32(v3, a2);
+  b.vfmaccVV(v0, v2, v3);
+  b.slli(s2, t6, 2);
+  b.add(a2, a2, s2);
+  b.sub(t5, t5, t6);
+  b.bnez(t5, chunk_loop);
+
+  b.bind(reduce);
+  b.vsetvli(s4, s3);
+  b.vfmvSF(v4, ft0);
+  b.vfredosum(v5, v0, v4);
+  b.vfmvFS(fs0, v5);
+  b.fsw(fs0, a4, 0);
+  b.addi(a4, a4, 4);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(a5, a5, -1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
 }
 
 // ---------------------------------------------------------------------------
@@ -635,6 +787,130 @@ Program spmspvHhtV2Shard(const SpmspvLayout& m, const RowShard& shard,
   if (shard.empty()) return emptyShardProgram("spmspv_hht_v2", shard);
   return buildSpmspvV2(shardName("spmspv_hht_v2", shard), shardView(m, shard),
                        m.vals + shard.nnz_begin * 4, mmio_base);
+}
+
+namespace {
+
+/// Per-chunk-invariant SpMSpV MMRs; M_Rows_Base, M_Num_Rows and START are
+/// rewritten per claimed chunk.
+void configureSpmspvHhtStatic(ProgramBuilder& b, const SpmspvLayout& m,
+                              Addr mmio_base, core::Mode mode) {
+  b.li(s11, bits(mmio_base));
+  writeMmr(b, s11, kMColsBase, m.cols);
+  writeMmr(b, s11, kMValsBase, m.vals);
+  writeMmr(b, s11, kVIdxBase, m.vidx);
+  writeMmr(b, s11, kVValsBase, m.vvals);
+  writeMmr(b, s11, kVNnz, m.v_nnz);
+  writeMmr(b, s11, kElementSize, 4);
+  writeMmr(b, s11, kMode, static_cast<std::uint32_t>(mode));
+}
+
+}  // namespace
+
+Program spmspvHhtV1ChunkQueue(const SpmspvLayout& m, Addr mmio_base,
+                              Addr claim_addr) {
+  ProgramBuilder b(cqName("spmspv_hht_v1", claim_addr));
+  b.li(s6, bits(claim_addr));
+  b.li(s7, bits(m.rows)).li(s9, bits(m.y));
+  configureSpmspvHhtStatic(b, m, mmio_base, core::Mode::SpmspvV1);
+  b.fcvtSW(ft0, zero);
+
+  Label claim_loop = b.newLabel(), row_loop = b.newLabel();
+  Label pair_loop = b.newLabel(), row_done = b.newLabel();
+  Label done = b.newLabel();
+
+  b.bind(claim_loop);
+  claimChunk(b, a6, a5, t2, done);
+  b.add(a0, s7, t2);  // &rowPtr[row_begin]
+  b.add(a4, s9, t2);  // y cursor
+  b.sw(a0, s11, static_cast<std::int32_t>(kMRowsBase));
+  b.sw(a5, s11, static_cast<std::int32_t>(kMNumRows));
+  b.li(t1, 1);
+  b.sw(t1, s11, static_cast<std::int32_t>(kStart));
+
+  b.bind(row_loop);
+  b.beqz(a5, claim_loop);
+  b.fsgnj(fs0, ft0, ft0);
+
+  b.bind(pair_loop);
+  b.lw(t1, s11, static_cast<std::int32_t>(kValid));
+  b.beqz(t1, row_done);
+  b.flw(ft1, s11, static_cast<std::int32_t>(kBufData));  // matrix value
+  b.flw(ft2, s11, static_cast<std::int32_t>(kBufData));  // vector value
+  b.fmadd(fs0, ft1, ft2, fs0);
+  b.j(pair_loop);
+
+  b.bind(row_done);
+  b.fsw(fs0, a4, 0);
+  b.addi(a4, a4, 4);
+  b.addi(a5, a5, -1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
+}
+
+Program spmspvHhtV2ChunkQueue(const SpmspvLayout& m, Addr mmio_base,
+                              Addr claim_addr) {
+  ProgramBuilder b(cqName("spmspv_hht_v2", claim_addr));
+  b.li(s6, bits(claim_addr));
+  b.li(s7, bits(m.rows)).li(s8, bits(m.vals)).li(s9, bits(m.y));
+  configureSpmspvHhtStatic(b, m, mmio_base, core::Mode::SpmspvV2);
+  b.li(s10, bits(mmio_base + kBufData));
+  b.fcvtSW(ft0, zero);
+  b.li(s3, isa::kMaxVl * 8);
+
+  Label claim_loop = b.newLabel(), row_loop = b.newLabel();
+  Label chunk_loop = b.newLabel(), reduce = b.newLabel();
+  Label done = b.newLabel();
+
+  b.bind(claim_loop);
+  claimChunk(b, a6, a5, t2, done);
+  b.add(a0, s7, t2);    // &rowPtr[row_begin]
+  b.add(a4, s9, t2);    // y cursor
+  b.lw(t3, a0, 0);      // rowPtr[row_begin] (absolute)
+  b.slli(t6, t3, 2);
+  b.add(s1, s8, t6);    // CPU matrix-values cursor
+  b.sw(a0, s11, static_cast<std::int32_t>(kMRowsBase));
+  b.sw(a5, s11, static_cast<std::int32_t>(kMNumRows));
+  b.li(t1, 1);
+  b.sw(t1, s11, static_cast<std::int32_t>(kStart));
+  b.addi(t2, a0, 4);    // &rowPtr[i + 1]
+
+  b.bind(row_loop);
+  b.beqz(a5, claim_loop);
+  b.lw(t4, t2, 0);
+  b.sub(t5, t4, t3);
+  b.vsetvli(s4, s3);
+  b.vmvVI(v0, 0);
+  b.beqz(t5, reduce);
+
+  b.bind(chunk_loop);
+  b.vsetvli(t6, t5);
+  b.vle32(v3, s1);
+  b.vle32(v2, s10);
+  b.vfmaccVV(v0, v2, v3);
+  b.slli(s2, t6, 2);
+  b.add(s1, s1, s2);
+  b.sub(t5, t5, t6);
+  b.bnez(t5, chunk_loop);
+
+  b.bind(reduce);
+  b.vsetvli(s4, s3);
+  b.vfmvSF(v4, ft0);
+  b.vfredosum(v5, v0, v4);
+  b.vfmvFS(fs0, v5);
+  b.fsw(fs0, a4, 0);
+  b.addi(a4, a4, 4);
+  b.mv(t3, t4);
+  b.addi(t2, t2, 4);
+  b.addi(a5, a5, -1);
+  b.j(row_loop);
+
+  b.bind(done);
+  b.ecall();
+  return b.build();
 }
 
 Program spmspvHhtV2Scalar(const SpmspvLayout& m, Addr mmio_base) {

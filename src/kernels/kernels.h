@@ -89,6 +89,22 @@ isa::Program spmvScalarHhtShard(const SpmvLayout& m, const RowShard& shard,
 isa::Program spmvVectorHhtShard(const SpmvLayout& m, const RowShard& shard,
                                 Addr mmio_base = core::kDefaultMmioBase);
 
+/// Chunk-queue HHT SpMV: instead of a fixed shard, the tile claims packed
+/// (row_begin << 12 | row_count) chunks from the shared work-queue device by
+/// loading `claim_addr` (its per-tile claim register,
+/// MultiTileSystem::workQueueBase() + 4*tile). Per chunk the CPU re-points
+/// M_Rows_Base / M_Num_Rows and re-pulses START (the SpMM re-configuration
+/// idiom), then runs the same per-row consumer loop as the static kernels —
+/// so each y[i] is still produced by exactly one tile with the single-tile
+/// FMA order, and the concatenated output stays bit-identical regardless of
+/// which tile claimed which chunk. A claim of 0 means the queue is drained
+/// and the program halts. Program names encode the claim register, so the
+/// per-tile programs never collide in snapshots.
+isa::Program spmvScalarHhtChunkQueue(const SpmvLayout& m, Addr mmio_base,
+                                     Addr claim_addr);
+isa::Program spmvVectorHhtChunkQueue(const SpmvLayout& m, Addr mmio_base,
+                                     Addr claim_addr);
+
 // ----- SpMM (batched SpMV: DNN inference with batch > 1) -----
 
 /// Placement for Y = M * B with B dense num_cols x k, stored column-major
@@ -139,6 +155,15 @@ isa::Program spmspvHhtV1Shard(const SpmspvLayout& m, const RowShard& shard,
                               Addr mmio_base = core::kDefaultMmioBase);
 isa::Program spmspvHhtV2Shard(const SpmspvLayout& m, const RowShard& shard,
                               Addr mmio_base = core::kDefaultMmioBase);
+
+/// Chunk-queue SpMSpV variants (see spmvScalarHhtChunkQueue): the tile
+/// claims row chunks from the shared work queue and reprograms the HHT per
+/// chunk. Every chunk rescans the full sparse vector, exactly like the
+/// static shard variants.
+isa::Program spmspvHhtV1ChunkQueue(const SpmspvLayout& m, Addr mmio_base,
+                                   Addr claim_addr);
+isa::Program spmspvHhtV2ChunkQueue(const SpmspvLayout& m, Addr mmio_base,
+                                   Addr claim_addr);
 
 // ----- Hierarchical bitmap (§6, bench/abl_smash) -----
 

@@ -60,13 +60,14 @@ void MemorySystemConfig::validate() const {
                    "num_tiles must be in [1, 16], got " +
                        std::to_string(num_tiles));
   }
-  // All per-tile MMIO windows must fit below the top of the address space.
+  // All MMIO windows (per-tile plus the optional shared work-queue window)
+  // must fit below the top of the address space.
   const std::uint64_t mmio_span =
-      static_cast<std::uint64_t>(num_tiles) * mmio_size;
+      static_cast<std::uint64_t>(numMmioWindows()) * mmio_size;
   if (static_cast<std::uint64_t>(mmio_base) + mmio_span > 0x1'0000'0000ull) {
     throw SimError(ErrorKind::Config, "mem",
-                   "per-tile MMIO windows wrap past the 32-bit address "
-                   "space: base + num_tiles*mmio_size overflows");
+                   "MMIO windows wrap past the 32-bit address space: "
+                   "base + numMmioWindows()*mmio_size overflows");
   }
   topology.validate();
   if (topology.tile_l1_enabled && (cpu_cache_enabled || hht_cache_enabled)) {
@@ -81,7 +82,7 @@ MemorySystem::MemorySystem(const MemorySystemConfig& config)
     : config_(config),
       num_requesters_(config.numRequesters()),
       sram_(config.sram_bytes),
-      mmio_devices_(config.num_tiles, nullptr),
+      mmio_devices_(config.numMmioWindows(), nullptr),
       injectors_(config.num_tiles, nullptr) {
   reads_.resize(num_requesters_);
   writes_.resize(num_requesters_);
@@ -873,11 +874,11 @@ void MemorySystem::attachMmioDevice(MmioDevice* device, std::uint32_t tile) {
                         "attachMmioDevice(nullptr): detaching the device "
                         "window is not supported");
   }
-  if (tile >= config_.num_tiles) {
+  if (tile >= config_.numMmioWindows()) {
     throw sim::SimError(sim::ErrorKind::Mmio, "mem",
-                        "attachMmioDevice: tile " + std::to_string(tile) +
-                            " out of range (num_tiles=" +
-                            std::to_string(config_.num_tiles) + ")");
+                        "attachMmioDevice: window " + std::to_string(tile) +
+                            " out of range (numMmioWindows=" +
+                            std::to_string(config_.numMmioWindows()) + ")");
   }
   if (mmio_devices_[tile] != nullptr) {
     throw sim::SimError(sim::ErrorKind::Mmio, "mem",

@@ -68,12 +68,24 @@ struct MemorySystemConfig {
   Cycle scrub_period = 64;  ///< cycles between patrol reads
   Addr mmio_base = 0xF000'0000u;
   Addr mmio_size = 0x1'0000u;
+  /// Shared chunk-queue work-stealing device (DESIGN.md §18): adds one
+  /// extra MMIO window at index num_tiles for a ChunkQueueDevice that
+  /// tiles claim row chunks from. Architectural (the claim schedule is
+  /// part of machine behaviour), so it is covered by the snapshot config
+  /// fingerprint — unlike host-only knobs such as host_fastforward.
+  bool work_queue_enabled = false;
   /// Memory topology (DESIGN.md §17): per-tile L1 + interleaved shared
   /// channels behind latency/bandwidth links. The default is the flat
   /// single-arbiter SRAM, bit-identical to the pre-topology machine.
   TopologyConfig topology;
 
   std::uint32_t numRequesters() const { return 2 * num_tiles; }
+
+  /// MMIO windows: one per tile, plus the shared work-queue window when
+  /// enabled (window index num_tiles).
+  std::uint32_t numMmioWindows() const {
+    return num_tiles + (work_queue_enabled ? 1u : 0u);
+  }
 
   /// Reject obviously-broken configurations with SimError(Config). Called
   /// by SystemConfig::validate(); standalone users may call it directly.
@@ -147,11 +159,12 @@ class MemorySystem {
   /// in-flight accesses whose latency elapsed.
   void tick(Cycle now);
 
-  /// Register the device behind tile `tile`'s MMIO window (offset
-  /// tile*mmio_size from mmio_base). Attaching a second device to the same
-  /// window (or a null one, or to a tile >= num_tiles) throws
-  /// SimError(Mmio) — a silently-replaced device window is a wiring bug,
-  /// never intentional.
+  /// Register the device behind MMIO window `tile` (offset tile*mmio_size
+  /// from mmio_base). Valid windows are the per-tile ones plus, with
+  /// work_queue_enabled, the shared work-queue window at index num_tiles.
+  /// Attaching a second device to the same window (or a null one, or to a
+  /// window >= numMmioWindows()) throws SimError(Mmio) — a silently-
+  /// replaced device window is a wiring bug, never intentional.
   void attachMmioDevice(MmioDevice* device, std::uint32_t tile = 0);
 
   /// Attach a structured trace sink (obs layer). Host-side observation
@@ -197,7 +210,19 @@ class MemorySystem {
   bool isMmio(Addr addr) const {
     return addr >= config_.mmio_base &&
            addr - config_.mmio_base <
-               static_cast<Addr>(config_.num_tiles) * config_.mmio_size;
+               static_cast<Addr>(config_.numMmioWindows()) * config_.mmio_size;
+  }
+
+  /// True when `addr` falls in the shared work-queue window (the extra
+  /// window at index num_tiles, present only with work_queue_enabled).
+  /// Lets the CPU stall profiler split queue-wait from FIFO-wait.
+  bool isWorkQueue(Addr addr) const {
+    return config_.work_queue_enabled &&
+           addr >= config_.mmio_base +
+                       static_cast<Addr>(config_.num_tiles) *
+                           config_.mmio_size &&
+           addr - config_.mmio_base <
+               static_cast<Addr>(config_.numMmioWindows()) * config_.mmio_size;
   }
 
   /// MMIO window base of tile `tile` (each tile's HHT FE occupies its own

@@ -26,10 +26,10 @@ std::uint64_t ProfileReport::componentTotal(Component c) const {
 
 std::string ProfileReport::table() const {
   std::string out;
-  char line[192];
-  std::snprintf(line, sizeof(line), "%-11s %12s %12s %12s %12s %12s\n",
-                "component", "compute", "fifo_wait", "mem_wait", "active",
-                "drained");
+  char line[224];
+  std::snprintf(line, sizeof(line), "%-11s %12s %12s %12s %12s %12s %12s\n",
+                "component", "compute", "fifo_wait", "mem_wait", "queue_wait",
+                "active", "drained");
   out += line;
   for (std::size_t c = 0; c < kNumComponents; ++c) {
     const auto& b = bucket_cycles[c];
@@ -38,20 +38,24 @@ std::string ProfileReport::table() const {
       if (k != kBucketDrained) active_total += b[k];
     }
     if (active_total == 0) continue;  // component absent from this run
-    std::snprintf(line, sizeof(line), "%-11s %12llu %12llu %12llu %12llu %12llu\n",
+    std::snprintf(line, sizeof(line),
+                  "%-11s %12llu %12llu %12llu %12llu %12llu %12llu\n",
                   std::string(componentName(static_cast<Component>(c))).c_str(),
                   static_cast<unsigned long long>(b[kBucketCompute]),
                   static_cast<unsigned long long>(b[kBucketFifoWait]),
                   static_cast<unsigned long long>(b[kBucketMemWait]),
+                  static_cast<unsigned long long>(b[kBucketQueueWait]),
                   static_cast<unsigned long long>(b[kBucketActive]),
                   static_cast<unsigned long long>(b[kBucketDrained]));
     out += line;
     if (horizon > 0) {
       std::snprintf(
-          line, sizeof(line), "%-11s %11.1f%% %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
+          line, sizeof(line),
+          "%-11s %11.1f%% %11.1f%% %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
           "", 100.0 * static_cast<double>(b[kBucketCompute]) / static_cast<double>(horizon),
           100.0 * static_cast<double>(b[kBucketFifoWait]) / static_cast<double>(horizon),
           100.0 * static_cast<double>(b[kBucketMemWait]) / static_cast<double>(horizon),
+          100.0 * static_cast<double>(b[kBucketQueueWait]) / static_cast<double>(horizon),
           100.0 * static_cast<double>(b[kBucketActive]) / static_cast<double>(horizon),
           100.0 * static_cast<double>(b[kBucketDrained]) / static_cast<double>(horizon));
       out += line;
@@ -140,6 +144,10 @@ ProfileReport profile(const TraceSink& sink) {
         if (action == 1) ++rep.hht_prefetch_fills;
         break;
       }
+      case EventKind::kWqClaim:
+        ++rep.wq_grants;
+        if ((ev.b >> 8) & 1) ++rep.wq_steals;
+        break;
       case EventKind::kRunEnd:
         if (ev.a > rep.horizon) rep.horizon = static_cast<sim::Cycle>(ev.a);
         break;

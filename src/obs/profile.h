@@ -47,6 +47,11 @@ struct ProfileReport {
   /// completed L1 fills. == hht.prefetch.issued / fills installed.
   std::uint64_t hht_prefetch_issued = 0;
   std::uint64_t hht_prefetch_fills = 0;
+  /// Chunk-queue claims (kWqClaim, DESIGN.md §18): == mem.wq.grants /
+  /// mem.wq.steals. Like the scrubber and prefetcher, never part of
+  /// mem_grants — the queue answers through its MMIO window.
+  std::uint64_t wq_grants = 0;
+  std::uint64_t wq_steals = 0;
   std::uint64_t mmr_writes = 0;
   std::uint64_t engine_rows_done = 0;
   std::uint64_t engine_emit_stalls = 0;

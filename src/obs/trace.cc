@@ -11,6 +11,7 @@ std::string_view categoryName(std::uint32_t category_bit) {
     case bit(Category::kMmr): return "mmr";
     case bit(Category::kSystem): return "system";
     case bit(Category::kScrub): return "scrub";
+    case bit(Category::kWq): return "wq";
     default: return "unknown";
   }
 }
@@ -46,6 +47,7 @@ std::string_view kindName(EventKind k) {
     case EventKind::kRunEnd: return "run_end";
     case EventKind::kScrubGrant: return "scrub_grant";
     case EventKind::kHhtPrefetch: return "hht_prefetch";
+    case EventKind::kWqClaim: return "wq_claim";
     default: return "unknown";
   }
 }
@@ -57,6 +59,7 @@ std::string_view bucketName(std::uint8_t bucket) {
     case kBucketMemWait: return "mem_wait";
     case kBucketActive: return "active";
     case kBucketDrained: return "drained";
+    case kBucketQueueWait: return "queue_wait";
     default: return "unknown";
   }
 }
@@ -82,6 +85,8 @@ std::optional<std::uint32_t> parseCategoryList(std::string_view list) {
       mask |= bit(Category::kSystem);
     } else if (name == "scrub") {
       mask |= bit(Category::kScrub);
+    } else if (name == "wq") {
+      mask |= bit(Category::kWq);
     } else {
       return std::nullopt;
     }

@@ -22,9 +22,10 @@ enum class Category : std::uint32_t {
   kMmr = 1u << 4,     ///< MMR writes
   kSystem = 1u << 5,  ///< run horizon markers
   kScrub = 1u << 6,   ///< memory patrol-scrubber reads (DESIGN.md §15)
+  kWq = 1u << 7,      ///< shared work-queue chunk claims (DESIGN.md §18)
 };
 
-inline constexpr std::uint32_t kAllCategories = 0x7F;
+inline constexpr std::uint32_t kAllCategories = 0xFF;
 
 constexpr std::uint32_t bit(Category c) {
   return static_cast<std::uint32_t>(c);
@@ -70,6 +71,10 @@ inline constexpr std::size_t kNumComponents =
 ///                  / 3 late (demand miss beat the fill) / 4 dropped. Like
 ///                  kScrubGrant, its own kind: prefetch fills use spare
 ///                  slots and never count toward mem.grants.
+///   kWqClaim       a = packed chunk (row_begin<<12 | row_count),
+///                  b = claiming tile | stolen<<8. One event per granted
+///                  chunk-queue claim; like kScrubGrant, never part of
+///                  mem.grants (the queue is an MMIO device).
 enum class EventKind : std::uint16_t {
   kPhase = 0,
   kRetire,
@@ -88,19 +93,24 @@ enum class EventKind : std::uint16_t {
   kRunEnd,
   kScrubGrant,
   kHhtPrefetch,
+  kWqClaim,
   kCount,
 };
 
 /// Stall-attribution buckets carried by kPhase events. The CPU classifies
-/// every non-halted cycle as compute / FIFO-wait / memory-wait; devices and
-/// the memory system report active / drained. Cycles outside any span
-/// (halted CPU tail, pre-start) are implicitly kDrained.
+/// every non-halted cycle as compute / FIFO-wait / memory-wait /
+/// queue-wait (a load stalled on the shared work-queue's claim register);
+/// devices and the memory system report active / drained. Cycles outside
+/// any span (halted CPU tail, pre-start) are implicitly kDrained.
+/// kBucketQueueWait is appended after kDrained so the older buckets keep
+/// their ids (golden traces stay valid).
 enum : std::uint8_t {
   kBucketCompute = 0,
   kBucketFifoWait,
   kBucketMemWait,
   kBucketActive,
   kBucketDrained,
+  kBucketQueueWait,
   kNumBuckets,
 };
 

@@ -234,6 +234,16 @@ MultiTileOracle::MultiTileOracle(
   }
 }
 
+MultiTileOracle::MultiTileOracle(std::uint32_t num_tiles,
+                                 RowStreamFn row_stream,
+                                 sim::Cycle check_interval)
+    : row_stream_(std::move(row_stream)) {
+  tiles_.reserve(num_tiles);
+  for (std::uint32_t t = 0; t < num_tiles; ++t) {
+    tiles_.emplace_back(std::vector<StreamEvent>{}, check_interval);
+  }
+}
+
 void MultiTileOracle::attach(harness::MultiTileSystem& sys) {
   if (sys.numTiles() != tiles_.size()) {
     throw sim::SimError(sim::ErrorKind::Config, "oracle",
@@ -254,6 +264,20 @@ void MultiTileOracle::detach(harness::MultiTileSystem& sys) {
 }
 
 void MultiTileOracle::onCycle(harness::MultiTileSystem& sys, sim::Cycle now) {
+  // Dynamic mode: fold newly granted claims into the claiming tiles'
+  // expected streams. The observer runs after the memory tick that granted
+  // them, and the first delivery of a claimed chunk is at least one cycle
+  // later (the CPU reprograms the HHT first), so the append always lands
+  // before the deliveries it predicts.
+  if (row_stream_) {
+    if (const mem::ChunkQueueDevice* wq = sys.workQueue()) {
+      const auto& log = wq->claimLog();
+      for (; next_claim_ < log.size(); ++next_claim_) {
+        const mem::ChunkQueueDevice::Claim& c = log[next_claim_];
+        tiles_.at(c.tile).appendExpected(row_stream_(c.row_begin, c.row_count));
+      }
+    }
+  }
   for (std::uint32_t t = 0; t < sys.numTiles() && t < tiles_.size(); ++t) {
     if (tiles_[t].occupancyCheckDue(now)) {
       tiles_[t].checkOccupancy(sys.hht(t), now);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <bit>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -135,6 +136,16 @@ class DifferentialOracle : public sim::StreamTap, public harness::RunObserver {
   /// compared once globally.
   void checkStreamComplete();
 
+  /// Extend the expected stream mid-run — the per-row dynamic mode: a
+  /// chunk-queue run's row->tile mapping is decided by the arbiter, so the
+  /// MultiTileOracle appends each tile's expected events as the claim log
+  /// reveals which rows it won. Safe because a claim's first delivery is
+  /// always at least one cycle after the observer sees the claim (the CPU
+  /// still has to reprogram and START the HHT).
+  void appendExpected(std::vector<StreamEvent> more) {
+    expected_.insert(expected_.end(), more.begin(), more.end());
+  }
+
   bool diverged() const { return divergence_.has_value(); }
   const std::optional<Divergence>& divergence() const { return divergence_; }
   std::uint64_t delivered() const { return delivered_; }
@@ -159,11 +170,26 @@ class DifferentialOracle : public sim::StreamTap, public harness::RunObserver {
 /// campaign drivers collect the report.
 class MultiTileOracle : public harness::MultiTileObserver {
  public:
+  /// Builds the expected events of one claimed row window [row_begin,
+  /// row_begin + row_count) — wrap the matching expected*StreamShard
+  /// builder (e.g. expectedGatherStreamShard with a {begin, end, 0} shard).
+  using RowStreamFn = std::function<std::vector<StreamEvent>(
+      std::uint32_t row_begin, std::uint32_t row_count)>;
+
   /// `expected_per_tile.size()` must equal the system's tile count at
   /// attach(). check_interval gates the occupancy sweep (0 disables).
   explicit MultiTileOracle(
       std::vector<std::vector<StreamEvent>> expected_per_tile,
       sim::Cycle check_interval = 64);
+
+  /// Per-row dynamic mode for chunk-queue runs: every tile starts with an
+  /// empty expected stream, and onCycle drains the work-queue claim log,
+  /// appending `row_stream(row_begin, row_count)` to the claiming tile's
+  /// oracle — so the expectation follows whatever row->tile mapping the
+  /// arbiter produced. Requires the system to have a work queue and a
+  /// fresh (not restored mid-run) claim log.
+  MultiTileOracle(std::uint32_t num_tiles, RowStreamFn row_stream,
+                  sim::Cycle check_interval = 64);
 
   /// Install tile t's oracle as a stream tap on sys.hht(t). Pair with
   /// detach() before the system (or this oracle) is destroyed.
@@ -190,6 +216,8 @@ class MultiTileOracle : public harness::MultiTileObserver {
  private:
   std::vector<DifferentialOracle> tiles_;  ///< stable: sized once in the ctor
   std::optional<Divergence> y_divergence_;
+  RowStreamFn row_stream_;        ///< set = per-row dynamic mode
+  std::size_t next_claim_ = 0;    ///< claim-log drain cursor (dynamic mode)
 };
 
 }  // namespace hht::verify

@@ -7,7 +7,10 @@
 namespace hht::verify {
 
 namespace {
-constexpr std::uint32_t kBundleVersion = 1;
+// v2: the embedded SystemConfig stream gained mem.work_queue_enabled
+// (snapshot v7); v1 bundles would misparse, so the version gate rejects
+// them with a structured error instead.
+constexpr std::uint32_t kBundleVersion = 2;
 
 void writeCase(sim::StateWriter& w, const CosimCase& c) {
   w.u32(static_cast<std::uint32_t>(c.kind));

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "sim/error.h"
 
 namespace hht::workload {
 
@@ -14,10 +17,44 @@ std::uint32_t checkedTiles(std::uint32_t num_tiles) {
   return num_tiles;
 }
 
-/// Shards from a sorted boundary list: shard t covers
-/// [bounds[t], bounds[t+1]).
-std::vector<kernels::RowShard> fromBounds(
+}  // namespace
+
+std::vector<kernels::RowShard> partitionFromBounds(
     const sparse::CsrMatrix& m, const std::vector<std::uint32_t>& bounds) {
+  const std::uint32_t rows = static_cast<std::uint32_t>(m.numRows());
+  if (bounds.size() < 2) {
+    throw sim::SimError(sim::ErrorKind::Config, "partition",
+                        "bounds needs >= 2 entries (got " +
+                            std::to_string(bounds.size()) + ")");
+  }
+  if (bounds.front() != 0) {
+    throw sim::SimError(sim::ErrorKind::Config, "partition",
+                        "bounds[0] must be 0 (got " +
+                            std::to_string(bounds.front()) +
+                            "); leading rows would be skipped");
+  }
+  for (std::size_t t = 1; t < bounds.size(); ++t) {
+    if (bounds[t] < bounds[t - 1]) {
+      throw sim::SimError(sim::ErrorKind::Config, "partition",
+                          "bounds[" + std::to_string(t) + "] = " +
+                              std::to_string(bounds[t]) + " < bounds[" +
+                              std::to_string(t - 1) + "] = " +
+                              std::to_string(bounds[t - 1]) +
+                              "; shards must be non-decreasing");
+    }
+    if (bounds[t] > rows) {
+      throw sim::SimError(sim::ErrorKind::Config, "partition",
+                          "bounds[" + std::to_string(t) + "] = " +
+                              std::to_string(bounds[t]) +
+                              " past numRows() = " + std::to_string(rows));
+    }
+  }
+  if (bounds.back() != rows) {
+    throw sim::SimError(sim::ErrorKind::Config, "partition",
+                        "bounds.back() = " + std::to_string(bounds.back()) +
+                            " != numRows() = " + std::to_string(rows) +
+                            "; the row tail would be silently dropped");
+  }
   std::vector<kernels::RowShard> shards;
   shards.reserve(bounds.size() - 1);
   for (std::size_t t = 0; t + 1 < bounds.size(); ++t) {
@@ -30,8 +67,6 @@ std::vector<kernels::RowShard> fromBounds(
   return shards;
 }
 
-}  // namespace
-
 std::vector<kernels::RowShard> partitionRowsBlock(const sparse::CsrMatrix& m,
                                                   std::uint32_t num_tiles) {
   checkedTiles(num_tiles);
@@ -42,7 +77,7 @@ std::vector<kernels::RowShard> partitionRowsBlock(const sparse::CsrMatrix& m,
     const std::uint64_t edge = static_cast<std::uint64_t>(t) * block;
     bounds[t] = static_cast<std::uint32_t>(std::min<std::uint64_t>(edge, rows));
   }
-  return fromBounds(m, bounds);
+  return partitionFromBounds(m, bounds);
 }
 
 std::vector<kernels::RowShard> partitionRowsNnzBalanced(
@@ -52,20 +87,55 @@ std::vector<kernels::RowShard> partitionRowsNnzBalanced(
   const std::uint64_t nnz = m.nnz();
   const auto& row_ptr = m.rowPtr();
   std::vector<std::uint32_t> bounds(num_tiles + 1, rows);
-  bounds[0] = 0;
   std::uint32_t row = 0;
-  for (std::uint32_t t = 1; t < num_tiles; ++t) {
-    // Advance to the first row at which shard t-1 has claimed at least its
-    // proportional share of nonzeros. Integer targets keep the split exact
-    // and deterministic: target(t) = floor(nnz * t / num_tiles).
-    const std::uint64_t target = nnz * t / num_tiles;
-    while (row < rows &&
-           static_cast<std::uint64_t>(row_ptr[row + 1]) <= target) {
-      ++row;
-    }
+  for (std::uint32_t t = 0; t < num_tiles; ++t) {
     bounds[t] = row;
+    if (row >= rows) continue;  // more tiles than rows: trailing empties
+    const std::uint32_t shards_left = num_tiles - t;
+    const std::uint64_t remaining =
+        nnz - static_cast<std::uint64_t>(row_ptr[row]);
+    // Fair share of what is left, recomputed per shard — fixed cumulative
+    // targets are the bug this replaces: a row denser than one share made
+    // every later target fall inside it, collapsing the remaining bounds
+    // onto each other (empty shards) while the first shard kept everything.
+    const std::uint64_t share = (remaining + shards_left - 1) / shards_left;
+    std::uint32_t end = row + 1;  // never empty while rows remain
+    if (remaining == 0) {
+      // Only empty rows remain: spread them evenly so the per-row output
+      // writes (one y store per row) stay balanced too.
+      end = row + std::max<std::uint32_t>(1, (rows - row) / shards_left);
+    } else {
+      // Leave at least one row for each of the shards after this one.
+      const std::uint32_t cap =
+          rows - row >= shards_left ? rows - (shards_left - 1) : end;
+      while (end < cap &&
+             static_cast<std::uint64_t>(row_ptr[end]) - row_ptr[row] < share) {
+        ++end;
+      }
+    }
+    row = end;
   }
-  return fromBounds(m, bounds);
+  bounds[num_tiles] = rows;
+  return partitionFromBounds(m, bounds);
+}
+
+PartitionStats partitionStats(const sparse::CsrMatrix& m,
+                              const std::vector<kernels::RowShard>& shards) {
+  PartitionStats st;
+  if (shards.empty()) return st;
+  const auto& row_ptr = m.rowPtr();
+  for (const kernels::RowShard& s : shards) {
+    if (s.empty()) {
+      ++st.empty_shards;
+      continue;
+    }
+    const std::uint64_t shard_nnz =
+        static_cast<std::uint64_t>(row_ptr[s.row_end]) - row_ptr[s.row_begin];
+    st.max_nnz = std::max(st.max_nnz, shard_nnz);
+  }
+  st.mean_nnz = m.nnz() / shards.size();
+  st.imbalance_pct = st.mean_nnz == 0 ? 0 : 100 * st.max_nnz / st.mean_nnz;
+  return st;
 }
 
 }  // namespace hht::workload

@@ -19,11 +19,39 @@ namespace hht::workload {
 std::vector<kernels::RowShard> partitionRowsBlock(const sparse::CsrMatrix& m,
                                                   std::uint32_t num_tiles);
 
-/// NNZ-balanced partition: each shard takes rows until its cumulative
-/// nonzero count reaches the next multiple of nnz/num_tiles. Rows are never
-/// split, so a single pathological row still bounds the imbalance, but
-/// banded/skewed matrices divide far more evenly than the block split.
+/// NNZ-balanced partition: greedy remaining-share split. Each shard takes
+/// at least one row (while rows remain) and keeps taking rows until it
+/// holds its proportional share of the nonzeros *still unassigned* —
+/// share(t) = ceil(remaining_nnz / shards_left) — capped so every later
+/// shard can still receive a row. Recomputing the share from the remainder
+/// (instead of fixed cumulative targets) is what keeps a single dense row
+/// from collapsing the bounds: the dense row lands alone in one shard and
+/// the split of everything after it is unaffected. Rows are never split,
+/// so one pathological row still bounds the imbalance — see
+/// partitionStats() for the diagnostic, and the chunk-queue drivers for
+/// the dynamic alternative.
 std::vector<kernels::RowShard> partitionRowsNnzBalanced(
     const sparse::CsrMatrix& m, std::uint32_t num_tiles);
+
+/// Shards from an explicit sorted boundary list: shard t covers
+/// [bounds[t], bounds[t+1]). A malformed list — fewer than two entries,
+/// bounds[0] != 0, a decreasing step, an entry past numRows(), or
+/// bounds.back() != numRows() (a silently dropped row tail) — throws
+/// sim::SimError(Config) naming the offending index instead of producing
+/// shards that skip or double-count rows.
+std::vector<kernels::RowShard> partitionFromBounds(
+    const sparse::CsrMatrix& m, const std::vector<std::uint32_t>& bounds);
+
+/// Static-partition quality diagnostic (surfaced by the sharded drivers as
+/// workload.shard_* counters).
+struct PartitionStats {
+  std::uint64_t max_nnz = 0;   ///< heaviest shard's nonzero count
+  std::uint64_t mean_nnz = 0;  ///< nnz / num_shards (rounded down)
+  /// 100 * max_nnz / mean_nnz (100 = perfectly balanced); 0 when nnz == 0.
+  std::uint64_t imbalance_pct = 0;
+  std::uint32_t empty_shards = 0;  ///< shards with zero rows
+};
+PartitionStats partitionStats(const sparse::CsrMatrix& m,
+                              const std::vector<kernels::RowShard>& shards);
 
 }  // namespace hht::workload

@@ -97,4 +97,24 @@ sparse::CsrMatrix blockDiagonalCsr(Rng& rng, Index num_blocks, Index block_size,
   return sparse::CsrMatrix::fromCoo(std::move(coo));
 }
 
+double rowNnzGini(const sparse::CsrMatrix& m) {
+  const Index rows = m.numRows();
+  if (rows == 0 || m.nnz() == 0) return 0.0;
+  const auto& row_ptr = m.rowPtr();
+  std::vector<double> deg(rows);
+  for (Index r = 0; r < rows; ++r) {
+    deg[r] = static_cast<double>(row_ptr[r + 1] - row_ptr[r]);
+  }
+  std::sort(deg.begin(), deg.end());
+  // Gini via the sorted-rank identity:
+  //   G = (2 * sum_i (i+1)*x_i) / (n * sum_i x_i) - (n + 1) / n.
+  double weighted = 0.0, total = 0.0;
+  for (Index i = 0; i < rows; ++i) {
+    weighted += static_cast<double>(i + 1) * deg[i];
+    total += deg[i];
+  }
+  const double n = static_cast<double>(rows);
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
 }  // namespace hht::workload

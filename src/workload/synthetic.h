@@ -63,4 +63,13 @@ sparse::CsrMatrix blockDiagonalCsr(Rng& rng, Index num_blocks, Index block_size,
                                    double block_fill,
                                    ValueDist dist = ValueDist::kSmallIntegers);
 
+/// Gini coefficient of the row-nnz distribution in [0, 1): 0 = every row
+/// holds the same number of nonzeros, ->1 = all nonzeros in one row. The
+/// skew knob for the zipf sweeps: powerLawCsr's Gini rises monotonically
+/// with `alpha` (as long as `max_degree / rows^alpha` stays above the
+/// min-degree clamp, which otherwise flattens the tail into equal 1s),
+/// which is what makes it a load-imbalance stressor for the static
+/// partitioners. Returns 0 for empty matrices.
+double rowNnzGini(const sparse::CsrMatrix& m);
+
 }  // namespace hht::workload

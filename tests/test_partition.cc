@@ -1,0 +1,205 @@
+// Static-partitioner regression suite (the partitionRowsNnzBalanced
+// degenerate-split bugfix sweep) plus the workload generators' guarantees
+// the skew experiments rely on: powerLawCsr determinism and a tail shape
+// whose Gini rises monotonically with the exponent.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "sim/error.h"
+#include "sim/rng.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+#include "workload/partition.h"
+#include "workload/synthetic.h"
+
+namespace hht::workload {
+namespace {
+
+using sim::ErrorKind;
+using sim::SimError;
+
+/// CSR with an explicit per-row nonzero count (values all 1.0f, columns
+/// packed from 0).
+sparse::CsrMatrix csrWithRowNnz(const std::vector<std::uint32_t>& row_nnz,
+                                sim::Index cols) {
+  sparse::CooMatrix coo(static_cast<sim::Index>(row_nnz.size()), cols);
+  for (sim::Index r = 0; r < row_nnz.size(); ++r) {
+    for (std::uint32_t k = 0; k < row_nnz[r]; ++k) {
+      coo.add(r, k % cols, 1.0f);
+    }
+  }
+  return sparse::CsrMatrix::fromCoo(std::move(coo));
+}
+
+/// The structural invariants every partition must satisfy: num_tiles
+/// shards, monotone bounds starting at 0 and ending at numRows(), correct
+/// nnz_begin.
+void expectWellFormed(const sparse::CsrMatrix& m,
+                      const std::vector<kernels::RowShard>& shards,
+                      std::uint32_t num_tiles) {
+  ASSERT_EQ(shards.size(), num_tiles);
+  EXPECT_EQ(shards.front().row_begin, 0u);
+  EXPECT_EQ(shards.back().row_end, m.numRows());
+  for (std::size_t t = 0; t < shards.size(); ++t) {
+    EXPECT_LE(shards[t].row_begin, shards[t].row_end) << "shard " << t;
+    if (t > 0) {
+      EXPECT_EQ(shards[t].row_begin, shards[t - 1].row_end) << "shard " << t;
+    }
+    EXPECT_EQ(shards[t].nnz_begin, m.rowPtr()[shards[t].row_begin])
+        << "shard " << t;
+  }
+}
+
+TEST(Partition, NnzBalancedAllNnzInFirstRow) {
+  // The historical failure: fixed cumulative targets all fell inside the
+  // dense first row, so every interior bound collapsed to 0 — shard 0 was
+  // EMPTY and the last shard held every row. The greedy remaining-share
+  // split must instead isolate the dense row and spread the rest.
+  const sparse::CsrMatrix m = csrWithRowNnz({100, 0, 0, 0, 0, 0, 0, 0}, 128);
+  const auto shards = partitionRowsNnzBalanced(m, 4);
+  expectWellFormed(m, shards, 4);
+  for (const auto& s : shards) {
+    EXPECT_FALSE(s.empty()) << "rows outnumber tiles; no shard may be empty";
+  }
+  // The dense row is alone in shard 0.
+  EXPECT_EQ(shards[0].row_begin, 0u);
+  EXPECT_EQ(shards[0].row_end, 1u);
+}
+
+TEST(Partition, NnzBalancedOneDenseRowInTheMiddle) {
+  const sparse::CsrMatrix m =
+      csrWithRowNnz({2, 1, 3, 200, 2, 1, 2, 1}, 256);
+  const auto shards = partitionRowsNnzBalanced(m, 4);
+  expectWellFormed(m, shards, 4);
+  for (const auto& s : shards) EXPECT_FALSE(s.empty());
+  // Exactly one shard holds the dense row, and holding it must not have
+  // absorbed the whole tail: later shards still get rows.
+  int dense_holder = -1;
+  for (std::size_t t = 0; t < shards.size(); ++t) {
+    if (shards[t].row_begin <= 3 && 3 < shards[t].row_end) {
+      dense_holder = static_cast<int>(t);
+    }
+  }
+  ASSERT_GE(dense_holder, 0);
+  EXPECT_LT(shards[static_cast<std::size_t>(dense_holder)].rows(), 5u)
+      << "the dense row's shard swallowed the tail";
+}
+
+TEST(Partition, NnzBalancedAllNnzInLastRow) {
+  const sparse::CsrMatrix m = csrWithRowNnz({0, 0, 0, 0, 0, 0, 0, 100}, 128);
+  const auto shards = partitionRowsNnzBalanced(m, 4);
+  expectWellFormed(m, shards, 4);
+  for (const auto& s : shards) EXPECT_FALSE(s.empty());
+  // The dense final row sits alone in the last shard.
+  EXPECT_EQ(shards.back().row_begin, 7u);
+  EXPECT_EQ(shards.back().row_end, 8u);
+}
+
+TEST(Partition, NnzBalancedStaysWellFormedOnRandomAndSkewedMatrices) {
+  sim::Rng rng(0xBA1A);
+  for (const double alpha : {0.0, 0.7, 1.4}) {
+    const sparse::CsrMatrix m = powerLawCsr(rng, 64, 64, 32, alpha);
+    for (const std::uint32_t tiles : {1u, 2u, 3u, 4u, 8u, 16u, 64u, 100u}) {
+      const auto shards = partitionRowsNnzBalanced(m, tiles);
+      expectWellFormed(m, shards, tiles);
+    }
+  }
+}
+
+TEST(Partition, NnzBalancedMoreTilesThanRows) {
+  const sparse::CsrMatrix m = csrWithRowNnz({5, 5, 5}, 8);
+  const auto shards = partitionRowsNnzBalanced(m, 8);
+  expectWellFormed(m, shards, 8);
+  // Three 1-row shards, then empties.
+  for (std::size_t t = 0; t < 3; ++t) EXPECT_EQ(shards[t].rows(), 1u);
+  for (std::size_t t = 3; t < 8; ++t) EXPECT_TRUE(shards[t].empty());
+}
+
+TEST(Partition, FromBoundsRejectsMalformedBounds) {
+  const sparse::CsrMatrix m = csrWithRowNnz({1, 2, 3, 4}, 8);
+  const auto expectConfigError = [&](const std::vector<std::uint32_t>& bounds,
+                                     const char* what) {
+    try {
+      partitionFromBounds(m, bounds);
+      ADD_FAILURE() << "accepted " << what;
+    } catch (const SimError& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::Config) << what;
+    }
+  };
+  expectConfigError({}, "an empty bounds list");
+  expectConfigError({0}, "a single-entry bounds list");
+  expectConfigError({1, 4}, "bounds not starting at row 0");
+  expectConfigError({0, 3, 2, 4}, "a decreasing bound");
+  expectConfigError({0, 5}, "a bound past numRows()");
+  expectConfigError({0, 2, 3}, "bounds dropping the row tail");
+
+  // And the happy path still works, including empty interior shards.
+  const auto shards = partitionFromBounds(m, {0, 2, 2, 4});
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_TRUE(shards[1].empty());
+  EXPECT_EQ(shards[2].nnz_begin, m.rowPtr()[2]);
+}
+
+TEST(Partition, StatsSurfaceImbalanceAndEmptyShards) {
+  const sparse::CsrMatrix m = csrWithRowNnz({100, 1, 1, 1}, 128);
+  {
+    // Block split: shard 0 = rows {0,1} holds 101 of 103 nnz.
+    const auto shards = partitionRowsBlock(m, 2);
+    const PartitionStats st = partitionStats(m, shards);
+    EXPECT_EQ(st.max_nnz, 101u);
+    EXPECT_EQ(st.mean_nnz, 51u);
+    EXPECT_EQ(st.imbalance_pct, 100 * 101 / 51);
+    EXPECT_EQ(st.empty_shards, 0u);
+  }
+  {
+    const auto shards = partitionFromBounds(m, {0, 4, 4});
+    const PartitionStats st = partitionStats(m, shards);
+    EXPECT_EQ(st.empty_shards, 1u);
+    EXPECT_EQ(st.max_nnz, 103u);
+  }
+}
+
+TEST(Partition, PowerLawCsrIsDeterministicPerSeed) {
+  const auto gen = [] {
+    sim::Rng rng(0xC0FFEE);
+    return powerLawCsr(rng, 96, 96, 48, 0.9);
+  };
+  const sparse::CsrMatrix a = gen();
+  const sparse::CsrMatrix b = gen();
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.rowPtr(), b.rowPtr());
+  EXPECT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.vals().size(), b.vals().size());
+  EXPECT_TRUE(a.vals().empty() ||
+              std::memcmp(a.vals().data(), b.vals().data(),
+                          a.vals().size() * sizeof(float)) == 0);
+}
+
+TEST(Partition, PowerLawGiniRisesMonotonicallyWithExponent) {
+  // The skew knob the zipf sweeps rely on: a steeper exponent must
+  // concentrate nonzeros into fewer rows. Same seed per point so only
+  // alpha varies. max_degree is kept large relative to rows^alpha so the
+  // generator's min-degree clamp (every row keeps >= 1 nonzero) does not
+  // flatten the tail and break monotonicity.
+  double prev = -1.0;
+  for (const double alpha : {0.0, 0.3, 0.6, 0.9, 1.2}) {
+    sim::Rng rng(0x51D);
+    const sparse::CsrMatrix m = powerLawCsr(rng, 64, 512, 256, alpha);
+    const double gini = rowNnzGini(m);
+    EXPECT_GE(gini, 0.0);
+    EXPECT_LT(gini, 1.0);
+    EXPECT_GT(gini, prev) << "alpha = " << alpha;
+    prev = gini;
+  }
+  // Uniform degrees -> Gini 0 exactly.
+  const sparse::CsrMatrix uniform = csrWithRowNnz({4, 4, 4, 4}, 8);
+  EXPECT_DOUBLE_EQ(rowNnzGini(uniform), 0.0);
+  // Empty matrix -> 0 by definition.
+  EXPECT_DOUBLE_EQ(rowNnzGini(csrWithRowNnz({0, 0}, 4)), 0.0);
+}
+
+}  // namespace
+}  // namespace hht::workload
